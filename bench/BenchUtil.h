@@ -1,0 +1,63 @@
+//===- bench/BenchUtil.h - Shared bench helpers -----------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_BENCH_BENCHUTIL_H
+#define CPSFLOW_BENCH_BENCHUTIL_H
+
+#include "analysis/Compare.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/DupAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "analysis/Witnesses.h"
+
+#include <cstdio>
+
+namespace cpsflow {
+namespace bench {
+
+using CD = domain::ConstantDomain;
+
+/// Results of all three Figure 4-6 analyzers on one witness.
+struct Trio {
+  analysis::DirectResult<CD> Direct;
+  analysis::SemanticResult<CD> Semantic;
+  analysis::SyntacticResult<CD> Syntactic;
+};
+
+inline Trio
+runTrio(const Context &Ctx, const analysis::Witness &W,
+        analysis::AnalyzerOptions Opts = analysis::AnalyzerOptions()) {
+  Trio T;
+  T.Direct = analysis::DirectAnalyzer<CD>(
+                 Ctx, W.Anf, analysis::directBindings<CD>(W), Opts)
+                 .run();
+  T.Semantic = analysis::SemanticCpsAnalyzer<CD>(
+                   Ctx, W.Anf, analysis::directBindings<CD>(W), Opts)
+                   .run();
+  T.Syntactic = analysis::SyntacticCpsAnalyzer<CD>(
+                    Ctx, W.Cps, analysis::cpsBindings<CD>(W), Opts)
+                    .run();
+  return T;
+}
+
+/// Prints one "variable | direct | semantic | syntactic" row.
+inline void printVarRow(const Context &Ctx, const Trio &T, Symbol X) {
+  std::printf("  %-6s | %-12s | %-12s | %s\n",
+              std::string(Ctx.spelling(X)).c_str(),
+              T.Direct.valueOf(X).str(Ctx).c_str(),
+              T.Semantic.valueOf(X).str(Ctx).c_str(),
+              T.Syntactic.valueOf(X).str(Ctx).c_str());
+}
+
+inline void printHeader(const char *Title) {
+  std::printf("\n===== %s =====\n", Title);
+}
+
+} // namespace bench
+} // namespace cpsflow
+
+#endif // CPSFLOW_BENCH_BENCHUTIL_H

@@ -1,0 +1,85 @@
+//===- bench/duplication_cost.cpp - E6: wall-clock timings ------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E6 (timing half) — wall-clock cost of the three analyzers on the
+/// conditional-chain family, measured with google-benchmark. The chain
+/// length is the benchmark argument; expect the direct analyzer's time to
+/// grow linearly and the CPS analyzers' exponentially (Section 6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "gen/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cpsflow;
+using namespace cpsflow::bench;
+using namespace cpsflow::analysis;
+
+namespace {
+
+void BM_DirectOnConditionalChain(benchmark::State &State) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, State.range(0));
+  uint64_t Goals = 0;
+  for (auto _ : State) {
+    auto R =
+        DirectAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+    Goals = R.Stats.Goals;
+    benchmark::DoNotOptimize(R.Answer.Value);
+  }
+  State.counters["goals"] = static_cast<double>(Goals);
+}
+
+void BM_SemanticCpsOnConditionalChain(benchmark::State &State) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, State.range(0));
+  uint64_t Goals = 0;
+  for (auto _ : State) {
+    auto R =
+        SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+    Goals = R.Stats.Goals;
+    benchmark::DoNotOptimize(R.Answer.Value);
+  }
+  State.counters["goals"] = static_cast<double>(Goals);
+}
+
+void BM_SyntacticCpsOnConditionalChain(benchmark::State &State) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, State.range(0));
+  uint64_t Goals = 0;
+  for (auto _ : State) {
+    auto R =
+        SyntacticCpsAnalyzer<CD>(Ctx, W.Cps, cpsBindings<CD>(W)).run();
+    Goals = R.Stats.Goals;
+    benchmark::DoNotOptimize(R.Answer.Value);
+  }
+  State.counters["goals"] = static_cast<double>(Goals);
+}
+
+void BM_DupBudget2OnConditionalChain(benchmark::State &State) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, State.range(0));
+  uint64_t Goals = 0;
+  for (auto _ : State) {
+    auto R =
+        DupAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), 2).run();
+    Goals = R.Stats.Goals;
+    benchmark::DoNotOptimize(R.Answer.Value);
+  }
+  State.counters["goals"] = static_cast<double>(Goals);
+}
+
+} // namespace
+
+BENCHMARK(BM_DirectOnConditionalChain)->DenseRange(2, 14, 2);
+BENCHMARK(BM_SemanticCpsOnConditionalChain)->DenseRange(2, 14, 2);
+BENCHMARK(BM_SyntacticCpsOnConditionalChain)->DenseRange(2, 14, 2);
+BENCHMARK(BM_DupBudget2OnConditionalChain)->DenseRange(2, 14, 2);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+//===- bench/loop_divergence.cpp - E7: loop undecidability ------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E7 — Section 6.2's computability claim: with the explicit `loop`
+/// construct, the direct analysis computes its (exact) answer instantly —
+/// the join of all naturals is just T — while the semantic-CPS analysis
+/// must apply the continuation to *every* natural and join; computing
+/// that is undecidable (adapting Kam & Ullman's MOP argument).
+///
+/// The bench makes this concrete with the loopProbe(k) program, whose
+/// continuation tests `if0 (sub1^k x)`: any finite unrolling bound below
+/// k reports r = 9 and *looks* converged, yet the true join is T. No
+/// bound is ever sufficient, because k can be arbitrary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "gen/Workloads.h"
+
+using namespace cpsflow;
+using namespace cpsflow::bench;
+using namespace cpsflow::analysis;
+
+int main() {
+  Context Ctx;
+  printHeader("E7: loop — direct analysis exact, CPS analyses uncomputable");
+
+  const uint32_t ProbeK = 48;
+  Witness W = gen::loopProbe(Ctx, ProbeK);
+  std::printf("program: (let (x (loop)) ... (if0 (sub1^%u x) 7 9)); exact "
+              "answer for r: T (= join of 7 at iterate %u and 9 "
+              "elsewhere)\n\n",
+              ProbeK, ProbeK);
+
+  auto AD = DirectAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+  std::printf("direct analysis (exact loop rule): r = %s, %llu goals, "
+              "complete = %s\n\n",
+              AD.valueOf(W.Probe).str(Ctx).c_str(),
+              (unsigned long long)AD.Stats.Goals,
+              AD.Stats.complete() ? "yes" : "no");
+
+  std::printf("semantic-CPS analysis with bounded unrolling (sound summary "
+              "off):\n");
+  std::printf("  unroll bound | r            | goals  | looks converged?\n");
+  std::printf("  -------------+--------------+--------+-----------------\n");
+  for (uint32_t Bound : {4u, 8u, 16u, 32u, 40u, 47u, 48u, 49u, 64u}) {
+    AnalyzerOptions Opts;
+    Opts.LoopUnroll = Bound;
+    Opts.LoopSoundSummary = false;
+    auto AS =
+        SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), Opts)
+            .run();
+    // "Looks converged": the last doubling of the bound did not change r.
+    AnalyzerOptions Half = Opts;
+    Half.LoopUnroll = Bound / 2;
+    auto ASHalf =
+        SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), Half)
+            .run();
+    bool Converged = AS.valueOf(W.Probe) == ASHalf.valueOf(W.Probe);
+    std::printf("  %12u | %-12s | %6llu | %s\n", Bound,
+                AS.valueOf(W.Probe).str(Ctx).c_str(),
+                (unsigned long long)AS.Stats.Goals,
+                Converged ? "yes" : "no");
+  }
+
+  std::printf("\nnote the bound-%u row: r flips from 9 to T only once the "
+              "unrolling crosses the probe depth — after looking "
+              "converged for every smaller bound. With the sound summary "
+              "on (the default), every bound reports the safe r = T:\n",
+              ProbeK + 1);
+
+  AnalyzerOptions Sound;
+  Sound.LoopUnroll = 4;
+  Sound.LoopSoundSummary = true;
+  auto ASound =
+      SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), Sound)
+          .run();
+  std::printf("  unroll 4 + summary: r = %s\n",
+              ASound.valueOf(W.Probe).str(Ctx).c_str());
+
+  std::printf("\nsyntactic-CPS loopk behaves the same way:\n");
+  for (uint32_t Bound : {8u, 48u, 49u}) {
+    AnalyzerOptions Opts;
+    Opts.LoopUnroll = Bound;
+    Opts.LoopSoundSummary = false;
+    auto AC =
+        SyntacticCpsAnalyzer<CD>(Ctx, W.Cps, cpsBindings<CD>(W), Opts).run();
+    std::printf("  unroll %2u: r = %s\n", Bound,
+                AC.valueOf(W.Probe).str(Ctx).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- bench/theorem51.cpp - E1: Theorem 5.1 reproduction -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E1 — regenerates the Theorem 5.1 result: on
+/// `(let (a1 (f 1)) (let (a2 (f 2)) a2))` with f bound to the identity
+/// closure, the direct analysis determines a1 = 1 while the syntactic-CPS
+/// analysis, confusing the two returns of f, loses all information about
+/// a1. Paper reference values: direct sigma1 = {a1 -> (1,{}), a2 ->
+/// (T,{}), x -> (T,{})}, u1 = (T,{}); CPS u2 = (T, CL_T, K_T), sigma2(a1)
+/// = (T, {}, {}).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "cps/Transform.h"
+#include "syntax/Printer.h"
+
+using namespace cpsflow;
+using namespace cpsflow::bench;
+using namespace cpsflow::analysis;
+
+int main() {
+  Context Ctx;
+  Witness W = theorem51(Ctx);
+  Trio T = runTrio(Ctx, W);
+
+  printHeader("E1: Theorem 5.1 — direct vs syntactic-CPS (false returns)");
+  std::printf("program: %s\n", syntax::print(Ctx, W.Anf).c_str());
+  std::printf("cps:     %s\n", cps::printCps(Ctx, W.Cps.Root).c_str());
+  std::printf("initial store: f -> (_|_, {(cle x, x)})\n\n");
+
+  std::printf("  var    | direct       | semantic     | syntactic\n");
+  std::printf("  -------+--------------+--------------+----------\n");
+  for (Symbol X : W.InterestingVars)
+    printVarRow(Ctx, T, X);
+
+  std::printf("\nanswer values:\n");
+  std::printf("  direct:    %s\n", T.Direct.Answer.Value.str(Ctx).c_str());
+  std::printf("  syntactic: %s\n",
+              T.Syntactic.Answer.Value.str(Ctx).c_str());
+
+  Comparison C = compareWithSyntactic<CD>(Ctx, T.Direct, T.Syntactic, W.Cps,
+                                          W.InterestingVars);
+  std::printf("\npaper expectation: direct strictly more precise; "
+              "measured: %s\n",
+              str(C.Overall));
+  std::printf("expected a1: direct (1, {}) vs cps (T, {}, {}); measured: "
+              "%s vs %s\n",
+              T.Direct.valueOf(Ctx.intern("a1")).str(Ctx).c_str(),
+              T.Syntactic.valueOf(Ctx.intern("a1")).str(Ctx).c_str());
+
+  int FalseReturns = 0;
+  for (const auto &[Ret, Konts] : T.Syntactic.Cfg.Returns)
+    if (Konts.size() > 1)
+      ++FalseReturns;
+  std::printf("false returns detected in the CPS control flow graph: %d "
+              "(expected: 1)\n",
+              FalseReturns);
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- analysis/Cfg.h - Control-flow-graph extraction -----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow information accumulated during an analysis run. The paper
+/// stresses that all three analyzers "compute the control flow graph of
+/// the source program", which is why its precision results carry over to
+/// a large class of data flow analyses. These records are that graph:
+///
+///  * per application site, the set of abstract closures applied there;
+///  * per conditional, which branches were found feasible;
+///  * (CPS analyses only) per return point `(k W)`, the set of abstract
+///    continuations invoked — more than one continuation at a return is
+///    precisely Section 6.1's *false return*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_CFG_H
+#define CPSFLOW_ANALYSIS_CFG_H
+
+#include "cps/CpsAst.h"
+#include "domain/AbsValue.h"
+#include "syntax/Ast.h"
+
+#include <map>
+
+namespace cpsflow {
+namespace analysis {
+
+/// Feasible branches of one if0.
+struct BranchInfo {
+  bool ThenFeasible = false;
+  bool ElseFeasible = false;
+};
+
+/// Control-flow graph extracted by the direct or semantic-CPS analyzer.
+/// Keys are AST nodes; maps are ordered by node id for stable iteration.
+struct DirectCfg {
+  struct NodeIdLess {
+    template <typename T> bool operator()(const T *A, const T *B) const {
+      return A->id() < B->id();
+    }
+  };
+
+  /// Call site -> abstract closures applied there.
+  std::map<const syntax::AppTerm *, domain::CloSet, NodeIdLess> Callees;
+  /// Conditional -> feasible branches.
+  std::map<const syntax::If0Term *, BranchInfo, NodeIdLess> Branches;
+};
+
+/// Control-flow graph extracted by the syntactic-CPS analyzer.
+struct CpsCfg {
+  struct NodeIdLess {
+    template <typename T> bool operator()(const T *A, const T *B) const {
+      return A->id() < B->id();
+    }
+  };
+
+  /// Call site -> abstract closures applied there.
+  std::map<const cps::CpsCall *, domain::CpsCloSet, NodeIdLess> Callees;
+  /// Conditional -> feasible branches.
+  std::map<const cps::CpsIf *, BranchInfo, NodeIdLess> Branches;
+  /// Return point (k W) -> abstract continuations invoked. A set with
+  /// more than one element is a false return (Section 6.1).
+  std::map<const cps::CpsRet *, domain::KontSet, NodeIdLess> Returns;
+};
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_CFG_H

@@ -1,0 +1,120 @@
+//===- analysis/CfgCompare.cpp - Cross-analyzer CFG comparison --*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CfgCompare.h"
+
+#include <sstream>
+
+using namespace cpsflow;
+using namespace cpsflow::analysis;
+
+DirectCfg cpsflow::analysis::sourceView(const cps::CpsProgram &Program,
+                                        const CpsCfg &Cfg) {
+  DirectCfg Out;
+
+  for (const auto &[Call, Callees] : Cfg.Callees) {
+    auto LetIt = Program.ContToLet.find(Call->cont());
+    if (LetIt == Program.ContToLet.end())
+      continue; // a continuation from outside the program text
+    const auto *App =
+        syntax::dyn_cast<syntax::AppTerm>(LetIt->second->bound());
+    if (!App)
+      continue;
+    domain::CloSet &Set = Out.Callees[App];
+    for (const domain::CpsCloRef &C : Callees) {
+      switch (C.Tag) {
+      case domain::CpsCloRef::K::Inck:
+        Set.insert(domain::CloRef::inc());
+        break;
+      case domain::CpsCloRef::K::Deck:
+        Set.insert(domain::CloRef::dec());
+        break;
+      case domain::CpsCloRef::K::Lam: {
+        auto It = Program.CpsToLam.find(C.Lam);
+        if (It != Program.CpsToLam.end())
+          Set.insert(domain::CloRef::lam(It->second));
+        break;
+      }
+      }
+    }
+  }
+
+  for (const auto &[If, BI] : Cfg.Branches) {
+    auto LetIt = Program.ContToLet.find(If->join());
+    if (LetIt == Program.ContToLet.end())
+      continue;
+    const auto *SourceIf =
+        syntax::dyn_cast<syntax::If0Term>(LetIt->second->bound());
+    if (!SourceIf)
+      continue;
+    BranchInfo &Info = Out.Branches[SourceIf];
+    Info.ThenFeasible |= BI.ThenFeasible;
+    Info.ElseFeasible |= BI.ElseFeasible;
+  }
+
+  return Out;
+}
+
+CfgComparison cpsflow::analysis::compareCfgs(const DirectCfg &Left,
+                                             const DirectCfg &Right) {
+  CfgComparison Out;
+
+  auto ClassifySite = [&](const domain::CloSet *L, const domain::CloSet *R) {
+    ++Out.CallSites;
+    domain::CloSet Empty;
+    const domain::CloSet &A = L ? *L : Empty;
+    const domain::CloSet &B = R ? *R : Empty;
+    if (A == B) {
+      ++Out.EqualSites;
+      return;
+    }
+    bool AinB = domain::CloSet::leq(A, B);
+    bool BinA = domain::CloSet::leq(B, A);
+    if (BinA)
+      ++Out.LeftExtra;
+    else if (AinB)
+      ++Out.RightExtra;
+    else
+      ++Out.IncomparableSites;
+  };
+
+  for (const auto &[Site, Callees] : Left.Callees) {
+    auto It = Right.Callees.find(Site);
+    ClassifySite(&Callees, It == Right.Callees.end() ? nullptr : &It->second);
+  }
+  for (const auto &[Site, Callees] : Right.Callees)
+    if (!Left.Callees.count(Site))
+      ClassifySite(nullptr, &Callees);
+
+  for (const auto &[If, BI] : Left.Branches) {
+    ++Out.Branches;
+    auto It = Right.Branches.find(If);
+    if (It != Right.Branches.end() &&
+        It->second.ThenFeasible == BI.ThenFeasible &&
+        It->second.ElseFeasible == BI.ElseFeasible)
+      ++Out.EqualBranches;
+  }
+  for (const auto &[If, BI] : Right.Branches)
+    if (!Left.Branches.count(If)) {
+      ++Out.Branches;
+      (void)BI;
+    }
+
+  return Out;
+}
+
+std::string cpsflow::analysis::str(const CfgComparison &C) {
+  std::ostringstream O;
+  O << C.EqualSites << "/" << C.CallSites << " call sites equal";
+  if (C.LeftExtra)
+    O << ", " << C.LeftExtra << " with extra left callees";
+  if (C.RightExtra)
+    O << ", " << C.RightExtra << " with extra right callees";
+  if (C.IncomparableSites)
+    O << ", " << C.IncomparableSites << " incomparable";
+  O << "; " << C.EqualBranches << "/" << C.Branches << " branches equal";
+  return O.str();
+}

@@ -1,0 +1,61 @@
+//===- analysis/CfgCompare.h - Cross-analyzer CFG comparison ----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's framing — "all analyzers compute the control flow graph of
+/// the source program and hence our results apply to a large class of
+/// data flow analyses" — requires the CPS analyzer's control-flow facts
+/// to be readable at source-program points. This module maps a CpsCfg
+/// back through the transformation's correspondence maps (continuation
+/// lambda -> source let, CPS lambda -> source lambda) and compares the
+/// resulting source-level call graphs across analyzers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_CFGCOMPARE_H
+#define CPSFLOW_ANALYSIS_CFGCOMPARE_H
+
+#include "analysis/Cfg.h"
+#include "cps/Transform.h"
+
+#include <string>
+
+namespace cpsflow {
+namespace analysis {
+
+/// Translates \p Cfg to source-level program points: call sites become
+/// the source applications their continuation lambdas were generated
+/// from, callees map through delta_e inverse (inck -> inc, CPS lambda ->
+/// source lambda). Return points have no source analog (the reified
+/// continuation is the CPS transformation's artifact) and are dropped —
+/// their information is exactly what the false-return analysis loses.
+DirectCfg sourceView(const cps::CpsProgram &Program, const CpsCfg &Cfg);
+
+/// Site-by-site comparison of two source-level CFGs.
+struct CfgComparison {
+  size_t CallSites = 0;      ///< call sites present in either CFG
+  size_t EqualSites = 0;     ///< identical callee sets
+  size_t LeftExtra = 0;      ///< sites where left has extra callees
+  size_t RightExtra = 0;     ///< sites where right has extra callees
+  size_t IncomparableSites = 0;
+  size_t Branches = 0;       ///< conditionals present in either CFG
+  size_t EqualBranches = 0;  ///< identical feasibility
+
+  bool identical() const {
+    return EqualSites == CallSites && EqualBranches == Branches;
+  }
+};
+
+/// Compares two source-level CFGs site by site.
+CfgComparison compareCfgs(const DirectCfg &Left, const DirectCfg &Right);
+
+/// Renders a comparison as one line.
+std::string str(const CfgComparison &C);
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_CFGCOMPARE_H

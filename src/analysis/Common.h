@@ -1,0 +1,141 @@
+//===- analysis/Common.h - Shared analyzer infrastructure -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types shared by the three abstract collecting interpreters (Figures
+/// 4-6): abstract answers, analyzer options, and run statistics.
+///
+/// An abstract answer pairs an abstract value with an abstract store,
+/// ordered component-wise (Section 4.2). The statistics expose the
+/// quantities the Section 6 discussion is about — how many proof goals a
+/// derivation needs (the duplication cost) and how often the Section 4.4
+/// loop detection fires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_COMMON_H
+#define CPSFLOW_ANALYSIS_COMMON_H
+
+#include "domain/AbsStore.h"
+#include "domain/AbsValue.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpsflow {
+namespace analysis {
+
+/// An abstract answer: a value paired with a store, ordered and joined
+/// component-wise. \p V is an AbsVal or CpsAbsVal instantiation.
+template <typename V> struct AnswerOf {
+  V Value;
+  domain::AbsStore<V> Store;
+
+  static AnswerOf join(const AnswerOf &A, const AnswerOf &B) {
+    return AnswerOf{V::join(A.Value, B.Value),
+                    domain::AbsStore<V>::join(A.Store, B.Store)};
+  }
+
+  static bool leq(const AnswerOf &A, const AnswerOf &B) {
+    return V::leq(A.Value, B.Value) &&
+           domain::AbsStore<V>::leq(A.Store, B.Store);
+  }
+
+  friend bool operator==(const AnswerOf &A, const AnswerOf &B) {
+    return A.Value == B.Value && A.Store == B.Store;
+  }
+  friend bool operator!=(const AnswerOf &A, const AnswerOf &B) {
+    return !(A == B);
+  }
+};
+
+/// Knobs for an analyzer run.
+struct AnalyzerOptions {
+  /// Hard bound on the number of proof goals; exceeding it aborts the
+  /// analysis with Stats.BudgetExhausted set (the result degrades to a
+  /// sound-but-imprecise cut value at the point of exhaustion).
+  uint64_t MaxGoals = 50'000'000;
+
+  /// Unrolling bound for the CPS analyzers' `loop` rule. The paper shows
+  /// the exact rule — the join of applying the continuation to every
+  /// natural number — is not computable (Section 6.2), so the CPS
+  /// analyzers approximate it by joining the first LoopUnroll iterates;
+  /// Stats.LoopBounded reports whether the join was still moving at the
+  /// bound.
+  uint32_t LoopUnroll = 64;
+
+  /// When true (default), each `loop` in the CPS analyzers additionally
+  /// runs the continuation on the domain's naturals() summary, making the
+  /// bounded join a sound over-approximation of the exact (uncomputable)
+  /// rule. Turn off to expose the raw bounded join (bench E7). The direct
+  /// analyzer ignores this: its loop rule is exact and computable.
+  bool LoopSoundSummary = true;
+
+  /// When non-null, the direct analyzer appends a rendering of its
+  /// derivation tree here (one line per goal, indented by depth, with the
+  /// goal's answer) — the abstract analogue of the Figure 4 derivations.
+  /// Capped at DerivationMaxLines. Intended for small programs.
+  std::vector<std::string> *DerivationSink = nullptr;
+  /// Cap for DerivationSink.
+  size_t DerivationMaxLines = 2000;
+
+  /// When false, disable the memo table of completed subderivations (the
+  /// Section 4.4 cut and its active-path set stay on — they are what
+  /// guarantees termination). Results are unchanged; only cost differs.
+  /// Exists for the memoization ablation (bench E11): memoization
+  /// collapses duplicated analyses whose paths *reconverge* on the same
+  /// store, but cannot help when the duplicated stores genuinely differ —
+  /// the paper's exponential examples stay exponential.
+  bool UseMemo = true;
+};
+
+/// Counters describing one analyzer run.
+struct AnalyzerStats {
+  /// Proof goals attempted (evaluation judgments instantiated). This is
+  /// the cost measure of the Section 6.2 duplication discussion.
+  uint64_t Goals = 0;
+  /// Goals answered from the memo table of completed, non-provisional
+  /// subderivations.
+  uint64_t CacheHits = 0;
+  /// Section 4.4 loop cut-offs: goals whose (term, store) key was already
+  /// on the active derivation path, answered with the least precise value.
+  uint64_t Cuts = 0;
+  /// Deepest active derivation path.
+  uint64_t MaxDepth = 0;
+  /// Join-over-zero-paths events: applications whose operator had no
+  /// abstract closures (and, for the syntactic analyzer, returns through
+  /// an empty continuation set). When this is non-zero the program has
+  /// dead/stuck paths, and the Theorem 5.4 *equality* for distributive
+  /// analyses need not hold exactly: the direct analysis keeps a dead
+  /// path's store effects up to the point of death (MFP-style), while the
+  /// per-path CPS analyses drop the whole path (MOP over completing
+  /// paths). See DESIGN.md section 7.
+  uint64_t DeadPaths = 0;
+  /// if0 evaluations that pruned a branch (single-feasible-branch rule).
+  /// Value-dependent branch pruning is itself a non-distributive
+  /// ingredient: a merged store may reach a branch no single path
+  /// reaches, so the Theorem 5.4 *equality* for distributive domains is
+  /// only guaranteed when this stays zero (see DESIGN.md section 7).
+  uint64_t PrunedBranches = 0;
+  /// True when MaxGoals was exhausted (the analysis result is a sound
+  /// over-approximation but not the paper-defined answer).
+  bool BudgetExhausted = false;
+  /// True when a CPS analyzer evaluated a `loop` rule: the exact rule —
+  /// the join over all naturals — is not computable (Section 6.2), so the
+  /// reported result is a bounded approximation (a sound one if
+  /// LoopSoundSummary was on, a lower one otherwise). The direct
+  /// analyzer's loop rule is exact and never sets this.
+  bool LoopBounded = false;
+
+  /// True iff the run computed the paper-defined answer exactly.
+  bool complete() const { return !BudgetExhausted && !LoopBounded; }
+};
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_COMMON_H

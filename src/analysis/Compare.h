@@ -1,0 +1,180 @@
+//===- analysis/Compare.h - Precision comparisons ---------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison machinery behind the Section 5 theorems.
+///
+/// "More precise" is the lattice order: analyzer L is more precise than R
+/// on a program when L's answer (value and per-variable store entries) is
+/// strictly below R's. Comparisons across the direct/semantic world and
+/// the syntactic-CPS world first map through delta_e (Section 5.1):
+///
+/// \code
+///   delta_e((n, {cl_1, ..., cl_i})) = (n, {V_e[cl_1], ..., V_e[cl_i]}, {})
+///   V_e((cle x, M)) = (cle x k, F_k[M])    V_e(inc) = inck   ...
+/// \endcode
+///
+/// using the source-lambda -> CPS-lambda correspondence recorded by the
+/// transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_COMPARE_H
+#define CPSFLOW_ANALYSIS_COMPARE_H
+
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "cps/Transform.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace cpsflow {
+namespace analysis {
+
+/// Relative position of two lattice elements.
+enum class PrecisionOrder : uint8_t {
+  Equal,
+  LeftMorePrecise,  ///< left strictly below right
+  RightMorePrecise, ///< right strictly below left
+  Incomparable,
+};
+
+/// Renders a PrecisionOrder for tables.
+inline const char *str(PrecisionOrder O) {
+  switch (O) {
+  case PrecisionOrder::Equal:
+    return "equal";
+  case PrecisionOrder::LeftMorePrecise:
+    return "left more precise";
+  case PrecisionOrder::RightMorePrecise:
+    return "right more precise";
+  case PrecisionOrder::Incomparable:
+    return "incomparable";
+  }
+  return "?";
+}
+
+/// Compares two elements of the same lattice via leq both ways.
+template <typename V>
+PrecisionOrder compareLattice(const V &A, const V &B) {
+  bool AB = V::leq(A, B);
+  bool BA = V::leq(B, A);
+  if (AB && BA)
+    return PrecisionOrder::Equal;
+  if (AB)
+    return PrecisionOrder::LeftMorePrecise;
+  if (BA)
+    return PrecisionOrder::RightMorePrecise;
+  return PrecisionOrder::Incomparable;
+}
+
+/// Folds a component comparison into a running overall verdict.
+inline PrecisionOrder mergeOrders(PrecisionOrder Acc, PrecisionOrder Next) {
+  if (Acc == PrecisionOrder::Equal)
+    return Next;
+  if (Next == PrecisionOrder::Equal)
+    return Acc;
+  if (Acc == Next)
+    return Acc;
+  return PrecisionOrder::Incomparable;
+}
+
+/// delta_e on abstract values: maps a direct/semantic abstract value into
+/// the syntactic-CPS value lattice (empty continuation component).
+template <typename D>
+domain::CpsAbsVal<D> deltaE(const domain::AbsVal<D> &V,
+                            const cps::CpsProgram &Program) {
+  domain::CpsAbsVal<D> Out;
+  Out.Num = V.Num;
+  for (const domain::CloRef &C : V.Clos) {
+    switch (C.Tag) {
+    case domain::CloRef::K::Inc:
+      Out.Clos.insert(domain::CpsCloRef::inck());
+      break;
+    case domain::CloRef::K::Dec:
+      Out.Clos.insert(domain::CpsCloRef::deck());
+      break;
+    case domain::CloRef::K::Lam: {
+      auto It = Program.LamToCps.find(C.Lam);
+      assert(It != Program.LamToCps.end() &&
+             "source lambda without a CPS image");
+      Out.Clos.insert(domain::CpsCloRef::lam(It->second));
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+/// One row of a per-variable comparison table.
+struct VarComparison {
+  Symbol Var;
+  PrecisionOrder Order;
+  std::string Left;  ///< rendered left value
+  std::string Right; ///< rendered right value
+};
+
+/// Comparison verdict for two analysis results.
+struct Comparison {
+  /// On the answer values only.
+  PrecisionOrder OnValue = PrecisionOrder::Equal;
+  /// Folded over the value and every compared variable.
+  PrecisionOrder Overall = PrecisionOrder::Equal;
+  /// Per-variable detail.
+  std::vector<VarComparison> Vars;
+};
+
+/// Compares two results from the direct/semantic world (Theorem 5.4:
+/// pass the semantic result on the left, the direct on the right; the
+/// theorem asserts the verdict is never RightMorePrecise).
+/// \p SourceVars selects which store entries to compare.
+template <typename D, typename LeftResult, typename RightResult>
+Comparison compareDirectWorld(const Context &Ctx, const LeftResult &L,
+                              const RightResult &R,
+                              const std::vector<Symbol> &SourceVars) {
+  Comparison Out;
+  Out.OnValue = compareLattice(L.Answer.Value, R.Answer.Value);
+  Out.Overall = Out.OnValue;
+  for (Symbol X : SourceVars) {
+    domain::AbsVal<D> LV = L.valueOf(X);
+    domain::AbsVal<D> RV = R.valueOf(X);
+    PrecisionOrder O = compareLattice(LV, RV);
+    Out.Overall = mergeOrders(Out.Overall, O);
+    Out.Vars.push_back(VarComparison{X, O, LV.str(Ctx), RV.str(Ctx)});
+  }
+  return Out;
+}
+
+/// Compares a direct-world result (left, mapped through delta_e) with a
+/// syntactic-CPS result (right). Per Theorem 5.1/5.2 the verdict can go
+/// either way (incomparable in general); per Theorem 5.5 with the
+/// semantic result on the left it is never RightMorePrecise.
+template <typename D, typename LeftResult>
+Comparison compareWithSyntactic(const Context &Ctx, const LeftResult &L,
+                                const SyntacticResult<D> &R,
+                                const cps::CpsProgram &Program,
+                                const std::vector<Symbol> &SourceVars) {
+  Comparison Out;
+  domain::CpsAbsVal<D> LVal = deltaE<D>(L.Answer.Value, Program);
+  Out.OnValue = compareLattice(LVal, R.Answer.Value);
+  Out.Overall = Out.OnValue;
+  for (Symbol X : SourceVars) {
+    domain::CpsAbsVal<D> LV = deltaE<D>(L.valueOf(X), Program);
+    domain::CpsAbsVal<D> RV = R.valueOf(X);
+    PrecisionOrder O = compareLattice(LV, RV);
+    Out.Overall = mergeOrders(Out.Overall, O);
+    Out.Vars.push_back(VarComparison{X, O, LV.str(Ctx), RV.str(Ctx)});
+  }
+  return Out;
+}
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_COMPARE_H

@@ -1,0 +1,404 @@
+//===- analysis/DirectAnalyzer.h - Figure 4 analyzer ------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The direct abstract collecting interpreter M_e of Figure 4, derived
+/// from the Figure 1 interpreter by the Section 4 abstraction: one store
+/// location per variable, environments dropped, numbers approximated by a
+/// numeric domain D, closures by the powerset of (binder, body) pairs.
+///
+/// Characteristic behaviour (the subject of the paper's comparisons):
+///
+///  * At an application, *all* abstract closures of the operator are
+///    applied and their answers *joined* before the let-body (the
+///    continuation) is analyzed once — Theorem 5.2b's precision loss.
+///  * At a conditional with an unknown test, both branches are analyzed
+///    and their answers joined before the continuation — Theorem 5.2a's
+///    precision loss.
+///  * There is only ever one implicit continuation, so distinct procedure
+///    returns are never confused — Theorem 5.1's precision *win* over the
+///    syntactic-CPS analyzer.
+///  * The `loop` rule is exact and computable: the join of all naturals
+///    is just the numeric domain's summary (Section 6.2).
+///
+/// Termination follows Section 4.4: a goal whose (term, store) pair is
+/// already on the active derivation path is cut off with the least precise
+/// value (T, CL_T) paired with the current store. Completed subderivations
+/// are memoized; results that depended on a cut through an enclosing goal
+/// are provisional and are not cached (they are not context-independent).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_DIRECTANALYZER_H
+#define CPSFLOW_ANALYSIS_DIRECTANALYZER_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Common.h"
+#include "analysis/Universe.h"
+#include "anf/Anf.h"
+#include "domain/AbsStore.h"
+#include "domain/AbsValue.h"
+#include "syntax/Analysis.h"
+#include "syntax/Ast.h"
+#include "syntax/Printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace analysis {
+
+/// One entry of the initial abstract store (e.g. Theorem 5.1 binds f to
+/// the identity closure, z to T).
+template <typename D> struct DirectBinding {
+  Symbol Var;
+  domain::AbsVal<D> Value;
+};
+
+/// Result of a Figure 4 run.
+template <typename D> struct DirectResult {
+  using Val = domain::AbsVal<D>;
+
+  AnswerOf<Val> Answer;
+  AnalyzerStats Stats;
+  DirectCfg Cfg;
+  std::shared_ptr<domain::VarIndex> Vars;
+
+  /// The final abstract store entry of \p X (bottom if outside the
+  /// universe).
+  Val valueOf(Symbol X) const {
+    if (!Vars->contains(X))
+      return Val::bot();
+    return Answer.Store.get(Vars->of(X));
+  }
+};
+
+/// The Figure 4 analyzer, parameterized by the numeric domain \p D
+/// (domain/NumDomain.h). Single-use: construct and call run() once.
+template <typename D> class DirectAnalyzer {
+public:
+  using Val = domain::AbsVal<D>;
+  using StoreT = domain::AbsStore<Val>;
+  using Answer = AnswerOf<Val>;
+
+  /// \pre \p Program is in A-normal form with unique binders; the lambdas
+  /// referenced by \p Initial use binders disjoint from \p Program's.
+  DirectAnalyzer(const Context &Ctx, const syntax::Term *Program,
+                 std::vector<DirectBinding<D>> Initial = {},
+                 AnalyzerOptions Opts = AnalyzerOptions())
+      : Ctx(Ctx), Program(Program), Initial(std::move(Initial)), Opts(Opts) {
+    assert(anf::isAnfQuick(Program) && "Figure 4 requires A-normal form");
+
+    std::vector<const syntax::LamValue *> ExtraLams;
+    std::vector<Symbol> ExtraVars;
+    for (const DirectBinding<D> &B : this->Initial) {
+      ExtraVars.push_back(B.Var);
+      for (const domain::CloRef &C : B.Value.Clos)
+        if (C.Tag == domain::CloRef::K::Lam)
+          ExtraLams.push_back(C.Lam);
+    }
+    Vars = std::make_shared<domain::VarIndex>(
+        directVariableUniverse(Program, ExtraLams, ExtraVars));
+    CloTop = directClosureUniverse(Program, ExtraLams);
+  }
+
+  /// Runs the analysis from the initial store.
+  DirectResult<D> run() {
+    StoreT Sigma0(Vars->size());
+    for (const DirectBinding<D> &B : Initial)
+      Sigma0.joinAt(Vars->of(B.Var), B.Value);
+
+    EvalOut Out = evalTerm(Program, Sigma0, 0);
+
+    DirectResult<D> R;
+    R.Answer = Out.A ? std::move(*Out.A) : bottomAnswer();
+    R.Stats = Stats;
+    R.Cfg = std::move(Cfg);
+    R.Vars = Vars;
+    return R;
+  }
+
+  /// The universe of abstract closures CL_T (program and initial-store
+  /// lambdas plus inc and dec), used for the Section 4.4 cut-off value.
+  const domain::CloSet &closureUniverse() const { return CloTop; }
+
+private:
+  static constexpr uint32_t Unconstrained =
+      std::numeric_limits<uint32_t>::max();
+
+  /// An answer plus the shallowest active ancestor the subderivation was
+  /// cut against (Unconstrained if none — then the answer is
+  /// context-independent and cacheable). A disengaged answer means the
+  /// goal is *dead*: the join over zero execution paths (an application
+  /// with no abstract closures, or a conditional whose feasible branches
+  /// all died). Dead bindings kill the rest of the let chain, mirroring
+  /// the CPS analyzers, where a dead path simply never reaches its
+  /// continuation.
+  struct EvalOut {
+    std::optional<Answer> A;
+    uint32_t MinDep;
+  };
+
+  struct Key {
+    const void *Node;
+    StoreT Store;
+    uint64_t H;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.H; }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
+      return A.Node == B.Node && A.Store == B.Store;
+    }
+  };
+
+  Key makeKey(const void *Node, const StoreT &Sigma) const {
+    uint64_t H = hashPointer(Node);
+    hashCombine(H, Sigma.hashValue());
+    return Key{Node, Sigma, H};
+  }
+
+  Answer bottomAnswer() const {
+    return Answer{Val::bot(), StoreT(Vars->size())};
+  }
+
+  /// The Section 4.4 cut-off: the least precise value with the current
+  /// store.
+  Answer cutAnswer(const StoreT &Sigma) const {
+    Val V;
+    V.Num = D::top();
+    V.Clos = CloTop;
+    return Answer{std::move(V), Sigma};
+  }
+
+  // phi_e of Figure 4.
+  Val phi(const syntax::Value *V, const StoreT &Sigma) const {
+    using namespace syntax;
+    switch (V->kind()) {
+    case ValueKind::VK_Num:
+      return Val::number(D::constant(cast<NumValue>(V)->value()));
+    case ValueKind::VK_Var:
+      return Sigma.get(Vars->of(cast<VarValue>(V)->name()));
+    case ValueKind::VK_Prim:
+      return Val::closures(domain::CloSet::single(
+          cast<PrimValue>(V)->op() == PrimOp::Add1 ? domain::CloRef::inc()
+                                                   : domain::CloRef::dec()));
+    case ValueKind::VK_Lam:
+      return Val::closures(
+          domain::CloSet::single(domain::CloRef::lam(cast<LamValue>(V))));
+    }
+    assert(false && "unknown value kind");
+    return Val::bot();
+  }
+
+  EvalOut evalTerm(const syntax::Term *T, const StoreT &Sigma,
+                   uint32_t Depth) {
+    if (Stats.BudgetExhausted)
+      return EvalOut{cutAnswer(Sigma), 0};
+    ++Stats.Goals;
+    if (Stats.Goals > Opts.MaxGoals) {
+      Stats.BudgetExhausted = true;
+      return EvalOut{cutAnswer(Sigma), 0};
+    }
+    Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
+
+    Key K = makeKey(T, Sigma);
+    if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
+      ++Stats.CacheHits;
+      return EvalOut{It->second, Unconstrained};
+    }
+    if (auto It = Active.find(K); It != Active.end()) {
+      ++Stats.Cuts;
+      return EvalOut{cutAnswer(Sigma), It->second};
+    }
+
+    size_t TraceLine = 0;
+    if (Opts.DerivationSink &&
+        Opts.DerivationSink->size() < Opts.DerivationMaxLines) {
+      TraceLine = Opts.DerivationSink->size();
+      Opts.DerivationSink->push_back(
+          std::string(std::min<uint32_t>(Depth, 40), ' ') + "(" +
+          syntax::print(Ctx, T) + ", sigma) |- ...");
+    }
+
+    Active.emplace(K, Depth);
+    EvalOut Out = evalUncached(T, Sigma, Depth);
+    Active.erase(K);
+
+    if (Opts.DerivationSink && TraceLine < Opts.DerivationSink->size()) {
+      std::string &Line = (*Opts.DerivationSink)[TraceLine];
+      Line.resize(Line.size() - 3); // drop "..."
+      Line += Out.A ? Out.A->Value.str(Ctx) : std::string("dead");
+    }
+    if (Out.MinDep >= Depth && !Stats.BudgetExhausted) {
+      if (Opts.UseMemo)
+        Memo.emplace(std::move(K), Out.A);
+      Out.MinDep = Unconstrained;
+    }
+    return Out;
+  }
+
+  EvalOut evalUncached(const syntax::Term *T, const StoreT &Sigma,
+                       uint32_t Depth) {
+    using namespace syntax;
+
+    // (V, sigma) M_e ((phi_e(V, sigma), sigma)).
+    if (const auto *VT = dyn_cast<ValueTerm>(T))
+      return EvalOut{Answer{phi(VT->value(), Sigma), Sigma},
+                     Unconstrained};
+
+    const auto *Let = cast<LetTerm>(T);
+    const Term *Bound = Let->bound();
+    uint32_t X = Vars->of(Let->var());
+
+    switch (Bound->kind()) {
+    case TermKind::TK_Value: {
+      // (let (x V) M): continue with sigma[x := sigma(x) join u].
+      Val U = phi(cast<ValueTerm>(Bound)->value(), Sigma);
+      StoreT S = Sigma;
+      S.joinAt(X, U);
+      return evalTerm(Let->body(), S, Depth + 1);
+    }
+
+    case TermKind::TK_App: {
+      // (let (x (V1 V2)) M): app_e joins over all closures, then the body
+      // is analyzed once in the joined store.
+      const auto *App = cast<AppTerm>(Bound);
+      Val Fun = phi(cast<ValueTerm>(App->fun())->value(), Sigma);
+      Val Arg = phi(cast<ValueTerm>(App->arg())->value(), Sigma);
+
+      domain::CloSet &Rec = Cfg.Callees[App];
+      for (const domain::CloRef &C : Fun.Clos)
+        Rec.insert(C);
+
+      if (Fun.Clos.empty()) {
+        ++Stats.DeadPaths; // join over no paths
+        return EvalOut{std::nullopt, Unconstrained};
+      }
+
+      std::optional<Answer> Acc;
+      uint32_t MinDep = Unconstrained;
+      for (const domain::CloRef &C : Fun.Clos) {
+        std::optional<Answer> Ai;
+        switch (C.Tag) {
+        case domain::CloRef::K::Inc:
+          Ai = Answer{Val::number(D::add1(Arg.Num)), Sigma};
+          break;
+        case domain::CloRef::K::Dec:
+          Ai = Answer{Val::number(D::sub1(Arg.Num)), Sigma};
+          break;
+        case domain::CloRef::K::Lam: {
+          StoreT S = Sigma;
+          S.joinAt(Vars->of(C.Lam->param()), Arg);
+          EvalOut R = evalTerm(C.Lam->body(), S, Depth + 1);
+          Ai = std::move(R.A);
+          MinDep = std::min(MinDep, R.MinDep);
+          break;
+        }
+        }
+        if (Ai)
+          Acc = Acc ? Answer::join(*Acc, *Ai) : std::move(*Ai);
+      }
+      if (!Acc)
+        return EvalOut{std::nullopt, MinDep}; // every callee path died
+
+      StoreT S = std::move(Acc->Store);
+      S.joinAt(X, Acc->Value);
+      EvalOut Body = evalTerm(Let->body(), S, Depth + 1);
+      Body.MinDep = std::min(Body.MinDep, MinDep);
+      return Body;
+    }
+
+    case TermKind::TK_If0: {
+      // (let (x (if0 V0 M1 M2)) M): single-branch rules, or the *merging*
+      // two-branch rule — the values and stores of both branches are
+      // joined before M is analyzed once.
+      const auto *If = cast<If0Term>(Bound);
+      Val U0 = phi(cast<ValueTerm>(If->cond())->value(), Sigma);
+      domain::ZeroTest Zt = D::isZero(U0.Num);
+
+      bool ThenOnly = Zt == domain::ZeroTest::Zero && U0.Clos.empty();
+      bool ElseOnly = Zt == domain::ZeroTest::NonZero ||
+                      Zt == domain::ZeroTest::Bottom;
+
+      BranchInfo &BI = Cfg.Branches[If];
+      BI.ThenFeasible |= !ElseOnly;
+      BI.ElseFeasible |= !ThenOnly;
+      if (ThenOnly || ElseOnly)
+        ++Stats.PrunedBranches;
+
+      if (ThenOnly || ElseOnly) {
+        const Term *Branch = ThenOnly ? If->thenBranch() : If->elseBranch();
+        EvalOut Bi = evalTerm(Branch, Sigma, Depth + 1);
+        if (!Bi.A)
+          return EvalOut{std::nullopt, Bi.MinDep};
+        StoreT S = std::move(Bi.A->Store);
+        S.joinAt(X, Bi.A->Value);
+        EvalOut Body = evalTerm(Let->body(), S, Depth + 1);
+        Body.MinDep = std::min(Body.MinDep, Bi.MinDep);
+        return Body;
+      }
+
+      EvalOut B1 = evalTerm(If->thenBranch(), Sigma, Depth + 1);
+      EvalOut B2 = evalTerm(If->elseBranch(), Sigma, Depth + 1);
+      uint32_t MinDep = std::min(B1.MinDep, B2.MinDep);
+      std::optional<Answer> Joined;
+      if (B1.A && B2.A)
+        Joined = Answer::join(*B1.A, *B2.A);
+      else if (B1.A)
+        Joined = std::move(B1.A);
+      else if (B2.A)
+        Joined = std::move(B2.A);
+      if (!Joined)
+        return EvalOut{std::nullopt, MinDep}; // both branches died
+      StoreT S = std::move(Joined->Store);
+      S.joinAt(X, Joined->Value);
+      EvalOut Body = evalTerm(Let->body(), S, Depth + 1);
+      Body.MinDep = std::min(Body.MinDep, MinDep);
+      return Body;
+    }
+
+    case TermKind::TK_Loop: {
+      // (loop, sigma) M_e (join_i (i, {}), sigma): computable exactly —
+      // the join of all naturals is the domain's summary element.
+      StoreT S = Sigma;
+      S.joinAt(X, Val::number(D::naturals()));
+      return evalTerm(Let->body(), S, Depth + 1);
+    }
+
+    case TermKind::TK_Let:
+      assert(false && "not ANF: let-bound let");
+      return EvalOut{std::nullopt, Unconstrained};
+    }
+    assert(false && "unknown term kind");
+    return EvalOut{std::nullopt, Unconstrained};
+  }
+
+  const Context &Ctx;
+  const syntax::Term *Program;
+  std::vector<DirectBinding<D>> Initial;
+  AnalyzerOptions Opts;
+
+  std::shared_ptr<domain::VarIndex> Vars;
+  domain::CloSet CloTop;
+  AnalyzerStats Stats;
+  DirectCfg Cfg;
+
+  std::unordered_map<Key, std::optional<Answer>, KeyHash, KeyEq> Memo;
+  std::unordered_map<Key, uint32_t, KeyHash, KeyEq> Active;
+};
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_DIRECTANALYZER_H

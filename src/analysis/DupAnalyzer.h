@@ -1,0 +1,378 @@
+//===- analysis/DupAnalyzer.h - Bounded-duplication analyzer ----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 6.3 conclusion: "a practical analysis ... should
+/// limit the amount of duplication", and "a direct data flow analysis that
+/// relies on some amount of duplication would be as satisfactory as a CPS
+/// analysis". This analyzer realizes that proposal: it is the Figure 4
+/// direct analyzer extended with a *duplication budget* d.
+///
+/// At a conditional with an unknown test (or an application with several
+/// callees), while budget remains the analyzer continues the let-body —
+/// the textual continuation — separately per path with budget d-1, joining
+/// only the final answers, exactly like the semantic-CPS analyzer but
+/// without any CPS machinery. When the budget is exhausted it falls back
+/// to Figure 4's merge.
+///
+///  * d = 0 is exactly the Figure 4 analysis.
+///  * d >= nesting depth of the interesting merges reproduces the
+///    semantic-CPS precision on the Theorem 5.2 witnesses.
+///  * The work factor is bounded by (max paths)^d instead of
+///    (max paths)^(program size).
+///
+//======---------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_DUPANALYZER_H
+#define CPSFLOW_ANALYSIS_DUPANALYZER_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Common.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/Universe.h"
+#include "anf/Anf.h"
+#include "domain/AbsStore.h"
+#include "domain/AbsValue.h"
+#include "syntax/Ast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace analysis {
+
+/// The bounded-duplication analyzer. Single-use.
+template <typename D> class DupAnalyzer {
+public:
+  using Val = domain::AbsVal<D>;
+  using StoreT = domain::AbsStore<Val>;
+  using Answer = AnswerOf<Val>;
+
+  /// \p Budget is the duplication depth d described above.
+  DupAnalyzer(const Context &Ctx, const syntax::Term *Program,
+              std::vector<DirectBinding<D>> Initial = {}, uint32_t Budget = 2,
+              AnalyzerOptions Opts = AnalyzerOptions())
+      : Ctx(Ctx), Program(Program), Initial(std::move(Initial)),
+        Budget(Budget), Opts(Opts) {
+    assert(anf::isAnfQuick(Program) && "requires A-normal form");
+
+    std::vector<const syntax::LamValue *> ExtraLams;
+    std::vector<Symbol> ExtraVars;
+    for (const DirectBinding<D> &B : this->Initial) {
+      ExtraVars.push_back(B.Var);
+      for (const domain::CloRef &C : B.Value.Clos)
+        if (C.Tag == domain::CloRef::K::Lam)
+          ExtraLams.push_back(C.Lam);
+    }
+    Vars = std::make_shared<domain::VarIndex>(
+        directVariableUniverse(Program, ExtraLams, ExtraVars));
+    CloTop = directClosureUniverse(Program, ExtraLams);
+  }
+
+  DirectResult<D> run() {
+    StoreT Sigma0(Vars->size());
+    for (const DirectBinding<D> &B : Initial)
+      Sigma0.joinAt(Vars->of(B.Var), B.Value);
+
+    EvalOut Out = evalTerm(Program, Sigma0, Budget, 0);
+
+    DirectResult<D> R;
+    R.Answer = Out.A ? std::move(*Out.A) : bottomAnswer();
+    R.Stats = Stats;
+    R.Cfg = std::move(Cfg);
+    R.Vars = Vars;
+    return R;
+  }
+
+private:
+  static constexpr uint32_t Unconstrained =
+      std::numeric_limits<uint32_t>::max();
+
+  /// A disengaged answer means the goal is dead (join over zero paths);
+  /// see DirectAnalyzer.
+  struct EvalOut {
+    std::optional<Answer> A;
+    uint32_t MinDep;
+  };
+
+  struct Key {
+    const void *Node;
+    uint32_t Credit;
+    StoreT Store;
+    uint64_t H;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.H; }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
+      return A.Node == B.Node && A.Credit == B.Credit && A.Store == B.Store;
+    }
+  };
+
+  Key makeKey(const void *Node, uint32_t Credit, const StoreT &Sigma) const {
+    uint64_t H = hashPointer(Node);
+    hashCombine(H, Credit);
+    hashCombine(H, Sigma.hashValue());
+    return Key{Node, Credit, Sigma, H};
+  }
+
+  Answer bottomAnswer() const {
+    return Answer{Val::bot(), StoreT(Vars->size())};
+  }
+
+  Answer cutAnswer(const StoreT &Sigma) const {
+    Val V;
+    V.Num = D::top();
+    V.Clos = CloTop;
+    return Answer{std::move(V), Sigma};
+  }
+
+  Val phi(const syntax::Value *V, const StoreT &Sigma) const {
+    using namespace syntax;
+    switch (V->kind()) {
+    case ValueKind::VK_Num:
+      return Val::number(D::constant(cast<NumValue>(V)->value()));
+    case ValueKind::VK_Var:
+      return Sigma.get(Vars->of(cast<VarValue>(V)->name()));
+    case ValueKind::VK_Prim:
+      return Val::closures(domain::CloSet::single(
+          cast<PrimValue>(V)->op() == PrimOp::Add1 ? domain::CloRef::inc()
+                                                   : domain::CloRef::dec()));
+    case ValueKind::VK_Lam:
+      return Val::closures(
+          domain::CloSet::single(domain::CloRef::lam(cast<LamValue>(V))));
+    }
+    assert(false && "unknown value kind");
+    return Val::bot();
+  }
+
+  EvalOut evalTerm(const syntax::Term *T, const StoreT &Sigma,
+                   uint32_t Credit, uint32_t Depth) {
+    if (Stats.BudgetExhausted)
+      return EvalOut{cutAnswer(Sigma), 0};
+    ++Stats.Goals;
+    if (Stats.Goals > Opts.MaxGoals) {
+      Stats.BudgetExhausted = true;
+      return EvalOut{cutAnswer(Sigma), 0};
+    }
+    Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
+
+    Key K = makeKey(T, Credit, Sigma);
+    if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
+      ++Stats.CacheHits;
+      return EvalOut{It->second, Unconstrained};
+    }
+    // The cut key deliberately ignores the credit: recursion through the
+    // same (term, store) at any credit level is the same loop.
+    Key AKey = makeKey(T, 0, Sigma);
+    if (auto It = Active.find(AKey); It != Active.end()) {
+      ++Stats.Cuts;
+      return EvalOut{cutAnswer(Sigma), It->second};
+    }
+
+    Active.emplace(AKey, Depth);
+    EvalOut Out = evalUncached(T, Sigma, Credit, Depth);
+    Active.erase(AKey);
+    if (Out.MinDep >= Depth && !Stats.BudgetExhausted) {
+      if (Opts.UseMemo)
+        Memo.emplace(std::move(K), Out.A);
+      Out.MinDep = Unconstrained;
+    }
+    return Out;
+  }
+
+  EvalOut evalUncached(const syntax::Term *T, const StoreT &Sigma,
+                       uint32_t Credit, uint32_t Depth) {
+    using namespace syntax;
+
+    if (const auto *VT = dyn_cast<ValueTerm>(T))
+      return EvalOut{Answer{phi(VT->value(), Sigma), Sigma},
+                     Unconstrained};
+
+    const auto *Let = cast<LetTerm>(T);
+    const Term *Bound = Let->bound();
+    uint32_t X = Vars->of(Let->var());
+
+    switch (Bound->kind()) {
+    case TermKind::TK_Value: {
+      Val U = phi(cast<ValueTerm>(Bound)->value(), Sigma);
+      StoreT S = Sigma;
+      S.joinAt(X, U);
+      return evalTerm(Let->body(), S, Credit, Depth + 1);
+    }
+
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(Bound);
+      Val Fun = phi(cast<ValueTerm>(App->fun())->value(), Sigma);
+      Val Arg = phi(cast<ValueTerm>(App->arg())->value(), Sigma);
+
+      domain::CloSet &Rec = Cfg.Callees[App];
+      for (const domain::CloRef &C : Fun.Clos)
+        Rec.insert(C);
+
+      if (Fun.Clos.empty()) {
+        ++Stats.DeadPaths;
+        return EvalOut{std::nullopt, Unconstrained};
+      }
+
+      bool Duplicate = Credit > 0 && Fun.Clos.size() > 1;
+      uint32_t SubCredit = Duplicate ? Credit - 1 : Credit;
+
+      std::optional<Answer> Acc;
+      uint32_t MinDep = Unconstrained;
+      std::optional<Answer> BodyAcc; // used only when duplicating
+      for (const domain::CloRef &C : Fun.Clos) {
+        std::optional<Answer> Ai;
+        switch (C.Tag) {
+        case domain::CloRef::K::Inc:
+          Ai = Answer{Val::number(D::add1(Arg.Num)), Sigma};
+          break;
+        case domain::CloRef::K::Dec:
+          Ai = Answer{Val::number(D::sub1(Arg.Num)), Sigma};
+          break;
+        case domain::CloRef::K::Lam: {
+          StoreT S = Sigma;
+          S.joinAt(Vars->of(C.Lam->param()), Arg);
+          EvalOut R = evalTerm(C.Lam->body(), S, SubCredit, Depth + 1);
+          Ai = std::move(R.A);
+          MinDep = std::min(MinDep, R.MinDep);
+          break;
+        }
+        }
+        if (!Ai)
+          continue; // this callee path died
+        if (Duplicate) {
+          // Continue the let-body separately on this path.
+          StoreT S = std::move(Ai->Store);
+          S.joinAt(X, Ai->Value);
+          EvalOut Body = evalTerm(Let->body(), S, SubCredit, Depth + 1);
+          if (Body.A)
+            BodyAcc = BodyAcc ? Answer::join(*BodyAcc, *Body.A)
+                              : std::move(*Body.A);
+          MinDep = std::min(MinDep, Body.MinDep);
+        } else {
+          Acc = Acc ? Answer::join(*Acc, *Ai) : std::move(*Ai);
+        }
+      }
+
+      if (Duplicate)
+        return EvalOut{std::move(BodyAcc), MinDep};
+      if (!Acc)
+        return EvalOut{std::nullopt, MinDep};
+
+      StoreT S = std::move(Acc->Store);
+      S.joinAt(X, Acc->Value);
+      EvalOut Body = evalTerm(Let->body(), S, Credit, Depth + 1);
+      Body.MinDep = std::min(Body.MinDep, MinDep);
+      return Body;
+    }
+
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(Bound);
+      Val U0 = phi(cast<ValueTerm>(If->cond())->value(), Sigma);
+      domain::ZeroTest Zt = D::isZero(U0.Num);
+
+      bool ThenOnly = Zt == domain::ZeroTest::Zero && U0.Clos.empty();
+      bool ElseOnly = Zt == domain::ZeroTest::NonZero ||
+                      Zt == domain::ZeroTest::Bottom;
+
+      BranchInfo &BI = Cfg.Branches[If];
+      BI.ThenFeasible |= !ElseOnly;
+      BI.ElseFeasible |= !ThenOnly;
+      if (ThenOnly || ElseOnly)
+        ++Stats.PrunedBranches;
+
+      if (ThenOnly || ElseOnly) {
+        const Term *Branch = ThenOnly ? If->thenBranch() : If->elseBranch();
+        EvalOut Bi = evalTerm(Branch, Sigma, Credit, Depth + 1);
+        if (!Bi.A)
+          return EvalOut{std::nullopt, Bi.MinDep};
+        StoreT S = std::move(Bi.A->Store);
+        S.joinAt(X, Bi.A->Value);
+        EvalOut Body = evalTerm(Let->body(), S, Credit, Depth + 1);
+        Body.MinDep = std::min(Body.MinDep, Bi.MinDep);
+        return Body;
+      }
+
+      if (Credit > 0) {
+        // Duplicate: each branch continues the body separately.
+        std::optional<Answer> Acc;
+        uint32_t MinDep = Unconstrained;
+        for (const Term *Branch : {If->thenBranch(), If->elseBranch()}) {
+          EvalOut Bi = evalTerm(Branch, Sigma, Credit - 1, Depth + 1);
+          MinDep = std::min(MinDep, Bi.MinDep);
+          if (!Bi.A)
+            continue;
+          StoreT S = std::move(Bi.A->Store);
+          S.joinAt(X, Bi.A->Value);
+          EvalOut Body = evalTerm(Let->body(), S, Credit - 1, Depth + 1);
+          if (Body.A)
+            Acc = Acc ? Answer::join(*Acc, *Body.A) : std::move(*Body.A);
+          MinDep = std::min(MinDep, Body.MinDep);
+        }
+        return EvalOut{std::move(Acc), MinDep};
+      }
+
+      // Out of budget: Figure 4's merge.
+      EvalOut B1 = evalTerm(If->thenBranch(), Sigma, Credit, Depth + 1);
+      EvalOut B2 = evalTerm(If->elseBranch(), Sigma, Credit, Depth + 1);
+      uint32_t MinDep = std::min(B1.MinDep, B2.MinDep);
+      std::optional<Answer> Joined;
+      if (B1.A && B2.A)
+        Joined = Answer::join(*B1.A, *B2.A);
+      else if (B1.A)
+        Joined = std::move(B1.A);
+      else if (B2.A)
+        Joined = std::move(B2.A);
+      if (!Joined)
+        return EvalOut{std::nullopt, MinDep};
+      StoreT S = std::move(Joined->Store);
+      S.joinAt(X, Joined->Value);
+      EvalOut Body = evalTerm(Let->body(), S, Credit, Depth + 1);
+      Body.MinDep = std::min(Body.MinDep, MinDep);
+      return Body;
+    }
+
+    case TermKind::TK_Loop: {
+      StoreT S = Sigma;
+      S.joinAt(X, Val::number(D::naturals()));
+      return evalTerm(Let->body(), S, Credit, Depth + 1);
+    }
+
+    case TermKind::TK_Let:
+      assert(false && "not ANF: let-bound let");
+      return EvalOut{std::nullopt, Unconstrained};
+    }
+    assert(false && "unknown term kind");
+    return EvalOut{std::nullopt, Unconstrained};
+  }
+
+  const Context &Ctx;
+  const syntax::Term *Program;
+  std::vector<DirectBinding<D>> Initial;
+  uint32_t Budget;
+  AnalyzerOptions Opts;
+
+  std::shared_ptr<domain::VarIndex> Vars;
+  domain::CloSet CloTop;
+  AnalyzerStats Stats;
+  DirectCfg Cfg;
+
+  std::unordered_map<Key, std::optional<Answer>, KeyHash, KeyEq> Memo;
+  std::unordered_map<Key, uint32_t, KeyHash, KeyEq> Active;
+};
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_DUPANALYZER_H

@@ -1,0 +1,415 @@
+//===- analysis/SemanticCpsAnalyzer.h - Figure 5 analyzer -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic-CPS abstract collecting interpreter C_e of Figure 5,
+/// derived from the Figure 2 machine. Abstract continuations are lists of
+/// bare frames `(let (x []) M)` (environments dropped, Section 4.1).
+///
+/// Characteristic behaviour:
+///
+///  * At an application, `appk_e` applies each abstract closure and each
+///    application *continues through the entire rest of the program* (the
+///    continuation kappa); the answers are joined only at the very end.
+///  * At an unknown conditional, each branch likewise carries the whole
+///    continuation. This per-path duplication is what makes the analysis
+///    at least as precise as the direct one, strictly more precise in
+///    non-distributive analyses (Theorem 5.4) — and exponentially more
+///    expensive (Section 6.2).
+///  * The current continuation is always a single, known list — returns
+///    are never confused, so it is also at least as precise as the
+///    syntactic-CPS analysis (Theorem 5.5).
+///  * The `loop` rule — the join of running the continuation on every
+///    natural number — is *not computable* (Section 6.2); this
+///    implementation unrolls it LoopUnroll times and reports whether the
+///    join was still moving at the bound (Stats.LoopBounded), optionally
+///    adding a sound summary iterate (AnalyzerOptions::LoopSoundSummary).
+///
+/// Termination (modulo `loop`) uses the Section 4.4 cut: when a goal's
+/// (term, store) pair is already on the active path, the least precise
+/// value (T, CL_T) is returned *to the current continuation*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_SEMANTICCPSANALYZER_H
+#define CPSFLOW_ANALYSIS_SEMANTICCPSANALYZER_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Common.h"
+#include "analysis/Universe.h"
+#include "anf/Anf.h"
+#include "domain/AbsStore.h"
+#include "domain/AbsValue.h"
+#include "syntax/Ast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace analysis {
+
+/// Result of a Figure 5 run. The value/store types match the direct
+/// analyzer's, which is what makes the Theorem 5.4 comparison direct.
+template <typename D> struct SemanticResult {
+  using Val = domain::AbsVal<D>;
+
+  AnswerOf<Val> Answer;
+  AnalyzerStats Stats;
+  DirectCfg Cfg;
+  std::shared_ptr<domain::VarIndex> Vars;
+
+  Val valueOf(Symbol X) const {
+    if (!Vars->contains(X))
+      return Val::bot();
+    return Answer.Store.get(Vars->of(X));
+  }
+};
+
+/// The Figure 5 analyzer. Single-use.
+template <typename D> class SemanticCpsAnalyzer {
+public:
+  using Val = domain::AbsVal<D>;
+  using StoreT = domain::AbsStore<Val>;
+  using Answer = AnswerOf<Val>;
+
+  /// \pre \p Program is in A-normal form with unique binders.
+  SemanticCpsAnalyzer(const Context &Ctx, const syntax::Term *Program,
+                      std::vector<DirectBinding<D>> Initial = {},
+                      AnalyzerOptions Opts = AnalyzerOptions())
+      : Ctx(Ctx), Program(Program), Initial(std::move(Initial)), Opts(Opts) {
+    assert(anf::isAnfQuick(Program) && "Figure 5 requires A-normal form");
+
+    std::vector<const syntax::LamValue *> ExtraLams;
+    std::vector<Symbol> ExtraVars;
+    for (const DirectBinding<D> &B : this->Initial) {
+      ExtraVars.push_back(B.Var);
+      for (const domain::CloRef &C : B.Value.Clos)
+        if (C.Tag == domain::CloRef::K::Lam)
+          ExtraLams.push_back(C.Lam);
+    }
+    Vars = std::make_shared<domain::VarIndex>(
+        directVariableUniverse(Program, ExtraLams, ExtraVars));
+    CloTop = directClosureUniverse(Program, ExtraLams);
+  }
+
+  /// Runs the analysis with the empty continuation `nil`.
+  SemanticResult<D> run() {
+    StoreT Sigma0(Vars->size());
+    for (const DirectBinding<D> &B : Initial)
+      Sigma0.joinAt(Vars->of(B.Var), B.Value);
+
+    EvalOut Out = evalC(Program, /*K=*/nullptr, Sigma0, 0);
+
+    SemanticResult<D> R;
+    R.Answer = std::move(Out.A);
+    R.Stats = Stats;
+    R.Cfg = std::move(Cfg);
+    R.Vars = Vars;
+    return R;
+  }
+
+  const domain::CloSet &closureUniverse() const { return CloTop; }
+
+private:
+  static constexpr uint32_t Unconstrained =
+      std::numeric_limits<uint32_t>::max();
+
+  /// An abstract continuation: a hash-consed list of `(let (x []) M)`
+  /// frames. nullptr is nil. Hash-consing makes kappa equality a pointer
+  /// comparison in the memo keys.
+  struct KontNode {
+    const syntax::LetTerm *Frame;
+    const KontNode *Parent;
+    uint64_t H;
+  };
+
+  const KontNode *cons(const syntax::LetTerm *Frame, const KontNode *Parent) {
+    auto KeyPair = std::make_pair(static_cast<const void *>(Frame),
+                                  static_cast<const void *>(Parent));
+    auto It = KontCache.find(KeyPair);
+    if (It != KontCache.end())
+      return It->second;
+    uint64_t H = hashPointer(Frame);
+    hashCombine(H, Parent ? Parent->H : 0x717);
+    KontNodes.push_back(KontNode{Frame, Parent, H});
+    const KontNode *Node = &KontNodes.back();
+    KontCache.emplace(KeyPair, Node);
+    return Node;
+  }
+
+  struct EvalOut {
+    Answer A;
+    uint32_t MinDep;
+  };
+
+  /// Memo key: (term, kappa, store). Active key: (term, store) with
+  /// kappa == nullptr as a sentinel (terms never collide across the two
+  /// tables since they are separate maps).
+  struct Key {
+    const void *Node;
+    const KontNode *Kont;
+    StoreT Store;
+    uint64_t H;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.H; }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
+      return A.Node == B.Node && A.Kont == B.Kont && A.Store == B.Store;
+    }
+  };
+
+  Key makeKey(const void *Node, const KontNode *K, const StoreT &Sigma) const {
+    uint64_t H = hashPointer(Node);
+    hashCombine(H, K ? K->H : 0x171);
+    hashCombine(H, Sigma.hashValue());
+    return Key{Node, K, Sigma, H};
+  }
+
+  Answer bottomAnswer() const {
+    return Answer{Val::bot(), StoreT(Vars->size())};
+  }
+
+  Val cutValue() const {
+    Val V;
+    V.Num = D::top();
+    V.Clos = CloTop;
+    return V;
+  }
+
+  Val phi(const syntax::Value *V, const StoreT &Sigma) const {
+    using namespace syntax;
+    switch (V->kind()) {
+    case ValueKind::VK_Num:
+      return Val::number(D::constant(cast<NumValue>(V)->value()));
+    case ValueKind::VK_Var:
+      return Sigma.get(Vars->of(cast<VarValue>(V)->name()));
+    case ValueKind::VK_Prim:
+      return Val::closures(domain::CloSet::single(
+          cast<PrimValue>(V)->op() == PrimOp::Add1 ? domain::CloRef::inc()
+                                                   : domain::CloRef::dec()));
+    case ValueKind::VK_Lam:
+      return Val::closures(
+          domain::CloSet::single(domain::CloRef::lam(cast<LamValue>(V))));
+    }
+    assert(false && "unknown value kind");
+    return Val::bot();
+  }
+
+  /// appr_e: deliver \p U to \p K. nil yields the final answer.
+  EvalOut appre(const KontNode *K, const Val &U, const StoreT &Sigma,
+                uint32_t Depth) {
+    if (!K)
+      return EvalOut{Answer{U, Sigma}, Unconstrained};
+    StoreT S = Sigma;
+    S.joinAt(Vars->of(K->Frame->var()), U);
+    return evalC(K->Frame->body(), K->Parent, S, Depth + 1);
+  }
+
+  /// appk_e: apply each closure of \p Fun to \p Arg, each path carrying
+  /// the whole continuation \p K; join the final answers.
+  EvalOut appke(const syntax::AppTerm *Site, const Val &Fun, const Val &Arg,
+                const KontNode *K, const StoreT &Sigma, uint32_t Depth) {
+    domain::CloSet &Rec = Cfg.Callees[Site];
+    for (const domain::CloRef &C : Fun.Clos)
+      Rec.insert(C);
+
+    if (Fun.Clos.empty()) {
+      ++Stats.DeadPaths; // join over no paths
+      return EvalOut{bottomAnswer(), Unconstrained};
+    }
+
+    Answer Acc = bottomAnswer();
+    uint32_t MinDep = Unconstrained;
+    for (const domain::CloRef &C : Fun.Clos) {
+      EvalOut Ri;
+      switch (C.Tag) {
+      case domain::CloRef::K::Inc:
+        Ri = appre(K, Val::number(D::add1(Arg.Num)), Sigma, Depth + 1);
+        break;
+      case domain::CloRef::K::Dec:
+        Ri = appre(K, Val::number(D::sub1(Arg.Num)), Sigma, Depth + 1);
+        break;
+      case domain::CloRef::K::Lam: {
+        StoreT S = Sigma;
+        S.joinAt(Vars->of(C.Lam->param()), Arg);
+        Ri = evalC(C.Lam->body(), K, S, Depth + 1);
+        break;
+      }
+      }
+      Acc = Answer::join(Acc, Ri.A);
+      MinDep = std::min(MinDep, Ri.MinDep);
+    }
+    return EvalOut{std::move(Acc), MinDep};
+  }
+
+  EvalOut evalC(const syntax::Term *T, const KontNode *K, const StoreT &Sigma,
+                uint32_t Depth) {
+    if (Stats.BudgetExhausted)
+      return EvalOut{Answer{cutValue(), Sigma}, 0};
+    ++Stats.Goals;
+    if (Stats.Goals > Opts.MaxGoals) {
+      Stats.BudgetExhausted = true;
+      return EvalOut{Answer{cutValue(), Sigma}, 0};
+    }
+    Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
+
+    Key MKey = makeKey(T, K, Sigma);
+    if (auto It = Memo.find(MKey); Opts.UseMemo && It != Memo.end()) {
+      ++Stats.CacheHits;
+      return EvalOut{It->second, Unconstrained};
+    }
+
+    Key AKey = makeKey(T, nullptr, Sigma);
+    if (auto It = Active.find(AKey); It != Active.end()) {
+      // Section 4.4 cut: return (T, CL_T) *to the current continuation*.
+      ++Stats.Cuts;
+      uint32_t AncestorDepth = It->second;
+      EvalOut R = appre(K, cutValue(), Sigma, Depth + 1);
+      R.MinDep = std::min(R.MinDep, AncestorDepth);
+      return R;
+    }
+
+    Active.emplace(AKey, Depth);
+    EvalOut Out = evalUncached(T, K, Sigma, Depth);
+    Active.erase(AKey);
+    if (Out.MinDep >= Depth && !Stats.BudgetExhausted) {
+      if (Opts.UseMemo)
+        Memo.emplace(std::move(MKey), Out.A);
+      Out.MinDep = Unconstrained;
+    }
+    return Out;
+  }
+
+  EvalOut evalUncached(const syntax::Term *T, const KontNode *K,
+                       const StoreT &Sigma, uint32_t Depth) {
+    using namespace syntax;
+
+    // (V, kappa, sigma): deliver phi_e(V, sigma) to the continuation.
+    if (const auto *VT = dyn_cast<ValueTerm>(T))
+      return appre(K, phi(VT->value(), Sigma), Sigma, Depth);
+
+    const auto *Let = cast<LetTerm>(T);
+    const Term *Bound = Let->bound();
+
+    switch (Bound->kind()) {
+    case TermKind::TK_Value: {
+      Val U = phi(cast<ValueTerm>(Bound)->value(), Sigma);
+      StoreT S = Sigma;
+      S.joinAt(Vars->of(Let->var()), U);
+      return evalC(Let->body(), K, S, Depth + 1);
+    }
+
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(Bound);
+      Val Fun = phi(cast<ValueTerm>(App->fun())->value(), Sigma);
+      Val Arg = phi(cast<ValueTerm>(App->arg())->value(), Sigma);
+      const KontNode *K2 = cons(Let, K);
+      return appke(App, Fun, Arg, K2, Sigma, Depth);
+    }
+
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(Bound);
+      Val U0 = phi(cast<ValueTerm>(If->cond())->value(), Sigma);
+      domain::ZeroTest Zt = D::isZero(U0.Num);
+
+      bool ThenOnly = Zt == domain::ZeroTest::Zero && U0.Clos.empty();
+      bool ElseOnly = Zt == domain::ZeroTest::NonZero ||
+                      Zt == domain::ZeroTest::Bottom;
+
+      BranchInfo &BI = Cfg.Branches[If];
+      BI.ThenFeasible |= !ElseOnly;
+      BI.ElseFeasible |= !ThenOnly;
+      if (ThenOnly || ElseOnly)
+        ++Stats.PrunedBranches;
+
+      const KontNode *K2 = cons(Let, K);
+      if (ThenOnly || ElseOnly)
+        return evalC(ThenOnly ? If->thenBranch() : If->elseBranch(), K2,
+                     Sigma, Depth + 1);
+
+      // Both feasible: each branch analyzes the entire continuation; the
+      // *answers* are joined (contrast with Figure 4's store merge).
+      EvalOut B1 = evalC(If->thenBranch(), K2, Sigma, Depth + 1);
+      EvalOut B2 = evalC(If->elseBranch(), K2, Sigma, Depth + 1);
+      return EvalOut{Answer::join(B1.A, B2.A),
+                     std::min(B1.MinDep, B2.MinDep)};
+    }
+
+    case TermKind::TK_Loop: {
+      // Section 6.2: join of delivering each natural to the continuation.
+      // Exact computation is undecidable; unroll LoopUnroll times, then
+      // optionally add the sound naturals() summary iterate.
+      const KontNode *K2 = cons(Let, K);
+      // No finite unrolling is exact (Section 6.2): flag the truncation
+      // unconditionally — a join that *looks* converged at the bound is
+      // still untrustworthy (a probe beyond the bound may change it).
+      Stats.LoopBounded = true;
+      Answer Acc = bottomAnswer();
+      uint32_t MinDep = Unconstrained;
+      for (uint32_t I = 0; I < Opts.LoopUnroll; ++I) {
+        EvalOut Bi =
+            appre(K2, Val::number(D::constant(I)), Sigma, Depth + 1);
+        Acc = Answer::join(Acc, Bi.A);
+        MinDep = std::min(MinDep, Bi.MinDep);
+        if (Stats.BudgetExhausted)
+          break;
+      }
+      if (Opts.LoopSoundSummary) {
+        EvalOut Bs =
+            appre(K2, Val::number(D::naturals()), Sigma, Depth + 1);
+        Acc = Answer::join(Acc, Bs.A);
+        MinDep = std::min(MinDep, Bs.MinDep);
+      }
+      return EvalOut{std::move(Acc), MinDep};
+    }
+
+    case TermKind::TK_Let:
+      assert(false && "not ANF: let-bound let");
+      return EvalOut{bottomAnswer(), Unconstrained};
+    }
+    assert(false && "unknown term kind");
+    return EvalOut{bottomAnswer(), Unconstrained};
+  }
+
+  struct PairHash {
+    size_t operator()(const std::pair<const void *, const void *> &P) const {
+      uint64_t H = hashPointer(P.first);
+      hashCombine(H, hashPointer(P.second));
+      return H;
+    }
+  };
+
+  const Context &Ctx;
+  const syntax::Term *Program;
+  std::vector<DirectBinding<D>> Initial;
+  AnalyzerOptions Opts;
+
+  std::shared_ptr<domain::VarIndex> Vars;
+  domain::CloSet CloTop;
+  AnalyzerStats Stats;
+  DirectCfg Cfg;
+
+  std::deque<KontNode> KontNodes;
+  std::unordered_map<std::pair<const void *, const void *>, const KontNode *,
+                     PairHash>
+      KontCache;
+
+  std::unordered_map<Key, Answer, KeyHash, KeyEq> Memo;
+  std::unordered_map<Key, uint32_t, KeyHash, KeyEq> Active;
+};
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_SEMANTICCPSANALYZER_H

@@ -1,0 +1,402 @@
+//===- analysis/SyntacticCpsAnalyzer.h - Figure 6 analyzer ------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The syntactic-CPS abstract collecting interpreter M_e^s of Figure 6,
+/// derived from the Figure 3 interpreter. Abstract values are triples
+/// (number, closures, continuations): because the CPS transformation
+/// reifies the continuation into an ordinary value, the analysis must
+/// *collect*, at each continuation variable k, the set of continuations k
+/// may denote.
+///
+/// Characteristic behaviour:
+///
+///  * At a return `(k W)`, *every* continuation collected at k is applied
+///    and the results merged — Section 6.1's *false return*: distinct
+///    procedure returns are confused (Theorem 5.1's loss vs the direct
+///    analysis, Theorem 5.5's loss vs the semantic-CPS analysis).
+///  * At a conditional, each branch is a complete CPS program carrying its
+///    continuation, so non-distributive information is propagated per
+///    branch — Theorem 5.2's win over the direct analysis.
+///  * The `loopk` rule mirrors the Figure 5 loop rule and is likewise
+///    uncomputable exactly; see AnalyzerOptions::LoopUnroll.
+///
+/// Termination uses the Section 4.4 cut with the least precise value
+/// (T, CL_T, K_T).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_SYNTACTICCPSANALYZER_H
+#define CPSFLOW_ANALYSIS_SYNTACTICCPSANALYZER_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Common.h"
+#include "analysis/Universe.h"
+#include "cps/Transform.h"
+#include "domain/AbsStore.h"
+#include "domain/AbsValue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace analysis {
+
+/// One entry of the initial abstract store of a Figure 6 run (typically
+/// the delta_e-image of a direct binding; see Compare.h).
+template <typename D> struct CpsBinding {
+  Symbol Var;
+  domain::CpsAbsVal<D> Value;
+};
+
+/// Result of a Figure 6 run.
+template <typename D> struct SyntacticResult {
+  using Val = domain::CpsAbsVal<D>;
+
+  AnswerOf<Val> Answer;
+  AnalyzerStats Stats;
+  CpsCfg Cfg;
+  std::shared_ptr<domain::VarIndex> Vars;
+
+  Val valueOf(Symbol X) const {
+    if (!Vars->contains(X))
+      return Val::bot();
+    return Answer.Store.get(Vars->of(X));
+  }
+};
+
+/// The Figure 6 analyzer. Single-use.
+template <typename D> class SyntacticCpsAnalyzer {
+public:
+  using Val = domain::CpsAbsVal<D>;
+  using StoreT = domain::AbsStore<Val>;
+  using Answer = AnswerOf<Val>;
+
+  SyntacticCpsAnalyzer(const Context &Ctx, const cps::CpsProgram &Program,
+                       std::vector<CpsBinding<D>> Initial = {},
+                       AnalyzerOptions Opts = AnalyzerOptions())
+      : Ctx(Ctx), Program(Program), Initial(std::move(Initial)), Opts(Opts) {
+    std::vector<const cps::CpsLam *> ExtraLams;
+    std::vector<Symbol> ExtraVars;
+    for (const CpsBinding<D> &B : this->Initial) {
+      ExtraVars.push_back(B.Var);
+      for (const domain::CpsCloRef &C : B.Value.Clos)
+        if (C.Tag == domain::CpsCloRef::K::Lam)
+          ExtraLams.push_back(C.Lam);
+    }
+    Vars = std::make_shared<domain::VarIndex>(
+        cpsVariableUniverse(Program, ExtraLams, ExtraVars));
+    CloTop = cpsClosureUniverse(Program, ExtraLams);
+    KontTop = cpsKontUniverse(Program, ExtraLams);
+  }
+
+  /// Runs the analysis with TopK bound to {stop} (Section 5.1's initial
+  /// store entry k |-> (bot, {}, {stop})).
+  SyntacticResult<D> run() {
+    StoreT Sigma0(Vars->size());
+    for (const CpsBinding<D> &B : Initial)
+      Sigma0.joinAt(Vars->of(B.Var), B.Value);
+    Sigma0.joinAt(Vars->of(Program.TopK),
+                  Val::konts(domain::KontSet::single(domain::KontRef::stop())));
+
+    EvalOut Out = evalP(Program.Root, Sigma0, 0);
+
+    SyntacticResult<D> R;
+    R.Answer = std::move(Out.A);
+    R.Stats = Stats;
+    R.Cfg = std::move(Cfg);
+    R.Vars = Vars;
+    return R;
+  }
+
+  const domain::CpsCloSet &closureUniverse() const { return CloTop; }
+  const domain::KontSet &kontUniverse() const { return KontTop; }
+
+private:
+  static constexpr uint32_t Unconstrained =
+      std::numeric_limits<uint32_t>::max();
+
+  struct EvalOut {
+    Answer A;
+    uint32_t MinDep;
+  };
+
+  struct Key {
+    const void *Node;
+    StoreT Store;
+    uint64_t H;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.H; }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
+      return A.Node == B.Node && A.Store == B.Store;
+    }
+  };
+
+  Key makeKey(const void *Node, const StoreT &Sigma) const {
+    uint64_t H = hashPointer(Node);
+    hashCombine(H, Sigma.hashValue());
+    return Key{Node, Sigma, H};
+  }
+
+  Answer bottomAnswer() const {
+    return Answer{Val::bot(), StoreT(Vars->size())};
+  }
+
+  /// The Section 4.4 cut value (T, CL_T, K_T) with the current store.
+  Answer cutAnswer(const StoreT &Sigma) const {
+    Val V;
+    V.Num = D::top();
+    V.Clos = CloTop;
+    V.Konts = KontTop;
+    return Answer{std::move(V), Sigma};
+  }
+
+  // phi_e^s of Figure 6.
+  Val phi(const cps::CpsValue *W, const StoreT &Sigma) const {
+    using namespace cps;
+    switch (W->kind()) {
+    case CpsValueKind::WK_Num:
+      return Val::number(D::constant(cast<CpsNum>(W)->value()));
+    case CpsValueKind::WK_Var:
+      return Sigma.get(Vars->of(cast<CpsVar>(W)->name()));
+    case CpsValueKind::WK_Prim:
+      return Val::closures(domain::CpsCloSet::single(
+          cast<CpsPrim>(W)->op() == CpsPrimOp::Add1k
+              ? domain::CpsCloRef::inck()
+              : domain::CpsCloRef::deck()));
+    case CpsValueKind::WK_Lam:
+      return Val::closures(domain::CpsCloSet::single(
+          domain::CpsCloRef::lam(cast<CpsLam>(W))));
+    }
+    assert(false && "unknown cps value kind");
+    return Val::bot();
+  }
+
+  /// appr_e^s over a single abstract continuation.
+  EvalOut applyKont(const domain::KontRef &K, const Val &U,
+                    const StoreT &Sigma, uint32_t Depth) {
+    if (K.Tag == domain::KontRef::K::Stop)
+      return EvalOut{Answer{U, Sigma}, Unconstrained};
+    StoreT S = Sigma;
+    S.joinAt(Vars->of(K.Cont->param()), U);
+    return evalP(K.Cont->body(), S, Depth + 1);
+  }
+
+  /// appr_e^s over a continuation *set*: apply every continuation and
+  /// merge — the false-return join of Section 6.1.
+  EvalOut applyKontSet(const domain::KontSet &Ks, const Val &U,
+                       const StoreT &Sigma, uint32_t Depth) {
+    if (Ks.empty()) {
+      ++Stats.DeadPaths; // join over no paths
+      return EvalOut{bottomAnswer(), Unconstrained};
+    }
+
+    Answer Acc = bottomAnswer();
+    uint32_t MinDep = Unconstrained;
+    for (const domain::KontRef &K : Ks) {
+      EvalOut Ri = applyKont(K, U, Sigma, Depth);
+      Acc = Answer::join(Acc, Ri.A);
+      MinDep = std::min(MinDep, Ri.MinDep);
+    }
+    return EvalOut{std::move(Acc), MinDep};
+  }
+
+  EvalOut evalP(const cps::CpsTerm *P, const StoreT &Sigma, uint32_t Depth) {
+    if (Stats.BudgetExhausted)
+      return EvalOut{cutAnswer(Sigma), 0};
+    ++Stats.Goals;
+    if (Stats.Goals > Opts.MaxGoals) {
+      Stats.BudgetExhausted = true;
+      return EvalOut{cutAnswer(Sigma), 0};
+    }
+    Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
+
+    Key K = makeKey(P, Sigma);
+    if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
+      ++Stats.CacheHits;
+      return EvalOut{It->second, Unconstrained};
+    }
+    if (auto It = Active.find(K); It != Active.end()) {
+      ++Stats.Cuts;
+      return EvalOut{cutAnswer(Sigma), It->second};
+    }
+
+    Active.emplace(K, Depth);
+    EvalOut Out = evalUncached(P, Sigma, Depth);
+    Active.erase(K);
+    if (Out.MinDep >= Depth && !Stats.BudgetExhausted) {
+      if (Opts.UseMemo)
+        Memo.emplace(std::move(K), Out.A);
+      Out.MinDep = Unconstrained;
+    }
+    return Out;
+  }
+
+  EvalOut evalUncached(const cps::CpsTerm *P, const StoreT &Sigma,
+                       uint32_t Depth) {
+    using namespace cps;
+
+    switch (P->kind()) {
+    case CpsTermKind::PK_Ret: {
+      // (k W): apply every continuation collected at k and merge.
+      const auto *Ret = cast<CpsRet>(P);
+      Val KVal = Sigma.get(Vars->of(Ret->kvar()));
+      Val U = phi(Ret->arg(), Sigma);
+
+      domain::KontSet &Rec = Cfg.Returns[Ret];
+      for (const domain::KontRef &K : KVal.Konts)
+        Rec.insert(K);
+
+      return applyKontSet(KVal.Konts, U, Sigma, Depth);
+    }
+
+    case CpsTermKind::PK_LetVal: {
+      const auto *Let = cast<CpsLetVal>(P);
+      Val U = phi(Let->bound(), Sigma);
+      StoreT S = Sigma;
+      S.joinAt(Vars->of(Let->var()), U);
+      return evalP(Let->body(), S, Depth + 1);
+    }
+
+    case CpsTermKind::PK_Call: {
+      // (W1 W2 (lambda (x) P')): apply each closure; user closures get
+      // the literal continuation *joined into* their k parameter's store
+      // entry — the collection that later causes false returns.
+      const auto *Call = cast<CpsCall>(P);
+      Val Fun = phi(Call->fun(), Sigma);
+      Val Arg = phi(Call->arg(), Sigma);
+      domain::KontRef Kont = domain::KontRef::cont(Call->cont());
+
+      domain::CpsCloSet &Rec = Cfg.Callees[Call];
+      for (const domain::CpsCloRef &C : Fun.Clos)
+        Rec.insert(C);
+
+      if (Fun.Clos.empty()) {
+        ++Stats.DeadPaths; // join over no paths
+        return EvalOut{bottomAnswer(), Unconstrained};
+      }
+
+      Answer Acc = bottomAnswer();
+      uint32_t MinDep = Unconstrained;
+      for (const domain::CpsCloRef &C : Fun.Clos) {
+        EvalOut Ri;
+        switch (C.Tag) {
+        case domain::CpsCloRef::K::Inck:
+          Ri = applyKont(Kont, Val::number(D::add1(Arg.Num)), Sigma,
+                         Depth + 1);
+          break;
+        case domain::CpsCloRef::K::Deck:
+          Ri = applyKont(Kont, Val::number(D::sub1(Arg.Num)), Sigma,
+                         Depth + 1);
+          break;
+        case domain::CpsCloRef::K::Lam: {
+          StoreT S = Sigma;
+          S.joinAt(Vars->of(C.Lam->param()), Arg);
+          S.joinAt(Vars->of(C.Lam->kparam()),
+                   Val::konts(domain::KontSet::single(Kont)));
+          Ri = evalP(C.Lam->body(), S, Depth + 1);
+          break;
+        }
+        }
+        Acc = Answer::join(Acc, Ri.A);
+        MinDep = std::min(MinDep, Ri.MinDep);
+      }
+      return EvalOut{std::move(Acc), MinDep};
+    }
+
+    case CpsTermKind::PK_If: {
+      // (let (k (lambda (x) P')) (if0 W0 P1 P2)): name the join
+      // continuation, then each feasible branch is analyzed as a complete
+      // program (per-branch duplication, Theorem 5.2).
+      const auto *If = cast<CpsIf>(P);
+      Val U0 = phi(If->cond(), Sigma);
+      domain::ZeroTest Zt = D::isZero(U0.Num);
+
+      bool ThenOnly = Zt == domain::ZeroTest::Zero && U0.Clos.empty() &&
+                      U0.Konts.empty();
+      bool ElseOnly = Zt == domain::ZeroTest::NonZero ||
+                      Zt == domain::ZeroTest::Bottom;
+
+      BranchInfo &BI = Cfg.Branches[If];
+      BI.ThenFeasible |= !ElseOnly;
+      BI.ElseFeasible |= !ThenOnly;
+      if (ThenOnly || ElseOnly)
+        ++Stats.PrunedBranches;
+
+      StoreT S = Sigma;
+      S.joinAt(Vars->of(If->kvar()),
+               Val::konts(domain::KontSet::single(
+                   domain::KontRef::cont(If->join()))));
+
+      if (ThenOnly || ElseOnly)
+        return evalP(ThenOnly ? If->thenBranch() : If->elseBranch(), S,
+                     Depth + 1);
+
+      EvalOut B1 = evalP(If->thenBranch(), S, Depth + 1);
+      EvalOut B2 = evalP(If->elseBranch(), S, Depth + 1);
+      return EvalOut{Answer::join(B1.A, B2.A),
+                     std::min(B1.MinDep, B2.MinDep)};
+    }
+
+    case CpsTermKind::PK_Loop: {
+      // loopk: deliver each natural to the continuation and join —
+      // uncomputable exactly (Section 6.2); bounded unroll as in Figure 5.
+      const auto *Loop = cast<CpsLoop>(P);
+      domain::KontRef Kont = domain::KontRef::cont(Loop->cont());
+      // No finite unrolling is exact (Section 6.2): flag the truncation
+      // unconditionally — a join that *looks* converged at the bound is
+      // still untrustworthy (a probe beyond the bound may change it).
+      Stats.LoopBounded = true;
+      Answer Acc = bottomAnswer();
+      uint32_t MinDep = Unconstrained;
+      for (uint32_t I = 0; I < Opts.LoopUnroll; ++I) {
+        EvalOut Bi =
+            applyKont(Kont, Val::number(D::constant(I)), Sigma, Depth + 1);
+        Acc = Answer::join(Acc, Bi.A);
+        MinDep = std::min(MinDep, Bi.MinDep);
+        if (Stats.BudgetExhausted)
+          break;
+      }
+      if (Opts.LoopSoundSummary) {
+        EvalOut Bs =
+            applyKont(Kont, Val::number(D::naturals()), Sigma, Depth + 1);
+        Acc = Answer::join(Acc, Bs.A);
+        MinDep = std::min(MinDep, Bs.MinDep);
+      }
+      return EvalOut{std::move(Acc), MinDep};
+    }
+    }
+    assert(false && "unknown cps term kind");
+    return EvalOut{bottomAnswer(), Unconstrained};
+  }
+
+  const Context &Ctx;
+  const cps::CpsProgram &Program;
+  std::vector<CpsBinding<D>> Initial;
+  AnalyzerOptions Opts;
+
+  std::shared_ptr<domain::VarIndex> Vars;
+  domain::CpsCloSet CloTop;
+  domain::KontSet KontTop;
+  AnalyzerStats Stats;
+  CpsCfg Cfg;
+
+  std::unordered_map<Key, Answer, KeyHash, KeyEq> Memo;
+  std::unordered_map<Key, uint32_t, KeyHash, KeyEq> Active;
+};
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_SYNTACTICCPSANALYZER_H

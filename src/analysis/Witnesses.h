@@ -1,0 +1,121 @@
+//===- analysis/Witnesses.h - Theorem witness programs ----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The witness programs of the Section 5 theorems, exactly as the paper's
+/// proofs give them, packaged with their initial abstract stores and CPS
+/// transforms:
+///
+///  * Theorem 5.1 — `(let (a1 (f 1)) (let (a2 (f 2)) a2))` with f bound
+///    to the identity closure. The direct analysis finds a1 = 1; the
+///    syntactic-CPS analysis confuses the two returns of f and loses it.
+///  * Theorem 5.2a — two stacked conditionals where the CPS analyses
+///    propagate the constant 3 per branch while the direct analysis
+///    merges the branches and loses everything about a2.
+///  * Theorem 5.2b — a call to one of two constant-returning closures
+///    followed by conditionals; the CPS analyses find a2 = 5 per path.
+///
+/// Bindings are recorded domain-independently and converted per numeric
+/// domain on demand, so every witness runs under every domain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_WITNESSES_H
+#define CPSFLOW_ANALYSIS_WITNESSES_H
+
+#include "analysis/Compare.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "cps/Transform.h"
+#include "syntax/Ast.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cpsflow {
+namespace analysis {
+
+/// A domain-independent initial-store entry.
+struct AbsBindingSpec {
+  Symbol Var;
+  bool NumTop = false;                ///< numeric component is top
+  std::optional<int64_t> NumConst;    ///< or the abstraction of a constant
+  std::vector<const syntax::LamValue *> Lams; ///< closures
+};
+
+/// A packaged witness: program, transform, initial store, and the
+/// variables whose store entries the paper's proof talks about. The
+/// workload families of gen/Workloads.h produce the same shape.
+struct Witness {
+  std::string Name;
+  const syntax::Term *Anf = nullptr;
+  cps::CpsProgram Cps;
+  std::vector<AbsBindingSpec> Bindings;
+  std::vector<Symbol> InterestingVars;
+  /// For parameterized workloads: the single variable the experiment
+  /// reports (invalid for the theorem witnesses).
+  Symbol Probe;
+};
+
+/// Builds the Theorem 5.1 witness in \p Ctx.
+Witness theorem51(Context &Ctx);
+/// Builds the Theorem 5.2 first witness (conditional merging).
+Witness theorem52a(Context &Ctx);
+/// Builds the Theorem 5.2 second witness (call-site merging).
+Witness theorem52b(Context &Ctx);
+
+/// Packages an arbitrary ANF program (no initial bindings) as a witness:
+/// transforms it and selects its let-bound variables as interesting.
+Witness packageProgram(Context &Ctx, std::string Name,
+                       const syntax::Term *Anf);
+
+/// Completes a hand-assembled witness (Name, Anf, Bindings already set):
+/// CPS-transforms the program and registers every binding lambda with the
+/// transform so delta_e covers it. Used by the gen/Workloads.h families.
+void finalizeWitness(Context &Ctx, Witness &W);
+
+/// Instantiates the bindings at numeric domain \p D for the direct and
+/// semantic analyzers.
+template <typename D>
+std::vector<DirectBinding<D>> directBindings(const Witness &W) {
+  std::vector<DirectBinding<D>> Out;
+  for (const AbsBindingSpec &B : W.Bindings) {
+    domain::AbsVal<D> V;
+    if (B.NumTop)
+      V.Num = D::top();
+    else if (B.NumConst)
+      V.Num = D::constant(*B.NumConst);
+    for (const syntax::LamValue *Lam : B.Lams)
+      V.Clos.insert(domain::CloRef::lam(Lam));
+    Out.push_back(DirectBinding<D>{B.Var, std::move(V)});
+  }
+  return Out;
+}
+
+/// Instantiates the bindings for the syntactic-CPS analyzer: the
+/// delta_e-image of the direct bindings (Section 5.1 seeds the CPS run
+/// with delta_e(sigma)).
+template <typename D>
+std::vector<CpsBinding<D>> cpsBindings(const Witness &W) {
+  std::vector<CpsBinding<D>> Out;
+  for (const AbsBindingSpec &B : W.Bindings) {
+    domain::AbsVal<D> V;
+    if (B.NumTop)
+      V.Num = D::top();
+    else if (B.NumConst)
+      V.Num = D::constant(*B.NumConst);
+    for (const syntax::LamValue *Lam : B.Lams)
+      V.Clos.insert(domain::CloRef::lam(Lam));
+    Out.push_back(CpsBinding<D>{B.Var, deltaE<D>(V, W.Cps)});
+  }
+  return Out;
+}
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_WITNESSES_H

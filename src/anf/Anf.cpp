@@ -1,0 +1,210 @@
+//===- anf/Anf.cpp - A-normalization ----------------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "anf/Anf.h"
+
+#include "syntax/Builder.h"
+#include "syntax/Rename.h"
+
+#include <functional>
+
+using namespace cpsflow;
+using namespace cpsflow::syntax;
+
+namespace {
+
+/// The normalizer in continuation style: `norm(M, K)` produces an ANF term
+/// that computes M and delivers its result (a syntactic value) to the
+/// term-building continuation K. Intermediate results of applications,
+/// conditionals, and loops are named with fresh `t%N` variables.
+class Normalizer {
+  using ValueK = std::function<const Term *(const Value *)>;
+  using Thunk = std::function<const Term *()>;
+
+public:
+  explicit Normalizer(Context &Ctx) : Ctx(Ctx), Build(Ctx) {}
+
+  const Term *normTerm(const Term *T) {
+    return norm(T, [&](const Value *V) -> const Term * {
+      return Build.val(V, T->loc());
+    });
+  }
+
+private:
+  const Term *norm(const Term *T, const ValueK &K) {
+    switch (T->kind()) {
+    case TermKind::TK_Value:
+      return K(normValue(cast<ValueTerm>(T)->value()));
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(T);
+      return norm(App->fun(), [&](const Value *Fun) {
+        return norm(App->arg(), [&](const Value *Arg) {
+          Symbol Tmp = Ctx.fresh("t");
+          return Build.let(Tmp, Build.appVV(Fun, Arg, T->loc()),
+                           K(Build.var(Tmp, T->loc())), T->loc());
+        });
+      });
+    }
+    case TermKind::TK_Let: {
+      const auto *Let = cast<LetTerm>(T);
+      return bind(Let->bound(), Let->var(), Let->loc(),
+                  [&] { return norm(Let->body(), K); });
+    }
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(T);
+      return norm(If->cond(), [&](const Value *Cond) {
+        Symbol Tmp = Ctx.fresh("t");
+        const Term *Joined =
+            Build.if0(Build.val(Cond, If->loc()), normTerm(If->thenBranch()),
+                      normTerm(If->elseBranch()), If->loc());
+        return Build.let(Tmp, Joined, K(Build.var(Tmp, T->loc())), T->loc());
+      });
+    }
+    case TermKind::TK_Loop: {
+      Symbol Tmp = Ctx.fresh("t");
+      return Build.let(Tmp, Build.loop(T->loc()),
+                       K(Build.var(Tmp, T->loc())), T->loc());
+    }
+    }
+    assert(false && "unknown term kind");
+    return nullptr;
+  }
+
+  /// Produces `(let (X B) Body())` where B is an ANF-legal binding for the
+  /// term \p Bound; nested lets are flattened (the A-reorderings).
+  const Term *bind(const Term *Bound, Symbol X, SourceLoc Loc,
+                   const Thunk &Body) {
+    switch (Bound->kind()) {
+    case TermKind::TK_Value: {
+      const Value *V = normValue(cast<ValueTerm>(Bound)->value());
+      return Build.let(X, Build.val(V, Bound->loc()), Body(), Loc);
+    }
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(Bound);
+      return norm(App->fun(), [&](const Value *Fun) {
+        return norm(App->arg(), [&](const Value *Arg) {
+          return Build.let(X, Build.appVV(Fun, Arg, Bound->loc()), Body(),
+                           Loc);
+        });
+      });
+    }
+    case TermKind::TK_Let: {
+      // (let (x (let (y N1) N2)) M) => (let (y N1) (let (x N2) M))
+      const auto *Inner = cast<LetTerm>(Bound);
+      return bind(Inner->bound(), Inner->var(), Inner->loc(),
+                  [&] { return bind(Inner->body(), X, Loc, Body); });
+    }
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(Bound);
+      return norm(If->cond(), [&](const Value *Cond) {
+        const Term *Joined =
+            Build.if0(Build.val(Cond, If->loc()), normTerm(If->thenBranch()),
+                      normTerm(If->elseBranch()), If->loc());
+        return Build.let(X, Joined, Body(), Loc);
+      });
+    }
+    case TermKind::TK_Loop:
+      return Build.let(X, Build.loop(Bound->loc()), Body(), Loc);
+    }
+    assert(false && "unknown term kind");
+    return nullptr;
+  }
+
+  const Value *normValue(const Value *V) {
+    if (const auto *Lam = dyn_cast<LamValue>(V))
+      return Build.lam(Lam->param(), normTerm(Lam->body()), Lam->loc());
+    return V;
+  }
+
+  Context &Ctx;
+  Builder Build;
+};
+
+//===----------------------------------------------------------------------===//
+// Grammar recognition
+//===----------------------------------------------------------------------===//
+
+Result<bool> checkAnfValue(const Value *V);
+
+Result<bool> checkAnfTerm(const Term *T) {
+  // Walk the let spine iteratively; bodies can be long.
+  while (true) {
+    if (const auto *VT = dyn_cast<ValueTerm>(T))
+      return checkAnfValue(VT->value());
+
+    const auto *Let = dyn_cast<LetTerm>(T);
+    if (!Let)
+      return Error("ANF violation: term is neither a value nor a let",
+                   T->loc());
+
+    const Term *Bound = Let->bound();
+    switch (Bound->kind()) {
+    case TermKind::TK_Value: {
+      Result<bool> R = checkAnfValue(cast<ValueTerm>(Bound)->value());
+      if (!R)
+        return R;
+      break;
+    }
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(Bound);
+      const auto *Fun = dyn_cast<ValueTerm>(App->fun());
+      const auto *Arg = dyn_cast<ValueTerm>(App->arg());
+      if (!Fun || !Arg)
+        return Error("ANF violation: application of non-values",
+                     Bound->loc());
+      if (Result<bool> R = checkAnfValue(Fun->value()); !R)
+        return R;
+      if (Result<bool> R = checkAnfValue(Arg->value()); !R)
+        return R;
+      break;
+    }
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(Bound);
+      const auto *Cond = dyn_cast<ValueTerm>(If->cond());
+      if (!Cond)
+        return Error("ANF violation: if0 condition is not a value",
+                     Bound->loc());
+      if (Result<bool> R = checkAnfValue(Cond->value()); !R)
+        return R;
+      if (Result<bool> R = checkAnfTerm(If->thenBranch()); !R)
+        return R;
+      if (Result<bool> R = checkAnfTerm(If->elseBranch()); !R)
+        return R;
+      break;
+    }
+    case TermKind::TK_Loop:
+      break;
+    case TermKind::TK_Let:
+      return Error("ANF violation: let-bound let (not flattened)",
+                   Bound->loc());
+    }
+    T = Let->body();
+  }
+}
+
+Result<bool> checkAnfValue(const Value *V) {
+  if (const auto *Lam = dyn_cast<LamValue>(V))
+    return checkAnfTerm(Lam->body());
+  return true;
+}
+
+} // namespace
+
+const Term *cpsflow::anf::normalize(Context &Ctx, const Term *T) {
+  return Normalizer(Ctx).normTerm(T);
+}
+
+const Term *cpsflow::anf::normalizeProgram(Context &Ctx, const Term *T) {
+  const Term *Unique = renameUnique(Ctx, T);
+  return normalize(Ctx, Unique);
+}
+
+Result<bool> cpsflow::anf::isAnf(const Term *T) { return checkAnfTerm(T); }
+
+bool cpsflow::anf::isAnfQuick(const Term *T) {
+  Result<bool> R = isAnf(T);
+  return R.hasValue();
+}

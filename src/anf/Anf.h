@@ -1,0 +1,56 @@
+//===- anf/Anf.h - A-normalization ------------------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A-normalization (Section 2 of the paper).
+///
+/// The analyses assume every intermediate result is named. The restricted
+/// subset the paper works with — A-normal form — is:
+///
+/// \code
+///   M ::= V | (let (x V) M) | (let (x (V V)) M)
+///       | (let (x (if0 V M M)) M) | (let (x (loop)) M)
+///   V ::= n | x | add1 | sub1 | (lambda (x) M)
+/// \endcode
+///
+/// normalize implements the A-reductions: it names intermediate results
+/// (first phase) and re-orders expressions into evaluation order (second
+/// phase), e.g. `(add1 (let (x V) 0))` becomes `(let (x V) (let (t (add1
+/// 0)) t))`. The transformation preserves the direct semantics; tests check
+/// this against the Figure 1 interpreter on random programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANF_ANF_H
+#define CPSFLOW_ANF_ANF_H
+
+#include "support/Result.h"
+#include "syntax/Ast.h"
+
+namespace cpsflow {
+namespace anf {
+
+/// A-normalizes \p T. Fresh names for intermediate results are drawn from
+/// \p Ctx. The input need not have unique binders, but the output does not
+/// re-establish uniqueness for user binders — run syntax::renameUnique
+/// first (or use normalizeProgram) when feeding analyzers.
+const syntax::Term *normalize(Context &Ctx, const syntax::Term *T);
+
+/// Convenience pipeline: alpha-rename to unique binders, then normalize.
+/// The result satisfies both syntax::checkUniqueBinders and isAnf.
+const syntax::Term *normalizeProgram(Context &Ctx, const syntax::Term *T);
+
+/// Checks that \p T is in the restricted subset above. \returns an error
+/// locating the first violation otherwise.
+Result<bool> isAnf(const syntax::Term *T);
+
+/// True iff \p T is already in A-normal form (discarding the diagnostic).
+bool isAnfQuick(const syntax::Term *T);
+
+} // namespace anf
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANF_ANF_H

@@ -1,0 +1,264 @@
+//===- anf/Reductions.cpp - The A-reductions, step by step ------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "anf/Reductions.h"
+
+#include "anf/Anf.h"
+#include "syntax/Builder.h"
+
+#include <functional>
+#include <optional>
+
+using namespace cpsflow;
+using namespace cpsflow::anf;
+using namespace cpsflow::syntax;
+
+namespace {
+
+/// Leftmost-outermost reduction. Terms are visited in evaluation order;
+/// the first violation of the restricted grammar is rewritten.
+class Stepper {
+public:
+  explicit Stepper(Context &Ctx) : Ctx(Ctx), B(Ctx) {}
+
+  /// Steps \p T in tail position (whole program, let body, or branch of a
+  /// let-bound conditional).
+  std::optional<AStep> tail(const Term *T) {
+    switch (T->kind()) {
+    case TermKind::TK_Value:
+      return insideValue(cast<ValueTerm>(T)->value(), [&](const Value *V) {
+        return static_cast<const Term *>(B.val(V, T->loc()));
+      });
+
+    case TermKind::TK_App: {
+      // A3 with the empty context: name the tail call.
+      Symbol Tmp = Ctx.fresh("t");
+      return AStep{B.let(Tmp, T, B.varTerm(Tmp, T->loc()), T->loc()),
+                   ARule::A3_NameApp};
+    }
+    case TermKind::TK_If0: {
+      Symbol Tmp = Ctx.fresh("t");
+      return AStep{B.let(Tmp, T, B.varTerm(Tmp, T->loc()), T->loc()),
+                   ARule::A2_NameIf0};
+    }
+    case TermKind::TK_Loop: {
+      Symbol Tmp = Ctx.fresh("t");
+      return AStep{B.let(Tmp, T, B.varTerm(Tmp, T->loc()), T->loc()),
+                   ARule::A4_NameLoop};
+    }
+
+    case TermKind::TK_Let: {
+      const auto *Let = cast<LetTerm>(T);
+      // First reduce the binding, then the body.
+      if (std::optional<AStep> S = binding(Let))
+        return S;
+      if (std::optional<AStep> S = tail(Let->body()))
+        return AStep{B.let(Let->var(), Let->bound(), S->Next, T->loc()),
+                     S->Rule};
+      return std::nullopt;
+    }
+    }
+    return std::nullopt;
+  }
+
+private:
+  using ValueWrap = std::function<const Term *(const Value *)>;
+
+  /// xi: reduce inside a lambda body. \p Wrap rebuilds the enclosing term
+  /// from the (possibly rewritten) value.
+  std::optional<AStep> insideValue(const Value *V, const ValueWrap &Wrap) {
+    const auto *Lam = dyn_cast<LamValue>(V);
+    if (!Lam)
+      return std::nullopt;
+    std::optional<AStep> S = tail(Lam->body());
+    if (!S)
+      return std::nullopt;
+    return AStep{Wrap(B.lam(Lam->param(), S->Next, V->loc())), S->Rule};
+  }
+
+  /// Reduces inside the binding of \p Let, the evaluation context
+  /// (let (x []) M). \returns nullopt if the binding is already a legal
+  /// ANF right-hand side with fully reduced subparts.
+  std::optional<AStep> binding(const LetTerm *Let) {
+    const Term *Bound = Let->bound();
+    SourceLoc Loc = Let->loc();
+    auto Rebind = [&](const Term *NewBound) {
+      return B.let(Let->var(), NewBound, Let->body(), Loc);
+    };
+
+    switch (Bound->kind()) {
+    case TermKind::TK_Value:
+      // xi inside a bound lambda.
+      return insideValue(cast<ValueTerm>(Bound)->value(),
+                         [&](const Value *V) {
+                           return Rebind(B.val(V, Bound->loc()));
+                         });
+
+    case TermKind::TK_Let: {
+      // A1: (let (x (let (y N1) N2)) M) --> (let (y N1) (let (x N2) M)).
+      const auto *Inner = cast<LetTerm>(Bound);
+      return AStep{B.let(Inner->var(), Inner->bound(),
+                         B.let(Let->var(), Inner->body(), Let->body(), Loc),
+                         Loc),
+                   ARule::A1_LiftLet};
+    }
+
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(Bound);
+      // Reduce the operator to a value first, then the operand.
+      if (std::optional<AStep> S = operandPosition(
+              App->fun(), [&](const Term *F) {
+                return Rebind(B.app(F, App->arg(), Bound->loc()));
+              },
+              [&](Symbol Tmp) {
+                return Rebind(
+                    B.app(B.varTerm(Tmp), App->arg(), Bound->loc()));
+              },
+              Let))
+        return S;
+      if (std::optional<AStep> S = operandPosition(
+              App->arg(), [&](const Term *A) {
+                return Rebind(B.app(App->fun(), A, Bound->loc()));
+              },
+              [&](Symbol Tmp) {
+                return Rebind(
+                    B.app(App->fun(), B.varTerm(Tmp), Bound->loc()));
+              },
+              Let))
+        return S;
+      // Both parts are values: xi inside them.
+      if (std::optional<AStep> S = insideValue(
+              cast<ValueTerm>(App->fun())->value(), [&](const Value *V) {
+                return Rebind(
+                    B.app(B.val(V), App->arg(), Bound->loc()));
+              }))
+        return S;
+      return insideValue(cast<ValueTerm>(App->arg())->value(),
+                         [&](const Value *V) {
+                           return Rebind(B.app(App->fun(), B.val(V),
+                                               Bound->loc()));
+                         });
+    }
+
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(Bound);
+      // Reduce the condition to a value.
+      if (std::optional<AStep> S = operandPosition(
+              If->cond(), [&](const Term *C) {
+                return Rebind(B.if0(C, If->thenBranch(), If->elseBranch(),
+                                    Bound->loc()));
+              },
+              [&](Symbol Tmp) {
+                return Rebind(B.if0(B.varTerm(Tmp), If->thenBranch(),
+                                    If->elseBranch(), Bound->loc()));
+              },
+              Let))
+        return S;
+      // xi inside the condition value, then the branches (tail).
+      if (std::optional<AStep> S = insideValue(
+              cast<ValueTerm>(If->cond())->value(), [&](const Value *V) {
+                return Rebind(B.if0(B.val(V), If->thenBranch(),
+                                    If->elseBranch(), Bound->loc()));
+              }))
+        return S;
+      if (std::optional<AStep> S = tail(If->thenBranch()))
+        return AStep{Rebind(B.if0(If->cond(), S->Next, If->elseBranch(),
+                                  Bound->loc())),
+                     S->Rule};
+      if (std::optional<AStep> S = tail(If->elseBranch()))
+        return AStep{Rebind(B.if0(If->cond(), If->thenBranch(), S->Next,
+                                  Bound->loc())),
+                     S->Rule};
+      return std::nullopt;
+    }
+
+    case TermKind::TK_Loop:
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  using TermWrap = std::function<const Term *(const Term *)>;
+  using NameWrap = std::function<const Term *(Symbol)>;
+
+  /// Handles a strict operand position inside a let binding: the
+  /// evaluation context E = (let (x inner-context) M). If the operand is
+  /// a let, A1 hoists it past the whole context; if it is a serious term
+  /// (application, conditional, loop), A2-A4 name it. \p Rewrap rebuilds
+  /// the let with a replaced operand; \p NameUse rebuilds it with the
+  /// operand replaced by a fresh variable.
+  std::optional<AStep> operandPosition(const Term *Operand,
+                                       const TermWrap &Rewrap,
+                                       const NameWrap &NameUse,
+                                       const LetTerm *Let) {
+    switch (Operand->kind()) {
+    case TermKind::TK_Value:
+      return std::nullopt; // already a value; xi handled by the caller
+
+    case TermKind::TK_Let: {
+      // A1: E[(let (y N1) N2)] --> (let (y N1) E[N2]) where E is the
+      // enclosing binding context with this operand as the hole.
+      const auto *Inner = cast<LetTerm>(Operand);
+      return AStep{B.let(Inner->var(), Inner->bound(),
+                         Rewrap(Inner->body()), Let->loc()),
+                   ARule::A1_LiftLet};
+    }
+
+    case TermKind::TK_App: {
+      Symbol Tmp = Ctx.fresh("t");
+      return AStep{B.let(Tmp, Operand, NameUse(Tmp), Let->loc()),
+                   ARule::A3_NameApp};
+    }
+    case TermKind::TK_If0: {
+      Symbol Tmp = Ctx.fresh("t");
+      return AStep{B.let(Tmp, Operand, NameUse(Tmp), Let->loc()),
+                   ARule::A2_NameIf0};
+    }
+    case TermKind::TK_Loop: {
+      Symbol Tmp = Ctx.fresh("t");
+      return AStep{B.let(Tmp, Operand, NameUse(Tmp), Let->loc()),
+                   ARule::A4_NameLoop};
+    }
+    }
+    return std::nullopt;
+  }
+
+  Context &Ctx;
+  Builder B;
+};
+
+} // namespace
+
+const char *cpsflow::anf::str(ARule Rule) {
+  switch (Rule) {
+  case ARule::A1_LiftLet:
+    return "A1";
+  case ARule::A2_NameIf0:
+    return "A2";
+  case ARule::A3_NameApp:
+    return "A3";
+  case ARule::A4_NameLoop:
+    return "A4";
+  }
+  return "?";
+}
+
+std::optional<AStep> cpsflow::anf::stepA(Context &Ctx,
+                                         const syntax::Term *T) {
+  return Stepper(Ctx).tail(T);
+}
+
+Result<const syntax::Term *>
+cpsflow::anf::normalizeBySteps(Context &Ctx, const syntax::Term *T,
+                               size_t MaxSteps) {
+  for (size_t I = 0; I < MaxSteps; ++I) {
+    std::optional<AStep> S = stepA(Ctx, T);
+    if (!S)
+      return T;
+    T = S->Next;
+  }
+  return Error("A-reduction did not terminate within the step budget");
+}

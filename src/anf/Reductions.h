@@ -1,0 +1,80 @@
+//===- anf/Reductions.h - The A-reductions, step by step --------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The A-reductions as a single-step rewrite system.
+///
+/// Section 2 of the paper says "the normalization process uses the
+/// reductions that we identified in previous work as the A-reductions"
+/// (Flanagan/Sabry/Duba/Felleisen, PLDI 1993; Sabry/Felleisen, LFP 1992).
+/// anf::normalize implements the composite transformation; this module
+/// implements the reductions themselves, one step at a time, so the
+/// normalization can be *observed* (and so the two implementations check
+/// each other: tests verify that stepping to a fixed point yields a term
+/// alpha-equivalent to the one-shot normalizer's output).
+///
+/// With E ranging over call-by-value evaluation contexts, the steps are:
+///
+/// \code
+///   (A1)  E[(let (x M1) M2)]   -->  (let (x M1) E[M2])        E nontrivial
+///   (A2)  E[(if0 V M1 M2)]     -->  (let (t (if0 V M1 M2)) E[t])
+///                                   unless E = (let (x []) N) or trivial*
+///   (A3)  E[(V1 V2)]           -->  (let (t (V1 V2)) E[t])    likewise
+///   (A4)  E[(loop)]            -->  (let (t (loop)) E[t])     likewise
+///   (xi)  reduce under lambda and inside the branches of a let-bound if0
+/// \endcode
+///
+/// *In this paper's restricted target even tail conditionals and calls
+/// are named (`(let (t _) t)`), so A2-A4 also fire with the empty context
+/// — that is the one difference from the PLDI'93 formulation, matching
+/// footnote 2's example normal forms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANF_REDUCTIONS_H
+#define CPSFLOW_ANF_REDUCTIONS_H
+
+#include "support/Result.h"
+#include "syntax/Ast.h"
+
+#include <optional>
+
+namespace cpsflow {
+namespace anf {
+
+/// Which A-reduction fired.
+enum class ARule : uint8_t {
+  A1_LiftLet,  ///< hoist a let out of an evaluation context
+  A2_NameIf0,  ///< name the result of a conditional
+  A3_NameApp,  ///< name the result of an application
+  A4_NameLoop, ///< name the result of a loop
+};
+
+/// Renders a rule name ("A1", ...).
+const char *str(ARule Rule);
+
+/// One reduction step.
+struct AStep {
+  const syntax::Term *Next; ///< the reduct
+  ARule Rule;               ///< which reduction fired (innermost report)
+};
+
+/// Performs one leftmost-outermost A-reduction step on \p T.
+/// \returns nullopt iff \p T is already in A-normal form.
+std::optional<AStep> stepA(Context &Ctx, const syntax::Term *T);
+
+/// Applies stepA to a fixed point (at most \p MaxSteps times).
+/// \returns the normal form, or an error if the budget is exhausted
+/// (which would indicate a non-terminating bug — the A-reductions are
+/// strongly normalizing).
+Result<const syntax::Term *> normalizeBySteps(Context &Ctx,
+                                              const syntax::Term *T,
+                                              size_t MaxSteps = 100000);
+
+} // namespace anf
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANF_REDUCTIONS_H

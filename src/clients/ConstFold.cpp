@@ -1,0 +1,120 @@
+//===- clients/ConstFold.cpp - Constant folding client ----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/ConstFold.h"
+
+#include "anf/Anf.h"
+#include "syntax/Builder.h"
+
+using namespace cpsflow;
+using namespace cpsflow::clients;
+using namespace cpsflow::syntax;
+using domain::CloRef;
+using domain::ConstantDomain;
+
+namespace {
+
+class Folder {
+public:
+  Folder(Context &Ctx,
+         const analysis::DirectResult<ConstantDomain> &Analysis)
+      : Build(Ctx), Analysis(Analysis) {}
+
+  size_t FoldedApps = 0;
+  size_t ElimBranches = 0;
+
+  const Term *term(const Term *T) {
+    switch (T->kind()) {
+    case TermKind::TK_Value:
+      return Build.val(value(cast<ValueTerm>(T)->value()), T->loc());
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(T);
+      return Build.app(term(App->fun()), term(App->arg()), T->loc());
+    }
+    case TermKind::TK_Let: {
+      const auto *Let = cast<LetTerm>(T);
+      const Term *Bound = foldBinding(Let);
+      return Build.let(Let->var(), Bound, term(Let->body()), T->loc());
+    }
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(T);
+      return Build.if0(term(If->cond()), term(If->thenBranch()),
+                       term(If->elseBranch()), T->loc());
+    }
+    case TermKind::TK_Loop:
+      return Build.loop(T->loc());
+    }
+    assert(false && "unknown term kind");
+    return nullptr;
+  }
+
+private:
+  /// Rewrites the right-hand side of one let, applying the two folds.
+  const Term *foldBinding(const LetTerm *Let) {
+    const Term *Bound = Let->bound();
+
+    // Fold a primitive application with a constant abstract result.
+    if (const auto *App = dyn_cast<AppTerm>(Bound)) {
+      auto It = Analysis.Cfg.Callees.find(App);
+      bool PrimsOnly = It != Analysis.Cfg.Callees.end() &&
+                       !It->second.empty();
+      if (PrimsOnly)
+        for (const CloRef &C : It->second)
+          if (C.Tag == CloRef::K::Lam)
+            PrimsOnly = false;
+      if (PrimsOnly) {
+        auto V = Analysis.valueOf(Let->var());
+        if (V.Num.Kind == ConstantDomain::Elem::K::Const && V.Clos.empty()) {
+          ++FoldedApps;
+          return Build.numTerm(V.Num.N, Bound->loc());
+        }
+      }
+      return term(Bound);
+    }
+
+    // Remove a branch the analysis proved infeasible.
+    if (const auto *If = dyn_cast<If0Term>(Bound)) {
+      auto It = Analysis.Cfg.Branches.find(If);
+      if (It != Analysis.Cfg.Branches.end()) {
+        const analysis::BranchInfo &BI = It->second;
+        if (BI.ThenFeasible != BI.ElseFeasible) {
+          ++ElimBranches;
+          return term(BI.ThenFeasible ? If->thenBranch()
+                                      : If->elseBranch());
+        }
+      }
+      return term(Bound);
+    }
+
+    return term(Bound);
+  }
+
+  const Value *value(const Value *V) {
+    if (const auto *Lam = dyn_cast<LamValue>(V))
+      return Build.lam(Lam->param(), term(Lam->body()), V->loc());
+    return V;
+  }
+
+  Builder Build;
+  const analysis::DirectResult<ConstantDomain> &Analysis;
+};
+
+} // namespace
+
+FoldResult cpsflow::clients::constantFold(
+    Context &Ctx, const syntax::Term *Anf,
+    const analysis::DirectResult<ConstantDomain> &R) {
+  Folder F(Ctx, R);
+  const Term *Rewritten = F.term(Anf);
+
+  FoldResult Out;
+  // Branch removal splices a term into binding position; re-normalize to
+  // restore ANF.
+  Out.Folded = anf::normalize(Ctx, Rewritten);
+  Out.FoldedApps = F.FoldedApps;
+  Out.ElimBranches = F.ElimBranches;
+  return Out;
+}

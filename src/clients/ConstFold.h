@@ -1,0 +1,49 @@
+//===- clients/ConstFold.h - Constant folding client ------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An optimizer client of the direct analysis: constant-folds primitive
+/// applications whose abstract result is a known constant and removes
+/// conditional branches the analysis proved infeasible. This demonstrates
+/// the "advanced optimization" consumer the paper's introduction motivates
+/// for data flow analysis.
+///
+/// Caveat: folding assumes the program does not get stuck (applying add1
+/// to a closure); on stuck programs folding may turn a stuck run into a
+/// completing one, as in any optimizer for an untyped language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_CLIENTS_CONSTFOLD_H
+#define CPSFLOW_CLIENTS_CONSTFOLD_H
+
+#include "analysis/DirectAnalyzer.h"
+#include "domain/NumDomain.h"
+#include "syntax/Ast.h"
+
+namespace cpsflow {
+namespace clients {
+
+/// Outcome of a folding pass.
+struct FoldResult {
+  /// The rewritten program, re-normalized to ANF.
+  const syntax::Term *Folded = nullptr;
+  /// Primitive applications replaced by numerals.
+  size_t FoldedApps = 0;
+  /// Conditionals reduced to a single branch.
+  size_t ElimBranches = 0;
+};
+
+/// Folds \p Anf using the result \p R of a constant-propagation run of
+/// the direct analyzer over the same term.
+FoldResult
+constantFold(Context &Ctx, const syntax::Term *Anf,
+             const analysis::DirectResult<domain::ConstantDomain> &R);
+
+} // namespace clients
+} // namespace cpsflow
+
+#endif // CPSFLOW_CLIENTS_CONSTFOLD_H

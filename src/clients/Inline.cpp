@@ -1,0 +1,241 @@
+//===- clients/Inline.cpp - Heuristic inlining client -----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Inline.h"
+
+#include "anf/Anf.h"
+#include "syntax/Analysis.h"
+#include "syntax/Builder.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace cpsflow;
+using namespace cpsflow::clients;
+using namespace cpsflow::syntax;
+
+namespace {
+
+/// Finds let-bound lambdas that are only ever used in operator position.
+class CandidateScan {
+public:
+  std::unordered_map<Symbol, const LamValue *> Lambdas;
+  std::unordered_set<Symbol> Escaping;
+
+  void term(const Term *T) {
+    switch (T->kind()) {
+    case TermKind::TK_Value:
+      value(cast<ValueTerm>(T)->value(), /*OperatorPos=*/false);
+      return;
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(T);
+      // In ANF both parts are ValueTerms; the operator position is the
+      // one place a use does not escape.
+      if (const auto *FV = dyn_cast<ValueTerm>(App->fun()))
+        value(FV->value(), /*OperatorPos=*/true);
+      else
+        term(App->fun());
+      if (const auto *AV = dyn_cast<ValueTerm>(App->arg()))
+        value(AV->value(), /*OperatorPos=*/false);
+      else
+        term(App->arg());
+      return;
+    }
+    case TermKind::TK_Let: {
+      const auto *Let = cast<LetTerm>(T);
+      // Record a directly lambda-bound variable as a candidate.
+      if (const auto *VT = dyn_cast<ValueTerm>(Let->bound()))
+        if (const auto *Lam = dyn_cast<LamValue>(VT->value()))
+          Lambdas.emplace(Let->var(), Lam);
+      term(Let->bound());
+      term(Let->body());
+      return;
+    }
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(T);
+      term(If->cond());
+      term(If->thenBranch());
+      term(If->elseBranch());
+      return;
+    }
+    case TermKind::TK_Loop:
+      return;
+    }
+  }
+
+private:
+  void value(const Value *V, bool OperatorPos) {
+    switch (V->kind()) {
+    case ValueKind::VK_Num:
+    case ValueKind::VK_Prim:
+      return;
+    case ValueKind::VK_Var:
+      if (!OperatorPos)
+        Escaping.insert(cast<VarValue>(V)->name());
+      return;
+    case ValueKind::VK_Lam:
+      term(cast<LamValue>(V)->body());
+      return;
+    }
+  }
+};
+
+/// Capture-avoiding substitution of a syntactic value for a variable.
+/// Sound here because binders are unique: nothing in \p T rebinds \p X or
+/// any variable free in \p V.
+class Subst {
+public:
+  Subst(Context &Ctx, Symbol X, const Value *V) : B(Ctx), X(X), V(V) {}
+
+  const Term *term(const Term *T) {
+    switch (T->kind()) {
+    case TermKind::TK_Value:
+      return B.val(value(cast<ValueTerm>(T)->value()), T->loc());
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(T);
+      return B.app(term(App->fun()), term(App->arg()), T->loc());
+    }
+    case TermKind::TK_Let: {
+      const auto *Let = cast<LetTerm>(T);
+      return B.let(Let->var(), term(Let->bound()), term(Let->body()),
+                   T->loc());
+    }
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(T);
+      return B.if0(term(If->cond()), term(If->thenBranch()),
+                   term(If->elseBranch()), T->loc());
+    }
+    case TermKind::TK_Loop:
+      return B.loop(T->loc());
+    }
+    return T;
+  }
+
+private:
+  const Value *value(const Value *Val) {
+    if (const auto *Var = dyn_cast<VarValue>(Val))
+      if (Var->name() == X)
+        return V;
+    if (const auto *Lam = dyn_cast<LamValue>(Val))
+      return B.lam(Lam->param(), term(Lam->body()), Lam->loc());
+    return Val;
+  }
+
+  Builder B;
+  Symbol X;
+  const Value *V;
+};
+
+/// One inlining pass: rewrites eligible call sites to copies of the
+/// callee body (as full-language let-bound terms; the caller
+/// re-normalizes).
+class InlinePass {
+public:
+  InlinePass(Context &Ctx, const CandidateScan &Scan,
+             const InlineOptions &Opts)
+      : Ctx(Ctx), B(Ctx), Scan(Scan), Opts(Opts) {}
+
+  size_t InlinedCalls = 0;
+
+  const Term *term(const Term *T) {
+    switch (T->kind()) {
+    case TermKind::TK_Value:
+      return B.val(value(cast<ValueTerm>(T)->value()), T->loc());
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(T);
+      if (const Term *Expanded = tryInline(App))
+        return Expanded;
+      return B.app(term(App->fun()), term(App->arg()), T->loc());
+    }
+    case TermKind::TK_Let: {
+      const auto *Let = cast<LetTerm>(T);
+      return B.let(Let->var(), term(Let->bound()), term(Let->body()),
+                   T->loc());
+    }
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(T);
+      return B.if0(term(If->cond()), term(If->thenBranch()),
+                   term(If->elseBranch()), T->loc());
+    }
+    case TermKind::TK_Loop:
+      return B.loop(T->loc());
+    }
+    return T;
+  }
+
+private:
+  /// If \p App is `(f v)` with f an eligible candidate, \returns a copy
+  /// of f's body with the parameter substituted by v.
+  const Term *tryInline(const AppTerm *App) {
+    const auto *FV = dyn_cast<ValueTerm>(App->fun());
+    const auto *AV = dyn_cast<ValueTerm>(App->arg());
+    if (!FV || !AV)
+      return nullptr;
+    const auto *Var = dyn_cast<VarValue>(FV->value());
+    if (!Var)
+      return nullptr;
+    if (Scan.Escaping.count(Var->name()))
+      return nullptr;
+    auto It = Scan.Lambdas.find(Var->name());
+    if (It == Scan.Lambdas.end())
+      return nullptr;
+    const LamValue *Lam = It->second;
+    if (countNodes(Lam->body()) > Opts.MaxBodyNodes)
+      return nullptr;
+
+    ++InlinedCalls;
+    // Substitute the (already rewritten) argument value for the
+    // parameter; duplicate binders introduced by multiple copies are
+    // resolved by the re-normalization that follows the pass. Keep
+    // rewriting inside the copy so nested calls inline in the same pass.
+    const Value *Arg = value(AV->value());
+    const Term *Body = Subst(Ctx, Lam->param(), Arg).term(Lam->body());
+    return term(Body);
+  }
+
+  const Value *value(const Value *Val) {
+    if (const auto *Lam = dyn_cast<LamValue>(Val))
+      return B.lam(Lam->param(), term(Lam->body()), Lam->loc());
+    return Val;
+  }
+
+  Context &Ctx;
+  Builder B;
+  const CandidateScan &Scan;
+  const InlineOptions &Opts;
+};
+
+} // namespace
+
+InlineResult cpsflow::clients::inlineCalls(Context &Ctx,
+                                           const syntax::Term *Anf,
+                                           InlineOptions Opts) {
+  InlineResult Out;
+  const Term *Current = Anf;
+  size_t BaseSize = countNodes(Anf);
+
+  for (uint32_t Pass = 0; Pass < Opts.MaxPasses; ++Pass) {
+    CandidateScan Scan;
+    Scan.term(Current);
+    if (Scan.Lambdas.empty())
+      break;
+
+    InlinePass P(Ctx, Scan, Opts);
+    const Term *Rewritten = P.term(Current);
+    if (P.InlinedCalls == 0)
+      break;
+
+    Out.InlinedCalls += P.InlinedCalls;
+    ++Out.Passes;
+    Current = anf::normalizeProgram(Ctx, Rewritten);
+    if (countNodes(Current) >
+        static_cast<size_t>(BaseSize * Opts.MaxGrowth))
+      break;
+  }
+
+  Out.Inlined = Current;
+  return Out;
+}

@@ -1,0 +1,91 @@
+//===- clients/Reports.cpp - Human-readable analysis reports ----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Reports.h"
+
+#include "syntax/Printer.h"
+
+using namespace cpsflow;
+using namespace cpsflow::clients;
+
+std::string cpsflow::clients::describeCfg(const Context &Ctx,
+                                          const analysis::DirectCfg &Cfg) {
+  std::ostringstream O;
+  for (const auto &[Site, Callees] : Cfg.Callees) {
+    O << "  call #" << Site->id() << " "
+      << syntax::print(Ctx, static_cast<const syntax::Term *>(Site))
+      << " -> {";
+    bool First = true;
+    for (const domain::CloRef &C : Callees) {
+      if (!First)
+        O << ", ";
+      O << C.str(Ctx);
+      First = false;
+    }
+    O << "}\n";
+  }
+  for (const auto &[If, BI] : Cfg.Branches) {
+    O << "  if0 #" << If->id() << " feasible:";
+    if (BI.ThenFeasible)
+      O << " then";
+    if (BI.ElseFeasible)
+      O << " else";
+    O << "\n";
+  }
+  return O.str();
+}
+
+std::string cpsflow::clients::describeCfg(const Context &Ctx,
+                                          const analysis::CpsCfg &Cfg) {
+  std::ostringstream O;
+  for (const auto &[Site, Callees] : Cfg.Callees) {
+    O << "  call #" << Site->id() << " -> {";
+    bool First = true;
+    for (const domain::CpsCloRef &C : Callees) {
+      if (!First)
+        O << ", ";
+      O << C.str(Ctx);
+      First = false;
+    }
+    O << "}\n";
+  }
+  for (const auto &[If, BI] : Cfg.Branches) {
+    O << "  if0 #" << If->id() << " feasible:";
+    if (BI.ThenFeasible)
+      O << " then";
+    if (BI.ElseFeasible)
+      O << " else";
+    O << "\n";
+  }
+  for (const auto &[Ret, Konts] : Cfg.Returns) {
+    O << "  return (" << Ctx.spelling(Ret->kvar()) << " _) #" << Ret->id()
+      << " -> {";
+    bool First = true;
+    for (const domain::KontRef &K : Konts) {
+      if (!First)
+        O << ", ";
+      O << K.str(Ctx);
+      First = false;
+    }
+    O << "}";
+    if (Konts.size() > 1)
+      O << "   <-- FALSE RETURN (distinct returns confused)";
+    O << "\n";
+  }
+  return O.str();
+}
+
+std::string
+cpsflow::clients::describeStats(const analysis::AnalyzerStats &S) {
+  std::ostringstream O;
+  O << "goals=" << S.Goals << " cache-hits=" << S.CacheHits
+    << " cuts=" << S.Cuts << " max-depth=" << S.MaxDepth;
+  if (S.BudgetExhausted)
+    O << " [budget exhausted]";
+  if (S.LoopBounded)
+    O << " [loop join truncated]";
+  return O.str();
+}

@@ -1,0 +1,53 @@
+//===- clients/Reports.h - Human-readable analysis reports ------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text renderings of analysis artifacts for the examples and benches:
+/// control-flow graphs (with false-return highlighting), per-variable
+/// abstract stores, and analyzer statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_CLIENTS_REPORTS_H
+#define CPSFLOW_CLIENTS_REPORTS_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Common.h"
+#include "syntax/Ast.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cpsflow {
+namespace clients {
+
+/// Renders the direct/semantic control-flow graph: one line per call site
+/// and per conditional.
+std::string describeCfg(const Context &Ctx, const analysis::DirectCfg &Cfg);
+
+/// Renders the syntactic-CPS control-flow graph, flagging every return
+/// point that collected more than one continuation as a FALSE RETURN.
+std::string describeCfg(const Context &Ctx, const analysis::CpsCfg &Cfg);
+
+/// Renders analyzer statistics on one line.
+std::string describeStats(const analysis::AnalyzerStats &S);
+
+/// Renders "var = value" lines for \p Vars from any analyzer result (a
+/// type with valueOf(Symbol) whose value has str(Ctx)).
+template <typename ResultT>
+std::string describeVars(const Context &Ctx, const ResultT &R,
+                         const std::vector<Symbol> &Vars) {
+  std::ostringstream O;
+  for (Symbol X : Vars)
+    O << "  " << Ctx.spelling(X) << " = " << R.valueOf(X).str(Ctx) << "\n";
+  return O.str();
+}
+
+} // namespace clients
+} // namespace cpsflow
+
+#endif // CPSFLOW_CLIENTS_REPORTS_H

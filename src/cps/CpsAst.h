@@ -1,0 +1,334 @@
+//===- cps/CpsAst.h - AST for cps(A) ----------------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the target language cps(A) of Definition 3.2:
+///
+/// \code
+///   P ::= (k W)                          — return through continuation k
+///       | (let (x W) P)
+///       | (W W (lambda (x) P))           — call with explicit continuation
+///       | (let (k (lambda (x) P))        — conditional with a *named*
+///            (if0 W P P))                   join continuation
+///       | (loopk (lambda (x) P))         — Section 6.2 extension
+///   W ::= n | x | add1k | sub1k | (lambda (x k) P)
+/// \endcode
+///
+/// where x ranges over Vars and k over KVars, with Vars and KVars disjoint
+/// (the transformation draws KVars from a reserved `k%N` namespace). The
+/// `(lambda (x) P)` forms in call and if0 positions are *continuation
+/// lambdas* — a syntactic class of their own, evaluated to continuation
+/// objects `(co x, P, rho)` by the Figure 3 interpreter, never to ordinary
+/// closures.
+///
+/// `loopk` is our CPS image of the paper's `loop` construct: it hands every
+/// natural number 0, 1, 2, ... to its continuation; its abstract semantics
+/// mirrors the (undecidable) semantic-CPS loop rule of Section 6.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_CPS_CPSAST_H
+#define CPSFLOW_CPS_CPSAST_H
+
+#include "syntax/Ast.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace cpsflow {
+namespace cps {
+
+class CpsTerm;
+
+//===----------------------------------------------------------------------===//
+// Values W
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for cps(A) values.
+enum class CpsValueKind : uint8_t {
+  WK_Num,  ///< numeral n
+  WK_Var,  ///< variable x (never a KVar; returns use CpsRet directly)
+  WK_Prim, ///< add1k or sub1k
+  WK_Lam,  ///< (lambda (x k) P)
+};
+
+/// The two CPS primitives.
+enum class CpsPrimOp : uint8_t {
+  Add1k, ///< closes to the run-time tag `inck`
+  Sub1k, ///< closes to the run-time tag `deck`
+};
+
+/// Base class of cps(A) values.
+class CpsValue {
+public:
+  CpsValueKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  uint32_t id() const { return Id; }
+
+protected:
+  CpsValue(CpsValueKind Kind, SourceLoc Loc, uint32_t Id)
+      : Kind(Kind), Loc(Loc), Id(Id) {}
+
+private:
+  CpsValueKind Kind;
+  SourceLoc Loc;
+  uint32_t Id;
+};
+
+/// A numeral.
+class CpsNum : public CpsValue {
+public:
+  CpsNum(int64_t N, SourceLoc Loc, uint32_t Id)
+      : CpsValue(CpsValueKind::WK_Num, Loc, Id), N(N) {}
+
+  int64_t value() const { return N; }
+
+  static bool classof(const CpsValue *V) {
+    return V->kind() == CpsValueKind::WK_Num;
+  }
+
+private:
+  int64_t N;
+};
+
+/// A variable reference (to an ordinary variable, not a KVar).
+class CpsVar : public CpsValue {
+public:
+  CpsVar(Symbol Name, SourceLoc Loc, uint32_t Id)
+      : CpsValue(CpsValueKind::WK_Var, Loc, Id), Name(Name) {}
+
+  Symbol name() const { return Name; }
+
+  static bool classof(const CpsValue *V) {
+    return V->kind() == CpsValueKind::WK_Var;
+  }
+
+private:
+  Symbol Name;
+};
+
+/// add1k or sub1k.
+class CpsPrim : public CpsValue {
+public:
+  CpsPrim(CpsPrimOp Op, SourceLoc Loc, uint32_t Id)
+      : CpsValue(CpsValueKind::WK_Prim, Loc, Id), Op(Op) {}
+
+  CpsPrimOp op() const { return Op; }
+
+  static bool classof(const CpsValue *V) {
+    return V->kind() == CpsValueKind::WK_Prim;
+  }
+
+private:
+  CpsPrimOp Op;
+};
+
+/// A CPS user procedure (lambda (x k) P): one value parameter and one
+/// continuation parameter.
+class CpsLam : public CpsValue {
+public:
+  CpsLam(Symbol Param, Symbol KParam, const CpsTerm *Body, SourceLoc Loc,
+         uint32_t Id)
+      : CpsValue(CpsValueKind::WK_Lam, Loc, Id), Param(Param), KParam(KParam),
+        Body(Body) {}
+
+  Symbol param() const { return Param; }
+  Symbol kparam() const { return KParam; }
+  const CpsTerm *body() const { return Body; }
+
+  static bool classof(const CpsValue *V) {
+    return V->kind() == CpsValueKind::WK_Lam;
+  }
+
+private:
+  Symbol Param;
+  Symbol KParam;
+  const CpsTerm *Body;
+};
+
+//===----------------------------------------------------------------------===//
+// Continuation lambdas (lambda (x) P)
+//===----------------------------------------------------------------------===//
+
+/// A continuation lambda `(lambda (x) P)`, the syntactic class appearing in
+/// call position 3 and in the if0 join binding. It closes to a continuation
+/// object `(co x, P, rho)` rather than an ordinary closure, so it gets its
+/// own node type (not a CpsValue).
+class ContLam {
+public:
+  ContLam(Symbol Param, const CpsTerm *Body, SourceLoc Loc, uint32_t Id)
+      : Param(Param), Body(Body), Loc(Loc), Id(Id) {}
+
+  Symbol param() const { return Param; }
+  const CpsTerm *body() const { return Body; }
+  SourceLoc loc() const { return Loc; }
+  uint32_t id() const { return Id; }
+
+private:
+  Symbol Param;
+  const CpsTerm *Body;
+  SourceLoc Loc;
+  uint32_t Id;
+};
+
+//===----------------------------------------------------------------------===//
+// Terms P
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for cps(A) terms.
+enum class CpsTermKind : uint8_t {
+  PK_Ret,    ///< (k W)
+  PK_LetVal, ///< (let (x W) P)
+  PK_Call,   ///< (W W (lambda (x) P))
+  PK_If,     ///< (let (k (lambda (x) P)) (if0 W P P))
+  PK_Loop,   ///< (loopk (lambda (x) P))
+};
+
+/// Base class of cps(A) terms.
+class CpsTerm {
+public:
+  CpsTermKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  uint32_t id() const { return Id; }
+
+protected:
+  CpsTerm(CpsTermKind Kind, SourceLoc Loc, uint32_t Id)
+      : Kind(Kind), Loc(Loc), Id(Id) {}
+
+private:
+  CpsTermKind Kind;
+  SourceLoc Loc;
+  uint32_t Id;
+};
+
+/// A return (k W): apply the continuation bound to k to the value of W.
+class CpsRet : public CpsTerm {
+public:
+  CpsRet(Symbol KVar, const CpsValue *Arg, SourceLoc Loc, uint32_t Id)
+      : CpsTerm(CpsTermKind::PK_Ret, Loc, Id), KVar(KVar), Arg(Arg) {}
+
+  Symbol kvar() const { return KVar; }
+  const CpsValue *arg() const { return Arg; }
+
+  static bool classof(const CpsTerm *T) {
+    return T->kind() == CpsTermKind::PK_Ret;
+  }
+
+private:
+  Symbol KVar;
+  const CpsValue *Arg;
+};
+
+/// (let (x W) P).
+class CpsLetVal : public CpsTerm {
+public:
+  CpsLetVal(Symbol Var, const CpsValue *Bound, const CpsTerm *Body,
+            SourceLoc Loc, uint32_t Id)
+      : CpsTerm(CpsTermKind::PK_LetVal, Loc, Id), Var(Var), Bound(Bound),
+        Body(Body) {}
+
+  Symbol var() const { return Var; }
+  const CpsValue *bound() const { return Bound; }
+  const CpsTerm *body() const { return Body; }
+
+  static bool classof(const CpsTerm *T) {
+    return T->kind() == CpsTermKind::PK_LetVal;
+  }
+
+private:
+  Symbol Var;
+  const CpsValue *Bound;
+  const CpsTerm *Body;
+};
+
+/// A call (W1 W2 (lambda (x) P)): apply W1 to W2 with the given
+/// continuation.
+class CpsCall : public CpsTerm {
+public:
+  CpsCall(const CpsValue *Fun, const CpsValue *Arg, const ContLam *Cont,
+          SourceLoc Loc, uint32_t Id)
+      : CpsTerm(CpsTermKind::PK_Call, Loc, Id), Fun(Fun), Arg(Arg),
+        Cont(Cont) {}
+
+  const CpsValue *fun() const { return Fun; }
+  const CpsValue *arg() const { return Arg; }
+  const ContLam *cont() const { return Cont; }
+
+  static bool classof(const CpsTerm *T) {
+    return T->kind() == CpsTermKind::PK_Call;
+  }
+
+private:
+  const CpsValue *Fun;
+  const CpsValue *Arg;
+  const ContLam *Cont;
+};
+
+/// A conditional (let (k (lambda (x) P)) (if0 W P1 P2)): name the join
+/// continuation k, then branch on W.
+class CpsIf : public CpsTerm {
+public:
+  CpsIf(Symbol KVar, const ContLam *Join, const CpsValue *Cond,
+        const CpsTerm *Then, const CpsTerm *Else, SourceLoc Loc, uint32_t Id)
+      : CpsTerm(CpsTermKind::PK_If, Loc, Id), KVar(KVar), Join(Join),
+        Cond(Cond), Then(Then), Else(Else) {}
+
+  Symbol kvar() const { return KVar; }
+  const ContLam *join() const { return Join; }
+  const CpsValue *cond() const { return Cond; }
+  const CpsTerm *thenBranch() const { return Then; }
+  const CpsTerm *elseBranch() const { return Else; }
+
+  static bool classof(const CpsTerm *T) {
+    return T->kind() == CpsTermKind::PK_If;
+  }
+
+private:
+  Symbol KVar;
+  const ContLam *Join;
+  const CpsValue *Cond;
+  const CpsTerm *Then;
+  const CpsTerm *Else;
+};
+
+/// The CPS image (loopk (lambda (x) P)) of the Section 6.2 loop construct.
+class CpsLoop : public CpsTerm {
+public:
+  CpsLoop(const ContLam *Cont, SourceLoc Loc, uint32_t Id)
+      : CpsTerm(CpsTermKind::PK_Loop, Loc, Id), Cont(Cont) {}
+
+  const ContLam *cont() const { return Cont; }
+
+  static bool classof(const CpsTerm *T) {
+    return T->kind() == CpsTermKind::PK_Loop;
+  }
+
+private:
+  const ContLam *Cont;
+};
+
+//===----------------------------------------------------------------------===//
+// Checked casts
+//===----------------------------------------------------------------------===//
+
+template <typename To, typename From> bool isa(const From *Node) {
+  assert(Node && "isa<> on null node");
+  return To::classof(Node);
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(isa<To>(Node) && "cast<> to incompatible kind");
+  return static_cast<const To *>(Node);
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Node) {
+  return isa<To>(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+} // namespace cps
+} // namespace cpsflow
+
+#endif // CPSFLOW_CPS_CPSAST_H

@@ -1,0 +1,184 @@
+//===- domain/AbsValue.h - Abstract values ----------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract value lattices of Section 4.2.
+///
+/// For the direct and semantic-CPS analyses, an abstract value is a pair
+/// from the product of the numeric lattice and the powerset of abstract
+/// closures:
+///
+/// \code
+///   Val_e = N^ x P(Clo_e)
+/// \endcode
+///
+/// For the syntactic-CPS analysis, a triple that additionally carries the
+/// powerset of abstract continuations:
+///
+/// \code
+///   Val_s = N^ x P(Clo_e) x P(Con_e)
+/// \endcode
+///
+/// Ordering and join are component-wise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_DOMAIN_ABSVALUE_H
+#define CPSFLOW_DOMAIN_ABSVALUE_H
+
+#include "domain/NumDomain.h"
+#include "domain/Refs.h"
+#include "domain/SortedSet.h"
+
+#include <string>
+
+namespace cpsflow {
+namespace domain {
+
+using CloSet = SortedSet<CloRef>;
+using CpsCloSet = SortedSet<CpsCloRef>;
+using KontSet = SortedSet<KontRef>;
+
+/// An abstract value of the direct / semantic-CPS analyses.
+template <typename D> struct AbsVal {
+  typename D::Elem Num = D::bot();
+  CloSet Clos;
+
+  static AbsVal bot() { return AbsVal(); }
+
+  static AbsVal number(typename D::Elem E) {
+    AbsVal V;
+    V.Num = E;
+    return V;
+  }
+
+  static AbsVal closures(CloSet S) {
+    AbsVal V;
+    V.Clos = std::move(S);
+    return V;
+  }
+
+  bool isBot() const { return D::leq(Num, D::bot()) && Clos.empty(); }
+
+  static AbsVal join(const AbsVal &A, const AbsVal &B) {
+    AbsVal V;
+    V.Num = D::join(A.Num, B.Num);
+    V.Clos = CloSet::join(A.Clos, B.Clos);
+    return V;
+  }
+
+  static bool leq(const AbsVal &A, const AbsVal &B) {
+    return D::leq(A.Num, B.Num) && CloSet::leq(A.Clos, B.Clos);
+  }
+
+  friend bool operator==(const AbsVal &A, const AbsVal &B) {
+    return A.Num == B.Num && A.Clos == B.Clos;
+  }
+  friend bool operator!=(const AbsVal &A, const AbsVal &B) {
+    return !(A == B);
+  }
+
+  uint64_t hashValue() const {
+    uint64_t H = D::hash(Num);
+    hashCombine(H, Clos.hashValue());
+    return H;
+  }
+
+  std::string str(const Context &Ctx) const {
+    std::string Out = "(" + D::str(Num) + ", {";
+    bool First = true;
+    for (const CloRef &C : Clos) {
+      if (!First)
+        Out += ", ";
+      Out += C.str(Ctx);
+      First = false;
+    }
+    return Out + "})";
+  }
+};
+
+/// An abstract value of the syntactic-CPS analysis.
+template <typename D> struct CpsAbsVal {
+  typename D::Elem Num = D::bot();
+  CpsCloSet Clos;
+  KontSet Konts;
+
+  static CpsAbsVal bot() { return CpsAbsVal(); }
+
+  static CpsAbsVal number(typename D::Elem E) {
+    CpsAbsVal V;
+    V.Num = E;
+    return V;
+  }
+
+  static CpsAbsVal closures(CpsCloSet S) {
+    CpsAbsVal V;
+    V.Clos = std::move(S);
+    return V;
+  }
+
+  static CpsAbsVal konts(KontSet S) {
+    CpsAbsVal V;
+    V.Konts = std::move(S);
+    return V;
+  }
+
+  bool isBot() const {
+    return D::leq(Num, D::bot()) && Clos.empty() && Konts.empty();
+  }
+
+  static CpsAbsVal join(const CpsAbsVal &A, const CpsAbsVal &B) {
+    CpsAbsVal V;
+    V.Num = D::join(A.Num, B.Num);
+    V.Clos = CpsCloSet::join(A.Clos, B.Clos);
+    V.Konts = KontSet::join(A.Konts, B.Konts);
+    return V;
+  }
+
+  static bool leq(const CpsAbsVal &A, const CpsAbsVal &B) {
+    return D::leq(A.Num, B.Num) && CpsCloSet::leq(A.Clos, B.Clos) &&
+           KontSet::leq(A.Konts, B.Konts);
+  }
+
+  friend bool operator==(const CpsAbsVal &A, const CpsAbsVal &B) {
+    return A.Num == B.Num && A.Clos == B.Clos && A.Konts == B.Konts;
+  }
+  friend bool operator!=(const CpsAbsVal &A, const CpsAbsVal &B) {
+    return !(A == B);
+  }
+
+  uint64_t hashValue() const {
+    uint64_t H = D::hash(Num);
+    hashCombine(H, Clos.hashValue());
+    hashCombine(H, Konts.hashValue());
+    return H;
+  }
+
+  std::string str(const Context &Ctx) const {
+    std::string Out = "(" + D::str(Num) + ", {";
+    bool First = true;
+    for (const CpsCloRef &C : Clos) {
+      if (!First)
+        Out += ", ";
+      Out += C.str(Ctx);
+      First = false;
+    }
+    Out += "}, {";
+    First = true;
+    for (const KontRef &K : Konts) {
+      if (!First)
+        Out += ", ";
+      Out += K.str(Ctx);
+      First = false;
+    }
+    return Out + "})";
+  }
+};
+
+} // namespace domain
+} // namespace cpsflow
+
+#endif // CPSFLOW_DOMAIN_ABSVALUE_H

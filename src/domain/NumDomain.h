@@ -1,0 +1,489 @@
+//===- domain/NumDomain.h - Abstract numeric domains ------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract numeric domains, pluggable into the three analyzers.
+///
+/// The paper's Section 4.2 approximates sets of numbers by the flat
+/// constant-propagation lattice N (bottom, each n, top) — implemented here
+/// as ConstantDomain. The analyzers are parameterized over the domain so
+/// that Theorem 5.4's distributivity condition can be exercised:
+///
+///  * ConstantDomain — the paper's lattice; *non-distributive* (merging 0
+///    and 1 before analyzing the continuation loses the per-path
+///    constants of the Theorem 5.2 examples).
+///  * UnitDomain — a one-point numeric domain (every number is "some
+///    number"); the analysis degenerates to pure control-flow analysis
+///    (0CFA), which is *distributive*, so by Theorem 5.4 the direct and
+///    semantic-CPS analyzers coincide.
+///  * SignDomain, ParityDomain — additional non-distributive clients
+///    demonstrating that the framework supports "a large class of data
+///    flow analyses" (the paper's claim for analyses that compute the
+///    control-flow graph).
+///
+/// A domain D provides a value type D::Elem and the static operations
+/// listed below. Elem must be default-constructible (to bottom),
+/// copyable, and equality-comparable.
+///
+/// \code
+///   static Elem bot();                 // least element
+///   static Elem top();                 // greatest element
+///   static Elem constant(int64_t);     // abstraction of a numeral
+///   static Elem naturals();            // join of 0,1,2,... (loop rule)
+///   static Elem join(Elem, Elem);
+///   static bool leq(Elem, Elem);
+///   static Elem add1(Elem);            // the paper's add1_e
+///   static Elem sub1(Elem);            // the paper's sub1_e
+///   static ZeroTest isZero(Elem);
+///   static uint64_t hash(Elem);
+///   static std::string str(Elem);
+///   static constexpr const char *Name;
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_DOMAIN_NUMDOMAIN_H
+#define CPSFLOW_DOMAIN_NUMDOMAIN_H
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace cpsflow {
+namespace domain {
+
+/// What an abstract number says about the test `= 0` of if0.
+enum class ZeroTest : uint8_t {
+  Bottom,  ///< no concrete number reaches here
+  Zero,    ///< definitely 0
+  NonZero, ///< definitely not 0
+  Maybe,   ///< could be either
+};
+
+//===----------------------------------------------------------------------===//
+// ConstantDomain: bottom < each integer < top (Section 4.2)
+//===----------------------------------------------------------------------===//
+
+struct ConstantDomain {
+  struct Elem {
+    enum class K : uint8_t { Bot, Const, Top };
+    K Kind = K::Bot;
+    int64_t N = 0;
+
+    friend bool operator==(const Elem &A, const Elem &B) {
+      if (A.Kind != B.Kind)
+        return false;
+      return A.Kind != K::Const || A.N == B.N;
+    }
+  };
+
+  static constexpr const char *Name = "constant";
+
+  static Elem bot() { return Elem(); }
+  static Elem top() { return Elem{Elem::K::Top, 0}; }
+  static Elem constant(int64_t N) { return Elem{Elem::K::Const, N}; }
+  static Elem naturals() { return top(); }
+
+  static Elem join(const Elem &A, const Elem &B) {
+    if (A.Kind == Elem::K::Bot)
+      return B;
+    if (B.Kind == Elem::K::Bot)
+      return A;
+    if (A == B)
+      return A;
+    return top();
+  }
+
+  static bool leq(const Elem &A, const Elem &B) {
+    if (A.Kind == Elem::K::Bot || B.Kind == Elem::K::Top)
+      return true;
+    return A == B;
+  }
+
+  static Elem add1(const Elem &E) {
+    if (E.Kind == Elem::K::Const)
+      return constant(E.N + 1);
+    return E; // add1_e(bot) = bot, add1_e(top) = top
+  }
+
+  static Elem sub1(const Elem &E) {
+    if (E.Kind == Elem::K::Const)
+      return constant(E.N - 1);
+    return E;
+  }
+
+  static ZeroTest isZero(const Elem &E) {
+    switch (E.Kind) {
+    case Elem::K::Bot:
+      return ZeroTest::Bottom;
+    case Elem::K::Const:
+      return E.N == 0 ? ZeroTest::Zero : ZeroTest::NonZero;
+    case Elem::K::Top:
+      return ZeroTest::Maybe;
+    }
+    return ZeroTest::Bottom;
+  }
+
+  static uint64_t hash(const Elem &E) {
+    uint64_t H = static_cast<uint64_t>(E.Kind);
+    if (E.Kind == Elem::K::Const)
+      hashCombine(H, static_cast<uint64_t>(E.N));
+    return mix64(H);
+  }
+
+  static std::string str(const Elem &E) {
+    switch (E.Kind) {
+    case Elem::K::Bot:
+      return "_|_";
+    case Elem::K::Const:
+      return std::to_string(E.N);
+    case Elem::K::Top:
+      return "T";
+    }
+    return "?";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// UnitDomain: bottom < top — pure control-flow analysis (distributive)
+//===----------------------------------------------------------------------===//
+
+struct UnitDomain {
+  struct Elem {
+    bool Present = false;
+    friend bool operator==(const Elem &A, const Elem &B) {
+      return A.Present == B.Present;
+    }
+  };
+
+  static constexpr const char *Name = "unit";
+
+  static Elem bot() { return Elem{false}; }
+  static Elem top() { return Elem{true}; }
+  static Elem constant(int64_t) { return top(); }
+  static Elem naturals() { return top(); }
+
+  static Elem join(const Elem &A, const Elem &B) {
+    return Elem{A.Present || B.Present};
+  }
+  static bool leq(const Elem &A, const Elem &B) {
+    return !A.Present || B.Present;
+  }
+  static Elem add1(const Elem &E) { return E; }
+  static Elem sub1(const Elem &E) { return E; }
+
+  static ZeroTest isZero(const Elem &E) {
+    return E.Present ? ZeroTest::Maybe : ZeroTest::Bottom;
+  }
+
+  static uint64_t hash(const Elem &E) { return E.Present ? 1 : 0; }
+  static std::string str(const Elem &E) { return E.Present ? "num" : "_|_"; }
+};
+
+//===----------------------------------------------------------------------===//
+// SignDomain: bottom < {neg, zero, pos} < top
+//===----------------------------------------------------------------------===//
+
+struct SignDomain {
+  struct Elem {
+    enum class K : uint8_t { Bot, Neg, Zero, Pos, Top };
+    K Kind = K::Bot;
+    friend bool operator==(const Elem &A, const Elem &B) {
+      return A.Kind == B.Kind;
+    }
+  };
+
+  static constexpr const char *Name = "sign";
+
+  static Elem bot() { return Elem{Elem::K::Bot}; }
+  static Elem top() { return Elem{Elem::K::Top}; }
+  static Elem constant(int64_t N) {
+    if (N < 0)
+      return Elem{Elem::K::Neg};
+    if (N == 0)
+      return Elem{Elem::K::Zero};
+    return Elem{Elem::K::Pos};
+  }
+  static Elem naturals() { return top(); } // zero join pos = top here
+
+  static Elem join(const Elem &A, const Elem &B) {
+    if (A.Kind == Elem::K::Bot)
+      return B;
+    if (B.Kind == Elem::K::Bot)
+      return A;
+    if (A == B)
+      return A;
+    return top();
+  }
+  static bool leq(const Elem &A, const Elem &B) {
+    if (A.Kind == Elem::K::Bot || B.Kind == Elem::K::Top)
+      return true;
+    return A == B;
+  }
+
+  static Elem add1(const Elem &E) {
+    switch (E.Kind) {
+    case Elem::K::Zero:
+    case Elem::K::Pos:
+      return Elem{Elem::K::Pos};
+    case Elem::K::Neg: // -1 + 1 = 0, otherwise negative
+      return top();
+    default:
+      return E;
+    }
+  }
+  static Elem sub1(const Elem &E) {
+    switch (E.Kind) {
+    case Elem::K::Zero:
+    case Elem::K::Neg:
+      return Elem{Elem::K::Neg};
+    case Elem::K::Pos: // 1 - 1 = 0, otherwise positive
+      return top();
+    default:
+      return E;
+    }
+  }
+
+  static ZeroTest isZero(const Elem &E) {
+    switch (E.Kind) {
+    case Elem::K::Bot:
+      return ZeroTest::Bottom;
+    case Elem::K::Zero:
+      return ZeroTest::Zero;
+    case Elem::K::Neg:
+    case Elem::K::Pos:
+      return ZeroTest::NonZero;
+    case Elem::K::Top:
+      return ZeroTest::Maybe;
+    }
+    return ZeroTest::Bottom;
+  }
+
+  static uint64_t hash(const Elem &E) {
+    return mix64(static_cast<uint64_t>(E.Kind));
+  }
+  static std::string str(const Elem &E) {
+    switch (E.Kind) {
+    case Elem::K::Bot:
+      return "_|_";
+    case Elem::K::Neg:
+      return "-";
+    case Elem::K::Zero:
+      return "0";
+    case Elem::K::Pos:
+      return "+";
+    case Elem::K::Top:
+      return "T";
+    }
+    return "?";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// ParityDomain: bottom < {even, odd} < top
+//===----------------------------------------------------------------------===//
+
+struct ParityDomain {
+  struct Elem {
+    enum class K : uint8_t { Bot, Even, Odd, Top };
+    K Kind = K::Bot;
+    friend bool operator==(const Elem &A, const Elem &B) {
+      return A.Kind == B.Kind;
+    }
+  };
+
+  static constexpr const char *Name = "parity";
+
+  static Elem bot() { return Elem{Elem::K::Bot}; }
+  static Elem top() { return Elem{Elem::K::Top}; }
+  static Elem constant(int64_t N) {
+    return Elem{(N % 2 == 0) ? Elem::K::Even : Elem::K::Odd};
+  }
+  static Elem naturals() { return top(); }
+
+  static Elem join(const Elem &A, const Elem &B) {
+    if (A.Kind == Elem::K::Bot)
+      return B;
+    if (B.Kind == Elem::K::Bot)
+      return A;
+    if (A == B)
+      return A;
+    return top();
+  }
+  static bool leq(const Elem &A, const Elem &B) {
+    if (A.Kind == Elem::K::Bot || B.Kind == Elem::K::Top)
+      return true;
+    return A == B;
+  }
+
+  static Elem add1(const Elem &E) {
+    switch (E.Kind) {
+    case Elem::K::Even:
+      return Elem{Elem::K::Odd};
+    case Elem::K::Odd:
+      return Elem{Elem::K::Even};
+    default:
+      return E;
+    }
+  }
+  static Elem sub1(const Elem &E) { return add1(E); } // parity flip either way
+
+  static ZeroTest isZero(const Elem &E) {
+    switch (E.Kind) {
+    case Elem::K::Bot:
+      return ZeroTest::Bottom;
+    case Elem::K::Odd:
+      return ZeroTest::NonZero; // 0 is even
+    case Elem::K::Even:
+    case Elem::K::Top:
+      return ZeroTest::Maybe;
+    }
+    return ZeroTest::Bottom;
+  }
+
+  static uint64_t hash(const Elem &E) {
+    return mix64(static_cast<uint64_t>(E.Kind));
+  }
+  static std::string str(const Elem &E) {
+    switch (E.Kind) {
+    case Elem::K::Bot:
+      return "_|_";
+    case Elem::K::Even:
+      return "even";
+    case Elem::K::Odd:
+      return "odd";
+    case Elem::K::Top:
+      return "T";
+    }
+    return "?";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// IntervalDomain: clamped integer intervals
+//===----------------------------------------------------------------------===//
+
+/// A bounded-height interval domain: [lo, hi] with finite bounds clamped
+/// to [-Clamp, Clamp] and the infinities beyond. Clamping keeps every
+/// ascending chain finite, so the Section 4.4 termination argument (no
+/// infinite ascending chains in the store lattice) applies unchanged and
+/// no separate widening operator is needed. This is the "richer client"
+/// extension: the analyzers are domain-polymorphic, so intervals slot in
+/// without touching analyzer code.
+struct IntervalDomain {
+  /// Clamp boundary for finite endpoints.
+  static constexpr int64_t Clamp = 16;
+  /// Sentinels for the infinite endpoints (outside the clamp range).
+  static constexpr int64_t NegInf = INT64_MIN;
+  static constexpr int64_t PosInf = INT64_MAX;
+
+  struct Elem {
+    bool IsBot = true;
+    int64_t Lo = 0; ///< NegInf or in [-Clamp, Clamp]
+    int64_t Hi = 0; ///< PosInf or in [-Clamp, Clamp]
+
+    friend bool operator==(const Elem &A, const Elem &B) {
+      if (A.IsBot != B.IsBot)
+        return false;
+      return A.IsBot || (A.Lo == B.Lo && A.Hi == B.Hi);
+    }
+  };
+
+  static constexpr const char *Name = "interval";
+
+  static Elem bot() { return Elem(); }
+  static Elem top() { return Elem{false, NegInf, PosInf}; }
+
+  /// Clamps finite endpoints into the representable range, widening past
+  /// the boundary to the corresponding infinity.
+  static Elem make(int64_t Lo, int64_t Hi) {
+    Elem E;
+    E.IsBot = false;
+    E.Lo = (Lo == NegInf || Lo < -Clamp) ? NegInf : Lo;
+    E.Hi = (Hi == PosInf || Hi > Clamp) ? PosInf : Hi;
+    // A value above the clamp still bounds from below by the clamp (and
+    // dually), so [42, 42] becomes [16, +inf).
+    if (E.Lo != NegInf && E.Lo > Clamp)
+      E.Lo = Clamp;
+    if (E.Hi != PosInf && E.Hi < -Clamp)
+      E.Hi = -Clamp;
+    return E;
+  }
+
+  static Elem constant(int64_t N) { return make(N, N); }
+  static Elem naturals() { return make(0, PosInf); }
+
+  static Elem join(const Elem &A, const Elem &B) {
+    if (A.IsBot)
+      return B;
+    if (B.IsBot)
+      return A;
+    int64_t Lo = (A.Lo == NegInf || B.Lo == NegInf) ? NegInf
+                                                    : std::min(A.Lo, B.Lo);
+    int64_t Hi = (A.Hi == PosInf || B.Hi == PosInf) ? PosInf
+                                                    : std::max(A.Hi, B.Hi);
+    return make(Lo, Hi);
+  }
+
+  static bool leq(const Elem &A, const Elem &B) {
+    if (A.IsBot)
+      return true;
+    if (B.IsBot)
+      return false;
+    bool LoOk = B.Lo == NegInf || (A.Lo != NegInf && A.Lo >= B.Lo);
+    bool HiOk = B.Hi == PosInf || (A.Hi != PosInf && A.Hi <= B.Hi);
+    return LoOk && HiOk;
+  }
+
+  static Elem add1(const Elem &E) {
+    if (E.IsBot)
+      return E;
+    return make(E.Lo == NegInf ? NegInf : E.Lo + 1,
+                E.Hi == PosInf ? PosInf : E.Hi + 1);
+  }
+
+  static Elem sub1(const Elem &E) {
+    if (E.IsBot)
+      return E;
+    return make(E.Lo == NegInf ? NegInf : E.Lo - 1,
+                E.Hi == PosInf ? PosInf : E.Hi - 1);
+  }
+
+  static ZeroTest isZero(const Elem &E) {
+    if (E.IsBot)
+      return ZeroTest::Bottom;
+    bool Below = E.Lo != NegInf && E.Lo > 0;
+    bool Above = E.Hi != PosInf && E.Hi < 0;
+    if (Below || Above)
+      return ZeroTest::NonZero;
+    if (E.Lo == 0 && E.Hi == 0)
+      return ZeroTest::Zero;
+    return ZeroTest::Maybe;
+  }
+
+  static uint64_t hash(const Elem &E) {
+    if (E.IsBot)
+      return 0xb07;
+    uint64_t H = mix64(static_cast<uint64_t>(E.Lo));
+    hashCombine(H, static_cast<uint64_t>(E.Hi));
+    return H;
+  }
+
+  static std::string str(const Elem &E) {
+    if (E.IsBot)
+      return "_|_";
+    std::string Lo = E.Lo == NegInf ? "-inf" : std::to_string(E.Lo);
+    std::string Hi = E.Hi == PosInf ? "+inf" : std::to_string(E.Hi);
+    return "[" + Lo + "," + Hi + "]";
+  }
+};
+
+} // namespace domain
+} // namespace cpsflow
+
+#endif // CPSFLOW_DOMAIN_NUMDOMAIN_H

@@ -1,0 +1,155 @@
+//===- domain/Refs.h - Abstract closures and continuations ------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract-closure and abstract-continuation references of
+/// Section 4.1. Dropping environments makes an abstract closure a pair of
+/// text and binder — identified here by the (unique, arena-stable) AST node
+/// of its lambda — plus the primitive tags:
+///
+///  * CloRef       — direct/semantic analyses: inc, dec, or (cle x, M)
+///  * CpsCloRef    — syntactic-CPS analysis: inck, deck, or (cle x k, P)
+///  * KontRef      — syntactic-CPS analysis: stop or (coe x, P)
+///
+/// All three order deterministically by (tag, node id), so sets print
+/// stably across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_DOMAIN_REFS_H
+#define CPSFLOW_DOMAIN_REFS_H
+
+#include "cps/CpsAst.h"
+#include "support/Hashing.h"
+#include "syntax/Ast.h"
+
+#include <string>
+
+namespace cpsflow {
+namespace domain {
+
+/// An abstract closure of the direct and semantic-CPS analyses.
+struct CloRef {
+  enum class K : uint8_t { Inc, Dec, Lam };
+  K Tag = K::Inc;
+  const syntax::LamValue *Lam = nullptr;
+
+  static CloRef inc() { return CloRef{K::Inc, nullptr}; }
+  static CloRef dec() { return CloRef{K::Dec, nullptr}; }
+  static CloRef lam(const syntax::LamValue *L) { return CloRef{K::Lam, L}; }
+
+  friend bool operator==(const CloRef &A, const CloRef &B) {
+    return A.Tag == B.Tag && A.Lam == B.Lam;
+  }
+  friend bool operator<(const CloRef &A, const CloRef &B) {
+    if (A.Tag != B.Tag)
+      return A.Tag < B.Tag;
+    if (A.Tag != K::Lam)
+      return false;
+    return A.Lam->id() < B.Lam->id();
+  }
+
+  uint64_t hashValue() const {
+    return mix64(static_cast<uint64_t>(Tag) * 0x10001 +
+                 (Lam ? Lam->id() : 0));
+  }
+
+  std::string str(const Context &Ctx) const {
+    switch (Tag) {
+    case K::Inc:
+      return "inc";
+    case K::Dec:
+      return "dec";
+    case K::Lam:
+      return "(cle " + std::string(Ctx.spelling(Lam->param())) + " #" +
+             std::to_string(Lam->id()) + ")";
+    }
+    return "?";
+  }
+};
+
+/// An abstract closure of the syntactic-CPS analysis.
+struct CpsCloRef {
+  enum class K : uint8_t { Inck, Deck, Lam };
+  K Tag = K::Inck;
+  const cps::CpsLam *Lam = nullptr;
+
+  static CpsCloRef inck() { return CpsCloRef{K::Inck, nullptr}; }
+  static CpsCloRef deck() { return CpsCloRef{K::Deck, nullptr}; }
+  static CpsCloRef lam(const cps::CpsLam *L) { return CpsCloRef{K::Lam, L}; }
+
+  friend bool operator==(const CpsCloRef &A, const CpsCloRef &B) {
+    return A.Tag == B.Tag && A.Lam == B.Lam;
+  }
+  friend bool operator<(const CpsCloRef &A, const CpsCloRef &B) {
+    if (A.Tag != B.Tag)
+      return A.Tag < B.Tag;
+    if (A.Tag != K::Lam)
+      return false;
+    return A.Lam->id() < B.Lam->id();
+  }
+
+  uint64_t hashValue() const {
+    return mix64(static_cast<uint64_t>(Tag) * 0x20003 +
+                 (Lam ? Lam->id() : 0));
+  }
+
+  std::string str(const Context &Ctx) const {
+    switch (Tag) {
+    case K::Inck:
+      return "inck";
+    case K::Deck:
+      return "deck";
+    case K::Lam:
+      return "(cle " + std::string(Ctx.spelling(Lam->param())) + " " +
+             std::string(Ctx.spelling(Lam->kparam())) + " #" +
+             std::to_string(Lam->id()) + ")";
+    }
+    return "?";
+  }
+};
+
+/// An abstract continuation of the syntactic-CPS analysis.
+struct KontRef {
+  enum class K : uint8_t { Stop, Cont };
+  K Tag = K::Stop;
+  const cps::ContLam *Cont = nullptr;
+
+  static KontRef stop() { return KontRef{K::Stop, nullptr}; }
+  static KontRef cont(const cps::ContLam *C) { return KontRef{K::Cont, C}; }
+
+  friend bool operator==(const KontRef &A, const KontRef &B) {
+    return A.Tag == B.Tag && A.Cont == B.Cont;
+  }
+  friend bool operator<(const KontRef &A, const KontRef &B) {
+    if (A.Tag != B.Tag)
+      return A.Tag < B.Tag;
+    if (A.Tag != K::Cont)
+      return false;
+    return A.Cont->id() < B.Cont->id();
+  }
+
+  uint64_t hashValue() const {
+    return mix64(static_cast<uint64_t>(Tag) * 0x40005 +
+                 (Cont ? Cont->id() : 0));
+  }
+
+  std::string str(const Context &Ctx) const {
+    switch (Tag) {
+    case K::Stop:
+      return "stop";
+    case K::Cont:
+      return "(coe " + std::string(Ctx.spelling(Cont->param())) + " #" +
+             std::to_string(Cont->id()) + ")";
+    }
+    return "?";
+  }
+};
+
+} // namespace domain
+} // namespace cpsflow
+
+#endif // CPSFLOW_DOMAIN_REFS_H

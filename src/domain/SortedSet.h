@@ -1,0 +1,105 @@
+//===- domain/SortedSet.h - Powerset lattice elements -----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small sorted-vector set used for the powerset components of the
+/// abstract value lattices (sets of abstract closures / continuations,
+/// Section 4.2). Sets are tiny (bounded by the number of lambdas in the
+/// program), so a sorted vector beats node-based containers and gives
+/// deterministic iteration for printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_DOMAIN_SORTEDSET_H
+#define CPSFLOW_DOMAIN_SORTEDSET_H
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace cpsflow {
+namespace domain {
+
+/// An immutable-ish ordered set of \p Ref (requires operator<, operator==,
+/// and hashValue on Ref). Join is set union; the order is set inclusion.
+template <typename Ref> class SortedSet {
+public:
+  SortedSet() = default;
+
+  /// Singleton set.
+  static SortedSet single(Ref R) {
+    SortedSet S;
+    S.Items.push_back(R);
+    return S;
+  }
+
+  /// Set from arbitrary items (sorted/deduplicated here).
+  static SortedSet of(std::vector<Ref> Items) {
+    SortedSet S;
+    std::sort(Items.begin(), Items.end());
+    Items.erase(std::unique(Items.begin(), Items.end()), Items.end());
+    S.Items = std::move(Items);
+    return S;
+  }
+
+  bool empty() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+
+  bool contains(const Ref &R) const {
+    return std::binary_search(Items.begin(), Items.end(), R);
+  }
+
+  /// Inserts \p R; \returns true if the set changed.
+  bool insert(const Ref &R) {
+    auto It = std::lower_bound(Items.begin(), Items.end(), R);
+    if (It != Items.end() && *It == R)
+      return false;
+    Items.insert(It, R);
+    return true;
+  }
+
+  /// Set union (the lattice join).
+  static SortedSet join(const SortedSet &A, const SortedSet &B) {
+    SortedSet Out;
+    Out.Items.reserve(A.Items.size() + B.Items.size());
+    std::set_union(A.Items.begin(), A.Items.end(), B.Items.begin(),
+                   B.Items.end(), std::back_inserter(Out.Items));
+    return Out;
+  }
+
+  /// Set inclusion (the lattice order).
+  static bool leq(const SortedSet &A, const SortedSet &B) {
+    return std::includes(B.Items.begin(), B.Items.end(), A.Items.begin(),
+                         A.Items.end());
+  }
+
+  friend bool operator==(const SortedSet &A, const SortedSet &B) {
+    return A.Items == B.Items;
+  }
+  friend bool operator!=(const SortedSet &A, const SortedSet &B) {
+    return !(A == B);
+  }
+
+  uint64_t hashValue() const {
+    uint64_t H = 0x5e75u;
+    for (const Ref &R : Items)
+      hashCombine(H, R.hashValue());
+    return H;
+  }
+
+  auto begin() const { return Items.begin(); }
+  auto end() const { return Items.end(); }
+
+private:
+  std::vector<Ref> Items;
+};
+
+} // namespace domain
+} // namespace cpsflow
+
+#endif // CPSFLOW_DOMAIN_SORTEDSET_H

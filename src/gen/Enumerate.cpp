@@ -1,0 +1,131 @@
+//===- gen/Enumerate.cpp - Bounded-exhaustive enumeration -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Enumerate.h"
+
+#include "anf/Anf.h"
+#include "syntax/Builder.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace cpsflow;
+using namespace cpsflow::gen;
+using namespace cpsflow::syntax;
+
+namespace {
+
+class Enumerator {
+public:
+  Enumerator(Context &Ctx, const EnumOptions &Opts,
+             const std::function<void(const Term *)> &Visit)
+      : Ctx(Ctx), B(Ctx), Opts(Opts), Visit(Visit) {
+    for (uint32_t I = 0; I < Opts.Lets; ++I)
+      Xs.push_back(Ctx.intern("e" + std::to_string(I)));
+    if (Opts.WithFreeVar)
+      Scope.push_back(Ctx.intern("z"));
+  }
+
+  size_t run() {
+    chain(0);
+    return Count;
+  }
+
+private:
+  /// All candidate operand values for the current scope.
+  std::vector<const Value *> operands() {
+    std::vector<const Value *> Out;
+    Out.push_back(B.num(0));
+    Out.push_back(B.num(1));
+    for (Symbol S : Scope)
+      Out.push_back(B.var(S));
+    return Out;
+  }
+
+  /// All candidate bindings for position \p I (with the current scope).
+  std::vector<const Term *> bindings(uint32_t I) {
+    std::vector<const Term *> Out;
+    std::vector<const Value *> Vs = operands();
+
+    // Plain value bindings.
+    for (const Value *V : Vs)
+      Out.push_back(B.val(V));
+
+    // Primitive applications.
+    for (const Value *V : Vs) {
+      Out.push_back(B.appVV(B.add1(), V));
+      Out.push_back(B.appVV(B.sub1(), V));
+    }
+
+    // Variable applications (operator must be a variable to have a chance
+    // of being a procedure).
+    for (Symbol F : Scope)
+      for (const Value *V : Vs)
+        Out.push_back(B.appVV(B.var(F), V));
+
+    // Lambda shapes, with binders unique per position.
+    if (Opts.WithLambdas) {
+      Symbol P1 = Ctx.intern("p" + std::to_string(I) + "a");
+      Out.push_back(B.val(B.lam(P1, B.varTerm(P1))));
+      Symbol P2 = Ctx.intern("p" + std::to_string(I) + "b");
+      Symbol Q = Ctx.intern("q" + std::to_string(I) + "b");
+      Out.push_back(B.val(B.lam(
+          P2, B.let(Q, B.appVV(B.add1(), B.var(P2)), B.varTerm(Q)))));
+    }
+
+    // Two-sided conditionals over scope values with numeral branches.
+    if (Opts.WithConditionals)
+      for (const Value *V : Vs)
+        Out.push_back(B.if0(B.val(V), B.numTerm(0), B.numTerm(1)));
+
+    return Out;
+  }
+
+  void chain(uint32_t I) {
+    if (I == Opts.Lets) {
+      // Final result: each in-scope variable (covers using everything).
+      for (Symbol S : Scope) {
+        const Term *Program = rebuild(B.varTerm(S));
+        assert(anf::isAnfQuick(Program) && "enumerated non-ANF program");
+        ++Count;
+        Visit(Program);
+      }
+      return;
+    }
+    for (const Term *Bound : bindings(I)) {
+      Chosen.push_back(Bound);
+      Scope.push_back(Xs[I]);
+      chain(I + 1);
+      Scope.pop_back();
+      Chosen.pop_back();
+    }
+  }
+
+  const Term *rebuild(const Term *Tail) {
+    const Term *T = Tail;
+    for (uint32_t I = Opts.Lets; I-- > 0;)
+      T = B.let(Xs[I], Chosen[I], T);
+    return T;
+  }
+
+  Context &Ctx;
+  Builder B;
+  EnumOptions Opts;
+  const std::function<void(const Term *)> &Visit;
+  std::vector<Symbol> Xs;
+  std::vector<Symbol> Scope;
+  std::vector<const Term *> Chosen;
+  size_t Count = 0;
+};
+
+} // namespace
+
+size_t cpsflow::gen::enumeratePrograms(
+    Context &Ctx, const EnumOptions &Opts,
+    const std::function<void(const syntax::Term *)> &Visit) {
+  return Enumerator(Ctx, Opts, Visit).run();
+}

@@ -1,0 +1,161 @@
+//===- gen/Generator.cpp - Random ANF program generator ---------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Generator.h"
+
+#include "anf/Anf.h"
+#include "syntax/Builder.h"
+
+#include <cassert>
+#include <string>
+
+using namespace cpsflow;
+using namespace cpsflow::gen;
+using namespace cpsflow::syntax;
+
+ProgramGenerator::ProgramGenerator(Context &Ctx, GenOptions Opts)
+    : Ctx(Ctx), Opts(Opts), Random(Opts.Seed) {
+  for (uint32_t I = 0; I < Opts.NumFreeVars; ++I)
+    FreeVars.push_back(Ctx.intern("z" + std::to_string(I)));
+}
+
+const Term *ProgramGenerator::generate() {
+  std::vector<Symbol> Scope = FreeVars;
+  FunScope.clear();
+  const Term *T = chain(Opts.ChainLength, Opts.MaxDepth, Scope);
+  assert(anf::isAnfQuick(T) && "generator produced a non-ANF term");
+  return T;
+}
+
+const Term *ProgramGenerator::generateFull() {
+  std::vector<Symbol> Scope = FreeVars;
+  return fullTerm(Opts.MaxDepth + 2, Scope);
+}
+
+const Term *ProgramGenerator::fullTerm(uint32_t Depth,
+                                       std::vector<Symbol> &Scope) {
+  Builder B(Ctx);
+  if (Depth == 0)
+    return B.val(operand(Scope));
+
+  uint64_t Roll = Random.below(100);
+  if (Roll < 25)
+    return B.val(operand(Scope));
+  if (Roll < 35) {
+    Symbol P = Ctx.fresh("p");
+    Scope.push_back(P);
+    const Term *Body = fullTerm(Depth - 1, Scope);
+    Scope.pop_back();
+    return B.val(B.lam(P, Body));
+  }
+  if (Roll < 55) {
+    // Nested application; the operator is often a primitive so that runs
+    // frequently complete.
+    const Term *Fun = Random.chance(1, 2)
+                          ? B.val(Random.chance(1, 2)
+                                      ? static_cast<const Value *>(B.add1())
+                                      : static_cast<const Value *>(B.sub1()))
+                          : fullTerm(Depth - 1, Scope);
+    const Term *Arg = fullTerm(Depth - 1, Scope);
+    return B.app(Fun, Arg);
+  }
+  if (Roll < 80) {
+    Symbol X = Ctx.fresh("x");
+    const Term *Bound = fullTerm(Depth - 1, Scope);
+    Scope.push_back(X);
+    const Term *Body = fullTerm(Depth - 1, Scope);
+    Scope.pop_back();
+    return B.let(X, Bound, Body);
+  }
+  const Term *Cond = fullTerm(Depth - 1, Scope);
+  const Term *Then = fullTerm(Depth - 1, Scope);
+  const Term *Else = fullTerm(Depth - 1, Scope);
+  return B.if0(Cond, Then, Else);
+}
+
+const Value *ProgramGenerator::operand(const std::vector<Symbol> &Scope) {
+  Builder B(Ctx);
+  // Two thirds variables (when any are in scope), one third numerals.
+  if (!Scope.empty() && Random.chance(2, 3))
+    return B.var(Scope[Random.below(Scope.size())]);
+  return B.num(Random.range(0, Opts.NumeralRange));
+}
+
+const Value *ProgramGenerator::operatorValue(uint32_t Depth,
+                                             std::vector<Symbol> &Scope) {
+  Builder B(Ctx);
+  uint64_t Roll = Random.below(10);
+  // Primitives dominate so that constant propagation has work to do.
+  if (Roll < 4)
+    return Random.chance(1, 2) ? static_cast<const Value *>(B.add1())
+                               : static_cast<const Value *>(B.sub1());
+  if (Roll < 8) {
+    // In well-typed mode only procedure-holding variables may be applied.
+    const std::vector<Symbol> &Pool = Opts.WellTyped ? FunScope : Scope;
+    if (!Pool.empty())
+      return B.var(Pool[Random.below(Pool.size())]);
+  }
+  if (Depth > 0) {
+    // A literal lambda in operator position.
+    Symbol P = Ctx.fresh("p");
+    Scope.push_back(P);
+    const Term *Body =
+        chain(1 + static_cast<uint32_t>(Random.below(3)), Depth - 1, Scope);
+    Scope.pop_back();
+    return B.lam(P, Body);
+  }
+  return Random.chance(1, 2) ? static_cast<const Value *>(B.add1())
+                             : static_cast<const Value *>(B.sub1());
+}
+
+const Term *ProgramGenerator::chain(uint32_t Length, uint32_t Depth,
+                                    std::vector<Symbol> &Scope) {
+  Builder B(Ctx);
+  if (Length == 0)
+    return B.val(operand(Scope));
+
+  Symbol X = Ctx.fresh("x");
+  const Term *Bound = nullptr;
+  bool BoundIsLambda = false;
+  uint64_t Roll = Random.below(100);
+  if (Opts.AllowLoop && Roll < 3) {
+    Bound = B.loop();
+  } else if (Roll < 30) {
+    // Plain value binding; occasionally a lambda.
+    if (Depth > 0 && Random.chance(1, 4)) {
+      Symbol P = Ctx.fresh("p");
+      Scope.push_back(P);
+      const Term *LBody =
+          chain(1 + static_cast<uint32_t>(Random.below(3)), Depth - 1, Scope);
+      Scope.pop_back();
+      Bound = B.val(B.lam(P, LBody));
+      BoundIsLambda = true;
+    } else {
+      Bound = B.val(operand(Scope));
+    }
+  } else if (Roll < 70 || Depth == 0) {
+    // Application.
+    const Value *Fun = operatorValue(Depth, Scope);
+    const Value *Arg = operand(Scope);
+    Bound = B.appVV(Fun, Arg);
+  } else {
+    // Conditional with sub-chains as branches.
+    const Value *Cond = operand(Scope);
+    uint32_t BranchLen = 1 + static_cast<uint32_t>(Random.below(3));
+    const Term *Then = chain(BranchLen, Depth - 1, Scope);
+    const Term *Else = chain(BranchLen, Depth - 1, Scope);
+    Bound = B.if0(B.val(Cond), Then, Else);
+  }
+
+  Scope.push_back(X);
+  if (BoundIsLambda)
+    FunScope.push_back(X);
+  const Term *Body = chain(Length - 1, Depth, Scope);
+  if (BoundIsLambda)
+    FunScope.pop_back();
+  Scope.pop_back();
+  return B.let(X, Bound, Body);
+}

@@ -1,0 +1,92 @@
+//===- gen/Generator.h - Random ANF program generator -----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic random generator of A-normal-form programs, used by the
+/// property tests (soundness of the analyzers against the concrete
+/// interpreters, the interpreter-agreement lemmas) and by the E8
+/// incomparability census.
+///
+/// Generated programs are closed up to a configurable set of free
+/// variables z0..zN-1 (bound by the test harness, concretely to integers
+/// and abstractly to the numeric top), have unique binders by
+/// construction, and satisfy anf::isAnf. They are *not* guaranteed to be
+/// well-typed or terminating: stuck and diverging programs exercise the
+/// partiality of the Figure 1-3 interpreters and the soundness of the
+/// analyzers on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_GEN_GENERATOR_H
+#define CPSFLOW_GEN_GENERATOR_H
+
+#include "support/Rng.h"
+#include "syntax/Ast.h"
+
+#include <vector>
+
+namespace cpsflow {
+namespace gen {
+
+/// Tuning knobs for the generator.
+struct GenOptions {
+  uint64_t Seed = 1;
+  /// Free variables z0..z{NumFreeVars-1} assumed bound by the harness.
+  uint32_t NumFreeVars = 2;
+  /// Bindings per let chain (before the final result value).
+  uint32_t ChainLength = 8;
+  /// Maximum nesting of lambdas and conditionals.
+  uint32_t MaxDepth = 3;
+  /// Permit the Section 6.2 `loop` construct (off by default: most tests
+  /// compare against concrete runs, which `loop` always diverges).
+  bool AllowLoop = false;
+  /// Numerals are drawn from [0, NumeralRange].
+  int64_t NumeralRange = 3;
+  /// When true, operators are drawn only from variables known to hold
+  /// procedures (plus primitives and literal lambdas), so most programs
+  /// complete instead of getting stuck on `(number number)`. Useful for
+  /// corpora that should exercise the precision comparisons rather than
+  /// dead-path handling.
+  bool WellTyped = false;
+};
+
+/// Generates one program per call; successive calls continue the random
+/// stream, so a single generator yields a reproducible corpus.
+class ProgramGenerator {
+public:
+  ProgramGenerator(Context &Ctx, GenOptions Opts);
+
+  /// \returns an ANF term with unique binders.
+  const syntax::Term *generate();
+
+  /// \returns a general (usually non-ANF) language-A term with unique
+  /// binders: nested applications, let-bound lets, conditionals in
+  /// arbitrary positions. Exercises the A-normalizer.
+  const syntax::Term *generateFull();
+
+  /// The free variables generated programs may reference.
+  const std::vector<Symbol> &freeVars() const { return FreeVars; }
+
+private:
+  const syntax::Term *chain(uint32_t Length, uint32_t Depth,
+                            std::vector<Symbol> &Scope);
+  const syntax::Term *fullTerm(uint32_t Depth, std::vector<Symbol> &Scope);
+  const syntax::Value *operand(const std::vector<Symbol> &Scope);
+  const syntax::Value *operatorValue(uint32_t Depth,
+                                     std::vector<Symbol> &Scope);
+
+  Context &Ctx;
+  GenOptions Opts;
+  Rng Random;
+  std::vector<Symbol> FreeVars;
+  /// Variables currently in scope whose binding was a literal lambda.
+  std::vector<Symbol> FunScope;
+};
+
+} // namespace gen
+} // namespace cpsflow
+
+#endif // CPSFLOW_GEN_GENERATOR_H

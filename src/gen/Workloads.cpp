@@ -1,0 +1,259 @@
+//===- gen/Workloads.cpp - Structured workload families ---------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Workloads.h"
+
+#include "syntax/Builder.h"
+
+#include <string>
+#include <vector>
+
+using namespace cpsflow;
+using namespace cpsflow::syntax;
+using analysis::AbsBindingSpec;
+using analysis::Witness;
+
+Witness cpsflow::gen::conditionalChain(Context &Ctx, uint32_t N) {
+  Builder B(Ctx);
+  Witness W;
+  W.Name = "conditional-chain-" + std::to_string(N);
+
+  // acc_0 = 0; acc_{i+1} = if0 z_i then add1(acc_i) else sub1(acc_i);
+  // result acc_N. Each branch's constant differs, so the per-path stores
+  // stay distinct and the CPS analyzers explore all 2^N paths.
+  std::vector<Symbol> Accs, Zs;
+  for (uint32_t I = 0; I <= N; ++I)
+    Accs.push_back(Ctx.fresh("acc"));
+  for (uint32_t I = 0; I < N; ++I)
+    Zs.push_back(Ctx.fresh("z"));
+
+  const Term *Body = B.varTerm(Accs[N]);
+  for (uint32_t I = N; I-- > 0;) {
+    Symbol T = Ctx.fresh("t");
+    Symbol S = Ctx.fresh("s");
+    const Term *Then =
+        B.let(T, B.appVV(B.add1(), B.var(Accs[I])), B.varTerm(T));
+    const Term *Else =
+        B.let(S, B.appVV(B.sub1(), B.var(Accs[I])), B.varTerm(S));
+    Body = B.let(Accs[I + 1], B.if0(B.varTerm(Zs[I]), Then, Else), Body);
+  }
+  W.Anf = B.let(Accs[0], B.numTerm(0), Body);
+
+  for (Symbol Z : Zs) {
+    AbsBindingSpec ZB;
+    ZB.Var = Z;
+    ZB.NumTop = true;
+    W.Bindings.push_back(ZB);
+  }
+  W.InterestingVars = Accs;
+  W.Probe = Accs[N];
+  analysis::finalizeWitness(Ctx, W);
+  return W;
+}
+
+Witness cpsflow::gen::convergingChain(Context &Ctx, uint32_t N) {
+  Builder B(Ctx);
+  Witness W;
+  W.Name = "converging-chain-" + std::to_string(N);
+
+  // acc_{i+1} = if0 z_i then i+1 else i+1: both branches produce the
+  // same value with no differing store effects, so after each conditional
+  // the per-path stores coincide again and the continuation goals repeat
+  // exactly.
+  std::vector<Symbol> Accs, Zs;
+  for (uint32_t I = 0; I <= N; ++I)
+    Accs.push_back(Ctx.fresh("acc"));
+  for (uint32_t I = 0; I < N; ++I)
+    Zs.push_back(Ctx.fresh("z"));
+
+  const Term *Body = B.varTerm(Accs[N]);
+  for (uint32_t I = N; I-- > 0;) {
+    Body = B.let(Accs[I + 1],
+                 B.if0(B.varTerm(Zs[I]), B.numTerm(I + 1), B.numTerm(I + 1)),
+                 Body);
+  }
+  W.Anf = B.let(Accs[0], B.numTerm(0), Body);
+
+  for (Symbol Z : Zs) {
+    AbsBindingSpec ZB;
+    ZB.Var = Z;
+    ZB.NumTop = true;
+    W.Bindings.push_back(ZB);
+  }
+  W.InterestingVars = {Accs[N]};
+  W.Probe = Accs[N];
+  analysis::finalizeWitness(Ctx, W);
+  return W;
+}
+
+Witness cpsflow::gen::callMergeChain(Context &Ctx, uint32_t N) {
+  Builder B(Ctx);
+  Witness W;
+  W.Name = "call-merge-chain-" + std::to_string(N);
+
+  // The Theorem 5.2b shape, repeated: a_i = f_i 3 with f_i |-> two
+  // constant closures; b_i = if0 a_i then 5 else (if0 (sub1 a_i) 5 6).
+  // Every CPS path keeps b_i = 5; the direct analysis merges a_i to T and
+  // loses every b_i.
+  std::vector<Symbol> Bs;
+  const Term *Body = nullptr;
+  std::vector<const Term *> Pending;
+
+  for (uint32_t I = 0; I < N; ++I)
+    Bs.push_back(Ctx.fresh("b"));
+
+  Body = B.varTerm(Bs[N - 1]);
+  for (uint32_t I = N; I-- > 0;) {
+    Symbol F = Ctx.fresh("f");
+    Symbol A = Ctx.fresh("a");
+    Symbol U = Ctx.fresh("u");
+    Symbol V = Ctx.fresh("v");
+    Symbol D0 = Ctx.fresh("d");
+    Symbol D1 = Ctx.fresh("d");
+
+    const LamValue *K0 = B.lam(D0, B.numTerm(0));
+    const LamValue *K1 = B.lam(D1, B.numTerm(1));
+    AbsBindingSpec FB;
+    FB.Var = F;
+    FB.Lams.push_back(K0);
+    FB.Lams.push_back(K1);
+    W.Bindings.push_back(FB);
+
+    const Term *Inner =
+        B.let(U, B.appVV(B.sub1(), B.var(A)),
+              B.let(V, B.if0(B.varTerm(U), B.numTerm(5), B.numTerm(6)),
+                    B.varTerm(V)));
+    Body = B.let(
+        A, B.appVV(B.var(F), B.num(3)),
+        B.let(Bs[I], B.if0(B.varTerm(A), B.numTerm(5), Inner), Body));
+  }
+  W.Anf = Body;
+  W.InterestingVars = Bs;
+  W.Probe = Bs[N - 1];
+  analysis::finalizeWitness(Ctx, W);
+  return W;
+}
+
+Witness cpsflow::gen::closureTower(Context &Ctx, uint32_t N) {
+  Builder B(Ctx);
+  Witness W;
+  W.Name = "closure-tower-" + std::to_string(N);
+
+  // x_0 = 0; f_i = (lambda (p_i) (add1 p_i)); x_{i+1} = f_i x_i.
+  // Distinct lambdas keep every abstract constant exact in all three
+  // analyzers; the family is linear everywhere.
+  std::vector<Symbol> Xs;
+  for (uint32_t I = 0; I <= N; ++I)
+    Xs.push_back(Ctx.fresh("x"));
+
+  const Term *Body = B.varTerm(Xs[N]);
+  for (uint32_t I = N; I-- > 0;) {
+    Symbol F = Ctx.fresh("f");
+    Symbol P = Ctx.fresh("p");
+    Symbol Q = Ctx.fresh("q");
+    const Term *LamBody =
+        B.let(Q, B.appVV(B.add1(), B.var(P)), B.varTerm(Q));
+    Body = B.let(F, B.val(B.lam(P, LamBody)),
+                 B.let(Xs[I + 1], B.appVV(B.var(F), B.var(Xs[I])), Body));
+  }
+  W.Anf = B.let(Xs[0], B.numTerm(0), Body);
+  W.InterestingVars = {Xs[N]};
+  W.Probe = Xs[N];
+  analysis::finalizeWitness(Ctx, W);
+  return W;
+}
+
+Witness cpsflow::gen::loopProbe(Context &Ctx, uint32_t K) {
+  Builder B(Ctx);
+  Witness W;
+  W.Name = "loop-probe-" + std::to_string(K);
+
+  // (let (x (loop))
+  //   (let (u_1 (sub1 x)) ... (let (u_K (sub1 u_{K-1}))
+  //     (let (r (if0 u_K 7 9)) r))))
+  // Only the iterate x = K reaches the 7 branch.
+  Symbol X = Ctx.fresh("x");
+  Symbol R = Ctx.fresh("r");
+
+  std::vector<Symbol> Us;
+  for (uint32_t I = 0; I < K; ++I)
+    Us.push_back(Ctx.fresh("u"));
+
+  Symbol Test = K == 0 ? X : Us[K - 1];
+  const Term *Body =
+      B.let(R, B.if0(B.varTerm(Test), B.numTerm(7), B.numTerm(9)),
+            B.varTerm(R));
+  for (uint32_t I = K; I-- > 0;) {
+    Symbol Prev = I == 0 ? X : Us[I - 1];
+    Body = B.let(Us[I], B.appVV(B.sub1(), B.var(Prev)), Body);
+  }
+  W.Anf = B.let(X, B.loop(), Body);
+  W.InterestingVars = {X, R};
+  W.Probe = R;
+  analysis::finalizeWitness(Ctx, W);
+  return W;
+}
+
+Witness cpsflow::gen::omega(Context &Ctx) {
+  Builder B(Ctx);
+  Witness W;
+  W.Name = "omega";
+
+  // (let (w (lambda (x) (let (r (x x)) r))) (let (d (w w)) d)).
+  Symbol Wv = Ctx.fresh("w");
+  Symbol X = Ctx.fresh("x");
+  Symbol R = Ctx.fresh("r");
+  Symbol Dv = Ctx.fresh("d");
+
+  const Term *LamBody =
+      B.let(R, B.appVV(B.var(X), B.var(X)), B.varTerm(R));
+  W.Anf = B.let(Wv, B.val(B.lam(X, LamBody)),
+                B.let(Dv, B.appVV(B.var(Wv), B.var(Wv)), B.varTerm(Dv)));
+  W.InterestingVars = {X, Dv};
+  W.Probe = Dv;
+  analysis::finalizeWitness(Ctx, W);
+  return W;
+}
+
+Witness cpsflow::gen::counterLoop(Context &Ctx, uint32_t N) {
+  Builder B(Ctx);
+  Witness W;
+  W.Name = "counter-loop-" + std::to_string(N);
+
+  // Recursion by self-application:
+  //   g = (lambda (s) (lambda (n) (if0 n 0 ((s s) (sub1 n)))))
+  //   out = ((g g) N)
+  // in ANF. Concretely terminates after N calls; abstractly exercises the
+  // Section 4.4 cut on a recursive but terminating program.
+  Symbol G = Ctx.fresh("g");
+  Symbol S = Ctx.fresh("s");
+  Symbol Nv = Ctx.fresh("n");
+  Symbol M = Ctx.fresh("m");
+  Symbol F = Ctx.fresh("f");
+  Symbol R2 = Ctx.fresh("r");
+  Symbol Res = Ctx.fresh("res");
+  Symbol F0 = Ctx.fresh("f0");
+  Symbol Out = Ctx.fresh("out");
+
+  const Term *ElseBranch =
+      B.let(M, B.appVV(B.sub1(), B.var(Nv)),
+            B.let(F, B.appVV(B.var(S), B.var(S)),
+                  B.let(R2, B.appVV(B.var(F), B.var(M)), B.varTerm(R2))));
+  const Term *InnerBody =
+      B.let(Res, B.if0(B.varTerm(Nv), B.numTerm(0), ElseBranch),
+            B.varTerm(Res));
+  const LamValue *Inner = B.lam(Nv, InnerBody);
+  const LamValue *Gv = B.lam(S, B.val(Inner));
+
+  W.Anf = B.let(G, B.val(Gv),
+                B.let(F0, B.appVV(B.var(G), B.var(G)),
+                      B.let(Out, B.appVV(B.var(F0), B.num(N)),
+                            B.varTerm(Out))));
+  W.InterestingVars = {Nv, Out};
+  W.Probe = Out;
+  analysis::finalizeWitness(Ctx, W);
+  return W;
+}

@@ -1,0 +1,73 @@
+//===- gen/Workloads.h - Structured workload families -----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized program families for the Section 6 cost and
+/// computability experiments. Each returns an analysis::Witness (program,
+/// CPS transform, initial abstract store, probe variable):
+///
+///  * conditionalChain(n) — n sequential unknown conditionals, each
+///    refining an accumulator differently per branch. The direct analyzer
+///    merges after every conditional (linear work); the CPS analyzers
+///    duplicate the rest of the program per branch (2^n paths) —
+///    Section 6.2's "overall exponential cost".
+///  * callMergeChain(n) — the same blow-up driven by call sites with two
+///    possible callees each (the Theorem 5.2b shape, scaled n times).
+///    The CPS analyses keep every probe constant (5); the direct analysis
+///    loses them all.
+///  * closureTower(n) — n distinct single-callee applications; linear for
+///    every analyzer, and every analyzer keeps the exact constant n.
+///  * loopProbe(k) — `(let (x (loop)) ...)` followed by a test that only
+///    the iterate x = k distinguishes: `if0 (sub1^k x) 7 9`. The direct
+///    loop rule answers instantly and exactly; the CPS analyzers' bounded
+///    join changes as the unroll bound crosses k — the Section 6.2
+///    undecidability made visible.
+///  * omega() — `(lambda (x) (x x))` applied to itself: concretely
+///    divergent, exercising the Section 4.4 loop cut.
+///  * counterLoop(n) — a countdown via self-application (terminating
+///    recursion), exercising cuts and memoization together.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_GEN_WORKLOADS_H
+#define CPSFLOW_GEN_WORKLOADS_H
+
+#include "analysis/Witnesses.h"
+#include "syntax/Ast.h"
+
+namespace cpsflow {
+namespace gen {
+
+/// n unknown conditionals in sequence; free vars z0..z{n-1} bound to top.
+analysis::Witness conditionalChain(Context &Ctx, uint32_t N);
+
+/// n unknown conditionals whose two branches compute the *same* value, so
+/// the duplicated per-path stores reconverge after every conditional.
+/// With memoization the CPS analyzers collapse back to linear cost; with
+/// the memo table disabled they stay exponential (bench E11's contrast
+/// with conditionalChain, where stores genuinely differ and memoization
+/// cannot help).
+analysis::Witness convergingChain(Context &Ctx, uint32_t N);
+
+/// n call sites with two possible constant-returning callees each.
+analysis::Witness callMergeChain(Context &Ctx, uint32_t N);
+
+/// n distinct single-callee applications computing the constant n.
+analysis::Witness closureTower(Context &Ctx, uint32_t N);
+
+/// `loop` followed by a probe only iterate K satisfies.
+analysis::Witness loopProbe(Context &Ctx, uint32_t K);
+
+/// (lambda (x) (x x)) applied to itself, in ANF.
+analysis::Witness omega(Context &Ctx);
+
+/// A self-application-encoded countdown from N.
+analysis::Witness counterLoop(Context &Ctx, uint32_t N);
+
+} // namespace gen
+} // namespace cpsflow
+
+#endif // CPSFLOW_GEN_WORKLOADS_H

@@ -1,0 +1,78 @@
+//===- interp/Delta.cpp - The delta relation of Lemma 3.3 -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Delta.h"
+
+#include <set>
+#include <sstream>
+
+using namespace cpsflow;
+using namespace cpsflow::interp;
+
+bool cpsflow::interp::deltaRelated(const RtValue &Direct,
+                                   const CpsRtValue &Cps,
+                                   const cps::CpsProgram &Program) {
+  switch (Direct.Tag) {
+  case RtValue::Kind::Num:
+    return Cps.Tag == CpsRtValue::Kind::Num && Cps.Num == Direct.Num;
+  case RtValue::Kind::Inc:
+    return Cps.Tag == CpsRtValue::Kind::Inck;
+  case RtValue::Kind::Dec:
+    return Cps.Tag == CpsRtValue::Kind::Deck;
+  case RtValue::Kind::Closure: {
+    if (Cps.Tag != CpsRtValue::Kind::Closure)
+      return false;
+    auto It = Program.LamToCps.find(Direct.Lam);
+    return It != Program.LamToCps.end() && It->second == Cps.Lam;
+  }
+  }
+  return false;
+}
+
+bool cpsflow::interp::storesDeltaRelated(const Context &Ctx,
+                                         const Store &DirectStore,
+                                         const CpsStore &CpsStore,
+                                         const cps::CpsProgram &Program,
+                                         std::string *WhyNot) {
+  auto Fail = [&](const std::string &Message) {
+    if (WhyNot)
+      *WhyNot = Message;
+    return false;
+  };
+
+  // The KVars introduced by the transformation: their cells are the
+  // continuation entries Lemma 3.3 sets aside. Continuation-lambda
+  // parameters are source variables (the original let-bound names), so
+  // they participate in the comparison.
+  std::set<Symbol> KVars(Program.KVars.begin(), Program.KVars.end());
+
+  // Collect the per-variable histories of both stores.
+  std::set<Symbol> Vars;
+  for (const auto &Cell : DirectStore.cells())
+    Vars.insert(Cell.Var);
+  for (const auto &Cell : CpsStore.cells())
+    if (!KVars.count(Cell.Var))
+      Vars.insert(Cell.Var);
+
+  for (Symbol X : Vars) {
+    std::vector<RtValue> D = DirectStore.valuesAt(X);
+    std::vector<CpsRtValue> C = CpsStore.valuesAt(X);
+    if (D.size() != C.size()) {
+      std::ostringstream O;
+      O << "variable '" << Ctx.spelling(X) << "': " << D.size()
+        << " direct cells vs " << C.size() << " cps cells";
+      return Fail(O.str());
+    }
+    for (size_t I = 0; I < D.size(); ++I)
+      if (!deltaRelated(D[I], C[I], Program)) {
+        std::ostringstream O;
+        O << "variable '" << Ctx.spelling(X) << "' cell " << I
+          << ": delta(" << str(Ctx, D[I]) << ") != " << str(Ctx, C[I]);
+        return Fail(O.str());
+      }
+  }
+  return true;
+}

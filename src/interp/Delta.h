@@ -1,0 +1,58 @@
+//===- interp/Delta.h - The delta relation of Lemma 3.3 ---------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The function delta relating direct run-time values to their CPS
+/// counterparts (Section 3.3):
+///
+/// \code
+///   delta(n)              = n
+///   delta(inc)            = inck
+///   delta(dec)            = deck
+///   delta((cl x, M, rho)) = (cl x k, F_k[M], rho')
+/// \endcode
+///
+/// Lemma 3.3 says a direct run and the corresponding CPS run produce
+/// delta-related answers, and delta-related stores up to the extra
+/// continuation cells of the CPS store. deltaRelated checks the value
+/// relation; storesDeltaRelated checks the store relation by comparing,
+/// per source variable, the allocation histories of the two stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_INTERP_DELTA_H
+#define CPSFLOW_INTERP_DELTA_H
+
+#include "cps/Transform.h"
+#include "interp/Runtime.h"
+
+#include <string>
+
+namespace cpsflow {
+namespace interp {
+
+/// True iff delta(\p Direct) == \p Cps, using \p Program's source-lambda to
+/// CPS-lambda correspondence. Environments are not compared (they are
+/// related pointwise through the stores; the store check covers them).
+bool deltaRelated(const RtValue &Direct, const CpsRtValue &Cps,
+                  const cps::CpsProgram &Program);
+
+/// Checks the Lemma 3.3 store relation: for every source variable x, the
+/// sequence of values allocated at x-cells in \p DirectStore is delta-
+/// related, element by element, to the sequence allocated at x-cells in
+/// \p CpsStore. Cells for KVars (continuations) in \p CpsStore are the
+/// lemma's "additional entries" and are ignored.
+///
+/// On mismatch \p WhyNot (if non-null) receives a description.
+bool storesDeltaRelated(const Context &Ctx, const Store &DirectStore,
+                        const CpsStore &CpsStore,
+                        const cps::CpsProgram &Program,
+                        std::string *WhyNot = nullptr);
+
+} // namespace interp
+} // namespace cpsflow
+
+#endif // CPSFLOW_INTERP_DELTA_H

@@ -1,0 +1,119 @@
+//===- interp/Direct.h - Figure 1: the direct interpreter -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The direct (store) interpreter M of Figure 1.
+///
+/// The paper defines M on the restricted (A-normal) subset; this
+/// implementation accepts the full language A — on A-normal terms it
+/// applies exactly the Figure 1 rules, and on general terms the standard
+/// call-by-value extension, which lets tests check that A-normalization
+/// preserves the semantics (footnote 2 of the paper).
+///
+/// Free variables of the program may be pre-bound through the initial
+/// bindings argument (the environment/store pair of the judgment
+/// `(M, rho, s) M A`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_INTERP_DIRECT_H
+#define CPSFLOW_INTERP_DIRECT_H
+
+#include "interp/Runtime.h"
+
+#include <map>
+#include <string>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace interp {
+
+/// One initial binding: the program sees \p Var bound to \p Value.
+struct InitialBinding {
+  Symbol Var;
+  RtValue Value;
+};
+
+/// Runs the Figure 1 interpreter.
+///
+/// The object is single-use: construct, call run once, then inspect the
+/// final store via store() (e.g. to compare per-variable value histories
+/// against an abstract analysis).
+class DirectInterp {
+public:
+  explicit DirectInterp(RunLimits Limits = RunLimits()) : Limits(Limits) {}
+
+  /// Evaluates \p Program under \p Initial. \returns the answer value or
+  /// the failure mode (stuck / diverged / out of fuel).
+  RunResult run(const syntax::Term *Program,
+                const std::vector<InitialBinding> &Initial = {});
+
+  /// The final store (valid after run; reflects a partial run on failure).
+  const Store &store() const { return TheStore; }
+
+  /// Enables execution tracing: each evaluation and application appends
+  /// one line (capped at \p MaxLines) retrievable via trace(). \p Ctx
+  /// must outlive the run.
+  void enableTrace(const Context &Ctx, size_t MaxLines = 2000) {
+    TraceCtx = &Ctx;
+    MaxTrace = MaxLines;
+  }
+
+  /// The recorded trace (valid after run when tracing was enabled).
+  const std::vector<std::string> &trace() const { return Trace; }
+
+  /// The concrete call graph of the run: per application site, the
+  /// user-defined procedures actually applied there (primitives excluded).
+  /// Ground truth for the abstract analyzers' CFG extraction.
+  const std::map<const syntax::AppTerm *,
+                 std::set<const syntax::LamValue *>> &
+  calleeLog() const {
+    return CalleeLog;
+  }
+
+private:
+  /// Outcome of one recursive evaluation; Ok carries a value.
+  struct Partial {
+    bool Ok;
+    RtValue Value;
+  };
+
+  Partial evalTerm(const syntax::Term *T, const EnvNode *Env,
+                   uint32_t Depth);
+  Partial evalValue(const syntax::Value *V, const EnvNode *Env);
+  Partial apply(const RtValue &Fun, const RtValue &Arg, uint32_t Depth,
+                const syntax::AppTerm *Site = nullptr);
+
+  Partial fail(RunStatus Status, std::string Message) {
+    if (Result.Status == RunStatus::Ok) {
+      Result.Status = Status;
+      Result.Message = std::move(Message);
+    }
+    return Partial{false, RtValue()};
+  }
+
+  bool spendFuel() {
+    ++Result.Steps;
+    return Result.Steps <= Limits.MaxSteps;
+  }
+
+  RunLimits Limits;
+  RunResult Result;
+  Store TheStore;
+  EnvArena Envs;
+  std::map<const syntax::AppTerm *, std::set<const syntax::LamValue *>>
+      CalleeLog;
+  const Context *TraceCtx = nullptr;
+  size_t MaxTrace = 0;
+  std::vector<std::string> Trace;
+};
+
+} // namespace interp
+} // namespace cpsflow
+
+#endif // CPSFLOW_INTERP_DIRECT_H

@@ -1,0 +1,63 @@
+//===- interp/Runtime.cpp - Concrete run-time model -------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Runtime.h"
+
+#include <sstream>
+
+using namespace cpsflow;
+using namespace cpsflow::interp;
+
+std::string cpsflow::interp::str(const Context &Ctx, const RtValue &V) {
+  switch (V.Tag) {
+  case RtValue::Kind::Num:
+    return std::to_string(V.Num);
+  case RtValue::Kind::Inc:
+    return "inc";
+  case RtValue::Kind::Dec:
+    return "dec";
+  case RtValue::Kind::Closure: {
+    std::ostringstream O;
+    O << "(cl " << Ctx.spelling(V.Lam->param()) << " #" << V.Lam->id()
+      << ")";
+    return O.str();
+  }
+  }
+  return "<invalid>";
+}
+
+std::string cpsflow::interp::str(const Context &Ctx, const CpsRtValue &V) {
+  switch (V.Tag) {
+  case CpsRtValue::Kind::Num:
+    return std::to_string(V.Num);
+  case CpsRtValue::Kind::Inck:
+    return "inck";
+  case CpsRtValue::Kind::Deck:
+    return "deck";
+  case CpsRtValue::Kind::Closure: {
+    std::ostringstream O;
+    O << "(cl " << Ctx.spelling(V.Lam->param()) << " "
+      << Ctx.spelling(V.Lam->kparam()) << " #" << V.Lam->id() << ")";
+    return O.str();
+  }
+  case CpsRtValue::Kind::Cont: {
+    std::ostringstream O;
+    O << "(co " << Ctx.spelling(V.Cont->param()) << " #" << V.Cont->id()
+      << ")";
+    return O.str();
+  }
+  case CpsRtValue::Kind::Stop:
+    return "stop";
+  }
+  return "<invalid>";
+}
+
+std::string cpsflow::interp::snippet(std::string Text, size_t Max) {
+  if (Text.size() <= Max)
+    return Text;
+  Text.resize(Max - 3);
+  return Text + "...";
+}

@@ -1,0 +1,270 @@
+//===- interp/Runtime.h - Concrete run-time model ---------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run-time model shared by the three concrete interpreters of
+/// Figures 1-3: environments mapping variables to locations, stores mapping
+/// locations to values, and the two run-time value universes.
+///
+/// Locations are allocated by `new(x, s)`: each cell remembers the variable
+/// it was created for (`new` is invertible, Section 2), which is what the
+/// abstract interpreters exploit when they merge all locations of a
+/// variable into one (Section 4.1). Store::valuesAt exposes the per-
+/// variable allocation history for exactly that reason — tests compare a
+/// concrete run against an abstract one by folding this history with join.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_INTERP_RUNTIME_H
+#define CPSFLOW_INTERP_RUNTIME_H
+
+#include "cps/CpsAst.h"
+#include "support/Symbol.h"
+#include "syntax/Ast.h"
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace cpsflow {
+namespace interp {
+
+/// A store location. Allocation order is the cell index.
+using Loc = uint32_t;
+
+/// A persistent environment node: extending an environment allocates a new
+/// head; closures capture the head pointer. Nodes are owned by the
+/// interpreter's EnvArena and outlive every value that references them.
+struct EnvNode {
+  Symbol Var;
+  Loc Location;
+  const EnvNode *Parent;
+};
+
+/// Owns environment nodes for one interpreter run.
+class EnvArena {
+public:
+  /// Extends \p Parent with \p Var at \p Location.
+  const EnvNode *extend(const EnvNode *Parent, Symbol Var, Loc Location) {
+    Nodes.push_back(EnvNode{Var, Location, Parent});
+    return &Nodes.back();
+  }
+
+  /// Looks up \p Var; \returns nullptr if unbound.
+  static const EnvNode *lookup(const EnvNode *Env, Symbol Var) {
+    for (; Env; Env = Env->Parent)
+      if (Env->Var == Var)
+        return Env;
+    return nullptr;
+  }
+
+private:
+  std::deque<EnvNode> Nodes;
+};
+
+//===----------------------------------------------------------------------===//
+// Run-time values of the direct and semantic-CPS interpreters (Figures 1-2)
+//===----------------------------------------------------------------------===//
+
+/// Val = Num + Clo where Clo = (Var x A x Env) + inc + dec.
+struct RtValue {
+  enum class Kind : uint8_t { Num, Inc, Dec, Closure };
+
+  Kind Tag = Kind::Num;
+  int64_t Num = 0;
+  const syntax::LamValue *Lam = nullptr;
+  const EnvNode *Env = nullptr;
+
+  static RtValue number(int64_t N) {
+    RtValue V;
+    V.Tag = Kind::Num;
+    V.Num = N;
+    return V;
+  }
+  static RtValue inc() {
+    RtValue V;
+    V.Tag = Kind::Inc;
+    return V;
+  }
+  static RtValue dec() {
+    RtValue V;
+    V.Tag = Kind::Dec;
+    return V;
+  }
+  static RtValue closure(const syntax::LamValue *Lam,
+                         const EnvNode *Env = nullptr) {
+    RtValue V;
+    V.Tag = Kind::Closure;
+    V.Lam = Lam;
+    V.Env = Env;
+    return V;
+  }
+
+  bool isNum() const { return Tag == Kind::Num; }
+  bool isClosure() const { return Tag == Kind::Closure; }
+};
+
+//===----------------------------------------------------------------------===//
+// Run-time values of the syntactic-CPS interpreter (Figure 3)
+//===----------------------------------------------------------------------===//
+
+/// Val = Num + Clo + Con where Clo = (Var x KVar x cps(A) x Env) + inck +
+/// deck and Con = (Var x cps(A) x Env) + stop.
+struct CpsRtValue {
+  enum class Kind : uint8_t { Num, Inck, Deck, Closure, Cont, Stop };
+
+  Kind Tag = Kind::Num;
+  int64_t Num = 0;
+  const cps::CpsLam *Lam = nullptr;
+  const cps::ContLam *Cont = nullptr;
+  const EnvNode *Env = nullptr;
+
+  static CpsRtValue number(int64_t N) {
+    CpsRtValue V;
+    V.Tag = Kind::Num;
+    V.Num = N;
+    return V;
+  }
+  static CpsRtValue inck() {
+    CpsRtValue V;
+    V.Tag = Kind::Inck;
+    return V;
+  }
+  static CpsRtValue deck() {
+    CpsRtValue V;
+    V.Tag = Kind::Deck;
+    return V;
+  }
+  static CpsRtValue closure(const cps::CpsLam *Lam,
+                            const EnvNode *Env = nullptr) {
+    CpsRtValue V;
+    V.Tag = Kind::Closure;
+    V.Lam = Lam;
+    V.Env = Env;
+    return V;
+  }
+  static CpsRtValue cont(const cps::ContLam *Cont,
+                         const EnvNode *Env = nullptr) {
+    CpsRtValue V;
+    V.Tag = Kind::Cont;
+    V.Cont = Cont;
+    V.Env = Env;
+    return V;
+  }
+  static CpsRtValue stop() {
+    CpsRtValue V;
+    V.Tag = Kind::Stop;
+    return V;
+  }
+
+  bool isNum() const { return Tag == Kind::Num; }
+  bool isContinuation() const {
+    return Tag == Kind::Cont || Tag == Kind::Stop;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Stores
+//===----------------------------------------------------------------------===//
+
+/// A store for value type \p V: cells in allocation order, each tagged with
+/// the variable it was allocated for.
+template <typename V> class StoreOf {
+public:
+  struct Cell {
+    Symbol Var;
+    V Value;
+  };
+
+  /// `new(x, s)` followed by `s[new(x) := u]`.
+  Loc alloc(Symbol Var, V Value) {
+    Cells.push_back(Cell{Var, Value});
+    return static_cast<Loc>(Cells.size() - 1);
+  }
+
+  const V &at(Loc L) const {
+    assert(L < Cells.size() && "dangling location");
+    return Cells[L].Value;
+  }
+
+  /// `new^-1(l)`: the variable a location was created for.
+  Symbol varOf(Loc L) const {
+    assert(L < Cells.size() && "dangling location");
+    return Cells[L].Var;
+  }
+
+  size_t size() const { return Cells.size(); }
+
+  /// All values ever stored for \p Var, in allocation order — the
+  /// collecting-semantics view of the store (Section 4.1).
+  std::vector<V> valuesAt(Symbol Var) const {
+    std::vector<V> Out;
+    for (const Cell &C : Cells)
+      if (C.Var == Var)
+        Out.push_back(C.Value);
+    return Out;
+  }
+
+  const std::vector<Cell> &cells() const { return Cells; }
+
+private:
+  std::vector<Cell> Cells;
+};
+
+using Store = StoreOf<RtValue>;
+using CpsStore = StoreOf<CpsRtValue>;
+
+//===----------------------------------------------------------------------===//
+// Results
+//===----------------------------------------------------------------------===//
+
+/// How a concrete run ended.
+enum class RunStatus : uint8_t {
+  Ok,        ///< produced an answer
+  Stuck,     ///< the partial function M/C/Mc is undefined here
+  Diverged,  ///< hit the `loop` construct, which never returns
+  OutOfFuel, ///< exceeded the step budget
+};
+
+/// Outcome of a direct / semantic-CPS run.
+struct RunResult {
+  RunStatus Status = RunStatus::Stuck;
+  RtValue Value;       ///< valid when Status == Ok
+  std::string Message; ///< diagnosis for Stuck
+  uint64_t Steps = 0;  ///< evaluation rule applications
+
+  bool ok() const { return Status == RunStatus::Ok; }
+};
+
+/// Outcome of a syntactic-CPS run.
+struct CpsRunResult {
+  RunStatus Status = RunStatus::Stuck;
+  CpsRtValue Value;
+  std::string Message;
+  uint64_t Steps = 0;
+
+  bool ok() const { return Status == RunStatus::Ok; }
+};
+
+/// Step/recursion budgets for concrete runs.
+struct RunLimits {
+  uint64_t MaxSteps = 1u << 20;
+  uint32_t MaxDepth = 1u << 13; ///< direct interpreter recursion only
+};
+
+/// Renders a run-time value, e.g. "7", "inc", "(cl x ...)".
+std::string str(const Context &Ctx, const RtValue &V);
+std::string str(const Context &Ctx, const CpsRtValue &V);
+
+/// Truncates a rendered term for trace lines.
+std::string snippet(std::string Text, size_t Max = 56);
+
+} // namespace interp
+} // namespace cpsflow
+
+#endif // CPSFLOW_INTERP_RUNTIME_H

@@ -1,0 +1,179 @@
+//===- interp/SemanticCps.cpp - Figure 2: semantic-CPS machine --*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SemanticCps.h"
+
+#include "anf/Anf.h"
+#include "syntax/Printer.h"
+
+#include <sstream>
+
+using namespace cpsflow;
+using namespace cpsflow::interp;
+using namespace cpsflow::syntax;
+
+RunResult SemanticCpsInterp::run(const Term *Program,
+                                 const std::vector<InitialBinding> &Initial) {
+  assert(anf::isAnfQuick(Program) &&
+         "the Figure 2 machine is defined on A-normal forms");
+
+  RunResult Result;
+  Result.Status = RunStatus::Ok;
+
+  const EnvNode *Env = nullptr;
+  for (const InitialBinding &B : Initial)
+    Env = Envs.extend(Env, B.Var, TheStore.alloc(B.Var, B.Value));
+
+  // Machine registers: either evaluating a term (Mode == Eval) or returning
+  // a value through the continuation (Mode == Return, i.e. appr).
+  enum class Mode { Eval, Return };
+  Mode M = Mode::Eval;
+  const Term *Ctl = Program;
+  RtValue Ret;
+  std::vector<Frame> Kont; // top of stack at the back
+
+  auto Stuck = [&](const char *Why) {
+    Result.Status = RunStatus::Stuck;
+    Result.Message = Why;
+  };
+
+  // phi of Figure 1, shared by Figure 2.
+  auto Phi = [&](const Value *V, const EnvNode *Rho,
+                 RtValue &Out) -> bool {
+    switch (V->kind()) {
+    case ValueKind::VK_Num:
+      Out = RtValue::number(cast<NumValue>(V)->value());
+      return true;
+    case ValueKind::VK_Var: {
+      const EnvNode *B = EnvArena::lookup(Rho, cast<VarValue>(V)->name());
+      if (!B) {
+        Stuck("unbound variable");
+        return false;
+      }
+      Out = TheStore.at(B->Location);
+      return true;
+    }
+    case ValueKind::VK_Prim:
+      Out = cast<PrimValue>(V)->op() == PrimOp::Add1 ? RtValue::inc()
+                                                     : RtValue::dec();
+      return true;
+    case ValueKind::VK_Lam:
+      Out = RtValue::closure(cast<LamValue>(V), Rho);
+      return true;
+    }
+    Stuck("unknown value kind");
+    return false;
+  };
+
+  while (Result.Status == RunStatus::Ok) {
+    if (++Result.Steps > Limits.MaxSteps) {
+      Result.Status = RunStatus::OutOfFuel;
+      Result.Message = "step budget exceeded";
+      break;
+    }
+    MaxKontDepth = std::max(MaxKontDepth, Kont.size());
+
+    if (TraceCtx && Trace.size() < MaxTrace) {
+      std::ostringstream O;
+      O << "[kont " << Kont.size() << "] ";
+      if (M == Mode::Return)
+        O << "return " << str(*TraceCtx, Ret);
+      else
+        O << "eval " << snippet(syntax::print(*TraceCtx, Ctl));
+      Trace.push_back(O.str());
+    }
+
+    if (M == Mode::Return) {
+      // appr: (nil, A) is the final answer; otherwise bind the return
+      // value, restore the frame's environment, pop, continue.
+      if (Kont.empty()) {
+        Result.Value = Ret;
+        return Result;
+      }
+      Frame F = Kont.back();
+      Kont.pop_back();
+      Loc L = TheStore.alloc(F.Let->var(), Ret);
+      Env = Envs.extend(F.Env, F.Let->var(), L);
+      Ctl = F.Let->body();
+      M = Mode::Eval;
+      continue;
+    }
+
+    // Mode::Eval over the ANF grammar.
+    if (const auto *VT = dyn_cast<ValueTerm>(Ctl)) {
+      RtValue U;
+      if (!Phi(VT->value(), Env, U))
+        break;
+      Ret = U;
+      M = Mode::Return;
+      continue;
+    }
+
+    const auto *Let = cast<LetTerm>(Ctl);
+    const Term *Bound = Let->bound();
+    switch (Bound->kind()) {
+    case TermKind::TK_Value: {
+      RtValue U;
+      if (!Phi(cast<ValueTerm>(Bound)->value(), Env, U))
+        break;
+      Loc L = TheStore.alloc(Let->var(), U);
+      Env = Envs.extend(Env, Let->var(), L);
+      Ctl = Let->body();
+      continue;
+    }
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(Bound);
+      RtValue Fun, Arg;
+      if (!Phi(cast<ValueTerm>(App->fun())->value(), Env, Fun) ||
+          !Phi(cast<ValueTerm>(App->arg())->value(), Env, Arg))
+        break;
+      Kont.push_back(Frame{Let, Env});
+      // appk.
+      switch (Fun.Tag) {
+      case RtValue::Kind::Inc:
+      case RtValue::Kind::Dec:
+        if (!Arg.isNum()) {
+          Stuck("add1/sub1 applied to a non-number");
+          break;
+        }
+        Ret = RtValue::number(Fun.Tag == RtValue::Kind::Inc ? Arg.Num + 1
+                                                            : Arg.Num - 1);
+        M = Mode::Return;
+        break;
+      case RtValue::Kind::Closure: {
+        Loc L = TheStore.alloc(Fun.Lam->param(), Arg);
+        Env = Envs.extend(Fun.Env, Fun.Lam->param(), L);
+        Ctl = Fun.Lam->body();
+        break;
+      }
+      case RtValue::Kind::Num:
+        Stuck("application of a number");
+        break;
+      }
+      continue;
+    }
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(Bound);
+      RtValue Cond;
+      if (!Phi(cast<ValueTerm>(If->cond())->value(), Env, Cond))
+        break;
+      Kont.push_back(Frame{Let, Env});
+      bool TakeThen = Cond.isNum() && Cond.Num == 0;
+      Ctl = TakeThen ? If->thenBranch() : If->elseBranch();
+      continue;
+    }
+    case TermKind::TK_Loop:
+      Result.Status = RunStatus::Diverged;
+      Result.Message = "loop construct never returns";
+      break;
+    case TermKind::TK_Let:
+      Stuck("not A-normal form: let-bound let");
+      break;
+    }
+  }
+
+  return Result;
+}

@@ -1,0 +1,80 @@
+//===- interp/SemanticCps.h - Figure 2: the semantic-CPS machine -*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic-CPS interpreter C of Figure 2: the continuation of the
+/// evaluator is reified as an explicit control stack of frames
+/// `((let (x []) M), rho)` manipulated by the auxiliary functions `appk`
+/// (procedure application) and `appr` (the return operation of an abstract
+/// machine: bind the return value, restore the environment, pop the stack).
+///
+/// Accepts A-normal form only (the frames are `(let (x []) M)` contexts).
+/// Lemma 3.1: C agrees with the direct interpreter M.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_INTERP_SEMANTICCPS_H
+#define CPSFLOW_INTERP_SEMANTICCPS_H
+
+#include "interp/Direct.h"
+#include "interp/Runtime.h"
+
+#include <string>
+#include <vector>
+
+namespace cpsflow {
+namespace interp {
+
+/// Runs the Figure 2 machine. Single-use, like DirectInterp.
+class SemanticCpsInterp {
+public:
+  explicit SemanticCpsInterp(RunLimits Limits = RunLimits())
+      : Limits(Limits) {}
+
+  /// Evaluates the A-normal-form term \p Program with the empty
+  /// continuation `nil` and initial bindings \p Initial.
+  ///
+  /// \pre anf::isAnf(Program) holds; asserted in debug builds.
+  RunResult run(const syntax::Term *Program,
+                const std::vector<InitialBinding> &Initial = {});
+
+  /// The final store (valid after run).
+  const Store &store() const { return TheStore; }
+
+  /// Enables execution tracing (one line per machine transition, capped).
+  void enableTrace(const Context &Ctx, size_t MaxLines = 2000) {
+    TraceCtx = &Ctx;
+    MaxTrace = MaxLines;
+  }
+
+  /// The recorded trace.
+  const std::vector<std::string> &trace() const { return Trace; }
+
+  /// Largest continuation depth reached; exposed because the contrast with
+  /// the store-allocated continuations of Figure 3 is part of the paper's
+  /// Section 6.3 point about "only one control stack".
+  size_t maxKontDepth() const { return MaxKontDepth; }
+
+private:
+  /// A continuation frame ((let (x []) M), rho).
+  struct Frame {
+    const syntax::LetTerm *Let;
+    const EnvNode *Env;
+  };
+
+  RunLimits Limits;
+  Store TheStore;
+  EnvArena Envs;
+  size_t MaxKontDepth = 0;
+  const Context *TraceCtx = nullptr;
+  size_t MaxTrace = 0;
+  std::vector<std::string> Trace;
+};
+
+} // namespace interp
+} // namespace cpsflow
+
+#endif // CPSFLOW_INTERP_SEMANTICCPS_H

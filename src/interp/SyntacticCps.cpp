@@ -1,0 +1,181 @@
+//===- interp/SyntacticCps.cpp - Figure 3: CPS-term machine -----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SyntacticCps.h"
+
+#include "cps/Transform.h"
+
+#include <sstream>
+
+using namespace cpsflow;
+using namespace cpsflow::cps;
+using namespace cpsflow::interp;
+
+CpsRunResult
+SyntacticCpsInterp::run(const CpsProgram &Program,
+                        const std::vector<CpsInitialBinding> &Initial) {
+  CpsRunResult Result;
+  Result.Status = RunStatus::Ok;
+
+  const EnvNode *Env = nullptr;
+  for (const CpsInitialBinding &B : Initial)
+    Env = Envs.extend(Env, B.Var, TheStore.alloc(B.Var, B.Value));
+  // `s[new(k) := stop]` (Lemma 3.3).
+  Env = Envs.extend(Env, Program.TopK,
+                    TheStore.alloc(Program.TopK, CpsRtValue::stop()));
+
+  const CpsTerm *Ctl = Program.Root;
+
+  auto Stuck = [&](const char *Why) {
+    Result.Status = RunStatus::Stuck;
+    Result.Message = Why;
+  };
+
+  // phi_c.
+  auto Phi = [&](const CpsValue *W, const EnvNode *Rho,
+                 CpsRtValue &Out) -> bool {
+    switch (W->kind()) {
+    case CpsValueKind::WK_Num:
+      Out = CpsRtValue::number(cast<CpsNum>(W)->value());
+      return true;
+    case CpsValueKind::WK_Var: {
+      const EnvNode *B = EnvArena::lookup(Rho, cast<CpsVar>(W)->name());
+      if (!B) {
+        Stuck("unbound variable");
+        return false;
+      }
+      Out = TheStore.at(B->Location);
+      return true;
+    }
+    case CpsValueKind::WK_Prim:
+      Out = cast<CpsPrim>(W)->op() == CpsPrimOp::Add1k ? CpsRtValue::inck()
+                                                       : CpsRtValue::deck();
+      return true;
+    case CpsValueKind::WK_Lam:
+      Out = CpsRtValue::closure(cast<CpsLam>(W), Rho);
+      return true;
+    }
+    Stuck("unknown cps value kind");
+    return false;
+  };
+
+  // apprc: passes \p U to continuation \p K. Returns false when the machine
+  // should halt (final answer or stuck).
+  auto Apprc = [&](const CpsRtValue &K, const CpsRtValue &U) -> bool {
+    switch (K.Tag) {
+    case CpsRtValue::Kind::Stop:
+      Result.Value = U;
+      return false;
+    case CpsRtValue::Kind::Cont: {
+      Loc L = TheStore.alloc(K.Cont->param(), U);
+      Env = Envs.extend(K.Env, K.Cont->param(), L);
+      Ctl = K.Cont->body();
+      return true;
+    }
+    default:
+      Stuck("return through a non-continuation");
+      return false;
+    }
+  };
+
+  while (Result.Status == RunStatus::Ok) {
+    if (++Result.Steps > Limits.MaxSteps) {
+      Result.Status = RunStatus::OutOfFuel;
+      Result.Message = "step budget exceeded";
+      break;
+    }
+
+    if (TraceCtx && Trace.size() < MaxTrace)
+      Trace.push_back("eval " +
+                      snippet(cps::printCps(*TraceCtx, Ctl)));
+
+    switch (Ctl->kind()) {
+    case CpsTermKind::PK_Ret: {
+      const auto *Ret = cast<CpsRet>(Ctl);
+      const EnvNode *B = EnvArena::lookup(Env, Ret->kvar());
+      if (!B) {
+        Stuck("unbound continuation variable");
+        break;
+      }
+      CpsRtValue K = TheStore.at(B->Location);
+      CpsRtValue U;
+      if (!Phi(Ret->arg(), Env, U))
+        break;
+      if (!Apprc(K, U))
+        return Result;
+      continue;
+    }
+
+    case CpsTermKind::PK_LetVal: {
+      const auto *Let = cast<CpsLetVal>(Ctl);
+      CpsRtValue U;
+      if (!Phi(Let->bound(), Env, U))
+        break;
+      Loc L = TheStore.alloc(Let->var(), U);
+      Env = Envs.extend(Env, Let->var(), L);
+      Ctl = Let->body();
+      continue;
+    }
+
+    case CpsTermKind::PK_Call: {
+      const auto *Call = cast<CpsCall>(Ctl);
+      CpsRtValue Fun, Arg;
+      if (!Phi(Call->fun(), Env, Fun) || !Phi(Call->arg(), Env, Arg))
+        break;
+      CpsRtValue K = CpsRtValue::cont(Call->cont(), Env);
+      // appc.
+      switch (Fun.Tag) {
+      case CpsRtValue::Kind::Inck:
+      case CpsRtValue::Kind::Deck: {
+        if (!Arg.isNum()) {
+          Stuck("add1k/sub1k applied to a non-number");
+          break;
+        }
+        CpsRtValue U = CpsRtValue::number(
+            Fun.Tag == CpsRtValue::Kind::Inck ? Arg.Num + 1 : Arg.Num - 1);
+        if (!Apprc(K, U))
+          return Result;
+        break;
+      }
+      case CpsRtValue::Kind::Closure: {
+        Loc LX = TheStore.alloc(Fun.Lam->param(), Arg);
+        Loc LK = TheStore.alloc(Fun.Lam->kparam(), K);
+        const EnvNode *Rho =
+            Envs.extend(Fun.Env, Fun.Lam->param(), LX);
+        Env = Envs.extend(Rho, Fun.Lam->kparam(), LK);
+        Ctl = Fun.Lam->body();
+        break;
+      }
+      default:
+        Stuck("application of a non-procedure");
+        break;
+      }
+      continue;
+    }
+
+    case CpsTermKind::PK_If: {
+      const auto *If = cast<CpsIf>(Ctl);
+      CpsRtValue Cond;
+      if (!Phi(If->cond(), Env, Cond))
+        break;
+      // s[new(k) := (co x, P, rho)].
+      CpsRtValue Join = CpsRtValue::cont(If->join(), Env);
+      Loc LK = TheStore.alloc(If->kvar(), Join);
+      Env = Envs.extend(Env, If->kvar(), LK);
+      bool TakeThen = Cond.isNum() && Cond.Num == 0;
+      Ctl = TakeThen ? If->thenBranch() : If->elseBranch();
+      continue;
+    }
+
+    case CpsTermKind::PK_Loop:
+      Result.Status = RunStatus::Diverged;
+      Result.Message = "loopk never returns";
+      break;
+    }
+  }
+
+  return Result;
+}

@@ -1,0 +1,79 @@
+//===- interp/SyntacticCps.h - Figure 3: the CPS-term machine ---*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The syntactic-CPS interpreter Mc of Figure 3: a direct-style machine
+/// specialized to cps(A) programs. Its run-time values include reified
+/// continuations `(co x, P, rho)` and `stop`, stored in the heap like any
+/// other value — the salient aspect of the CPS transformation (Section 3.3):
+/// the evaluator's control state becomes an object the program manipulates.
+///
+/// The machine is tail-recursive everywhere (CPS!), so it runs as a flat
+/// loop with no control stack of its own.
+///
+/// Lemma 3.3: running F_k[M] with k bound to `stop` agrees with the direct
+/// interpreter on M, modulo the delta mapping of values (interp/Delta.h)
+/// and the extra continuation entries in the store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_INTERP_SYNTACTICCPS_H
+#define CPSFLOW_INTERP_SYNTACTICCPS_H
+
+#include "cps/Transform.h"
+#include "interp/Runtime.h"
+
+#include <string>
+#include <vector>
+
+namespace cpsflow {
+namespace interp {
+
+/// One initial binding for a CPS run.
+struct CpsInitialBinding {
+  Symbol Var;
+  CpsRtValue Value;
+};
+
+/// Runs the Figure 3 machine. Single-use.
+class SyntacticCpsInterp {
+public:
+  explicit SyntacticCpsInterp(RunLimits Limits = RunLimits())
+      : Limits(Limits) {}
+
+  /// Evaluates \p Program.Root with \p Program.TopK bound to `stop`, plus
+  /// the bindings in \p Initial (typically the delta-images of the direct
+  /// run's initial bindings).
+  CpsRunResult run(const cps::CpsProgram &Program,
+                   const std::vector<CpsInitialBinding> &Initial = {});
+
+  /// Enables execution tracing (one line per machine transition, capped).
+  void enableTrace(const Context &Ctx, size_t MaxLines = 2000) {
+    TraceCtx = &Ctx;
+    MaxTrace = MaxLines;
+  }
+
+  /// The recorded trace.
+  const std::vector<std::string> &trace() const { return Trace; }
+
+  /// The final store (valid after run). Contains continuation cells for
+  /// the KVars in addition to the delta-images of the direct store's
+  /// cells (Lemma 3.3).
+  const CpsStore &store() const { return TheStore; }
+
+private:
+  RunLimits Limits;
+  CpsStore TheStore;
+  EnvArena Envs;
+  const Context *TraceCtx = nullptr;
+  size_t MaxTrace = 0;
+  std::vector<std::string> Trace;
+};
+
+} // namespace interp
+} // namespace cpsflow
+
+#endif // CPSFLOW_INTERP_SYNTACTICCPS_H

@@ -1,0 +1,94 @@
+//===- support/Arena.h - Bump-pointer allocation ----------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena for AST nodes.
+///
+/// Terms of A, terms of cps(A), and abstract continuation frames are
+/// immutable once built, referenced by plain pointers, and live exactly as
+/// long as the enclosing Program object. An arena makes node identity (the
+/// pointer) stable and cheap, which the analyzers rely on for memoization
+/// keys, and releases everything at once on destruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_ARENA_H
+#define CPSFLOW_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+
+/// Bump allocator with trivial-destructor enforcement.
+///
+/// Objects allocated here must be trivially destructible or must not rely on
+/// their destructor running; AST nodes in this project store only PODs,
+/// Symbols, and pointers to other arena nodes, plus out-of-line vectors kept
+/// alive by the owning Program.
+class Arena {
+  static constexpr size_t SlabSize = 1 << 16;
+
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+  Arena(Arena &&) = default;
+  Arena &operator=(Arena &&) = default;
+
+  /// Allocates and constructs a \p T from \p Args.
+  template <typename T, typename... Args> T *create(Args &&...ArgList) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects must not need destruction");
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(ArgList)...);
+  }
+
+  /// Raw aligned allocation of \p Bytes.
+  void *allocate(size_t Bytes, size_t Align) {
+    assert(Align > 0 && (Align & (Align - 1)) == 0 && "non power-of-two");
+    size_t Aligned = (Offset + Align - 1) & ~(Align - 1);
+    if (Slabs.empty() || Aligned + Bytes > SlabSize) {
+      if (Bytes + Align > SlabSize)
+        return allocateLarge(Bytes, Align);
+      Slabs.push_back(std::make_unique<char[]>(SlabSize));
+      Offset = 0;
+      Aligned = 0;
+    }
+    char *Ptr = Slabs.back().get() + Aligned;
+    Offset = Aligned + Bytes;
+    ++NumAllocations;
+    return Ptr;
+  }
+
+  /// Number of objects handed out, for tests and statistics.
+  size_t numAllocations() const { return NumAllocations; }
+
+private:
+  void *allocateLarge(size_t Bytes, size_t Align) {
+    LargeAllocations.push_back(std::make_unique<char[]>(Bytes + Align));
+    char *Base = LargeAllocations.back().get();
+    uintptr_t Raw = reinterpret_cast<uintptr_t>(Base);
+    uintptr_t Aligned = (Raw + Align - 1) & ~(uintptr_t)(Align - 1);
+    ++NumAllocations;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  std::vector<std::unique_ptr<char[]>> LargeAllocations;
+  size_t Offset = SlabSize;
+  size_t NumAllocations = 0;
+};
+
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_ARENA_H

@@ -1,0 +1,46 @@
+//===- support/Hashing.h - Hash combining utilities -------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash combinators used by the analyzers' memoization tables.
+///
+/// Abstract stores and abstract continuations are hashed structurally; the
+/// mixing below is a 64-bit variant of boost::hash_combine using the
+/// splitmix64 finalizer, which is cheap and has no pathological collisions
+/// for the small integer ids (symbols, node pointers) we feed it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_HASHING_H
+#define CPSFLOW_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace cpsflow {
+
+/// splitmix64 finalizer; bijective mixing of a 64-bit word.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Folds \p Value into the running hash \p Seed.
+inline void hashCombine(uint64_t &Seed, uint64_t Value) {
+  Seed ^= mix64(Value) + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes a pointer by address (stable within a run; arena nodes never move).
+inline uint64_t hashPointer(const void *P) {
+  return mix64(reinterpret_cast<uintptr_t>(P));
+}
+
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_HASHING_H

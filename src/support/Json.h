@@ -1,0 +1,172 @@
+//===- support/Json.h - Minimal JSON writer ---------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer for machine-readable tool output (the
+/// CLI's --json mode). Handles escaping and comma placement; nesting is
+/// the caller's responsibility (beginObject/endObject must balance).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_JSON_H
+#define CPSFLOW_SUPPORT_JSON_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpsflow {
+
+/// Streaming JSON writer.
+///
+/// \code
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("answer").value("(1, {})");
+///   W.key("stats").beginObject();
+///   W.key("goals").value(42);
+///   W.endObject();
+///   W.endObject();
+///   std::string S = W.str();
+/// \endcode
+class JsonWriter {
+public:
+  JsonWriter &beginObject() {
+    comma();
+    Out << '{';
+    Stack.push_back(State::FirstInObject);
+    return *this;
+  }
+
+  JsonWriter &endObject() {
+    assert(!Stack.empty() && "unbalanced endObject");
+    Out << '}';
+    Stack.pop_back();
+    return *this;
+  }
+
+  JsonWriter &beginArray() {
+    comma();
+    Out << '[';
+    Stack.push_back(State::FirstInArray);
+    return *this;
+  }
+
+  JsonWriter &endArray() {
+    assert(!Stack.empty() && "unbalanced endArray");
+    Out << ']';
+    Stack.pop_back();
+    return *this;
+  }
+
+  /// Writes an object key; the next value call supplies its value.
+  JsonWriter &key(std::string_view K) {
+    comma();
+    writeString(K);
+    Out << ':';
+    PendingValue = true;
+    return *this;
+  }
+
+  JsonWriter &value(std::string_view V) {
+    comma();
+    writeString(V);
+    return *this;
+  }
+  JsonWriter &value(const char *V) { return value(std::string_view(V)); }
+  JsonWriter &value(int64_t V) {
+    comma();
+    Out << V;
+    return *this;
+  }
+  JsonWriter &value(uint64_t V) {
+    comma();
+    Out << V;
+    return *this;
+  }
+  JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+  JsonWriter &value(bool V) {
+    comma();
+    Out << (V ? "true" : "false");
+    return *this;
+  }
+
+  /// The serialized document (call after balancing all begins/ends).
+  std::string str() const {
+    assert(Stack.empty() && "unbalanced JSON document");
+    return Out.str();
+  }
+
+private:
+  enum class State : uint8_t { FirstInObject, InObject, FirstInArray,
+                               InArray };
+
+  void comma() {
+    if (PendingValue) {
+      // A key was just written; this is its value — no comma.
+      PendingValue = false;
+      return;
+    }
+    if (Stack.empty())
+      return;
+    switch (Stack.back()) {
+    case State::FirstInObject:
+      Stack.back() = State::InObject;
+      break;
+    case State::FirstInArray:
+      Stack.back() = State::InArray;
+      break;
+    case State::InObject:
+    case State::InArray:
+      Out << ',';
+      break;
+    }
+  }
+
+  void writeString(std::string_view S) {
+    Out << '"';
+    for (char C : S) {
+      switch (C) {
+      case '"':
+        Out << "\\\"";
+        break;
+      case '\\':
+        Out << "\\\\";
+        break;
+      case '\n':
+        Out << "\\n";
+        break;
+      case '\t':
+        Out << "\\t";
+        break;
+      case '\r':
+        Out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out << Buf;
+        } else {
+          Out << C;
+        }
+      }
+    }
+    Out << '"';
+  }
+
+  std::ostringstream Out;
+  std::vector<State> Stack;
+  bool PendingValue = false;
+};
+
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_JSON_H

@@ -1,0 +1,86 @@
+//===- support/Result.h - Error-or-value returns ----------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small Expected-style result type.
+///
+/// The library does not use exceptions. Fallible operations (parsing,
+/// grammar validation, interpretation of stuck programs) return
+/// Result<T>, which carries either a value or an Error with a message and
+/// an optional source location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_RESULT_H
+#define CPSFLOW_SUPPORT_RESULT_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cpsflow {
+
+/// A diagnostic describing why an operation failed.
+///
+/// Message style follows the convention of starting lowercase and omitting
+/// the trailing period, e.g. "unbound variable 'x'".
+struct Error {
+  std::string Message;
+  SourceLoc Loc;
+
+  Error() = default;
+  explicit Error(std::string Message, SourceLoc Loc = SourceLoc())
+      : Message(std::move(Message)), Loc(Loc) {}
+
+  /// Renders as "line:col: message" when the location is known.
+  std::string str() const {
+    if (!Loc.isValid())
+      return Message;
+    return Loc.str() + ": " + Message;
+  }
+};
+
+/// Either a \p T or an Error.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ Result(Error E) : Storage(std::move(E)) {}
+
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+  bool hasValue() const { return static_cast<bool>(*this); }
+
+  T &operator*() {
+    assert(hasValue() && "dereferencing an error result");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(hasValue() && "dereferencing an error result");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  const Error &error() const {
+    assert(!hasValue() && "taking the error of a success result");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out; the result must hold one.
+  T take() {
+    assert(hasValue() && "taking the value of an error result");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_RESULT_H

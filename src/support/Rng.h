@@ -1,0 +1,83 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic PRNG (xoshiro256**) for the program generator and
+/// property tests. std::mt19937 distributions are not guaranteed identical
+/// across standard library implementations; this generator is, so seeds in
+/// EXPERIMENTS.md reproduce bit-identical workloads everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_RNG_H
+#define CPSFLOW_SUPPORT_RNG_H
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace cpsflow {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation), seeded through splitmix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ull;
+      Word = mix64(X);
+    }
+  }
+
+  /// Next raw 64-bit word.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound) via Lemire's multiply-shift reduction.
+  /// \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Rejection-free enough for workload generation; bias is < 2^-64*Bound.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli draw: true with probability \p Numerator / \p Denominator.
+  bool chance(uint64_t Numerator, uint64_t Denominator) {
+    assert(Denominator > 0 && "zero denominator");
+    return below(Denominator) < Numerator;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_RNG_H

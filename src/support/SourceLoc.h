@@ -1,0 +1,41 @@
+//===- support/SourceLoc.h - Source positions -------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions for diagnostics from the s-expression reader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_SOURCELOC_H
+#define CPSFLOW_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace cpsflow {
+
+/// A 1-based line/column position. Line 0 denotes "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders as "line:column" or "<unknown>".
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_SOURCELOC_H

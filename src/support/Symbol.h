@@ -1,0 +1,127 @@
+//===- support/Symbol.h - Interned identifiers ------------------*- C++ -*-===//
+//
+// Part of cpsflow, a reproduction of Sabry & Felleisen, "Is
+// Continuation-Passing Useful for Data Flow Analysis?" (PLDI 1994).
+// Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned identifiers (variables of the object language A and of cps(A)).
+///
+/// The paper assumes that "all bound variables in a program are unique"
+/// (Section 2); analyses key their abstract stores directly by variable.
+/// Interning turns variable comparisons and store lookups into integer
+/// operations and gives a single place to manufacture fresh names during
+/// A-normalization and CPS transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_SYMBOL_H
+#define CPSFLOW_SUPPORT_SYMBOL_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cpsflow {
+
+/// A lightweight handle to an interned string.
+///
+/// Symbols are value types; two symbols drawn from the same SymbolTable
+/// compare equal exactly when they spell the same identifier. The reserved
+/// id 0 denotes the invalid symbol.
+class Symbol {
+public:
+  Symbol() : Id(0) {}
+
+  /// \returns true if this symbol refers to an interned identifier.
+  bool isValid() const { return Id != 0; }
+
+  /// Raw interner index; exposed for hashing and dense maps.
+  uint32_t rawId() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  friend class SymbolTable;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  uint32_t Id;
+};
+
+/// Interner mapping identifier spellings to Symbols and back.
+///
+/// Also provides \ref fresh, which generates names that are guaranteed not
+/// to collide with any identifier interned so far (used to give every
+/// intermediate result a name during A-normalization, and to introduce the
+/// continuation variables `k` of Definition 3.2).
+class SymbolTable {
+public:
+  SymbolTable() {
+    // Slot 0 is reserved for the invalid symbol.
+    Spellings.push_back("<invalid>");
+  }
+
+  SymbolTable(const SymbolTable &) = delete;
+  SymbolTable &operator=(const SymbolTable &) = delete;
+
+  /// Interns \p Name, returning the canonical symbol for that spelling.
+  Symbol intern(std::string_view Name) {
+    auto It = Ids.find(std::string(Name));
+    if (It != Ids.end())
+      return Symbol(It->second);
+    uint32_t Id = static_cast<uint32_t>(Spellings.size());
+    Spellings.emplace_back(Name);
+    Ids.emplace(Spellings.back(), Id);
+    return Symbol(Id);
+  }
+
+  /// \returns the spelling of \p S. \p S must be valid and owned by this
+  /// table.
+  std::string_view spelling(Symbol S) const {
+    assert(S.isValid() && "querying the invalid symbol");
+    assert(S.rawId() < Spellings.size() && "symbol from another table");
+    return Spellings[S.rawId()];
+  }
+
+  /// Generates a symbol whose spelling starts with \p Stem and does not
+  /// collide with any symbol interned so far.
+  ///
+  /// Fresh names have the shape `Stem%N`; `%` is not a legal identifier
+  /// character in the surface syntax, so fresh names can never capture
+  /// user-written variables.
+  Symbol fresh(std::string_view Stem) {
+    std::string Candidate;
+    do {
+      Candidate = std::string(Stem) + "%" + std::to_string(FreshCounter++);
+    } while (Ids.count(Candidate));
+    return intern(Candidate);
+  }
+
+  /// Number of interned symbols (excluding the invalid slot).
+  size_t size() const { return Spellings.size() - 1; }
+
+private:
+  std::vector<std::string> Spellings;
+  std::unordered_map<std::string, uint32_t> Ids;
+  uint64_t FreshCounter = 0;
+};
+
+} // namespace cpsflow
+
+namespace std {
+template <> struct hash<cpsflow::Symbol> {
+  size_t operator()(cpsflow::Symbol S) const noexcept {
+    return std::hash<uint32_t>()(S.rawId());
+  }
+};
+} // namespace std
+
+#endif // CPSFLOW_SUPPORT_SYMBOL_H

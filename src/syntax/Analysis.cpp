@@ -1,0 +1,348 @@
+//===- syntax/Analysis.cpp - Syntactic analyses over A terms ----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+#include <string>
+
+using namespace cpsflow;
+using namespace cpsflow::syntax;
+
+namespace {
+
+/// Generic pre-order walk calling \p OnTerm / \p OnValue on every node.
+template <typename TermFn, typename ValueFn>
+void walk(const Term *T, TermFn OnTerm, ValueFn OnValue) {
+  OnTerm(T);
+  switch (T->kind()) {
+  case TermKind::TK_Value: {
+    const Value *V = cast<ValueTerm>(T)->value();
+    OnValue(V);
+    if (const auto *Lam = dyn_cast<LamValue>(V))
+      walk(Lam->body(), OnTerm, OnValue);
+    return;
+  }
+  case TermKind::TK_App: {
+    const auto *App = cast<AppTerm>(T);
+    walk(App->fun(), OnTerm, OnValue);
+    walk(App->arg(), OnTerm, OnValue);
+    return;
+  }
+  case TermKind::TK_Let: {
+    const auto *Let = cast<LetTerm>(T);
+    walk(Let->bound(), OnTerm, OnValue);
+    walk(Let->body(), OnTerm, OnValue);
+    return;
+  }
+  case TermKind::TK_If0: {
+    const auto *If = cast<If0Term>(T);
+    walk(If->cond(), OnTerm, OnValue);
+    walk(If->thenBranch(), OnTerm, OnValue);
+    walk(If->elseBranch(), OnTerm, OnValue);
+    return;
+  }
+  case TermKind::TK_Loop:
+    return;
+  }
+}
+
+void freeVarsValue(const Value *V, std::set<Symbol> &Bound,
+                   std::set<Symbol> &Free);
+
+void freeVarsTerm(const Term *T, std::set<Symbol> &Bound,
+                  std::set<Symbol> &Free) {
+  switch (T->kind()) {
+  case TermKind::TK_Value:
+    freeVarsValue(cast<ValueTerm>(T)->value(), Bound, Free);
+    return;
+  case TermKind::TK_App: {
+    const auto *App = cast<AppTerm>(T);
+    freeVarsTerm(App->fun(), Bound, Free);
+    freeVarsTerm(App->arg(), Bound, Free);
+    return;
+  }
+  case TermKind::TK_Let: {
+    const auto *Let = cast<LetTerm>(T);
+    freeVarsTerm(Let->bound(), Bound, Free);
+    bool Inserted = Bound.insert(Let->var()).second;
+    freeVarsTerm(Let->body(), Bound, Free);
+    if (Inserted)
+      Bound.erase(Let->var());
+    return;
+  }
+  case TermKind::TK_If0: {
+    const auto *If = cast<If0Term>(T);
+    freeVarsTerm(If->cond(), Bound, Free);
+    freeVarsTerm(If->thenBranch(), Bound, Free);
+    freeVarsTerm(If->elseBranch(), Bound, Free);
+    return;
+  }
+  case TermKind::TK_Loop:
+    return;
+  }
+}
+
+void freeVarsValue(const Value *V, std::set<Symbol> &Bound,
+                   std::set<Symbol> &Free) {
+  switch (V->kind()) {
+  case ValueKind::VK_Num:
+  case ValueKind::VK_Prim:
+    return;
+  case ValueKind::VK_Var: {
+    Symbol Name = cast<VarValue>(V)->name();
+    if (!Bound.count(Name))
+      Free.insert(Name);
+    return;
+  }
+  case ValueKind::VK_Lam: {
+    const auto *Lam = cast<LamValue>(V);
+    bool Inserted = Bound.insert(Lam->param()).second;
+    freeVarsTerm(Lam->body(), Bound, Free);
+    if (Inserted)
+      Bound.erase(Lam->param());
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::set<Symbol> cpsflow::syntax::freeVars(const Term *T) {
+  std::set<Symbol> Bound, Free;
+  freeVarsTerm(T, Bound, Free);
+  return Free;
+}
+
+std::set<Symbol> cpsflow::syntax::boundVars(const Term *T) {
+  std::set<Symbol> Out;
+  walk(
+      T,
+      [&](const Term *Node) {
+        if (const auto *Let = dyn_cast<LetTerm>(Node))
+          Out.insert(Let->var());
+      },
+      [&](const Value *V) {
+        if (const auto *Lam = dyn_cast<LamValue>(V))
+          Out.insert(Lam->param());
+      });
+  return Out;
+}
+
+Result<bool> cpsflow::syntax::checkUniqueBinders(const Context &Ctx,
+                                                 const Term *T) {
+  std::set<Symbol> Free = freeVars(T);
+  std::set<Symbol> Seen;
+  Symbol Duplicate;
+  SourceLoc Where;
+  auto Note = [&](Symbol S, SourceLoc Loc) {
+    if (Duplicate.isValid())
+      return;
+    if (Free.count(S) || !Seen.insert(S).second) {
+      Duplicate = S;
+      Where = Loc;
+    }
+  };
+  walk(
+      T,
+      [&](const Term *Node) {
+        if (const auto *Let = dyn_cast<LetTerm>(Node))
+          Note(Let->var(), Let->loc());
+      },
+      [&](const Value *V) {
+        if (const auto *Lam = dyn_cast<LamValue>(V))
+          Note(Lam->param(), Lam->loc());
+      });
+  if (Duplicate.isValid())
+    return Error("binder '" + std::string(Ctx.spelling(Duplicate)) +
+                     "' is not unique (shadows a binder or a free variable)",
+                 Where);
+  return true;
+}
+
+Result<bool>
+cpsflow::syntax::checkClosed(const Context &Ctx, const Term *T,
+                             const std::set<Symbol> &AllowedFree) {
+  for (Symbol S : freeVars(T))
+    if (!AllowedFree.count(S))
+      return Error("unbound variable '" + std::string(Ctx.spelling(S)) + "'");
+  return true;
+}
+
+bool cpsflow::syntax::structurallyEqual(const Value *A, const Value *B) {
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case ValueKind::VK_Num:
+    return cast<NumValue>(A)->value() == cast<NumValue>(B)->value();
+  case ValueKind::VK_Var:
+    return cast<VarValue>(A)->name() == cast<VarValue>(B)->name();
+  case ValueKind::VK_Prim:
+    return cast<PrimValue>(A)->op() == cast<PrimValue>(B)->op();
+  case ValueKind::VK_Lam: {
+    const auto *LA = cast<LamValue>(A), *LB = cast<LamValue>(B);
+    return LA->param() == LB->param() &&
+           structurallyEqual(LA->body(), LB->body());
+  }
+  }
+  return false;
+}
+
+bool cpsflow::syntax::structurallyEqual(const Term *A, const Term *B) {
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TermKind::TK_Value:
+    return structurallyEqual(cast<ValueTerm>(A)->value(),
+                             cast<ValueTerm>(B)->value());
+  case TermKind::TK_App: {
+    const auto *AA = cast<AppTerm>(A), *AB = cast<AppTerm>(B);
+    return structurallyEqual(AA->fun(), AB->fun()) &&
+           structurallyEqual(AA->arg(), AB->arg());
+  }
+  case TermKind::TK_Let: {
+    const auto *LA = cast<LetTerm>(A), *LB = cast<LetTerm>(B);
+    return LA->var() == LB->var() &&
+           structurallyEqual(LA->bound(), LB->bound()) &&
+           structurallyEqual(LA->body(), LB->body());
+  }
+  case TermKind::TK_If0: {
+    const auto *IA = cast<If0Term>(A), *IB = cast<If0Term>(B);
+    return structurallyEqual(IA->cond(), IB->cond()) &&
+           structurallyEqual(IA->thenBranch(), IB->thenBranch()) &&
+           structurallyEqual(IA->elseBranch(), IB->elseBranch());
+  }
+  case TermKind::TK_Loop:
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Maps each side's binders to shared fresh indices; a variable matches
+/// when both sides map it to the same index (or both leave it free and
+/// the symbols coincide).
+struct AlphaCmp {
+  std::unordered_map<Symbol, uint32_t> MapA, MapB;
+  std::vector<std::pair<Symbol, bool>> SavedA, SavedB; // simple undo log
+  uint32_t NextIndex = 0;
+
+  bool term(const Term *A, const Term *B) {
+    if (A->kind() != B->kind())
+      return false;
+    switch (A->kind()) {
+    case TermKind::TK_Value:
+      return value(cast<ValueTerm>(A)->value(), cast<ValueTerm>(B)->value());
+    case TermKind::TK_App: {
+      const auto *AA = cast<AppTerm>(A), *AB = cast<AppTerm>(B);
+      return term(AA->fun(), AB->fun()) && term(AA->arg(), AB->arg());
+    }
+    case TermKind::TK_Let: {
+      const auto *LA = cast<LetTerm>(A), *LB = cast<LetTerm>(B);
+      if (!term(LA->bound(), LB->bound()))
+        return false;
+      return scoped(LA->var(), LB->var(),
+                    [&] { return term(LA->body(), LB->body()); });
+    }
+    case TermKind::TK_If0: {
+      const auto *IA = cast<If0Term>(A), *IB = cast<If0Term>(B);
+      return term(IA->cond(), IB->cond()) &&
+             term(IA->thenBranch(), IB->thenBranch()) &&
+             term(IA->elseBranch(), IB->elseBranch());
+    }
+    case TermKind::TK_Loop:
+      return true;
+    }
+    return false;
+  }
+
+private:
+  template <typename Fn> bool scoped(Symbol VA, Symbol VB, Fn Body) {
+    uint32_t Index = NextIndex++;
+    auto OldA = MapA.find(VA);
+    auto OldB = MapB.find(VB);
+    bool HadA = OldA != MapA.end(), HadB = OldB != MapB.end();
+    uint32_t PrevA = HadA ? OldA->second : 0, PrevB = HadB ? OldB->second : 0;
+    MapA[VA] = Index;
+    MapB[VB] = Index;
+    bool Ok = Body();
+    if (HadA)
+      MapA[VA] = PrevA;
+    else
+      MapA.erase(VA);
+    if (HadB)
+      MapB[VB] = PrevB;
+    else
+      MapB.erase(VB);
+    return Ok;
+  }
+
+  bool value(const Value *A, const Value *B) {
+    if (A->kind() != B->kind())
+      return false;
+    switch (A->kind()) {
+    case ValueKind::VK_Num:
+      return cast<NumValue>(A)->value() == cast<NumValue>(B)->value();
+    case ValueKind::VK_Prim:
+      return cast<PrimValue>(A)->op() == cast<PrimValue>(B)->op();
+    case ValueKind::VK_Var: {
+      Symbol NA = cast<VarValue>(A)->name(), NB = cast<VarValue>(B)->name();
+      auto IA = MapA.find(NA);
+      auto IB = MapB.find(NB);
+      if (IA == MapA.end() && IB == MapB.end())
+        return NA == NB; // both free
+      if (IA == MapA.end() || IB == MapB.end())
+        return false; // bound on one side only
+      return IA->second == IB->second;
+    }
+    case ValueKind::VK_Lam: {
+      const auto *LA = cast<LamValue>(A), *LB = cast<LamValue>(B);
+      return scoped(LA->param(), LB->param(),
+                    [&] { return term(LA->body(), LB->body()); });
+    }
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+bool cpsflow::syntax::alphaEquivalent(const Term *A, const Term *B) {
+  return AlphaCmp().term(A, B);
+}
+
+size_t cpsflow::syntax::countNodes(const Term *T) {
+  size_t N = 0;
+  walk(
+      T, [&](const Term *) { ++N; }, [&](const Value *) { ++N; });
+  return N;
+}
+
+std::vector<const LamValue *> cpsflow::syntax::collectLambdas(const Term *T) {
+  std::vector<const LamValue *> Out;
+  walk(
+      T, [](const Term *) {},
+      [&](const Value *V) {
+        if (const auto *Lam = dyn_cast<LamValue>(V))
+          Out.push_back(Lam);
+      });
+  std::sort(Out.begin(), Out.end(),
+            [](const LamValue *A, const LamValue *B) {
+              return A->id() < B->id();
+            });
+  return Out;
+}
+
+std::vector<Symbol> cpsflow::syntax::collectVariables(const Term *T) {
+  std::set<Symbol> All = boundVars(T);
+  for (Symbol S : freeVars(T))
+    All.insert(S);
+  return std::vector<Symbol>(All.begin(), All.end());
+}

@@ -1,0 +1,68 @@
+//===- syntax/Analysis.h - Syntactic analyses over A terms ------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Purely syntactic helpers over language-A terms: free variables, bound
+/// variables, binder-uniqueness and closedness checks, structural equality,
+/// node counting, and the collection of all lambda nodes (the abstract
+/// closure universe CL_T of Section 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SYNTAX_ANALYSIS_H
+#define CPSFLOW_SYNTAX_ANALYSIS_H
+
+#include "support/Result.h"
+#include "syntax/Ast.h"
+
+#include <set>
+#include <vector>
+
+namespace cpsflow {
+namespace syntax {
+
+/// \returns the set of free variables of \p T, ordered by symbol id.
+std::set<Symbol> freeVars(const Term *T);
+
+/// \returns the set of variables bound by let or lambda anywhere in \p T.
+std::set<Symbol> boundVars(const Term *T);
+
+/// Checks the paper's Section 2 hygiene assumption: every binder in \p T
+/// binds a distinct variable, and no binder shadows a free variable.
+/// \returns an error naming the first offending binder otherwise.
+Result<bool> checkUniqueBinders(const Context &Ctx, const Term *T);
+
+/// Checks that every free variable of \p T is in \p AllowedFree (the domain
+/// of the initial store the analyzers and interpreters will be given).
+Result<bool> checkClosed(const Context &Ctx, const Term *T,
+                         const std::set<Symbol> &AllowedFree);
+
+/// Exact structural equality (same shapes, same symbols, same numerals).
+bool structurallyEqual(const Term *A, const Term *B);
+bool structurallyEqual(const Value *A, const Value *B);
+
+/// Equality up to consistent renaming of bound variables. Free variables
+/// must match exactly. Used to compare normal forms produced with
+/// different fresh-name streams (e.g. the composite A-normalizer versus
+/// the step-wise A-reduction engine).
+bool alphaEquivalent(const Term *A, const Term *B);
+
+/// Number of Term and Value nodes in \p T, a simple program-size measure.
+size_t countNodes(const Term *T);
+
+/// All lambda values occurring in \p T, in deterministic (node id) order.
+/// Together with the primitive tags inc/dec this is the universe of
+/// abstract closures used for the loop cut-off value (T, CL_T).
+std::vector<const LamValue *> collectLambdas(const Term *T);
+
+/// All let-bound and lambda-bound variables plus free variables, in
+/// deterministic order: the variables the abstract store may mention.
+std::vector<Symbol> collectVariables(const Term *T);
+
+} // namespace syntax
+} // namespace cpsflow
+
+#endif // CPSFLOW_SYNTAX_ANALYSIS_H

@@ -1,0 +1,315 @@
+//===- syntax/Ast.h - AST for the source language A -------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the source language A of Section 2 of the paper:
+///
+/// \code
+///   M ::= V | (M M) | (let (x M) M) | (if0 M M M) | (loop)
+///   V ::= n | x | add1 | sub1 | (lambda (x) M)
+/// \endcode
+///
+/// `(loop)` is the Section 6.2 extension: a construct whose exact collecting
+/// semantics is the infinite set {0, 1, 2, ...} and whose concrete semantics
+/// diverges (it stands for `x := 0; while true x := x + 1`).
+///
+/// The restricted subset the analyzers run on (A-normal form) is the same
+/// AST constrained to the shapes checked by anf::isAnf:
+///
+/// \code
+///   M ::= V | (let (x V) M) | (let (x (V V)) M)
+///       | (let (x (if0 V M M)) M) | (let (x (loop)) M)
+/// \endcode
+///
+/// Nodes are immutable, arena-allocated, and identified by pointer; every
+/// node also carries a small sequential id for deterministic printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SYNTAX_AST_H
+#define CPSFLOW_SYNTAX_AST_H
+
+#include "support/Arena.h"
+#include "support/SourceLoc.h"
+#include "support/Symbol.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace cpsflow {
+
+class Context;
+
+namespace syntax {
+
+class Term;
+
+//===----------------------------------------------------------------------===//
+// Syntactic values V
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for the syntactic value hierarchy.
+enum class ValueKind : uint8_t {
+  VK_Num,  ///< numeral n
+  VK_Var,  ///< variable x
+  VK_Prim, ///< add1 or sub1
+  VK_Lam,  ///< (lambda (x) M)
+};
+
+/// The two primitive procedures of the language.
+enum class PrimOp : uint8_t {
+  Add1, ///< successor; closes to the run-time tag `inc`
+  Sub1, ///< predecessor; closes to the run-time tag `dec`
+};
+
+/// Base class of syntactic values V.
+class Value {
+public:
+  ValueKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  /// Sequential id within the owning Context; stable print order.
+  uint32_t id() const { return Id; }
+
+protected:
+  Value(ValueKind Kind, SourceLoc Loc, uint32_t Id)
+      : Kind(Kind), Loc(Loc), Id(Id) {}
+
+private:
+  ValueKind Kind;
+  SourceLoc Loc;
+  uint32_t Id;
+};
+
+/// A numeral.
+class NumValue : public Value {
+public:
+  NumValue(int64_t N, SourceLoc Loc, uint32_t Id)
+      : Value(ValueKind::VK_Num, Loc, Id), N(N) {}
+
+  int64_t value() const { return N; }
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::VK_Num; }
+
+private:
+  int64_t N;
+};
+
+/// A variable reference.
+class VarValue : public Value {
+public:
+  VarValue(Symbol Name, SourceLoc Loc, uint32_t Id)
+      : Value(ValueKind::VK_Var, Loc, Id), Name(Name) {}
+
+  Symbol name() const { return Name; }
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::VK_Var; }
+
+private:
+  Symbol Name;
+};
+
+/// One of the primitive procedures add1 / sub1.
+class PrimValue : public Value {
+public:
+  PrimValue(PrimOp Op, SourceLoc Loc, uint32_t Id)
+      : Value(ValueKind::VK_Prim, Loc, Id), Op(Op) {}
+
+  PrimOp op() const { return Op; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::VK_Prim;
+  }
+
+private:
+  PrimOp Op;
+};
+
+/// A user-defined one-argument procedure (lambda (x) M).
+class LamValue : public Value {
+public:
+  LamValue(Symbol Param, const Term *Body, SourceLoc Loc, uint32_t Id)
+      : Value(ValueKind::VK_Lam, Loc, Id), Param(Param), Body(Body) {}
+
+  Symbol param() const { return Param; }
+  const Term *body() const { return Body; }
+
+  static bool classof(const Value *V) { return V->kind() == ValueKind::VK_Lam; }
+
+private:
+  Symbol Param;
+  const Term *Body;
+};
+
+//===----------------------------------------------------------------------===//
+// Terms M
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for the term hierarchy.
+enum class TermKind : uint8_t {
+  TK_Value, ///< a syntactic value used as a term
+  TK_App,   ///< (M M)
+  TK_Let,   ///< (let (x M) M)
+  TK_If0,   ///< (if0 M M M)
+  TK_Loop,  ///< (loop) — Section 6.2 extension
+};
+
+/// Base class of terms M.
+class Term {
+public:
+  TermKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  /// Sequential id within the owning Context; stable print order.
+  uint32_t id() const { return Id; }
+
+protected:
+  Term(TermKind Kind, SourceLoc Loc, uint32_t Id)
+      : Kind(Kind), Loc(Loc), Id(Id) {}
+
+private:
+  TermKind Kind;
+  SourceLoc Loc;
+  uint32_t Id;
+};
+
+/// A value in term position.
+class ValueTerm : public Term {
+public:
+  ValueTerm(const Value *V, SourceLoc Loc, uint32_t Id)
+      : Term(TermKind::TK_Value, Loc, Id), V(V) {}
+
+  const Value *value() const { return V; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::TK_Value; }
+
+private:
+  const Value *V;
+};
+
+/// An application (M M).
+class AppTerm : public Term {
+public:
+  AppTerm(const Term *Fun, const Term *Arg, SourceLoc Loc, uint32_t Id)
+      : Term(TermKind::TK_App, Loc, Id), Fun(Fun), Arg(Arg) {}
+
+  const Term *fun() const { return Fun; }
+  const Term *arg() const { return Arg; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::TK_App; }
+
+private:
+  const Term *Fun;
+  const Term *Arg;
+};
+
+/// A let binding (let (x M1) M2): evaluate M1, bind to x, evaluate M2.
+class LetTerm : public Term {
+public:
+  LetTerm(Symbol Var, const Term *Bound, const Term *Body, SourceLoc Loc,
+          uint32_t Id)
+      : Term(TermKind::TK_Let, Loc, Id), Var(Var), Bound(Bound), Body(Body) {}
+
+  Symbol var() const { return Var; }
+  const Term *bound() const { return Bound; }
+  const Term *body() const { return Body; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::TK_Let; }
+
+private:
+  Symbol Var;
+  const Term *Bound;
+  const Term *Body;
+};
+
+/// A conditional (if0 M1 M2 M3): branch to M2 if M1 evaluates to 0,
+/// otherwise to M3.
+class If0Term : public Term {
+public:
+  If0Term(const Term *Cond, const Term *Then, const Term *Else, SourceLoc Loc,
+          uint32_t Id)
+      : Term(TermKind::TK_If0, Loc, Id), Cond(Cond), Then(Then), Else(Else) {}
+
+  const Term *cond() const { return Cond; }
+  const Term *thenBranch() const { return Then; }
+  const Term *elseBranch() const { return Else; }
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::TK_If0; }
+
+private:
+  const Term *Cond;
+  const Term *Then;
+  const Term *Else;
+};
+
+/// The explicit looping construct of Section 6.2. Concretely it diverges;
+/// its exact collecting semantics is the set of all natural numbers.
+class LoopTerm : public Term {
+public:
+  LoopTerm(SourceLoc Loc, uint32_t Id) : Term(TermKind::TK_Loop, Loc, Id) {}
+
+  static bool classof(const Term *T) { return T->kind() == TermKind::TK_Loop; }
+};
+
+//===----------------------------------------------------------------------===//
+// Checked casts (LLVM-style isa/cast/dyn_cast over the kind tags)
+//===----------------------------------------------------------------------===//
+
+template <typename To, typename From> bool isa(const From *Node) {
+  assert(Node && "isa<> on null node");
+  return To::classof(Node);
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(isa<To>(Node) && "cast<> to incompatible kind");
+  return static_cast<const To *>(Node);
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Node) {
+  return isa<To>(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+} // namespace syntax
+
+//===----------------------------------------------------------------------===//
+// Context
+//===----------------------------------------------------------------------===//
+
+/// Owns the symbol table and the arena behind every AST node of a program
+/// and of everything derived from it (its A-normal form, its CPS transform,
+/// abstract continuation frames). A Context must outlive all nodes created
+/// through it.
+class Context {
+public:
+  Context() = default;
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  SymbolTable &symbols() { return Symbols; }
+  const SymbolTable &symbols() const { return Symbols; }
+
+  /// Interning shorthand.
+  Symbol intern(std::string_view Name) { return Symbols.intern(Name); }
+  /// Fresh-name shorthand.
+  Symbol fresh(std::string_view Stem) { return Symbols.fresh(Stem); }
+  /// Spelling shorthand.
+  std::string_view spelling(Symbol S) const { return Symbols.spelling(S); }
+
+  /// Allocates an AST node, threading through the next sequential id.
+  template <typename T, typename... Args> const T *create(Args &&...ArgList) {
+    return Nodes.create<T>(std::forward<Args>(ArgList)..., NextId++);
+  }
+
+  /// Number of nodes created so far (ids are < this bound).
+  uint32_t numNodes() const { return NextId; }
+
+private:
+  SymbolTable Symbols;
+  Arena Nodes;
+  uint32_t NextId = 0;
+};
+
+} // namespace cpsflow
+
+#endif // CPSFLOW_SYNTAX_AST_H

@@ -1,0 +1,143 @@
+//===- syntax/Builder.h - Convenience term constructors ---------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent construction helpers for language-A terms, used by the
+/// A-normalizer, the program generator, tests, and the theorem-witness
+/// factory. All nodes go into the Context's arena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SYNTAX_BUILDER_H
+#define CPSFLOW_SYNTAX_BUILDER_H
+
+#include "syntax/Ast.h"
+
+#include <string_view>
+
+namespace cpsflow {
+namespace syntax {
+
+/// Builds language-A values and terms in a Context.
+class Builder {
+public:
+  explicit Builder(Context &Ctx) : Ctx(Ctx) {}
+
+  // Values ------------------------------------------------------------------
+
+  const NumValue *num(int64_t N, SourceLoc Loc = SourceLoc()) {
+    return Ctx.create<NumValue>(N, Loc);
+  }
+
+  const VarValue *var(Symbol Name, SourceLoc Loc = SourceLoc()) {
+    return Ctx.create<VarValue>(Name, Loc);
+  }
+
+  const VarValue *var(std::string_view Name, SourceLoc Loc = SourceLoc()) {
+    return var(Ctx.intern(Name), Loc);
+  }
+
+  const PrimValue *add1(SourceLoc Loc = SourceLoc()) {
+    return Ctx.create<PrimValue>(PrimOp::Add1, Loc);
+  }
+
+  const PrimValue *sub1(SourceLoc Loc = SourceLoc()) {
+    return Ctx.create<PrimValue>(PrimOp::Sub1, Loc);
+  }
+
+  const LamValue *lam(Symbol Param, const Term *Body,
+                      SourceLoc Loc = SourceLoc()) {
+    return Ctx.create<LamValue>(Param, Body, Loc);
+  }
+
+  const LamValue *lam(std::string_view Param, const Term *Body,
+                      SourceLoc Loc = SourceLoc()) {
+    return lam(Ctx.intern(Param), Body, Loc);
+  }
+
+  // Terms -------------------------------------------------------------------
+
+  const ValueTerm *val(const Value *V, SourceLoc Loc = SourceLoc()) {
+    return Ctx.create<ValueTerm>(V, Loc);
+  }
+
+  /// A numeral in term position.
+  const ValueTerm *numTerm(int64_t N, SourceLoc Loc = SourceLoc()) {
+    return val(num(N, Loc), Loc);
+  }
+
+  /// A variable in term position.
+  const ValueTerm *varTerm(Symbol Name, SourceLoc Loc = SourceLoc()) {
+    return val(var(Name, Loc), Loc);
+  }
+
+  const ValueTerm *varTerm(std::string_view Name,
+                           SourceLoc Loc = SourceLoc()) {
+    return varTerm(Ctx.intern(Name), Loc);
+  }
+
+  const AppTerm *app(const Term *Fun, const Term *Arg,
+                     SourceLoc Loc = SourceLoc()) {
+    return Ctx.create<AppTerm>(Fun, Arg, Loc);
+  }
+
+  /// Application of two syntactic values, the only application shape legal
+  /// in A-normal form.
+  const AppTerm *appVV(const Value *Fun, const Value *Arg,
+                       SourceLoc Loc = SourceLoc()) {
+    return app(val(Fun, Loc), val(Arg, Loc), Loc);
+  }
+
+  const LetTerm *let(Symbol Var, const Term *Bound, const Term *Body,
+                     SourceLoc Loc = SourceLoc()) {
+    return Ctx.create<LetTerm>(Var, Bound, Body, Loc);
+  }
+
+  const LetTerm *let(std::string_view Var, const Term *Bound,
+                     const Term *Body, SourceLoc Loc = SourceLoc()) {
+    return let(Ctx.intern(Var), Bound, Body, Loc);
+  }
+
+  const If0Term *if0(const Term *Cond, const Term *Then, const Term *Else,
+                     SourceLoc Loc = SourceLoc()) {
+    return Ctx.create<If0Term>(Cond, Then, Else, Loc);
+  }
+
+  const LoopTerm *loop(SourceLoc Loc = SourceLoc()) {
+    return Ctx.create<LoopTerm>(Loc);
+  }
+
+  /// `(let (x (add1^Count v)) body)` chain: applies add1 to \p Seed
+  /// \p Count times, binding intermediates to fresh names, and finally
+  /// binds the sum to \p Out before \p Body. Used for the paper's
+  /// `(+ a 3)` abbreviations in the Theorem 5.2 witnesses.
+  const Term *plusConst(Symbol Out, const Value *Seed, int64_t Count,
+                        const Term *Body) {
+    if (Count == 0)
+      return let(Out, val(Seed), Body);
+    Symbol Tmp = Count == 1 ? Out : Ctx.fresh("t");
+    const Term *Rest =
+        Count == 1 ? Body : plusConstFrom(Out, Tmp, Count - 1, Body);
+    return let(Tmp, appVV(add1(), Seed), Rest);
+  }
+
+private:
+  const Term *plusConstFrom(Symbol Out, Symbol From, int64_t Count,
+                            const Term *Body) {
+    assert(Count >= 1 && "nothing left to add");
+    Symbol Tmp = Count == 1 ? Out : Ctx.fresh("t");
+    const Term *Rest =
+        Count == 1 ? Body : plusConstFrom(Out, Tmp, Count - 1, Body);
+    return let(Tmp, appVV(add1(), var(From)), Rest);
+  }
+
+  Context &Ctx;
+};
+
+} // namespace syntax
+} // namespace cpsflow
+
+#endif // CPSFLOW_SYNTAX_BUILDER_H

@@ -1,0 +1,157 @@
+//===- syntax/Parser.cpp - Parser for language A ----------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Parser.h"
+
+#include "syntax/Builder.h"
+
+using namespace cpsflow;
+using namespace cpsflow::syntax;
+
+namespace {
+
+bool isReservedWord(std::string_view Text) {
+  return Text == "let" || Text == "if0" || Text == "lambda" || Text == "λ" ||
+         Text == "loop" || Text == "add1" || Text == "sub1";
+}
+
+class TermParser {
+public:
+  explicit TermParser(Context &Ctx) : Ctx(Ctx), Build(Ctx) {}
+
+  Result<const Term *> term(const Sexpr &E) {
+    // Atoms are values in term position.
+    if (E.isNumber() || E.isSymbol()) {
+      Result<const Value *> V = value(E);
+      if (!V)
+        return V.error();
+      return static_cast<const Term *>(Build.val(*V, E.Loc));
+    }
+
+    if (E.size() == 0)
+      return Error("empty application '()'", E.Loc);
+
+    const Sexpr &Head = E[0];
+    if (Head.isSymbol("let"))
+      return letTerm(E);
+    if (Head.isSymbol("if0"))
+      return if0Term(E);
+    if (Head.isSymbol("loop"))
+      return loopTerm(E);
+    if (Head.isSymbol("lambda") || Head.isSymbol("λ")) {
+      Result<const Value *> V = value(E);
+      if (!V)
+        return V.error();
+      return static_cast<const Term *>(Build.val(*V, E.Loc));
+    }
+    return appTerm(E);
+  }
+
+private:
+  Result<const Value *> value(const Sexpr &E) {
+    if (E.isNumber())
+      return static_cast<const Value *>(Build.num(E.Number, E.Loc));
+    if (E.isSymbol()) {
+      if (E.Text == "add1")
+        return static_cast<const Value *>(Build.add1(E.Loc));
+      if (E.Text == "sub1")
+        return static_cast<const Value *>(Build.sub1(E.Loc));
+      if (isReservedWord(E.Text))
+        return Error("reserved word '" + E.Text +
+                         "' cannot be used as a variable",
+                     E.Loc);
+      return static_cast<const Value *>(Build.var(Ctx.intern(E.Text), E.Loc));
+    }
+    // (lambda (x) M)
+    if (E.size() != 3 || !(E[0].isSymbol("lambda") || E[0].isSymbol("λ")))
+      return Error("expected a value", E.Loc);
+    const Sexpr &Params = E[1];
+    if (!Params.isList() || Params.size() != 1 || !Params[0].isSymbol())
+      return Error("lambda expects a single-parameter list, e.g. "
+                   "(lambda (x) M)",
+                   E[1].Loc);
+    if (isReservedWord(Params[0].Text))
+      return Error("reserved word '" + Params[0].Text +
+                       "' cannot be a parameter",
+                   Params[0].Loc);
+    Result<const Term *> Body = term(E[2]);
+    if (!Body)
+      return Body.error();
+    return static_cast<const Value *>(
+        Build.lam(Ctx.intern(Params[0].Text), *Body, E.Loc));
+  }
+
+  Result<const Term *> letTerm(const Sexpr &E) {
+    if (E.size() != 3)
+      return Error("let expects a binding and a body: (let (x M) M)", E.Loc);
+    const Sexpr &Binding = E[1];
+    if (!Binding.isList() || Binding.size() != 2 || !Binding[0].isSymbol())
+      return Error("let binding must have the shape (x M)", E[1].Loc);
+    if (isReservedWord(Binding[0].Text))
+      return Error("reserved word '" + Binding[0].Text +
+                       "' cannot be let-bound",
+                   Binding[0].Loc);
+    Result<const Term *> Bound = term(Binding[1]);
+    if (!Bound)
+      return Bound;
+    Result<const Term *> Body = term(E[2]);
+    if (!Body)
+      return Body;
+    return static_cast<const Term *>(
+        Build.let(Ctx.intern(Binding[0].Text), *Bound, *Body, E.Loc));
+  }
+
+  Result<const Term *> if0Term(const Sexpr &E) {
+    if (E.size() != 4)
+      return Error("if0 expects three subterms: (if0 M M M)", E.Loc);
+    Result<const Term *> Cond = term(E[1]);
+    if (!Cond)
+      return Cond;
+    Result<const Term *> Then = term(E[2]);
+    if (!Then)
+      return Then;
+    Result<const Term *> Else = term(E[3]);
+    if (!Else)
+      return Else;
+    return static_cast<const Term *>(Build.if0(*Cond, *Then, *Else, E.Loc));
+  }
+
+  Result<const Term *> loopTerm(const Sexpr &E) {
+    if (E.size() != 1)
+      return Error("loop takes no arguments: (loop)", E.Loc);
+    return static_cast<const Term *>(Build.loop(E.Loc));
+  }
+
+  Result<const Term *> appTerm(const Sexpr &E) {
+    if (E.size() != 2)
+      return Error("application expects exactly two subterms: (M M)", E.Loc);
+    Result<const Term *> Fun = term(E[0]);
+    if (!Fun)
+      return Fun;
+    Result<const Term *> Arg = term(E[1]);
+    if (!Arg)
+      return Arg;
+    return static_cast<const Term *>(Build.app(*Fun, *Arg, E.Loc));
+  }
+
+  Context &Ctx;
+  Builder Build;
+};
+
+} // namespace
+
+Result<const Term *> cpsflow::syntax::termFromSexpr(Context &Ctx,
+                                                    const Sexpr &E) {
+  return TermParser(Ctx).term(E);
+}
+
+Result<const Term *> cpsflow::syntax::parseTerm(Context &Ctx,
+                                                std::string_view Source) {
+  Result<Sexpr> E = parseSexpr(Source);
+  if (!E)
+    return E.error();
+  return termFromSexpr(Ctx, *E);
+}

@@ -1,0 +1,41 @@
+//===- syntax/Parser.h - Parser for language A ------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the surface syntax of language A into the AST:
+///
+/// \code
+///   M ::= V | (M M) | (let (x M) M) | (if0 M M M) | (loop)
+///   V ::= n | x | add1 | sub1 | (lambda (x) M)
+/// \endcode
+///
+/// `lambda` may also be spelled `λ`. The keywords `let`, `if0`, `lambda`,
+/// `loop`, `add1`, and `sub1` are reserved and cannot be variable names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SYNTAX_PARSER_H
+#define CPSFLOW_SYNTAX_PARSER_H
+
+#include "support/Result.h"
+#include "syntax/Ast.h"
+#include "syntax/Sexpr.h"
+
+#include <string_view>
+
+namespace cpsflow {
+namespace syntax {
+
+/// Parses \p Source as a single language-A term allocated in \p Ctx.
+Result<const Term *> parseTerm(Context &Ctx, std::string_view Source);
+
+/// Converts an already-read s-expression to a term.
+Result<const Term *> termFromSexpr(Context &Ctx, const Sexpr &E);
+
+} // namespace syntax
+} // namespace cpsflow
+
+#endif // CPSFLOW_SYNTAX_PARSER_H

@@ -1,0 +1,123 @@
+//===- syntax/Printer.cpp - Pretty-printer for language A -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Printer.h"
+
+#include <sstream>
+
+using namespace cpsflow;
+using namespace cpsflow::syntax;
+
+namespace {
+
+class PrinterImpl {
+public:
+  PrinterImpl(const Context &Ctx, bool Indented)
+      : Ctx(Ctx), Indented(Indented) {}
+
+  std::string render(const Term *T) {
+    term(T, 0);
+    return Out.str();
+  }
+
+  std::string render(const Value *V) {
+    value(V, 0);
+    return Out.str();
+  }
+
+private:
+  void newline(int Depth) {
+    if (!Indented) {
+      Out << ' ';
+      return;
+    }
+    Out << '\n';
+    for (int I = 0; I < Depth; ++I)
+      Out << "  ";
+  }
+
+  void value(const Value *V, int Depth) {
+    switch (V->kind()) {
+    case ValueKind::VK_Num:
+      Out << cast<NumValue>(V)->value();
+      return;
+    case ValueKind::VK_Var:
+      Out << Ctx.spelling(cast<VarValue>(V)->name());
+      return;
+    case ValueKind::VK_Prim:
+      Out << (cast<PrimValue>(V)->op() == PrimOp::Add1 ? "add1" : "sub1");
+      return;
+    case ValueKind::VK_Lam: {
+      const auto *Lam = cast<LamValue>(V);
+      Out << "(lambda (" << Ctx.spelling(Lam->param()) << ")";
+      newline(Depth + 1);
+      term(Lam->body(), Depth + 1);
+      Out << ')';
+      return;
+    }
+    }
+  }
+
+  void term(const Term *T, int Depth) {
+    switch (T->kind()) {
+    case TermKind::TK_Value:
+      value(cast<ValueTerm>(T)->value(), Depth);
+      return;
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(T);
+      Out << '(';
+      term(App->fun(), Depth);
+      Out << ' ';
+      term(App->arg(), Depth);
+      Out << ')';
+      return;
+    }
+    case TermKind::TK_Let: {
+      const auto *Let = cast<LetTerm>(T);
+      Out << "(let (" << Ctx.spelling(Let->var()) << ' ';
+      term(Let->bound(), Depth + 1);
+      Out << ')';
+      newline(Depth + 1);
+      term(Let->body(), Depth + 1);
+      Out << ')';
+      return;
+    }
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(T);
+      Out << "(if0 ";
+      term(If->cond(), Depth);
+      newline(Depth + 2);
+      term(If->thenBranch(), Depth + 2);
+      newline(Depth + 2);
+      term(If->elseBranch(), Depth + 2);
+      Out << ')';
+      return;
+    }
+    case TermKind::TK_Loop:
+      Out << "(loop)";
+      return;
+    }
+  }
+
+  const Context &Ctx;
+  bool Indented;
+  std::ostringstream Out;
+};
+
+} // namespace
+
+std::string cpsflow::syntax::print(const Context &Ctx, const Term *T) {
+  return PrinterImpl(Ctx, /*Indented=*/false).render(T);
+}
+
+std::string cpsflow::syntax::print(const Context &Ctx, const Value *V) {
+  return PrinterImpl(Ctx, /*Indented=*/false).render(V);
+}
+
+std::string cpsflow::syntax::printIndented(const Context &Ctx,
+                                           const Term *T) {
+  return PrinterImpl(Ctx, /*Indented=*/true).render(T);
+}

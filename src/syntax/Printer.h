@@ -1,0 +1,38 @@
+//===- syntax/Printer.h - Pretty-printer for language A ---------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders language-A terms back to the surface syntax. The printer emits a
+/// canonical single-line form (print) and an indented multi-line form
+/// (printIndented) used by the examples; parse(print(T)) is structurally
+/// equal to T.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SYNTAX_PRINTER_H
+#define CPSFLOW_SYNTAX_PRINTER_H
+
+#include "syntax/Ast.h"
+
+#include <string>
+
+namespace cpsflow {
+namespace syntax {
+
+/// Single-line canonical rendering of \p T.
+std::string print(const Context &Ctx, const Term *T);
+
+/// Single-line canonical rendering of \p V.
+std::string print(const Context &Ctx, const Value *V);
+
+/// Multi-line rendering with two-space indentation per let/if0 nesting
+/// level.
+std::string printIndented(const Context &Ctx, const Term *T);
+
+} // namespace syntax
+} // namespace cpsflow
+
+#endif // CPSFLOW_SYNTAX_PRINTER_H

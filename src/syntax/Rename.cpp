@@ -1,0 +1,129 @@
+//===- syntax/Rename.cpp - Alpha-uniqueness renamer -------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Rename.h"
+
+#include "syntax/Analysis.h"
+#include "syntax/Builder.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace cpsflow;
+using namespace cpsflow::syntax;
+
+namespace {
+
+class Renamer {
+public:
+  Renamer(Context &Ctx, const Term *Root) : Ctx(Ctx), Build(Ctx) {
+    // Free variables must keep their names and must never be captured.
+    for (Symbol S : freeVars(Root))
+      Used.insert(S);
+  }
+
+  const Term *term(const Term *T) {
+    switch (T->kind()) {
+    case TermKind::TK_Value:
+      return Build.val(value(cast<ValueTerm>(T)->value()), T->loc());
+    case TermKind::TK_App: {
+      const auto *App = cast<AppTerm>(T);
+      const Term *Fun = term(App->fun());
+      const Term *Arg = term(App->arg());
+      return Build.app(Fun, Arg, T->loc());
+    }
+    case TermKind::TK_Let: {
+      const auto *Let = cast<LetTerm>(T);
+      const Term *Bound = term(Let->bound());
+      Symbol Fresh = pickName(Let->var());
+      ScopedBinding Bind(*this, Let->var(), Fresh);
+      const Term *Body = term(Let->body());
+      return Build.let(Fresh, Bound, Body, T->loc());
+    }
+    case TermKind::TK_If0: {
+      const auto *If = cast<If0Term>(T);
+      const Term *Cond = term(If->cond());
+      const Term *Then = term(If->thenBranch());
+      const Term *Else = term(If->elseBranch());
+      return Build.if0(Cond, Then, Else, T->loc());
+    }
+    case TermKind::TK_Loop:
+      return Build.loop(T->loc());
+    }
+    assert(false && "unknown term kind");
+    return nullptr;
+  }
+
+private:
+  /// Re-binds \p Old to \p New for the dynamic extent of a scope, restoring
+  /// the previous binding (if any) on exit.
+  class ScopedBinding {
+  public:
+    ScopedBinding(Renamer &R, Symbol Old, Symbol New) : R(R), Old(Old) {
+      auto It = R.Scope.find(Old);
+      HadPrevious = It != R.Scope.end();
+      if (HadPrevious)
+        Previous = It->second;
+      R.Scope[Old] = New;
+    }
+    ~ScopedBinding() {
+      if (HadPrevious)
+        R.Scope[Old] = Previous;
+      else
+        R.Scope.erase(Old);
+    }
+
+  private:
+    Renamer &R;
+    Symbol Old;
+    Symbol Previous;
+    bool HadPrevious;
+  };
+
+  Symbol pickName(Symbol Original) {
+    if (Used.insert(Original).second)
+      return Original;
+    Symbol Fresh = Ctx.fresh(Ctx.spelling(Original));
+    Used.insert(Fresh);
+    return Fresh;
+  }
+
+  const Value *value(const Value *V) {
+    switch (V->kind()) {
+    case ValueKind::VK_Num:
+      return Build.num(cast<NumValue>(V)->value(), V->loc());
+    case ValueKind::VK_Prim:
+      return cast<PrimValue>(V)->op() == PrimOp::Add1 ? Build.add1(V->loc())
+                                                      : Build.sub1(V->loc());
+    case ValueKind::VK_Var: {
+      Symbol Name = cast<VarValue>(V)->name();
+      auto It = Scope.find(Name);
+      return Build.var(It == Scope.end() ? Name : It->second, V->loc());
+    }
+    case ValueKind::VK_Lam: {
+      const auto *Lam = cast<LamValue>(V);
+      Symbol Fresh = pickName(Lam->param());
+      ScopedBinding Bind(*this, Lam->param(), Fresh);
+      const Term *Body = term(Lam->body());
+      return Build.lam(Fresh, Body, V->loc());
+    }
+    }
+    assert(false && "unknown value kind");
+    return nullptr;
+  }
+
+  Context &Ctx;
+  Builder Build;
+  std::unordered_set<Symbol> Used;
+  std::unordered_map<Symbol, Symbol> Scope;
+};
+
+} // namespace
+
+const Term *cpsflow::syntax::renameUnique(Context &Ctx, const Term *T) {
+  return Renamer(Ctx, T).term(T);
+}

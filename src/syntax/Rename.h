@@ -1,0 +1,33 @@
+//===- syntax/Rename.h - Alpha-uniqueness renamer ---------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites a term so that every binder binds a distinct variable, distinct
+/// also from every free variable — the hygiene assumption of Section 2 that
+/// lets the abstract interpreters key their stores by variable name.
+/// Binders whose names are already unique keep their spelling; clashing
+/// binders get fresh names derived from the original stem.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SYNTAX_RENAME_H
+#define CPSFLOW_SYNTAX_RENAME_H
+
+#include "syntax/Ast.h"
+
+namespace cpsflow {
+namespace syntax {
+
+/// \returns an alpha-equivalent copy of \p T in which all binders are
+/// unique. The result always satisfies checkUniqueBinders. If \p T already
+/// satisfies it, the result is structurally equal to \p T (though freshly
+/// allocated).
+const Term *renameUnique(Context &Ctx, const Term *T);
+
+} // namespace syntax
+} // namespace cpsflow
+
+#endif // CPSFLOW_SYNTAX_RENAME_H

@@ -1,0 +1,200 @@
+//===- syntax/Sexpr.cpp - S-expression reader -------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Sexpr.h"
+
+#include <cassert>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+using namespace cpsflow;
+using namespace cpsflow::syntax;
+
+namespace {
+
+/// Hand-rolled recursive-descent tokenizer/parser with location tracking.
+class Reader {
+public:
+  explicit Reader(std::string_view Source) : Source(Source) {}
+
+  Result<Sexpr> readOne() {
+    skipTrivia();
+    if (atEnd())
+      return Error("expected an s-expression, found end of input", here());
+    Result<Sexpr> E = readExpr();
+    if (!E)
+      return E;
+    skipTrivia();
+    if (!atEnd())
+      return Error("trailing input after s-expression", here());
+    return E;
+  }
+
+  Result<std::vector<Sexpr>> readMany() {
+    std::vector<Sexpr> Out;
+    skipTrivia();
+    while (!atEnd()) {
+      Result<Sexpr> E = readExpr();
+      if (!E)
+        return E.error();
+      Out.push_back(E.take());
+      skipTrivia();
+    }
+    return Out;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return Source[Pos]; }
+
+  SourceLoc here() const { return SourceLoc{Line, Column}; }
+
+  void advance() {
+    if (Source[Pos] == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    ++Pos;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == ';') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  static bool isDelimiter(char C) {
+    return std::isspace(static_cast<unsigned char>(C)) || C == '(' ||
+           C == ')' || C == ';';
+  }
+
+  Result<Sexpr> readExpr() {
+    SourceLoc Loc = here();
+    char C = peek();
+    if (C == ')')
+      return Error("unmatched ')'", Loc);
+    if (C == '(')
+      return readList(Loc);
+    return readAtom(Loc);
+  }
+
+  Result<Sexpr> readList(SourceLoc Loc) {
+    // Recursive descent: bound the nesting so hostile inputs fail with a
+    // diagnostic instead of exhausting the stack.
+    if (Depth >= MaxDepth)
+      return Error("expression nesting exceeds the supported depth", Loc);
+    ++Depth;
+    advance(); // consume '('
+    Sexpr List;
+    List.NodeKind = Sexpr::Kind::List;
+    List.Loc = Loc;
+    while (true) {
+      skipTrivia();
+      if (atEnd())
+        return Error("unterminated list (missing ')')", Loc);
+      if (peek() == ')') {
+        advance();
+        --Depth;
+        return List;
+      }
+      Result<Sexpr> Child = readExpr();
+      if (!Child)
+        return Child;
+      List.Elements.push_back(Child.take());
+    }
+  }
+
+  Result<Sexpr> readAtom(SourceLoc Loc) {
+    size_t Start = Pos;
+    while (!atEnd() && !isDelimiter(peek()))
+      advance();
+    std::string_view Text = Source.substr(Start, Pos - Start);
+    assert(!Text.empty() && "atom with no characters");
+
+    // A token is a number iff it consists entirely of digits, with an
+    // optional leading sign followed by at least one digit.
+    bool Numeric = true;
+    size_t DigitsFrom = (Text[0] == '-' || Text[0] == '+') ? 1 : 0;
+    if (DigitsFrom == Text.size())
+      Numeric = false;
+    for (size_t I = DigitsFrom; I < Text.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(Text[I])))
+        Numeric = false;
+
+    Sexpr Atom;
+    Atom.Loc = Loc;
+    if (Numeric) {
+      Atom.NodeKind = Sexpr::Kind::Number;
+      errno = 0;
+      Atom.Number = std::strtoll(std::string(Text).c_str(), nullptr, 10);
+      if (errno == ERANGE)
+        return Error("numeral out of range", Loc);
+    } else {
+      Atom.NodeKind = Sexpr::Kind::Symbol;
+      Atom.Text = std::string(Text);
+    }
+    return Atom;
+  }
+
+  static constexpr uint32_t MaxDepth = 4000;
+
+  std::string_view Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  uint32_t Depth = 0;
+};
+
+void printTo(const Sexpr &E, std::ostringstream &Out) {
+  switch (E.NodeKind) {
+  case Sexpr::Kind::Number:
+    Out << E.Number;
+    return;
+  case Sexpr::Kind::Symbol:
+    Out << E.Text;
+    return;
+  case Sexpr::Kind::List:
+    Out << '(';
+    for (size_t I = 0; I < E.Elements.size(); ++I) {
+      if (I != 0)
+        Out << ' ';
+      printTo(E.Elements[I], Out);
+    }
+    Out << ')';
+    return;
+  }
+}
+
+} // namespace
+
+std::string Sexpr::str() const {
+  std::ostringstream Out;
+  printTo(*this, Out);
+  return Out.str();
+}
+
+Result<Sexpr> cpsflow::syntax::parseSexpr(std::string_view Source) {
+  return Reader(Source).readOne();
+}
+
+Result<std::vector<Sexpr>>
+cpsflow::syntax::parseSexprList(std::string_view Source) {
+  return Reader(Source).readMany();
+}

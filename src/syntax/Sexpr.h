@@ -1,0 +1,74 @@
+//===- syntax/Sexpr.h - S-expression reader ---------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small s-expression reader shared by the parsers for A and cps(A).
+///
+/// Grammar:
+/// \code
+///   sexpr ::= NUMBER | SYMBOL | '(' sexpr* ')'
+/// \endcode
+/// Comments run from ';' to end of line. Symbols are maximal runs of
+/// characters other than whitespace, parentheses, and ';'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SYNTAX_SEXPR_H
+#define CPSFLOW_SYNTAX_SEXPR_H
+
+#include "support/Result.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpsflow {
+namespace syntax {
+
+/// A parsed s-expression node.
+struct Sexpr {
+  enum class Kind : uint8_t { Number, Symbol, List };
+
+  Kind NodeKind;
+  SourceLoc Loc;
+  int64_t Number = 0;          ///< valid when NodeKind == Number
+  std::string Text;            ///< valid when NodeKind == Symbol
+  std::vector<Sexpr> Elements; ///< valid when NodeKind == List
+
+  bool isNumber() const { return NodeKind == Kind::Number; }
+  bool isSymbol() const { return NodeKind == Kind::Symbol; }
+  bool isList() const { return NodeKind == Kind::List; }
+
+  /// True iff this is the symbol \p Name.
+  bool isSymbol(std::string_view Name) const {
+    return isSymbol() && Text == Name;
+  }
+
+  /// Number of list elements; 0 for atoms.
+  size_t size() const { return Elements.size(); }
+
+  const Sexpr &operator[](size_t I) const { return Elements[I]; }
+
+  /// Renders back to text (canonical spacing).
+  std::string str() const;
+};
+
+/// Parses a single s-expression from \p Source.
+///
+/// Trailing input (other than whitespace and comments) is an error, so a
+/// file holds exactly one program.
+Result<Sexpr> parseSexpr(std::string_view Source);
+
+/// Parses a sequence of s-expressions (used by test corpora).
+Result<std::vector<Sexpr>> parseSexprList(std::string_view Source);
+
+} // namespace syntax
+} // namespace cpsflow
+
+#endif // CPSFLOW_SYNTAX_SEXPR_H

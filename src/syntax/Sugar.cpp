@@ -1,0 +1,326 @@
+//===- syntax/Sugar.cpp - Surface-language desugaring -----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Sugar.h"
+
+#include "syntax/Builder.h"
+#include "syntax/Sexpr.h"
+
+#include <string>
+#include <vector>
+
+using namespace cpsflow;
+using namespace cpsflow::syntax;
+
+namespace {
+
+bool isReserved(const std::string &Text) {
+  return Text == "let" || Text == "let*" || Text == "if0" ||
+         Text == "lambda" || Text == "λ" || Text == "loop" ||
+         Text == "add1" || Text == "sub1" || Text == "rec" ||
+         Text == "define" || Text == "+" || Text == "-";
+}
+
+class Desugarer {
+public:
+  explicit Desugarer(Context &Ctx) : Ctx(Ctx), B(Ctx) {}
+
+  Result<const Term *> term(const Sexpr &E) {
+    if (E.isNumber())
+      return static_cast<const Term *>(B.numTerm(E.Number, E.Loc));
+    if (E.isSymbol())
+      return symbol(E);
+    if (E.size() == 0)
+      return Error("empty application '()'", E.Loc);
+
+    const Sexpr &Head = E[0];
+    if (Head.isSymbol("lambda") || Head.isSymbol("λ"))
+      return lambda(E);
+    if (Head.isSymbol("let"))
+      return letForm(E);
+    if (Head.isSymbol("let*"))
+      return letStar(E);
+    if (Head.isSymbol("if0"))
+      return if0Form(E);
+    if (Head.isSymbol("loop"))
+      return loopForm(E);
+    if (Head.isSymbol("rec"))
+      return recForm(E);
+    if (Head.isSymbol("+") || Head.isSymbol("-"))
+      return plusMinus(E);
+    if (Head.isSymbol("define"))
+      return Error("define is only legal at the top of a program", E.Loc);
+    return application(E);
+  }
+
+  /// Zero or more defines, then one expression.
+  Result<const Term *> program(const std::vector<Sexpr> &Forms) {
+    if (Forms.empty())
+      return Error("a program needs a final expression");
+
+    // Desugar the trailing expression first, then wrap defines inside-out.
+    Result<const Term *> Body = term(Forms.back());
+    if (!Body)
+      return Body;
+    const Term *T = *Body;
+
+    for (size_t I = Forms.size() - 1; I-- > 0;) {
+      const Sexpr &Def = Forms[I];
+      if (!Def.isList() || Def.size() < 1 || !Def[0].isSymbol("define"))
+        return Error("only the final form may be a non-define expression",
+                     Def.Loc);
+      Result<std::pair<Symbol, const Term *>> Binding = define(Def);
+      if (!Binding)
+        return Binding.error();
+      T = B.let(Binding->first, Binding->second, T, Def.Loc);
+    }
+    return T;
+  }
+
+private:
+  Result<Symbol> variable(const Sexpr &E) {
+    if (!E.isSymbol())
+      return Error("expected a variable", E.Loc);
+    if (isReserved(E.Text))
+      return Error("reserved word '" + E.Text + "' cannot be a variable",
+                   E.Loc);
+    return Ctx.intern(E.Text);
+  }
+
+  Result<const Term *> symbol(const Sexpr &E) {
+    if (E.Text == "add1")
+      return static_cast<const Term *>(B.val(B.add1(E.Loc), E.Loc));
+    if (E.Text == "sub1")
+      return static_cast<const Term *>(B.val(B.sub1(E.Loc), E.Loc));
+    Result<Symbol> V = variable(E);
+    if (!V)
+      return V.error();
+    return static_cast<const Term *>(B.varTerm(*V, E.Loc));
+  }
+
+  // (lambda (x y ...) M) — curried.
+  Result<const Term *> lambda(const Sexpr &E) {
+    if (E.size() != 3 || !E[1].isList() || E[1].size() == 0)
+      return Error("lambda expects a non-empty parameter list and a body",
+                   E.Loc);
+    std::vector<Symbol> Params;
+    for (const Sexpr &P : E[1].Elements) {
+      Result<Symbol> V = variable(P);
+      if (!V)
+        return V.error();
+      Params.push_back(*V);
+    }
+    Result<const Term *> Body = term(E[2]);
+    if (!Body)
+      return Body;
+    const Term *T = *Body;
+    for (size_t I = Params.size(); I-- > 0;)
+      T = B.val(B.lam(Params[I], T, E.Loc), E.Loc);
+    return T;
+  }
+
+  Result<const Term *> letForm(const Sexpr &E) {
+    if (E.size() != 3 || !E[1].isList() || E[1].size() != 2 ||
+        !E[1][0].isSymbol())
+      return Error("let expects (let (x M) M)", E.Loc);
+    Result<Symbol> V = variable(E[1][0]);
+    if (!V)
+      return V.error();
+    Result<const Term *> Bound = term(E[1][1]);
+    if (!Bound)
+      return Bound;
+    Result<const Term *> Body = term(E[2]);
+    if (!Body)
+      return Body;
+    return static_cast<const Term *>(B.let(*V, *Bound, *Body, E.Loc));
+  }
+
+  // (let* ((x M) (y M) ...) body) — nested lets.
+  Result<const Term *> letStar(const Sexpr &E) {
+    if (E.size() != 3 || !E[1].isList())
+      return Error("let* expects a binding list and a body", E.Loc);
+    Result<const Term *> Body = term(E[2]);
+    if (!Body)
+      return Body;
+    const Term *T = *Body;
+    for (size_t I = E[1].size(); I-- > 0;) {
+      const Sexpr &Binding = E[1][I];
+      if (!Binding.isList() || Binding.size() != 2)
+        return Error("let* binding must be (x M)", Binding.Loc);
+      Result<Symbol> V = variable(Binding[0]);
+      if (!V)
+        return V.error();
+      Result<const Term *> Bound = term(Binding[1]);
+      if (!Bound)
+        return Bound;
+      T = B.let(*V, *Bound, T, E.Loc);
+    }
+    return T;
+  }
+
+  Result<const Term *> if0Form(const Sexpr &E) {
+    if (E.size() != 4)
+      return Error("if0 expects three subterms", E.Loc);
+    Result<const Term *> C = term(E[1]);
+    if (!C)
+      return C;
+    Result<const Term *> T = term(E[2]);
+    if (!T)
+      return T;
+    Result<const Term *> F = term(E[3]);
+    if (!F)
+      return F;
+    return static_cast<const Term *>(B.if0(*C, *T, *F, E.Loc));
+  }
+
+  Result<const Term *> loopForm(const Sexpr &E) {
+    if (E.size() != 1)
+      return Error("loop takes no arguments", E.Loc);
+    return static_cast<const Term *>(B.loop(E.Loc));
+  }
+
+  // (rec (f x) M): recursion by self-application —
+  //   (let (g (lambda (s) (lambda (x) (let (f (s s)) M)))) (g g)).
+  Result<const Term *> recForm(const Sexpr &E) {
+    if (E.size() != 3 || !E[1].isList() || E[1].size() != 2)
+      return Error("rec expects (rec (f x) M)", E.Loc);
+    Result<Symbol> F = variable(E[1][0]);
+    if (!F)
+      return F.error();
+    Result<Symbol> X = variable(E[1][1]);
+    if (!X)
+      return X.error();
+    Result<const Term *> Body = term(E[2]);
+    if (!Body)
+      return Body;
+
+    Symbol S = Ctx.fresh("self");
+    Symbol G = Ctx.fresh("rec");
+    const Term *Knot =
+        B.let(*F, B.appVV(B.var(S, E.Loc), B.var(S, E.Loc), E.Loc), *Body,
+              E.Loc);
+    const Value *Inner = B.lam(*X, Knot, E.Loc);
+    const Value *Outer = B.lam(S, B.val(Inner, E.Loc), E.Loc);
+    return static_cast<const Term *>(
+        B.let(G, B.val(Outer, E.Loc),
+              B.appVV(B.var(G, E.Loc), B.var(G, E.Loc), E.Loc), E.Loc));
+  }
+
+  // (+ M k) / (- M k) with an integer literal k: add1/sub1 chains.
+  Result<const Term *> plusMinus(const Sexpr &E) {
+    if (E.size() != 3 || !E[2].isNumber())
+      return Error("+/- expect (op M integer-literal); general addition "
+                   "needs rec",
+                   E.Loc);
+    Result<const Term *> M = term(E[1]);
+    if (!M)
+      return M;
+    int64_t K = E[2].Number;
+    bool Plus = E[0].isSymbol("+");
+    if (K < 0) {
+      K = -K;
+      Plus = !Plus;
+    }
+    const Term *T = *M;
+    for (int64_t I = 0; I < K; ++I)
+      T = B.app(B.val(Plus ? static_cast<const Value *>(B.add1(E.Loc))
+                           : static_cast<const Value *>(B.sub1(E.Loc)),
+                      E.Loc),
+                T, E.Loc);
+    return T;
+  }
+
+  // (M N1 N2 ...) — curried application.
+  Result<const Term *> application(const Sexpr &E) {
+    if (E.size() < 2)
+      return Error("application expects an operator and arguments", E.Loc);
+    Result<const Term *> Fun = term(E[0]);
+    if (!Fun)
+      return Fun;
+    const Term *T = *Fun;
+    for (size_t I = 1; I < E.size(); ++I) {
+      Result<const Term *> Arg = term(E[I]);
+      if (!Arg)
+        return Arg;
+      T = B.app(T, *Arg, E.Loc);
+    }
+    return T;
+  }
+
+  // (define (f x y ...) M) or (define x M); yields (name, bound term).
+  Result<std::pair<Symbol, const Term *>> define(const Sexpr &E) {
+    if (E.size() != 3)
+      return Error("define expects (define (f x ...) M) or (define x M)",
+                   E.Loc);
+    if (E[1].isSymbol()) {
+      Result<Symbol> V = variable(E[1]);
+      if (!V)
+        return V.error();
+      Result<const Term *> Bound = term(E[2]);
+      if (!Bound)
+        return Bound.error();
+      return std::make_pair(*V, *Bound);
+    }
+    if (!E[1].isList() || E[1].size() < 2)
+      return Error("define header must be (f x ...)", E[1].Loc);
+    Result<Symbol> F = variable(E[1][0]);
+    if (!F)
+      return F.error();
+
+    // (define (f x y ...) M): if f is used in M this is a recursive
+    // definition; desugar through rec on the first parameter and plain
+    // lambdas for the rest.
+    std::vector<Symbol> Params;
+    for (size_t I = 1; I < E[1].size(); ++I) {
+      Result<Symbol> P = variable(E[1][I]);
+      if (!P)
+        return P.error();
+      Params.push_back(*P);
+    }
+    Result<const Term *> Body = term(E[2]);
+    if (!Body)
+      return Body.error();
+
+    // Inner lambdas for parameters after the first.
+    const Term *T = *Body;
+    for (size_t I = Params.size(); I-- > 1;)
+      T = B.val(B.lam(Params[I], T, E.Loc), E.Loc);
+
+    // Recursive knot on the first parameter (harmless when f is unused).
+    Symbol S = Ctx.fresh("self");
+    Symbol G = Ctx.fresh("rec");
+    const Term *Knot =
+        B.let(*F, B.appVV(B.var(S, E.Loc), B.var(S, E.Loc), E.Loc), T,
+              E.Loc);
+    const Value *Inner = B.lam(Params[0], Knot, E.Loc);
+    const Value *Outer = B.lam(S, B.val(Inner, E.Loc), E.Loc);
+    const Term *Bound =
+        B.let(G, B.val(Outer, E.Loc),
+              B.appVV(B.var(G, E.Loc), B.var(G, E.Loc), E.Loc), E.Loc);
+    return std::make_pair(*F, Bound);
+  }
+
+  Context &Ctx;
+  Builder B;
+};
+
+} // namespace
+
+Result<const Term *>
+cpsflow::syntax::parseSugaredTerm(Context &Ctx, std::string_view Source) {
+  Result<Sexpr> E = parseSexpr(Source);
+  if (!E)
+    return E.error();
+  return Desugarer(Ctx).term(*E);
+}
+
+Result<const Term *>
+cpsflow::syntax::parseSugaredProgram(Context &Ctx, std::string_view Source) {
+  Result<std::vector<Sexpr>> Forms = parseSexprList(Source);
+  if (!Forms)
+    return Forms.error();
+  return Desugarer(Ctx).program(*Forms);
+}

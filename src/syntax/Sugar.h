@@ -1,0 +1,55 @@
+//===- syntax/Sugar.h - Surface-language desugaring -------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small surface language over core A, desugared during parsing. The
+/// paper presents A as "the core of typical higher-order languages like
+/// Scheme, Lisp, and ML" (Section 2); this layer restores enough of the
+/// surface to write realistic programs:
+///
+/// \code
+///   (lambda (x y ...) M)        curried lambdas
+///   (M N1 N2 ...)               curried application
+///   (let* ((x M) (y M) ...) M)  sequential bindings
+///   (+ M k) / (- M k)           add1/sub1 chains for integer literals k
+///   (rec (f x) M)               recursion by self-application: f is in
+///                               scope inside M
+///   (define (f x y ...) M)      top-level curried definition
+///   (define x M)                top-level value definition
+/// \endcode
+///
+/// A *program* is a sequence of defines followed by one expression; it
+/// desugars to nested lets. Everything else (numerals, variables, add1,
+/// sub1, let, if0, loop) passes through to the core parser unchanged.
+///
+/// The result is ordinary core A: normalize, transform, interpret, and
+/// analyze it with the rest of the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SYNTAX_SUGAR_H
+#define CPSFLOW_SYNTAX_SUGAR_H
+
+#include "support/Result.h"
+#include "syntax/Ast.h"
+
+#include <string_view>
+
+namespace cpsflow {
+namespace syntax {
+
+/// Parses a single sugared expression.
+Result<const Term *> parseSugaredTerm(Context &Ctx, std::string_view Source);
+
+/// Parses a whole program: zero or more `define` forms followed by one
+/// expression, desugared to nested lets around that expression.
+Result<const Term *> parseSugaredProgram(Context &Ctx,
+                                         std::string_view Source);
+
+} // namespace syntax
+} // namespace cpsflow
+
+#endif // CPSFLOW_SYNTAX_SUGAR_H

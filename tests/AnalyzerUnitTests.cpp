@@ -1,0 +1,316 @@
+//===- tests/AnalyzerUnitTests.cpp - Analyzer unit behaviour ----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small handcrafted programs with exact expected abstract results, plus
+/// unit checks of CFG extraction, the loop rules, cut-off behaviour, and
+/// budget exhaustion, for all three analyzers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "analysis/Witnesses.h"
+#include "gen/Workloads.h"
+#include "syntax/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpsflow;
+using namespace cpsflow::analysis;
+using cpsflow::test::mustParse;
+using CD = domain::ConstantDomain;
+
+namespace {
+
+template <typename D = CD>
+DirectResult<D> analyzeDirect(Context &Ctx, const std::string &Text,
+                              std::vector<DirectBinding<D>> Init = {},
+                              AnalyzerOptions Opts = AnalyzerOptions()) {
+  const syntax::Term *T = mustParse(Ctx, Text);
+  return DirectAnalyzer<D>(Ctx, T, std::move(Init), Opts).run();
+}
+
+TEST(DirectAnalyzer, ConstantsFlowThroughLets) {
+  Context Ctx;
+  auto R = analyzeDirect(Ctx, "(let (x 1) (let (y (add1 x)) y))");
+  EXPECT_EQ(CD::str(R.Answer.Value.Num), "2");
+  EXPECT_EQ(CD::str(R.valueOf(Ctx.intern("x")).Num), "1");
+  EXPECT_EQ(CD::str(R.valueOf(Ctx.intern("y")).Num), "2");
+}
+
+TEST(DirectAnalyzer, KnownConditionalTakesOneBranch) {
+  Context Ctx;
+  auto R = analyzeDirect(Ctx, "(let (a (if0 0 10 20)) a)");
+  EXPECT_EQ(CD::str(R.Answer.Value.Num), "10");
+  ASSERT_EQ(R.Cfg.Branches.size(), 1u);
+  const BranchInfo &BI = R.Cfg.Branches.begin()->second;
+  EXPECT_TRUE(BI.ThenFeasible);
+  EXPECT_FALSE(BI.ElseFeasible);
+}
+
+TEST(DirectAnalyzer, UnknownConditionalMergesBranches) {
+  Context Ctx;
+  std::vector<DirectBinding<CD>> Init = {
+      {Ctx.intern("z"), domain::AbsVal<CD>::number(CD::top())}};
+  auto R = analyzeDirect(Ctx, "(let (a (if0 z 10 20)) a)", Init);
+  EXPECT_EQ(CD::str(R.Answer.Value.Num), "T");
+  const BranchInfo &BI = R.Cfg.Branches.begin()->second;
+  EXPECT_TRUE(BI.ThenFeasible);
+  EXPECT_TRUE(BI.ElseFeasible);
+}
+
+TEST(DirectAnalyzer, SameBranchConstantsSurviveTheMerge) {
+  Context Ctx;
+  std::vector<DirectBinding<CD>> Init = {
+      {Ctx.intern("z"), domain::AbsVal<CD>::number(CD::top())}};
+  auto R = analyzeDirect(Ctx, "(let (a (if0 z 7 7)) a)", Init);
+  EXPECT_EQ(CD::str(R.Answer.Value.Num), "7");
+}
+
+TEST(DirectAnalyzer, ApplicationJoinsAllCallees) {
+  Context Ctx;
+  // f may be either constant closure; the call result merges to top.
+  auto R = analyzeDirect(
+      Ctx, "(let (f (if0 z (lambda (d0) 0) (lambda (d1) 1))) "
+           "(let (a (f 9)) a))",
+      {{Ctx.intern("z"), domain::AbsVal<CD>::number(CD::top())}});
+  EXPECT_EQ(CD::str(R.Answer.Value.Num), "T");
+  // The call site saw both closures.
+  ASSERT_EQ(R.Cfg.Callees.size(), 1u);
+  EXPECT_EQ(R.Cfg.Callees.begin()->second.size(), 2u);
+  // Both parameters received 9.
+  EXPECT_EQ(CD::str(R.valueOf(Ctx.intern("d0")).Num), "9");
+  EXPECT_EQ(CD::str(R.valueOf(Ctx.intern("d1")).Num), "9");
+}
+
+TEST(DirectAnalyzer, PrimitivesAreAbstractClosures) {
+  Context Ctx;
+  auto R = analyzeDirect(Ctx, "(let (p add1) (let (a (p 4)) a))");
+  EXPECT_EQ(CD::str(R.Answer.Value.Num), "5");
+  EXPECT_TRUE(
+      R.valueOf(Ctx.intern("p")).Clos.contains(domain::CloRef::inc()));
+}
+
+TEST(DirectAnalyzer, DeadApplicationKillsTheRestOfTheChain) {
+  Context Ctx;
+  // Applying a number: no abstract closures, so the chain after the
+  // binding is dead and the answer is bottom.
+  auto R = analyzeDirect(Ctx, "(let (a (1 2)) (let (b 5) b))");
+  EXPECT_TRUE(R.Answer.Value.isBot());
+  EXPECT_TRUE(R.valueOf(Ctx.intern("b")).isBot());
+}
+
+TEST(DirectAnalyzer, LoopRuleIsExactAndComplete) {
+  Context Ctx;
+  auto R = analyzeDirect(Ctx, "(let (x (loop)) (let (y (add1 x)) y))");
+  EXPECT_EQ(CD::str(R.valueOf(Ctx.intern("x")).Num), "T");
+  EXPECT_TRUE(R.Stats.complete());
+  EXPECT_FALSE(R.Stats.LoopBounded);
+}
+
+TEST(DirectAnalyzer, BudgetExhaustionIsReported) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, 8);
+  AnalyzerOptions Opts;
+  Opts.MaxGoals = 10;
+  auto R = DirectAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), Opts).run();
+  EXPECT_TRUE(R.Stats.BudgetExhausted);
+  EXPECT_FALSE(R.Stats.complete());
+}
+
+TEST(DirectAnalyzer, MemoizationCountsCacheHits) {
+  Context Ctx;
+  // Both branches of the unknown conditional apply the same closure to
+  // the same argument *from the same store*, so the second branch's body
+  // goal is answered from the memo table.
+  auto R = analyzeDirect(
+      Ctx,
+      "(let (f (lambda (p) p)) "
+      "(let (c (if0 z (let (u (f 1)) u) (let (v (f 1)) v))) c))",
+      {{Ctx.intern("z"), domain::AbsVal<CD>::number(CD::top())}});
+  EXPECT_EQ(CD::str(R.Answer.Value.Num), "1");
+  EXPECT_GT(R.Stats.CacheHits, 0u);
+}
+
+TEST(DirectAnalyzer, SignDomainClient) {
+  using SD = domain::SignDomain;
+  Context Ctx;
+  auto R = analyzeDirect<SD>(Ctx, "(let (x 3) (let (y (add1 x)) y))");
+  EXPECT_EQ(SD::str(R.Answer.Value.Num), "+");
+}
+
+TEST(DirectAnalyzer, IntervalDomainClient) {
+  using ID = domain::IntervalDomain;
+  Context Ctx;
+  // The exact loop rule: x covers all naturals; the probe stays a range.
+  auto R = analyzeDirect<ID>(
+      Ctx, "(let (x (loop)) (let (y (add1 x)) y))");
+  EXPECT_EQ(ID::str(R.valueOf(Ctx.intern("x")).Num), "[0,+inf]");
+  EXPECT_EQ(ID::str(R.valueOf(Ctx.intern("y")).Num), "[1,+inf]");
+
+  // Branch join produces a range instead of the constant lattice's top.
+  auto R2 = analyzeDirect<ID>(
+      Ctx, "(let (a (if0 z 4 7)) a)",
+      {{Ctx.intern("z"), domain::AbsVal<ID>::number(ID::top())}});
+  EXPECT_EQ(ID::str(R2.Answer.Value.Num), "[4,7]");
+}
+
+TEST(DirectAnalyzer, ParityDomainClient) {
+  using PD = domain::ParityDomain;
+  Context Ctx;
+  auto R = analyzeDirect<PD>(
+      Ctx, "(let (x 4) (let (y (add1 x)) (let (w (add1 y)) w)))");
+  EXPECT_EQ(PD::str(R.Answer.Value.Num), "even");
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic-CPS analyzer
+//===----------------------------------------------------------------------===//
+
+TEST(SemanticAnalyzer, DuplicatesBranchAnalyses) {
+  Context Ctx;
+  Witness W = theorem52a(Ctx);
+  auto R = SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+  EXPECT_EQ(CD::str(R.valueOf(Ctx.intern("a2")).Num), "3");
+  // Both branches of the first conditional were feasible.
+  bool SawBoth = false;
+  for (const auto &[If, BI] : R.Cfg.Branches)
+    SawBoth |= BI.ThenFeasible && BI.ElseFeasible;
+  EXPECT_TRUE(SawBoth);
+}
+
+TEST(SemanticAnalyzer, ExploresExponentiallyManyGoals) {
+  Context Ctx;
+  Witness W4 = gen::conditionalChain(Ctx, 4);
+  Witness W8 = gen::conditionalChain(Ctx, 8);
+  auto R4 =
+      SemanticCpsAnalyzer<CD>(Ctx, W4.Anf, directBindings<CD>(W4)).run();
+  auto R8 =
+      SemanticCpsAnalyzer<CD>(Ctx, W8.Anf, directBindings<CD>(W8)).run();
+  auto D4 = DirectAnalyzer<CD>(Ctx, W4.Anf, directBindings<CD>(W4)).run();
+  auto D8 = DirectAnalyzer<CD>(Ctx, W8.Anf, directBindings<CD>(W8)).run();
+  // Semantic goals grow much faster than direct goals (2^n vs n).
+  double SemGrowth = double(R8.Stats.Goals) / double(R4.Stats.Goals);
+  double DirGrowth = double(D8.Stats.Goals) / double(D4.Stats.Goals);
+  EXPECT_GT(SemGrowth, 8.0);
+  EXPECT_LT(DirGrowth, 4.0);
+}
+
+TEST(SemanticAnalyzer, LoopUnrollReportsTruncation) {
+  Context Ctx;
+  Witness W = gen::loopProbe(Ctx, 100); // probe beyond the default bound
+  AnalyzerOptions Opts;
+  Opts.LoopUnroll = 8;
+  Opts.LoopSoundSummary = false;
+  auto R =
+      SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), Opts).run();
+  EXPECT_TRUE(R.Stats.LoopBounded);
+  // With the bound below the probe the 7-branch is never seen: r = 9.
+  EXPECT_EQ(CD::str(R.valueOf(W.Probe).Num), "9");
+
+  // Crossing the probe changes the (supposedly converged) result — the
+  // Section 6.2 undecidability in action.
+  AnalyzerOptions Wide = Opts;
+  Wide.LoopUnroll = 128;
+  auto R2 =
+      SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), Wide).run();
+  EXPECT_EQ(CD::str(R2.valueOf(W.Probe).Num), "T");
+}
+
+TEST(SemanticAnalyzer, LoopSummaryRestoresSoundness) {
+  Context Ctx;
+  Witness W = gen::loopProbe(Ctx, 100);
+  AnalyzerOptions Opts;
+  Opts.LoopUnroll = 8;
+  Opts.LoopSoundSummary = true; // default
+  auto R =
+      SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), Opts).run();
+  // The summary iterate reaches both branches: r = T covers the exact
+  // join {7, 9}.
+  EXPECT_EQ(CD::str(R.valueOf(W.Probe).Num), "T");
+}
+
+//===----------------------------------------------------------------------===//
+// Syntactic-CPS analyzer
+//===----------------------------------------------------------------------===//
+
+TEST(SyntacticAnalyzer, CollectsContinuationsAtKVars) {
+  Context Ctx;
+  Witness W = theorem51(Ctx);
+  auto R = SyntacticCpsAnalyzer<CD>(Ctx, W.Cps, cpsBindings<CD>(W)).run();
+  // The identity's k parameter collected both call sites' continuations.
+  ASSERT_EQ(W.Cps.Lams.size(), 1u);
+  Symbol K = W.Cps.Lams[0]->kparam();
+  EXPECT_EQ(R.valueOf(K).Konts.size(), 2u);
+}
+
+TEST(SyntacticAnalyzer, StopContinuationYieldsTheAnswer) {
+  Context Ctx;
+  const syntax::Term *T = mustParse(Ctx, "(let (x (add1 1)) x)");
+  Result<cps::CpsProgram> P = cps::cpsTransform(Ctx, T);
+  ASSERT_TRUE(P.hasValue());
+  auto R = SyntacticCpsAnalyzer<CD>(Ctx, *P).run();
+  EXPECT_EQ(CD::str(R.Answer.Value.Num), "2");
+  EXPECT_TRUE(R.Stats.complete());
+}
+
+TEST(SyntacticAnalyzer, LoopkMirrorsSemanticLoop) {
+  Context Ctx;
+  Witness W = gen::loopProbe(Ctx, 100);
+  AnalyzerOptions Opts;
+  Opts.LoopUnroll = 8;
+  Opts.LoopSoundSummary = false;
+  auto R = SyntacticCpsAnalyzer<CD>(Ctx, W.Cps, cpsBindings<CD>(W), Opts).run();
+  EXPECT_TRUE(R.Stats.LoopBounded);
+  EXPECT_EQ(CD::str(R.valueOf(W.Probe).Num), "9");
+}
+
+TEST(SyntacticAnalyzer, UniverseIncludesStopAndAllKonts) {
+  Context Ctx;
+  Witness W = theorem52a(Ctx);
+  SyntacticCpsAnalyzer<CD> A(Ctx, W.Cps, cpsBindings<CD>(W));
+  EXPECT_TRUE(A.kontUniverse().contains(domain::KontRef::stop()));
+  EXPECT_EQ(A.kontUniverse().size(), W.Cps.ContLams.size() + 1);
+  EXPECT_TRUE(A.closureUniverse().contains(domain::CpsCloRef::inck()));
+}
+
+} // namespace
+
+namespace {
+
+TEST(DirectAnalyzer, DerivationSinkRecordsGoalsAndAnswers) {
+  Context Ctx;
+  std::vector<std::string> Derivation;
+  AnalyzerOptions Opts;
+  Opts.DerivationSink = &Derivation;
+  const syntax::Term *T =
+      cpsflow::test::mustParse(Ctx, "(let (x (add1 1)) x)");
+  auto R = DirectAnalyzer<CD>(Ctx, T, {}, Opts).run();
+  EXPECT_EQ(CD::str(R.Answer.Value.Num), "2");
+  ASSERT_FALSE(Derivation.empty());
+  // Root goal shows the whole program and its answer.
+  EXPECT_NE(Derivation[0].find("(let (x (add1 1)) x)"), std::string::npos);
+  EXPECT_NE(Derivation[0].find("|- (2, {})"), std::string::npos);
+}
+
+TEST(DirectAnalyzer, DerivationSinkMarksDeadGoals) {
+  Context Ctx;
+  std::vector<std::string> Derivation;
+  AnalyzerOptions Opts;
+  Opts.DerivationSink = &Derivation;
+  const syntax::Term *T =
+      cpsflow::test::mustParse(Ctx, "(let (a (1 2)) a)");
+  (void)DirectAnalyzer<CD>(Ctx, T, {}, Opts).run();
+  bool SawDead = false;
+  for (const std::string &Line : Derivation)
+    SawDead |= Line.find("|- dead") != std::string::npos;
+  EXPECT_TRUE(SawDead);
+}
+
+} // namespace

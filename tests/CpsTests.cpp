@@ -1,0 +1,250 @@
+//===- tests/CpsTests.cpp - CPS transformation tests ------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cps/Transform.h"
+
+#include "TestUtil.h"
+#include "anf/Anf.h"
+#include "syntax/Builder.h"
+#include "gen/Generator.h"
+#include "syntax/Analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cpsflow;
+using namespace cpsflow::cps;
+using cpsflow::test::mustParse;
+
+namespace {
+
+CpsProgram mustTransform(Context &Ctx, const syntax::Term *Anf) {
+  Result<CpsProgram> R = cpsTransform(Ctx, Anf);
+  EXPECT_TRUE(R.hasValue()) << (R.hasValue() ? "" : R.error().Message);
+  return R.take();
+}
+
+TEST(CpsTransform, RejectsNonAnf) {
+  Context Ctx;
+  const syntax::Term *T = mustParse(Ctx, "(f (g 1))");
+  EXPECT_FALSE(cpsTransform(Ctx, T).hasValue());
+}
+
+TEST(CpsTransform, ReturnsValueThroughTopK) {
+  // F_k[V] = (k V[V]).
+  Context Ctx;
+  CpsProgram P = mustTransform(Ctx, mustParse(Ctx, "42"));
+  const auto *Ret = dyn_cast<CpsRet>(P.Root);
+  ASSERT_NE(Ret, nullptr);
+  EXPECT_EQ(Ret->kvar(), P.TopK);
+  EXPECT_EQ(cast<CpsNum>(Ret->arg())->value(), 42);
+}
+
+TEST(CpsTransform, LetValueBecomesCpsLet) {
+  Context Ctx;
+  CpsProgram P = mustTransform(Ctx, mustParse(Ctx, "(let (x 1) x)"));
+  const auto *Let = dyn_cast<CpsLetVal>(P.Root);
+  ASSERT_NE(Let, nullptr);
+  EXPECT_EQ(Ctx.spelling(Let->var()), "x");
+  EXPECT_TRUE(isa<CpsRet>(Let->body()));
+}
+
+TEST(CpsTransform, ApplicationGetsExplicitContinuation) {
+  // The Theorem 5.1 shape: F_k[(let (a1 (f 1)) (let (a2 (f 2)) a2))]
+  //   = (f 1 (lambda (a1) (f 2 (lambda (a2) (k a2))))).
+  Context Ctx;
+  CpsProgram P = mustTransform(
+      Ctx, mustParse(Ctx, "(let (a1 (f 1)) (let (a2 (f 2)) a2))"));
+  const auto *C1 = dyn_cast<CpsCall>(P.Root);
+  ASSERT_NE(C1, nullptr);
+  EXPECT_EQ(Ctx.spelling(cast<CpsVar>(C1->fun())->name()), "f");
+  EXPECT_EQ(cast<CpsNum>(C1->arg())->value(), 1);
+  EXPECT_EQ(Ctx.spelling(C1->cont()->param()), "a1");
+
+  const auto *C2 = dyn_cast<CpsCall>(C1->cont()->body());
+  ASSERT_NE(C2, nullptr);
+  EXPECT_EQ(cast<CpsNum>(C2->arg())->value(), 2);
+  EXPECT_EQ(Ctx.spelling(C2->cont()->param()), "a2");
+
+  const auto *Ret = dyn_cast<CpsRet>(C2->cont()->body());
+  ASSERT_NE(Ret, nullptr);
+  EXPECT_EQ(Ret->kvar(), P.TopK);
+}
+
+TEST(CpsTransform, ConditionalNamesItsJoinContinuation) {
+  // F_k[(let (x (if0 z 0 1)) M)] =
+  //   (let (k' (lambda (x) F_k[M])) (if0 z (k' 0) (k' 1))).
+  Context Ctx;
+  CpsProgram P =
+      mustTransform(Ctx, mustParse(Ctx, "(let (x (if0 z 0 1)) x)"));
+  const auto *If = dyn_cast<CpsIf>(P.Root);
+  ASSERT_NE(If, nullptr);
+  EXPECT_EQ(Ctx.spelling(If->join()->param()), "x");
+  const auto *T = dyn_cast<CpsRet>(If->thenBranch());
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->kvar(), If->kvar());
+  EXPECT_EQ(cast<CpsNum>(T->arg())->value(), 0);
+  const auto *E = dyn_cast<CpsRet>(If->elseBranch());
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(cast<CpsNum>(E->arg())->value(), 1);
+}
+
+TEST(CpsTransform, LambdaGetsContinuationParameter) {
+  Context Ctx;
+  CpsProgram P = mustTransform(
+      Ctx, mustParse(Ctx, "(lambda (x) (let (r (add1 x)) r))"));
+  const auto *Ret = cast<CpsRet>(P.Root);
+  const auto *Lam = dyn_cast<CpsLam>(Ret->arg());
+  ASSERT_NE(Lam, nullptr);
+  EXPECT_EQ(Ctx.spelling(Lam->param()), "x");
+  EXPECT_NE(Lam->kparam(), P.TopK);
+  // Body: (add1k x (lambda (r) (k' r))).
+  const auto *Call = dyn_cast<CpsCall>(Lam->body());
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(cast<CpsPrim>(Call->fun())->op(), CpsPrimOp::Add1k);
+}
+
+TEST(CpsTransform, LoopBecomesLoopk) {
+  Context Ctx;
+  CpsProgram P = mustTransform(Ctx, mustParse(Ctx, "(let (x (loop)) x)"));
+  const auto *Loop = dyn_cast<CpsLoop>(P.Root);
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_EQ(Ctx.spelling(Loop->cont()->param()), "x");
+}
+
+TEST(CpsTransform, KVarsAreDisjointFromSourceVariables) {
+  Context Ctx;
+  const syntax::Term *T = mustParse(
+      Ctx, "(let (f (lambda (x) (let (q (if0 x 1 2)) q))) (let (a (f 0)) a))");
+  CpsProgram P = mustTransform(Ctx, T);
+  std::set<Symbol> Source = syntax::boundVars(T);
+  for (Symbol S : syntax::freeVars(T))
+    Source.insert(S);
+  for (Symbol K : P.KVars) {
+    EXPECT_FALSE(Source.count(K)) << Ctx.spelling(K);
+    EXPECT_NE(Ctx.spelling(K).find('%'), std::string::npos);
+  }
+}
+
+TEST(CpsTransform, RecordsLambdaCorrespondence) {
+  Context Ctx;
+  const syntax::Term *T = mustParse(
+      Ctx,
+      "(let (f (lambda (x) x)) (let (g (lambda (y) y)) (let (a (f g)) a)))");
+  CpsProgram P = mustTransform(Ctx, T);
+  EXPECT_EQ(P.Lams.size(), 2u);
+  EXPECT_EQ(P.LamToCps.size(), 2u);
+  EXPECT_EQ(P.CpsToLam.size(), 2u);
+  for (const syntax::LamValue *Lam : syntax::collectLambdas(T)) {
+    auto It = P.LamToCps.find(Lam);
+    ASSERT_NE(It, P.LamToCps.end());
+    EXPECT_EQ(It->second->param(), Lam->param());
+    EXPECT_EQ(P.CpsToLam.at(It->second), Lam);
+  }
+}
+
+TEST(CpsTransform, RecordsContinuationOrigins) {
+  Context Ctx;
+  const syntax::Term *T = mustParse(
+      Ctx, "(let (a (f 1)) (let (b (if0 a 1 2)) b))");
+  CpsProgram P = mustTransform(Ctx, T);
+  ASSERT_EQ(P.ContLams.size(), 2u);
+  for (const ContLam *C : P.ContLams) {
+    auto It = P.ContToLet.find(C);
+    ASSERT_NE(It, P.ContToLet.end());
+    EXPECT_EQ(It->second->var(), C->param());
+  }
+}
+
+TEST(CpsTransform, ExtraLambdaRegistration) {
+  Context Ctx;
+  syntax::Builder B(Ctx);
+  CpsProgram P = mustTransform(Ctx, mustParse(Ctx, "(let (a (f 1)) a)"));
+  const syntax::LamValue *Id =
+      B.lam(Ctx.intern("x"), B.varTerm(Ctx.intern("x")));
+  const CpsLam *Image = cpsTransformExtra(Ctx, P, Id);
+  ASSERT_NE(Image, nullptr);
+  EXPECT_EQ(Image->param(), Id->param());
+  EXPECT_EQ(P.LamToCps.at(Id), Image);
+  // Idempotent.
+  EXPECT_EQ(cpsTransformExtra(Ctx, P, Id), Image);
+}
+
+TEST(CpsTransform, PrinterShowsDefinitionSyntax) {
+  Context Ctx;
+  CpsProgram P =
+      mustTransform(Ctx, mustParse(Ctx, "(let (a (add1 1)) a)"));
+  std::string S = printCps(Ctx, P.Root);
+  EXPECT_NE(S.find("add1k"), std::string::npos);
+  EXPECT_NE(S.find("(lambda (a)"), std::string::npos);
+}
+
+TEST(CpsTransform, NodeCountAndVariableCollection) {
+  Context Ctx;
+  CpsProgram P = mustTransform(
+      Ctx, mustParse(Ctx, "(let (a (f 1)) (let (b (if0 a 1 2)) b))"));
+  EXPECT_GT(countCpsNodes(P.Root), 8u);
+  std::vector<Symbol> Vars = collectCpsVariables(P.Root, P.TopK);
+  std::set<Symbol> Set(Vars.begin(), Vars.end());
+  EXPECT_TRUE(Set.count(Ctx.intern("a")));
+  EXPECT_TRUE(Set.count(Ctx.intern("b")));
+  EXPECT_TRUE(Set.count(Ctx.intern("f")));
+  EXPECT_TRUE(Set.count(P.TopK));
+}
+
+class CpsGrammarSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CpsGrammarSweep, TransformSucceedsOnGeneratedAnf) {
+  Context Ctx;
+  gen::GenOptions Opts;
+  Opts.Seed = GetParam();
+  gen::ProgramGenerator Gen(Ctx, Opts);
+  for (int I = 0; I < 30; ++I) {
+    const syntax::Term *T = Gen.generate();
+    Result<CpsProgram> R = cpsTransform(Ctx, T);
+    ASSERT_TRUE(R.hasValue());
+    EXPECT_GT(countCpsNodes(R->Root), 0u);
+    // Each source lambda must have an image.
+    EXPECT_EQ(R->Lams.size(), syntax::collectLambdas(T).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpsGrammarSweep,
+                         ::testing::Values(3, 9, 27, 81));
+
+} // namespace
+
+namespace {
+
+TEST(CpsTransform, IndentedPrinterMatchesFlatModuloWhitespace) {
+  Context Ctx;
+  const syntax::Term *T = mustParse(
+      Ctx, "(let (f (lambda (x) (let (q (if0 x 1 2)) q))) (let (a (f 0)) a))");
+  CpsProgram P = mustTransform(Ctx, T);
+  std::string Flat = printCps(Ctx, P.Root);
+  std::string Pretty = printCpsIndented(Ctx, P.Root);
+  EXPECT_NE(Pretty.find('\n'), std::string::npos);
+
+  auto Squash = [](const std::string &S) {
+    std::string Out;
+    bool InWs = false;
+    for (char C : S) {
+      if (C == ' ' || C == '\n') {
+        InWs = true;
+        continue;
+      }
+      if (InWs && !Out.empty())
+        Out += ' ';
+      InWs = false;
+      Out += C;
+    }
+    return Out;
+  };
+  EXPECT_EQ(Squash(Flat), Squash(Pretty));
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- tests/CrossDomainTests.cpp - Witnesses across domains ----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The theorem witnesses swept across every numeric domain: the ordering
+/// theorems are domain-generic, so each domain must satisfy them (the
+/// *strictness* of the gaps is domain-specific — e.g. the unit domain
+/// cannot distinguish the Theorem 5.2 constants, so its gap closes).
+/// Also checks the sample programs shipped for the CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/Compare.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "analysis/Witnesses.h"
+#include "anf/Anf.h"
+#include "interp/Direct.h"
+#include "syntax/Sugar.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace cpsflow;
+using namespace cpsflow::analysis;
+
+namespace {
+
+template <typename D> void checkWitnessOrdering() {
+  Context Ctx;
+  for (Witness (*Make)(Context &) : {theorem51, theorem52a, theorem52b}) {
+    Witness W = Make(Ctx);
+    auto AD = DirectAnalyzer<D>(Ctx, W.Anf, directBindings<D>(W)).run();
+    auto AS =
+        SemanticCpsAnalyzer<D>(Ctx, W.Anf, directBindings<D>(W)).run();
+    auto AC =
+        SyntacticCpsAnalyzer<D>(Ctx, W.Cps, cpsBindings<D>(W)).run();
+
+    // Theorem 5.4 (ordering half) holds for every domain.
+    Comparison C54 =
+        compareDirectWorld<D>(Ctx, AS, AD, W.InterestingVars);
+    EXPECT_TRUE(C54.Overall == PrecisionOrder::Equal ||
+                C54.Overall == PrecisionOrder::LeftMorePrecise)
+        << D::Name << " " << W.Name << ": " << str(C54.Overall);
+
+    // Theorem 5.5 (cut-free witnesses except 5.1's syntactic side; the
+    // value half must hold regardless).
+    Comparison C55 = compareWithSyntactic<D>(Ctx, AS, AC, W.Cps,
+                                             W.InterestingVars);
+    EXPECT_TRUE(C55.OnValue == PrecisionOrder::Equal ||
+                C55.OnValue == PrecisionOrder::LeftMorePrecise)
+        << D::Name << " " << W.Name << ": " << str(C55.OnValue);
+  }
+}
+
+TEST(CrossDomain, WitnessOrderingConstant) {
+  checkWitnessOrdering<domain::ConstantDomain>();
+}
+TEST(CrossDomain, WitnessOrderingUnit) {
+  checkWitnessOrdering<domain::UnitDomain>();
+}
+TEST(CrossDomain, WitnessOrderingSign) {
+  checkWitnessOrdering<domain::SignDomain>();
+}
+TEST(CrossDomain, WitnessOrderingParity) {
+  checkWitnessOrdering<domain::ParityDomain>();
+}
+TEST(CrossDomain, WitnessOrderingInterval) {
+  checkWitnessOrdering<domain::IntervalDomain>();
+}
+
+TEST(CrossDomain, IntervalSharpensTheorem52aGap) {
+  // Under intervals, the direct analysis keeps a range where constants
+  // degrade to T: a1 in [0,1], a2 in [2,4]; the CPS analyses still pin
+  // a2 = [3,3].
+  using ID = domain::IntervalDomain;
+  Context Ctx;
+  Witness W = theorem52a(Ctx);
+  auto AD = DirectAnalyzer<ID>(Ctx, W.Anf, directBindings<ID>(W)).run();
+  auto AS =
+      SemanticCpsAnalyzer<ID>(Ctx, W.Anf, directBindings<ID>(W)).run();
+  EXPECT_EQ(ID::str(AD.valueOf(Ctx.intern("a1")).Num), "[0,1]");
+  EXPECT_EQ(ID::str(AD.valueOf(Ctx.intern("a2")).Num), "[2,4]");
+  EXPECT_EQ(ID::str(AS.valueOf(Ctx.intern("a2")).Num), "[3,3]");
+}
+
+TEST(CrossDomain, ParityCannotExploitTheorem52aDuplication) {
+  // Parity cannot prove "even implies nonzero", so on the a1 = 0 path the
+  // second conditional still explores its (spurious) else branch, whose
+  // result is even — the per-path duplication buys nothing here and both
+  // analyses meet at T. The Theorem 5.2 gap is a property of the *domain's*
+  // ability to refine branch conditions, not of duplication alone.
+  using PD = domain::ParityDomain;
+  Context Ctx;
+  Witness W = theorem52a(Ctx);
+  auto AD = DirectAnalyzer<PD>(Ctx, W.Anf, directBindings<PD>(W)).run();
+  auto AS =
+      SemanticCpsAnalyzer<PD>(Ctx, W.Anf, directBindings<PD>(W)).run();
+  EXPECT_EQ(PD::str(AD.valueOf(Ctx.intern("a2")).Num), "T");
+  EXPECT_EQ(PD::str(AS.valueOf(Ctx.intern("a2")).Num), "T");
+}
+
+//===----------------------------------------------------------------------===//
+// The shipped sample programs behave as documented
+//===----------------------------------------------------------------------===//
+
+int64_t runSample(const char *Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  Context Ctx;
+  Result<const syntax::Term *> T =
+      syntax::parseSugaredProgram(Ctx, Buf.str());
+  EXPECT_TRUE(T.hasValue()) << (T.hasValue() ? "" : T.error().str());
+  const syntax::Term *Anf = anf::normalizeProgram(Ctx, *T);
+  interp::RunLimits Limits;
+  Limits.MaxSteps = 1u << 22;
+  interp::DirectInterp I(Limits);
+  interp::RunResult R = I.run(Anf);
+  EXPECT_TRUE(R.ok()) << Path << ": " << R.Message;
+  return R.Value.isNum() ? R.Value.Num : INT64_MIN;
+}
+
+TEST(SamplePrograms, ArithmeticComputes25) {
+  EXPECT_EQ(runSample(CPSFLOW_SOURCE_DIR "/examples/programs/arithmetic.a"),
+            25);
+}
+
+TEST(SamplePrograms, ChurchPairsCompute11) {
+  EXPECT_EQ(runSample(CPSFLOW_SOURCE_DIR "/examples/programs/church.a"),
+            11);
+}
+
+TEST(SamplePrograms, ListSumComputes10) {
+  EXPECT_EQ(runSample(CPSFLOW_SOURCE_DIR "/examples/programs/list_sum.a"),
+            10);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+//===- tests/DupAnalyzerTests.cpp - Section 6.3 analyzer --------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded-duplication direct analyzer: with budget 0 it coincides
+/// with Figure 4; with enough budget it reproduces the CPS analyses'
+/// precision on the Theorem 5.2 witnesses — the Section 6.3 claim that "a
+/// direct analysis that relies on some amount of duplication would be as
+/// satisfactory as a CPS analysis" — at a bounded cost.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/Compare.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/DupAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/Witnesses.h"
+#include "gen/Generator.h"
+#include "gen/Workloads.h"
+#include "syntax/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpsflow;
+using namespace cpsflow::analysis;
+using CD = domain::ConstantDomain;
+
+namespace {
+
+TEST(DupAnalyzer, BudgetZeroEqualsFigure4) {
+  Context Ctx;
+  for (Witness (*Make)(Context &) : {theorem51, theorem52a, theorem52b}) {
+    Witness W = Make(Ctx);
+    auto Fig4 = DirectAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+    auto Dup0 =
+        DupAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), 0).run();
+    EXPECT_TRUE(Fig4.Answer == Dup0.Answer) << W.Name;
+  }
+}
+
+TEST(DupAnalyzer, RecoversTheorem52aPrecision) {
+  Context Ctx;
+  Witness W = theorem52a(Ctx);
+  auto Dup = DupAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), 1).run();
+  // With one level of duplication the direct analysis finds a2 = 3, like
+  // the CPS analyses and unlike plain Figure 4.
+  EXPECT_EQ(CD::str(Dup.valueOf(Ctx.intern("a2")).Num), "3");
+}
+
+TEST(DupAnalyzer, RecoversTheorem52bPrecision) {
+  Context Ctx;
+  Witness W = theorem52b(Ctx);
+  auto Dup = DupAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), 1).run();
+  EXPECT_EQ(CD::str(Dup.valueOf(Ctx.intern("a2")).Num), "5");
+}
+
+TEST(DupAnalyzer, NeverConfusesReturnsEitherWay) {
+  // On the Theorem 5.1 witness the dup analyzer (like any direct
+  // analysis) keeps a1 = 1 regardless of budget.
+  Context Ctx;
+  Witness W = theorem51(Ctx);
+  for (uint32_t Budget : {0u, 1u, 3u}) {
+    auto Dup =
+        DupAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), Budget).run();
+    EXPECT_EQ(CD::str(Dup.valueOf(Ctx.intern("a1")).Num), "1") << Budget;
+  }
+}
+
+TEST(DupAnalyzer, PrecisionIsMonotoneInBudget) {
+  Context Ctx;
+  Witness W = gen::callMergeChain(Ctx, 3);
+  auto Prev =
+      DupAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), 0).run();
+  for (uint32_t Budget = 1; Budget <= 4; ++Budget) {
+    auto Cur =
+        DupAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), Budget).run();
+    std::vector<Symbol> Vars = W.InterestingVars;
+    Comparison C = compareDirectWorld<CD>(Ctx, Cur, Prev, Vars);
+    EXPECT_TRUE(C.Overall == PrecisionOrder::Equal ||
+                C.Overall == PrecisionOrder::LeftMorePrecise)
+        << "budget " << Budget << ": " << str(C.Overall);
+    Prev = std::move(Cur);
+  }
+}
+
+TEST(DupAnalyzer, MatchesSemanticPrecisionOnCallMergeChain) {
+  Context Ctx;
+  Witness W = gen::callMergeChain(Ctx, 3);
+  auto Sem =
+      SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+  // The chain has three two-callee call sites; one duplication credit is
+  // spent per site, so budget 3 matches the semantic precision.
+  auto Dup = DupAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), 3).run();
+  // Every probe variable reaches the semantic answer 5.
+  for (Symbol B : W.InterestingVars) {
+    EXPECT_EQ(CD::str(Sem.valueOf(B).Num), "5");
+    EXPECT_EQ(CD::str(Dup.valueOf(B).Num), "5");
+  }
+}
+
+TEST(DupAnalyzer, CostIsBoundedByBudgetNotProgramSize) {
+  Context Ctx;
+  // On a chain of 12 unknown conditionals, the semantic analyzer pays
+  // 2^12 paths while the dup analyzer with budget 2 stays close to the
+  // direct analyzer's linear cost.
+  Witness W = gen::conditionalChain(Ctx, 12);
+  auto Sem =
+      SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+  auto Dup2 = DupAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), 2).run();
+  EXPECT_LT(Dup2.Stats.Goals * 20, Sem.Stats.Goals);
+}
+
+TEST(DupAnalyzer, SoundOnRecursivePrograms) {
+  Context Ctx;
+  Witness W = gen::counterLoop(Ctx, 3);
+  auto R = DupAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), 2).run();
+  EXPECT_FALSE(R.Stats.BudgetExhausted);
+  // The concrete answer 0 must be covered.
+  EXPECT_TRUE(CD::leq(CD::constant(0), R.Answer.Value.Num));
+}
+
+class DupSoundnessSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DupSoundnessSweep, AlwaysAtLeastAsPreciseAsFigure4) {
+  Context Ctx;
+  gen::GenOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.ChainLength = 8;
+  Opts.MaxDepth = 2;
+  gen::ProgramGenerator Gen(Ctx, Opts);
+  for (int I = 0; I < 20; ++I) {
+    const syntax::Term *T = Gen.generate();
+    std::vector<DirectBinding<CD>> Init;
+    for (Symbol S : syntax::freeVars(T))
+      Init.push_back({S, domain::AbsVal<CD>::number(CD::top())});
+    auto Fig4 = DirectAnalyzer<CD>(Ctx, T, Init).run();
+    auto Dup = DupAnalyzer<CD>(Ctx, T, Init, 2).run();
+    if (Fig4.Stats.Cuts || Dup.Stats.Cuts)
+      continue; // cut placement differs; only cut-free runs compare cleanly
+    std::vector<Symbol> Vars = syntax::collectVariables(T);
+    Comparison C = compareDirectWorld<CD>(Ctx, Dup, Fig4, Vars);
+    EXPECT_TRUE(C.Overall == PrecisionOrder::Equal ||
+                C.Overall == PrecisionOrder::LeftMorePrecise)
+        << syntax::print(Ctx, T) << "\n " << str(C.Overall);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DupSoundnessSweep,
+                         ::testing::Values(61, 62, 63));
+
+} // namespace

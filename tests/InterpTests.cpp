@@ -1,0 +1,294 @@
+//===- tests/InterpTests.cpp - Concrete interpreter tests -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Direct.h"
+#include "interp/SemanticCps.h"
+#include "interp/SyntacticCps.h"
+
+#include "TestUtil.h"
+#include "anf/Anf.h"
+#include "cps/Transform.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpsflow;
+using namespace cpsflow::interp;
+using cpsflow::test::intBindings;
+using cpsflow::test::mustParse;
+
+namespace {
+
+int64_t evalNum(Context &Ctx, const std::string &Text,
+                std::vector<InitialBinding> Init = {}) {
+  DirectInterp I;
+  RunResult R = I.run(mustParse(Ctx, Text), Init);
+  EXPECT_TRUE(R.ok()) << Text << ": " << R.Message;
+  EXPECT_TRUE(R.Value.isNum()) << Text;
+  return R.Value.Num;
+}
+
+RunStatus evalStatus(Context &Ctx, const std::string &Text,
+                     RunLimits Limits = RunLimits()) {
+  DirectInterp I(Limits);
+  return I.run(mustParse(Ctx, Text)).Status;
+}
+
+//===----------------------------------------------------------------------===//
+// Direct interpreter (Figure 1)
+//===----------------------------------------------------------------------===//
+
+TEST(DirectInterp, Numerals) {
+  Context Ctx;
+  EXPECT_EQ(evalNum(Ctx, "42"), 42);
+  EXPECT_EQ(evalNum(Ctx, "-3"), -3);
+}
+
+TEST(DirectInterp, Primitives) {
+  Context Ctx;
+  EXPECT_EQ(evalNum(Ctx, "(add1 1)"), 2);
+  EXPECT_EQ(evalNum(Ctx, "(sub1 0)"), -1);
+  EXPECT_EQ(evalNum(Ctx, "(add1 (sub1 7))"), 7);
+}
+
+TEST(DirectInterp, LetBindsCallByValue) {
+  Context Ctx;
+  EXPECT_EQ(evalNum(Ctx, "(let (x (add1 1)) (add1 x))"), 3);
+  EXPECT_EQ(evalNum(Ctx, "(let (x 1) (let (x (add1 x)) x))"), 2);
+}
+
+TEST(DirectInterp, If0BranchesOnZero) {
+  Context Ctx;
+  EXPECT_EQ(evalNum(Ctx, "(if0 0 10 20)"), 10);
+  EXPECT_EQ(evalNum(Ctx, "(if0 5 10 20)"), 20);
+  // A closure is "not 0": else branch.
+  EXPECT_EQ(evalNum(Ctx, "(if0 (lambda (x) x) 10 20)"), 20);
+}
+
+TEST(DirectInterp, UserProcedures) {
+  Context Ctx;
+  EXPECT_EQ(evalNum(Ctx, "((lambda (x) (add1 x)) 4)"), 5);
+  EXPECT_EQ(evalNum(Ctx, "(((lambda (x) (lambda (y) x)) 1) 2)"), 1);
+}
+
+TEST(DirectInterp, LexicalScoping) {
+  Context Ctx;
+  // The closure captures x = 1, not the later x = 9.
+  EXPECT_EQ(evalNum(Ctx, "(let (x 1) (let (f (lambda (y) x)) "
+                         "(let (x2 9) (f x2))))"),
+            1);
+}
+
+TEST(DirectInterp, InitialBindings) {
+  Context Ctx;
+  const syntax::Term *T = mustParse(Ctx, "(add1 z)");
+  DirectInterp I;
+  RunResult R = I.run(
+      T, {InitialBinding{Ctx.intern("z"), RtValue::number(41)}});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Value.Num, 42);
+}
+
+TEST(DirectInterp, StuckCases) {
+  Context Ctx;
+  EXPECT_EQ(evalStatus(Ctx, "(1 2)"), RunStatus::Stuck);
+  EXPECT_EQ(evalStatus(Ctx, "(add1 (lambda (x) x))"), RunStatus::Stuck);
+  EXPECT_EQ(evalStatus(Ctx, "unbound"), RunStatus::Stuck);
+}
+
+TEST(DirectInterp, OmegaRunsOutOfFuel) {
+  Context Ctx;
+  RunLimits Limits;
+  Limits.MaxSteps = 10000;
+  EXPECT_EQ(evalStatus(Ctx, "((lambda (x) (x x)) (lambda (x2) (x2 x2)))",
+                       Limits),
+            RunStatus::OutOfFuel);
+}
+
+TEST(DirectInterp, LoopDiverges) {
+  Context Ctx;
+  EXPECT_EQ(evalStatus(Ctx, "(let (x (loop)) x)"), RunStatus::Diverged);
+}
+
+TEST(DirectInterp, StoreRecordsPerVariableHistory) {
+  Context Ctx;
+  const syntax::Term *T = mustParse(
+      Ctx, "(let (f (lambda (p) p)) (let (a (f 1)) (let (b (f 2)) b)))");
+  DirectInterp I;
+  RunResult R = I.run(T);
+  ASSERT_TRUE(R.ok());
+  // p was allocated twice: once per invocation (Section 2: "the bound
+  // variable ... is related to different locations, one per invocation").
+  std::vector<RtValue> Ps = I.store().valuesAt(Ctx.intern("p"));
+  ASSERT_EQ(Ps.size(), 2u);
+  EXPECT_EQ(Ps[0].Num, 1);
+  EXPECT_EQ(Ps[1].Num, 2);
+}
+
+TEST(DirectInterp, ClosureValuesSurviveAsAnswers) {
+  Context Ctx;
+  DirectInterp I;
+  RunResult R = I.run(mustParse(Ctx, "(lambda (x) x)"));
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Value.isClosure());
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic-CPS machine (Figure 2)
+//===----------------------------------------------------------------------===//
+
+RunResult runSemantic(Context &Ctx, const std::string &Text,
+                      std::vector<InitialBinding> Init = {}) {
+  const syntax::Term *T = mustParse(Ctx, Text);
+  EXPECT_TRUE(anf::isAnfQuick(T)) << "test program must be ANF";
+  SemanticCpsInterp I;
+  return I.run(T, Init);
+}
+
+TEST(SemanticCpsInterp, EvaluatesAnfPrograms) {
+  Context Ctx;
+  RunResult R = runSemantic(
+      Ctx, "(let (f (lambda (x) (let (r (add1 x)) r))) (let (a (f 4)) a))");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Value.Num, 5);
+}
+
+TEST(SemanticCpsInterp, ConditionalPushesAFrame) {
+  Context Ctx;
+  RunResult R = runSemantic(
+      Ctx, "(let (a (if0 0 (let (t (add1 1)) t) 9)) (let (b (add1 a)) b))");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Value.Num, 3);
+}
+
+TEST(SemanticCpsInterp, TracksKontDepth) {
+  Context Ctx;
+  const syntax::Term *T = mustParse(
+      Ctx, "(let (f (lambda (x) (let (r (add1 x)) r))) "
+           "(let (a (f 1)) (let (b (f a)) b)))");
+  SemanticCpsInterp I;
+  RunResult R = I.run(T);
+  ASSERT_TRUE(R.ok());
+  EXPECT_GE(I.maxKontDepth(), 1u);
+}
+
+TEST(SemanticCpsInterp, StuckAndDivergedMirrorsDirect) {
+  Context Ctx;
+  EXPECT_EQ(runSemantic(Ctx, "(let (a (1 2)) a)").Status, RunStatus::Stuck);
+  EXPECT_EQ(runSemantic(Ctx, "(let (x (loop)) x)").Status,
+            RunStatus::Diverged);
+}
+
+//===----------------------------------------------------------------------===//
+// Syntactic-CPS machine (Figure 3)
+//===----------------------------------------------------------------------===//
+
+CpsRunResult runSyntactic(Context &Ctx, const std::string &Text) {
+  const syntax::Term *T = mustParse(Ctx, Text);
+  Result<cps::CpsProgram> P = cps::cpsTransform(Ctx, T);
+  EXPECT_TRUE(P.hasValue());
+  SyntacticCpsInterp I;
+  return I.run(*P);
+}
+
+TEST(SyntacticCpsInterp, EvaluatesTransformedPrograms) {
+  Context Ctx;
+  CpsRunResult R = runSyntactic(
+      Ctx, "(let (f (lambda (x) (let (r (add1 x)) r))) (let (a (f 4)) a))");
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.Value.Num, 5);
+}
+
+TEST(SyntacticCpsInterp, ConditionalsAndPrims) {
+  Context Ctx;
+  CpsRunResult R = runSyntactic(
+      Ctx,
+      "(let (a (if0 0 (let (t (add1 1)) t) 9)) (let (b (add1 a)) b))");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Value.Num, 3);
+}
+
+TEST(SyntacticCpsInterp, StoresContinuationsInTheHeap) {
+  Context Ctx;
+  const syntax::Term *T =
+      mustParse(Ctx, "(let (a (if0 0 1 2)) (let (b (add1 a)) b))");
+  Result<cps::CpsProgram> P = cps::cpsTransform(Ctx, T);
+  ASSERT_TRUE(P.hasValue());
+  SyntacticCpsInterp I;
+  CpsRunResult R = I.run(*P);
+  ASSERT_TRUE(R.ok());
+  // The if0 allocated its join continuation under the fresh KVar.
+  bool FoundKont = false;
+  for (const auto &Cell : I.store().cells())
+    if (Cell.Value.Tag == CpsRtValue::Kind::Cont ||
+        Cell.Value.Tag == CpsRtValue::Kind::Stop)
+      FoundKont = true;
+  EXPECT_TRUE(FoundKont);
+}
+
+TEST(SyntacticCpsInterp, StuckAndDiverged) {
+  Context Ctx;
+  EXPECT_EQ(runSyntactic(Ctx, "(let (a (1 2)) a)").Status,
+            RunStatus::Stuck);
+  EXPECT_EQ(runSyntactic(Ctx, "(let (x (loop)) x)").Status,
+            RunStatus::Diverged);
+}
+
+TEST(RuntimeStr, RendersValues) {
+  Context Ctx;
+  EXPECT_EQ(str(Ctx, RtValue::number(7)), "7");
+  EXPECT_EQ(str(Ctx, RtValue::inc()), "inc");
+  EXPECT_EQ(str(Ctx, CpsRtValue::stop()), "stop");
+  EXPECT_EQ(str(Ctx, CpsRtValue::deck()), "deck");
+}
+
+} // namespace
+
+namespace {
+
+TEST(Tracing, AllThreeMachinesRecordTransitions) {
+  Context Ctx;
+  const syntax::Term *T =
+      mustParse(Ctx, "(let (a (add1 1)) (let (b (if0 a 1 2)) b))");
+
+  DirectInterp D;
+  D.enableTrace(Ctx);
+  ASSERT_TRUE(D.run(T).ok());
+  EXPECT_GE(D.trace().size(), 3u);
+  EXPECT_NE(D.trace()[0].find("eval"), std::string::npos);
+  bool SawApply = false;
+  for (const std::string &Line : D.trace())
+    SawApply |= Line.find("apply inc") != std::string::npos;
+  EXPECT_TRUE(SawApply);
+
+  SemanticCpsInterp S;
+  S.enableTrace(Ctx);
+  ASSERT_TRUE(S.run(T).ok());
+  bool SawReturn = false;
+  for (const std::string &Line : S.trace())
+    SawReturn |= Line.find("return") != std::string::npos;
+  EXPECT_TRUE(SawReturn);
+
+  Result<cps::CpsProgram> P = cps::cpsTransform(Ctx, T);
+  ASSERT_TRUE(P.hasValue());
+  SyntacticCpsInterp C;
+  C.enableTrace(Ctx);
+  ASSERT_TRUE(C.run(*P).ok());
+  EXPECT_GE(C.trace().size(), 3u);
+}
+
+TEST(Tracing, CapIsRespected) {
+  Context Ctx;
+  const syntax::Term *T = mustParse(
+      Ctx, "(let (g (lambda (s) (lambda (n) (if0 n 0 ((s s) (sub1 n))))))"
+           " ((g g) 50))");
+  const syntax::Term *Anf = anf::normalizeProgram(Ctx, T);
+  DirectInterp D;
+  D.enableTrace(Ctx, /*MaxLines=*/10);
+  ASSERT_TRUE(D.run(Anf).ok());
+  EXPECT_EQ(D.trace().size(), 10u);
+}
+
+} // namespace

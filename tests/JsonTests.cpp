@@ -1,0 +1,77 @@
+//===- tests/JsonTests.cpp - JSON writer tests ------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpsflow;
+
+namespace {
+
+TEST(Json, EmptyObjectAndArray) {
+  {
+    JsonWriter W;
+    W.beginObject().endObject();
+    EXPECT_EQ(W.str(), "{}");
+  }
+  {
+    JsonWriter W;
+    W.beginArray().endArray();
+    EXPECT_EQ(W.str(), "[]");
+  }
+}
+
+TEST(Json, KeyValueCommas) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("a").value(1);
+  W.key("b").value("two");
+  W.key("c").value(true);
+  W.endObject();
+  EXPECT_EQ(W.str(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(Json, NestedStructures) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("xs").beginArray();
+  W.value(1).value(2);
+  W.beginObject().key("y").value(3).endObject();
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(W.str(), R"({"xs":[1,2,{"y":3}]})");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("s").value("a\"b\\c\nd\te");
+  W.endObject();
+  EXPECT_EQ(W.str(), R"({"s":"a\"b\\c\nd\te"})");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  JsonWriter W;
+  W.beginObject();
+  std::string Ctl = "x";
+  Ctl += static_cast<char>(1);
+  W.key("s").value(Ctl);
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"s\":\"x\\u0001\"}");
+}
+
+TEST(Json, NegativeAndLargeNumbers) {
+  JsonWriter W;
+  W.beginArray();
+  W.value(static_cast<int64_t>(-42));
+  W.value(static_cast<uint64_t>(1) << 40);
+  W.value(false);
+  W.endArray();
+  EXPECT_EQ(W.str(), "[-42,1099511627776,false]");
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+//===- tests/ReductionTests.cpp - A-reduction step system -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-step A-reduction engine: individual rules fire where
+/// expected, reduction reaches a fixed point that satisfies the restricted
+/// grammar, and that fixed point is alpha-equivalent to the one-shot
+/// normalizer's output — the two implementations check each other.
+///
+//===----------------------------------------------------------------------===//
+
+#include "anf/Reductions.h"
+
+#include "TestUtil.h"
+#include "anf/Anf.h"
+#include "gen/Generator.h"
+#include "syntax/Analysis.h"
+#include "syntax/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpsflow;
+using namespace cpsflow::anf;
+using cpsflow::test::mustParse;
+
+namespace {
+
+TEST(AlphaEquivalence, BasicCases) {
+  Context Ctx;
+  auto Eq = [&](const char *A, const char *B) {
+    return syntax::alphaEquivalent(mustParse(Ctx, A), mustParse(Ctx, B));
+  };
+  EXPECT_TRUE(Eq("(lambda (x) x)", "(lambda (y) y)"));
+  EXPECT_TRUE(Eq("(let (a 1) a)", "(let (b 1) b)"));
+  EXPECT_TRUE(Eq("(lambda (x) (lambda (y) x))",
+                 "(lambda (y) (lambda (x) y))"));
+  // Free variables must match exactly.
+  EXPECT_FALSE(Eq("z", "w"));
+  EXPECT_TRUE(Eq("z", "z"));
+  // Different binding structure is not alpha-equivalent.
+  EXPECT_FALSE(Eq("(lambda (x) (lambda (y) x))",
+                  "(lambda (x) (lambda (y) y))"));
+  // Bound-versus-free mismatch.
+  EXPECT_FALSE(Eq("(lambda (x) x)", "(lambda (y) x)"));
+  EXPECT_FALSE(Eq("(let (a 1) a)", "(let (b 1) 1)"));
+}
+
+TEST(AlphaEquivalence, ShadowingHandled) {
+  Context Ctx;
+  // (lambda (x) (let (x x) x)) ~ (lambda (a) (let (b a) b)).
+  EXPECT_TRUE(syntax::alphaEquivalent(
+      mustParse(Ctx, "(lambda (x) (let (x x) x))"),
+      mustParse(Ctx, "(lambda (a) (let (b a) b))")));
+  EXPECT_FALSE(syntax::alphaEquivalent(
+      mustParse(Ctx, "(lambda (x) (let (x x) x))"),
+      mustParse(Ctx, "(lambda (a) (let (b a) a))")));
+}
+
+TEST(AReductions, NamesATailApplication) {
+  Context Ctx;
+  auto S = stepA(Ctx, mustParse(Ctx, "(f 1)"));
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Rule, ARule::A3_NameApp);
+  EXPECT_TRUE(anf::isAnf(S->Next).hasValue());
+}
+
+TEST(AReductions, LiftsALetOutOfABinding) {
+  Context Ctx;
+  auto S = stepA(Ctx, mustParse(Ctx, "(let (x (let (y 1) y)) x)"));
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Rule, ARule::A1_LiftLet);
+  EXPECT_EQ(syntax::print(Ctx, S->Next), "(let (y 1) (let (x y) x))");
+}
+
+TEST(AReductions, LiftsALetOutOfAnOperand) {
+  Context Ctx;
+  // The paper's reordering example: (add1 (let (x 5) 0)).
+  const syntax::Term *T = mustParse(Ctx, "(add1 (let (x 5) 0))");
+  // Step 1 names the tail application; step 2 hoists the inner let.
+  auto S1 = stepA(Ctx, T);
+  ASSERT_TRUE(S1.has_value());
+  auto S2 = stepA(Ctx, S1->Next);
+  ASSERT_TRUE(S2.has_value());
+  EXPECT_EQ(S2->Rule, ARule::A1_LiftLet);
+  // The let now scopes over the application.
+  const auto *Outer = syntax::cast<syntax::LetTerm>(S2->Next);
+  EXPECT_EQ(Ctx.spelling(Outer->var()), "x");
+}
+
+TEST(AReductions, NamesConditionsAndConditionals) {
+  Context Ctx;
+  auto S = stepA(Ctx, mustParse(Ctx, "(let (r (if0 (add1 0) 1 2)) r)"));
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Rule, ARule::A3_NameApp); // the condition gets named first
+  auto S2 = stepA(Ctx, mustParse(Ctx, "(if0 z 1 2)"));
+  ASSERT_TRUE(S2.has_value());
+  EXPECT_EQ(S2->Rule, ARule::A2_NameIf0);
+}
+
+TEST(AReductions, NamesLoops) {
+  Context Ctx;
+  auto S = stepA(Ctx, mustParse(Ctx, "(loop)"));
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Rule, ARule::A4_NameLoop);
+  EXPECT_TRUE(anf::isAnf(S->Next).hasValue());
+}
+
+TEST(AReductions, NormalFormsAreIrreducible) {
+  Context Ctx;
+  for (const char *Text : {
+           "42",
+           "(let (x (add1 1)) x)",
+           "(let (f (lambda (y) (let (r (add1 y)) r))) (let (a (f 1)) a))",
+           "(let (x (if0 z 1 2)) x)",
+       }) {
+    const syntax::Term *T = mustParse(Ctx, Text);
+    EXPECT_FALSE(stepA(Ctx, T).has_value()) << Text;
+  }
+}
+
+TEST(AReductions, IrreducibleIffAnf) {
+  // stepA finds a redex exactly when the grammar check fails.
+  Context Ctx;
+  gen::GenOptions Opts;
+  Opts.Seed = 99;
+  gen::ProgramGenerator Gen(Ctx, Opts);
+  for (int I = 0; I < 30; ++I) {
+    const syntax::Term *Full = Gen.generateFull();
+    EXPECT_EQ(anf::isAnfQuick(Full), !stepA(Ctx, Full).has_value())
+        << syntax::print(Ctx, Full);
+  }
+}
+
+TEST(AReductions, RuleNamesRender) {
+  EXPECT_STREQ(str(ARule::A1_LiftLet), "A1");
+  EXPECT_STREQ(str(ARule::A2_NameIf0), "A2");
+  EXPECT_STREQ(str(ARule::A3_NameApp), "A3");
+  EXPECT_STREQ(str(ARule::A4_NameLoop), "A4");
+}
+
+class StepwiseAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StepwiseAgreement, FixpointMatchesOneShotNormalizer) {
+  Context Ctx;
+  gen::GenOptions Opts;
+  Opts.Seed = GetParam();
+  gen::ProgramGenerator Gen(Ctx, Opts);
+  for (int I = 0; I < 25; ++I) {
+    const syntax::Term *Full = Gen.generateFull();
+    Result<const syntax::Term *> Stepped = normalizeBySteps(Ctx, Full);
+    ASSERT_TRUE(Stepped.hasValue()) << syntax::print(Ctx, Full);
+    ASSERT_TRUE(anf::isAnf(*Stepped).hasValue())
+        << syntax::print(Ctx, *Stepped);
+
+    const syntax::Term *OneShot = anf::normalize(Ctx, Full);
+    EXPECT_TRUE(syntax::alphaEquivalent(*Stepped, OneShot))
+        << "input:    " << syntax::print(Ctx, Full)
+        << "\nstepped:  " << syntax::print(Ctx, *Stepped)
+        << "\none-shot: " << syntax::print(Ctx, OneShot);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StepwiseAgreement,
+                         ::testing::Values(311, 313, 317, 331));
+
+} // namespace

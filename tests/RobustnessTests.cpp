@@ -1,0 +1,136 @@
+//===- tests/RobustnessTests.cpp - Fuzzing and monotonicity -----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robustness: the parsers never crash on arbitrary input (deterministic
+/// fuzzing) and reject pathological nesting with a diagnostic.
+/// Monotonicity: a more precise initial abstract store never yields a
+/// less precise analysis result.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/Compare.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "gen/Generator.h"
+#include "support/Rng.h"
+#include "syntax/Parser.h"
+#include "syntax/Printer.h"
+#include "syntax/Sugar.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace cpsflow;
+using CD = domain::ConstantDomain;
+
+namespace {
+
+TEST(ParserRobustness, RejectsPathologicalNesting) {
+  Context Ctx;
+  std::string Deep(100000, '(');
+  Deep += "1";
+  Deep.append(100000, ')');
+  Result<const syntax::Term *> R = syntax::parseTerm(Ctx, Deep);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().Message.find("nesting"), std::string::npos);
+}
+
+TEST(ParserRobustness, AcceptsReasonableNesting) {
+  Context Ctx;
+  std::string Source;
+  for (int I = 0; I < 200; ++I)
+    Source += "(add1 ";
+  Source += "1";
+  Source.append(200, ')');
+  EXPECT_TRUE(syntax::parseTerm(Ctx, Source).hasValue());
+}
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, ParsersNeverCrashOnArbitraryInput) {
+  Rng R(GetParam());
+  const char Alphabet[] = "()(); \n\tabz019+-lambda let if0 loop add1";
+  for (int Case = 0; Case < 300; ++Case) {
+    std::string Input;
+    size_t Len = R.below(120);
+    for (size_t I = 0; I < Len; ++I)
+      Input += Alphabet[R.below(sizeof(Alphabet) - 1)];
+
+    Context Ctx;
+    // Outcomes don't matter; absence of crashes/UB does.
+    (void)syntax::parseSexpr(Input);
+    (void)syntax::parseTerm(Ctx, Input);
+    (void)syntax::parseSugaredProgram(Ctx, Input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST_P(FuzzSweep, ParsedFuzzProgramsSurviveThePipeline) {
+  // Anything that parses must normalize, transform, and analyze without
+  // crashing (results are unconstrained).
+  Rng R(GetParam() + 1000);
+  const char Alphabet[] = "()() abz01 lambda let if0 add1 sub1";
+  int Parsed = 0;
+  for (int Case = 0; Case < 400; ++Case) {
+    std::string Input;
+    size_t Len = R.below(60);
+    for (size_t I = 0; I < Len; ++I)
+      Input += Alphabet[R.below(sizeof(Alphabet) - 1)];
+
+    Context Ctx;
+    Result<const syntax::Term *> T = syntax::parseTerm(Ctx, Input);
+    if (!T)
+      continue;
+    ++Parsed;
+    const syntax::Term *Anf = anf::normalizeProgram(Ctx, *T);
+    std::vector<analysis::DirectBinding<CD>> Init;
+    for (Symbol S : syntax::freeVars(Anf))
+      Init.push_back({S, domain::AbsVal<CD>::number(CD::top())});
+    analysis::AnalyzerOptions Opts;
+    Opts.MaxGoals = 100000;
+    (void)analysis::DirectAnalyzer<CD>(Ctx, Anf, Init, Opts).run();
+  }
+  // The alphabet is chosen so a reasonable fraction parses.
+  EXPECT_GT(Parsed, 0);
+}
+
+class MonotonicitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MonotonicitySweep, MorePreciseInputsGiveMorePreciseResults) {
+  Context Ctx;
+  gen::GenOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.ChainLength = 8;
+  Opts.MaxDepth = 2;
+  Opts.WellTyped = true;
+  gen::ProgramGenerator Gen(Ctx, Opts);
+  for (int I = 0; I < 20; ++I) {
+    const syntax::Term *T = Gen.generate();
+    std::vector<analysis::DirectBinding<CD>> Precise, Coarse;
+    for (Symbol S : syntax::freeVars(T)) {
+      Precise.push_back({S, domain::AbsVal<CD>::number(CD::constant(1))});
+      Coarse.push_back({S, domain::AbsVal<CD>::number(CD::top())});
+    }
+    auto RP = analysis::DirectAnalyzer<CD>(Ctx, T, Precise).run();
+    auto RC = analysis::DirectAnalyzer<CD>(Ctx, T, Coarse).run();
+    if (RP.Stats.Cuts || RC.Stats.Cuts)
+      continue; // cut placement may differ between the two runs
+    analysis::Comparison C = analysis::compareDirectWorld<CD>(
+        Ctx, RP, RC, syntax::collectVariables(T));
+    EXPECT_TRUE(C.Overall == analysis::PrecisionOrder::Equal ||
+                C.Overall == analysis::PrecisionOrder::LeftMorePrecise)
+        << syntax::print(Ctx, T) << "\n " << str(C.Overall);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicitySweep,
+                         ::testing::Values(901, 902, 903));
+
+} // namespace

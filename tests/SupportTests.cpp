@@ -1,0 +1,157 @@
+//===- tests/SupportTests.cpp - Support library tests -----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Hashing.h"
+#include "support/Result.h"
+#include "support/Rng.h"
+#include "support/Symbol.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace cpsflow;
+
+namespace {
+
+TEST(Symbol, InterningIsIdempotent) {
+  SymbolTable Table;
+  Symbol A = Table.intern("foo");
+  Symbol B = Table.intern("foo");
+  Symbol C = Table.intern("bar");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(Table.spelling(A), "foo");
+  EXPECT_EQ(Table.spelling(C), "bar");
+}
+
+TEST(Symbol, DefaultSymbolIsInvalid) {
+  Symbol S;
+  EXPECT_FALSE(S.isValid());
+  SymbolTable Table;
+  EXPECT_TRUE(Table.intern("x").isValid());
+}
+
+TEST(Symbol, FreshNamesNeverCollide) {
+  SymbolTable Table;
+  Table.intern("x%0");
+  std::set<Symbol> Seen;
+  Seen.insert(Table.intern("x"));
+  for (int I = 0; I < 100; ++I) {
+    Symbol F = Table.fresh("x");
+    EXPECT_TRUE(Seen.insert(F).second) << Table.spelling(F);
+  }
+}
+
+TEST(Symbol, FreshPreservesStem) {
+  SymbolTable Table;
+  Symbol F = Table.fresh("acc");
+  EXPECT_EQ(Table.spelling(F).substr(0, 4), "acc%");
+}
+
+TEST(Arena, AllocatesDistinctAlignedObjects) {
+  Arena A;
+  struct Node {
+    uint64_t X;
+    uint32_t Y;
+  };
+  Node *N1 = A.create<Node>(Node{1, 2});
+  Node *N2 = A.create<Node>(Node{3, 4});
+  EXPECT_NE(N1, N2);
+  EXPECT_EQ(N1->X, 1u);
+  EXPECT_EQ(N2->Y, 4u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(N1) % alignof(Node), 0u);
+  EXPECT_EQ(A.numAllocations(), 2u);
+}
+
+TEST(Arena, SurvivesManySlabs) {
+  Arena A;
+  struct Big {
+    char Data[1000];
+  };
+  char *First = &A.create<Big>()->Data[0];
+  for (int I = 0; I < 1000; ++I)
+    A.create<Big>();
+  // The first object must still be readable (slabs never move).
+  First[0] = 42;
+  EXPECT_EQ(First[0], 42);
+}
+
+TEST(Arena, LargeAllocation) {
+  Arena A;
+  void *P = A.allocate(1 << 20, 64);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 64, 0u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_EQ(A.next(), B.next());
+  Rng A2(42);
+  EXPECT_NE(A2.next(), C.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(10), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(7);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Hashing, MixIsInjectiveOnSmallInputs) {
+  std::set<uint64_t> Seen;
+  for (uint64_t I = 0; I < 10000; ++I)
+    EXPECT_TRUE(Seen.insert(mix64(I)).second);
+}
+
+TEST(Hashing, CombineOrderSensitive) {
+  uint64_t A = 0, B = 0;
+  hashCombine(A, 1);
+  hashCombine(A, 2);
+  hashCombine(B, 2);
+  hashCombine(B, 1);
+  EXPECT_NE(A, B);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> Ok(5);
+  ASSERT_TRUE(Ok.hasValue());
+  EXPECT_EQ(*Ok, 5);
+
+  Result<int> Bad(Error("boom", SourceLoc{3, 7}));
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_EQ(Bad.error().Message, "boom");
+  EXPECT_EQ(Bad.error().str(), "3:7: boom");
+}
+
+TEST(Result, TakeMoves) {
+  Result<std::string> R(std::string("hello"));
+  std::string S = R.take();
+  EXPECT_EQ(S, "hello");
+}
+
+TEST(SourceLoc, Rendering) {
+  EXPECT_EQ(SourceLoc{}.str(), "<unknown>");
+  EXPECT_EQ((SourceLoc{2, 5}).str(), "2:5");
+}
+
+} // namespace

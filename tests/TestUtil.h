@@ -1,0 +1,61 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_TESTS_TESTUTIL_H
+#define CPSFLOW_TESTS_TESTUTIL_H
+
+#include "interp/Direct.h"
+#include "interp/SemanticCps.h"
+#include "interp/SyntacticCps.h"
+#include "syntax/Analysis.h"
+#include "syntax/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cpsflow {
+namespace test {
+
+/// Parses or aborts the test.
+inline const syntax::Term *mustParse(Context &Ctx, const std::string &Text) {
+  Result<const syntax::Term *> R = syntax::parseTerm(Ctx, Text);
+  EXPECT_TRUE(R.hasValue()) << (R.hasValue() ? "" : R.error().str());
+  return R.hasValue() ? *R : nullptr;
+}
+
+/// Integer bindings for the free variables of \p T, in symbol order,
+/// cycling through \p Ints.
+inline std::vector<interp::InitialBinding>
+intBindings(const syntax::Term *T, const std::vector<int64_t> &Ints) {
+  std::vector<interp::InitialBinding> Out;
+  size_t I = 0;
+  for (Symbol S : syntax::freeVars(T)) {
+    int64_t V = Ints.empty() ? 0 : Ints[I++ % Ints.size()];
+    Out.push_back(interp::InitialBinding{S, interp::RtValue::number(V)});
+  }
+  return Out;
+}
+
+/// The same bindings for a CPS run (numbers are their own delta image).
+inline std::vector<interp::CpsInitialBinding>
+intCpsBindings(const syntax::Term *T, const std::vector<int64_t> &Ints) {
+  std::vector<interp::CpsInitialBinding> Out;
+  size_t I = 0;
+  for (Symbol S : syntax::freeVars(T)) {
+    int64_t V = Ints.empty() ? 0 : Ints[I++ % Ints.size()];
+    Out.push_back(
+        interp::CpsInitialBinding{S, interp::CpsRtValue::number(V)});
+  }
+  return Out;
+}
+
+} // namespace test
+} // namespace cpsflow
+
+#endif // CPSFLOW_TESTS_TESTUTIL_H

@@ -1,0 +1,196 @@
+//===- tests/TheoremTests.cpp - The Section 5 theorems ----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable versions of Theorems 5.1, 5.2, 5.4, and 5.5 on the paper's
+/// own witness programs. These are the headline results of the
+/// reproduction: the direct and syntactic-CPS analyses are incomparable;
+/// the semantic-CPS analysis dominates both.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Compare.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "analysis/Witnesses.h"
+#include "domain/NumDomain.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpsflow;
+using namespace cpsflow::analysis;
+using domain::ConstantDomain;
+using domain::UnitDomain;
+
+namespace {
+
+using CD = ConstantDomain;
+
+/// Runs all three analyzers on a witness under domain D.
+template <typename D> struct AllResults {
+  DirectResult<D> Direct;
+  SemanticResult<D> Semantic;
+  SyntacticResult<D> Syntactic;
+};
+
+template <typename D>
+AllResults<D> runAll(const Context &Ctx, const Witness &W,
+                     AnalyzerOptions Opts = AnalyzerOptions()) {
+  AllResults<D> R;
+  R.Direct = DirectAnalyzer<D>(Ctx, W.Anf, directBindings<D>(W), Opts).run();
+  R.Semantic =
+      SemanticCpsAnalyzer<D>(Ctx, W.Anf, directBindings<D>(W), Opts).run();
+  R.Syntactic =
+      SyntacticCpsAnalyzer<D>(Ctx, W.Cps, cpsBindings<D>(W), Opts).run();
+  return R;
+}
+
+TEST(Theorem51, DirectFindsA1ConstantOne) {
+  Context Ctx;
+  Witness W = theorem51(Ctx);
+  auto R = runAll<CD>(Ctx, W);
+
+  Symbol A1 = Ctx.intern("a1");
+  Symbol A2 = Ctx.intern("a2");
+
+  // Direct analysis: a1 is the constant 1 (paper, proof of Theorem 5.1).
+  auto DA1 = R.Direct.valueOf(A1);
+  EXPECT_EQ(CD::str(DA1.Num), "1");
+  // a2 merges both calls' results: top.
+  EXPECT_EQ(CD::str(R.Direct.valueOf(A2).Num), "T");
+
+  // Syntactic-CPS analysis: the false return loses a1 entirely.
+  auto SA1 = R.Syntactic.valueOf(A1);
+  EXPECT_EQ(CD::str(SA1.Num), "T");
+}
+
+TEST(Theorem51, DirectStrictlyMorePreciseThanSyntacticCps) {
+  Context Ctx;
+  Witness W = theorem51(Ctx);
+  auto R = runAll<CD>(Ctx, W);
+
+  Comparison C = compareWithSyntactic<CD>(Ctx, R.Direct, R.Syntactic, W.Cps,
+                                          W.InterestingVars);
+  EXPECT_EQ(C.Overall, PrecisionOrder::LeftMorePrecise);
+}
+
+TEST(Theorem51, SyntacticCpsConfusesReturns) {
+  Context Ctx;
+  Witness W = theorem51(Ctx);
+  auto R = runAll<CD>(Ctx, W);
+
+  // The identity's (k1 x) return point must have collected both
+  // continuations — the false return of Section 6.1.
+  bool FoundFalseReturn = false;
+  for (const auto &[Ret, Konts] : R.Syntactic.Cfg.Returns)
+    if (Konts.size() > 1)
+      FoundFalseReturn = true;
+  EXPECT_TRUE(FoundFalseReturn);
+}
+
+TEST(Theorem52a, CpsAnalysesFindA2Constant3) {
+  Context Ctx;
+  Witness W = theorem52a(Ctx);
+  auto R = runAll<CD>(Ctx, W);
+
+  Symbol A2 = Ctx.intern("a2");
+
+  // Direct: branch merging loses a2.
+  EXPECT_EQ(CD::str(R.Direct.valueOf(A2).Num), "T");
+  // Syntactic CPS: per-branch duplication finds a2 = 3.
+  EXPECT_EQ(CD::str(R.Syntactic.valueOf(A2).Num), "3");
+  // Semantic CPS duplicates too.
+  EXPECT_EQ(CD::str(R.Semantic.valueOf(A2).Num), "3");
+}
+
+TEST(Theorem52a, SyntacticCpsStrictlyMorePreciseThanDirect) {
+  Context Ctx;
+  Witness W = theorem52a(Ctx);
+  auto R = runAll<CD>(Ctx, W);
+
+  Comparison C = compareWithSyntactic<CD>(Ctx, R.Direct, R.Syntactic, W.Cps,
+                                          W.InterestingVars);
+  EXPECT_EQ(C.Overall, PrecisionOrder::RightMorePrecise);
+}
+
+TEST(Theorem52b, CpsAnalysesFindA2Constant5) {
+  Context Ctx;
+  Witness W = theorem52b(Ctx);
+  auto R = runAll<CD>(Ctx, W);
+
+  Symbol A1 = Ctx.intern("a1");
+  Symbol A2 = Ctx.intern("a2");
+
+  // Direct: a1 = 0 join 1 = T, and a2 degrades to T.
+  EXPECT_EQ(CD::str(R.Direct.valueOf(A1).Num), "T");
+  EXPECT_EQ(CD::str(R.Direct.valueOf(A2).Num), "T");
+  // CPS analyses: each call path keeps its constant; a2 = 5 on both.
+  EXPECT_EQ(CD::str(R.Syntactic.valueOf(A2).Num), "5");
+  EXPECT_EQ(CD::str(R.Semantic.valueOf(A2).Num), "5");
+}
+
+TEST(Theorem52b, SyntacticCpsStrictlyMorePreciseThanDirect) {
+  Context Ctx;
+  Witness W = theorem52b(Ctx);
+  auto R = runAll<CD>(Ctx, W);
+
+  Comparison C = compareWithSyntactic<CD>(Ctx, R.Direct, R.Syntactic, W.Cps,
+                                          W.InterestingVars);
+  EXPECT_EQ(C.Overall, PrecisionOrder::RightMorePrecise);
+}
+
+TEST(Theorem54, SemanticAtLeastAsPreciseAsDirectOnWitnesses) {
+  Context Ctx;
+  for (Witness (*Make)(Context &) : {theorem51, theorem52a, theorem52b}) {
+    Witness W = Make(Ctx);
+    auto R = runAll<CD>(Ctx, W);
+    Comparison C = compareDirectWorld<CD>(Ctx, R.Semantic, R.Direct,
+                                          W.InterestingVars);
+    EXPECT_TRUE(C.Overall == PrecisionOrder::Equal ||
+                C.Overall == PrecisionOrder::LeftMorePrecise)
+        << W.Name << ": " << str(C.Overall);
+  }
+}
+
+TEST(Theorem54, DistributiveAnalysisMakesThemEqual) {
+  // Under the UnitDomain the analysis is distributive, so by Theorem 5.4
+  // the semantic-CPS and direct results coincide.
+  Context Ctx;
+  for (Witness (*Make)(Context &) : {theorem51, theorem52a, theorem52b}) {
+    Witness W = Make(Ctx);
+    auto R = runAll<UnitDomain>(Ctx, W);
+    Comparison C = compareDirectWorld<UnitDomain>(Ctx, R.Semantic, R.Direct,
+                                                  W.InterestingVars);
+    EXPECT_EQ(C.Overall, PrecisionOrder::Equal) << W.Name;
+  }
+}
+
+TEST(Theorem55, SemanticAtLeastAsPreciseAsSyntacticOnWitnesses) {
+  Context Ctx;
+  for (Witness (*Make)(Context &) : {theorem51, theorem52a, theorem52b}) {
+    Witness W = Make(Ctx);
+    auto R = runAll<CD>(Ctx, W);
+    Comparison C = compareWithSyntactic<CD>(Ctx, R.Semantic, R.Syntactic,
+                                            W.Cps, W.InterestingVars);
+    EXPECT_TRUE(C.Overall == PrecisionOrder::Equal ||
+                C.Overall == PrecisionOrder::LeftMorePrecise)
+        << W.Name << ": " << str(C.Overall);
+  }
+}
+
+TEST(Theorems, AnalysesTerminateAndComplete) {
+  Context Ctx;
+  for (Witness (*Make)(Context &) : {theorem51, theorem52a, theorem52b}) {
+    Witness W = Make(Ctx);
+    auto R = runAll<CD>(Ctx, W);
+    EXPECT_TRUE(R.Direct.Stats.complete()) << W.Name;
+    EXPECT_TRUE(R.Semantic.Stats.complete()) << W.Name;
+    EXPECT_TRUE(R.Syntactic.Stats.complete()) << W.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+//===- tests/WorkloadTests.cpp - Workload family behaviour ------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Workloads.h"
+
+#include "TestUtil.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "anf/Anf.h"
+#include "interp/Direct.h"
+#include "syntax/Analysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpsflow;
+using namespace cpsflow::analysis;
+using namespace cpsflow::gen;
+using CD = domain::ConstantDomain;
+
+namespace {
+
+TEST(Workloads, AllFamiliesAreWellFormed) {
+  Context Ctx;
+  for (Witness W :
+       {conditionalChain(Ctx, 3), callMergeChain(Ctx, 2), closureTower(Ctx, 3),
+        loopProbe(Ctx, 2), omega(Ctx), counterLoop(Ctx, 2)}) {
+    EXPECT_TRUE(anf::isAnf(W.Anf).hasValue()) << W.Name;
+    EXPECT_TRUE(syntax::checkUniqueBinders(Ctx, W.Anf).hasValue()) << W.Name;
+    EXPECT_NE(W.Cps.Root, nullptr) << W.Name;
+  }
+}
+
+TEST(Workloads, ClosureTowerComputesNExactlyEverywhere) {
+  Context Ctx;
+  Witness W = closureTower(Ctx, 6);
+  // Concretely: 6.
+  interp::DirectInterp I;
+  interp::RunResult R = I.run(W.Anf);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Value.Num, 6);
+  // Abstractly: every analyzer keeps the constant.
+  auto AD = DirectAnalyzer<CD>(Ctx, W.Anf).run();
+  EXPECT_EQ(CD::str(AD.valueOf(W.Probe).Num), "6");
+  auto AS = SemanticCpsAnalyzer<CD>(Ctx, W.Anf).run();
+  EXPECT_EQ(CD::str(AS.valueOf(W.Probe).Num), "6");
+  auto AC = SyntacticCpsAnalyzer<CD>(Ctx, W.Cps).run();
+  EXPECT_EQ(CD::str(AC.valueOf(W.Probe).Num), "6");
+}
+
+TEST(Workloads, CallMergeChainSeparatesTheAnalyses) {
+  Context Ctx;
+  Witness W = callMergeChain(Ctx, 3);
+  auto AD = DirectAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+  auto AS =
+      SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+  auto AC = SyntacticCpsAnalyzer<CD>(Ctx, W.Cps, cpsBindings<CD>(W)).run();
+  for (Symbol B : W.InterestingVars) {
+    EXPECT_EQ(CD::str(AD.valueOf(B).Num), "T") << "direct";
+    EXPECT_EQ(CD::str(AS.valueOf(B).Num), "5") << "semantic";
+    EXPECT_EQ(CD::str(AC.valueOf(B).Num), "5") << "syntactic";
+  }
+}
+
+TEST(Workloads, ConditionalChainProbeDegradesOnlyDirect) {
+  Context Ctx;
+  Witness W = conditionalChain(Ctx, 3);
+  auto AD = DirectAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+  EXPECT_EQ(CD::str(AD.valueOf(W.Probe).Num), "T");
+  // The CPS analyses keep per-path constants, but the probe *joins* all
+  // paths: acc_3 in {-3,-1,1,3} joins to T as well. Per-path precision
+  // shows in the goal counts, checked in AnalyzerUnitTests.
+  auto AS =
+      SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W)).run();
+  EXPECT_EQ(CD::str(AS.valueOf(W.Probe).Num), "T");
+}
+
+TEST(Workloads, CounterLoopTerminatesConcretelyAndAbstractly) {
+  Context Ctx;
+  Witness W = counterLoop(Ctx, 8);
+  interp::DirectInterp I;
+  interp::RunResult R = I.run(W.Anf);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Value.Num, 0);
+
+  auto AD = DirectAnalyzer<CD>(Ctx, W.Anf).run();
+  EXPECT_FALSE(AD.Stats.BudgetExhausted);
+  EXPECT_TRUE(CD::leq(CD::constant(0), AD.Answer.Value.Num));
+}
+
+TEST(Workloads, OmegaDivergesConcretely) {
+  Context Ctx;
+  Witness W = omega(Ctx);
+  interp::RunLimits Limits;
+  Limits.MaxSteps = 5000;
+  interp::DirectInterp I(Limits);
+  EXPECT_EQ(I.run(W.Anf).Status, interp::RunStatus::OutOfFuel);
+}
+
+TEST(Workloads, LoopProbeShapes) {
+  Context Ctx;
+  Witness W = loopProbe(Ctx, 0); // probe directly on x
+  auto AD = DirectAnalyzer<CD>(Ctx, W.Anf).run();
+  // x = naturals summary = T; r merges 7 and 9 to T.
+  EXPECT_EQ(CD::str(AD.valueOf(W.Probe).Num), "T");
+  EXPECT_FALSE(AD.Stats.LoopBounded);
+}
+
+} // namespace

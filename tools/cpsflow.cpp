@@ -1,0 +1,520 @@
+//===- tools/cpsflow.cpp - Command-line driver ------------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cpsflow command-line driver: every stage of the library behind one
+/// binary, for poking at programs without writing C++.
+///
+/// \code
+///   cpsflow parse FILE                 echo the parsed program
+///   cpsflow anf FILE                   print the A-normal form
+///   cpsflow steps FILE                 show each A-reduction step
+///   cpsflow cps FILE                   print the CPS transform
+///   cpsflow run FILE [options]         run a concrete machine
+///   cpsflow analyze FILE [options]     run an abstract analyzer
+///   cpsflow compare FILE [options]     run all three analyzers, compare
+///   cpsflow fold FILE                  constant-fold and print
+///   cpsflow inline FILE                heuristically inline and print
+///
+/// options:
+///   --machine=direct|semantic|syntactic    (run; default direct)
+///   --analyzer=direct|semantic|syntactic|dup   (analyze; default direct)
+///   --domain=constant|unit|sign|parity|interval (default constant)
+///   --bind x=N            bind free variable x to integer N (repeatable;
+///                         for analyze: to the abstract constant N)
+///   --top x               bind free variable x to the numeric top
+///   --budget N            dup analyzer duplication budget (default 2)
+///   --fuel N              concrete step budget (default 2^20)
+///   --show-cfg            print the extracted control-flow graph
+///   --show-store          print the final abstract store
+///   FILE may be "-" for stdin.
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CfgCompare.h"
+#include "analysis/Compare.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/DupAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "anf/Anf.h"
+#include "anf/Reductions.h"
+#include "clients/ConstFold.h"
+#include "clients/Inline.h"
+#include "clients/Reports.h"
+#include "cps/Transform.h"
+#include "interp/Delta.h"
+#include "interp/Direct.h"
+#include "interp/SemanticCps.h"
+#include "interp/SyntacticCps.h"
+#include "support/Json.h"
+#include "syntax/Analysis.h"
+#include "syntax/Parser.h"
+#include "syntax/Rename.h"
+#include "syntax/Sugar.h"
+#include "syntax/Printer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cpsflow;
+
+namespace {
+
+struct Options {
+  std::string Command;
+  std::string File;
+  std::string Machine = "direct";
+  std::string Analyzer = "direct";
+  std::string Domain = "constant";
+  std::vector<std::pair<std::string, int64_t>> Bindings;
+  std::vector<std::string> TopVars;
+  uint32_t Budget = 2;
+  uint64_t Fuel = 1u << 20;
+  bool ShowCfg = false;
+  bool ShowStore = false;
+  bool Json = false;
+  bool TraceRun = false;
+  bool ShowDerivation = false;
+};
+
+[[noreturn]] void usage(const char *Message = nullptr) {
+  if (Message)
+    std::fprintf(stderr, "error: %s\n\n", Message);
+  std::fprintf(
+      stderr,
+      "usage: cpsflow COMMAND FILE [options]\n"
+      "commands: parse | anf | steps | cps | run | analyze | compare | "
+      "fold | inline\n"
+      "options:  --machine=direct|semantic|syntactic\n"
+      "          --analyzer=direct|semantic|syntactic|dup\n"
+      "          --domain=constant|unit|sign|parity|interval\n"
+      "          --bind x=N   --top x   --budget N   --fuel N\n"
+      "          --show-cfg   --show-store   --show-derivation\n"
+      "          --json   --trace\n"
+      "FILE may be '-' for stdin.\n");
+  std::exit(2);
+}
+
+Options parseArgs(int Argc, char **Argv) {
+  Options O;
+  if (Argc < 3)
+    usage();
+  O.Command = Argv[1];
+  O.File = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const std::string &Prefix) -> std::string {
+      return A.substr(Prefix.size());
+    };
+    if (A.rfind("--machine=", 0) == 0)
+      O.Machine = Value("--machine=");
+    else if (A.rfind("--analyzer=", 0) == 0)
+      O.Analyzer = Value("--analyzer=");
+    else if (A.rfind("--domain=", 0) == 0)
+      O.Domain = Value("--domain=");
+    else if (A == "--bind" && I + 1 < Argc) {
+      std::string Spec = Argv[++I];
+      size_t Eq = Spec.find('=');
+      if (Eq == std::string::npos)
+        usage("--bind expects x=N");
+      O.Bindings.emplace_back(Spec.substr(0, Eq),
+                              std::strtoll(Spec.c_str() + Eq + 1, nullptr,
+                                           10));
+    } else if (A == "--top" && I + 1 < Argc) {
+      O.TopVars.push_back(Argv[++I]);
+    } else if (A == "--budget" && I + 1 < Argc) {
+      O.Budget = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    } else if (A == "--fuel" && I + 1 < Argc) {
+      O.Fuel = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (A == "--show-cfg") {
+      O.ShowCfg = true;
+    } else if (A == "--show-store") {
+      O.ShowStore = true;
+    } else if (A == "--json") {
+      O.Json = true;
+    } else if (A == "--trace") {
+      O.TraceRun = true;
+    } else if (A == "--show-derivation") {
+      O.ShowDerivation = true;
+    } else {
+      usage(("unknown option '" + A + "'").c_str());
+    }
+  }
+  return O;
+}
+
+std::string readInput(const std::string &File) {
+  std::ostringstream Buf;
+  if (File == "-") {
+    Buf << std::cin.rdbuf();
+  } else {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      std::exit(1);
+    }
+    Buf << In.rdbuf();
+  }
+  return Buf.str();
+}
+
+/// Everything the subcommands need after the common front end. The
+/// Context is not movable, so subcommands construct a Loaded and call
+/// load() on it.
+struct Loaded {
+  Context Ctx;
+  const syntax::Term *Raw = nullptr;
+  const syntax::Term *Anf = nullptr;
+
+  void load(const Options &O) {
+    // The surface language (syntax/Sugar.h) is a superset of core A:
+    // defines, curried lambdas/applications, let*, rec, +/- literals.
+    Result<const syntax::Term *> R =
+        syntax::parseSugaredProgram(Ctx, readInput(O.File));
+    if (!R) {
+      std::fprintf(stderr, "parse error: %s\n", R.error().str().c_str());
+      std::exit(1);
+    }
+    Raw = *R;
+    Anf = anf::normalizeProgram(Ctx, Raw);
+  }
+};
+
+int cmdParse(const Options &O) {
+  Loaded L;
+  L.load(O);
+  std::printf("%s\n", syntax::printIndented(L.Ctx, L.Raw).c_str());
+  return 0;
+}
+
+int cmdAnf(const Options &O) {
+  Loaded L;
+  L.load(O);
+  std::printf("%s\n", syntax::printIndented(L.Ctx, L.Anf).c_str());
+  return 0;
+}
+
+int cmdSteps(const Options &O) {
+  Loaded L;
+  L.load(O);
+  const syntax::Term *T = syntax::renameUnique(L.Ctx, L.Raw);
+  std::printf("    %s\n", syntax::print(L.Ctx, T).c_str());
+  size_t N = 0;
+  while (auto S = anf::stepA(L.Ctx, T)) {
+    T = S->Next;
+    std::printf("%s  %s\n", anf::str(S->Rule),
+                syntax::print(L.Ctx, T).c_str());
+    if (++N > 10000) {
+      std::fprintf(stderr, "error: reduction did not terminate\n");
+      return 1;
+    }
+  }
+  std::printf("(%zu steps to A-normal form)\n", N);
+  return 0;
+}
+
+int cmdCps(const Options &O) {
+  Loaded L;
+  L.load(O);
+  Result<cps::CpsProgram> P = cps::cpsTransform(L.Ctx, L.Anf);
+  if (!P) {
+    std::fprintf(stderr, "error: %s\n", P.error().str().c_str());
+    return 1;
+  }
+  std::printf("%s\n", cps::printCps(L.Ctx, P->Root).c_str());
+  return 0;
+}
+
+const char *statusName(interp::RunStatus S) {
+  switch (S) {
+  case interp::RunStatus::Ok:
+    return "ok";
+  case interp::RunStatus::Stuck:
+    return "stuck";
+  case interp::RunStatus::Diverged:
+    return "diverged";
+  case interp::RunStatus::OutOfFuel:
+    return "out of fuel";
+  }
+  return "?";
+}
+
+int cmdRun(const Options &O) {
+  Loaded L;
+  L.load(O);
+  interp::RunLimits Limits;
+  Limits.MaxSteps = O.Fuel;
+
+  std::vector<interp::InitialBinding> Init;
+  for (const auto &[Name, Value] : O.Bindings)
+    Init.push_back({L.Ctx.intern(Name), interp::RtValue::number(Value)});
+
+  auto PrintTrace = [&](const std::vector<std::string> &Lines) {
+    for (const std::string &Line : Lines)
+      std::printf("  | %s\n", Line.c_str());
+  };
+
+  if (O.Machine == "direct" || O.Machine == "semantic") {
+    interp::RunResult R;
+    if (O.Machine == "direct") {
+      interp::DirectInterp I(Limits);
+      if (O.TraceRun)
+        I.enableTrace(L.Ctx);
+      R = I.run(L.Anf, Init);
+      if (O.TraceRun)
+        PrintTrace(I.trace());
+    } else {
+      interp::SemanticCpsInterp I(Limits);
+      if (O.TraceRun)
+        I.enableTrace(L.Ctx);
+      R = I.run(L.Anf, Init);
+      if (O.TraceRun)
+        PrintTrace(I.trace());
+    }
+    std::printf("status: %s\n", statusName(R.Status));
+    if (R.ok())
+      std::printf("value:  %s\n", interp::str(L.Ctx, R.Value).c_str());
+    else if (!R.Message.empty())
+      std::printf("reason: %s\n", R.Message.c_str());
+    std::printf("steps:  %llu\n", (unsigned long long)R.Steps);
+    return R.ok() ? 0 : 1;
+  }
+  if (O.Machine == "syntactic") {
+    Result<cps::CpsProgram> P = cps::cpsTransform(L.Ctx, L.Anf);
+    if (!P) {
+      std::fprintf(stderr, "error: %s\n", P.error().str().c_str());
+      return 1;
+    }
+    std::vector<interp::CpsInitialBinding> CInit;
+    for (const auto &[Name, Value] : O.Bindings)
+      CInit.push_back(
+          {L.Ctx.intern(Name), interp::CpsRtValue::number(Value)});
+    interp::SyntacticCpsInterp I(Limits);
+    if (O.TraceRun)
+      I.enableTrace(L.Ctx);
+    interp::CpsRunResult R = I.run(*P, CInit);
+    if (O.TraceRun)
+      for (const std::string &Line : I.trace())
+        std::printf("  | %s\n", Line.c_str());
+    std::printf("status: %s\n", statusName(R.Status));
+    if (R.ok())
+      std::printf("value:  %s\n", interp::str(L.Ctx, R.Value).c_str());
+    std::printf("steps:  %llu\n", (unsigned long long)R.Steps);
+    return R.ok() ? 0 : 1;
+  }
+  usage("unknown machine");
+}
+
+/// Runs `analyze` or `compare` at a fixed numeric domain.
+template <typename D> int analyzeAt(const Options &O, Loaded &L) {
+  std::vector<analysis::DirectBinding<D>> Init;
+  for (const auto &[Name, Value] : O.Bindings)
+    Init.push_back({L.Ctx.intern(Name),
+                    domain::AbsVal<D>::number(D::constant(Value))});
+  for (const std::string &Name : O.TopVars)
+    Init.push_back(
+        {L.Ctx.intern(Name), domain::AbsVal<D>::number(D::top())});
+
+  Result<cps::CpsProgram> P = cps::cpsTransform(L.Ctx, L.Anf);
+  if (!P) {
+    std::fprintf(stderr, "error: %s\n", P.error().str().c_str());
+    return 1;
+  }
+  std::vector<analysis::CpsBinding<D>> CInit;
+  for (const analysis::DirectBinding<D> &B : Init)
+    CInit.push_back({B.Var, analysis::deltaE<D>(B.Value, *P)});
+
+  std::vector<Symbol> Vars = syntax::collectVariables(L.Anf);
+
+  // Shared JSON document across Report calls (compare emits several).
+  JsonWriter W;
+  bool JsonOpen = false;
+  auto JsonBegin = [&] {
+    if (!O.Json || JsonOpen)
+      return;
+    W.beginObject();
+    W.key("command").value(O.Command.c_str());
+    W.key("domain").value(O.Domain.c_str());
+    W.key("results").beginArray();
+    JsonOpen = true;
+  };
+  auto JsonEnd = [&](const char *VerdictDvC, const char *VerdictSvD) {
+    if (!O.Json)
+      return 0;
+    W.endArray();
+    if (VerdictDvC) {
+      W.key("direct_vs_syntactic").value(VerdictDvC);
+      W.key("semantic_vs_direct").value(VerdictSvD);
+    }
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return 0;
+  };
+
+  auto Report = [&](const char *RawName, const auto &R) {
+    std::string Padded = RawName;
+    Padded.resize(9, ' ');
+    const char *Name = Padded.c_str();
+    if (O.Json) {
+      Name = RawName;
+      JsonBegin();
+      W.beginObject();
+      W.key("analyzer").value(Name);
+      W.key("answer").value(R.Answer.Value.str(L.Ctx));
+      W.key("stats").beginObject();
+      W.key("goals").value(R.Stats.Goals);
+      W.key("cacheHits").value(R.Stats.CacheHits);
+      W.key("cuts").value(R.Stats.Cuts);
+      W.key("maxDepth").value(R.Stats.MaxDepth);
+      W.key("deadPaths").value(R.Stats.DeadPaths);
+      W.key("prunedBranches").value(R.Stats.PrunedBranches);
+      W.key("budgetExhausted").value(R.Stats.BudgetExhausted);
+      W.key("loopBounded").value(R.Stats.LoopBounded);
+      W.endObject();
+      if (O.ShowStore) {
+        W.key("store").beginObject();
+        for (Symbol X : Vars)
+          W.key(std::string(L.Ctx.spelling(X)))
+              .value(R.valueOf(X).str(L.Ctx));
+        W.endObject();
+      }
+      W.endObject();
+      return;
+    }
+    std::printf("%s answer: %s\n", Name, R.Answer.Value.str(L.Ctx).c_str());
+    std::printf("%s stats:  %s\n", Name,
+                clients::describeStats(R.Stats).c_str());
+    if (O.ShowStore)
+      std::printf("%s store:\n%s", Name,
+                  clients::describeVars(L.Ctx, R, Vars).c_str());
+    if (O.ShowCfg)
+      std::printf("%s cfg:\n%s", Name,
+                  clients::describeCfg(L.Ctx, R.Cfg).c_str());
+  };
+
+  if (O.Command == "compare") {
+    auto AD = analysis::DirectAnalyzer<D>(L.Ctx, L.Anf, Init).run();
+    auto AS = analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init).run();
+    auto AC = analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit).run();
+    Report("direct", AD);
+    Report("semantic", AS);
+    Report("syntactic", AC);
+
+    analysis::Comparison DvC = analysis::compareWithSyntactic<D>(
+        L.Ctx, AD, AC, *P, Vars);
+    analysis::Comparison SvD =
+        analysis::compareDirectWorld<D>(L.Ctx, AS, AD, Vars);
+    if (O.Json)
+      return JsonEnd(str(DvC.Overall), str(SvD.Overall));
+    std::printf("\ndirect vs syntactic-CPS: %s\n", str(DvC.Overall));
+    std::printf("semantic vs direct:      %s\n", str(SvD.Overall));
+    for (const analysis::VarComparison &VC : DvC.Vars)
+      if (VC.Order != analysis::PrecisionOrder::Equal)
+        std::printf("  %s: direct %s vs cps %s (%s)\n",
+                    std::string(L.Ctx.spelling(VC.Var)).c_str(),
+                    VC.Left.c_str(), VC.Right.c_str(), str(VC.Order));
+    return 0;
+  }
+
+  if (O.Analyzer == "direct") {
+    std::vector<std::string> Derivation;
+    analysis::AnalyzerOptions AOpts;
+    if (O.ShowDerivation)
+      AOpts.DerivationSink = &Derivation;
+    auto R =
+        analysis::DirectAnalyzer<D>(L.Ctx, L.Anf, Init, AOpts).run();
+    if (O.ShowDerivation && !O.Json) {
+      std::printf("derivation (Figure 4 style, goal |- answer):\n");
+      for (const std::string &Line : Derivation)
+        std::printf("  %s\n", Line.c_str());
+    }
+    Report("direct", R);
+  } else if (O.Analyzer == "semantic") {
+    auto R = analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init).run();
+    Report("semantic", R);
+  } else if (O.Analyzer == "syntactic") {
+    auto R = analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit).run();
+    Report("syntactic", R);
+  } else if (O.Analyzer == "dup") {
+    auto R =
+        analysis::DupAnalyzer<D>(L.Ctx, L.Anf, Init, O.Budget).run();
+    Report("dup", R);
+  } else {
+    usage("unknown analyzer");
+  }
+  if (O.Json)
+    return JsonEnd(nullptr, nullptr);
+  return 0;
+}
+
+int cmdAnalyze(const Options &O) {
+  Loaded L;
+  L.load(O);
+  if (O.Domain == "constant")
+    return analyzeAt<domain::ConstantDomain>(O, L);
+  if (O.Domain == "unit")
+    return analyzeAt<domain::UnitDomain>(O, L);
+  if (O.Domain == "sign")
+    return analyzeAt<domain::SignDomain>(O, L);
+  if (O.Domain == "parity")
+    return analyzeAt<domain::ParityDomain>(O, L);
+  if (O.Domain == "interval")
+    return analyzeAt<domain::IntervalDomain>(O, L);
+  usage("unknown domain");
+}
+
+int cmdInline(const Options &O) {
+  Loaded L;
+  L.load(O);
+  clients::InlineResult R = clients::inlineCalls(L.Ctx, L.Anf);
+  std::printf("%s\n", syntax::printIndented(L.Ctx, R.Inlined).c_str());
+  std::fprintf(stderr, "; inlined %zu calls in %u passes\n",
+               R.InlinedCalls, R.Passes);
+  return 0;
+}
+
+int cmdFold(const Options &O) {
+  Loaded L;
+  L.load(O);
+  auto R = analysis::DirectAnalyzer<domain::ConstantDomain>(L.Ctx, L.Anf)
+               .run();
+  clients::FoldResult F = clients::constantFold(L.Ctx, L.Anf, R);
+  std::printf("%s\n", syntax::printIndented(L.Ctx, F.Folded).c_str());
+  std::fprintf(stderr, "; folded %zu applications, removed %zu branches\n",
+               F.FoldedApps, F.ElimBranches);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O = parseArgs(Argc, Argv);
+  if (O.Command == "parse")
+    return cmdParse(O);
+  if (O.Command == "anf")
+    return cmdAnf(O);
+  if (O.Command == "steps")
+    return cmdSteps(O);
+  if (O.Command == "cps")
+    return cmdCps(O);
+  if (O.Command == "run")
+    return cmdRun(O);
+  if (O.Command == "analyze" || O.Command == "compare")
+    return cmdAnalyze(O);
+  if (O.Command == "fold")
+    return cmdFold(O);
+  if (O.Command == "inline")
+    return cmdInline(O);
+  usage(("unknown command '" + O.Command + "'").c_str());
+}
