@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_budget.dir/dup_budget.cpp.o"
+  "CMakeFiles/dup_budget.dir/dup_budget.cpp.o.d"
+  "dup_budget"
+  "dup_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

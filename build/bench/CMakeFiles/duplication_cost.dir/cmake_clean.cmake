@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplication_cost.dir/duplication_cost.cpp.o"
+  "CMakeFiles/duplication_cost.dir/duplication_cost.cpp.o.d"
+  "duplication_cost"
+  "duplication_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplication_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

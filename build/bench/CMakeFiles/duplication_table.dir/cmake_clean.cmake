@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplication_table.dir/duplication_table.cpp.o"
+  "CMakeFiles/duplication_table.dir/duplication_table.cpp.o.d"
+  "duplication_table"
+  "duplication_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplication_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

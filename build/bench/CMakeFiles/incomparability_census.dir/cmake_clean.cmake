@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incomparability_census.dir/incomparability_census.cpp.o"
+  "CMakeFiles/incomparability_census.dir/incomparability_census.cpp.o.d"
+  "incomparability_census"
+  "incomparability_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incomparability_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inline_vs_cps.dir/inline_vs_cps.cpp.o"
+  "CMakeFiles/inline_vs_cps.dir/inline_vs_cps.cpp.o.d"
+  "inline_vs_cps"
+  "inline_vs_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inline_vs_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

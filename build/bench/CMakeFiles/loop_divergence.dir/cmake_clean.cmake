@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_divergence.dir/loop_divergence.cpp.o"
+  "CMakeFiles/loop_divergence.dir/loop_divergence.cpp.o.d"
+  "loop_divergence"
+  "loop_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_ablation.dir/memo_ablation.cpp.o"
+  "CMakeFiles/memo_ablation.dir/memo_ablation.cpp.o.d"
+  "memo_ablation"
+  "memo_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

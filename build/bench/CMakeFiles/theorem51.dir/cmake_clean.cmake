@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem51.dir/theorem51.cpp.o"
+  "CMakeFiles/theorem51.dir/theorem51.cpp.o.d"
+  "theorem51"
+  "theorem51.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem51.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

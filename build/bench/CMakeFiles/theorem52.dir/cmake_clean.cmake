@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem52.dir/theorem52.cpp.o"
+  "CMakeFiles/theorem52.dir/theorem52.cpp.o.d"
+  "theorem52"
+  "theorem52.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem52.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

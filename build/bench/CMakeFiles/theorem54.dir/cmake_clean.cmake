@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem54.dir/theorem54.cpp.o"
+  "CMakeFiles/theorem54.dir/theorem54.cpp.o.d"
+  "theorem54"
+  "theorem54.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem54.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem55.dir/theorem55.cpp.o"
+  "CMakeFiles/theorem55.dir/theorem55.cpp.o.d"
+  "theorem55"
+  "theorem55.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem55.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

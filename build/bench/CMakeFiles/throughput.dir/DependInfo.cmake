@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/throughput.cpp" "bench/CMakeFiles/throughput.dir/throughput.cpp.o" "gcc" "bench/CMakeFiles/throughput.dir/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cpsflow_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/cpsflow_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cpsflow_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/clients/CMakeFiles/cpsflow_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/cps/CMakeFiles/cpsflow_cps.dir/DependInfo.cmake"
+  "/root/repo/build/src/anf/CMakeFiles/cpsflow_anf.dir/DependInfo.cmake"
+  "/root/repo/build/src/syntax/CMakeFiles/cpsflow_syntax.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

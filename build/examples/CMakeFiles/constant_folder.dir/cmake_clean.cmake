@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constant_folder.dir/constant_folder.cpp.o"
+  "CMakeFiles/constant_folder.dir/constant_folder.cpp.o.d"
+  "constant_folder"
+  "constant_folder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constant_folder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

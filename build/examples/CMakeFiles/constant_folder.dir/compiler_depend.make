@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for constant_folder.
+# This may be replaced when dependencies are built.

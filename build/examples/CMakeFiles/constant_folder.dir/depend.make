@@ -1,0 +1,2 @@
+# Empty dependencies file for constant_folder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_return_explorer.dir/false_return_explorer.cpp.o"
+  "CMakeFiles/false_return_explorer.dir/false_return_explorer.cpp.o.d"
+  "false_return_explorer"
+  "false_return_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_return_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

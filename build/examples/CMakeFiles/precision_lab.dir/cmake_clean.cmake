@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_lab.dir/precision_lab.cpp.o"
+  "CMakeFiles/precision_lab.dir/precision_lab.cpp.o.d"
+  "precision_lab"
+  "precision_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CfgCompare.cpp" "src/analysis/CMakeFiles/cpsflow_analysis.dir/CfgCompare.cpp.o" "gcc" "src/analysis/CMakeFiles/cpsflow_analysis.dir/CfgCompare.cpp.o.d"
+  "/root/repo/src/analysis/Universe.cpp" "src/analysis/CMakeFiles/cpsflow_analysis.dir/Universe.cpp.o" "gcc" "src/analysis/CMakeFiles/cpsflow_analysis.dir/Universe.cpp.o.d"
+  "/root/repo/src/analysis/Witnesses.cpp" "src/analysis/CMakeFiles/cpsflow_analysis.dir/Witnesses.cpp.o" "gcc" "src/analysis/CMakeFiles/cpsflow_analysis.dir/Witnesses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/syntax/CMakeFiles/cpsflow_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/anf/CMakeFiles/cpsflow_anf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cps/CMakeFiles/cpsflow_cps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpsflow_analysis.dir/CfgCompare.cpp.o"
+  "CMakeFiles/cpsflow_analysis.dir/CfgCompare.cpp.o.d"
+  "CMakeFiles/cpsflow_analysis.dir/Universe.cpp.o"
+  "CMakeFiles/cpsflow_analysis.dir/Universe.cpp.o.d"
+  "CMakeFiles/cpsflow_analysis.dir/Witnesses.cpp.o"
+  "CMakeFiles/cpsflow_analysis.dir/Witnesses.cpp.o.d"
+  "libcpsflow_analysis.a"
+  "libcpsflow_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpsflow_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpsflow_anf.dir/Anf.cpp.o"
+  "CMakeFiles/cpsflow_anf.dir/Anf.cpp.o.d"
+  "CMakeFiles/cpsflow_anf.dir/Reductions.cpp.o"
+  "CMakeFiles/cpsflow_anf.dir/Reductions.cpp.o.d"
+  "libcpsflow_anf.a"
+  "libcpsflow_anf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpsflow_anf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpsflow_clients.dir/ConstFold.cpp.o"
+  "CMakeFiles/cpsflow_clients.dir/ConstFold.cpp.o.d"
+  "CMakeFiles/cpsflow_clients.dir/Inline.cpp.o"
+  "CMakeFiles/cpsflow_clients.dir/Inline.cpp.o.d"
+  "CMakeFiles/cpsflow_clients.dir/Reports.cpp.o"
+  "CMakeFiles/cpsflow_clients.dir/Reports.cpp.o.d"
+  "libcpsflow_clients.a"
+  "libcpsflow_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpsflow_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpsflow_cps.dir/Transform.cpp.o"
+  "CMakeFiles/cpsflow_cps.dir/Transform.cpp.o.d"
+  "libcpsflow_cps.a"
+  "libcpsflow_cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpsflow_cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpsflow_gen.dir/Enumerate.cpp.o"
+  "CMakeFiles/cpsflow_gen.dir/Enumerate.cpp.o.d"
+  "CMakeFiles/cpsflow_gen.dir/Generator.cpp.o"
+  "CMakeFiles/cpsflow_gen.dir/Generator.cpp.o.d"
+  "CMakeFiles/cpsflow_gen.dir/Workloads.cpp.o"
+  "CMakeFiles/cpsflow_gen.dir/Workloads.cpp.o.d"
+  "libcpsflow_gen.a"
+  "libcpsflow_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpsflow_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

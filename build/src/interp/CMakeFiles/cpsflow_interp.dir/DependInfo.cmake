@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/Delta.cpp" "src/interp/CMakeFiles/cpsflow_interp.dir/Delta.cpp.o" "gcc" "src/interp/CMakeFiles/cpsflow_interp.dir/Delta.cpp.o.d"
+  "/root/repo/src/interp/Direct.cpp" "src/interp/CMakeFiles/cpsflow_interp.dir/Direct.cpp.o" "gcc" "src/interp/CMakeFiles/cpsflow_interp.dir/Direct.cpp.o.d"
+  "/root/repo/src/interp/Runtime.cpp" "src/interp/CMakeFiles/cpsflow_interp.dir/Runtime.cpp.o" "gcc" "src/interp/CMakeFiles/cpsflow_interp.dir/Runtime.cpp.o.d"
+  "/root/repo/src/interp/SemanticCps.cpp" "src/interp/CMakeFiles/cpsflow_interp.dir/SemanticCps.cpp.o" "gcc" "src/interp/CMakeFiles/cpsflow_interp.dir/SemanticCps.cpp.o.d"
+  "/root/repo/src/interp/SyntacticCps.cpp" "src/interp/CMakeFiles/cpsflow_interp.dir/SyntacticCps.cpp.o" "gcc" "src/interp/CMakeFiles/cpsflow_interp.dir/SyntacticCps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/syntax/CMakeFiles/cpsflow_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/anf/CMakeFiles/cpsflow_anf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cps/CMakeFiles/cpsflow_cps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpsflow_interp.dir/Delta.cpp.o"
+  "CMakeFiles/cpsflow_interp.dir/Delta.cpp.o.d"
+  "CMakeFiles/cpsflow_interp.dir/Direct.cpp.o"
+  "CMakeFiles/cpsflow_interp.dir/Direct.cpp.o.d"
+  "CMakeFiles/cpsflow_interp.dir/Runtime.cpp.o"
+  "CMakeFiles/cpsflow_interp.dir/Runtime.cpp.o.d"
+  "CMakeFiles/cpsflow_interp.dir/SemanticCps.cpp.o"
+  "CMakeFiles/cpsflow_interp.dir/SemanticCps.cpp.o.d"
+  "CMakeFiles/cpsflow_interp.dir/SyntacticCps.cpp.o"
+  "CMakeFiles/cpsflow_interp.dir/SyntacticCps.cpp.o.d"
+  "libcpsflow_interp.a"
+  "libcpsflow_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpsflow_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

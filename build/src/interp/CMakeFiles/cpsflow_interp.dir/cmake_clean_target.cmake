@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpsflow_interp.a"
+)

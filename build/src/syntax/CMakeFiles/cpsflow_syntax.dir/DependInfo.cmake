@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/syntax/Analysis.cpp" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Analysis.cpp.o" "gcc" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Analysis.cpp.o.d"
+  "/root/repo/src/syntax/Parser.cpp" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Parser.cpp.o" "gcc" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Parser.cpp.o.d"
+  "/root/repo/src/syntax/Printer.cpp" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Printer.cpp.o" "gcc" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Printer.cpp.o.d"
+  "/root/repo/src/syntax/Rename.cpp" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Rename.cpp.o" "gcc" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Rename.cpp.o.d"
+  "/root/repo/src/syntax/Sexpr.cpp" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Sexpr.cpp.o" "gcc" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Sexpr.cpp.o.d"
+  "/root/repo/src/syntax/Sugar.cpp" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Sugar.cpp.o" "gcc" "src/syntax/CMakeFiles/cpsflow_syntax.dir/Sugar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

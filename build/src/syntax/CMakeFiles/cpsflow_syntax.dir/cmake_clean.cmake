@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpsflow_syntax.dir/Analysis.cpp.o"
+  "CMakeFiles/cpsflow_syntax.dir/Analysis.cpp.o.d"
+  "CMakeFiles/cpsflow_syntax.dir/Parser.cpp.o"
+  "CMakeFiles/cpsflow_syntax.dir/Parser.cpp.o.d"
+  "CMakeFiles/cpsflow_syntax.dir/Printer.cpp.o"
+  "CMakeFiles/cpsflow_syntax.dir/Printer.cpp.o.d"
+  "CMakeFiles/cpsflow_syntax.dir/Rename.cpp.o"
+  "CMakeFiles/cpsflow_syntax.dir/Rename.cpp.o.d"
+  "CMakeFiles/cpsflow_syntax.dir/Sexpr.cpp.o"
+  "CMakeFiles/cpsflow_syntax.dir/Sexpr.cpp.o.d"
+  "CMakeFiles/cpsflow_syntax.dir/Sugar.cpp.o"
+  "CMakeFiles/cpsflow_syntax.dir/Sugar.cpp.o.d"
+  "libcpsflow_syntax.a"
+  "libcpsflow_syntax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpsflow_syntax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

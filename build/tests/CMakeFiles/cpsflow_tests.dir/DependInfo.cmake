@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AgreementTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/AgreementTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/AgreementTests.cpp.o.d"
+  "/root/repo/tests/AnalyzerEdgeTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/AnalyzerEdgeTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/AnalyzerEdgeTests.cpp.o.d"
+  "/root/repo/tests/AnalyzerUnitTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/AnalyzerUnitTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/AnalyzerUnitTests.cpp.o.d"
+  "/root/repo/tests/AnfTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/AnfTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/AnfTests.cpp.o.d"
+  "/root/repo/tests/CfgTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/CfgTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/CfgTests.cpp.o.d"
+  "/root/repo/tests/ClientTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/ClientTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/ClientTests.cpp.o.d"
+  "/root/repo/tests/CpsTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/CpsTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/CpsTests.cpp.o.d"
+  "/root/repo/tests/CrossDomainTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/CrossDomainTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/CrossDomainTests.cpp.o.d"
+  "/root/repo/tests/DomainTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/DomainTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/DomainTests.cpp.o.d"
+  "/root/repo/tests/DupAnalyzerTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/DupAnalyzerTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/DupAnalyzerTests.cpp.o.d"
+  "/root/repo/tests/ExhaustiveTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/ExhaustiveTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/ExhaustiveTests.cpp.o.d"
+  "/root/repo/tests/InlineTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/InlineTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/InlineTests.cpp.o.d"
+  "/root/repo/tests/InterpTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/InterpTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/InterpTests.cpp.o.d"
+  "/root/repo/tests/JsonTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/JsonTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/JsonTests.cpp.o.d"
+  "/root/repo/tests/ReductionTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/ReductionTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/ReductionTests.cpp.o.d"
+  "/root/repo/tests/RobustnessTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/RobustnessTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/RobustnessTests.cpp.o.d"
+  "/root/repo/tests/SoundnessTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/SoundnessTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/SoundnessTests.cpp.o.d"
+  "/root/repo/tests/SugarTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/SugarTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/SugarTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/SupportTests.cpp.o.d"
+  "/root/repo/tests/SyntaxTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/SyntaxTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/SyntaxTests.cpp.o.d"
+  "/root/repo/tests/TheoremTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/TheoremTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/TheoremTests.cpp.o.d"
+  "/root/repo/tests/WorkloadTests.cpp" "tests/CMakeFiles/cpsflow_tests.dir/WorkloadTests.cpp.o" "gcc" "tests/CMakeFiles/cpsflow_tests.dir/WorkloadTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cpsflow_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/cpsflow_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cpsflow_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/clients/CMakeFiles/cpsflow_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/cps/CMakeFiles/cpsflow_cps.dir/DependInfo.cmake"
+  "/root/repo/build/src/anf/CMakeFiles/cpsflow_anf.dir/DependInfo.cmake"
+  "/root/repo/build/src/syntax/CMakeFiles/cpsflow_syntax.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpsflow_cli.dir/cpsflow.cpp.o"
+  "CMakeFiles/cpsflow_cli.dir/cpsflow.cpp.o.d"
+  "cpsflow"
+  "cpsflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpsflow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
