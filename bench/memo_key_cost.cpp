@@ -1,0 +1,143 @@
+//===- bench/memo_key_cost.cpp - E13: memo key representation ---*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E13 — per-goal cost of the analyzers' memo keys, dense vs interned.
+///
+/// Both variants replay the same synthetic goal stream: each goal derives
+/// a store from its parent by joining one slot, builds a (node, store)
+/// memo key, and probes the table — exactly the per-goal key traffic of
+/// the Section 4.4 loop-detection machinery. The constant-domain slots
+/// saturate after a few rounds (constant join constant' = top), so the
+/// stream has the fixpoint tail real runs have, where most joins don't
+/// move the store.
+///
+/// The dense variant carries a full AbsStore in the key (the seed
+/// representation): O(|vars|) copy + O(|vars|) hash + O(|vars|) equality
+/// per goal. The interned variant carries a StoreId: copy-on-write joinAt
+/// with an O(1) hash patch, O(1) key build/hash/compare. The argument is
+/// the store width |vars|.
+///
+//===----------------------------------------------------------------------===//
+
+#include "domain/AbsStore.h"
+#include "domain/AbsValue.h"
+#include "domain/NumDomain.h"
+#include "domain/StoreInterner.h"
+#include "support/Hashing.h"
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+using namespace cpsflow;
+
+namespace {
+
+using CD = domain::ConstantDomain;
+using Val = domain::AbsVal<CD>;
+using StoreT = domain::AbsStore<Val>;
+
+constexpr uint32_t GoalsPerIter = 4096;
+
+/// Fake arena nodes: addresses are hashed, never dereferenced. A small
+/// pool makes goals revisit nodes, as real derivations do.
+const void *nodeAt(uint32_t G) {
+  static int Pool[64];
+  return &Pool[G % 64];
+}
+
+/// The slot joined and the value joined in at goal \p G: every slot
+/// cycles through a few constants, then saturates at top.
+uint32_t slotAt(uint32_t G, uint32_t Width) { return G % Width; }
+Val valueAt(uint32_t G, uint32_t Width) {
+  return Val::number(CD::constant((G / Width) % 3));
+}
+
+/// Seed-style key: the store itself rides in the key.
+struct DenseKey {
+  const void *Node;
+  StoreT Store;
+
+  friend bool operator==(const DenseKey &A, const DenseKey &B) {
+    return A.Node == B.Node && A.Store == B.Store;
+  }
+};
+struct DenseKeyHash {
+  size_t operator()(const DenseKey &K) const {
+    uint64_t H = hashPointer(K.Node);
+    hashCombine(H, K.Store.hashValue());
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Interned key: the store is a 32-bit id.
+struct InternedKey {
+  const void *Node;
+  domain::StoreId Store;
+
+  friend bool operator==(const InternedKey &A, const InternedKey &B) {
+    return A.Node == B.Node && A.Store == B.Store;
+  }
+};
+struct InternedKeyHash {
+  size_t operator()(const InternedKey &K) const {
+    uint64_t H = hashPointer(K.Node);
+    hashCombine(H, K.Store);
+    return static_cast<size_t>(H);
+  }
+};
+
+void BM_DenseKeys(benchmark::State &State) {
+  const uint32_t Width = static_cast<uint32_t>(State.range(0));
+  uint64_t Hits = 0;
+  for (auto _ : State) {
+    StoreT Cur(Width);
+    std::unordered_map<DenseKey, uint32_t, DenseKeyHash> Memo;
+    for (uint32_t G = 0; G < GoalsPerIter; ++G) {
+      StoreT Next = Cur;
+      Next.joinAt(slotAt(G, Width), valueAt(G, Width));
+      auto [It, Inserted] =
+          Memo.try_emplace(DenseKey{nodeAt(G), Next}, G);
+      if (!Inserted)
+        ++Hits;
+      Cur = std::move(Next);
+    }
+    benchmark::DoNotOptimize(Memo.size());
+  }
+  State.counters["hits"] = static_cast<double>(Hits);
+  State.SetItemsProcessed(State.iterations() * GoalsPerIter);
+}
+
+void BM_InternedKeys(benchmark::State &State) {
+  const uint32_t Width = static_cast<uint32_t>(State.range(0));
+  uint64_t Hits = 0;
+  domain::StoreInterner<Val> In;
+  for (auto _ : State) {
+    In.reset(Width);
+    domain::StoreId Cur = In.bottom();
+    std::unordered_map<InternedKey, uint32_t, InternedKeyHash> Memo;
+    for (uint32_t G = 0; G < GoalsPerIter; ++G) {
+      domain::StoreId Next =
+          In.joinAt(Cur, slotAt(G, Width), valueAt(G, Width));
+      auto [It, Inserted] =
+          Memo.try_emplace(InternedKey{nodeAt(G), Next}, G);
+      if (!Inserted)
+        ++Hits;
+      Cur = Next;
+    }
+    benchmark::DoNotOptimize(Memo.size());
+  }
+  State.counters["hits"] = static_cast<double>(Hits);
+  State.SetItemsProcessed(State.iterations() * GoalsPerIter);
+}
+
+} // namespace
+
+BENCHMARK(BM_DenseKeys)->RangeMultiplier(2)->Range(64, 512);
+BENCHMARK(BM_InternedKeys)->RangeMultiplier(2)->Range(64, 512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+//===- bench/throughput_mt.cpp - E14: parallel corpus throughput *- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E14 — wall-clock scaling of the batch corpus driver over worker
+/// threads. The corpus is a fixed set of generated programs (rendered to
+/// source text so the bench exercises the driver's whole per-program
+/// pipeline: parse, ANF, CPS, all four analyzers). The argument is the
+/// thread count; analyses are per-program independent, so the results are
+/// identical at every value — only the wall time should move.
+///
+//===----------------------------------------------------------------------===//
+
+#include "clients/Batch.h"
+#include "gen/Generator.h"
+#include "syntax/Printer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cpsflow;
+
+namespace {
+
+/// Eight deterministic programs, rendered to core-A text once. Chain
+/// length is kept modest: the CPS analyzer legs pay the Section 6
+/// duplication cost, and the bench must stay CI-friendly.
+const std::vector<std::pair<std::string, std::string>> &corpus() {
+  static const std::vector<std::pair<std::string, std::string>> C = [] {
+    std::vector<std::pair<std::string, std::string>> Out;
+    for (uint32_t Seed = 1; Seed <= 8; ++Seed) {
+      Context Ctx;
+      gen::GenOptions Opts;
+      Opts.Seed = 2020 + Seed;
+      Opts.ChainLength = 12;
+      Opts.MaxDepth = 2;
+      Opts.WellTyped = true;
+      gen::ProgramGenerator Gen(Ctx, Opts);
+      const syntax::Term *T = Gen.generate();
+      Out.emplace_back("gen" + std::to_string(Seed),
+                       syntax::print(Ctx, T));
+    }
+    return Out;
+  }();
+  return C;
+}
+
+void BM_BatchCorpus(benchmark::State &State) {
+  clients::BatchOptions Opts;
+  Opts.Threads = static_cast<unsigned>(State.range(0));
+  Opts.IncludeTiming = false;
+  size_t Failures = 0;
+  for (auto _ : State) {
+    clients::BatchResult R = clients::runBatch(corpus(), Opts);
+    for (const clients::BatchProgramResult &P : R.Programs)
+      if (!P.Ok)
+        ++Failures;
+    benchmark::DoNotOptimize(R.Programs.size());
+  }
+  State.counters["failures"] = static_cast<double>(Failures);
+  State.counters["programs"] = static_cast<double>(corpus().size());
+}
+
+} // namespace
+
+// Real time, not CPU time: the point is wall-clock scaling.
+BENCHMARK(BM_BatchCorpus)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,4 @@
+; Recursive arithmetic from docs/LANGUAGE.md: + and * via add1/sub1.
+(define (plus a b) (if0 a b (add1 (plus (sub1 a) b))))
+(define (times a b) (if0 a 0 (plus b (times (sub1 a) b))))
+(plus (times 3 4) 1)

@@ -1,0 +1,6 @@
+; Both branches produce constants; the merge point must join them.
+; `input` is free and bound to top by the batch driver, so neither
+; branch is pruned.
+(let (a (if0 input 1 2))
+  (let (b (if0 input 2 1))
+    (if0 a b a)))

@@ -1,0 +1,5 @@
+; Church numerals: higher-order flow with closures passed as arguments.
+(define (zero f x) x)
+(define (succ n) (lambda (f x) (f (n f x))))
+(define (to-int n) (n add1 0))
+(to-int (succ (succ (succ zero))))

@@ -1,0 +1,5 @@
+; Function composition: one closure site applied at two call sites,
+; exercising the abstract-closure join.
+(define (compose f g) (lambda (x) (f (g x))))
+(define (twice f) (compose f f))
+((twice (twice add1)) 0)

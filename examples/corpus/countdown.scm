@@ -1,0 +1,3 @@
+; First-order loop to zero: the classic termination-cut workload.
+(define (count n) (if0 n 0 (count (sub1 n))))
+(count 10)

@@ -1,0 +1,5 @@
+; Parity by two-step descent, driven by a free input bound to top:
+; the analyzer must cut the unbounded recursion.
+(define (even n)
+  (if0 n 1 (if0 (sub1 n) 0 (even (sub1 (sub1 n))))))
+(even input)

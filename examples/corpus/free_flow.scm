@@ -1,0 +1,7 @@
+; Data flow from two free inputs through let* chains; everything below
+; the inputs must degrade to top while the constants stay exact.
+(let* ((a (add1 x))
+       (b (sub1 y))
+       (c 5)
+       (d (add1 c)))
+  (if0 a b d))

@@ -1,0 +1,5 @@
+; Section 6.2: (loop) yields every natural and never returns normally.
+; The direct analyzer's loop rule is exact; the CPS analyzers must
+; bound it (loopBounded in the stats).
+(let (n (loop))
+  (if0 n 1 (add1 n)))

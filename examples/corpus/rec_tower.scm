@@ -1,0 +1,4 @@
+; rec-sugar self-application plus a caller chain: deep derivations with
+; reconverging stores, where the memo table should earn its keep.
+(define (apply3 f x) (f (f (f x))))
+(apply3 (rec (sum n) (if0 n 0 (add1 (sum (sub1 n))))) 2)

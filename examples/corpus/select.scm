@@ -1,0 +1,6 @@
+; Closure selection by a free test: the operator position holds a join
+; of two abstract closures, so the call must analyze both targets.
+(define (inc x) (add1 x))
+(define (dec x) (sub1 x))
+(let (f (if0 input inc dec))
+  (f 10))

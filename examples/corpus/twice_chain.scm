@@ -1,0 +1,8 @@
+; A let-chain of duplicated calls to one function: the Section 6
+; duplication-cost shape, sized to stay cheap for the exact analyzers.
+(define (bump x) (add1 (add1 x)))
+(let* ((a (bump 0))
+       (b (bump a))
+       (c (bump b))
+       (d (bump c)))
+  d)

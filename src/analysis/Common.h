@@ -21,6 +21,7 @@
 
 #include "domain/AbsStore.h"
 #include "domain/AbsValue.h"
+#include "domain/StoreInterner.h"
 
 #include <cstdint>
 #include <string>
@@ -52,6 +53,23 @@ template <typename V> struct AnswerOf {
     return !(A == B);
   }
 };
+
+/// The analyzers' in-flight representation of an answer: the store half
+/// lives in the run's StoreInterner and is carried by id. Converted to a
+/// dense AnswerOf only when a result leaves the analyzer (run()).
+template <typename V> struct InternedAnswerOf {
+  V Value;
+  domain::StoreId Store;
+};
+
+/// Joins two interned answers component-wise through \p In.
+template <typename V>
+InternedAnswerOf<V> joinAnswers(domain::StoreInterner<V> &In,
+                                const InternedAnswerOf<V> &A,
+                                const InternedAnswerOf<V> &B) {
+  return InternedAnswerOf<V>{V::join(A.Value, B.Value),
+                             In.join(A.Store, B.Store)};
+}
 
 /// Knobs for an analyzer run.
 struct AnalyzerOptions {

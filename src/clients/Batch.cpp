@@ -1,0 +1,276 @@
+//===- clients/Batch.cpp - Parallel corpus driver -------------------------===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Batch.h"
+
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/DupAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "analysis/Compare.h"
+#include "anf/Anf.h"
+#include "cps/Transform.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+#include "syntax/Analysis.h"
+#include "syntax/Parser.h"
+#include "syntax/Sugar.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cpsflow {
+namespace clients {
+
+namespace {
+
+double elapsedMs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Runs one analyzer leg, timing it and rendering the answer value.
+template <typename Analyzer>
+BatchAnalyzerRecord runLeg(const Context &Ctx, Analyzer &&A) {
+  auto Start = std::chrono::steady_clock::now();
+  auto R = A.run();
+  BatchAnalyzerRecord Rec;
+  Rec.WallMs = elapsedMs(Start);
+  Rec.Answer = R.Answer.Value.str(Ctx);
+  Rec.Stats = R.Stats;
+  return Rec;
+}
+
+/// Analyzes one program at a fixed numeric domain. Owns the whole
+/// pipeline — Context, parse, ANF, CPS, analyzers — so concurrent calls
+/// share nothing.
+template <typename D>
+BatchProgramResult analyzeOne(const std::string &Name,
+                              const std::string &Source,
+                              const BatchOptions &Opts) {
+  BatchProgramResult Out;
+  Out.Name = Name;
+
+  Context Ctx;
+  Result<const syntax::Term *> Parsed =
+      syntax::parseSugaredProgram(Ctx, Source);
+  if (!Parsed) {
+    Out.Error = "parse error: " + Parsed.error().str();
+    return Out;
+  }
+  const syntax::Term *Anf = anf::normalizeProgram(Ctx, *Parsed);
+  Out.Nodes = syntax::countNodes(Anf);
+
+  Result<cps::CpsProgram> Cps = cps::cpsTransform(Ctx, Anf);
+  if (!Cps) {
+    Out.Error = "cps error: " + Cps.error().str();
+    return Out;
+  }
+
+  // Corpus programs may leave inputs free; bind them to the numeric top
+  // so every analyzer sees the same closed problem.
+  std::vector<analysis::DirectBinding<D>> Init;
+  for (Symbol X : syntax::freeVars(Anf))
+    Init.push_back({X, domain::AbsVal<D>::number(D::top())});
+  std::vector<analysis::CpsBinding<D>> CInit;
+  for (const analysis::DirectBinding<D> &B : Init)
+    CInit.push_back({B.Var, analysis::deltaE<D>(B.Value, *Cps)});
+
+  analysis::AnalyzerOptions AOpts;
+  AOpts.MaxGoals = Opts.MaxGoals;
+
+  Out.Direct = runLeg(Ctx, analysis::DirectAnalyzer<D>(Ctx, Anf, Init,
+                                                       AOpts));
+  Out.Semantic = runLeg(
+      Ctx, analysis::SemanticCpsAnalyzer<D>(Ctx, Anf, Init, AOpts));
+  Out.Syntactic = runLeg(
+      Ctx, analysis::SyntacticCpsAnalyzer<D>(Ctx, *Cps, CInit, AOpts));
+  Out.Dup = runLeg(Ctx, analysis::DupAnalyzer<D>(Ctx, Anf, Init,
+                                                 Opts.DupBudget, AOpts));
+  Out.Ok = true;
+  return Out;
+}
+
+BatchProgramResult dispatchOne(const std::string &Name,
+                               const std::string &Source,
+                               const BatchOptions &Opts) {
+  if (Opts.Domain == "constant")
+    return analyzeOne<domain::ConstantDomain>(Name, Source, Opts);
+  if (Opts.Domain == "unit")
+    return analyzeOne<domain::UnitDomain>(Name, Source, Opts);
+  if (Opts.Domain == "sign")
+    return analyzeOne<domain::SignDomain>(Name, Source, Opts);
+  if (Opts.Domain == "parity")
+    return analyzeOne<domain::ParityDomain>(Name, Source, Opts);
+  if (Opts.Domain == "interval")
+    return analyzeOne<domain::IntervalDomain>(Name, Source, Opts);
+  BatchProgramResult Out;
+  Out.Name = Name;
+  Out.Error = "unknown domain '" + Opts.Domain + "'";
+  return Out;
+}
+
+void writeAnalyzerRecord(JsonWriter &W, const char *Key,
+                         const BatchAnalyzerRecord &Rec,
+                         const BatchOptions &Opts) {
+  W.key(Key).beginObject();
+  W.key("answer").value(Rec.Answer);
+  W.key("goals").value(Rec.Stats.Goals);
+  W.key("cacheHits").value(Rec.Stats.CacheHits);
+  W.key("cuts").value(Rec.Stats.Cuts);
+  W.key("maxDepth").value(Rec.Stats.MaxDepth);
+  W.key("deadPaths").value(Rec.Stats.DeadPaths);
+  W.key("prunedBranches").value(Rec.Stats.PrunedBranches);
+  W.key("budgetExhausted").value(Rec.Stats.BudgetExhausted);
+  W.key("loopBounded").value(Rec.Stats.LoopBounded);
+  if (Opts.IncludeTiming)
+    W.key("wallMs").value(Rec.WallMs);
+  W.endObject();
+}
+
+/// Per-analyzer aggregate across the corpus.
+struct LegTotals {
+  uint64_t Goals = 0, CacheHits = 0, Cuts = 0;
+  double WallMs = 0;
+
+  void add(const BatchAnalyzerRecord &Rec) {
+    Goals += Rec.Stats.Goals;
+    CacheHits += Rec.Stats.CacheHits;
+    Cuts += Rec.Stats.Cuts;
+    WallMs += Rec.WallMs;
+  }
+
+  void write(JsonWriter &W, const char *Key,
+             const BatchOptions &Opts) const {
+    W.key(Key).beginObject();
+    W.key("goals").value(Goals);
+    W.key("cacheHits").value(CacheHits);
+    W.key("cuts").value(Cuts);
+    if (Opts.IncludeTiming)
+      W.key("wallMs").value(WallMs);
+    W.endObject();
+  }
+};
+
+} // namespace
+
+std::vector<std::string> collectCorpus(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Files;
+  std::error_code Ec;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, Ec)) {
+    if (!E.is_regular_file())
+      continue;
+    if (E.path().extension() == ".scm")
+      Files.push_back(E.path().string());
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+BatchResult runBatch(
+    const std::vector<std::pair<std::string, std::string>> &NamedSources,
+    const BatchOptions &Opts) {
+  auto Start = std::chrono::steady_clock::now();
+  BatchResult R;
+  R.Programs.resize(NamedSources.size());
+
+  if (Opts.Threads <= 1) {
+    for (size_t I = 0; I < NamedSources.size(); ++I)
+      R.Programs[I] = dispatchOne(NamedSources[I].first,
+                                  NamedSources[I].second, Opts);
+  } else {
+    // One job per program; each writes only its own pre-sized slot.
+    ThreadPool Pool(Opts.Threads);
+    for (size_t I = 0; I < NamedSources.size(); ++I)
+      Pool.submit([I, &NamedSources, &Opts, &R] {
+        R.Programs[I] = dispatchOne(NamedSources[I].first,
+                                    NamedSources[I].second, Opts);
+      });
+    Pool.wait();
+  }
+
+  R.WallMs = elapsedMs(Start);
+  return R;
+}
+
+BatchResult runBatchFiles(const std::vector<std::string> &Files,
+                          const BatchOptions &Opts) {
+  std::vector<std::pair<std::string, std::string>> Sources;
+  Sources.reserve(Files.size());
+  for (const std::string &File : Files) {
+    std::ifstream In(File);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Name = std::filesystem::path(File).filename().string();
+    if (!In) {
+      // Surface the read failure as a per-program error so one bad path
+      // doesn't abort the whole corpus.
+      Sources.emplace_back(Name, "");
+    } else {
+      Sources.emplace_back(Name, Buf.str());
+    }
+  }
+  return runBatch(Sources, Opts);
+}
+
+std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schemaVersion").value(1);
+  W.key("domain").value(Opts.Domain);
+  W.key("dupBudget").value(static_cast<uint64_t>(Opts.DupBudget));
+  if (Opts.IncludeTiming) {
+    W.key("threads").value(static_cast<uint64_t>(Opts.Threads));
+    W.key("wallMs").value(R.WallMs);
+  }
+
+  LegTotals Direct, Semantic, Syntactic, Dup;
+  uint64_t Failures = 0;
+
+  W.key("programs").beginArray();
+  for (const BatchProgramResult &P : R.Programs) {
+    W.beginObject();
+    W.key("name").value(P.Name);
+    W.key("ok").value(P.Ok);
+    if (!P.Ok) {
+      ++Failures;
+      W.key("error").value(P.Error);
+      W.endObject();
+      continue;
+    }
+    W.key("nodes").value(P.Nodes);
+    writeAnalyzerRecord(W, "direct", P.Direct, Opts);
+    writeAnalyzerRecord(W, "semantic", P.Semantic, Opts);
+    writeAnalyzerRecord(W, "syntactic", P.Syntactic, Opts);
+    writeAnalyzerRecord(W, "dup", P.Dup, Opts);
+    W.endObject();
+    Direct.add(P.Direct);
+    Semantic.add(P.Semantic);
+    Syntactic.add(P.Syntactic);
+    Dup.add(P.Dup);
+  }
+  W.endArray();
+
+  W.key("totals").beginObject();
+  W.key("programs").value(static_cast<uint64_t>(R.Programs.size()));
+  W.key("failures").value(Failures);
+  Direct.write(W, "direct", Opts);
+  Semantic.write(W, "semantic", Opts);
+  Syntactic.write(W, "syntactic", Opts);
+  Dup.write(W, "dup", Opts);
+  W.endObject();
+
+  W.endObject();
+  return W.str();
+}
+
+} // namespace clients
+} // namespace cpsflow

@@ -1,0 +1,93 @@
+//===- clients/Batch.h - Parallel corpus driver -----------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch corpus driver behind `cpsflow batch <dir>`: analyze a corpus
+/// of programs with all four analyzers (direct, semantic-CPS,
+/// syntactic-CPS, bounded-dup), optionally in parallel, and render an
+/// aggregate JSON report suitable for BENCH_*.json trajectory tracking.
+///
+/// Parallelism model: analyses are per-program independent. Each worker
+/// job owns its program's Context, interners, and analyzers end to end;
+/// the only shared state is the pre-sized result vector, written at
+/// disjoint indices. Results are therefore bitwise-identical at every
+/// thread count; only the timing fields (and the reported thread count)
+/// vary, and batchJson can omit them (BatchOptions::IncludeTiming) so
+/// outputs can be compared across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_CLIENTS_BATCH_H
+#define CPSFLOW_CLIENTS_BATCH_H
+
+#include "analysis/Common.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace clients {
+
+/// Knobs for one batch run.
+struct BatchOptions {
+  /// Worker threads (>= 1). Results are identical at every value.
+  unsigned Threads = 1;
+  /// Numeric domain name: constant|unit|sign|parity|interval.
+  std::string Domain = "constant";
+  /// Duplication budget for the dup analyzer leg.
+  uint32_t DupBudget = 2;
+  /// Per-analyzer goal budget; corpus programs that blow past it report
+  /// budgetExhausted rather than stalling the batch.
+  uint64_t MaxGoals = 5'000'000;
+  /// When false, batchJson omits wall-time and thread-count fields so two
+  /// runs' outputs can be compared byte-for-byte.
+  bool IncludeTiming = true;
+};
+
+/// One analyzer leg of one program.
+struct BatchAnalyzerRecord {
+  std::string Answer; ///< Rendered final abstract value.
+  analysis::AnalyzerStats Stats;
+  double WallMs = 0;
+};
+
+/// All four analyzer legs of one program.
+struct BatchProgramResult {
+  std::string Name; ///< File base name (or caller-supplied label).
+  bool Ok = false;
+  std::string Error; ///< Parse/transform failure, when !Ok.
+  uint64_t Nodes = 0; ///< ANF term size.
+  BatchAnalyzerRecord Direct, Semantic, Syntactic, Dup;
+};
+
+/// A whole corpus run, program results in input order.
+struct BatchResult {
+  std::vector<BatchProgramResult> Programs;
+  double WallMs = 0; ///< Whole-batch wall time.
+};
+
+/// Program files (*.scm) under \p Dir, sorted by name for deterministic
+/// corpus order. Non-recursive.
+std::vector<std::string> collectCorpus(const std::string &Dir);
+
+/// Analyzes (name, source-text) pairs; see the file comment for the
+/// parallelism contract.
+BatchResult runBatch(
+    const std::vector<std::pair<std::string, std::string>> &NamedSources,
+    const BatchOptions &Opts);
+
+/// Reads \p Files and analyzes them.
+BatchResult runBatchFiles(const std::vector<std::string> &Files,
+                          const BatchOptions &Opts);
+
+/// Renders the aggregate JSON document (schema: see docs/CLI.md).
+std::string batchJson(const BatchResult &R, const BatchOptions &Opts);
+
+} // namespace clients
+} // namespace cpsflow
+
+#endif // CPSFLOW_CLIENTS_BATCH_H

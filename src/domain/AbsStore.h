@@ -21,6 +21,7 @@
 #include "support/Symbol.h"
 
 #include <cassert>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,15 @@ public:
   uint32_t of(Symbol S) const {
     auto It = Lookup.find(S);
     assert(It != Lookup.end() && "variable outside the analysis universe");
+    return It->second;
+  }
+
+  /// Single-lookup variant of contains+of for variables that may be
+  /// outside the universe.
+  std::optional<uint32_t> tryOf(Symbol S) const {
+    auto It = Lookup.find(S);
+    if (It == Lookup.end())
+      return std::nullopt;
     return It->second;
   }
 

@@ -1,0 +1,176 @@
+//===- domain/StoreInterner.h - Hash-consed abstract stores -----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consing for abstract stores. One analysis run interns every
+/// distinct store it ever constructs exactly once and thereafter names it
+/// by a dense 32-bit StoreId. The analyzers' memo/active keys become
+/// (node pointer, StoreId) — O(1) to build, hash, and compare — instead
+/// of carrying a full dense store that is copied and rehashed O(|vars|)
+/// at every proof goal.
+///
+/// Updates go through a copy-on-write join: `joinAt` returns the parent
+/// id unchanged when the join does not move the slot (the common case in
+/// the fixpoint tail of a run), and otherwise copies once, patches the
+/// slot, and re-interns. The store hash is a *commutative* sum of
+/// per-slot contributions (support/Hashing.h `hashSlot`), so a one-slot
+/// update adjusts the hash in O(1) rather than rescanning the store.
+///
+/// Lifetime: an interner belongs to a single analyzer instance (the
+/// analyzers are single-use) and owns every store it hands out; ids are
+/// only meaningful against the interner that produced them. Interned
+/// entries live in a deque, so `store()` references stay stable as the
+/// table grows. Nothing is shared across threads — the batch driver
+/// gives each worker its own Context and analyzers, hence its own
+/// interners.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_DOMAIN_STOREINTERNER_H
+#define CPSFLOW_DOMAIN_STOREINTERNER_H
+
+#include "domain/AbsStore.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <utility>
+
+namespace cpsflow {
+namespace domain {
+
+/// A dense name for an interned store. Only meaningful together with the
+/// StoreInterner that produced it; equal ids mean equal stores.
+using StoreId = uint32_t;
+
+/// Hash-consing table for AbsStore<V> values. See the file comment.
+template <typename V> class StoreInterner {
+public:
+  using StoreT = AbsStore<V>;
+
+  StoreInterner() : Dedup(16, IdHash{this}, IdEq{this}) {}
+
+  /// (Re)initializes the table for a universe of \p NumVars variables and
+  /// interns the all-bottom store as id 0.
+  void reset(size_t NumVars) {
+    Entries.clear();
+    Dedup.clear();
+    Vars = NumVars;
+    BottomId = intern(StoreT(NumVars));
+    assert(BottomId == 0 && "bottom store must be the first entry");
+  }
+
+  /// The all-bottom store of this universe.
+  StoreId bottom() const { return BottomId; }
+
+  /// Number of distinct stores interned so far.
+  size_t size() const { return Entries.size(); }
+
+  /// The dense store named by \p Id. The reference is stable for the
+  /// interner's lifetime.
+  const StoreT &store(StoreId Id) const {
+    assert(Id < Entries.size() && "unknown store id");
+    return Entries[Id].Store;
+  }
+
+  /// Precomputed hash of the store named by \p Id.
+  uint64_t hashOf(StoreId Id) const {
+    assert(Id < Entries.size() && "unknown store id");
+    return Entries[Id].Hash;
+  }
+
+  /// Slot read through the id, the analyzers' phi accessor.
+  const V &get(StoreId Id, uint32_t Slot) const { return store(Id).get(Slot); }
+
+  /// Interns a dense store, returning the id of the canonical copy.
+  StoreId intern(StoreT S) {
+    uint64_t H = storeHash(S);
+    return internWithHash(std::move(S), H);
+  }
+
+  /// sigma[x := sigma(x) join U], copy-on-write: when the join does not
+  /// move the slot the parent id is returned as-is (no copy, no hashing);
+  /// otherwise the store is copied once and the hash patched in O(1).
+  StoreId joinAt(StoreId Base, uint32_t Slot, const V &U) {
+    const Entry &E = Entries[Base];
+    const V &Old = E.Store.get(Slot);
+    V Joined = V::join(Old, U);
+    if (Joined == Old)
+      return Base;
+    uint64_t H = E.Hash - hashSlot(Slot, Old.hashValue()) +
+                 hashSlot(Slot, Joined.hashValue());
+    StoreT S = E.Store;
+    S.set(Slot, std::move(Joined));
+    return internWithHash(std::move(S), H);
+  }
+
+  /// Pointwise join of two interned stores. Equal ids and joins against
+  /// bottom are O(1); a genuine join costs one dense scan plus interning.
+  StoreId join(StoreId A, StoreId B) {
+    if (A == B)
+      return A;
+    if (A == BottomId)
+      return B;
+    if (B == BottomId)
+      return A;
+    return intern(StoreT::join(store(A), store(B)));
+  }
+
+private:
+  struct Entry {
+    StoreT Store;
+    uint64_t Hash;
+  };
+
+  /// Commutative full-store hash; must agree with the incremental update
+  /// in joinAt.
+  uint64_t storeHash(const StoreT &S) const {
+    uint64_t H = 0xab5;
+    for (uint32_t I = 0; I < S.size(); ++I)
+      H += hashSlot(I, S.get(I).hashValue());
+    return H;
+  }
+
+  StoreId internWithHash(StoreT S, uint64_t H) {
+    assert(S.size() == Vars && "store from a different universe");
+    // Lazy lookup: tentatively append, then dedup by id. Deques keep
+    // references to other entries stable across the push/pop.
+    Entries.push_back(Entry{std::move(S), H});
+    StoreId Id = static_cast<StoreId>(Entries.size() - 1);
+    auto [It, Inserted] = Dedup.insert(Id);
+    if (!Inserted) {
+      Entries.pop_back();
+      return *It;
+    }
+    return Id;
+  }
+
+  struct IdHash {
+    const StoreInterner *In;
+    size_t operator()(StoreId Id) const { return In->Entries[Id].Hash; }
+  };
+  struct IdEq {
+    const StoreInterner *In;
+    bool operator()(StoreId A, StoreId B) const {
+      if (A == B)
+        return true;
+      const Entry &EA = In->Entries[A], &EB = In->Entries[B];
+      return EA.Hash == EB.Hash && EA.Store == EB.Store;
+    }
+  };
+
+  size_t Vars = 0;
+  StoreId BottomId = 0;
+  std::deque<Entry> Entries;
+  std::unordered_set<StoreId, IdHash, IdEq> Dedup;
+};
+
+} // namespace domain
+} // namespace cpsflow
+
+#endif // CPSFLOW_DOMAIN_STOREINTERNER_H

@@ -41,6 +41,14 @@ inline uint64_t hashPointer(const void *P) {
   return mix64(reinterpret_cast<uintptr_t>(P));
 }
 
+/// Position-salted slot contribution for *commutative* array hashing:
+/// the full hash is the plain sum of the slots' contributions, so a
+/// single-slot update is patched in O(1) as H' = H - old + new instead of
+/// rescanning (domain/StoreInterner.h relies on this).
+inline uint64_t hashSlot(uint32_t Index, uint64_t ValueHash) {
+  return mix64(ValueHash + 0x9e3779b97f4a7c15ull * (Index + 1));
+}
+
 } // namespace cpsflow
 
 #endif // CPSFLOW_SUPPORT_HASHING_H

@@ -92,6 +92,13 @@ public:
     return *this;
   }
   JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+  JsonWriter &value(double V) {
+    comma();
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+    Out << Buf;
+    return *this;
+  }
   JsonWriter &value(bool V) {
     comma();
     Out << (V ? "true" : "false");

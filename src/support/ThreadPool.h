@@ -1,0 +1,112 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool for embarrassingly parallel batch work
+/// (the corpus driver and the multi-threaded benches). Jobs are opaque
+/// closures; there is no work stealing, no priorities, and no futures —
+/// callers index results into pre-sized slots and call wait().
+///
+/// Jobs must not share mutable state unless they synchronize themselves;
+/// the intended pattern is one independent job per corpus program, each
+/// with its own Context and analyzers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_THREADPOOL_H
+#define CPSFLOW_SUPPORT_THREADPOOL_H
+
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpsflow {
+
+/// Fixed-size worker pool. See the file comment.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (clamped to at least one).
+  explicit ThreadPool(unsigned Threads) {
+    if (Threads == 0)
+      Threads = 1;
+    Workers.reserve(Threads);
+    for (unsigned I = 0; I < Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      ShuttingDown = true;
+    }
+    WakeWorkers.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues \p Job. Safe to call from any thread (including from inside
+  /// a job).
+  void submit(std::function<void()> Job) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      assert(!ShuttingDown && "submit after destruction began");
+      Queue.push_back(std::move(Job));
+      ++Outstanding;
+    }
+    WakeWorkers.notify_one();
+  }
+
+  /// Blocks until every submitted job has finished running.
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    Idle.wait(Lock, [this] { return Outstanding == 0; });
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Job;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        WakeWorkers.wait(Lock,
+                         [this] { return ShuttingDown || !Queue.empty(); });
+        if (Queue.empty())
+          return; // shutting down and drained
+        Job = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Job();
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        if (--Outstanding == 0)
+          Idle.notify_all();
+      }
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable WakeWorkers;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  size_t Outstanding = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_THREADPOOL_H

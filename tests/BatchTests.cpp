@@ -1,0 +1,118 @@
+//===- tests/BatchTests.cpp - Batch corpus driver ---------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel corpus driver: the committed examples/corpus programs all
+/// analyze, results and rendered JSON are identical at every thread count
+/// (the driver's central contract), and per-program failures are isolated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "clients/Batch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#ifndef CPSFLOW_SOURCE_DIR
+#error "tests require CPSFLOW_SOURCE_DIR"
+#endif
+
+using namespace cpsflow;
+using namespace cpsflow::clients;
+
+namespace {
+
+std::string corpusDir() {
+  return std::string(CPSFLOW_SOURCE_DIR) + "/examples/corpus";
+}
+
+TEST(Batch, CollectCorpusFindsCommittedPrograms) {
+  std::vector<std::string> Files = collectCorpus(corpusDir());
+  EXPECT_GE(Files.size(), 8u);
+  // Sorted for deterministic corpus order.
+  EXPECT_TRUE(std::is_sorted(Files.begin(), Files.end()));
+}
+
+TEST(Batch, CommittedCorpusAnalyzesClean) {
+  BatchOptions Opts;
+  BatchResult R = runBatchFiles(collectCorpus(corpusDir()), Opts);
+  for (const BatchProgramResult &P : R.Programs) {
+    EXPECT_TRUE(P.Ok) << P.Name << ": " << P.Error;
+    EXPECT_GT(P.Nodes, 0u) << P.Name;
+    // Every leg ran to the paper-defined budget-free end.
+    EXPECT_FALSE(P.Direct.Stats.BudgetExhausted) << P.Name;
+    EXPECT_GT(P.Direct.Stats.Goals, 0u) << P.Name;
+    EXPECT_GT(P.Semantic.Stats.Goals, 0u) << P.Name;
+    EXPECT_GT(P.Syntactic.Stats.Goals, 0u) << P.Name;
+    EXPECT_GT(P.Dup.Stats.Goals, 0u) << P.Name;
+  }
+}
+
+TEST(Batch, ThreadCountDoesNotChangeResults) {
+  std::vector<std::string> Files = collectCorpus(corpusDir());
+  BatchOptions Opts;
+  Opts.IncludeTiming = false; // timing-free JSON compares byte-for-byte
+
+  Opts.Threads = 1;
+  std::string Sequential = batchJson(runBatchFiles(Files, Opts), Opts);
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    Opts.Threads = Threads;
+    std::string Parallel = batchJson(runBatchFiles(Files, Opts), Opts);
+    EXPECT_EQ(Sequential, Parallel) << "threads=" << Threads;
+  }
+}
+
+TEST(Batch, FailuresAreIsolatedPerProgram) {
+  std::vector<std::pair<std::string, std::string>> Sources = {
+      {"good", "(add1 1)"},
+      {"bad", "(let (x"},
+      {"alsogood", "(if0 0 1 2)"},
+  };
+  BatchOptions Opts;
+  BatchResult R = runBatch(Sources, Opts);
+  ASSERT_EQ(R.Programs.size(), 3u);
+  EXPECT_TRUE(R.Programs[0].Ok);
+  EXPECT_FALSE(R.Programs[1].Ok);
+  EXPECT_FALSE(R.Programs[1].Error.empty());
+  EXPECT_TRUE(R.Programs[2].Ok);
+
+  // The report carries the failure and still aggregates the successes.
+  std::string Json = batchJson(R, Opts);
+  EXPECT_NE(Json.find("\"failures\":1"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"ok\":false"), std::string::npos) << Json;
+}
+
+TEST(Batch, JsonSchemaBasics) {
+  BatchOptions Opts;
+  Opts.Threads = 3;
+  BatchResult R = runBatch({{"p", "(add1 41)"}}, Opts);
+  std::string Json = batchJson(R, Opts);
+  EXPECT_NE(Json.find("\"schemaVersion\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"domain\":\"constant\""), std::string::npos);
+  EXPECT_NE(Json.find("\"threads\":3"), std::string::npos);
+  EXPECT_NE(Json.find("\"wallMs\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"direct\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"dup\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"answer\":\"(42"), std::string::npos) << Json;
+
+  Opts.IncludeTiming = false;
+  std::string Bare = batchJson(R, Opts);
+  EXPECT_EQ(Bare.find("\"wallMs\":"), std::string::npos) << Bare;
+  EXPECT_EQ(Bare.find("\"threads\":"), std::string::npos) << Bare;
+}
+
+TEST(Batch, OtherDomainsRun) {
+  for (const char *Domain : {"unit", "sign", "parity", "interval"}) {
+    BatchOptions Opts;
+    Opts.Domain = Domain;
+    BatchResult R = runBatch({{"p", "(add1 (sub1 7))"}}, Opts);
+    ASSERT_EQ(R.Programs.size(), 1u);
+    EXPECT_TRUE(R.Programs[0].Ok) << Domain << ": " << R.Programs[0].Error;
+  }
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===- tests/StoreInternerTests.cpp - Hash-consed stores --------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for domain::StoreInterner: canonicalization (equal stores
+/// get equal ids), the copy-on-write joinAt fast path, agreement between
+/// the incremental hash patch and the full-store hash, and the join fast
+/// paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "domain/AbsValue.h"
+#include "domain/NumDomain.h"
+#include "domain/StoreInterner.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpsflow;
+using namespace cpsflow::domain;
+using CD = ConstantDomain;
+using Val = AbsVal<CD>;
+using Interner = StoreInterner<Val>;
+using StoreT = AbsStore<Val>;
+
+namespace {
+
+Val num(int64_t N) { return Val::number(CD::constant(N)); }
+
+TEST(StoreInterner, BottomIsIdZero) {
+  Interner In;
+  In.reset(4);
+  EXPECT_EQ(In.bottom(), 0u);
+  EXPECT_EQ(In.size(), 1u);
+  EXPECT_EQ(In.store(In.bottom()), StoreT(4));
+}
+
+TEST(StoreInterner, EqualStoresGetEqualIds) {
+  Interner In;
+  In.reset(3);
+  StoreT A(3), B(3);
+  A.set(1, num(7));
+  B.set(1, num(7));
+  StoreId IdA = In.intern(A);
+  StoreId IdB = In.intern(B);
+  EXPECT_EQ(IdA, IdB);
+  EXPECT_EQ(In.size(), 2u); // bottom + one distinct store
+
+  StoreT C(3);
+  C.set(1, num(8));
+  EXPECT_NE(In.intern(C), IdA);
+  EXPECT_EQ(In.size(), 3u);
+}
+
+TEST(StoreInterner, JoinAtIsCopyOnWrite) {
+  Interner In;
+  In.reset(3);
+  StoreId Base = In.joinAt(In.bottom(), 0, num(5));
+  EXPECT_NE(Base, In.bottom());
+
+  // A join that does not move the slot must return the parent id with no
+  // new entry interned.
+  size_t Before = In.size();
+  EXPECT_EQ(In.joinAt(Base, 0, num(5)), Base);
+  EXPECT_EQ(In.joinAt(Base, 0, Val::bot()), Base);
+  EXPECT_EQ(In.size(), Before);
+
+  // A moving join produces a new id whose dense store is the expected
+  // slot-wise join (5 join 6 = numeric top in the constant domain).
+  StoreId Moved = In.joinAt(Base, 0, num(6));
+  EXPECT_NE(Moved, Base);
+  EXPECT_EQ(In.get(Moved, 0), Val::number(CD::top()));
+  // ... and the parent is untouched.
+  EXPECT_EQ(In.get(Base, 0), num(5));
+}
+
+TEST(StoreInterner, IncrementalHashMatchesFullHash) {
+  // Reaching the same store by joinAt chains (incremental hash) and by
+  // interning the dense store (full hash) must collapse to one id — this
+  // is what the Dedup set's hash lookup relies on.
+  Interner In;
+  In.reset(8);
+  StoreId Cur = In.bottom();
+  StoreT Dense(8);
+  for (uint32_t I = 0; I < 8; ++I) {
+    Cur = In.joinAt(Cur, I, num(static_cast<int64_t>(I)));
+    Dense.set(I, num(static_cast<int64_t>(I)));
+  }
+  EXPECT_EQ(In.intern(Dense), Cur);
+  EXPECT_EQ(In.hashOf(Cur), In.hashOf(In.intern(Dense)));
+}
+
+TEST(StoreInterner, JoinFastPaths) {
+  Interner In;
+  In.reset(2);
+  StoreId A = In.joinAt(In.bottom(), 0, num(1));
+  StoreId B = In.joinAt(In.bottom(), 1, num(2));
+
+  EXPECT_EQ(In.join(A, A), A);
+  EXPECT_EQ(In.join(A, In.bottom()), A);
+  EXPECT_EQ(In.join(In.bottom(), B), B);
+
+  StoreId AB = In.join(A, B);
+  EXPECT_EQ(In.get(AB, 0), num(1));
+  EXPECT_EQ(In.get(AB, 1), num(2));
+  // Joining is idempotent and canonical: recomputing gives the same id.
+  EXPECT_EQ(In.join(A, B), AB);
+  EXPECT_EQ(In.join(B, A), AB);
+}
+
+TEST(StoreInterner, ResetClearsTheUniverse) {
+  Interner In;
+  In.reset(2);
+  In.joinAt(In.bottom(), 0, num(1));
+  EXPECT_EQ(In.size(), 2u);
+  In.reset(5);
+  EXPECT_EQ(In.size(), 1u);
+  EXPECT_EQ(In.bottom(), 0u);
+  EXPECT_EQ(In.store(In.bottom()).size(), 5u);
+}
+
+} // namespace

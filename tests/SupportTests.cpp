@@ -9,11 +9,14 @@
 #include "support/Result.h"
 #include "support/Rng.h"
 #include "support/Symbol.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <string>
+#include <vector>
 
 using namespace cpsflow;
 
@@ -152,6 +155,57 @@ TEST(Result, TakeMoves) {
 TEST(SourceLoc, Rendering) {
   EXPECT_EQ(SourceLoc{}.str(), "<unknown>");
   EXPECT_EQ((SourceLoc{2, 5}).str(), "2:5");
+}
+
+TEST(Hashing, SlotHashIsCommutativelySummable) {
+  // The interner's store hash is the plain sum of hashSlot contributions,
+  // so a one-slot update must be patchable as H - old + new.
+  uint64_t H = hashSlot(0, 11) + hashSlot(1, 22) + hashSlot(2, 33);
+  uint64_t Patched = H - hashSlot(1, 22) + hashSlot(1, 99);
+  uint64_t Direct = hashSlot(0, 11) + hashSlot(1, 99) + hashSlot(2, 33);
+  EXPECT_EQ(Patched, Direct);
+  // Position matters: the same value in different slots contributes
+  // differently (stores are not multisets).
+  EXPECT_NE(hashSlot(0, 7), hashSlot(1, 7));
+}
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  constexpr int Jobs = 200;
+  std::vector<int> Hits(Jobs, 0);
+  {
+    ThreadPool Pool(4);
+    EXPECT_EQ(Pool.threadCount(), 4u);
+    for (int I = 0; I < Jobs; ++I)
+      Pool.submit([I, &Hits] { Hits[I] += 1; });
+    Pool.wait();
+    for (int I = 0; I < Jobs; ++I)
+      EXPECT_EQ(Hits[I], 1) << I;
+
+    // The pool is reusable after a wait().
+    Pool.submit([&Hits] { Hits[0] += 1; });
+    Pool.wait();
+    EXPECT_EQ(Hits[0], 2);
+  }
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsClampsToOne) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+  std::atomic<int> Ran{0};
+  Pool.submit([&Ran] { ++Ran; });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 50; ++I)
+      Pool.submit([&Ran] { ++Ran; });
+    // No wait(): destruction must still run everything already queued.
+  }
+  EXPECT_EQ(Ran.load(), 50);
 }
 
 } // namespace

@@ -30,16 +30,10 @@
 /// are memoized; results that depended on a cut through an enclosing goal
 /// are provisional and are not cached (they are not context-independent).
 ///
-/// Stores are hash-consed in a per-run StoreInterner: evaluation, the
-/// memo table, and the active path all name stores by StoreId, so a goal
-/// key is (node pointer, id) — O(1) to build, hash, and compare — and
-/// sigma updates are copy-on-write joins that reuse the parent store when
-/// nothing moved. Dense stores appear only at the run() boundary.
-///
 //===----------------------------------------------------------------------===//
 
-#ifndef CPSFLOW_ANALYSIS_DIRECTANALYZER_H
-#define CPSFLOW_ANALYSIS_DIRECTANALYZER_H
+#ifndef CPSFLOW_TESTS_REFERENCE_REF_DIRECTANALYZER_H
+#define CPSFLOW_TESTS_REFERENCE_REF_DIRECTANALYZER_H
 
 #include "analysis/Cfg.h"
 #include "analysis/Common.h"
@@ -47,7 +41,6 @@
 #include "anf/Anf.h"
 #include "domain/AbsStore.h"
 #include "domain/AbsValue.h"
-#include "domain/StoreInterner.h"
 #include "syntax/Analysis.h"
 #include "syntax/Ast.h"
 #include "syntax/Printer.h"
@@ -62,36 +55,22 @@
 #include <vector>
 
 namespace cpsflow {
-namespace analysis {
+namespace refimpl {
 
-/// One entry of the initial abstract store (e.g. Theorem 5.1 binds f to
-/// the identity closure, z to T).
-template <typename D> struct DirectBinding {
-  Symbol Var;
-  domain::AbsVal<D> Value;
-};
+using analysis::AnswerOf;
+using analysis::directVariableUniverse;
+using analysis::directClosureUniverse;
+using analysis::AnalyzerOptions;
+using analysis::AnalyzerStats;
+using analysis::BranchInfo;
+using analysis::DirectBinding;
+using analysis::DirectCfg;
+using analysis::DirectResult;
 
-/// Result of a Figure 4 run.
-template <typename D> struct DirectResult {
-  using Val = domain::AbsVal<D>;
-
-  AnswerOf<Val> Answer;
-  AnalyzerStats Stats;
-  DirectCfg Cfg;
-  std::shared_ptr<domain::VarIndex> Vars;
-
-  /// The final abstract store entry of \p X (bottom if outside the
-  /// universe).
-  Val valueOf(Symbol X) const {
-    if (auto I = Vars->tryOf(X))
-      return Answer.Store.get(*I);
-    return Val::bot();
-  }
-};
 
 /// The Figure 4 analyzer, parameterized by the numeric domain \p D
 /// (domain/NumDomain.h). Single-use: construct and call run() once.
-template <typename D> class DirectAnalyzer {
+template <typename D> class RefDirectAnalyzer {
 public:
   using Val = domain::AbsVal<D>;
   using StoreT = domain::AbsStore<Val>;
@@ -99,7 +78,7 @@ public:
 
   /// \pre \p Program is in A-normal form with unique binders; the lambdas
   /// referenced by \p Initial use binders disjoint from \p Program's.
-  DirectAnalyzer(const Context &Ctx, const syntax::Term *Program,
+  RefDirectAnalyzer(const Context &Ctx, const syntax::Term *Program,
                  std::vector<DirectBinding<D>> Initial = {},
                  AnalyzerOptions Opts = AnalyzerOptions())
       : Ctx(Ctx), Program(Program), Initial(std::move(Initial)), Opts(Opts) {
@@ -116,21 +95,18 @@ public:
     Vars = std::make_shared<domain::VarIndex>(
         directVariableUniverse(Program, ExtraLams, ExtraVars));
     CloTop = directClosureUniverse(Program, ExtraLams);
-    Interner.reset(Vars->size());
   }
 
   /// Runs the analysis from the initial store.
   DirectResult<D> run() {
-    domain::StoreId Sigma0 = Interner.bottom();
+    StoreT Sigma0(Vars->size());
     for (const DirectBinding<D> &B : Initial)
-      Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+      Sigma0.joinAt(Vars->of(B.Var), B.Value);
 
     EvalOut Out = evalTerm(Program, Sigma0, 0);
 
     DirectResult<D> R;
-    R.Answer = Out.A ? Answer{std::move(Out.A->Value),
-                              Interner.store(Out.A->Store)}
-                     : Answer{Val::bot(), StoreT(Vars->size())};
+    R.Answer = Out.A ? std::move(*Out.A) : bottomAnswer();
     R.Stats = Stats;
     R.Cfg = std::move(Cfg);
     R.Vars = Vars;
@@ -141,14 +117,9 @@ public:
   /// lambdas plus inc and dec), used for the Section 4.4 cut-off value.
   const domain::CloSet &closureUniverse() const { return CloTop; }
 
-  /// The run's hash-consing table (observability: distinct stores seen).
-  const domain::StoreInterner<Val> &interner() const { return Interner; }
-
 private:
   static constexpr uint32_t Unconstrained =
       std::numeric_limits<uint32_t>::max();
-
-  using IAns = InternedAnswerOf<Val>;
 
   /// An answer plus the shallowest active ancestor the subderivation was
   /// cut against (Unconstrained if none — then the answer is
@@ -159,43 +130,51 @@ private:
   /// the CPS analyzers, where a dead path simply never reaches its
   /// continuation.
   struct EvalOut {
-    std::optional<IAns> A;
+    std::optional<Answer> A;
     uint32_t MinDep;
   };
 
   struct Key {
     const void *Node;
-    domain::StoreId Store;
-
-    friend bool operator==(const Key &A, const Key &B) {
+    StoreT Store;
+    uint64_t H;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.H; }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
       return A.Node == B.Node && A.Store == B.Store;
     }
   };
-  struct KeyHash {
-    size_t operator()(const Key &K) const {
-      uint64_t H = hashPointer(K.Node);
-      hashCombine(H, K.Store);
-      return H;
-    }
-  };
+
+  Key makeKey(const void *Node, const StoreT &Sigma) const {
+    uint64_t H = hashPointer(Node);
+    hashCombine(H, Sigma.hashValue());
+    return Key{Node, Sigma, H};
+  }
+
+  Answer bottomAnswer() const {
+    return Answer{Val::bot(), StoreT(Vars->size())};
+  }
 
   /// The Section 4.4 cut-off: the least precise value with the current
   /// store.
-  IAns cutAnswer(domain::StoreId Sigma) const {
+  Answer cutAnswer(const StoreT &Sigma) const {
     Val V;
     V.Num = D::top();
     V.Clos = CloTop;
-    return IAns{std::move(V), Sigma};
+    return Answer{std::move(V), Sigma};
   }
 
   // phi_e of Figure 4.
-  Val phi(const syntax::Value *V, domain::StoreId Sigma) const {
+  Val phi(const syntax::Value *V, const StoreT &Sigma) const {
     using namespace syntax;
     switch (V->kind()) {
     case ValueKind::VK_Num:
       return Val::number(D::constant(cast<NumValue>(V)->value()));
     case ValueKind::VK_Var:
-      return Interner.get(Sigma, Vars->of(cast<VarValue>(V)->name()));
+      return Sigma.get(Vars->of(cast<VarValue>(V)->name()));
     case ValueKind::VK_Prim:
       return Val::closures(domain::CloSet::single(
           cast<PrimValue>(V)->op() == PrimOp::Add1 ? domain::CloRef::inc()
@@ -208,7 +187,7 @@ private:
     return Val::bot();
   }
 
-  EvalOut evalTerm(const syntax::Term *T, domain::StoreId Sigma,
+  EvalOut evalTerm(const syntax::Term *T, const StoreT &Sigma,
                    uint32_t Depth) {
     if (Stats.BudgetExhausted)
       return EvalOut{cutAnswer(Sigma), 0};
@@ -219,7 +198,7 @@ private:
     }
     Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
 
-    Key K{T, Sigma};
+    Key K = makeKey(T, Sigma);
     if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
       ++Stats.CacheHits;
       return EvalOut{It->second, Unconstrained};
@@ -249,19 +228,20 @@ private:
     }
     if (Out.MinDep >= Depth && !Stats.BudgetExhausted) {
       if (Opts.UseMemo)
-        Memo.emplace(K, Out.A);
+        Memo.emplace(std::move(K), Out.A);
       Out.MinDep = Unconstrained;
     }
     return Out;
   }
 
-  EvalOut evalUncached(const syntax::Term *T, domain::StoreId Sigma,
+  EvalOut evalUncached(const syntax::Term *T, const StoreT &Sigma,
                        uint32_t Depth) {
     using namespace syntax;
 
     // (V, sigma) M_e ((phi_e(V, sigma), sigma)).
     if (const auto *VT = dyn_cast<ValueTerm>(T))
-      return EvalOut{IAns{phi(VT->value(), Sigma), Sigma}, Unconstrained};
+      return EvalOut{Answer{phi(VT->value(), Sigma), Sigma},
+                     Unconstrained};
 
     const auto *Let = cast<LetTerm>(T);
     const Term *Bound = Let->bound();
@@ -271,7 +251,8 @@ private:
     case TermKind::TK_Value: {
       // (let (x V) M): continue with sigma[x := sigma(x) join u].
       Val U = phi(cast<ValueTerm>(Bound)->value(), Sigma);
-      domain::StoreId S = Interner.joinAt(Sigma, X, U);
+      StoreT S = Sigma;
+      S.joinAt(X, U);
       return evalTerm(Let->body(), S, Depth + 1);
     }
 
@@ -291,20 +272,20 @@ private:
         return EvalOut{std::nullopt, Unconstrained};
       }
 
-      std::optional<IAns> Acc;
+      std::optional<Answer> Acc;
       uint32_t MinDep = Unconstrained;
       for (const domain::CloRef &C : Fun.Clos) {
-        std::optional<IAns> Ai;
+        std::optional<Answer> Ai;
         switch (C.Tag) {
         case domain::CloRef::K::Inc:
-          Ai = IAns{Val::number(D::add1(Arg.Num)), Sigma};
+          Ai = Answer{Val::number(D::add1(Arg.Num)), Sigma};
           break;
         case domain::CloRef::K::Dec:
-          Ai = IAns{Val::number(D::sub1(Arg.Num)), Sigma};
+          Ai = Answer{Val::number(D::sub1(Arg.Num)), Sigma};
           break;
         case domain::CloRef::K::Lam: {
-          domain::StoreId S =
-              Interner.joinAt(Sigma, Vars->of(C.Lam->param()), Arg);
+          StoreT S = Sigma;
+          S.joinAt(Vars->of(C.Lam->param()), Arg);
           EvalOut R = evalTerm(C.Lam->body(), S, Depth + 1);
           Ai = std::move(R.A);
           MinDep = std::min(MinDep, R.MinDep);
@@ -312,12 +293,13 @@ private:
         }
         }
         if (Ai)
-          Acc = Acc ? joinAnswers(Interner, *Acc, *Ai) : std::move(*Ai);
+          Acc = Acc ? Answer::join(*Acc, *Ai) : std::move(*Ai);
       }
       if (!Acc)
         return EvalOut{std::nullopt, MinDep}; // every callee path died
 
-      domain::StoreId S = Interner.joinAt(Acc->Store, X, Acc->Value);
+      StoreT S = std::move(Acc->Store);
+      S.joinAt(X, Acc->Value);
       EvalOut Body = evalTerm(Let->body(), S, Depth + 1);
       Body.MinDep = std::min(Body.MinDep, MinDep);
       return Body;
@@ -346,7 +328,8 @@ private:
         EvalOut Bi = evalTerm(Branch, Sigma, Depth + 1);
         if (!Bi.A)
           return EvalOut{std::nullopt, Bi.MinDep};
-        domain::StoreId S = Interner.joinAt(Bi.A->Store, X, Bi.A->Value);
+        StoreT S = std::move(Bi.A->Store);
+        S.joinAt(X, Bi.A->Value);
         EvalOut Body = evalTerm(Let->body(), S, Depth + 1);
         Body.MinDep = std::min(Body.MinDep, Bi.MinDep);
         return Body;
@@ -355,16 +338,17 @@ private:
       EvalOut B1 = evalTerm(If->thenBranch(), Sigma, Depth + 1);
       EvalOut B2 = evalTerm(If->elseBranch(), Sigma, Depth + 1);
       uint32_t MinDep = std::min(B1.MinDep, B2.MinDep);
-      std::optional<IAns> Joined;
+      std::optional<Answer> Joined;
       if (B1.A && B2.A)
-        Joined = joinAnswers(Interner, *B1.A, *B2.A);
+        Joined = Answer::join(*B1.A, *B2.A);
       else if (B1.A)
         Joined = std::move(B1.A);
       else if (B2.A)
         Joined = std::move(B2.A);
       if (!Joined)
         return EvalOut{std::nullopt, MinDep}; // both branches died
-      domain::StoreId S = Interner.joinAt(Joined->Store, X, Joined->Value);
+      StoreT S = std::move(Joined->Store);
+      S.joinAt(X, Joined->Value);
       EvalOut Body = evalTerm(Let->body(), S, Depth + 1);
       Body.MinDep = std::min(Body.MinDep, MinDep);
       return Body;
@@ -373,8 +357,8 @@ private:
     case TermKind::TK_Loop: {
       // (loop, sigma) M_e (join_i (i, {}), sigma): computable exactly —
       // the join of all naturals is the domain's summary element.
-      domain::StoreId S =
-          Interner.joinAt(Sigma, X, Val::number(D::naturals()));
+      StoreT S = Sigma;
+      S.joinAt(X, Val::number(D::naturals()));
       return evalTerm(Let->body(), S, Depth + 1);
     }
 
@@ -393,15 +377,14 @@ private:
 
   std::shared_ptr<domain::VarIndex> Vars;
   domain::CloSet CloTop;
-  domain::StoreInterner<Val> Interner;
   AnalyzerStats Stats;
   DirectCfg Cfg;
 
-  std::unordered_map<Key, std::optional<IAns>, KeyHash> Memo;
-  std::unordered_map<Key, uint32_t, KeyHash> Active;
+  std::unordered_map<Key, std::optional<Answer>, KeyHash, KeyEq> Memo;
+  std::unordered_map<Key, uint32_t, KeyHash, KeyEq> Active;
 };
 
-} // namespace analysis
+} // namespace refimpl
 } // namespace cpsflow
 
-#endif // CPSFLOW_ANALYSIS_DIRECTANALYZER_H
+#endif // CPSFLOW_TESTS_REFERENCE_REF_DIRECTANALYZER_H

@@ -24,13 +24,10 @@
 ///  * The work factor is bounded by (max paths)^d instead of
 ///    (max paths)^(program size).
 ///
-/// Stores are hash-consed (domain/StoreInterner.h); goal keys are
-/// (node pointer, credit, StoreId), built and compared in O(1).
-///
 //======---------------------------------------------------------------===//
 
-#ifndef CPSFLOW_ANALYSIS_DUPANALYZER_H
-#define CPSFLOW_ANALYSIS_DUPANALYZER_H
+#ifndef CPSFLOW_TESTS_REFERENCE_REF_DUPANALYZER_H
+#define CPSFLOW_TESTS_REFERENCE_REF_DUPANALYZER_H
 
 #include "analysis/Cfg.h"
 #include "analysis/Common.h"
@@ -39,7 +36,6 @@
 #include "anf/Anf.h"
 #include "domain/AbsStore.h"
 #include "domain/AbsValue.h"
-#include "domain/StoreInterner.h"
 #include "syntax/Ast.h"
 
 #include <algorithm>
@@ -52,17 +48,28 @@
 #include <vector>
 
 namespace cpsflow {
-namespace analysis {
+namespace refimpl {
+
+using analysis::AnswerOf;
+using analysis::directVariableUniverse;
+using analysis::directClosureUniverse;
+using analysis::AnalyzerOptions;
+using analysis::AnalyzerStats;
+using analysis::BranchInfo;
+using analysis::DirectBinding;
+using analysis::DirectCfg;
+using analysis::DirectResult;
+
 
 /// The bounded-duplication analyzer. Single-use.
-template <typename D> class DupAnalyzer {
+template <typename D> class RefDupAnalyzer {
 public:
   using Val = domain::AbsVal<D>;
   using StoreT = domain::AbsStore<Val>;
   using Answer = AnswerOf<Val>;
 
   /// \p Budget is the duplication depth d described above.
-  DupAnalyzer(const Context &Ctx, const syntax::Term *Program,
+  RefDupAnalyzer(const Context &Ctx, const syntax::Term *Program,
               std::vector<DirectBinding<D>> Initial = {}, uint32_t Budget = 2,
               AnalyzerOptions Opts = AnalyzerOptions())
       : Ctx(Ctx), Program(Program), Initial(std::move(Initial)),
@@ -80,74 +87,74 @@ public:
     Vars = std::make_shared<domain::VarIndex>(
         directVariableUniverse(Program, ExtraLams, ExtraVars));
     CloTop = directClosureUniverse(Program, ExtraLams);
-    Interner.reset(Vars->size());
   }
 
   DirectResult<D> run() {
-    domain::StoreId Sigma0 = Interner.bottom();
+    StoreT Sigma0(Vars->size());
     for (const DirectBinding<D> &B : Initial)
-      Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+      Sigma0.joinAt(Vars->of(B.Var), B.Value);
 
     EvalOut Out = evalTerm(Program, Sigma0, Budget, 0);
 
     DirectResult<D> R;
-    R.Answer = Out.A ? Answer{std::move(Out.A->Value),
-                              Interner.store(Out.A->Store)}
-                     : Answer{Val::bot(), StoreT(Vars->size())};
+    R.Answer = Out.A ? std::move(*Out.A) : bottomAnswer();
     R.Stats = Stats;
     R.Cfg = std::move(Cfg);
     R.Vars = Vars;
     return R;
   }
 
-  /// The run's hash-consing table (observability: distinct stores seen).
-  const domain::StoreInterner<Val> &interner() const { return Interner; }
-
 private:
   static constexpr uint32_t Unconstrained =
       std::numeric_limits<uint32_t>::max();
 
-  using IAns = InternedAnswerOf<Val>;
-
   /// A disengaged answer means the goal is dead (join over zero paths);
   /// see DirectAnalyzer.
   struct EvalOut {
-    std::optional<IAns> A;
+    std::optional<Answer> A;
     uint32_t MinDep;
   };
 
   struct Key {
     const void *Node;
     uint32_t Credit;
-    domain::StoreId Store;
-
-    friend bool operator==(const Key &A, const Key &B) {
+    StoreT Store;
+    uint64_t H;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.H; }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
       return A.Node == B.Node && A.Credit == B.Credit && A.Store == B.Store;
     }
   };
-  struct KeyHash {
-    size_t operator()(const Key &K) const {
-      uint64_t H = hashPointer(K.Node);
-      hashCombine(H, K.Credit);
-      hashCombine(H, K.Store);
-      return H;
-    }
-  };
 
-  IAns cutAnswer(domain::StoreId Sigma) const {
+  Key makeKey(const void *Node, uint32_t Credit, const StoreT &Sigma) const {
+    uint64_t H = hashPointer(Node);
+    hashCombine(H, Credit);
+    hashCombine(H, Sigma.hashValue());
+    return Key{Node, Credit, Sigma, H};
+  }
+
+  Answer bottomAnswer() const {
+    return Answer{Val::bot(), StoreT(Vars->size())};
+  }
+
+  Answer cutAnswer(const StoreT &Sigma) const {
     Val V;
     V.Num = D::top();
     V.Clos = CloTop;
-    return IAns{std::move(V), Sigma};
+    return Answer{std::move(V), Sigma};
   }
 
-  Val phi(const syntax::Value *V, domain::StoreId Sigma) const {
+  Val phi(const syntax::Value *V, const StoreT &Sigma) const {
     using namespace syntax;
     switch (V->kind()) {
     case ValueKind::VK_Num:
       return Val::number(D::constant(cast<NumValue>(V)->value()));
     case ValueKind::VK_Var:
-      return Interner.get(Sigma, Vars->of(cast<VarValue>(V)->name()));
+      return Sigma.get(Vars->of(cast<VarValue>(V)->name()));
     case ValueKind::VK_Prim:
       return Val::closures(domain::CloSet::single(
           cast<PrimValue>(V)->op() == PrimOp::Add1 ? domain::CloRef::inc()
@@ -160,7 +167,7 @@ private:
     return Val::bot();
   }
 
-  EvalOut evalTerm(const syntax::Term *T, domain::StoreId Sigma,
+  EvalOut evalTerm(const syntax::Term *T, const StoreT &Sigma,
                    uint32_t Credit, uint32_t Depth) {
     if (Stats.BudgetExhausted)
       return EvalOut{cutAnswer(Sigma), 0};
@@ -171,14 +178,14 @@ private:
     }
     Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
 
-    Key K{T, Credit, Sigma};
+    Key K = makeKey(T, Credit, Sigma);
     if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
       ++Stats.CacheHits;
       return EvalOut{It->second, Unconstrained};
     }
     // The cut key deliberately ignores the credit: recursion through the
     // same (term, store) at any credit level is the same loop.
-    Key AKey{T, 0, Sigma};
+    Key AKey = makeKey(T, 0, Sigma);
     if (auto It = Active.find(AKey); It != Active.end()) {
       ++Stats.Cuts;
       return EvalOut{cutAnswer(Sigma), It->second};
@@ -189,18 +196,19 @@ private:
     Active.erase(AKey);
     if (Out.MinDep >= Depth && !Stats.BudgetExhausted) {
       if (Opts.UseMemo)
-        Memo.emplace(K, Out.A);
+        Memo.emplace(std::move(K), Out.A);
       Out.MinDep = Unconstrained;
     }
     return Out;
   }
 
-  EvalOut evalUncached(const syntax::Term *T, domain::StoreId Sigma,
+  EvalOut evalUncached(const syntax::Term *T, const StoreT &Sigma,
                        uint32_t Credit, uint32_t Depth) {
     using namespace syntax;
 
     if (const auto *VT = dyn_cast<ValueTerm>(T))
-      return EvalOut{IAns{phi(VT->value(), Sigma), Sigma}, Unconstrained};
+      return EvalOut{Answer{phi(VT->value(), Sigma), Sigma},
+                     Unconstrained};
 
     const auto *Let = cast<LetTerm>(T);
     const Term *Bound = Let->bound();
@@ -209,7 +217,8 @@ private:
     switch (Bound->kind()) {
     case TermKind::TK_Value: {
       Val U = phi(cast<ValueTerm>(Bound)->value(), Sigma);
-      domain::StoreId S = Interner.joinAt(Sigma, X, U);
+      StoreT S = Sigma;
+      S.joinAt(X, U);
       return evalTerm(Let->body(), S, Credit, Depth + 1);
     }
 
@@ -230,21 +239,21 @@ private:
       bool Duplicate = Credit > 0 && Fun.Clos.size() > 1;
       uint32_t SubCredit = Duplicate ? Credit - 1 : Credit;
 
-      std::optional<IAns> Acc;
+      std::optional<Answer> Acc;
       uint32_t MinDep = Unconstrained;
-      std::optional<IAns> BodyAcc; // used only when duplicating
+      std::optional<Answer> BodyAcc; // used only when duplicating
       for (const domain::CloRef &C : Fun.Clos) {
-        std::optional<IAns> Ai;
+        std::optional<Answer> Ai;
         switch (C.Tag) {
         case domain::CloRef::K::Inc:
-          Ai = IAns{Val::number(D::add1(Arg.Num)), Sigma};
+          Ai = Answer{Val::number(D::add1(Arg.Num)), Sigma};
           break;
         case domain::CloRef::K::Dec:
-          Ai = IAns{Val::number(D::sub1(Arg.Num)), Sigma};
+          Ai = Answer{Val::number(D::sub1(Arg.Num)), Sigma};
           break;
         case domain::CloRef::K::Lam: {
-          domain::StoreId S =
-              Interner.joinAt(Sigma, Vars->of(C.Lam->param()), Arg);
+          StoreT S = Sigma;
+          S.joinAt(Vars->of(C.Lam->param()), Arg);
           EvalOut R = evalTerm(C.Lam->body(), S, SubCredit, Depth + 1);
           Ai = std::move(R.A);
           MinDep = std::min(MinDep, R.MinDep);
@@ -255,14 +264,15 @@ private:
           continue; // this callee path died
         if (Duplicate) {
           // Continue the let-body separately on this path.
-          domain::StoreId S = Interner.joinAt(Ai->Store, X, Ai->Value);
+          StoreT S = std::move(Ai->Store);
+          S.joinAt(X, Ai->Value);
           EvalOut Body = evalTerm(Let->body(), S, SubCredit, Depth + 1);
           if (Body.A)
-            BodyAcc = BodyAcc ? joinAnswers(Interner, *BodyAcc, *Body.A)
+            BodyAcc = BodyAcc ? Answer::join(*BodyAcc, *Body.A)
                               : std::move(*Body.A);
           MinDep = std::min(MinDep, Body.MinDep);
         } else {
-          Acc = Acc ? joinAnswers(Interner, *Acc, *Ai) : std::move(*Ai);
+          Acc = Acc ? Answer::join(*Acc, *Ai) : std::move(*Ai);
         }
       }
 
@@ -271,7 +281,8 @@ private:
       if (!Acc)
         return EvalOut{std::nullopt, MinDep};
 
-      domain::StoreId S = Interner.joinAt(Acc->Store, X, Acc->Value);
+      StoreT S = std::move(Acc->Store);
+      S.joinAt(X, Acc->Value);
       EvalOut Body = evalTerm(Let->body(), S, Credit, Depth + 1);
       Body.MinDep = std::min(Body.MinDep, MinDep);
       return Body;
@@ -297,7 +308,8 @@ private:
         EvalOut Bi = evalTerm(Branch, Sigma, Credit, Depth + 1);
         if (!Bi.A)
           return EvalOut{std::nullopt, Bi.MinDep};
-        domain::StoreId S = Interner.joinAt(Bi.A->Store, X, Bi.A->Value);
+        StoreT S = std::move(Bi.A->Store);
+        S.joinAt(X, Bi.A->Value);
         EvalOut Body = evalTerm(Let->body(), S, Credit, Depth + 1);
         Body.MinDep = std::min(Body.MinDep, Bi.MinDep);
         return Body;
@@ -305,18 +317,18 @@ private:
 
       if (Credit > 0) {
         // Duplicate: each branch continues the body separately.
-        std::optional<IAns> Acc;
+        std::optional<Answer> Acc;
         uint32_t MinDep = Unconstrained;
         for (const Term *Branch : {If->thenBranch(), If->elseBranch()}) {
           EvalOut Bi = evalTerm(Branch, Sigma, Credit - 1, Depth + 1);
           MinDep = std::min(MinDep, Bi.MinDep);
           if (!Bi.A)
             continue;
-          domain::StoreId S = Interner.joinAt(Bi.A->Store, X, Bi.A->Value);
+          StoreT S = std::move(Bi.A->Store);
+          S.joinAt(X, Bi.A->Value);
           EvalOut Body = evalTerm(Let->body(), S, Credit - 1, Depth + 1);
           if (Body.A)
-            Acc = Acc ? joinAnswers(Interner, *Acc, *Body.A)
-                      : std::move(*Body.A);
+            Acc = Acc ? Answer::join(*Acc, *Body.A) : std::move(*Body.A);
           MinDep = std::min(MinDep, Body.MinDep);
         }
         return EvalOut{std::move(Acc), MinDep};
@@ -326,24 +338,25 @@ private:
       EvalOut B1 = evalTerm(If->thenBranch(), Sigma, Credit, Depth + 1);
       EvalOut B2 = evalTerm(If->elseBranch(), Sigma, Credit, Depth + 1);
       uint32_t MinDep = std::min(B1.MinDep, B2.MinDep);
-      std::optional<IAns> Joined;
+      std::optional<Answer> Joined;
       if (B1.A && B2.A)
-        Joined = joinAnswers(Interner, *B1.A, *B2.A);
+        Joined = Answer::join(*B1.A, *B2.A);
       else if (B1.A)
         Joined = std::move(B1.A);
       else if (B2.A)
         Joined = std::move(B2.A);
       if (!Joined)
         return EvalOut{std::nullopt, MinDep};
-      domain::StoreId S = Interner.joinAt(Joined->Store, X, Joined->Value);
+      StoreT S = std::move(Joined->Store);
+      S.joinAt(X, Joined->Value);
       EvalOut Body = evalTerm(Let->body(), S, Credit, Depth + 1);
       Body.MinDep = std::min(Body.MinDep, MinDep);
       return Body;
     }
 
     case TermKind::TK_Loop: {
-      domain::StoreId S =
-          Interner.joinAt(Sigma, X, Val::number(D::naturals()));
+      StoreT S = Sigma;
+      S.joinAt(X, Val::number(D::naturals()));
       return evalTerm(Let->body(), S, Credit, Depth + 1);
     }
 
@@ -363,15 +376,14 @@ private:
 
   std::shared_ptr<domain::VarIndex> Vars;
   domain::CloSet CloTop;
-  domain::StoreInterner<Val> Interner;
   AnalyzerStats Stats;
   DirectCfg Cfg;
 
-  std::unordered_map<Key, std::optional<IAns>, KeyHash> Memo;
-  std::unordered_map<Key, uint32_t, KeyHash> Active;
+  std::unordered_map<Key, std::optional<Answer>, KeyHash, KeyEq> Memo;
+  std::unordered_map<Key, uint32_t, KeyHash, KeyEq> Active;
 };
 
-} // namespace analysis
+} // namespace refimpl
 } // namespace cpsflow
 
-#endif // CPSFLOW_ANALYSIS_DUPANALYZER_H
+#endif // CPSFLOW_TESTS_REFERENCE_REF_DUPANALYZER_H

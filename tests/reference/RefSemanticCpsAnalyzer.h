@@ -32,14 +32,10 @@
 /// (term, store) pair is already on the active path, the least precise
 /// value (T, CL_T) is returned *to the current continuation*.
 ///
-/// Stores are hash-consed (domain/StoreInterner.h): continuations were
-/// already hash-consed lists, and with interned stores the full memo key
-/// (term, kappa, store) is three words compared by identity.
-///
 //===----------------------------------------------------------------------===//
 
-#ifndef CPSFLOW_ANALYSIS_SEMANTICCPSANALYZER_H
-#define CPSFLOW_ANALYSIS_SEMANTICCPSANALYZER_H
+#ifndef CPSFLOW_TESTS_REFERENCE_REF_SEMANTICCPSANALYZER_H
+#define CPSFLOW_TESTS_REFERENCE_REF_SEMANTICCPSANALYZER_H
 
 #include "analysis/Cfg.h"
 #include "analysis/Common.h"
@@ -47,7 +43,6 @@
 #include "anf/Anf.h"
 #include "domain/AbsStore.h"
 #include "domain/AbsValue.h"
-#include "domain/StoreInterner.h"
 #include "syntax/Ast.h"
 
 #include <algorithm>
@@ -60,34 +55,28 @@
 #include <vector>
 
 namespace cpsflow {
-namespace analysis {
+namespace refimpl {
 
-/// Result of a Figure 5 run. The value/store types match the direct
-/// analyzer's, which is what makes the Theorem 5.4 comparison direct.
-template <typename D> struct SemanticResult {
-  using Val = domain::AbsVal<D>;
+using analysis::AnswerOf;
+using analysis::directVariableUniverse;
+using analysis::directClosureUniverse;
+using analysis::AnalyzerOptions;
+using analysis::AnalyzerStats;
+using analysis::BranchInfo;
+using analysis::DirectBinding;
+using analysis::DirectCfg;
+using analysis::SemanticResult;
 
-  AnswerOf<Val> Answer;
-  AnalyzerStats Stats;
-  DirectCfg Cfg;
-  std::shared_ptr<domain::VarIndex> Vars;
-
-  Val valueOf(Symbol X) const {
-    if (auto I = Vars->tryOf(X))
-      return Answer.Store.get(*I);
-    return Val::bot();
-  }
-};
 
 /// The Figure 5 analyzer. Single-use.
-template <typename D> class SemanticCpsAnalyzer {
+template <typename D> class RefSemanticCpsAnalyzer {
 public:
   using Val = domain::AbsVal<D>;
   using StoreT = domain::AbsStore<Val>;
   using Answer = AnswerOf<Val>;
 
   /// \pre \p Program is in A-normal form with unique binders.
-  SemanticCpsAnalyzer(const Context &Ctx, const syntax::Term *Program,
+  RefSemanticCpsAnalyzer(const Context &Ctx, const syntax::Term *Program,
                       std::vector<DirectBinding<D>> Initial = {},
                       AnalyzerOptions Opts = AnalyzerOptions())
       : Ctx(Ctx), Program(Program), Initial(std::move(Initial)), Opts(Opts) {
@@ -104,19 +93,18 @@ public:
     Vars = std::make_shared<domain::VarIndex>(
         directVariableUniverse(Program, ExtraLams, ExtraVars));
     CloTop = directClosureUniverse(Program, ExtraLams);
-    Interner.reset(Vars->size());
   }
 
   /// Runs the analysis with the empty continuation `nil`.
   SemanticResult<D> run() {
-    domain::StoreId Sigma0 = Interner.bottom();
+    StoreT Sigma0(Vars->size());
     for (const DirectBinding<D> &B : Initial)
-      Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+      Sigma0.joinAt(Vars->of(B.Var), B.Value);
 
     EvalOut Out = evalC(Program, /*K=*/nullptr, Sigma0, 0);
 
     SemanticResult<D> R;
-    R.Answer = Answer{std::move(Out.A.Value), Interner.store(Out.A.Store)};
+    R.Answer = std::move(Out.A);
     R.Stats = Stats;
     R.Cfg = std::move(Cfg);
     R.Vars = Vars;
@@ -125,14 +113,9 @@ public:
 
   const domain::CloSet &closureUniverse() const { return CloTop; }
 
-  /// The run's hash-consing table (observability: distinct stores seen).
-  const domain::StoreInterner<Val> &interner() const { return Interner; }
-
 private:
   static constexpr uint32_t Unconstrained =
       std::numeric_limits<uint32_t>::max();
-
-  using IAns = InternedAnswerOf<Val>;
 
   /// An abstract continuation: a hash-consed list of `(let (x []) M)`
   /// frames. nullptr is nil. Hash-consing makes kappa equality a pointer
@@ -158,7 +141,7 @@ private:
   }
 
   struct EvalOut {
-    IAns A;
+    Answer A;
     uint32_t MinDep;
   };
 
@@ -168,22 +151,28 @@ private:
   struct Key {
     const void *Node;
     const KontNode *Kont;
-    domain::StoreId Store;
-
-    friend bool operator==(const Key &A, const Key &B) {
+    StoreT Store;
+    uint64_t H;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.H; }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
       return A.Node == B.Node && A.Kont == B.Kont && A.Store == B.Store;
     }
   };
-  struct KeyHash {
-    size_t operator()(const Key &K) const {
-      uint64_t H = hashPointer(K.Node);
-      hashCombine(H, K.Kont ? K.Kont->H : 0x171);
-      hashCombine(H, K.Store);
-      return H;
-    }
-  };
 
-  IAns bottomAnswer() { return IAns{Val::bot(), Interner.bottom()}; }
+  Key makeKey(const void *Node, const KontNode *K, const StoreT &Sigma) const {
+    uint64_t H = hashPointer(Node);
+    hashCombine(H, K ? K->H : 0x171);
+    hashCombine(H, Sigma.hashValue());
+    return Key{Node, K, Sigma, H};
+  }
+
+  Answer bottomAnswer() const {
+    return Answer{Val::bot(), StoreT(Vars->size())};
+  }
 
   Val cutValue() const {
     Val V;
@@ -192,13 +181,13 @@ private:
     return V;
   }
 
-  Val phi(const syntax::Value *V, domain::StoreId Sigma) const {
+  Val phi(const syntax::Value *V, const StoreT &Sigma) const {
     using namespace syntax;
     switch (V->kind()) {
     case ValueKind::VK_Num:
       return Val::number(D::constant(cast<NumValue>(V)->value()));
     case ValueKind::VK_Var:
-      return Interner.get(Sigma, Vars->of(cast<VarValue>(V)->name()));
+      return Sigma.get(Vars->of(cast<VarValue>(V)->name()));
     case ValueKind::VK_Prim:
       return Val::closures(domain::CloSet::single(
           cast<PrimValue>(V)->op() == PrimOp::Add1 ? domain::CloRef::inc()
@@ -212,18 +201,19 @@ private:
   }
 
   /// appr_e: deliver \p U to \p K. nil yields the final answer.
-  EvalOut appre(const KontNode *K, const Val &U, domain::StoreId Sigma,
+  EvalOut appre(const KontNode *K, const Val &U, const StoreT &Sigma,
                 uint32_t Depth) {
     if (!K)
-      return EvalOut{IAns{U, Sigma}, Unconstrained};
-    domain::StoreId S = Interner.joinAt(Sigma, Vars->of(K->Frame->var()), U);
+      return EvalOut{Answer{U, Sigma}, Unconstrained};
+    StoreT S = Sigma;
+    S.joinAt(Vars->of(K->Frame->var()), U);
     return evalC(K->Frame->body(), K->Parent, S, Depth + 1);
   }
 
   /// appk_e: apply each closure of \p Fun to \p Arg, each path carrying
   /// the whole continuation \p K; join the final answers.
   EvalOut appke(const syntax::AppTerm *Site, const Val &Fun, const Val &Arg,
-                const KontNode *K, domain::StoreId Sigma, uint32_t Depth) {
+                const KontNode *K, const StoreT &Sigma, uint32_t Depth) {
     domain::CloSet &Rec = Cfg.Callees[Site];
     for (const domain::CloRef &C : Fun.Clos)
       Rec.insert(C);
@@ -233,7 +223,7 @@ private:
       return EvalOut{bottomAnswer(), Unconstrained};
     }
 
-    IAns Acc = bottomAnswer();
+    Answer Acc = bottomAnswer();
     uint32_t MinDep = Unconstrained;
     for (const domain::CloRef &C : Fun.Clos) {
       EvalOut Ri;
@@ -245,36 +235,36 @@ private:
         Ri = appre(K, Val::number(D::sub1(Arg.Num)), Sigma, Depth + 1);
         break;
       case domain::CloRef::K::Lam: {
-        domain::StoreId S =
-            Interner.joinAt(Sigma, Vars->of(C.Lam->param()), Arg);
+        StoreT S = Sigma;
+        S.joinAt(Vars->of(C.Lam->param()), Arg);
         Ri = evalC(C.Lam->body(), K, S, Depth + 1);
         break;
       }
       }
-      Acc = joinAnswers(Interner, Acc, Ri.A);
+      Acc = Answer::join(Acc, Ri.A);
       MinDep = std::min(MinDep, Ri.MinDep);
     }
     return EvalOut{std::move(Acc), MinDep};
   }
 
-  EvalOut evalC(const syntax::Term *T, const KontNode *K,
-                domain::StoreId Sigma, uint32_t Depth) {
+  EvalOut evalC(const syntax::Term *T, const KontNode *K, const StoreT &Sigma,
+                uint32_t Depth) {
     if (Stats.BudgetExhausted)
-      return EvalOut{IAns{cutValue(), Sigma}, 0};
+      return EvalOut{Answer{cutValue(), Sigma}, 0};
     ++Stats.Goals;
     if (Stats.Goals > Opts.MaxGoals) {
       Stats.BudgetExhausted = true;
-      return EvalOut{IAns{cutValue(), Sigma}, 0};
+      return EvalOut{Answer{cutValue(), Sigma}, 0};
     }
     Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
 
-    Key MKey{T, K, Sigma};
+    Key MKey = makeKey(T, K, Sigma);
     if (auto It = Memo.find(MKey); Opts.UseMemo && It != Memo.end()) {
       ++Stats.CacheHits;
       return EvalOut{It->second, Unconstrained};
     }
 
-    Key AKey{T, nullptr, Sigma};
+    Key AKey = makeKey(T, nullptr, Sigma);
     if (auto It = Active.find(AKey); It != Active.end()) {
       // Section 4.4 cut: return (T, CL_T) *to the current continuation*.
       ++Stats.Cuts;
@@ -289,14 +279,14 @@ private:
     Active.erase(AKey);
     if (Out.MinDep >= Depth && !Stats.BudgetExhausted) {
       if (Opts.UseMemo)
-        Memo.emplace(MKey, Out.A);
+        Memo.emplace(std::move(MKey), Out.A);
       Out.MinDep = Unconstrained;
     }
     return Out;
   }
 
   EvalOut evalUncached(const syntax::Term *T, const KontNode *K,
-                       domain::StoreId Sigma, uint32_t Depth) {
+                       const StoreT &Sigma, uint32_t Depth) {
     using namespace syntax;
 
     // (V, kappa, sigma): deliver phi_e(V, sigma) to the continuation.
@@ -309,7 +299,8 @@ private:
     switch (Bound->kind()) {
     case TermKind::TK_Value: {
       Val U = phi(cast<ValueTerm>(Bound)->value(), Sigma);
-      domain::StoreId S = Interner.joinAt(Sigma, Vars->of(Let->var()), U);
+      StoreT S = Sigma;
+      S.joinAt(Vars->of(Let->var()), U);
       return evalC(Let->body(), K, S, Depth + 1);
     }
 
@@ -345,7 +336,7 @@ private:
       // *answers* are joined (contrast with Figure 4's store merge).
       EvalOut B1 = evalC(If->thenBranch(), K2, Sigma, Depth + 1);
       EvalOut B2 = evalC(If->elseBranch(), K2, Sigma, Depth + 1);
-      return EvalOut{joinAnswers(Interner, B1.A, B2.A),
+      return EvalOut{Answer::join(B1.A, B2.A),
                      std::min(B1.MinDep, B2.MinDep)};
     }
 
@@ -358,12 +349,12 @@ private:
       // unconditionally — a join that *looks* converged at the bound is
       // still untrustworthy (a probe beyond the bound may change it).
       Stats.LoopBounded = true;
-      IAns Acc = bottomAnswer();
+      Answer Acc = bottomAnswer();
       uint32_t MinDep = Unconstrained;
       for (uint32_t I = 0; I < Opts.LoopUnroll; ++I) {
         EvalOut Bi =
             appre(K2, Val::number(D::constant(I)), Sigma, Depth + 1);
-        Acc = joinAnswers(Interner, Acc, Bi.A);
+        Acc = Answer::join(Acc, Bi.A);
         MinDep = std::min(MinDep, Bi.MinDep);
         if (Stats.BudgetExhausted)
           break;
@@ -371,7 +362,7 @@ private:
       if (Opts.LoopSoundSummary) {
         EvalOut Bs =
             appre(K2, Val::number(D::naturals()), Sigma, Depth + 1);
-        Acc = joinAnswers(Interner, Acc, Bs.A);
+        Acc = Answer::join(Acc, Bs.A);
         MinDep = std::min(MinDep, Bs.MinDep);
       }
       return EvalOut{std::move(Acc), MinDep};
@@ -400,7 +391,6 @@ private:
 
   std::shared_ptr<domain::VarIndex> Vars;
   domain::CloSet CloTop;
-  domain::StoreInterner<Val> Interner;
   AnalyzerStats Stats;
   DirectCfg Cfg;
 
@@ -409,11 +399,11 @@ private:
                      PairHash>
       KontCache;
 
-  std::unordered_map<Key, IAns, KeyHash> Memo;
-  std::unordered_map<Key, uint32_t, KeyHash> Active;
+  std::unordered_map<Key, Answer, KeyHash, KeyEq> Memo;
+  std::unordered_map<Key, uint32_t, KeyHash, KeyEq> Active;
 };
 
-} // namespace analysis
+} // namespace refimpl
 } // namespace cpsflow
 
-#endif // CPSFLOW_ANALYSIS_SEMANTICCPSANALYZER_H
+#endif // CPSFLOW_TESTS_REFERENCE_REF_SEMANTICCPSANALYZER_H

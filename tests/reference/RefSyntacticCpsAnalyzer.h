@@ -27,13 +27,10 @@
 /// Termination uses the Section 4.4 cut with the least precise value
 /// (T, CL_T, K_T).
 ///
-/// Stores are hash-consed (domain/StoreInterner.h); goal keys are
-/// (node pointer, StoreId) pairs, built and compared in O(1).
-///
 //===----------------------------------------------------------------------===//
 
-#ifndef CPSFLOW_ANALYSIS_SYNTACTICCPSANALYZER_H
-#define CPSFLOW_ANALYSIS_SYNTACTICCPSANALYZER_H
+#ifndef CPSFLOW_TESTS_REFERENCE_REF_SYNTACTICCPSANALYZER_H
+#define CPSFLOW_TESTS_REFERENCE_REF_SYNTACTICCPSANALYZER_H
 
 #include "analysis/Cfg.h"
 #include "analysis/Common.h"
@@ -41,7 +38,6 @@
 #include "cps/Transform.h"
 #include "domain/AbsStore.h"
 #include "domain/AbsValue.h"
-#include "domain/StoreInterner.h"
 
 #include <algorithm>
 #include <cassert>
@@ -52,39 +48,28 @@
 #include <vector>
 
 namespace cpsflow {
-namespace analysis {
+namespace refimpl {
 
-/// One entry of the initial abstract store of a Figure 6 run (typically
-/// the delta_e-image of a direct binding; see Compare.h).
-template <typename D> struct CpsBinding {
-  Symbol Var;
-  domain::CpsAbsVal<D> Value;
-};
+using analysis::AnswerOf;
+using analysis::cpsVariableUniverse;
+using analysis::cpsClosureUniverse;
+using analysis::cpsKontUniverse;
+using analysis::AnalyzerOptions;
+using analysis::AnalyzerStats;
+using analysis::BranchInfo;
+using analysis::CpsBinding;
+using analysis::CpsCfg;
+using analysis::SyntacticResult;
 
-/// Result of a Figure 6 run.
-template <typename D> struct SyntacticResult {
-  using Val = domain::CpsAbsVal<D>;
-
-  AnswerOf<Val> Answer;
-  AnalyzerStats Stats;
-  CpsCfg Cfg;
-  std::shared_ptr<domain::VarIndex> Vars;
-
-  Val valueOf(Symbol X) const {
-    if (auto I = Vars->tryOf(X))
-      return Answer.Store.get(*I);
-    return Val::bot();
-  }
-};
 
 /// The Figure 6 analyzer. Single-use.
-template <typename D> class SyntacticCpsAnalyzer {
+template <typename D> class RefSyntacticCpsAnalyzer {
 public:
   using Val = domain::CpsAbsVal<D>;
   using StoreT = domain::AbsStore<Val>;
   using Answer = AnswerOf<Val>;
 
-  SyntacticCpsAnalyzer(const Context &Ctx, const cps::CpsProgram &Program,
+  RefSyntacticCpsAnalyzer(const Context &Ctx, const cps::CpsProgram &Program,
                        std::vector<CpsBinding<D>> Initial = {},
                        AnalyzerOptions Opts = AnalyzerOptions())
       : Ctx(Ctx), Program(Program), Initial(std::move(Initial)), Opts(Opts) {
@@ -100,23 +85,21 @@ public:
         cpsVariableUniverse(Program, ExtraLams, ExtraVars));
     CloTop = cpsClosureUniverse(Program, ExtraLams);
     KontTop = cpsKontUniverse(Program, ExtraLams);
-    Interner.reset(Vars->size());
   }
 
   /// Runs the analysis with TopK bound to {stop} (Section 5.1's initial
   /// store entry k |-> (bot, {}, {stop})).
   SyntacticResult<D> run() {
-    domain::StoreId Sigma0 = Interner.bottom();
+    StoreT Sigma0(Vars->size());
     for (const CpsBinding<D> &B : Initial)
-      Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
-    Sigma0 = Interner.joinAt(
-        Sigma0, Vars->of(Program.TopK),
-        Val::konts(domain::KontSet::single(domain::KontRef::stop())));
+      Sigma0.joinAt(Vars->of(B.Var), B.Value);
+    Sigma0.joinAt(Vars->of(Program.TopK),
+                  Val::konts(domain::KontSet::single(domain::KontRef::stop())));
 
     EvalOut Out = evalP(Program.Root, Sigma0, 0);
 
     SyntacticResult<D> R;
-    R.Answer = Answer{std::move(Out.A.Value), Interner.store(Out.A.Store)};
+    R.Answer = std::move(Out.A);
     R.Stats = Stats;
     R.Cfg = std::move(Cfg);
     R.Vars = Vars;
@@ -126,55 +109,56 @@ public:
   const domain::CpsCloSet &closureUniverse() const { return CloTop; }
   const domain::KontSet &kontUniverse() const { return KontTop; }
 
-  /// The run's hash-consing table (observability: distinct stores seen).
-  const domain::StoreInterner<Val> &interner() const { return Interner; }
-
 private:
   static constexpr uint32_t Unconstrained =
       std::numeric_limits<uint32_t>::max();
 
-  using IAns = InternedAnswerOf<Val>;
-
   struct EvalOut {
-    IAns A;
+    Answer A;
     uint32_t MinDep;
   };
 
   struct Key {
     const void *Node;
-    domain::StoreId Store;
-
-    friend bool operator==(const Key &A, const Key &B) {
+    StoreT Store;
+    uint64_t H;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.H; }
+  };
+  struct KeyEq {
+    bool operator()(const Key &A, const Key &B) const {
       return A.Node == B.Node && A.Store == B.Store;
     }
   };
-  struct KeyHash {
-    size_t operator()(const Key &K) const {
-      uint64_t H = hashPointer(K.Node);
-      hashCombine(H, K.Store);
-      return H;
-    }
-  };
 
-  IAns bottomAnswer() { return IAns{Val::bot(), Interner.bottom()}; }
+  Key makeKey(const void *Node, const StoreT &Sigma) const {
+    uint64_t H = hashPointer(Node);
+    hashCombine(H, Sigma.hashValue());
+    return Key{Node, Sigma, H};
+  }
+
+  Answer bottomAnswer() const {
+    return Answer{Val::bot(), StoreT(Vars->size())};
+  }
 
   /// The Section 4.4 cut value (T, CL_T, K_T) with the current store.
-  IAns cutAnswer(domain::StoreId Sigma) const {
+  Answer cutAnswer(const StoreT &Sigma) const {
     Val V;
     V.Num = D::top();
     V.Clos = CloTop;
     V.Konts = KontTop;
-    return IAns{std::move(V), Sigma};
+    return Answer{std::move(V), Sigma};
   }
 
   // phi_e^s of Figure 6.
-  Val phi(const cps::CpsValue *W, domain::StoreId Sigma) const {
+  Val phi(const cps::CpsValue *W, const StoreT &Sigma) const {
     using namespace cps;
     switch (W->kind()) {
     case CpsValueKind::WK_Num:
       return Val::number(D::constant(cast<CpsNum>(W)->value()));
     case CpsValueKind::WK_Var:
-      return Interner.get(Sigma, Vars->of(cast<CpsVar>(W)->name()));
+      return Sigma.get(Vars->of(cast<CpsVar>(W)->name()));
     case CpsValueKind::WK_Prim:
       return Val::closures(domain::CpsCloSet::single(
           cast<CpsPrim>(W)->op() == CpsPrimOp::Add1k
@@ -190,34 +174,34 @@ private:
 
   /// appr_e^s over a single abstract continuation.
   EvalOut applyKont(const domain::KontRef &K, const Val &U,
-                    domain::StoreId Sigma, uint32_t Depth) {
+                    const StoreT &Sigma, uint32_t Depth) {
     if (K.Tag == domain::KontRef::K::Stop)
-      return EvalOut{IAns{U, Sigma}, Unconstrained};
-    domain::StoreId S = Interner.joinAt(Sigma, Vars->of(K.Cont->param()), U);
+      return EvalOut{Answer{U, Sigma}, Unconstrained};
+    StoreT S = Sigma;
+    S.joinAt(Vars->of(K.Cont->param()), U);
     return evalP(K.Cont->body(), S, Depth + 1);
   }
 
   /// appr_e^s over a continuation *set*: apply every continuation and
   /// merge — the false-return join of Section 6.1.
   EvalOut applyKontSet(const domain::KontSet &Ks, const Val &U,
-                       domain::StoreId Sigma, uint32_t Depth) {
+                       const StoreT &Sigma, uint32_t Depth) {
     if (Ks.empty()) {
       ++Stats.DeadPaths; // join over no paths
       return EvalOut{bottomAnswer(), Unconstrained};
     }
 
-    IAns Acc = bottomAnswer();
+    Answer Acc = bottomAnswer();
     uint32_t MinDep = Unconstrained;
     for (const domain::KontRef &K : Ks) {
       EvalOut Ri = applyKont(K, U, Sigma, Depth);
-      Acc = joinAnswers(Interner, Acc, Ri.A);
+      Acc = Answer::join(Acc, Ri.A);
       MinDep = std::min(MinDep, Ri.MinDep);
     }
     return EvalOut{std::move(Acc), MinDep};
   }
 
-  EvalOut evalP(const cps::CpsTerm *P, domain::StoreId Sigma,
-                uint32_t Depth) {
+  EvalOut evalP(const cps::CpsTerm *P, const StoreT &Sigma, uint32_t Depth) {
     if (Stats.BudgetExhausted)
       return EvalOut{cutAnswer(Sigma), 0};
     ++Stats.Goals;
@@ -227,7 +211,7 @@ private:
     }
     Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
 
-    Key K{P, Sigma};
+    Key K = makeKey(P, Sigma);
     if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
       ++Stats.CacheHits;
       return EvalOut{It->second, Unconstrained};
@@ -242,13 +226,13 @@ private:
     Active.erase(K);
     if (Out.MinDep >= Depth && !Stats.BudgetExhausted) {
       if (Opts.UseMemo)
-        Memo.emplace(K, Out.A);
+        Memo.emplace(std::move(K), Out.A);
       Out.MinDep = Unconstrained;
     }
     return Out;
   }
 
-  EvalOut evalUncached(const cps::CpsTerm *P, domain::StoreId Sigma,
+  EvalOut evalUncached(const cps::CpsTerm *P, const StoreT &Sigma,
                        uint32_t Depth) {
     using namespace cps;
 
@@ -256,7 +240,7 @@ private:
     case CpsTermKind::PK_Ret: {
       // (k W): apply every continuation collected at k and merge.
       const auto *Ret = cast<CpsRet>(P);
-      Val KVal = Interner.get(Sigma, Vars->of(Ret->kvar()));
+      Val KVal = Sigma.get(Vars->of(Ret->kvar()));
       Val U = phi(Ret->arg(), Sigma);
 
       domain::KontSet &Rec = Cfg.Returns[Ret];
@@ -269,7 +253,8 @@ private:
     case CpsTermKind::PK_LetVal: {
       const auto *Let = cast<CpsLetVal>(P);
       Val U = phi(Let->bound(), Sigma);
-      domain::StoreId S = Interner.joinAt(Sigma, Vars->of(Let->var()), U);
+      StoreT S = Sigma;
+      S.joinAt(Vars->of(Let->var()), U);
       return evalP(Let->body(), S, Depth + 1);
     }
 
@@ -291,7 +276,7 @@ private:
         return EvalOut{bottomAnswer(), Unconstrained};
       }
 
-      IAns Acc = bottomAnswer();
+      Answer Acc = bottomAnswer();
       uint32_t MinDep = Unconstrained;
       for (const domain::CpsCloRef &C : Fun.Clos) {
         EvalOut Ri;
@@ -305,16 +290,15 @@ private:
                          Depth + 1);
           break;
         case domain::CpsCloRef::K::Lam: {
-          domain::StoreId S =
-              Interner.joinAt(Sigma, Vars->of(C.Lam->param()), Arg);
-          S = Interner.joinAt(
-              S, Vars->of(C.Lam->kparam()),
-              Val::konts(domain::KontSet::single(Kont)));
+          StoreT S = Sigma;
+          S.joinAt(Vars->of(C.Lam->param()), Arg);
+          S.joinAt(Vars->of(C.Lam->kparam()),
+                   Val::konts(domain::KontSet::single(Kont)));
           Ri = evalP(C.Lam->body(), S, Depth + 1);
           break;
         }
         }
-        Acc = joinAnswers(Interner, Acc, Ri.A);
+        Acc = Answer::join(Acc, Ri.A);
         MinDep = std::min(MinDep, Ri.MinDep);
       }
       return EvalOut{std::move(Acc), MinDep};
@@ -339,10 +323,10 @@ private:
       if (ThenOnly || ElseOnly)
         ++Stats.PrunedBranches;
 
-      domain::StoreId S = Interner.joinAt(
-          Sigma, Vars->of(If->kvar()),
-          Val::konts(domain::KontSet::single(
-              domain::KontRef::cont(If->join()))));
+      StoreT S = Sigma;
+      S.joinAt(Vars->of(If->kvar()),
+               Val::konts(domain::KontSet::single(
+                   domain::KontRef::cont(If->join()))));
 
       if (ThenOnly || ElseOnly)
         return evalP(ThenOnly ? If->thenBranch() : If->elseBranch(), S,
@@ -350,7 +334,7 @@ private:
 
       EvalOut B1 = evalP(If->thenBranch(), S, Depth + 1);
       EvalOut B2 = evalP(If->elseBranch(), S, Depth + 1);
-      return EvalOut{joinAnswers(Interner, B1.A, B2.A),
+      return EvalOut{Answer::join(B1.A, B2.A),
                      std::min(B1.MinDep, B2.MinDep)};
     }
 
@@ -363,12 +347,12 @@ private:
       // unconditionally — a join that *looks* converged at the bound is
       // still untrustworthy (a probe beyond the bound may change it).
       Stats.LoopBounded = true;
-      IAns Acc = bottomAnswer();
+      Answer Acc = bottomAnswer();
       uint32_t MinDep = Unconstrained;
       for (uint32_t I = 0; I < Opts.LoopUnroll; ++I) {
         EvalOut Bi =
             applyKont(Kont, Val::number(D::constant(I)), Sigma, Depth + 1);
-        Acc = joinAnswers(Interner, Acc, Bi.A);
+        Acc = Answer::join(Acc, Bi.A);
         MinDep = std::min(MinDep, Bi.MinDep);
         if (Stats.BudgetExhausted)
           break;
@@ -376,7 +360,7 @@ private:
       if (Opts.LoopSoundSummary) {
         EvalOut Bs =
             applyKont(Kont, Val::number(D::naturals()), Sigma, Depth + 1);
-        Acc = joinAnswers(Interner, Acc, Bs.A);
+        Acc = Answer::join(Acc, Bs.A);
         MinDep = std::min(MinDep, Bs.MinDep);
       }
       return EvalOut{std::move(Acc), MinDep};
@@ -394,15 +378,14 @@ private:
   std::shared_ptr<domain::VarIndex> Vars;
   domain::CpsCloSet CloTop;
   domain::KontSet KontTop;
-  domain::StoreInterner<Val> Interner;
   AnalyzerStats Stats;
   CpsCfg Cfg;
 
-  std::unordered_map<Key, IAns, KeyHash> Memo;
-  std::unordered_map<Key, uint32_t, KeyHash> Active;
+  std::unordered_map<Key, Answer, KeyHash, KeyEq> Memo;
+  std::unordered_map<Key, uint32_t, KeyHash, KeyEq> Active;
 };
 
-} // namespace analysis
+} // namespace refimpl
 } // namespace cpsflow
 
-#endif // CPSFLOW_ANALYSIS_SYNTACTICCPSANALYZER_H
+#endif // CPSFLOW_TESTS_REFERENCE_REF_SYNTACTICCPSANALYZER_H

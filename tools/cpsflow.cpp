@@ -18,6 +18,7 @@
 ///   cpsflow compare FILE [options]     run all three analyzers, compare
 ///   cpsflow fold FILE                  constant-fold and print
 ///   cpsflow inline FILE                heuristically inline and print
+///   cpsflow batch DIR [options]        analyze a corpus of *.scm, JSON out
 ///
 /// options:
 ///   --machine=direct|semantic|syntactic    (run; default direct)
@@ -30,6 +31,10 @@
 ///   --fuel N              concrete step budget (default 2^20)
 ///   --show-cfg            print the extracted control-flow graph
 ///   --show-store          print the final abstract store
+///   --threads N           batch worker threads (default 1)
+///   --out FILE            batch: write the JSON report to FILE
+///   --no-timing           batch: omit wall-time/thread fields (so outputs
+///                         compare byte-for-byte across runs)
 ///   FILE may be "-" for stdin.
 /// \endcode
 ///
@@ -43,6 +48,7 @@
 #include "analysis/SyntacticCpsAnalyzer.h"
 #include "anf/Anf.h"
 #include "anf/Reductions.h"
+#include "clients/Batch.h"
 #include "clients/ConstFold.h"
 #include "clients/Inline.h"
 #include "clients/Reports.h"
@@ -81,6 +87,9 @@ struct Options {
   std::vector<std::string> TopVars;
   uint32_t Budget = 2;
   uint64_t Fuel = 1u << 20;
+  unsigned Threads = 1;
+  std::string OutFile;
+  bool NoTiming = false;
   bool ShowCfg = false;
   bool ShowStore = false;
   bool Json = false;
@@ -95,13 +104,15 @@ struct Options {
       stderr,
       "usage: cpsflow COMMAND FILE [options]\n"
       "commands: parse | anf | steps | cps | run | analyze | compare | "
-      "fold | inline\n"
+      "fold | inline | batch\n"
       "options:  --machine=direct|semantic|syntactic\n"
       "          --analyzer=direct|semantic|syntactic|dup\n"
       "          --domain=constant|unit|sign|parity|interval\n"
       "          --bind x=N   --top x   --budget N   --fuel N\n"
       "          --show-cfg   --show-store   --show-derivation\n"
       "          --json   --trace\n"
+      "          --threads N  --out FILE  --no-timing   (batch only;\n"
+      "          batch takes a DIRECTORY of *.scm in place of FILE)\n"
       "FILE may be '-' for stdin.\n");
   std::exit(2);
 }
@@ -137,6 +148,12 @@ Options parseArgs(int Argc, char **Argv) {
       O.Budget = static_cast<uint32_t>(std::atoi(Argv[++I]));
     } else if (A == "--fuel" && I + 1 < Argc) {
       O.Fuel = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (A == "--threads" && I + 1 < Argc) {
+      O.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (A == "--out" && I + 1 < Argc) {
+      O.OutFile = Argv[++I];
+    } else if (A == "--no-timing") {
+      O.NoTiming = true;
     } else if (A == "--show-cfg") {
       O.ShowCfg = true;
     } else if (A == "--show-store") {
@@ -474,6 +491,38 @@ int cmdAnalyze(const Options &O) {
   usage("unknown domain");
 }
 
+int cmdBatch(const Options &O) {
+  // O.File is a corpus directory here, not a single program.
+  std::vector<std::string> Files = clients::collectCorpus(O.File);
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: no *.scm programs under '%s'\n",
+                 O.File.c_str());
+    return 1;
+  }
+  clients::BatchOptions BOpts;
+  BOpts.Threads = O.Threads;
+  BOpts.Domain = O.Domain;
+  BOpts.DupBudget = O.Budget;
+  BOpts.IncludeTiming = !O.NoTiming;
+  clients::BatchResult R = clients::runBatchFiles(Files, BOpts);
+  std::string Json = clients::batchJson(R, BOpts);
+  if (!O.OutFile.empty()) {
+    std::ofstream Out(O.OutFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", O.OutFile.c_str());
+      return 1;
+    }
+    Out << Json << '\n';
+  } else {
+    std::printf("%s\n", Json.c_str());
+  }
+  for (const clients::BatchProgramResult &P : R.Programs)
+    if (!P.Ok)
+      std::fprintf(stderr, "warning: %s: %s\n", P.Name.c_str(),
+                   P.Error.c_str());
+  return 0;
+}
+
 int cmdInline(const Options &O) {
   Loaded L;
   L.load(O);
@@ -516,5 +565,7 @@ int main(int Argc, char **Argv) {
     return cmdFold(O);
   if (O.Command == "inline")
     return cmdInline(O);
+  if (O.Command == "batch")
+    return cmdBatch(O);
   usage(("unknown command '" + O.Command + "'").c_str());
 }
