@@ -1,0 +1,120 @@
+//===- bench/governor_overhead.cpp - E15: governor cost ---------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E15 — the per-goal cost of the resource governor. Each analyzer runs
+/// the E10 random workloads twice: ungoverned (default GovernorLimits:
+/// every check short-circuits) and fully armed (deadline + memory ceiling
+/// + depth cap + cancellation token, all limits generous enough never to
+/// trip). The delta between the governed/... and plain BM_* lines is the
+/// governor's whole cost; the acceptance budget is <2% of analyzer
+/// throughput (EXPERIMENTS.md records the measured numbers).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "gen/Generator.h"
+#include "support/Governor.h"
+#include "syntax/Analysis.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace cpsflow;
+using namespace cpsflow::bench;
+using namespace cpsflow::analysis;
+
+namespace {
+
+const syntax::Term *makeProgram(Context &Ctx, int64_t Size) {
+  gen::GenOptions Opts;
+  Opts.Seed = 1010; // same corpus as bench/throughput.cpp (E10)
+  Opts.ChainLength = static_cast<uint32_t>(Size);
+  Opts.MaxDepth = 2;
+  Opts.WellTyped = true;
+  gen::ProgramGenerator Gen(Ctx, Opts);
+  return Gen.generate();
+}
+
+/// Fully-armed limits that can never trip on a bench-sized run: the
+/// analyzer pays every per-goal compare and every periodic probe, but
+/// always takes the not-tripped path.
+AnalyzerOptions armedOptions() {
+  AnalyzerOptions AOpts;
+  AOpts.Governor.deadlineIn(3'600'000);                // one hour
+  AOpts.Governor.MaxStoreBytes = 1ull << 40;           // 1 TiB
+  AOpts.Governor.MaxDepth = 1u << 30;
+  AOpts.Governor.Cancel = std::make_shared<support::CancelToken>();
+  return AOpts;
+}
+
+template <template <typename> class Analyzer>
+void analysisLoop(benchmark::State &State, const AnalyzerOptions &AOpts) {
+  Context Ctx;
+  const syntax::Term *T = makeProgram(Ctx, State.range(0));
+  std::vector<DirectBinding<CD>> Init;
+  for (Symbol S : syntax::freeVars(T))
+    Init.push_back({S, domain::AbsVal<CD>::number(CD::top())});
+  uint64_t Goals = 0;
+  for (auto _ : State) {
+    auto R = Analyzer<CD>(Ctx, T, Init, AOpts).run();
+    benchmark::DoNotOptimize(R.Answer.Value);
+    Goals = R.Stats.Goals;
+  }
+  State.counters["goals"] = static_cast<double>(Goals);
+}
+
+void BM_DirectUngoverned(benchmark::State &State) {
+  analysisLoop<DirectAnalyzer>(State, AnalyzerOptions());
+}
+void BM_DirectGoverned(benchmark::State &State) {
+  analysisLoop<DirectAnalyzer>(State, armedOptions());
+}
+void BM_SemanticUngoverned(benchmark::State &State) {
+  analysisLoop<SemanticCpsAnalyzer>(State, AnalyzerOptions());
+}
+void BM_SemanticGoverned(benchmark::State &State) {
+  analysisLoop<SemanticCpsAnalyzer>(State, armedOptions());
+}
+
+void BM_SyntacticUngovernedVsGoverned(benchmark::State &State,
+                                      bool Governed) {
+  Context Ctx;
+  const syntax::Term *T = makeProgram(Ctx, State.range(0));
+  Result<cps::CpsProgram> P = cps::cpsTransform(Ctx, T);
+  std::vector<CpsBinding<CD>> Init;
+  for (Symbol S : syntax::freeVars(T))
+    Init.push_back({S, domain::CpsAbsVal<CD>::number(CD::top())});
+  AnalyzerOptions AOpts = Governed ? armedOptions() : AnalyzerOptions();
+  uint64_t Goals = 0;
+  for (auto _ : State) {
+    auto R = SyntacticCpsAnalyzer<CD>(Ctx, *P, Init, AOpts).run();
+    benchmark::DoNotOptimize(R.Answer.Value);
+    Goals = R.Stats.Goals;
+  }
+  State.counters["goals"] = static_cast<double>(Goals);
+}
+
+void BM_SyntacticUngoverned(benchmark::State &State) {
+  BM_SyntacticUngovernedVsGoverned(State, false);
+}
+void BM_SyntacticGoverned(benchmark::State &State) {
+  BM_SyntacticUngovernedVsGoverned(State, true);
+}
+
+} // namespace
+
+BENCHMARK(BM_DirectUngoverned)->RangeMultiplier(2)->Range(8, 64);
+BENCHMARK(BM_DirectGoverned)->RangeMultiplier(2)->Range(8, 64);
+// The CPS analyzers pay the duplication cost even on random programs;
+// cap their sweep so the run stays in CI-friendly time (as in E10).
+BENCHMARK(BM_SemanticUngoverned)->RangeMultiplier(2)->Range(8, 32);
+BENCHMARK(BM_SemanticGoverned)->RangeMultiplier(2)->Range(8, 32);
+BENCHMARK(BM_SyntacticUngoverned)->RangeMultiplier(2)->Range(8, 32);
+BENCHMARK(BM_SyntacticGoverned)->RangeMultiplier(2)->Range(8, 32);
+
+BENCHMARK_MAIN();

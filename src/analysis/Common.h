@@ -22,6 +22,8 @@
 #include "domain/AbsStore.h"
 #include "domain/AbsValue.h"
 #include "domain/StoreInterner.h"
+#include "support/FaultInjector.h"
+#include "support/Governor.h"
 
 #include <cstdint>
 #include <string>
@@ -109,6 +111,13 @@ struct AnalyzerOptions {
   /// store, but cannot help when the duplicated stores genuinely differ —
   /// the paper's exponential examples stay exponential.
   bool UseMemo = true;
+
+  /// Resource-governor limits beyond MaxGoals: wall-clock deadline,
+  /// interner memory ceiling, goal-stack depth cap, and a cooperative
+  /// cancellation token. Any trip degrades the run exactly like the
+  /// MaxGoals path but records which wall was hit in Stats.Degraded.
+  /// Default limits govern nothing.
+  support::GovernorLimits Governor;
 };
 
 /// Counters describing one analyzer run.
@@ -139,9 +148,15 @@ struct AnalyzerStats {
   /// reaches, so the Theorem 5.4 *equality* for distributive domains is
   /// only guaranteed when this stays zero (see DESIGN.md section 7).
   uint64_t PrunedBranches = 0;
-  /// True when MaxGoals was exhausted (the analysis result is a sound
-  /// over-approximation but not the paper-defined answer).
+  /// True when any resource limit tripped — MaxGoals or one of the
+  /// AnalyzerOptions::Governor limits (the analysis result is a sound
+  /// over-approximation but not the paper-defined answer). Which wall was
+  /// hit is in Degraded.
   bool BudgetExhausted = false;
+  /// The structured reason for BudgetExhausted. The governed analyzers
+  /// set it on every trip; the tests/reference seed oracles predate it
+  /// and leave it None.
+  support::DegradeReason Degraded = support::DegradeReason::None;
   /// True when a CPS analyzer evaluated a `loop` rule: the exact rule —
   /// the join over all naturals — is not computable (Section 6.2), so the
   /// reported result is a bounded approximation (a sound one if

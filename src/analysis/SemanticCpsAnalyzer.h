@@ -262,8 +262,12 @@ private:
     if (Stats.BudgetExhausted)
       return EvalOut{IAns{cutValue(), Sigma}, 0};
     ++Stats.Goals;
-    if (Stats.Goals > Opts.MaxGoals) {
+    CPSFLOW_FAULT_COUNTED(fault::Site::AnalyzerGoal, Stats.Goals);
+    if (support::DegradeReason R =
+            Gov.check(Stats.Goals, Depth, Interner.approxBytes());
+        R != support::DegradeReason::None) {
       Stats.BudgetExhausted = true;
+      Stats.Degraded = R;
       return EvalOut{IAns{cutValue(), Sigma}, 0};
     }
     Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
@@ -402,6 +406,7 @@ private:
   domain::CloSet CloTop;
   domain::StoreInterner<Val> Interner;
   AnalyzerStats Stats;
+  support::Governor Gov{Opts.Governor, Opts.MaxGoals};
   DirectCfg Cfg;
 
   std::deque<KontNode> KontNodes;

@@ -13,6 +13,8 @@
 #include "analysis/Compare.h"
 #include "anf/Anf.h"
 #include "cps/Transform.h"
+#include "support/FaultInjector.h"
+#include "support/Governor.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
 #include "syntax/Analysis.h"
@@ -21,9 +23,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 namespace cpsflow {
 namespace clients {
@@ -50,11 +59,13 @@ BatchAnalyzerRecord runLeg(const Context &Ctx, Analyzer &&A) {
 
 /// Analyzes one program at a fixed numeric domain. Owns the whole
 /// pipeline — Context, parse, ANF, CPS, analyzers — so concurrent calls
-/// share nothing.
+/// share nothing. \p Limits is the program's governor configuration (one
+/// absolute deadline and cancellation token shared by all four legs).
 template <typename D>
 BatchProgramResult analyzeOne(const std::string &Name,
                               const std::string &Source,
-                              const BatchOptions &Opts) {
+                              const BatchOptions &Opts,
+                              const support::GovernorLimits &Limits) {
   BatchProgramResult Out;
   Out.Name = Name;
 
@@ -63,6 +74,7 @@ BatchProgramResult analyzeOne(const std::string &Name,
       syntax::parseSugaredProgram(Ctx, Source);
   if (!Parsed) {
     Out.Error = "parse error: " + Parsed.error().str();
+    Out.Kind = BatchFailKind::Parse;
     return Out;
   }
   const syntax::Term *Anf = anf::normalizeProgram(Ctx, *Parsed);
@@ -71,6 +83,7 @@ BatchProgramResult analyzeOne(const std::string &Name,
   Result<cps::CpsProgram> Cps = cps::cpsTransform(Ctx, Anf);
   if (!Cps) {
     Out.Error = "cps error: " + Cps.error().str();
+    Out.Kind = BatchFailKind::Cps;
     return Out;
   }
 
@@ -85,6 +98,8 @@ BatchProgramResult analyzeOne(const std::string &Name,
 
   analysis::AnalyzerOptions AOpts;
   AOpts.MaxGoals = Opts.MaxGoals;
+  AOpts.LoopUnroll = Opts.LoopUnroll;
+  AOpts.Governor = Limits;
 
   Out.Direct = runLeg(Ctx, analysis::DirectAnalyzer<D>(Ctx, Anf, Init,
                                                        AOpts));
@@ -100,21 +115,193 @@ BatchProgramResult analyzeOne(const std::string &Name,
 
 BatchProgramResult dispatchOne(const std::string &Name,
                                const std::string &Source,
-                               const BatchOptions &Opts) {
+                               const BatchOptions &Opts,
+                               const support::GovernorLimits &Limits) {
   if (Opts.Domain == "constant")
-    return analyzeOne<domain::ConstantDomain>(Name, Source, Opts);
+    return analyzeOne<domain::ConstantDomain>(Name, Source, Opts, Limits);
   if (Opts.Domain == "unit")
-    return analyzeOne<domain::UnitDomain>(Name, Source, Opts);
+    return analyzeOne<domain::UnitDomain>(Name, Source, Opts, Limits);
   if (Opts.Domain == "sign")
-    return analyzeOne<domain::SignDomain>(Name, Source, Opts);
+    return analyzeOne<domain::SignDomain>(Name, Source, Opts, Limits);
   if (Opts.Domain == "parity")
-    return analyzeOne<domain::ParityDomain>(Name, Source, Opts);
+    return analyzeOne<domain::ParityDomain>(Name, Source, Opts, Limits);
   if (Opts.Domain == "interval")
-    return analyzeOne<domain::IntervalDomain>(Name, Source, Opts);
+    return analyzeOne<domain::IntervalDomain>(Name, Source, Opts, Limits);
   BatchProgramResult Out;
   Out.Name = Name;
   Out.Error = "unknown domain '" + Opts.Domain + "'";
+  Out.Kind = BatchFailKind::Internal;
   return Out;
+}
+
+/// Watches in-flight programs and fires their cancellation tokens when
+/// their (grace-extended) deadline passes. The governor normally trips a
+/// deadline itself; the watchdog is the backstop for a worker stalled
+/// somewhere the governor is not polled (parse, a stuck primitive, an
+/// injected stall). Cancellation is cooperative — the worker observes it
+/// at its next governed goal and degrades soundly.
+class Watchdog {
+public:
+  explicit Watchdog(double PollMs)
+      : Poll(std::chrono::duration<double, std::milli>(PollMs)),
+        Scanner([this] { loop(); }) {}
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stop = true;
+    }
+    Wake.notify_all();
+    Scanner.join();
+  }
+
+  uint64_t add(std::shared_ptr<support::CancelToken> Token,
+               std::chrono::steady_clock::time_point Deadline) {
+    std::lock_guard<std::mutex> Lock(M);
+    uint64_t Id = NextId++;
+    Watched.push_back({Id, std::move(Token), Deadline});
+    return Id;
+  }
+
+  void remove(uint64_t Id) {
+    std::lock_guard<std::mutex> Lock(M);
+    Watched.erase(std::remove_if(Watched.begin(), Watched.end(),
+                                 [Id](const EntryT &E) { return E.Id == Id; }),
+                  Watched.end());
+  }
+
+private:
+  struct EntryT {
+    uint64_t Id;
+    std::shared_ptr<support::CancelToken> Token;
+    std::chrono::steady_clock::time_point Deadline;
+  };
+
+  void loop() {
+    std::unique_lock<std::mutex> Lock(M);
+    while (!Stop) {
+      auto Now = std::chrono::steady_clock::now();
+      for (const EntryT &E : Watched)
+        if (Now > E.Deadline)
+          E.Token->cancel();
+      Wake.wait_for(Lock, Poll, [this] { return Stop; });
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable Wake;
+  bool Stop = false;
+  uint64_t NextId = 1;
+  std::vector<EntryT> Watched;
+  std::chrono::duration<double, std::milli> Poll;
+  std::thread Scanner; // last member: starts after everything it reads
+};
+
+/// Maps a governor trip to the failure taxonomy (FailOnBudget mode). A
+/// watchdog cancellation is a deadline in disguise when a deadline was
+/// armed; goal/depth trips have no wall-clock meaning and classify as
+/// internal budget failures.
+BatchFailKind failKindFor(support::DegradeReason R, bool DeadlineArmed) {
+  switch (R) {
+  case support::DegradeReason::Deadline:
+    return BatchFailKind::Deadline;
+  case support::DegradeReason::Cancelled:
+    return DeadlineArmed ? BatchFailKind::Deadline : BatchFailKind::Internal;
+  case support::DegradeReason::Memory:
+    return BatchFailKind::Memory;
+  default:
+    return BatchFailKind::Internal;
+  }
+}
+
+/// The four legs of \p P in fixed report order.
+std::vector<std::pair<const char *, const BatchAnalyzerRecord *>>
+legsOf(const BatchProgramResult &P) {
+  return {{"direct", &P.Direct},
+          {"semantic", &P.Semantic},
+          {"syntactic", &P.Syntactic},
+          {"dup", &P.Dup}};
+}
+
+/// One fully-contained worker body: governs, runs, and converts any
+/// escaping exception into a structured failure record. Never throws.
+BatchProgramResult containedDispatch(const std::string &Name,
+                                     const std::string &Source,
+                                     const BatchOptions &Opts,
+                                     Watchdog *Dog) {
+  const bool DeadlineArmed = Opts.DeadlineMs > 0;
+  support::GovernorLimits Limits;
+  Limits.MaxStoreBytes = Opts.MaxStoreBytes;
+  Limits.MaxDepth = Opts.MaxDepth;
+  uint64_t DogId = 0;
+  if (DeadlineArmed) {
+    Limits.deadlineIn(Opts.DeadlineMs);
+    Limits.Cancel = std::make_shared<support::CancelToken>();
+    if (Dog)
+      // Grace past the governor's own deadline: the watchdog only steps
+      // in for workers that failed to self-trip.
+      DogId = Dog->add(Limits.Cancel,
+                       *Limits.Deadline + std::chrono::milliseconds(50));
+  }
+
+  BatchProgramResult Out;
+  try {
+    CPSFLOW_FAULT_NAMED(fault::Site::BatchWorker, Name);
+    Out = dispatchOne(Name, Source, Opts, Limits);
+  } catch (const std::bad_alloc &) {
+    Out = BatchProgramResult();
+    Out.Name = Name;
+    Out.Error = "contained failure: out of memory";
+    Out.Kind = BatchFailKind::Memory;
+  } catch (const std::exception &Ex) {
+    Out = BatchProgramResult();
+    Out.Name = Name;
+    Out.Error = std::string("contained failure: ") + Ex.what();
+    Out.Kind = BatchFailKind::Internal;
+  } catch (...) {
+    Out = BatchProgramResult();
+    Out.Name = Name;
+    Out.Error = "contained failure: unknown exception";
+    Out.Kind = BatchFailKind::Internal;
+  }
+  if (Dog && DogId)
+    Dog->remove(DogId);
+
+  if (Out.Ok && Opts.FailOnBudget) {
+    std::string Degraded;
+    BatchFailKind Worst = BatchFailKind::None;
+    for (const auto &[LegName, Rec] : legsOf(Out))
+      if (Rec->Stats.Degraded != support::DegradeReason::None) {
+        if (!Degraded.empty())
+          Degraded += ", ";
+        Degraded += std::string(LegName) + "=" + str(Rec->Stats.Degraded);
+        BatchFailKind K = failKindFor(Rec->Stats.Degraded, DeadlineArmed);
+        // Prefer the most specific kind: deadline > memory > internal.
+        if (Worst == BatchFailKind::None || K == BatchFailKind::Deadline ||
+            (K == BatchFailKind::Memory && Worst == BatchFailKind::Internal))
+          Worst = K;
+      }
+    if (Worst != BatchFailKind::None) {
+      Out.Ok = false;
+      Out.Kind = Worst;
+      Out.Error = "degraded: " + Degraded;
+    }
+  }
+  return Out;
+}
+
+/// True when \p P 's first attempt died or degraded on the deadline —
+/// the retry pass reruns exactly these at reduced cost.
+bool deadlineTripped(const BatchProgramResult &P) {
+  if (!P.Ok)
+    return P.Kind == BatchFailKind::Deadline;
+  for (const auto &[LegName, Rec] : legsOf(P)) {
+    (void)LegName;
+    if (Rec->Stats.Degraded == support::DegradeReason::Deadline ||
+        Rec->Stats.Degraded == support::DegradeReason::Cancelled)
+      return true;
+  }
+  return false;
 }
 
 void writeAnalyzerRecord(JsonWriter &W, const char *Key,
@@ -129,6 +316,7 @@ void writeAnalyzerRecord(JsonWriter &W, const char *Key,
   W.key("deadPaths").value(Rec.Stats.DeadPaths);
   W.key("prunedBranches").value(Rec.Stats.PrunedBranches);
   W.key("budgetExhausted").value(Rec.Stats.BudgetExhausted);
+  W.key("degradeReason").value(support::str(Rec.Stats.Degraded));
   W.key("loopBounded").value(Rec.Stats.LoopBounded);
   if (Opts.IncludeTiming)
     W.key("wallMs").value(Rec.WallMs);
@@ -161,16 +349,45 @@ struct LegTotals {
 
 } // namespace
 
-std::vector<std::string> collectCorpus(const std::string &Dir) {
+const char *str(BatchFailKind K) {
+  switch (K) {
+  case BatchFailKind::None:
+    return "none";
+  case BatchFailKind::Parse:
+    return "parse";
+  case BatchFailKind::Cps:
+    return "cps";
+  case BatchFailKind::Deadline:
+    return "deadline";
+  case BatchFailKind::Memory:
+    return "memory";
+  case BatchFailKind::Internal:
+    return "internal";
+  }
+  return "?";
+}
+
+Result<std::vector<std::string>> collectCorpus(const std::string &Dir) {
   namespace fs = std::filesystem;
-  std::vector<std::string> Files;
   std::error_code Ec;
-  for (const fs::directory_entry &E : fs::directory_iterator(Dir, Ec)) {
-    if (!E.is_regular_file())
+  fs::directory_iterator It(Dir, Ec);
+  if (Ec)
+    return Error("cannot read corpus directory '" + Dir +
+                 "': " + Ec.message());
+  std::vector<std::string> Files;
+  for (fs::directory_iterator End; It != End; It.increment(Ec)) {
+    if (Ec)
+      return Error("error scanning corpus directory '" + Dir +
+                   "': " + Ec.message());
+    const fs::directory_entry &E = *It;
+    if (!E.is_regular_file(Ec) || Ec)
       continue;
     if (E.path().extension() == ".scm")
       Files.push_back(E.path().string());
   }
+  if (Ec)
+    return Error("error scanning corpus directory '" + Dir +
+                 "': " + Ec.message());
   std::sort(Files.begin(), Files.end());
   return Files;
 }
@@ -182,19 +399,51 @@ BatchResult runBatch(
   BatchResult R;
   R.Programs.resize(NamedSources.size());
 
-  if (Opts.Threads <= 1) {
-    for (size_t I = 0; I < NamedSources.size(); ++I)
-      R.Programs[I] = dispatchOne(NamedSources[I].first,
-                                  NamedSources[I].second, Opts);
-  } else {
-    // One job per program; each writes only its own pre-sized slot.
-    ThreadPool Pool(Opts.Threads);
-    for (size_t I = 0; I < NamedSources.size(); ++I)
-      Pool.submit([I, &NamedSources, &Opts, &R] {
-        R.Programs[I] = dispatchOne(NamedSources[I].first,
-                                    NamedSources[I].second, Opts);
-      });
-    Pool.wait();
+  // The watchdog thread exists only when a deadline can strand a worker.
+  std::optional<Watchdog> Dog;
+  if (Opts.DeadlineMs > 0)
+    Dog.emplace(/*PollMs=*/5.0);
+  Watchdog *DogP = Dog ? &*Dog : nullptr;
+
+  auto runPass = [&](const std::vector<size_t> &Indices,
+                     const BatchOptions &PassOpts) {
+    if (PassOpts.Threads <= 1) {
+      for (size_t I : Indices)
+        R.Programs[I] = containedDispatch(NamedSources[I].first,
+                                          NamedSources[I].second, PassOpts,
+                                          DogP);
+    } else {
+      // One job per program; each writes only its own pre-sized slot.
+      ThreadPool Pool(PassOpts.Threads);
+      for (size_t I : Indices)
+        Pool.submit([I, &NamedSources, &PassOpts, &R, DogP] {
+          R.Programs[I] = containedDispatch(NamedSources[I].first,
+                                            NamedSources[I].second, PassOpts,
+                                            DogP);
+        });
+      Pool.wait();
+    }
+  };
+
+  std::vector<size_t> All(NamedSources.size());
+  std::iota(All.begin(), All.end(), size_t{0});
+  runPass(All, Opts);
+
+  if (Opts.Retry) {
+    std::vector<size_t> Again;
+    for (size_t I = 0; I < R.Programs.size(); ++I)
+      if (deadlineTripped(R.Programs[I]))
+        Again.push_back(I);
+    if (!Again.empty()) {
+      // One reduced-cost retry: cheaper loop bound and goal budget give
+      // the same deadline a real chance of sufficing.
+      BatchOptions Reduced = Opts;
+      Reduced.LoopUnroll = std::max<uint32_t>(1, Opts.LoopUnroll / 2);
+      Reduced.MaxGoals = std::max<uint64_t>(1, Opts.MaxGoals / 2);
+      runPass(Again, Reduced);
+      for (size_t I : Again)
+        R.Programs[I].Retried = true;
+    }
   }
 
   R.WallMs = elapsedMs(Start);
@@ -224,7 +473,7 @@ BatchResult runBatchFiles(const std::vector<std::string> &Files,
 std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
   JsonWriter W;
   W.beginObject();
-  W.key("schemaVersion").value(1);
+  W.key("schemaVersion").value(2);
   W.key("domain").value(Opts.Domain);
   W.key("dupBudget").value(static_cast<uint64_t>(Opts.DupBudget));
   if (Opts.IncludeTiming) {
@@ -234,15 +483,20 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
 
   LegTotals Direct, Semantic, Syntactic, Dup;
   uint64_t Failures = 0;
+  uint64_t Kinds[6] = {0, 0, 0, 0, 0, 0};
 
   W.key("programs").beginArray();
   for (const BatchProgramResult &P : R.Programs) {
     W.beginObject();
     W.key("name").value(P.Name);
     W.key("ok").value(P.Ok);
+    if (P.Retried)
+      W.key("retried").value(true);
     if (!P.Ok) {
       ++Failures;
+      ++Kinds[static_cast<size_t>(P.Kind)];
       W.key("error").value(P.Error);
+      W.key("failKind").value(str(P.Kind));
       W.endObject();
       continue;
     }
@@ -262,6 +516,12 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
   W.key("totals").beginObject();
   W.key("programs").value(static_cast<uint64_t>(R.Programs.size()));
   W.key("failures").value(Failures);
+  W.key("failureKinds").beginObject();
+  for (BatchFailKind K :
+       {BatchFailKind::Parse, BatchFailKind::Cps, BatchFailKind::Deadline,
+        BatchFailKind::Memory, BatchFailKind::Internal})
+    W.key(str(K)).value(Kinds[static_cast<size_t>(K)]);
+  W.endObject();
   Direct.write(W, "direct", Opts);
   Semantic.write(W, "semantic", Opts);
   Syntactic.write(W, "syntactic", Opts);

@@ -16,7 +16,17 @@
 /// disjoint indices. Results are therefore bitwise-identical at every
 /// thread count; only the timing fields (and the reported thread count)
 /// vary, and batchJson can omit them (BatchOptions::IncludeTiming) so
-/// outputs can be compared across runs.
+/// outputs can be compared across runs. (Wall-clock limits — DeadlineMs —
+/// are the one deliberate exception: where a deadline trips depends on
+/// machine speed, so deadline-degraded answers are sound but not
+/// reproducible goal-for-goal.)
+///
+/// Robustness model: every worker body is exception-contained — a program
+/// that throws (out of memory, injected fault, latent bug) becomes a
+/// structured per-program failure record with a BatchFailKind, never a
+/// dead batch. Programs are additionally governed per run (soft deadline
+/// via cancellation token + watchdog thread, memory ceiling, depth cap),
+/// degrading to sound cut values exactly like goal-budget exhaustion.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +34,7 @@
 #define CPSFLOW_CLIENTS_BATCH_H
 
 #include "analysis/Common.h"
+#include "support/Result.h"
 
 #include <string>
 #include <utility>
@@ -43,10 +54,43 @@ struct BatchOptions {
   /// Per-analyzer goal budget; corpus programs that blow past it report
   /// budgetExhausted rather than stalling the batch.
   uint64_t MaxGoals = 5'000'000;
+  /// Loop-unroll bound forwarded to the CPS analyzer legs; the retry pass
+  /// halves it.
+  uint32_t LoopUnroll = 64;
+  /// Soft per-program wall-clock deadline in milliseconds; 0 = none. Each
+  /// program gets one absolute deadline shared by all four analyzer legs,
+  /// enforced cooperatively by the governor and backstopped by a watchdog
+  /// thread that fires the program's cancellation token.
+  double DeadlineMs = 0;
+  /// Per-leg StoreInterner footprint ceiling in bytes; 0 = none.
+  uint64_t MaxStoreBytes = 0;
+  /// Per-leg goal-stack depth cap; 0 = none.
+  uint32_t MaxDepth = 0;
+  /// When true, a program whose legs degraded (any resource trip) is
+  /// reported as a failure with a taxonomy kind instead of an Ok result
+  /// with degraded stats (`--on-budget=fail`).
+  bool FailOnBudget = false;
+  /// When true, programs whose first attempt tripped the deadline are
+  /// retried once at reduced cost (LoopUnroll/2, MaxGoals/2).
+  bool Retry = false;
   /// When false, batchJson omits wall-time and thread-count fields so two
   /// runs' outputs can be compared byte-for-byte.
   bool IncludeTiming = true;
 };
+
+/// Failure taxonomy for programs with !Ok — what killed (or, under
+/// FailOnBudget, degraded) the program. Aggregated in batchJson's
+/// totals.failureKinds.
+enum class BatchFailKind : uint8_t {
+  None,     ///< program succeeded
+  Parse,    ///< source did not parse
+  Cps,      ///< CPS transform failed
+  Deadline, ///< soft deadline tripped (governor or watchdog cancellation)
+  Memory,   ///< memory ceiling tripped or allocation failed
+  Internal, ///< contained unexpected exception, or a non-time budget trip
+};
+
+const char *str(BatchFailKind K);
 
 /// One analyzer leg of one program.
 struct BatchAnalyzerRecord {
@@ -59,7 +103,9 @@ struct BatchAnalyzerRecord {
 struct BatchProgramResult {
   std::string Name; ///< File base name (or caller-supplied label).
   bool Ok = false;
-  std::string Error; ///< Parse/transform failure, when !Ok.
+  std::string Error; ///< Failure description, when !Ok.
+  BatchFailKind Kind = BatchFailKind::None; ///< Taxonomy, when !Ok.
+  bool Retried = false; ///< Result comes from the reduced-cost retry pass.
   uint64_t Nodes = 0; ///< ANF term size.
   BatchAnalyzerRecord Direct, Semantic, Syntactic, Dup;
 };
@@ -71,8 +117,9 @@ struct BatchResult {
 };
 
 /// Program files (*.scm) under \p Dir, sorted by name for deterministic
-/// corpus order. Non-recursive.
-std::vector<std::string> collectCorpus(const std::string &Dir);
+/// corpus order. Non-recursive. A missing or unreadable directory is an
+/// Error (an empty corpus is a success with zero files).
+Result<std::vector<std::string>> collectCorpus(const std::string &Dir);
 
 /// Analyzes (name, source-text) pairs; see the file comment for the
 /// parallelism contract.

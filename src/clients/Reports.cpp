@@ -83,8 +83,15 @@ cpsflow::clients::describeStats(const analysis::AnalyzerStats &S) {
   std::ostringstream O;
   O << "goals=" << S.Goals << " cache-hits=" << S.CacheHits
     << " cuts=" << S.Cuts << " max-depth=" << S.MaxDepth;
-  if (S.BudgetExhausted)
-    O << " [budget exhausted]";
+  if (S.BudgetExhausted) {
+    // Keep the historical tag for plain goal exhaustion; name the wall
+    // for the governor's other trips.
+    if (S.Degraded == support::DegradeReason::None ||
+        S.Degraded == support::DegradeReason::Goals)
+      O << " [budget exhausted]";
+    else
+      O << " [degraded: " << support::str(S.Degraded) << "]";
+  }
   if (S.LoopBounded)
     O << " [loop join truncated]";
   return O.str();

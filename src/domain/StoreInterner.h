@@ -71,6 +71,16 @@ public:
   /// Number of distinct stores interned so far.
   size_t size() const { return Entries.size(); }
 
+  /// O(1) estimate of the table's memory footprint: interned entries
+  /// times the dense store width. Ignores per-slot heap payload (closure
+  /// sets are bounded by the program-sized universe), which is fine for
+  /// its one consumer — the resource governor's memory ceiling, where the
+  /// quantity that actually explodes under Section 6.2 duplication is the
+  /// *count* of distinct stores.
+  size_t approxBytes() const {
+    return Entries.size() * (sizeof(Entry) + Vars * sizeof(V));
+  }
+
   /// The dense store named by \p Id. The reference is stable for the
   /// interner's lifetime.
   const StoreT &store(StoreId Id) const {

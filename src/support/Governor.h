@@ -1,0 +1,170 @@
+//===- support/Governor.h - Per-run resource governor -----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resource governor: a per-run guard that bounds an analyzer run in
+/// wall-clock time, interned-store memory, goal-stack depth, and goal
+/// count, and carries a cooperative cancellation token settable from
+/// another thread (the batch driver's watchdog).
+///
+/// Section 6.2 of the paper is the motivation: the CPS analyses are
+/// uncomputable with `loop` and exponential at conditionals/calls, so a
+/// production analyzer must bound every run in *time and memory*, not
+/// just goal count, and degrade to the sound Section 4.4 cut value
+/// instead of dying. Any tripped limit degrades the run exactly like the
+/// original MaxGoals path — the current goal returns the least precise
+/// value (T, CL_T) with the current store, which joins upward — but the
+/// trip is recorded as a structured DegradeReason so clients can
+/// distinguish *exact* answers from *degraded* ones, and *which* wall the
+/// run hit.
+///
+/// Cost model: the per-goal check is three predictable compares plus a
+/// counter decrement. The expensive probes — the clock read and the
+/// cross-thread cancellation load — run only every CheckPeriod goals
+/// (bench/governor_overhead measures the total at <2% of analyzer
+/// throughput). Depth and memory are checked every goal: both are O(1)
+/// reads against per-run state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_GOVERNOR_H
+#define CPSFLOW_SUPPORT_GOVERNOR_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace cpsflow {
+namespace support {
+
+/// Why a run degraded. Ordered roughly by how "external" the trip is;
+/// None means the run computed its answer without hitting any wall.
+enum class DegradeReason : uint8_t {
+  None,      ///< no limit tripped
+  Goals,     ///< AnalyzerOptions::MaxGoals exhausted (the original path)
+  Deadline,  ///< GovernorLimits::Deadline passed
+  Memory,    ///< store interner grew past GovernorLimits::MaxStoreBytes
+  Depth,     ///< goal stack deeper than GovernorLimits::MaxDepth
+  Cancelled, ///< the cancellation token fired (watchdog or client)
+};
+
+inline const char *str(DegradeReason R) {
+  switch (R) {
+  case DegradeReason::None:
+    return "none";
+  case DegradeReason::Goals:
+    return "goals";
+  case DegradeReason::Deadline:
+    return "deadline";
+  case DegradeReason::Memory:
+    return "memory";
+  case DegradeReason::Depth:
+    return "depth";
+  case DegradeReason::Cancelled:
+    return "cancelled";
+  }
+  return "?";
+}
+
+/// Cooperative cancellation: the runner polls, any thread may set. Shared
+/// by shared_ptr so the setter can outlive (or predate) the run.
+class CancelToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// The limits one run is governed by. Default-constructed limits govern
+/// nothing (every check short-circuits), so ungoverned runs behave — and
+/// cost — exactly like the pre-governor analyzers.
+struct GovernorLimits {
+  /// Absolute wall-clock deadline. Use deadlineIn() for "N ms from now".
+  std::optional<std::chrono::steady_clock::time_point> Deadline;
+
+  /// Ceiling on the run's StoreInterner footprint estimate in bytes
+  /// (StoreInterner::approxBytes); 0 = unlimited. The interner is where a
+  /// duplication blow-up accumulates state, so its growth is the run's
+  /// memory proxy.
+  uint64_t MaxStoreBytes = 0;
+
+  /// Goal-stack depth cap; 0 = unlimited. Bounds the recursion of a
+  /// pathological derivation independently of total goal count.
+  uint32_t MaxDepth = 0;
+
+  /// Cooperative cancellation; null = not cancellable.
+  std::shared_ptr<CancelToken> Cancel;
+
+  /// Goals between the expensive probes (clock read, cancellation load).
+  /// Must be >= 1. Small values make cancellation/deadline latency tight
+  /// at some per-goal cost; tests use 1 for determinism of trip points.
+  uint32_t CheckPeriod = 1024;
+
+  /// Sets Deadline to \p Ms milliseconds from now (no-op if Ms <= 0).
+  void deadlineIn(double Ms) {
+    if (Ms > 0)
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(Ms));
+  }
+};
+
+/// The per-run guard. Construct with the limits and the run's goal
+/// budget; call check() once per proof goal. Single-threaded like the
+/// analyzer that owns it (only the CancelToken is cross-thread).
+class Governor {
+public:
+  Governor() : Governor(GovernorLimits(), UINT64_MAX) {}
+
+  /// The first goal always probes (Countdown starts at 1): a run whose
+  /// deadline already passed — or whose token was cancelled before it
+  /// started, e.g. by the watchdog during a stall — trips immediately
+  /// even when the run is shorter than CheckPeriod.
+  Governor(const GovernorLimits &L, uint64_t MaxGoals)
+      : Limits(L), MaxGoals(MaxGoals), Countdown(1) {}
+
+  /// Returns the first tripped limit, or None. Latches: once a limit has
+  /// tripped, every later call reports the same reason, mirroring the
+  /// analyzers' sticky BudgetExhausted flag.
+  DegradeReason check(uint64_t Goals, uint32_t Depth, size_t StoreBytes) {
+    if (Tripped != DegradeReason::None)
+      return Tripped;
+    if (Goals > MaxGoals)
+      return trip(DegradeReason::Goals);
+    if (Limits.MaxDepth && Depth > Limits.MaxDepth)
+      return trip(DegradeReason::Depth);
+    if (Limits.MaxStoreBytes && StoreBytes > Limits.MaxStoreBytes)
+      return trip(DegradeReason::Memory);
+    if (--Countdown == 0) {
+      Countdown = Limits.CheckPeriod ? Limits.CheckPeriod : 1;
+      if (Limits.Cancel && Limits.Cancel->cancelled())
+        return trip(DegradeReason::Cancelled);
+      if (Limits.Deadline &&
+          std::chrono::steady_clock::now() > *Limits.Deadline)
+        return trip(DegradeReason::Deadline);
+    }
+    return DegradeReason::None;
+  }
+
+  DegradeReason tripped() const { return Tripped; }
+
+private:
+  DegradeReason trip(DegradeReason R) { return Tripped = R; }
+
+  GovernorLimits Limits;
+  uint64_t MaxGoals;
+  uint32_t Countdown;
+  DegradeReason Tripped = DegradeReason::None;
+};
+
+} // namespace support
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_GOVERNOR_H

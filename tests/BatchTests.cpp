@@ -31,15 +31,30 @@ std::string corpusDir() {
 }
 
 TEST(Batch, CollectCorpusFindsCommittedPrograms) {
-  std::vector<std::string> Files = collectCorpus(corpusDir());
-  EXPECT_GE(Files.size(), 8u);
+  Result<std::vector<std::string>> Files = collectCorpus(corpusDir());
+  ASSERT_TRUE(Files.hasValue());
+  EXPECT_GE(Files->size(), 8u);
   // Sorted for deterministic corpus order.
-  EXPECT_TRUE(std::is_sorted(Files.begin(), Files.end()));
+  EXPECT_TRUE(std::is_sorted(Files->begin(), Files->end()));
+}
+
+TEST(Batch, CollectCorpusReportsMissingDirectory) {
+  Result<std::vector<std::string>> Missing =
+      collectCorpus(corpusDir() + "/no-such-subdir");
+  ASSERT_FALSE(Missing.hasValue());
+  EXPECT_NE(Missing.error().Message.find("corpus directory"),
+            std::string::npos)
+      << Missing.error().Message;
+
+  // A file is not a directory either.
+  Result<std::vector<std::string>> File =
+      collectCorpus(std::string(CPSFLOW_SOURCE_DIR) + "/ROADMAP.md");
+  EXPECT_FALSE(File.hasValue());
 }
 
 TEST(Batch, CommittedCorpusAnalyzesClean) {
   BatchOptions Opts;
-  BatchResult R = runBatchFiles(collectCorpus(corpusDir()), Opts);
+  BatchResult R = runBatchFiles(collectCorpus(corpusDir()).take(), Opts);
   for (const BatchProgramResult &P : R.Programs) {
     EXPECT_TRUE(P.Ok) << P.Name << ": " << P.Error;
     EXPECT_GT(P.Nodes, 0u) << P.Name;
@@ -53,7 +68,7 @@ TEST(Batch, CommittedCorpusAnalyzesClean) {
 }
 
 TEST(Batch, ThreadCountDoesNotChangeResults) {
-  std::vector<std::string> Files = collectCorpus(corpusDir());
+  std::vector<std::string> Files = collectCorpus(corpusDir()).take();
   BatchOptions Opts;
   Opts.IncludeTiming = false; // timing-free JSON compares byte-for-byte
 
@@ -84,6 +99,11 @@ TEST(Batch, FailuresAreIsolatedPerProgram) {
   std::string Json = batchJson(R, Opts);
   EXPECT_NE(Json.find("\"failures\":1"), std::string::npos) << Json;
   EXPECT_NE(Json.find("\"ok\":false"), std::string::npos) << Json;
+  // The failure is classified in the taxonomy, per-program and in totals.
+  EXPECT_EQ(R.Programs[1].Kind, BatchFailKind::Parse);
+  EXPECT_NE(Json.find("\"failKind\":\"parse\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"failureKinds\":{\"parse\":1"), std::string::npos)
+      << Json;
 }
 
 TEST(Batch, JsonSchemaBasics) {
@@ -91,7 +111,9 @@ TEST(Batch, JsonSchemaBasics) {
   Opts.Threads = 3;
   BatchResult R = runBatch({{"p", "(add1 41)"}}, Opts);
   std::string Json = batchJson(R, Opts);
-  EXPECT_NE(Json.find("\"schemaVersion\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"schemaVersion\":2"), std::string::npos);
+  EXPECT_NE(Json.find("\"degradeReason\":\"none\""), std::string::npos);
+  EXPECT_NE(Json.find("\"failureKinds\":"), std::string::npos);
   EXPECT_NE(Json.find("\"domain\":\"constant\""), std::string::npos);
   EXPECT_NE(Json.find("\"threads\":3"), std::string::npos);
   EXPECT_NE(Json.find("\"wallMs\":"), std::string::npos);

@@ -1,0 +1,402 @@
+//===- tests/GovernorTests.cpp - Resource governor --------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resource governor and the hardened batch driver: every trip
+/// (deadline, memory, depth, cancellation, goal budget) degrades to a
+/// sound over-approximation with a structured DegradeReason; goal-count
+/// trips are deterministic; the batch driver contains injected worker
+/// faults as per-program failure records at every thread count.
+///
+/// Soundness here is the Section 4.4 cut guarantee: the degraded VALUE
+/// half is always ⊒ the exact value (the cut returns the lattice top
+/// (T, CL_T), which joins upward). The STORE half carries no such
+/// guarantee — unexplored paths' effects are simply missing (see
+/// DESIGN.md section 7) — so the tests compare value halves only. The
+/// exact sides come from the frozen tests/reference/ seed oracles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/DupAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "clients/Batch.h"
+#include "gen/Workloads.h"
+#include "reference/RefDirectAnalyzer.h"
+#include "reference/RefDupAnalyzer.h"
+#include "reference/RefSemanticCpsAnalyzer.h"
+#include "reference/RefSyntacticCpsAnalyzer.h"
+#include "support/FaultInjector.h"
+#include "support/Governor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+using namespace cpsflow;
+using namespace cpsflow::analysis;
+using namespace cpsflow::clients;
+using cpsflow::support::DegradeReason;
+using CD = domain::ConstantDomain;
+
+namespace {
+
+/// Runs all four governed analyzers on \p W and hands each result (with
+/// the matching reference-oracle result) to \p Check.
+template <typename CheckFn>
+void forEachAnalyzer(Context &Ctx, const Witness &W,
+                     const AnalyzerOptions &AOpts, CheckFn Check) {
+  auto Init = directBindings<CD>(W);
+  auto CInit = cpsBindings<CD>(W);
+  Check("direct", DirectAnalyzer<CD>(Ctx, W.Anf, Init, AOpts).run(),
+        refimpl::RefDirectAnalyzer<CD>(Ctx, W.Anf, Init).run());
+  Check("semantic", SemanticCpsAnalyzer<CD>(Ctx, W.Anf, Init, AOpts).run(),
+        refimpl::RefSemanticCpsAnalyzer<CD>(Ctx, W.Anf, Init).run());
+  Check("syntactic", SyntacticCpsAnalyzer<CD>(Ctx, W.Cps, CInit, AOpts).run(),
+        refimpl::RefSyntacticCpsAnalyzer<CD>(Ctx, W.Cps, CInit).run());
+  Check("dup", DupAnalyzer<CD>(Ctx, W.Anf, Init, 2, AOpts).run(),
+        refimpl::RefDupAnalyzer<CD>(Ctx, W.Anf, Init, 2).run());
+}
+
+/// Asserts the tripped run is marked degraded with \p Want and its value
+/// half over-approximates the exact (reference) value.
+template <typename R>
+void expectSoundTrip(const char *Leg, const R &Gov, const R &Ref,
+                     DegradeReason Want) {
+  EXPECT_TRUE(Gov.Stats.BudgetExhausted) << Leg;
+  EXPECT_EQ(Gov.Stats.Degraded, Want) << Leg;
+  EXPECT_FALSE(Gov.Stats.complete()) << Leg;
+  using V = std::decay_t<decltype(Ref.Answer.Value)>;
+  EXPECT_TRUE(V::leq(Ref.Answer.Value, Gov.Answer.Value))
+      << Leg << ": degraded value must over-approximate the exact value";
+}
+
+TEST(Governor, UngovernedRunsStayExact) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, 4);
+  forEachAnalyzer(Ctx, W, AnalyzerOptions(),
+                  [](const char *Leg, const auto &Gov, const auto &Ref) {
+                    EXPECT_EQ(Gov.Stats.Degraded, DegradeReason::None) << Leg;
+                    EXPECT_FALSE(Gov.Stats.BudgetExhausted) << Leg;
+                    EXPECT_TRUE(Gov.Answer == Ref.Answer) << Leg;
+                  });
+}
+
+TEST(Governor, GoalBudgetTripRecordsReason) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, 5);
+  AnalyzerOptions AOpts;
+  AOpts.MaxGoals = 10;
+  forEachAnalyzer(Ctx, W, AOpts,
+                  [](const char *Leg, const auto &Gov, const auto &Ref) {
+                    expectSoundTrip(Leg, Gov, Ref, DegradeReason::Goals);
+                  });
+}
+
+TEST(Governor, ExpiredDeadlineTripsImmediatelyAndStaysSound) {
+  Context Ctx;
+  AnalyzerOptions AOpts;
+  // Already-past deadline: the first goal's probe must trip it even
+  // though the run is far shorter than CheckPeriod.
+  AOpts.Governor.Deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  for (Witness W : {gen::conditionalChain(Ctx, 4), theorem51(Ctx)})
+    forEachAnalyzer(Ctx, W, AOpts,
+                    [](const char *Leg, const auto &Gov, const auto &Ref) {
+                      expectSoundTrip(Leg, Gov, Ref, DegradeReason::Deadline);
+                      EXPECT_EQ(Gov.Stats.Goals, 1u) << Leg;
+                    });
+}
+
+TEST(Governor, MemoryCeilingTripsAndStaysSound) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, 4);
+  AnalyzerOptions AOpts;
+  // Any interner content (the interned bottom store) exceeds one byte.
+  AOpts.Governor.MaxStoreBytes = 1;
+  forEachAnalyzer(Ctx, W, AOpts,
+                  [](const char *Leg, const auto &Gov, const auto &Ref) {
+                    expectSoundTrip(Leg, Gov, Ref, DegradeReason::Memory);
+                  });
+}
+
+TEST(Governor, DepthCapTripsAndStaysSound) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, 4);
+  AnalyzerOptions AOpts;
+  AOpts.Governor.MaxDepth = 1;
+  forEachAnalyzer(Ctx, W, AOpts,
+                  [](const char *Leg, const auto &Gov, const auto &Ref) {
+                    expectSoundTrip(Leg, Gov, Ref, DegradeReason::Depth);
+                  });
+}
+
+TEST(Governor, GoalTripIsDeterministic) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, 6);
+  AnalyzerOptions AOpts;
+  AOpts.MaxGoals = 25;
+  auto Init = directBindings<CD>(W);
+  auto A = DirectAnalyzer<CD>(Ctx, W.Anf, Init, AOpts).run();
+  auto B = DirectAnalyzer<CD>(Ctx, W.Anf, Init, AOpts).run();
+  EXPECT_TRUE(A.Answer == B.Answer);
+  EXPECT_EQ(A.Stats.Goals, B.Stats.Goals);
+  EXPECT_EQ(A.Stats.Cuts, B.Stats.Cuts);
+  EXPECT_EQ(A.Stats.MaxDepth, B.Stats.MaxDepth);
+  EXPECT_EQ(A.Stats.Degraded, DegradeReason::Goals);
+  EXPECT_EQ(B.Stats.Degraded, DegradeReason::Goals);
+}
+
+TEST(Governor, PreCancelledTokenTripsImmediately) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, 4);
+  AnalyzerOptions AOpts;
+  AOpts.Governor.Cancel = std::make_shared<support::CancelToken>();
+  AOpts.Governor.Cancel->cancel();
+  forEachAnalyzer(Ctx, W, AOpts,
+                  [](const char *Leg, const auto &Gov, const auto &Ref) {
+                    expectSoundTrip(Leg, Gov, Ref, DegradeReason::Cancelled);
+                    EXPECT_EQ(Gov.Stats.Goals, 1u) << Leg;
+                  });
+}
+
+TEST(Governor, CancellationFromAnotherThread) {
+  Context Ctx;
+  // 2^22 CPS paths: hours of work ungoverned, so the run is still in
+  // flight whenever the cancel lands; the analyzer then unwinds quickly
+  // because every in-flight goal returns its cut value.
+  Witness W = gen::conditionalChain(Ctx, 22);
+  AnalyzerOptions AOpts;
+  AOpts.Governor.Cancel = std::make_shared<support::CancelToken>();
+  AOpts.Governor.CheckPeriod = 64;
+  auto Init = directBindings<CD>(W);
+
+  SemanticResult<CD> R;
+  std::thread Runner([&] {
+    R = SemanticCpsAnalyzer<CD>(Ctx, W.Anf, Init, AOpts).run();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  AOpts.Governor.Cancel->cancel();
+  Runner.join();
+
+  EXPECT_TRUE(R.Stats.BudgetExhausted);
+  EXPECT_EQ(R.Stats.Degraded, DegradeReason::Cancelled);
+}
+
+TEST(Governor, DeadlineCutsDivergentLoopWorkload) {
+  Context Ctx;
+  // The Section 6.2 divergence made operational: an effectively unbounded
+  // loop unroll would run for months; a 50 ms deadline must cut it to a
+  // sound degraded answer.
+  Witness W = gen::loopProbe(Ctx, 2);
+  AnalyzerOptions AOpts;
+  AOpts.LoopUnroll = 2'000'000'000;
+  AOpts.Governor.deadlineIn(50);
+  auto R =
+      SemanticCpsAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W), AOpts).run();
+  EXPECT_TRUE(R.Stats.BudgetExhausted);
+  EXPECT_EQ(R.Stats.Degraded, DegradeReason::Deadline);
+}
+
+/// A let* chain of N conditionals, each testing a FRESH free input
+/// (bound to top by the batch driver) with branch results derived from
+/// the previous link: no branch is ever prunable, per-path values stay
+/// distinct, so the CPS analyzers explore all 2^N paths — the paper's
+/// Section 6.2 exponential-duplication shape as batch source text
+/// (gen::conditionalChain in surface syntax).
+std::string chainSource(int N) {
+  std::string S = "(let* (";
+  std::string Prev;
+  for (int I = 0; I < N; ++I) {
+    std::string X = "x" + std::to_string(I);
+    std::string Z = "z" + std::to_string(I);
+    if (Prev.empty())
+      S += "(" + X + " (if0 " + Z + " 1 2))";
+    else
+      S += "(" + X + " (if0 " + Z + " (add1 " + Prev + ") (sub1 " + Prev +
+           ")))";
+    Prev = X;
+  }
+  return S + ") " + Prev + ")";
+}
+
+bool legDeadlineTripped(const BatchAnalyzerRecord &Rec) {
+  return Rec.Stats.Degraded == DegradeReason::Deadline ||
+         Rec.Stats.Degraded == DegradeReason::Cancelled;
+}
+
+TEST(GovernorBatch, DeadlineDegradesExponentialProgram) {
+  BatchOptions Opts;
+  Opts.DeadlineMs = 2;
+  BatchResult R = runBatch({{"chain", chainSource(16)}}, Opts);
+  ASSERT_EQ(R.Programs.size(), 1u);
+  const BatchProgramResult &P = R.Programs[0];
+  // Default mode degrades instead of failing: the program is Ok with
+  // sound answers, and the tripped legs say why.
+  EXPECT_TRUE(P.Ok) << P.Error;
+  EXPECT_TRUE(legDeadlineTripped(P.Semantic) || legDeadlineTripped(P.Syntactic))
+      << "expected the exponential CPS legs to trip the 2 ms deadline";
+  std::string Json = batchJson(R, Opts);
+  EXPECT_TRUE(Json.find("\"degradeReason\":\"deadline\"") != std::string::npos ||
+              Json.find("\"degradeReason\":\"cancelled\"") != std::string::npos)
+      << Json;
+}
+
+TEST(GovernorBatch, FailOnBudgetClassifiesMemory) {
+  BatchOptions Opts;
+  Opts.MaxStoreBytes = 1;
+  Opts.FailOnBudget = true;
+  BatchResult R = runBatch({{"p", "(add1 1)"}}, Opts);
+  ASSERT_EQ(R.Programs.size(), 1u);
+  EXPECT_FALSE(R.Programs[0].Ok);
+  EXPECT_EQ(R.Programs[0].Kind, BatchFailKind::Memory);
+  std::string Json = batchJson(R, Opts);
+  EXPECT_NE(Json.find("\"failKind\":\"memory\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"memory\":1"), std::string::npos) << Json;
+}
+
+TEST(GovernorBatch, FailOnBudgetClassifiesDepthAsInternal) {
+  BatchOptions Opts;
+  Opts.MaxDepth = 1;
+  Opts.FailOnBudget = true;
+  BatchResult R = runBatch({{"p", chainSource(4)}}, Opts);
+  ASSERT_EQ(R.Programs.size(), 1u);
+  EXPECT_FALSE(R.Programs[0].Ok);
+  EXPECT_EQ(R.Programs[0].Kind, BatchFailKind::Internal);
+}
+
+TEST(GovernorBatch, DegradeModeKeepsBudgetTrippedProgramsOk) {
+  // The pre-governor contract: a goal-budget blowout is an Ok result
+  // with budgetExhausted stats, not a failure.
+  BatchOptions Opts;
+  Opts.MaxGoals = 10;
+  BatchResult R = runBatch({{"p", chainSource(6)}}, Opts);
+  ASSERT_EQ(R.Programs.size(), 1u);
+  EXPECT_TRUE(R.Programs[0].Ok);
+  EXPECT_TRUE(R.Programs[0].Direct.Stats.BudgetExhausted);
+  EXPECT_EQ(R.Programs[0].Direct.Stats.Degraded, DegradeReason::Goals);
+}
+
+TEST(GovernorBatch, RetryRerunsDeadlineTrippedPrograms) {
+  BatchOptions Opts;
+  Opts.DeadlineMs = 0.0001; // effectively already expired
+  Opts.Retry = true;
+  BatchResult R =
+      runBatch({{"chain", chainSource(16)}, {"fast", "(add1 1)"}}, Opts);
+  ASSERT_EQ(R.Programs.size(), 2u);
+  // The exponential program tripped and was rerun at reduced cost.
+  EXPECT_TRUE(R.Programs[0].Retried);
+  // The trivial program finished inside even this deadline window's first
+  // goal probe... or tripped-and-retried; either way it must not hang.
+  EXPECT_TRUE(R.Programs[1].Ok) << R.Programs[1].Error;
+}
+
+TEST(GovernorBatch, GoalTripJsonIsDeterministic) {
+  BatchOptions Opts;
+  Opts.MaxGoals = 100;
+  Opts.IncludeTiming = false;
+  std::vector<std::pair<std::string, std::string>> Sources = {
+      {"a", chainSource(8)}, {"b", chainSource(3)}};
+  std::string First = batchJson(runBatch(Sources, Opts), Opts);
+  std::string Second = batchJson(runBatch(Sources, Opts), Opts);
+  EXPECT_EQ(First, Second);
+}
+
+#ifdef CPSFLOW_FAULT_INJECTION
+
+TEST(GovernorFault, InjectedThrowIsContainedAtEveryThreadCount) {
+  fault::ScopedFault F(
+      {fault::Site::BatchWorker, fault::Action::Throw, "boom"});
+  std::vector<std::pair<std::string, std::string>> Sources = {
+      {"alpha", "(add1 1)"},
+      {"boom", "(add1 2)"},
+      {"gamma", "(if0 0 1 2)"},
+      {"delta", "(sub1 9)"},
+  };
+  BatchOptions Opts;
+  Opts.IncludeTiming = false;
+
+  Opts.Threads = 1;
+  BatchResult R1 = runBatch(Sources, Opts);
+  ASSERT_EQ(R1.Programs.size(), 4u);
+  EXPECT_TRUE(R1.Programs[0].Ok);
+  EXPECT_FALSE(R1.Programs[1].Ok);
+  EXPECT_EQ(R1.Programs[1].Kind, BatchFailKind::Internal);
+  EXPECT_NE(R1.Programs[1].Error.find("injected fault"), std::string::npos);
+  EXPECT_TRUE(R1.Programs[2].Ok);
+  EXPECT_TRUE(R1.Programs[3].Ok);
+
+  std::string Baseline = batchJson(R1, Opts);
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    Opts.Threads = Threads;
+    EXPECT_EQ(batchJson(runBatch(Sources, Opts), Opts), Baseline)
+        << "threads=" << Threads;
+  }
+}
+
+TEST(GovernorFault, InjectedBadAllocClassifiesAsMemory) {
+  fault::ScopedFault F(
+      {fault::Site::BatchWorker, fault::Action::BadAlloc, "oom"});
+  BatchOptions Opts;
+  BatchResult R = runBatch({{"oom", "(add1 1)"}, {"ok", "(add1 2)"}}, Opts);
+  ASSERT_EQ(R.Programs.size(), 2u);
+  EXPECT_FALSE(R.Programs[0].Ok);
+  EXPECT_EQ(R.Programs[0].Kind, BatchFailKind::Memory);
+  EXPECT_TRUE(R.Programs[1].Ok);
+  std::string Json = batchJson(R, Opts);
+  EXPECT_NE(Json.find("\"failKind\":\"memory\""), std::string::npos) << Json;
+}
+
+TEST(GovernorFault, ThrowInsideAnalyzerGoalIsContained) {
+  // Fires at the third proof goal of whichever leg gets there first —
+  // deep inside an analyzer, not at the worker boundary.
+  fault::Plan P;
+  P.Where = fault::Site::AnalyzerGoal;
+  P.What = fault::Action::Throw;
+  P.AtCount = 3;
+  fault::ScopedFault F(P);
+  BatchOptions Opts;
+  BatchResult R = runBatch({{"p", chainSource(4)}}, Opts);
+  ASSERT_EQ(R.Programs.size(), 1u);
+  EXPECT_FALSE(R.Programs[0].Ok);
+  EXPECT_EQ(R.Programs[0].Kind, BatchFailKind::Internal);
+  EXPECT_NE(R.Programs[0].Error.find("injected fault"), std::string::npos);
+}
+
+TEST(GovernorFault, StalledWorkerTripsDeadline) {
+  // The worker stalls 100 ms at its entry with a 10 ms soft deadline: by
+  // the time analysis starts the deadline is long past (and the watchdog
+  // has fired the token during the stall), so the very first goal probe
+  // trips and strict mode classifies the program as a deadline failure.
+  fault::Plan P;
+  P.Where = fault::Site::BatchWorker;
+  P.What = fault::Action::Stall;
+  P.Name = "slow";
+  P.StallMs = 100;
+  fault::ScopedFault F(P);
+  BatchOptions Opts;
+  Opts.DeadlineMs = 10;
+  Opts.FailOnBudget = true;
+  BatchResult R = runBatch({{"fast", "(add1 1)"}, {"slow", "(add1 2)"}}, Opts);
+  ASSERT_EQ(R.Programs.size(), 2u);
+  EXPECT_TRUE(R.Programs[0].Ok) << R.Programs[0].Error;
+  EXPECT_FALSE(R.Programs[1].Ok);
+  EXPECT_EQ(R.Programs[1].Kind, BatchFailKind::Deadline);
+}
+
+#else
+
+TEST(GovernorFault, CompiledOut) {
+  GTEST_SKIP() << "fault injection compiled out (CPSFLOW_FAULT_INJECTION "
+                  "off); containment tests run in the instrumented CI job";
+}
+
+#endif // CPSFLOW_FAULT_INJECTION
+
+} // namespace

@@ -88,6 +88,12 @@ struct Options {
   uint32_t Budget = 2;
   uint64_t Fuel = 1u << 20;
   unsigned Threads = 1;
+  double DeadlineMs = 0;
+  uint64_t MaxStoreMb = 0;
+  uint32_t MaxDepthCap = 0;
+  uint32_t LoopUnroll = 64;
+  bool FailOnBudget = false;
+  bool Retry = false;
   std::string OutFile;
   bool NoTiming = false;
   bool ShowCfg = false;
@@ -111,6 +117,14 @@ struct Options {
       "          --bind x=N   --top x   --budget N   --fuel N\n"
       "          --show-cfg   --show-store   --show-derivation\n"
       "          --json   --trace\n"
+      "          --deadline-ms N    soft wall-clock deadline per analysis\n"
+      "          --max-store-mb N   interned-store memory ceiling\n"
+      "          --max-depth N      goal-stack depth cap\n"
+      "          --loop-unroll N    CPS loop unroll bound (default 64)\n"
+      "          --on-budget=fail|degrade   degraded answers: exit 1 or\n"
+      "                             report (default degrade)\n"
+      "          --retry            batch: rerun deadline-tripped programs\n"
+      "                             once at reduced cost\n"
       "          --threads N  --out FILE  --no-timing   (batch only;\n"
       "          batch takes a DIRECTORY of *.scm in place of FILE)\n"
       "FILE may be '-' for stdin.\n");
@@ -150,6 +164,24 @@ Options parseArgs(int Argc, char **Argv) {
       O.Fuel = std::strtoull(Argv[++I], nullptr, 10);
     } else if (A == "--threads" && I + 1 < Argc) {
       O.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (A == "--deadline-ms" && I + 1 < Argc) {
+      O.DeadlineMs = std::strtod(Argv[++I], nullptr);
+    } else if (A == "--max-store-mb" && I + 1 < Argc) {
+      O.MaxStoreMb = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (A == "--max-depth" && I + 1 < Argc) {
+      O.MaxDepthCap = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    } else if (A == "--loop-unroll" && I + 1 < Argc) {
+      O.LoopUnroll = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    } else if (A.rfind("--on-budget=", 0) == 0) {
+      std::string Mode = Value("--on-budget=");
+      if (Mode == "fail")
+        O.FailOnBudget = true;
+      else if (Mode == "degrade")
+        O.FailOnBudget = false;
+      else
+        usage("--on-budget expects fail or degrade");
+    } else if (A == "--retry") {
+      O.Retry = true;
     } else if (A == "--out" && I + 1 < Argc) {
       O.OutFile = Argv[++I];
     } else if (A == "--no-timing") {
@@ -354,6 +386,20 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
 
   std::vector<Symbol> Vars = syntax::collectVariables(L.Anf);
 
+  // One governed options block shared by every analyzer this command
+  // runs; compare's three legs share one absolute deadline.
+  analysis::AnalyzerOptions AOpts;
+  AOpts.LoopUnroll = O.LoopUnroll;
+  AOpts.Governor.MaxStoreBytes = O.MaxStoreMb * 1024 * 1024;
+  AOpts.Governor.MaxDepth = O.MaxDepthCap;
+  if (O.DeadlineMs > 0)
+    AOpts.Governor.deadlineIn(O.DeadlineMs);
+
+  bool AnyDegraded = false;
+  auto Finish = [&](int RC) {
+    return (O.FailOnBudget && AnyDegraded && RC == 0) ? 1 : RC;
+  };
+
   // Shared JSON document across Report calls (compare emits several).
   JsonWriter W;
   bool JsonOpen = false;
@@ -380,6 +426,7 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
   };
 
   auto Report = [&](const char *RawName, const auto &R) {
+    AnyDegraded |= R.Stats.BudgetExhausted;
     std::string Padded = RawName;
     Padded.resize(9, ' ');
     const char *Name = Padded.c_str();
@@ -397,6 +444,7 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
       W.key("deadPaths").value(R.Stats.DeadPaths);
       W.key("prunedBranches").value(R.Stats.PrunedBranches);
       W.key("budgetExhausted").value(R.Stats.BudgetExhausted);
+      W.key("degradeReason").value(support::str(R.Stats.Degraded));
       W.key("loopBounded").value(R.Stats.LoopBounded);
       W.endObject();
       if (O.ShowStore) {
@@ -421,9 +469,11 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
   };
 
   if (O.Command == "compare") {
-    auto AD = analysis::DirectAnalyzer<D>(L.Ctx, L.Anf, Init).run();
-    auto AS = analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init).run();
-    auto AC = analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit).run();
+    auto AD = analysis::DirectAnalyzer<D>(L.Ctx, L.Anf, Init, AOpts).run();
+    auto AS =
+        analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init, AOpts).run();
+    auto AC =
+        analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit, AOpts).run();
     Report("direct", AD);
     Report("semantic", AS);
     Report("syntactic", AC);
@@ -433,7 +483,7 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
     analysis::Comparison SvD =
         analysis::compareDirectWorld<D>(L.Ctx, AS, AD, Vars);
     if (O.Json)
-      return JsonEnd(str(DvC.Overall), str(SvD.Overall));
+      return Finish(JsonEnd(str(DvC.Overall), str(SvD.Overall)));
     std::printf("\ndirect vs syntactic-CPS: %s\n", str(DvC.Overall));
     std::printf("semantic vs direct:      %s\n", str(SvD.Overall));
     for (const analysis::VarComparison &VC : DvC.Vars)
@@ -441,12 +491,11 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
         std::printf("  %s: direct %s vs cps %s (%s)\n",
                     std::string(L.Ctx.spelling(VC.Var)).c_str(),
                     VC.Left.c_str(), VC.Right.c_str(), str(VC.Order));
-    return 0;
+    return Finish(0);
   }
 
   if (O.Analyzer == "direct") {
     std::vector<std::string> Derivation;
-    analysis::AnalyzerOptions AOpts;
     if (O.ShowDerivation)
       AOpts.DerivationSink = &Derivation;
     auto R =
@@ -458,21 +507,23 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
     }
     Report("direct", R);
   } else if (O.Analyzer == "semantic") {
-    auto R = analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init).run();
+    auto R =
+        analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init, AOpts).run();
     Report("semantic", R);
   } else if (O.Analyzer == "syntactic") {
-    auto R = analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit).run();
+    auto R =
+        analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit, AOpts).run();
     Report("syntactic", R);
   } else if (O.Analyzer == "dup") {
-    auto R =
-        analysis::DupAnalyzer<D>(L.Ctx, L.Anf, Init, O.Budget).run();
+    auto R = analysis::DupAnalyzer<D>(L.Ctx, L.Anf, Init, O.Budget, AOpts)
+                 .run();
     Report("dup", R);
   } else {
     usage("unknown analyzer");
   }
   if (O.Json)
-    return JsonEnd(nullptr, nullptr);
-  return 0;
+    return Finish(JsonEnd(nullptr, nullptr));
+  return Finish(0);
 }
 
 int cmdAnalyze(const Options &O) {
@@ -493,8 +544,12 @@ int cmdAnalyze(const Options &O) {
 
 int cmdBatch(const Options &O) {
   // O.File is a corpus directory here, not a single program.
-  std::vector<std::string> Files = clients::collectCorpus(O.File);
-  if (Files.empty()) {
+  Result<std::vector<std::string>> Files = clients::collectCorpus(O.File);
+  if (!Files) {
+    std::fprintf(stderr, "error: %s\n", Files.error().str().c_str());
+    return 1;
+  }
+  if (Files->empty()) {
     std::fprintf(stderr, "error: no *.scm programs under '%s'\n",
                  O.File.c_str());
     return 1;
@@ -503,8 +558,15 @@ int cmdBatch(const Options &O) {
   BOpts.Threads = O.Threads;
   BOpts.Domain = O.Domain;
   BOpts.DupBudget = O.Budget;
+  BOpts.MaxGoals = 5'000'000;
+  BOpts.LoopUnroll = O.LoopUnroll;
+  BOpts.DeadlineMs = O.DeadlineMs;
+  BOpts.MaxStoreBytes = O.MaxStoreMb * 1024 * 1024;
+  BOpts.MaxDepth = O.MaxDepthCap;
+  BOpts.FailOnBudget = O.FailOnBudget;
+  BOpts.Retry = O.Retry;
   BOpts.IncludeTiming = !O.NoTiming;
-  clients::BatchResult R = clients::runBatchFiles(Files, BOpts);
+  clients::BatchResult R = clients::runBatchFiles(*Files, BOpts);
   std::string Json = clients::batchJson(R, BOpts);
   if (!O.OutFile.empty()) {
     std::ofstream Out(O.OutFile);
@@ -516,11 +578,16 @@ int cmdBatch(const Options &O) {
   } else {
     std::printf("%s\n", Json.c_str());
   }
+  uint64_t Failures = 0;
   for (const clients::BatchProgramResult &P : R.Programs)
-    if (!P.Ok)
-      std::fprintf(stderr, "warning: %s: %s\n", P.Name.c_str(),
-                   P.Error.c_str());
-  return 0;
+    if (!P.Ok) {
+      ++Failures;
+      std::fprintf(stderr, "warning: %s: [%s] %s\n", P.Name.c_str(),
+                   clients::str(P.Kind), P.Error.c_str());
+    }
+  // Failures are contained per-program records by design; only strict
+  // mode turns them into a failing exit.
+  return (O.FailOnBudget && Failures) ? 1 : 0;
 }
 
 int cmdInline(const Options &O) {
