@@ -24,6 +24,8 @@
 #include "domain/StoreInterner.h"
 #include "support/FaultInjector.h"
 #include "support/Governor.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <string>
@@ -118,6 +120,25 @@ struct AnalyzerOptions {
   /// MaxGoals path but records which wall was hit in Stats.Degraded.
   /// Default limits govern nothing.
   support::GovernorLimits Governor;
+
+  /// When non-null, the run records per-goal and end-of-run metrics here
+  /// (DESIGN.md §9): goal/cut/cache counters, memo occupancy, interner
+  /// live/peak bytes, and goal-depth / store-width histograms. Null (the
+  /// default) costs one predicted-false pointer test per goal.
+  support::MetricsRegistry *Metrics = nullptr;
+
+  /// When non-null, the run emits sampled per-goal instant events (depth,
+  /// store id, memo-hit) to this tracer, one every TraceSampleEvery
+  /// goals. Phase spans around the run are the caller's job (the CLI and
+  /// batch driver wrap parse/ANF/CPS/analyze in TraceSpans). Null (the
+  /// default) costs one predicted-false pointer test per goal.
+  support::Tracer *Trace = nullptr;
+  /// Per-goal sampling period for Trace (>= 1). Small periods make big
+  /// traces; 256 keeps a million-goal run around 4k events.
+  uint32_t TraceSampleEvery = 256;
+  /// Track id the analyzers stamp on sampled events (the batch driver
+  /// sets it to the worker id so each worker gets its own trace track).
+  uint32_t TraceTid = 0;
 };
 
 /// Counters describing one analyzer run.
@@ -164,9 +185,68 @@ struct AnalyzerStats {
   /// analyzer's loop rule is exact and never sets this.
   bool LoopBounded = false;
 
+  // -- Observability counters (DESIGN.md §9). Filled by the governed
+  // analyzers at the end of run(); the tests/reference seed oracles
+  // predate them and leave them zero.
+
+  /// Completed subderivations held in the memo table when the run ended.
+  uint64_t MemoEntries = 0;
+  /// Distinct abstract stores interned over the run — the quantity that
+  /// explodes under Section 6.2 duplication.
+  uint64_t InternedStores = 0;
+  /// StoreInterner footprint estimate (approxBytes) when the run ended.
+  uint64_t InternerBytes = 0;
+  /// Peak StoreInterner footprint estimate over the run.
+  uint64_t InternerPeakBytes = 0;
+
   /// True iff the run computed the paper-defined answer exactly.
   bool complete() const { return !BudgetExhausted && !LoopBounded; }
 };
+
+/// Per-goal observability hook shared by the four analyzers; called once
+/// per proof goal, after the governor check. With both sinks disabled
+/// (the default) the cost is two predicted-false pointer tests — the same
+/// budget class as the governor's cheap path. \p IsMemoHit is a lazy
+/// predicate so the extra memo probe is paid only on sampled goals.
+template <typename IsMemoHitFn>
+inline void observeGoal(const AnalyzerOptions &Opts,
+                        const AnalyzerStats &Stats, uint32_t Depth,
+                        domain::StoreId Store, IsMemoHitFn &&IsMemoHit) {
+  if (Opts.Metrics)
+    Opts.Metrics->histogram("goalDepth").record(Depth);
+  if (Opts.Trace && Stats.Goals % Opts.TraceSampleEvery == 0)
+    Opts.Trace->instant("goal", "analyze", Opts.TraceTid,
+                        {{"goal", Stats.Goals},
+                         {"depth", Depth},
+                         {"store", Store},
+                         {"memoHit", IsMemoHit() ? 1u : 0u}});
+}
+
+/// End-of-run bookkeeping shared by the four analyzers: copies the
+/// interner/memo occupancy into \p Stats and, when a metrics registry is
+/// attached, publishes the run's counters under their canonical names.
+template <typename V>
+inline void finalizeRunStats(AnalyzerStats &Stats,
+                             const domain::StoreInterner<V> &Interner,
+                             uint64_t MemoEntries,
+                             const AnalyzerOptions &Opts) {
+  Stats.MemoEntries = MemoEntries;
+  Stats.InternedStores = Interner.size();
+  Stats.InternerBytes = Interner.approxBytes();
+  Stats.InternerPeakBytes = Interner.peakBytes();
+  if (support::MetricsRegistry *M = Opts.Metrics) {
+    M->set("goals", Stats.Goals);
+    M->set("cacheHits", Stats.CacheHits);
+    M->set("cuts", Stats.Cuts);
+    M->set("maxDepth", Stats.MaxDepth);
+    M->set("deadPaths", Stats.DeadPaths);
+    M->set("prunedBranches", Stats.PrunedBranches);
+    M->set("memoEntries", Stats.MemoEntries);
+    M->set("stores", Stats.InternedStores);
+    M->set("storeBytes", Stats.InternerBytes);
+    M->setMax("storeBytesPeak", Stats.InternerPeakBytes);
+  }
+}
 
 } // namespace analysis
 } // namespace cpsflow

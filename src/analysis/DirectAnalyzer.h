@@ -116,6 +116,7 @@ public:
     Vars = std::make_shared<domain::VarIndex>(
         directVariableUniverse(Program, ExtraLams, ExtraVars));
     CloTop = directClosureUniverse(Program, ExtraLams);
+    Interner.attachMetrics(this->Opts.Metrics);
     Interner.reset(Vars->size());
   }
 
@@ -126,6 +127,7 @@ public:
       Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
 
     EvalOut Out = evalTerm(Program, Sigma0, 0);
+    finalizeRunStats(Stats, Interner, Memo.size(), Opts);
 
     DirectResult<D> R;
     R.Answer = Out.A ? Answer{std::move(Out.A->Value),
@@ -224,6 +226,8 @@ private:
     Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
 
     Key K{T, Sigma};
+    observeGoal(Opts, Stats, Depth, Sigma,
+                [&] { return Opts.UseMemo && Memo.count(K) != 0; });
     if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
       ++Stats.CacheHits;
       return EvalOut{It->second, Unconstrained};

@@ -63,8 +63,8 @@ public:
 
   /// \p Budget is the duplication depth d described above.
   DupAnalyzer(const Context &Ctx, const syntax::Term *Program,
-              std::vector<DirectBinding<D>> Initial = {}, uint32_t Budget = 2,
-              AnalyzerOptions Opts = AnalyzerOptions())
+              std::vector<DirectBinding<D>> Initial = {},
+              uint64_t Budget = 2, AnalyzerOptions Opts = AnalyzerOptions())
       : Ctx(Ctx), Program(Program), Initial(std::move(Initial)),
         Budget(Budget), Opts(Opts) {
     assert(anf::isAnfQuick(Program) && "requires A-normal form");
@@ -80,6 +80,7 @@ public:
     Vars = std::make_shared<domain::VarIndex>(
         directVariableUniverse(Program, ExtraLams, ExtraVars));
     CloTop = directClosureUniverse(Program, ExtraLams);
+    Interner.attachMetrics(this->Opts.Metrics);
     Interner.reset(Vars->size());
   }
 
@@ -89,6 +90,7 @@ public:
       Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
 
     EvalOut Out = evalTerm(Program, Sigma0, Budget, 0);
+    finalizeRunStats(Stats, Interner, Memo.size(), Opts);
 
     DirectResult<D> R;
     R.Answer = Out.A ? Answer{std::move(Out.A->Value),
@@ -118,7 +120,7 @@ private:
 
   struct Key {
     const void *Node;
-    uint32_t Credit;
+    uint64_t Credit;
     domain::StoreId Store;
 
     friend bool operator==(const Key &A, const Key &B) {
@@ -161,7 +163,7 @@ private:
   }
 
   EvalOut evalTerm(const syntax::Term *T, domain::StoreId Sigma,
-                   uint32_t Credit, uint32_t Depth) {
+                   uint64_t Credit, uint32_t Depth) {
     if (Stats.BudgetExhausted)
       return EvalOut{cutAnswer(Sigma), 0};
     ++Stats.Goals;
@@ -176,6 +178,8 @@ private:
     Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
 
     Key K{T, Credit, Sigma};
+    observeGoal(Opts, Stats, Depth, Sigma,
+                [&] { return Opts.UseMemo && Memo.count(K) != 0; });
     if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
       ++Stats.CacheHits;
       return EvalOut{It->second, Unconstrained};
@@ -200,7 +204,7 @@ private:
   }
 
   EvalOut evalUncached(const syntax::Term *T, domain::StoreId Sigma,
-                       uint32_t Credit, uint32_t Depth) {
+                       uint64_t Credit, uint32_t Depth) {
     using namespace syntax;
 
     if (const auto *VT = dyn_cast<ValueTerm>(T))
@@ -232,7 +236,7 @@ private:
       }
 
       bool Duplicate = Credit > 0 && Fun.Clos.size() > 1;
-      uint32_t SubCredit = Duplicate ? Credit - 1 : Credit;
+      uint64_t SubCredit = Duplicate ? Credit - 1 : Credit;
 
       std::optional<IAns> Acc;
       uint32_t MinDep = Unconstrained;
@@ -362,7 +366,7 @@ private:
   const Context &Ctx;
   const syntax::Term *Program;
   std::vector<DirectBinding<D>> Initial;
-  uint32_t Budget;
+  uint64_t Budget;
   AnalyzerOptions Opts;
 
   std::shared_ptr<domain::VarIndex> Vars;

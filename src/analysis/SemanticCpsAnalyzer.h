@@ -104,6 +104,7 @@ public:
     Vars = std::make_shared<domain::VarIndex>(
         directVariableUniverse(Program, ExtraLams, ExtraVars));
     CloTop = directClosureUniverse(Program, ExtraLams);
+    Interner.attachMetrics(this->Opts.Metrics);
     Interner.reset(Vars->size());
   }
 
@@ -114,6 +115,7 @@ public:
       Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
 
     EvalOut Out = evalC(Program, /*K=*/nullptr, Sigma0, 0);
+    finalizeRunStats(Stats, Interner, Memo.size(), Opts);
 
     SemanticResult<D> R;
     R.Answer = Answer{std::move(Out.A.Value), Interner.store(Out.A.Store)};
@@ -273,6 +275,8 @@ private:
     Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
 
     Key MKey{T, K, Sigma};
+    observeGoal(Opts, Stats, Depth, Sigma,
+                [&] { return Opts.UseMemo && Memo.count(MKey) != 0; });
     if (auto It = Memo.find(MKey); Opts.UseMemo && It != Memo.end()) {
       ++Stats.CacheHits;
       return EvalOut{It->second, Unconstrained};

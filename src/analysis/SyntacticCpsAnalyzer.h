@@ -100,6 +100,7 @@ public:
         cpsVariableUniverse(Program, ExtraLams, ExtraVars));
     CloTop = cpsClosureUniverse(Program, ExtraLams);
     KontTop = cpsKontUniverse(Program, ExtraLams);
+    Interner.attachMetrics(this->Opts.Metrics);
     Interner.reset(Vars->size());
   }
 
@@ -114,6 +115,7 @@ public:
         Val::konts(domain::KontSet::single(domain::KontRef::stop())));
 
     EvalOut Out = evalP(Program.Root, Sigma0, 0);
+    finalizeRunStats(Stats, Interner, Memo.size(), Opts);
 
     SyntacticResult<D> R;
     R.Answer = Answer{std::move(Out.A.Value), Interner.store(Out.A.Store)};
@@ -232,6 +234,8 @@ private:
     Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
 
     Key K{P, Sigma};
+    observeGoal(Opts, Stats, Depth, Sigma,
+                [&] { return Opts.UseMemo && Memo.count(K) != 0; });
     if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
       ++Stats.CacheHits;
       return EvalOut{It->second, Unconstrained};

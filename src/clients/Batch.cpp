@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <exception>
 #include <filesystem>
@@ -45,9 +46,14 @@ double elapsedMs(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
-/// Runs one analyzer leg, timing it and rendering the answer value.
+/// Runs one analyzer leg, timing it and rendering the answer value. When
+/// tracing, the leg gets a phase span on the worker's track.
 template <typename Analyzer>
-BatchAnalyzerRecord runLeg(const Context &Ctx, Analyzer &&A) {
+BatchAnalyzerRecord runLeg(const Context &Ctx, Analyzer &&A,
+                           support::Tracer *Trace, uint32_t Tid,
+                           const char *Leg) {
+  support::TraceSpan Span(Trace, std::string("analyze:") + Leg, "phase",
+                          Tid);
   auto Start = std::chrono::steady_clock::now();
   auto R = A.run();
   BatchAnalyzerRecord Rec;
@@ -69,18 +75,30 @@ BatchProgramResult analyzeOne(const std::string &Name,
   BatchProgramResult Out;
   Out.Name = Name;
 
+  support::Tracer *Trace = Opts.Trace;
+  const uint32_t Tid = ThreadPool::currentWorker();
+  support::TraceSpan Whole(Trace, "program:" + Name, "batch", Tid);
+
   Context Ctx;
-  Result<const syntax::Term *> Parsed =
-      syntax::parseSugaredProgram(Ctx, Source);
+  Result<const syntax::Term *> Parsed = [&] {
+    support::TraceSpan S(Trace, "parse", "phase", Tid);
+    return syntax::parseSugaredProgram(Ctx, Source);
+  }();
   if (!Parsed) {
     Out.Error = "parse error: " + Parsed.error().str();
     Out.Kind = BatchFailKind::Parse;
     return Out;
   }
-  const syntax::Term *Anf = anf::normalizeProgram(Ctx, *Parsed);
+  const syntax::Term *Anf = [&] {
+    support::TraceSpan S(Trace, "anf", "phase", Tid);
+    return anf::normalizeProgram(Ctx, *Parsed);
+  }();
   Out.Nodes = syntax::countNodes(Anf);
 
-  Result<cps::CpsProgram> Cps = cps::cpsTransform(Ctx, Anf);
+  Result<cps::CpsProgram> Cps = [&] {
+    support::TraceSpan S(Trace, "cps", "phase", Tid);
+    return cps::cpsTransform(Ctx, Anf);
+  }();
   if (!Cps) {
     Out.Error = "cps error: " + Cps.error().str();
     Out.Kind = BatchFailKind::Cps;
@@ -100,15 +118,21 @@ BatchProgramResult analyzeOne(const std::string &Name,
   AOpts.MaxGoals = Opts.MaxGoals;
   AOpts.LoopUnroll = Opts.LoopUnroll;
   AOpts.Governor = Limits;
+  AOpts.Trace = Trace;
+  AOpts.TraceTid = Tid;
 
   Out.Direct = runLeg(Ctx, analysis::DirectAnalyzer<D>(Ctx, Anf, Init,
-                                                       AOpts));
+                                                       AOpts),
+                      Trace, Tid, "direct");
   Out.Semantic = runLeg(
-      Ctx, analysis::SemanticCpsAnalyzer<D>(Ctx, Anf, Init, AOpts));
+      Ctx, analysis::SemanticCpsAnalyzer<D>(Ctx, Anf, Init, AOpts), Trace,
+      Tid, "semantic");
   Out.Syntactic = runLeg(
-      Ctx, analysis::SyntacticCpsAnalyzer<D>(Ctx, *Cps, CInit, AOpts));
+      Ctx, analysis::SyntacticCpsAnalyzer<D>(Ctx, *Cps, CInit, AOpts),
+      Trace, Tid, "syntactic");
   Out.Dup = runLeg(Ctx, analysis::DupAnalyzer<D>(Ctx, Anf, Init,
-                                                 Opts.DupBudget, AOpts));
+                                                 Opts.DupBudget, AOpts),
+                   Trace, Tid, "dup");
   Out.Ok = true;
   return Out;
 }
@@ -266,6 +290,7 @@ BatchProgramResult containedDispatch(const std::string &Name,
   }
   if (Dog && DogId)
     Dog->remove(DogId);
+  Out.Worker = ThreadPool::currentWorker();
 
   if (Out.Ok && Opts.FailOnBudget) {
     std::string Degraded;
@@ -315,6 +340,9 @@ void writeAnalyzerRecord(JsonWriter &W, const char *Key,
   W.key("maxDepth").value(Rec.Stats.MaxDepth);
   W.key("deadPaths").value(Rec.Stats.DeadPaths);
   W.key("prunedBranches").value(Rec.Stats.PrunedBranches);
+  W.key("memoEntries").value(Rec.Stats.MemoEntries);
+  W.key("stores").value(Rec.Stats.InternedStores);
+  W.key("storeBytes").value(Rec.Stats.InternerBytes);
   W.key("budgetExhausted").value(Rec.Stats.BudgetExhausted);
   W.key("degradeReason").value(support::str(Rec.Stats.Degraded));
   W.key("loopBounded").value(Rec.Stats.LoopBounded);
@@ -343,6 +371,77 @@ struct LegTotals {
     W.key("cuts").value(Cuts);
     if (Opts.IncludeTiming)
       W.key("wallMs").value(WallMs);
+    W.endObject();
+  }
+};
+
+/// Nearest-rank percentile of \p V (sorted in place): the
+/// ceil(Q*N)-th smallest sample. Deterministic — depends only on the
+/// multiset of values, never on thread interleaving.
+template <typename T> T percentileOf(std::vector<T> &V, double Q) {
+  if (V.empty())
+    return T{};
+  std::sort(V.begin(), V.end());
+  size_t Rank = static_cast<size_t>(
+      std::ceil(Q * static_cast<double>(V.size())));
+  if (Rank == 0)
+    Rank = 1;
+  return V[std::min(Rank, V.size()) - 1];
+}
+
+/// Per-leg distributions across ok programs, for the schema-3 "metrics"
+/// section: every scalar AnalyzerStats counter gets {sum, p50, p95, max}.
+struct LegSamples {
+  std::vector<uint64_t> Goals, CacheHits, Cuts, MaxDepth, MemoEntries,
+      Stores;
+  std::vector<double> WallMs;
+
+  void add(const BatchAnalyzerRecord &Rec) {
+    Goals.push_back(Rec.Stats.Goals);
+    CacheHits.push_back(Rec.Stats.CacheHits);
+    Cuts.push_back(Rec.Stats.Cuts);
+    MaxDepth.push_back(Rec.Stats.MaxDepth);
+    MemoEntries.push_back(Rec.Stats.MemoEntries);
+    Stores.push_back(Rec.Stats.InternedStores);
+    WallMs.push_back(Rec.WallMs);
+  }
+
+  static void writeSummary(JsonWriter &W, const char *Key,
+                           std::vector<uint64_t> &V) {
+    uint64_t Sum = 0, Max = 0;
+    for (uint64_t X : V) {
+      Sum += X;
+      Max = std::max(Max, X);
+    }
+    W.key(Key).beginObject();
+    W.key("sum").value(Sum);
+    W.key("p50").value(percentileOf(V, 0.5));
+    W.key("p95").value(percentileOf(V, 0.95));
+    W.key("max").value(Max);
+    W.endObject();
+  }
+
+  void write(JsonWriter &W, const char *Key, const BatchOptions &Opts) {
+    W.key(Key).beginObject();
+    writeSummary(W, "goals", Goals);
+    writeSummary(W, "cacheHits", CacheHits);
+    writeSummary(W, "cuts", Cuts);
+    writeSummary(W, "maxDepth", MaxDepth);
+    writeSummary(W, "memoEntries", MemoEntries);
+    writeSummary(W, "stores", Stores);
+    if (Opts.IncludeTiming) {
+      double Sum = 0, Max = 0;
+      for (double X : WallMs) {
+        Sum += X;
+        Max = std::max(Max, X);
+      }
+      W.key("wallMs").beginObject();
+      W.key("sum").value(Sum);
+      W.key("p50").value(percentileOf(WallMs, 0.5));
+      W.key("p95").value(percentileOf(WallMs, 0.95));
+      W.key("max").value(Max);
+      W.endObject();
+    }
     W.endObject();
   }
 };
@@ -473,15 +572,16 @@ BatchResult runBatchFiles(const std::vector<std::string> &Files,
 std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
   JsonWriter W;
   W.beginObject();
-  W.key("schemaVersion").value(2);
+  W.key("schemaVersion").value(3);
   W.key("domain").value(Opts.Domain);
-  W.key("dupBudget").value(static_cast<uint64_t>(Opts.DupBudget));
+  W.key("dupBudget").value(Opts.DupBudget);
   if (Opts.IncludeTiming) {
     W.key("threads").value(static_cast<uint64_t>(Opts.Threads));
     W.key("wallMs").value(R.WallMs);
   }
 
   LegTotals Direct, Semantic, Syntactic, Dup;
+  LegSamples DirectS, SemanticS, SyntacticS, DupS;
   uint64_t Failures = 0;
   uint64_t Kinds[6] = {0, 0, 0, 0, 0, 0};
 
@@ -492,6 +592,8 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
     W.key("ok").value(P.Ok);
     if (P.Retried)
       W.key("retried").value(true);
+    if (Opts.IncludeTiming)
+      W.key("worker").value(static_cast<uint64_t>(P.Worker));
     if (!P.Ok) {
       ++Failures;
       ++Kinds[static_cast<size_t>(P.Kind)];
@@ -510,6 +612,10 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
     Semantic.add(P.Semantic);
     Syntactic.add(P.Syntactic);
     Dup.add(P.Dup);
+    DirectS.add(P.Direct);
+    SemanticS.add(P.Semantic);
+    SyntacticS.add(P.Syntactic);
+    DupS.add(P.Dup);
   }
   W.endArray();
 
@@ -526,6 +632,39 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
   Semantic.write(W, "semantic", Opts);
   Syntactic.write(W, "syntactic", Opts);
   Dup.write(W, "dup", Opts);
+  W.endObject();
+
+  // Schema 3: per-leg distributions across ok programs. Computed from
+  // per-program counters, which are thread-count independent, so this
+  // whole section is byte-identical at every --threads value; only the
+  // wallMs summaries and the per-thread breakdown (both gated behind
+  // IncludeTiming, like every timing field) vary run to run.
+  W.key("metrics").beginObject();
+  DirectS.write(W, "direct", Opts);
+  SemanticS.write(W, "semantic", Opts);
+  SyntacticS.write(W, "syntactic", Opts);
+  DupS.write(W, "dup", Opts);
+  if (Opts.IncludeTiming) {
+    std::vector<uint64_t> Programs(std::max(1u, Opts.Threads), 0);
+    std::vector<double> ThreadMs(Programs.size(), 0);
+    for (const BatchProgramResult &P : R.Programs) {
+      size_t Tid = std::min<size_t>(P.Worker, Programs.size() - 1);
+      ++Programs[Tid];
+      for (const auto &[LegName, Rec] : legsOf(P)) {
+        (void)LegName;
+        ThreadMs[Tid] += Rec->WallMs;
+      }
+    }
+    W.key("perThread").beginArray();
+    for (size_t I = 0; I < Programs.size(); ++I) {
+      W.beginObject();
+      W.key("worker").value(static_cast<uint64_t>(I));
+      W.key("programs").value(Programs[I]);
+      W.key("analyzeMs").value(ThreadMs[I]);
+      W.endObject();
+    }
+    W.endArray();
+  }
   W.endObject();
 
   W.endObject();

@@ -35,6 +35,7 @@
 
 #include "analysis/Common.h"
 #include "support/Result.h"
+#include "support/Trace.h"
 
 #include <string>
 #include <utility>
@@ -50,7 +51,7 @@ struct BatchOptions {
   /// Numeric domain name: constant|unit|sign|parity|interval.
   std::string Domain = "constant";
   /// Duplication budget for the dup analyzer leg.
-  uint32_t DupBudget = 2;
+  uint64_t DupBudget = 2;
   /// Per-analyzer goal budget; corpus programs that blow past it report
   /// budgetExhausted rather than stalling the batch.
   uint64_t MaxGoals = 5'000'000;
@@ -76,6 +77,11 @@ struct BatchOptions {
   /// When false, batchJson omits wall-time and thread-count fields so two
   /// runs' outputs can be compared byte-for-byte.
   bool IncludeTiming = true;
+  /// When non-null, every worker emits phase spans (per program:
+  /// pipeline stages and analyzer legs) and sampled per-goal instants to
+  /// this shared tracer, one trace track per pool worker. Null (the
+  /// default) keeps workers on the zero-overhead path.
+  support::Tracer *Trace = nullptr;
 };
 
 /// Failure taxonomy for programs with !Ok — what killed (or, under
@@ -107,6 +113,10 @@ struct BatchProgramResult {
   BatchFailKind Kind = BatchFailKind::None; ///< Taxonomy, when !Ok.
   bool Retried = false; ///< Result comes from the reduced-cost retry pass.
   uint64_t Nodes = 0; ///< ANF term size.
+  unsigned Worker = 0; ///< Pool worker that produced the result (timing
+                       ///< metadata only — assignment is scheduler-
+                       ///< dependent, so batchJson gates it, like wallMs,
+                       ///< behind IncludeTiming).
   BatchAnalyzerRecord Direct, Semantic, Syntactic, Dup;
 };
 

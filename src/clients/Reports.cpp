@@ -8,6 +8,8 @@
 
 #include "syntax/Printer.h"
 
+#include <algorithm>
+
 using namespace cpsflow;
 using namespace cpsflow::clients;
 
@@ -83,6 +85,13 @@ cpsflow::clients::describeStats(const analysis::AnalyzerStats &S) {
   std::ostringstream O;
   O << "goals=" << S.Goals << " cache-hits=" << S.CacheHits
     << " cuts=" << S.Cuts << " max-depth=" << S.MaxDepth;
+  // Dead paths and pruned branches carry semantic weight (they mark where
+  // Theorem 5.4's equality can fail — DESIGN.md section 7), so surface
+  // them whenever they fired.
+  if (S.DeadPaths)
+    O << " dead-paths=" << S.DeadPaths;
+  if (S.PrunedBranches)
+    O << " pruned-branches=" << S.PrunedBranches;
   if (S.BudgetExhausted) {
     // Keep the historical tag for plain goal exhaustion; name the wall
     // for the governor's other trips.
@@ -94,5 +103,74 @@ cpsflow::clients::describeStats(const analysis::AnalyzerStats &S) {
   }
   if (S.LoopBounded)
     O << " [loop join truncated]";
+  return O.str();
+}
+
+std::string cpsflow::clients::metricsTable(
+    const std::vector<std::pair<std::string, const support::MetricsRegistry *>>
+        &Legs) {
+  // Row order: union of the legs' metric names, first-seen order, so the
+  // table is deterministic and every leg's counters line up.
+  std::vector<std::string> Rows;
+  auto addRow = [&](const std::string &Name) {
+    for (const std::string &R : Rows)
+      if (R == Name)
+        return;
+    Rows.push_back(Name);
+  };
+  for (const auto &[LegName, M] : Legs) {
+    (void)LegName;
+    if (M)
+      M->forEach([&](const std::string &N, uint64_t) { addRow(N); },
+                 [&](const std::string &N, const support::Histogram &) {
+                   addRow(N);
+                 });
+  }
+
+  // Render every cell up front so column widths can be computed.
+  std::vector<std::vector<std::string>> Cells; // [row][col]
+  for (const std::string &Row : Rows) {
+    std::vector<std::string> Line;
+    for (const auto &[LegName, M] : Legs) {
+      (void)LegName;
+      if (M && M->hasCounter(Row))
+        Line.push_back(std::to_string(M->counter(Row)));
+      else if (const support::Histogram *H = M ? M->findHistogram(Row)
+                                               : nullptr)
+        Line.push_back(H->str());
+      else
+        Line.push_back("-");
+    }
+    Cells.push_back(std::move(Line));
+  }
+
+  size_t NameWidth = std::string("metric").size();
+  for (const std::string &Row : Rows)
+    NameWidth = std::max(NameWidth, Row.size());
+  std::vector<size_t> ColWidth(Legs.size());
+  for (size_t C = 0; C < Legs.size(); ++C) {
+    ColWidth[C] = Legs[C].first.size();
+    for (const auto &Line : Cells)
+      ColWidth[C] = std::max(ColWidth[C], Line[C].size());
+  }
+
+  std::ostringstream O;
+  auto pad = [&](const std::string &S, size_t W) {
+    O << S << std::string(W - S.size(), ' ');
+  };
+  pad("metric", NameWidth);
+  for (size_t C = 0; C < Legs.size(); ++C) {
+    O << "  ";
+    pad(Legs[C].first, ColWidth[C]);
+  }
+  O << "\n";
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    pad(Rows[R], NameWidth);
+    for (size_t C = 0; C < Legs.size(); ++C) {
+      O << "  ";
+      pad(Cells[R][C], ColWidth[C]);
+    }
+    O << "\n";
+  }
   return O.str();
 }

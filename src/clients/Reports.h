@@ -16,10 +16,12 @@
 
 #include "analysis/Cfg.h"
 #include "analysis/Common.h"
+#include "support/Metrics.h"
 #include "syntax/Ast.h"
 
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cpsflow {
@@ -35,6 +37,14 @@ std::string describeCfg(const Context &Ctx, const analysis::CpsCfg &Cfg);
 
 /// Renders analyzer statistics on one line.
 std::string describeStats(const analysis::AnalyzerStats &S);
+
+/// Renders one aligned table over several analyzers' metrics registries
+/// (the CLI's --metrics view): one row per metric (union of the legs'
+/// names, first-seen order), one column per leg. Counters print as
+/// numbers, histograms as their n/p50/p95/max summary.
+std::string metricsTable(
+    const std::vector<std::pair<std::string, const support::MetricsRegistry *>>
+        &Legs);
 
 /// Renders "var = value" lines for \p Vars from any analyzer result (a
 /// type with valueOf(Symbol) whose value has str(Ctx)).

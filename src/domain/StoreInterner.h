@@ -34,7 +34,9 @@
 
 #include "domain/AbsStore.h"
 #include "support/Hashing.h"
+#include "support/Metrics.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -61,8 +63,18 @@ public:
     Entries.clear();
     Dedup.clear();
     Vars = NumVars;
+    PeakBytes = 0;
     BottomId = intern(StoreT(NumVars));
     assert(BottomId == 0 && "bottom store must be the first entry");
+  }
+
+  /// When non-null, each *newly* interned store records its width (count
+  /// of non-bottom slots) into \p M's "storeSlots" histogram — the
+  /// distribution behind the Section 6.2 store-explosion counters. Costs
+  /// one O(vars) scan per distinct store; null (the default) costs one
+  /// predicted-false pointer test.
+  void attachMetrics(support::MetricsRegistry *M) {
+    SlotsHist = M ? &M->histogram("storeSlots") : nullptr;
   }
 
   /// The all-bottom store of this universe.
@@ -80,6 +92,11 @@ public:
   size_t approxBytes() const {
     return Entries.size() * (sizeof(Entry) + Vars * sizeof(V));
   }
+
+  /// Largest approxBytes() the table has reached. The table only grows
+  /// today, but peak is tracked explicitly so the observability contract
+  /// survives a future entry-evicting interner.
+  size_t peakBytes() const { return std::max(PeakBytes, approxBytes()); }
 
   /// The dense store named by \p Id. The reference is stable for the
   /// interner's lifetime.
@@ -157,6 +174,15 @@ private:
       Entries.pop_back();
       return *It;
     }
+    PeakBytes = std::max(PeakBytes, approxBytes());
+    if (SlotsHist) {
+      const StoreT &Canon = Entries[Id].Store;
+      uint64_t Width = 0;
+      for (uint32_t I = 0; I < Canon.size(); ++I)
+        if (!(Canon.get(I) == V::bot()))
+          ++Width;
+      SlotsHist->record(Width);
+    }
     return Id;
   }
 
@@ -176,6 +202,8 @@ private:
 
   size_t Vars = 0;
   StoreId BottomId = 0;
+  size_t PeakBytes = 0;
+  support::Histogram *SlotsHist = nullptr;
   std::deque<Entry> Entries;
   std::unordered_set<StoreId, IdHash, IdEq> Dedup;
 };

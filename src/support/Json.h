@@ -24,6 +24,46 @@
 
 namespace cpsflow {
 
+/// Escapes \p S for embedding inside a JSON string literal (quotes not
+/// included): `"` and `\` are backslash-escaped, control characters
+/// become \n/\t/\r or \u00XX. Every string field of every JSON document
+/// this project emits must pass through here (JsonWriter does so
+/// automatically) — a corpus filename or parse-error message containing a
+/// quote or backslash must still yield a valid document.
+inline std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
 /// Streaming JSON writer.
 ///
 /// \code
@@ -137,37 +177,7 @@ private:
     }
   }
 
-  void writeString(std::string_view S) {
-    Out << '"';
-    for (char C : S) {
-      switch (C) {
-      case '"':
-        Out << "\\\"";
-        break;
-      case '\\':
-        Out << "\\\\";
-        break;
-      case '\n':
-        Out << "\\n";
-        break;
-      case '\t':
-        Out << "\\t";
-        break;
-      case '\r':
-        Out << "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(C) < 0x20) {
-          char Buf[8];
-          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-          Out << Buf;
-        } else {
-          Out << C;
-        }
-      }
-    }
-    Out << '"';
-  }
+  void writeString(std::string_view S) { Out << '"' << jsonEscape(S) << '"'; }
 
   std::ostringstream Out;
   std::vector<State> Stack;

@@ -1,0 +1,363 @@
+//===- support/JsonParse.h - Minimal JSON reader ----------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser — the read half of
+/// support/Json.h. Consumers are tools/bench_diff (comparing two batch
+/// reports) and the tests that assert our own emitters (batch reports,
+/// Chrome traces) produce valid, well-shaped JSON.
+///
+/// Scope: full JSON syntax, numbers as double (every number we emit fits
+/// exactly or is a timing), object keys kept in document order,
+/// \uXXXX escapes decoded to UTF-8. Depth-capped to keep hostile inputs
+/// from overflowing the stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_JSONPARSE_H
+#define CPSFLOW_SUPPORT_JSONPARSE_H
+
+#include "support/Result.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+
+/// A parsed JSON document node.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool B) {
+    JsonValue V;
+    V.K = Kind::Bool;
+    V.B = B;
+    return V;
+  }
+  static JsonValue number(double N) {
+    JsonValue V;
+    V.K = Kind::Number;
+    V.Num = N;
+    return V;
+  }
+  static JsonValue string(std::string S) {
+    JsonValue V;
+    V.K = Kind::String;
+    V.Str = std::move(S);
+    return V;
+  }
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+
+  const std::vector<JsonValue> &items() const { return Items; }
+  std::vector<JsonValue> &items() { return Items; }
+
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+  std::vector<std::pair<std::string, JsonValue>> &members() {
+    return Members;
+  }
+
+  /// First member named \p Name, or null if absent (objects only).
+  const JsonValue *find(std::string_view Name) const {
+    for (const auto &[Key, Val] : Members)
+      if (Key == Name)
+        return &Val;
+    return nullptr;
+  }
+
+  /// Convenience: numeric member \p Name, or \p Default when absent or
+  /// not a number.
+  double numberOr(std::string_view Name, double Default) const {
+    const JsonValue *V = find(Name);
+    return V && V->isNumber() ? V->asNumber() : Default;
+  }
+
+private:
+  Kind K;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+namespace json_detail {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  Result<JsonValue> parse() {
+    skipWs();
+    Result<JsonValue> V = parseValue(0);
+    if (!V)
+      return V;
+    skipWs();
+    if (Pos != Text.size())
+      return err("trailing content after JSON value");
+    return V;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 256;
+
+  Error err(const std::string &Message) const {
+    return Error("JSON parse error at offset " + std::to_string(Pos) +
+                 ": " + Message);
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view W) {
+    if (Text.substr(Pos, W.size()) == W) {
+      Pos += W.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parseValue(unsigned Depth) {
+    if (Depth > MaxDepth)
+      return err("nesting too deep");
+    if (Pos >= Text.size())
+      return err("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"': {
+      Result<std::string> S = parseString();
+      if (!S)
+        return S.error();
+      return JsonValue::string(std::move(*S));
+    }
+    case 't':
+      if (consumeWord("true"))
+        return JsonValue::boolean(true);
+      return err("invalid literal");
+    case 'f':
+      if (consumeWord("false"))
+        return JsonValue::boolean(false);
+      return err("invalid literal");
+    case 'n':
+      if (consumeWord("null"))
+        return JsonValue::null();
+      return err("invalid literal");
+    default:
+      return parseNumber();
+    }
+  }
+
+  Result<JsonValue> parseObject(unsigned Depth) {
+    consume('{');
+    JsonValue O = JsonValue::object();
+    skipWs();
+    if (consume('}'))
+      return O;
+    for (;;) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return err("expected object key");
+      Result<std::string> Key = parseString();
+      if (!Key)
+        return Key.error();
+      skipWs();
+      if (!consume(':'))
+        return err("expected ':' after object key");
+      skipWs();
+      Result<JsonValue> V = parseValue(Depth + 1);
+      if (!V)
+        return V;
+      O.members().emplace_back(std::move(*Key), std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return O;
+      return err("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> parseArray(unsigned Depth) {
+    consume('[');
+    JsonValue A = JsonValue::array();
+    skipWs();
+    if (consume(']'))
+      return A;
+    for (;;) {
+      skipWs();
+      Result<JsonValue> V = parseValue(Depth + 1);
+      if (!V)
+        return V;
+      A.items().push_back(std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return A;
+      return err("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parseString() {
+    consume('"');
+    std::string S;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return S;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return err("unescaped control character in string");
+      if (C != '\\') {
+        S.push_back(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (Pos >= Text.size())
+        return err("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        S.push_back(E);
+        break;
+      case 'b':
+        S.push_back('\b');
+        break;
+      case 'f':
+        S.push_back('\f');
+        break;
+      case 'n':
+        S.push_back('\n');
+        break;
+      case 'r':
+        S.push_back('\r');
+        break;
+      case 't':
+        S.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return err("truncated \\u escape");
+        uint32_t Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<uint32_t>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<uint32_t>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<uint32_t>(H - 'A' + 10);
+          else
+            return err("invalid \\u escape");
+        }
+        appendUtf8(S, Code);
+        break;
+      }
+      default:
+        return err("unknown escape character");
+      }
+    }
+    return err("unterminated string");
+  }
+
+  static void appendUtf8(std::string &S, uint32_t Code) {
+    if (Code < 0x80) {
+      S.push_back(static_cast<char>(Code));
+    } else if (Code < 0x800) {
+      S.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+      S.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else {
+      S.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+      S.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      S.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    }
+  }
+
+  Result<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return err("expected a value");
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double D = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size())
+      return err("malformed number '" + Num + "'");
+    return JsonValue::number(D);
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace json_detail
+
+/// Parses \p Text as one JSON document.
+inline Result<JsonValue> parseJson(std::string_view Text) {
+  return json_detail::Parser(Text).parse();
+}
+
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_JSONPARSE_H

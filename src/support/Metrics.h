@@ -1,0 +1,270 @@
+//===- support/Metrics.h - Counters and histograms --------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small metrics layer for the analyzers: named counters and
+/// log2-bucketed histograms collected into a per-run MetricsRegistry.
+///
+/// The paper's Section 6 argument is quantitative — duplication cost, cut
+/// frequency, loop-join behaviour — so the analyzers expose more than a
+/// final answer: goal counts, cache behaviour, interner footprint, and
+/// the *distributions* behind the scalars (goal depth, store width).
+/// CFA2 and the pushdown-CFA line of work lean on exactly this kind of
+/// instrumentation (visit counts, frontier sizes, per-benchmark tables)
+/// to compare analyses; this header is our equivalent.
+///
+/// Design constraints:
+///
+///  * Zero overhead when disabled. The analyzers hold a
+///    `MetricsRegistry *` that defaults to null; the per-goal hook is a
+///    single predicted-false pointer test.
+///  * Deterministic. Iteration order is insertion order, histogram
+///    buckets are fixed powers of two, and quantiles are bucket upper
+///    bounds — two runs that do the same work render byte-identical
+///    metrics (wall-clock counters are the caller's to include or omit).
+///  * Allocation-light. Counter/histogram lookups by name are amortized
+///    O(1) (hashed index over a stable deque).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_METRICS_H
+#define CPSFLOW_SUPPORT_METRICS_H
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cpsflow {
+namespace support {
+
+/// A log2-bucketed histogram of uint64 samples. Bucket i counts samples
+/// whose bit width is i, i.e. bucket 0 holds the value 0, bucket i>0
+/// holds [2^(i-1), 2^i). Exact count/sum/min/max ride along so the
+/// summary is precise even though the shape is bucketed.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 65;
+
+  void record(uint64_t V) {
+    ++Buckets[bucketOf(V)];
+    ++N;
+    Sum += V;
+    Lo = N == 1 ? V : std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+
+  void merge(const Histogram &O) {
+    for (unsigned I = 0; I < NumBuckets; ++I)
+      Buckets[I] += O.Buckets[I];
+    if (O.N) {
+      Lo = N == 0 ? O.Lo : std::min(Lo, O.Lo);
+      Hi = std::max(Hi, O.Hi);
+    }
+    N += O.N;
+    Sum += O.Sum;
+  }
+
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return N ? Lo : 0; }
+  uint64_t max() const { return Hi; }
+  uint64_t bucket(unsigned I) const { return Buckets[I]; }
+
+  /// An upper bound for the \p Q quantile (0 < Q <= 1): the inclusive
+  /// upper edge of the bucket holding the ceil(Q*N)-th smallest sample.
+  /// Deterministic by construction; max() tightens the last bucket.
+  uint64_t quantileBound(double Q) const {
+    if (N == 0)
+      return 0;
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N));
+    if (Rank == 0)
+      Rank = 1;
+    if (Rank > N)
+      Rank = N;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I < NumBuckets; ++I) {
+      Seen += Buckets[I];
+      if (Seen >= Rank)
+        return std::min(upperEdge(I), Hi);
+    }
+    return Hi;
+  }
+
+  /// "n=12 sum=340 p50<=16 p95<=64 max=57".
+  std::string str() const {
+    std::ostringstream O;
+    O << "n=" << N << " sum=" << Sum << " p50<=" << quantileBound(0.5)
+      << " p95<=" << quantileBound(0.95) << " max=" << Hi;
+    return O.str();
+  }
+
+  /// {"n":..,"sum":..,"p50":..,"p95":..,"max":..} — the shape consumed by
+  /// the batch report and bench_diff.
+  void writeJson(JsonWriter &W) const {
+    W.beginObject();
+    W.key("n").value(N);
+    W.key("sum").value(Sum);
+    W.key("p50").value(quantileBound(0.5));
+    W.key("p95").value(quantileBound(0.95));
+    W.key("max").value(Hi);
+    W.endObject();
+  }
+
+private:
+  static unsigned bucketOf(uint64_t V) {
+    unsigned B = 0;
+    while (V) {
+      ++B;
+      V >>= 1;
+    }
+    return B;
+  }
+
+  static uint64_t upperEdge(unsigned I) {
+    if (I == 0)
+      return 0;
+    if (I >= 64)
+      return UINT64_MAX;
+    return (uint64_t{1} << I) - 1;
+  }
+
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t N = 0;
+  uint64_t Sum = 0;
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+};
+
+/// Named counters and histograms for one analyzer run (or one aggregated
+/// corpus). Names are interned on first use; iteration is insertion
+/// order, so rendering is deterministic. Not thread-safe — one registry
+/// per single-threaded run, merged afterwards.
+class MetricsRegistry {
+public:
+  /// Adds \p Delta to counter \p Name (creating it at zero).
+  void add(std::string_view Name, uint64_t Delta) {
+    counterRef(Name) += Delta;
+  }
+
+  /// Sets counter \p Name to \p V.
+  void set(std::string_view Name, uint64_t V) { counterRef(Name) = V; }
+
+  /// Raises counter \p Name to at least \p V (peak semantics).
+  void setMax(std::string_view Name, uint64_t V) {
+    uint64_t &C = counterRef(Name);
+    C = std::max(C, V);
+  }
+
+  uint64_t counter(std::string_view Name) const {
+    auto It = Index.find(std::string(Name));
+    if (It == Index.end() || It->second.Kind != EntryKind::Counter)
+      return 0;
+    return Counters[It->second.Pos];
+  }
+
+  bool hasCounter(std::string_view Name) const {
+    auto It = Index.find(std::string(Name));
+    return It != Index.end() && It->second.Kind == EntryKind::Counter;
+  }
+
+  /// The histogram \p Name (creating it empty). The reference is stable
+  /// for the registry's lifetime. A name is a counter or a histogram,
+  /// never both.
+  Histogram &histogram(std::string_view Name) {
+    auto [It, Inserted] = Index.try_emplace(std::string(Name));
+    if (Inserted) {
+      Histograms.emplace_back();
+      It->second = {EntryKind::Histogram, Histograms.size() - 1};
+      Order.push_back(&It->first);
+    }
+    assert(It->second.Kind == EntryKind::Histogram &&
+           "metric name already used as a counter");
+    return Histograms[It->second.Pos];
+  }
+
+  const Histogram *findHistogram(std::string_view Name) const {
+    auto It = Index.find(std::string(Name));
+    if (It == Index.end() || It->second.Kind != EntryKind::Histogram)
+      return nullptr;
+    return &Histograms[It->second.Pos];
+  }
+
+  /// Merges \p O into this registry: counters add, histograms merge.
+  /// Names absent here are created at their position in \p O 's order.
+  void merge(const MetricsRegistry &O) {
+    for (const std::string *Name : O.Order) {
+      const Entry &E = O.Index.find(*Name)->second;
+      if (E.Kind == EntryKind::Counter)
+        add(*Name, O.Counters[E.Pos]);
+      else
+        histogram(*Name).merge(O.Histograms[E.Pos]);
+    }
+  }
+
+  /// Visits every metric in insertion order. \p CounterFn receives
+  /// (name, value); \p HistFn receives (name, histogram).
+  template <typename CounterFn, typename HistFn>
+  void forEach(CounterFn &&OnCounter, HistFn &&OnHist) const {
+    for (const std::string *Name : Order) {
+      const Entry &E = Index.find(*Name)->second;
+      if (E.Kind == EntryKind::Counter)
+        OnCounter(*Name, Counters[E.Pos]);
+      else
+        OnHist(*Name, Histograms[E.Pos]);
+    }
+  }
+
+  size_t size() const { return Order.size(); }
+
+  /// Renders the registry as one JSON object: counters as numbers,
+  /// histograms as their summary objects.
+  void writeJson(JsonWriter &W) const {
+    W.beginObject();
+    forEach([&](const std::string &N, uint64_t V) { W.key(N).value(V); },
+            [&](const std::string &N, const Histogram &H) {
+              W.key(N);
+              H.writeJson(W);
+            });
+    W.endObject();
+  }
+
+private:
+  enum class EntryKind : uint8_t { Counter, Histogram };
+  struct Entry {
+    EntryKind Kind;
+    size_t Pos;
+  };
+
+  uint64_t &counterRef(std::string_view Name) {
+    auto [It, Inserted] = Index.try_emplace(std::string(Name));
+    if (Inserted) {
+      Counters.push_back(0);
+      It->second = {EntryKind::Counter, Counters.size() - 1};
+      Order.push_back(&It->first);
+    }
+    assert(It->second.Kind == EntryKind::Counter &&
+           "metric name already used as a histogram");
+    return Counters[It->second.Pos];
+  }
+
+  std::unordered_map<std::string, Entry> Index;
+  std::deque<uint64_t> Counters;     // stable references
+  std::deque<Histogram> Histograms;  // stable references
+  std::vector<const std::string *> Order;
+};
+
+} // namespace support
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_METRICS_H

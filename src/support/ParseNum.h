@@ -1,0 +1,110 @@
+//===- support/ParseNum.h - Checked numeric parsing -------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checked string-to-number parsing for command-line flags. The
+/// std::atoi/strtoull family silently turns garbage into 0, wraps
+/// negatives, and truncates out-of-range values — exactly the failure
+/// modes a CLI must report instead. These helpers reject empty input,
+/// trailing junk, signs where unsigned values are expected, and values
+/// outside the caller's range, returning a Result whose message names the
+/// offending text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_PARSENUM_H
+#define CPSFLOW_SUPPORT_PARSENUM_H
+
+#include "support/Result.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace cpsflow {
+namespace support {
+
+/// Parses \p Text as a base-10 unsigned integer in [0, \p Max]. Rejects
+/// empty input, any sign, leading/trailing junk, and overflow.
+inline Result<uint64_t>
+parseUint(std::string_view Text,
+          uint64_t Max = std::numeric_limits<uint64_t>::max()) {
+  if (Text.empty())
+    return Error("expected a number, got ''");
+  for (char C : Text)
+    if (C < '0' || C > '9')
+      return Error("expected an unsigned integer, got '" +
+                   std::string(Text) + "'");
+  uint64_t V = 0;
+  for (char C : Text) {
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (V > (std::numeric_limits<uint64_t>::max() - Digit) / 10)
+      return Error("value '" + std::string(Text) + "' is out of range");
+    V = V * 10 + Digit;
+  }
+  if (V > Max)
+    return Error("value '" + std::string(Text) + "' exceeds the maximum " +
+                 std::to_string(Max));
+  return V;
+}
+
+/// Parses \p Text as a base-10 signed integer in [\p Min, \p Max].
+/// Rejects empty input, junk, and overflow.
+inline Result<int64_t>
+parseInt(std::string_view Text,
+         int64_t Min = std::numeric_limits<int64_t>::min(),
+         int64_t Max = std::numeric_limits<int64_t>::max()) {
+  bool Negative = false;
+  std::string_view Digits = Text;
+  if (!Digits.empty() && (Digits[0] == '-' || Digits[0] == '+')) {
+    Negative = Digits[0] == '-';
+    Digits.remove_prefix(1);
+  }
+  Result<uint64_t> Mag = parseUint(Digits);
+  if (!Mag)
+    return Error("expected an integer, got '" + std::string(Text) + "'");
+  uint64_t Limit = Negative
+                       ? static_cast<uint64_t>(
+                             std::numeric_limits<int64_t>::max()) +
+                             1
+                       : static_cast<uint64_t>(
+                             std::numeric_limits<int64_t>::max());
+  if (*Mag > Limit)
+    return Error("value '" + std::string(Text) + "' is out of range");
+  int64_t V;
+  if (Negative)
+    V = *Mag == Limit ? std::numeric_limits<int64_t>::min()
+                      : -static_cast<int64_t>(*Mag);
+  else
+    V = static_cast<int64_t>(*Mag);
+  if (V < Min || V > Max)
+    return Error("value '" + std::string(Text) + "' is out of range");
+  return V;
+}
+
+/// Parses \p Text as a non-negative decimal number (for millisecond
+/// flags). Rejects empty input, trailing junk, negatives, NaN/inf.
+inline Result<double> parseNonNegativeMs(std::string_view Text) {
+  if (Text.empty())
+    return Error("expected a number, got ''");
+  std::string Buf(Text);
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(Buf.c_str(), &End);
+  if (End != Buf.c_str() + Buf.size() || errno == ERANGE)
+    return Error("expected a number, got '" + Buf + "'");
+  if (!(V >= 0) || V != V || V > 1e18) // rejects NaN, negatives, inf
+    return Error("value '" + Buf + "' must be a finite non-negative number");
+  return V;
+}
+
+} // namespace support
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_PARSENUM_H

@@ -38,7 +38,10 @@ public:
       Threads = 1;
     Workers.reserve(Threads);
     for (unsigned I = 0; I < Threads; ++I)
-      Workers.emplace_back([this] { workerLoop(); });
+      Workers.emplace_back([this, I] {
+        WorkerId = I;
+        workerLoop();
+      });
   }
 
   ThreadPool(const ThreadPool &) = delete;
@@ -57,6 +60,12 @@ public:
   unsigned threadCount() const {
     return static_cast<unsigned>(Workers.size());
   }
+
+  /// Index of the pool worker running the calling job, 0-based; 0 on any
+  /// thread that is not a pool worker (e.g. a caller running jobs
+  /// inline). Used to label observability output (trace tracks,
+  /// per-thread timing), never for correctness.
+  static unsigned currentWorker() { return WorkerId; }
 
   /// Enqueues \p Job. Safe to call from any thread (including from inside
   /// a job).
@@ -97,6 +106,8 @@ private:
       }
     }
   }
+
+  inline static thread_local unsigned WorkerId = 0;
 
   std::mutex M;
   std::condition_variable WakeWorkers;

@@ -1,0 +1,173 @@
+//===- support/Trace.h - Chrome trace_event tracer --------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight event tracer emitting Chrome `trace_event` JSON — the
+/// format `chrome://tracing` and Perfetto load directly. Two event kinds
+/// are enough for our pipeline:
+///
+///  * Complete spans ("ph":"X"): a named phase with a start and a
+///    duration — parse, ANF, the CPS transform, each analyzer leg.
+///    TraceSpan is the RAII helper; spans on the same track (tid) nest
+///    by containment, exactly as the analyzers call each other.
+///  * Instants ("ph":"i"): sampled per-goal events carrying small
+///    integer args (depth, store id, memo-hit), for seeing *where in the
+///    run* the derivation was deep or the memo cold.
+///
+/// Zero overhead when disabled: the analyzers and the CLI hold a
+/// `Tracer *` that defaults to null, so the disabled path is one
+/// predicted-false pointer test per goal (the same budget as the
+/// governor's cheap checks; bench/governor_overhead methodology applies).
+///
+/// Thread model: append is mutex-guarded so the batch driver's workers
+/// can share one tracer (each worker passes its own tid, giving one
+/// Perfetto track per thread). Timestamps are microseconds from the
+/// tracer's construction, read from the same steady clock the governor
+/// uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SUPPORT_TRACE_H
+#define CPSFLOW_SUPPORT_TRACE_H
+
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace support {
+
+/// Collects trace events; renders Chrome trace_event JSON. See the file
+/// comment.
+class Tracer {
+public:
+  /// One small-integer event argument, e.g. {"depth", 12}.
+  using Arg = std::pair<const char *, uint64_t>;
+
+  Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since the tracer was constructed.
+  uint64_t nowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  /// Records a complete span [\p StartUs, \p StartUs + \p DurUs] on
+  /// track \p Tid.
+  void span(std::string Name, const char *Cat, uint64_t StartUs,
+            uint64_t DurUs, uint32_t Tid = 0,
+            std::vector<Arg> Args = {}) {
+    std::lock_guard<std::mutex> Lock(M);
+    Events.push_back(Event{std::move(Name), Cat, 'X', StartUs, DurUs, Tid,
+                           std::move(Args)});
+  }
+
+  /// Records an instant event at now() on track \p Tid.
+  void instant(std::string Name, const char *Cat, uint32_t Tid = 0,
+               std::vector<Arg> Args = {}) {
+    uint64_t Ts = nowUs();
+    std::lock_guard<std::mutex> Lock(M);
+    Events.push_back(
+        Event{std::move(Name), Cat, 'i', Ts, 0, Tid, std::move(Args)});
+  }
+
+  size_t eventCount() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Events.size();
+  }
+
+  /// The Chrome trace document:
+  /// {"displayTimeUnit":"ms","traceEvents":[...]}. Loadable as-is in
+  /// chrome://tracing or https://ui.perfetto.dev.
+  std::string json() const {
+    std::lock_guard<std::mutex> Lock(M);
+    JsonWriter W;
+    W.beginObject();
+    W.key("displayTimeUnit").value("ms");
+    W.key("traceEvents").beginArray();
+    for (const Event &E : Events) {
+      W.beginObject();
+      W.key("name").value(E.Name);
+      W.key("cat").value(E.Cat);
+      W.key("ph").value(std::string_view(&E.Ph, 1));
+      W.key("ts").value(E.TsUs);
+      if (E.Ph == 'X')
+        W.key("dur").value(E.DurUs);
+      if (E.Ph == 'i')
+        W.key("s").value("t"); // thread-scoped instant
+      W.key("pid").value(uint64_t{1});
+      W.key("tid").value(static_cast<uint64_t>(E.Tid));
+      if (!E.Args.empty()) {
+        W.key("args").beginObject();
+        for (const Arg &A : E.Args)
+          W.key(A.first).value(A.second);
+        W.endObject();
+      }
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    return W.str();
+  }
+
+private:
+  struct Event {
+    std::string Name;
+    const char *Cat;
+    char Ph;
+    uint64_t TsUs;
+    uint64_t DurUs;
+    uint32_t Tid;
+    std::vector<Arg> Args;
+  };
+
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex M;
+  std::vector<Event> Events;
+};
+
+/// RAII phase span: records [construction, destruction) as a complete
+/// event. A null tracer makes every member a no-op, so call sites do not
+/// branch.
+class TraceSpan {
+public:
+  TraceSpan(Tracer *T, std::string Name, const char *Cat = "phase",
+            uint32_t Tid = 0)
+      : T(T), Name(std::move(Name)), Cat(Cat), Tid(Tid),
+        StartUs(T ? T->nowUs() : 0) {}
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  ~TraceSpan() { close(); }
+
+  /// Ends the span early (idempotent).
+  void close() {
+    if (!T)
+      return;
+    T->span(std::move(Name), Cat, StartUs, T->nowUs() - StartUs, Tid);
+    T = nullptr;
+  }
+
+private:
+  Tracer *T;
+  std::string Name;
+  const char *Cat;
+  uint32_t Tid;
+  uint64_t StartUs;
+};
+
+} // namespace support
+} // namespace cpsflow
+
+#endif // CPSFLOW_SUPPORT_TRACE_H

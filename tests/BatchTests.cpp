@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "clients/Batch.h"
+#include "support/JsonParse.h"
 
 #include <gtest/gtest.h>
 
@@ -111,7 +112,7 @@ TEST(Batch, JsonSchemaBasics) {
   Opts.Threads = 3;
   BatchResult R = runBatch({{"p", "(add1 41)"}}, Opts);
   std::string Json = batchJson(R, Opts);
-  EXPECT_NE(Json.find("\"schemaVersion\":2"), std::string::npos);
+  EXPECT_NE(Json.find("\"schemaVersion\":3"), std::string::npos);
   EXPECT_NE(Json.find("\"degradeReason\":\"none\""), std::string::npos);
   EXPECT_NE(Json.find("\"failureKinds\":"), std::string::npos);
   EXPECT_NE(Json.find("\"domain\":\"constant\""), std::string::npos);
@@ -125,6 +126,60 @@ TEST(Batch, JsonSchemaBasics) {
   std::string Bare = batchJson(R, Opts);
   EXPECT_EQ(Bare.find("\"wallMs\":"), std::string::npos) << Bare;
   EXPECT_EQ(Bare.find("\"threads\":"), std::string::npos) << Bare;
+}
+
+TEST(Batch, MetricsSectionAggregatesPerLegDistributions) {
+  BatchOptions Opts;
+  BatchResult R = runBatch({{"a", "(add1 1)"}, {"b", "(if0 z 1 2)"}}, Opts);
+  std::string Json = batchJson(R, Opts);
+
+  Result<JsonValue> Doc = parseJson(Json);
+  ASSERT_TRUE(Doc.hasValue()) << Doc.error().Message;
+  const JsonValue *Metrics = Doc->find("metrics");
+  ASSERT_NE(Metrics, nullptr) << Json;
+  for (const char *Leg : {"direct", "semantic", "syntactic", "dup"}) {
+    const JsonValue *L = Metrics->find(Leg);
+    ASSERT_NE(L, nullptr) << Leg;
+    const JsonValue *Goals = L->find("goals");
+    ASSERT_NE(Goals, nullptr) << Leg;
+    // sum over two ok programs, nearest-rank quantiles, and the max.
+    EXPECT_NE(Goals->find("p50"), nullptr);
+    EXPECT_NE(Goals->find("p95"), nullptr);
+    EXPECT_NE(Goals->find("max"), nullptr);
+    EXPECT_GT(Goals->numberOr("sum", 0), 0) << Leg;
+    EXPECT_NE(L->find("memoEntries"), nullptr) << Leg;
+    EXPECT_NE(L->find("stores"), nullptr) << Leg;
+  }
+  // Timing on: a per-thread breakdown and per-program worker labels.
+  EXPECT_NE(Metrics->find("perThread"), nullptr) << Json;
+
+  // Timing off: every scheduler-dependent field disappears.
+  Opts.IncludeTiming = false;
+  std::string Bare = batchJson(R, Opts);
+  EXPECT_EQ(Bare.find("\"perThread\""), std::string::npos) << Bare;
+  EXPECT_EQ(Bare.find("\"worker\""), std::string::npos) << Bare;
+  EXPECT_EQ(Bare.find("\"wallMs\""), std::string::npos) << Bare;
+}
+
+TEST(Batch, QuoteBearingNamesSurviveJsonEscaping) {
+  // A corpus label with every character class jsonEscape must handle:
+  // quotes, a backslash, and a control character.
+  std::string Evil = "we\"ird\\na\tme.scm";
+  BatchOptions Opts;
+  Opts.IncludeTiming = false;
+  BatchResult R = runBatch({{Evil, "(add1 1)"}}, Opts);
+  std::string Json = batchJson(R, Opts);
+
+  Result<JsonValue> Doc = parseJson(Json);
+  ASSERT_TRUE(Doc.hasValue())
+      << "report with quote-bearing name is not valid JSON: "
+      << Doc.error().Message;
+  const JsonValue *Programs = Doc->find("programs");
+  ASSERT_NE(Programs, nullptr);
+  ASSERT_EQ(Programs->items().size(), 1u);
+  const JsonValue *Name = Programs->items()[0].find("name");
+  ASSERT_NE(Name, nullptr);
+  EXPECT_EQ(Name->asString(), Evil) << "name must round-trip unchanged";
 }
 
 TEST(Batch, OtherDomainsRun) {

@@ -1,0 +1,187 @@
+//===- tests/MetricsTests.cpp - Counters and histograms ---------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics layer: log2-bucketed histograms (exact count/sum/max,
+/// deterministic quantile bounds), the registry's insertion-order
+/// iteration and merge semantics, the analyzers' per-run counters, and
+/// the --metrics table renderer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DirectAnalyzer.h"
+#include "clients/Reports.h"
+#include "gen/Workloads.h"
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpsflow;
+using namespace cpsflow::support;
+using CD = domain::ConstantDomain;
+
+namespace {
+
+TEST(Histogram, BucketsByBitWidth) {
+  Histogram H;
+  H.record(0);
+  H.record(1);
+  H.record(2);
+  H.record(3);
+  H.record(4);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 10u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 4u);
+  EXPECT_EQ(H.bucket(0), 1u); // value 0
+  EXPECT_EQ(H.bucket(1), 1u); // value 1
+  EXPECT_EQ(H.bucket(2), 2u); // values 2, 3
+  EXPECT_EQ(H.bucket(3), 1u); // value 4
+}
+
+TEST(Histogram, QuantileBoundsAreDeterministicUpperEdges) {
+  Histogram H;
+  for (uint64_t V = 1; V <= 100; ++V)
+    H.record(V);
+  // The p50 rank-50 sample (value 50) lands in bucket 6 = [32, 63].
+  EXPECT_EQ(H.quantileBound(0.5), 63u);
+  // p95 (rank 95) lands in bucket 7 = [64, 127], tightened by max=100.
+  EXPECT_EQ(H.quantileBound(0.95), 100u);
+  EXPECT_EQ(H.quantileBound(1.0), 100u);
+  // Empty histogram: all summaries are zero, no division by N.
+  Histogram E;
+  EXPECT_EQ(E.quantileBound(0.5), 0u);
+  EXPECT_EQ(E.min(), 0u);
+}
+
+TEST(Histogram, MergeAddsBucketsAndTracksExtremes) {
+  Histogram A, B;
+  A.record(1);
+  A.record(8);
+  B.record(100);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 3u);
+  EXPECT_EQ(A.sum(), 109u);
+  EXPECT_EQ(A.min(), 1u);
+  EXPECT_EQ(A.max(), 100u);
+  // Merging an empty histogram is a no-op on extremes.
+  Histogram Empty;
+  A.merge(Empty);
+  EXPECT_EQ(A.min(), 1u);
+  EXPECT_EQ(A.max(), 100u);
+}
+
+TEST(MetricsRegistry, CountersAndPeakSemantics) {
+  MetricsRegistry M;
+  M.add("goals", 3);
+  M.add("goals", 4);
+  EXPECT_EQ(M.counter("goals"), 7u);
+  M.set("goals", 2);
+  EXPECT_EQ(M.counter("goals"), 2u);
+  M.setMax("peak", 10);
+  M.setMax("peak", 4); // lower value must not regress the peak
+  EXPECT_EQ(M.counter("peak"), 10u);
+  EXPECT_TRUE(M.hasCounter("goals"));
+  EXPECT_FALSE(M.hasCounter("goalDepth"));
+  EXPECT_EQ(M.counter("absent"), 0u);
+}
+
+TEST(MetricsRegistry, IterationIsInsertionOrder) {
+  MetricsRegistry M;
+  M.add("zeta", 1);
+  M.histogram("alpha").record(5);
+  M.add("mid", 2);
+  std::vector<std::string> Names;
+  M.forEach([&](const std::string &N, uint64_t) { Names.push_back(N); },
+            [&](const std::string &N, const Histogram &) {
+              Names.push_back(N);
+            });
+  ASSERT_EQ(Names.size(), 3u);
+  EXPECT_EQ(Names[0], "zeta");
+  EXPECT_EQ(Names[1], "alpha");
+  EXPECT_EQ(Names[2], "mid");
+  EXPECT_EQ(M.size(), 3u);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndMergesHistograms) {
+  MetricsRegistry A, B;
+  A.add("goals", 5);
+  B.add("goals", 7);
+  B.add("cuts", 1);
+  B.histogram("depth").record(4);
+  A.merge(B);
+  EXPECT_EQ(A.counter("goals"), 12u);
+  EXPECT_EQ(A.counter("cuts"), 1u);
+  ASSERT_NE(A.findHistogram("depth"), nullptr);
+  EXPECT_EQ(A.findHistogram("depth")->count(), 1u);
+}
+
+TEST(Metrics, AnalyzerPopulatesRegistry) {
+  Context Ctx;
+  analysis::Witness W = gen::conditionalChain(Ctx, 4);
+  analysis::AnalyzerOptions AOpts;
+  MetricsRegistry M;
+  AOpts.Metrics = &M;
+  auto R = analysis::DirectAnalyzer<CD>(Ctx, W.Anf,
+                                        analysis::directBindings<CD>(W),
+                                        AOpts)
+               .run();
+  // The run's scalar stats land in the registry verbatim...
+  EXPECT_EQ(M.counter("goals"), R.Stats.Goals);
+  EXPECT_EQ(M.counter("cacheHits"), R.Stats.CacheHits);
+  EXPECT_EQ(M.counter("memoEntries"), R.Stats.MemoEntries);
+  EXPECT_EQ(M.counter("stores"), R.Stats.InternedStores);
+  EXPECT_EQ(M.counter("storeBytes"), R.Stats.InternerBytes);
+  EXPECT_GT(M.counter("storeBytesPeak"), 0u);
+  // ...and the per-goal depth and per-store width distributions fill in.
+  const Histogram *Depth = M.findHistogram("goalDepth");
+  ASSERT_NE(Depth, nullptr);
+  EXPECT_EQ(Depth->count(), R.Stats.Goals);
+  const Histogram *Slots = M.findHistogram("storeSlots");
+  ASSERT_NE(Slots, nullptr);
+  EXPECT_EQ(Slots->count(), R.Stats.InternedStores);
+  // Stats also carry the new interner observability fields directly.
+  EXPECT_GT(R.Stats.InternedStores, 0u);
+  EXPECT_GE(R.Stats.InternerPeakBytes, R.Stats.InternerBytes);
+}
+
+TEST(Metrics, DisabledRegistryLeavesStatsIdentical) {
+  Context Ctx;
+  analysis::Witness W = gen::conditionalChain(Ctx, 5);
+  auto Init = analysis::directBindings<CD>(W);
+  MetricsRegistry M;
+  analysis::AnalyzerOptions WithM;
+  WithM.Metrics = &M;
+  auto A = analysis::DirectAnalyzer<CD>(Ctx, W.Anf, Init).run();
+  auto B = analysis::DirectAnalyzer<CD>(Ctx, W.Anf, Init, WithM).run();
+  // Observability must never perturb the analysis.
+  EXPECT_TRUE(A.Answer == B.Answer);
+  EXPECT_EQ(A.Stats.Goals, B.Stats.Goals);
+  EXPECT_EQ(A.Stats.CacheHits, B.Stats.CacheHits);
+  EXPECT_EQ(A.Stats.Cuts, B.Stats.Cuts);
+  EXPECT_EQ(A.Stats.InternedStores, B.Stats.InternedStores);
+}
+
+TEST(Metrics, TableRendersUnionOfLegs) {
+  MetricsRegistry A, B;
+  A.add("goals", 12);
+  A.histogram("goalDepth").record(3);
+  B.add("goals", 7);
+  B.add("cuts", 2);
+  std::string T = clients::metricsTable(
+      {{"direct", &A}, {"semantic", &B}});
+  // Header row names every leg; absent cells render as "-".
+  EXPECT_NE(T.find("metric"), std::string::npos);
+  EXPECT_NE(T.find("direct"), std::string::npos);
+  EXPECT_NE(T.find("semantic"), std::string::npos);
+  EXPECT_NE(T.find("goals"), std::string::npos);
+  EXPECT_NE(T.find("12"), std::string::npos);
+  EXPECT_NE(T.find("goalDepth"), std::string::npos);
+  EXPECT_NE(T.find("n=1"), std::string::npos);
+  EXPECT_NE(T.find("-"), std::string::npos);
+}
+
+} // namespace

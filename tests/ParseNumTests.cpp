@@ -1,0 +1,128 @@
+//===- tests/ParseNumTests.cpp - Checked flag parsing -----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checked numeric parsing (the std::atoi replacement behind every CLI
+/// flag), the public jsonEscape helper, and the JSON reader the tests and
+/// bench_diff use to validate our own emitters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/JsonParse.h"
+#include "support/ParseNum.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace cpsflow;
+using namespace cpsflow::support;
+
+namespace {
+
+TEST(ParseNum, UintAcceptsPlainDigits) {
+  EXPECT_EQ(*parseUint("0"), 0u);
+  EXPECT_EQ(*parseUint("42"), 42u);
+  EXPECT_EQ(*parseUint("18446744073709551615"),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ParseNum, UintRejectsTheAtoiFailureModes) {
+  // Each of these silently became 0 (or a truncated value) under atoi.
+  EXPECT_FALSE(parseUint("").hasValue());
+  EXPECT_FALSE(parseUint("abc").hasValue());
+  EXPECT_FALSE(parseUint("12abc").hasValue()); // trailing junk
+  EXPECT_FALSE(parseUint("-3").hasValue());    // sign on an unsigned flag
+  EXPECT_FALSE(parseUint("+3").hasValue());
+  EXPECT_FALSE(parseUint(" 3").hasValue());    // leading space
+  EXPECT_FALSE(parseUint("3 ").hasValue());
+  EXPECT_FALSE(parseUint("18446744073709551616").hasValue()); // 2^64
+  EXPECT_FALSE(parseUint("99999999999999999999999").hasValue());
+}
+
+TEST(ParseNum, UintEnforcesCallerMax) {
+  EXPECT_EQ(*parseUint("4096", 4096), 4096u);
+  Result<uint64_t> R = parseUint("4097", 4096);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().Message.find("4096"), std::string::npos)
+      << "the error must name the limit: " << R.error().Message;
+}
+
+TEST(ParseNum, IntHandlesSignsAndExtremes) {
+  EXPECT_EQ(*parseInt("-7"), -7);
+  EXPECT_EQ(*parseInt("+7"), 7);
+  EXPECT_EQ(*parseInt("-9223372036854775808"),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(*parseInt("9223372036854775807"),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_FALSE(parseInt("-9223372036854775809").hasValue());
+  EXPECT_FALSE(parseInt("9223372036854775808").hasValue());
+  EXPECT_FALSE(parseInt("--5").hasValue());
+  EXPECT_FALSE(parseInt("5-").hasValue());
+  EXPECT_FALSE(parseInt("").hasValue());
+  EXPECT_FALSE(parseInt("-").hasValue());
+}
+
+TEST(ParseNum, MsRejectsNonFiniteAndNegative) {
+  EXPECT_DOUBLE_EQ(*parseNonNegativeMs("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parseNonNegativeMs("0"), 0.0);
+  EXPECT_FALSE(parseNonNegativeMs("-1").hasValue());
+  EXPECT_FALSE(parseNonNegativeMs("nan").hasValue());
+  EXPECT_FALSE(parseNonNegativeMs("inf").hasValue());
+  EXPECT_FALSE(parseNonNegativeMs("2.5ms").hasValue());
+  EXPECT_FALSE(parseNonNegativeMs("").hasValue());
+}
+
+TEST(Json, EscapeCoversEveryStringHazard) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonParse, RoundTripsEscapedStrings) {
+  // Writer and reader agree on every escape class.
+  std::string Raw = "we\"ird\\na\tme\n\x02";
+  std::string Doc = "{\"k\":\"" + jsonEscape(Raw) + "\"}";
+  Result<JsonValue> V = parseJson(Doc);
+  ASSERT_TRUE(V.hasValue()) << V.error().Message;
+  EXPECT_EQ(V->find("k")->asString(), Raw);
+}
+
+TEST(JsonParse, ParsesTheBasicShapes) {
+  Result<JsonValue> V =
+      parseJson("{\"a\":[1,2.5,-3],\"b\":{\"c\":true,\"d\":null},\"e\":\"s\"}");
+  ASSERT_TRUE(V.hasValue()) << V.error().Message;
+  const JsonValue *A = V->find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(A->items()[1].asNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(A->items()[2].asNumber(), -3.0);
+  EXPECT_TRUE(V->find("b")->find("c")->asBool());
+  EXPECT_TRUE(V->find("b")->find("d")->isNull());
+  EXPECT_EQ(V->find("e")->asString(), "s");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parseJson("").hasValue());
+  EXPECT_FALSE(parseJson("{").hasValue());
+  EXPECT_FALSE(parseJson("{\"a\":1,}").hasValue());
+  EXPECT_FALSE(parseJson("{\"a\" 1}").hasValue());
+  EXPECT_FALSE(parseJson("[1 2]").hasValue());
+  EXPECT_FALSE(parseJson("\"unterminated").hasValue());
+  EXPECT_FALSE(parseJson("{} trailing").hasValue());
+  EXPECT_FALSE(parseJson("tru").hasValue());
+  // The depth cap turns a hostile nest into an error, not a stack
+  // overflow.
+  std::string Deep(1000, '[');
+  Deep += std::string(1000, ']');
+  EXPECT_FALSE(parseJson(Deep).hasValue());
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- tests/TraceTests.cpp - Chrome trace_event tracer ---------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event tracer: emitted documents are valid Chrome trace_event JSON,
+/// RAII phase spans nest by containment, the in-process pipeline's phase
+/// spans cover nearly all of the bracketing total span, and per-goal
+/// instants sample at the configured rate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DirectAnalyzer.h"
+#include "gen/Workloads.h"
+#include "support/JsonParse.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace cpsflow;
+using namespace cpsflow::support;
+using CD = domain::ConstantDomain;
+
+namespace {
+
+/// Parses \p T's document and returns the traceEvents array.
+std::vector<JsonValue> eventsOf(const Tracer &T) {
+  Result<JsonValue> Doc = parseJson(T.json());
+  EXPECT_TRUE(Doc.hasValue()) << Doc.error().Message;
+  if (!Doc)
+    return {};
+  const JsonValue *Events = Doc->find("traceEvents");
+  EXPECT_NE(Events, nullptr);
+  return Events ? Events->items() : std::vector<JsonValue>();
+}
+
+const JsonValue *eventNamed(const std::vector<JsonValue> &Events,
+                            const std::string &Name) {
+  for (const JsonValue &E : Events)
+    if (const JsonValue *N = E.find("name"))
+      if (N->asString() == Name)
+        return &E;
+  return nullptr;
+}
+
+TEST(Trace, DocumentIsValidChromeTraceJson) {
+  Tracer T;
+  T.span("parse", "phase", 0, 10);
+  T.instant("goal", "analyze", 2, {{"depth", 4}, {"memoHit", 1}});
+  Result<JsonValue> Doc = parseJson(T.json());
+  ASSERT_TRUE(Doc.hasValue()) << Doc.error().Message;
+  const JsonValue *Unit = Doc->find("displayTimeUnit");
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_EQ(Unit->asString(), "ms");
+
+  std::vector<JsonValue> Events = eventsOf(T);
+  ASSERT_EQ(Events.size(), 2u);
+  // The complete span: ph=X with a duration.
+  EXPECT_EQ(Events[0].find("ph")->asString(), "X");
+  EXPECT_EQ(Events[0].numberOr("dur", -1), 10);
+  EXPECT_EQ(Events[0].numberOr("pid", -1), 1);
+  // The instant: ph=i, thread-scoped, args carried through.
+  EXPECT_EQ(Events[1].find("ph")->asString(), "i");
+  EXPECT_EQ(Events[1].find("s")->asString(), "t");
+  EXPECT_EQ(Events[1].numberOr("tid", -1), 2);
+  const JsonValue *Args = Events[1].find("args");
+  ASSERT_NE(Args, nullptr);
+  EXPECT_EQ(Args->numberOr("depth", -1), 4);
+  EXPECT_EQ(Args->numberOr("memoHit", -1), 1);
+}
+
+TEST(Trace, NullTracerSpansAreNoOps) {
+  // The zero-overhead contract's API half: every call site passes a
+  // possibly-null tracer without branching.
+  TraceSpan S(nullptr, "phase");
+  S.close();
+  S.close(); // idempotent on the null path too
+  Tracer T;
+  {
+    TraceSpan Real(&T, "x");
+    Real.close();
+    Real.close(); // second close records nothing
+  }
+  EXPECT_EQ(T.eventCount(), 1u);
+}
+
+TEST(Trace, SpansNestByContainment) {
+  Tracer T;
+  {
+    TraceSpan Outer(&T, "total");
+    { TraceSpan Inner(&T, "parse"); }
+    { TraceSpan Inner2(&T, "analyze:direct"); }
+  }
+  std::vector<JsonValue> Events = eventsOf(T);
+  ASSERT_EQ(Events.size(), 3u);
+  const JsonValue *Total = eventNamed(Events, "total");
+  ASSERT_NE(Total, nullptr);
+  double TotalTs = Total->numberOr("ts", 0);
+  double TotalEnd = TotalTs + Total->numberOr("dur", 0);
+  for (const char *Name : {"parse", "analyze:direct"}) {
+    const JsonValue *E = eventNamed(Events, Name);
+    ASSERT_NE(E, nullptr) << Name;
+    double Ts = E->numberOr("ts", 0);
+    double End = Ts + E->numberOr("dur", 0);
+    EXPECT_GE(Ts, TotalTs) << Name;
+    EXPECT_LE(End, TotalEnd) << Name << ": child span must nest inside";
+  }
+}
+
+TEST(Trace, PipelinePhaseSpansCoverTheTotal) {
+  // Replicates the CLI's span structure in-process: a "total" span
+  // bracketing the build + analyze phases. The phases must tile nearly
+  // all of the total — big gaps would mean untraced work.
+  Context Ctx;
+  Tracer T;
+  {
+    TraceSpan Total(&T, "total");
+    analysis::Witness W = [&] {
+      TraceSpan S(&T, "build");
+      return gen::conditionalChain(Ctx, 12);
+    }();
+    analysis::AnalyzerOptions AOpts;
+    {
+      TraceSpan S(&T, "analyze:direct");
+      analysis::DirectAnalyzer<CD>(Ctx, W.Anf,
+                                   analysis::directBindings<CD>(W), AOpts)
+          .run();
+    }
+  }
+  std::vector<JsonValue> Events = eventsOf(T);
+  const JsonValue *Total = eventNamed(Events, "total");
+  ASSERT_NE(Total, nullptr);
+  double TotalDur = Total->numberOr("dur", 0);
+  double PhaseDur = 0;
+  for (const char *Name : {"build", "analyze:direct"})
+    PhaseDur += eventNamed(Events, Name)->numberOr("dur", 0);
+  EXPECT_LE(PhaseDur, TotalDur);
+  // 90% here (95% is the CLI-level target) absorbs scheduler noise on
+  // the microsecond-scale gaps between spans.
+  EXPECT_GE(PhaseDur, 0.9 * TotalDur)
+      << "phase spans cover too little of the run: " << PhaseDur << " / "
+      << TotalDur << " us";
+}
+
+TEST(Trace, AnalyzerEmitsSampledGoalInstants) {
+  Context Ctx;
+  analysis::Witness W = gen::conditionalChain(Ctx, 4);
+  auto Init = analysis::directBindings<CD>(W);
+
+  // Sampling every goal: one instant per goal, with the instrumentation
+  // args attached.
+  Tracer T;
+  analysis::AnalyzerOptions AOpts;
+  AOpts.Trace = &T;
+  AOpts.TraceSampleEvery = 1;
+  auto R = analysis::DirectAnalyzer<CD>(Ctx, W.Anf, Init, AOpts).run();
+  std::vector<JsonValue> Events = eventsOf(T);
+  size_t Goals = 0;
+  for (const JsonValue &E : Events)
+    if (E.find("name")->asString() == "goal") {
+      ++Goals;
+      const JsonValue *Args = E.find("args");
+      ASSERT_NE(Args, nullptr);
+      EXPECT_NE(Args->find("depth"), nullptr);
+      EXPECT_NE(Args->find("store"), nullptr);
+      EXPECT_NE(Args->find("memoHit"), nullptr);
+    }
+  EXPECT_EQ(Goals, R.Stats.Goals);
+
+  // Sparse sampling records strictly fewer events, and tracing must not
+  // perturb the analysis itself.
+  Tracer T2;
+  analysis::AnalyzerOptions Sparse;
+  Sparse.Trace = &T2;
+  Sparse.TraceSampleEvery = 64;
+  auto R2 = analysis::DirectAnalyzer<CD>(Ctx, W.Anf, Init, Sparse).run();
+  EXPECT_TRUE(R.Answer == R2.Answer);
+  EXPECT_EQ(R.Stats.Goals, R2.Stats.Goals);
+  EXPECT_LT(T2.eventCount(), T.eventCount());
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+//===- tools/bench_diff.cpp - Compare two batch reports ---------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two batch/bench JSON reports (any schemaVersion: the per-leg
+/// work counters it reads — goals, cacheHits, cuts — have been stable
+/// since schema 1) and flags regressions beyond a threshold. CI runs it
+/// against the committed BENCH_throughput.json baseline, so the default
+/// comparison uses only deterministic work counters; wall-clock deltas
+/// are opt-in (--wall) because shared runners make timing noisy.
+///
+/// Per leg (direct/semantic/syntactic/dup), counters are summed over the
+/// programs that appear ok in BOTH reports, so adding a corpus program
+/// does not read as a regression. Exit codes: 0 clean, 1 regression
+/// found, 2 usage/IO/parse error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonParse.h"
+#include "support/ParseNum.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cpsflow;
+
+namespace {
+
+const char *const Legs[] = {"direct", "semantic", "syntactic", "dup"};
+const char *const Counters[] = {"goals", "cacheHits", "cuts"};
+
+struct Report {
+  /// Per-leg, per-counter sums over the shared ok programs.
+  std::map<std::string, std::map<std::string, double>> Sums;
+  /// Names of programs that analyzed ok.
+  std::set<std::string> OkNames;
+  double WallMs = 0;
+};
+
+[[noreturn]] void fail(const std::string &Message) {
+  std::fprintf(stderr, "bench_diff: %s\n", Message.c_str());
+  std::exit(2);
+}
+
+JsonValue loadReport(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    fail("cannot open '" + Path + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Result<JsonValue> Doc = parseJson(Buf.str());
+  if (!Doc)
+    fail("'" + Path + "': " + Doc.error().Message);
+  if (!Doc->isObject() || !Doc->find("programs"))
+    fail("'" + Path + "' is not a batch report (no \"programs\")");
+  return Doc.take();
+}
+
+/// Collects the ok-program names of \p Doc, and the per-leg counter sums
+/// restricted to \p Shared (every name when null — first pass).
+Report summarize(const JsonValue &Doc, const std::set<std::string> *Shared) {
+  Report R;
+  R.WallMs = Doc.numberOr("wallMs", 0);
+  for (const JsonValue &P : Doc.find("programs")->items()) {
+    const JsonValue *Ok = P.find("ok");
+    const JsonValue *Name = P.find("name");
+    if (!Name || !Ok || !Ok->asBool())
+      continue;
+    R.OkNames.insert(Name->asString());
+    if (Shared && !Shared->count(Name->asString()))
+      continue;
+    for (const char *Leg : Legs) {
+      const JsonValue *L = P.find(Leg);
+      if (!L)
+        continue;
+      for (const char *C : Counters)
+        R.Sums[Leg][C] += L->numberOr(C, 0);
+    }
+  }
+  return R;
+}
+
+std::string fmt(double V) {
+  char Buf[32];
+  if (V == std::floor(V) && std::fabs(V) < 1e15)
+    std::snprintf(Buf, sizeof(Buf), "%.0f", V);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Files;
+  double ThresholdPct = 10.0;
+  bool CompareWall = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--threshold") {
+      if (++I >= argc)
+        fail("--threshold needs a value");
+      Result<double> V = support::parseNonNegativeMs(argv[I]);
+      if (!V)
+        fail("--threshold: " + V.error().Message);
+      ThresholdPct = *V;
+    } else if (A == "--wall") {
+      CompareWall = true;
+    } else if (A == "--help" || A == "-h") {
+      std::printf("usage: bench_diff BASELINE.json CURRENT.json "
+                  "[--threshold PCT] [--wall]\n");
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      fail("unknown flag '" + A + "'");
+    } else {
+      Files.push_back(A);
+    }
+  }
+  if (Files.size() != 2)
+    fail("expected exactly two report files (try --help)");
+
+  JsonValue BaseDoc = loadReport(Files[0]);
+  JsonValue CurDoc = loadReport(Files[1]);
+
+  // First pass finds each report's ok set; the comparison sums run only
+  // over the intersection.
+  std::set<std::string> BaseOk = summarize(BaseDoc, nullptr).OkNames;
+  std::set<std::string> CurOk = summarize(CurDoc, nullptr).OkNames;
+  std::set<std::string> Shared;
+  for (const std::string &N : BaseOk)
+    if (CurOk.count(N))
+      Shared.insert(N);
+  Report Base = summarize(BaseDoc, &Shared);
+  Report Cur = summarize(CurDoc, &Shared);
+  if (Shared.empty())
+    fail("the reports share no ok programs — nothing to compare");
+  if (Base.OkNames != Cur.OkNames)
+    std::printf("note: program sets differ; comparing the %zu shared ok "
+                "programs\n",
+                Shared.size());
+
+  std::printf("%-10s %-10s %14s %14s %9s  %s\n", "leg", "counter",
+              "baseline", "current", "delta", "status");
+  int Regressions = 0;
+  auto row = [&](const std::string &Leg, const std::string &Counter,
+                 double B, double C) {
+    // "More work" is the regression direction for every counter we read:
+    // goals/cuts are effort, and for a fixed corpus a cacheHits increase
+    // means more total probes.
+    std::string Delta = "n/a", Status = "ok";
+    if (B > 0) {
+      double Pct = (C - B) / B * 100.0;
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%+.1f%%", Pct);
+      Delta = Buf;
+      if (Pct > ThresholdPct) {
+        Status = "REGRESSION";
+        ++Regressions;
+      } else if (Pct < -ThresholdPct) {
+        Status = "improved";
+      }
+    } else if (C > 0) {
+      Status = "new";
+    }
+    std::printf("%-10s %-10s %14s %14s %9s  %s\n", Leg.c_str(),
+                Counter.c_str(), fmt(B).c_str(), fmt(C).c_str(),
+                Delta.c_str(), Status.c_str());
+  };
+  for (const char *Leg : Legs)
+    for (const char *C : Counters)
+      row(Leg, C, Base.Sums[Leg][C], Cur.Sums[Leg][C]);
+  if (CompareWall)
+    row("total", "wallMs", Base.WallMs, Cur.WallMs);
+
+  if (Regressions) {
+    std::printf("%d regression(s) beyond %.1f%%\n", Regressions,
+                ThresholdPct);
+    return 1;
+  }
+  std::printf("no regressions beyond %.1f%%\n", ThresholdPct);
+  return 0;
+}

@@ -58,17 +58,23 @@
 #include "interp/SemanticCps.h"
 #include "interp/SyntacticCps.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/ParseNum.h"
+#include "support/Trace.h"
 #include "syntax/Analysis.h"
 #include "syntax/Parser.h"
 #include "syntax/Rename.h"
 #include "syntax/Sugar.h"
 #include "syntax/Printer.h"
 
+#include <chrono>
 #include <cstdio>
+#include <deque>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -85,16 +91,19 @@ struct Options {
   std::string Domain = "constant";
   std::vector<std::pair<std::string, int64_t>> Bindings;
   std::vector<std::string> TopVars;
-  uint32_t Budget = 2;
+  uint64_t Budget = 2;
   uint64_t Fuel = 1u << 20;
   unsigned Threads = 1;
   double DeadlineMs = 0;
   uint64_t MaxStoreMb = 0;
   uint32_t MaxDepthCap = 0;
   uint32_t LoopUnroll = 64;
+  uint64_t MaxGoals = 0; ///< 0 = the command's default budget.
   bool FailOnBudget = false;
   bool Retry = false;
   std::string OutFile;
+  std::string TraceOut; ///< Chrome trace destination; empty = no tracing.
+  bool ShowMetrics = false;
   bool NoTiming = false;
   bool ShowCfg = false;
   bool ShowStore = false;
@@ -121,6 +130,10 @@ struct Options {
       "          --max-store-mb N   interned-store memory ceiling\n"
       "          --max-depth N      goal-stack depth cap\n"
       "          --loop-unroll N    CPS loop unroll bound (default 64)\n"
+      "          --max-goals N      proof-goal budget per analyzer leg\n"
+      "          --trace-out FILE   write a Chrome trace_event JSON file\n"
+      "                             (open in chrome://tracing or Perfetto)\n"
+      "          --metrics          print per-leg counters/histograms\n"
       "          --on-budget=fail|degrade   degraded answers: exit 1 or\n"
       "                             report (default degrade)\n"
       "          --retry            batch: rerun deadline-tripped programs\n"
@@ -129,6 +142,31 @@ struct Options {
       "          batch takes a DIRECTORY of *.scm in place of FILE)\n"
       "FILE may be '-' for stdin.\n");
   std::exit(2);
+}
+
+/// Checked numeric flag parsing: any malformed or out-of-range value is a
+/// usage error naming the offending flag and text — never a silent 0 or a
+/// truncated cast (the std::atoi failure modes this replaces).
+uint64_t flagUint(const char *Flag, const char *Text,
+                  uint64_t Max = std::numeric_limits<uint64_t>::max()) {
+  Result<uint64_t> R = support::parseUint(Text, Max);
+  if (!R)
+    usage((std::string(Flag) + ": " + R.error().str()).c_str());
+  return *R;
+}
+
+int64_t flagInt(const char *Flag, const std::string &Text) {
+  Result<int64_t> R = support::parseInt(Text);
+  if (!R)
+    usage((std::string(Flag) + ": " + R.error().str()).c_str());
+  return *R;
+}
+
+double flagMs(const char *Flag, const char *Text) {
+  Result<double> R = support::parseNonNegativeMs(Text);
+  if (!R)
+    usage((std::string(Flag) + ": " + R.error().str()).c_str());
+  return *R;
 }
 
 Options parseArgs(int Argc, char **Argv) {
@@ -154,24 +192,38 @@ Options parseArgs(int Argc, char **Argv) {
       if (Eq == std::string::npos)
         usage("--bind expects x=N");
       O.Bindings.emplace_back(Spec.substr(0, Eq),
-                              std::strtoll(Spec.c_str() + Eq + 1, nullptr,
-                                           10));
+                              flagInt("--bind", Spec.substr(Eq + 1)));
     } else if (A == "--top" && I + 1 < Argc) {
       O.TopVars.push_back(Argv[++I]);
     } else if (A == "--budget" && I + 1 < Argc) {
-      O.Budget = static_cast<uint32_t>(std::atoi(Argv[++I]));
+      O.Budget = flagUint("--budget", Argv[++I]);
     } else if (A == "--fuel" && I + 1 < Argc) {
-      O.Fuel = std::strtoull(Argv[++I], nullptr, 10);
+      O.Fuel = flagUint("--fuel", Argv[++I]);
     } else if (A == "--threads" && I + 1 < Argc) {
-      O.Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
+      O.Threads = static_cast<unsigned>(
+          flagUint("--threads", Argv[++I], /*Max=*/4096));
     } else if (A == "--deadline-ms" && I + 1 < Argc) {
-      O.DeadlineMs = std::strtod(Argv[++I], nullptr);
+      O.DeadlineMs = flagMs("--deadline-ms", Argv[++I]);
     } else if (A == "--max-store-mb" && I + 1 < Argc) {
-      O.MaxStoreMb = std::strtoull(Argv[++I], nullptr, 10);
+      // Cap so the byte conversion below cannot overflow.
+      O.MaxStoreMb = flagUint("--max-store-mb", Argv[++I],
+                              /*Max=*/uint64_t{1} << 40);
     } else if (A == "--max-depth" && I + 1 < Argc) {
-      O.MaxDepthCap = static_cast<uint32_t>(std::atoi(Argv[++I]));
+      O.MaxDepthCap = static_cast<uint32_t>(
+          flagUint("--max-depth", Argv[++I],
+                   std::numeric_limits<uint32_t>::max()));
     } else if (A == "--loop-unroll" && I + 1 < Argc) {
-      O.LoopUnroll = static_cast<uint32_t>(std::atoi(Argv[++I]));
+      O.LoopUnroll = static_cast<uint32_t>(
+          flagUint("--loop-unroll", Argv[++I],
+                   std::numeric_limits<uint32_t>::max()));
+    } else if (A == "--max-goals" && I + 1 < Argc) {
+      O.MaxGoals = flagUint("--max-goals", Argv[++I]);
+      if (O.MaxGoals == 0)
+        usage("--max-goals: the budget must be at least 1");
+    } else if (A == "--trace-out" && I + 1 < Argc) {
+      O.TraceOut = Argv[++I];
+    } else if (A == "--metrics") {
+      O.ShowMetrics = true;
     } else if (A.rfind("--on-budget=", 0) == 0) {
       std::string Mode = Value("--on-budget=");
       if (Mode == "fail")
@@ -225,20 +277,37 @@ struct Loaded {
   Context Ctx;
   const syntax::Term *Raw = nullptr;
   const syntax::Term *Anf = nullptr;
+  support::Tracer *Trace = nullptr; ///< Set before load() to span phases.
 
   void load(const Options &O) {
     // The surface language (syntax/Sugar.h) is a superset of core A:
     // defines, curried lambdas/applications, let*, rec, +/- literals.
-    Result<const syntax::Term *> R =
-        syntax::parseSugaredProgram(Ctx, readInput(O.File));
+    Result<const syntax::Term *> R = [&] {
+      support::TraceSpan S(Trace, "parse");
+      return syntax::parseSugaredProgram(Ctx, readInput(O.File));
+    }();
     if (!R) {
       std::fprintf(stderr, "parse error: %s\n", R.error().str().c_str());
       std::exit(1);
     }
     Raw = *R;
+    support::TraceSpan S(Trace, "anf");
     Anf = anf::normalizeProgram(Ctx, Raw);
   }
 };
+
+/// Writes \p Trace as a Chrome trace_event JSON document to O.TraceOut.
+/// Returns false (after reporting) when the file cannot be written.
+bool writeTraceFile(const Options &O, const support::Tracer &Trace) {
+  std::ofstream Out(O.TraceOut);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                 O.TraceOut.c_str());
+    return false;
+  }
+  Out << Trace.json() << '\n';
+  return true;
+}
 
 int cmdParse(const Options &O) {
   Loaded L;
@@ -367,6 +436,7 @@ int cmdRun(const Options &O) {
 
 /// Runs `analyze` or `compare` at a fixed numeric domain.
 template <typename D> int analyzeAt(const Options &O, Loaded &L) {
+  support::TraceSpan BindSpan(L.Trace, "bind");
   std::vector<analysis::DirectBinding<D>> Init;
   for (const auto &[Name, Value] : O.Bindings)
     Init.push_back({L.Ctx.intern(Name),
@@ -374,17 +444,23 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
   for (const std::string &Name : O.TopVars)
     Init.push_back(
         {L.Ctx.intern(Name), domain::AbsVal<D>::number(D::top())});
+  BindSpan.close();
 
-  Result<cps::CpsProgram> P = cps::cpsTransform(L.Ctx, L.Anf);
+  Result<cps::CpsProgram> P = [&] {
+    support::TraceSpan S(L.Trace, "cps");
+    return cps::cpsTransform(L.Ctx, L.Anf);
+  }();
   if (!P) {
     std::fprintf(stderr, "error: %s\n", P.error().str().c_str());
     return 1;
   }
+  support::TraceSpan CBindSpan(L.Trace, "bind");
   std::vector<analysis::CpsBinding<D>> CInit;
   for (const analysis::DirectBinding<D> &B : Init)
     CInit.push_back({B.Var, analysis::deltaE<D>(B.Value, *P)});
 
   std::vector<Symbol> Vars = syntax::collectVariables(L.Anf);
+  CBindSpan.close();
 
   // One governed options block shared by every analyzer this command
   // runs; compare's three legs share one absolute deadline.
@@ -394,6 +470,42 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
   AOpts.Governor.MaxDepth = O.MaxDepthCap;
   if (O.DeadlineMs > 0)
     AOpts.Governor.deadlineIn(O.DeadlineMs);
+  if (O.MaxGoals)
+    AOpts.MaxGoals = O.MaxGoals;
+  AOpts.Trace = L.Trace;
+
+  // --metrics: one registry per analyzer leg, rendered as a table after
+  // the report. Deque keeps registry addresses stable while legs append.
+  std::deque<support::MetricsRegistry> Registries;
+  std::vector<std::pair<std::string, const support::MetricsRegistry *>>
+      MetricLegs;
+  auto legOptions = [&](const char *Leg) {
+    analysis::AnalyzerOptions LOpts = AOpts;
+    if (O.ShowMetrics) {
+      Registries.emplace_back();
+      MetricLegs.emplace_back(Leg, &Registries.back());
+      LOpts.Metrics = &Registries.back();
+    }
+    return LOpts;
+  };
+  auto finishLeg = [&](std::chrono::steady_clock::time_point Start) {
+    if (!O.ShowMetrics)
+      return;
+    Registries.back().set(
+        "wallUs",
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - Start)
+                .count()));
+  };
+  auto printMetrics = [&] {
+    if (!O.ShowMetrics)
+      return;
+    std::string Table = clients::metricsTable(MetricLegs);
+    // With --json, stdout is a JSON document; keep the table on stderr.
+    std::fprintf(O.Json ? stderr : stdout, "\nmetrics:\n%s",
+                 Table.c_str());
+  };
 
   bool AnyDegraded = false;
   auto Finish = [&](int RC) {
@@ -426,6 +538,7 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
   };
 
   auto Report = [&](const char *RawName, const auto &R) {
+    support::TraceSpan S(L.Trace, "report");
     AnyDegraded |= R.Stats.BudgetExhausted;
     std::string Padded = RawName;
     Padded.resize(9, ' ');
@@ -469,21 +582,43 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
   };
 
   if (O.Command == "compare") {
-    auto AD = analysis::DirectAnalyzer<D>(L.Ctx, L.Anf, Init, AOpts).run();
-    auto AS =
-        analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init, AOpts).run();
-    auto AC =
-        analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit, AOpts).run();
+    auto DOpts = legOptions("direct");
+    auto T0 = std::chrono::steady_clock::now();
+    auto AD = [&] {
+      support::TraceSpan S(L.Trace, "analyze:direct");
+      return analysis::DirectAnalyzer<D>(L.Ctx, L.Anf, Init, DOpts).run();
+    }();
+    finishLeg(T0);
+    auto SOpts = legOptions("semantic");
+    auto T1 = std::chrono::steady_clock::now();
+    auto AS = [&] {
+      support::TraceSpan S(L.Trace, "analyze:semantic");
+      return analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init, SOpts)
+          .run();
+    }();
+    finishLeg(T1);
+    auto COpts = legOptions("syntactic");
+    auto T2 = std::chrono::steady_clock::now();
+    auto AC = [&] {
+      support::TraceSpan S(L.Trace, "analyze:syntactic");
+      return analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit, COpts)
+          .run();
+    }();
+    finishLeg(T2);
     Report("direct", AD);
     Report("semantic", AS);
     Report("syntactic", AC);
 
+    support::TraceSpan VS(L.Trace, "report");
     analysis::Comparison DvC = analysis::compareWithSyntactic<D>(
         L.Ctx, AD, AC, *P, Vars);
     analysis::Comparison SvD =
         analysis::compareDirectWorld<D>(L.Ctx, AS, AD, Vars);
-    if (O.Json)
-      return Finish(JsonEnd(str(DvC.Overall), str(SvD.Overall)));
+    if (O.Json) {
+      int RC = Finish(JsonEnd(str(DvC.Overall), str(SvD.Overall)));
+      printMetrics();
+      return RC;
+    }
     std::printf("\ndirect vs syntactic-CPS: %s\n", str(DvC.Overall));
     std::printf("semantic vs direct:      %s\n", str(SvD.Overall));
     for (const analysis::VarComparison &VC : DvC.Vars)
@@ -491,15 +626,21 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
         std::printf("  %s: direct %s vs cps %s (%s)\n",
                     std::string(L.Ctx.spelling(VC.Var)).c_str(),
                     VC.Left.c_str(), VC.Right.c_str(), str(VC.Order));
+    printMetrics();
     return Finish(0);
   }
 
   if (O.Analyzer == "direct") {
     std::vector<std::string> Derivation;
+    auto LOpts = legOptions("direct");
     if (O.ShowDerivation)
-      AOpts.DerivationSink = &Derivation;
-    auto R =
-        analysis::DirectAnalyzer<D>(L.Ctx, L.Anf, Init, AOpts).run();
+      LOpts.DerivationSink = &Derivation;
+    auto T0 = std::chrono::steady_clock::now();
+    auto R = [&] {
+      support::TraceSpan S(L.Trace, "analyze:direct");
+      return analysis::DirectAnalyzer<D>(L.Ctx, L.Anf, Init, LOpts).run();
+    }();
+    finishLeg(T0);
     if (O.ShowDerivation && !O.Json) {
       std::printf("derivation (Figure 4 style, goal |- answer):\n");
       for (const std::string &Line : Derivation)
@@ -507,39 +648,68 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
     }
     Report("direct", R);
   } else if (O.Analyzer == "semantic") {
-    auto R =
-        analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init, AOpts).run();
+    auto LOpts = legOptions("semantic");
+    auto T0 = std::chrono::steady_clock::now();
+    auto R = [&] {
+      support::TraceSpan S(L.Trace, "analyze:semantic");
+      return analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init, LOpts)
+          .run();
+    }();
+    finishLeg(T0);
     Report("semantic", R);
   } else if (O.Analyzer == "syntactic") {
-    auto R =
-        analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit, AOpts).run();
+    auto LOpts = legOptions("syntactic");
+    auto T0 = std::chrono::steady_clock::now();
+    auto R = [&] {
+      support::TraceSpan S(L.Trace, "analyze:syntactic");
+      return analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit, LOpts)
+          .run();
+    }();
+    finishLeg(T0);
     Report("syntactic", R);
   } else if (O.Analyzer == "dup") {
-    auto R = analysis::DupAnalyzer<D>(L.Ctx, L.Anf, Init, O.Budget, AOpts)
-                 .run();
+    auto LOpts = legOptions("dup");
+    auto T0 = std::chrono::steady_clock::now();
+    auto R = [&] {
+      support::TraceSpan S(L.Trace, "analyze:dup");
+      return analysis::DupAnalyzer<D>(L.Ctx, L.Anf, Init, O.Budget, LOpts)
+          .run();
+    }();
+    finishLeg(T0);
     Report("dup", R);
   } else {
     usage("unknown analyzer");
   }
-  if (O.Json)
-    return Finish(JsonEnd(nullptr, nullptr));
-  return Finish(0);
+  int RC = O.Json ? Finish(JsonEnd(nullptr, nullptr)) : Finish(0);
+  printMetrics();
+  return RC;
 }
 
 int cmdAnalyze(const Options &O) {
+  support::Tracer T;
   Loaded L;
-  L.load(O);
-  if (O.Domain == "constant")
-    return analyzeAt<domain::ConstantDomain>(O, L);
-  if (O.Domain == "unit")
-    return analyzeAt<domain::UnitDomain>(O, L);
-  if (O.Domain == "sign")
-    return analyzeAt<domain::SignDomain>(O, L);
-  if (O.Domain == "parity")
-    return analyzeAt<domain::ParityDomain>(O, L);
-  if (O.Domain == "interval")
-    return analyzeAt<domain::IntervalDomain>(O, L);
-  usage("unknown domain");
+  if (!O.TraceOut.empty())
+    L.Trace = &T;
+  int RC = [&] {
+    // One "total" span brackets the whole pipeline so phase coverage is
+    // auditable (the phase spans should tile nearly all of it).
+    support::TraceSpan Total(L.Trace, "total");
+    L.load(O);
+    if (O.Domain == "constant")
+      return analyzeAt<domain::ConstantDomain>(O, L);
+    if (O.Domain == "unit")
+      return analyzeAt<domain::UnitDomain>(O, L);
+    if (O.Domain == "sign")
+      return analyzeAt<domain::SignDomain>(O, L);
+    if (O.Domain == "parity")
+      return analyzeAt<domain::ParityDomain>(O, L);
+    if (O.Domain == "interval")
+      return analyzeAt<domain::IntervalDomain>(O, L);
+    usage("unknown domain");
+  }();
+  if (L.Trace && !writeTraceFile(O, T))
+    return 1;
+  return RC;
 }
 
 int cmdBatch(const Options &O) {
@@ -558,7 +728,7 @@ int cmdBatch(const Options &O) {
   BOpts.Threads = O.Threads;
   BOpts.Domain = O.Domain;
   BOpts.DupBudget = O.Budget;
-  BOpts.MaxGoals = 5'000'000;
+  BOpts.MaxGoals = O.MaxGoals ? O.MaxGoals : 5'000'000;
   BOpts.LoopUnroll = O.LoopUnroll;
   BOpts.DeadlineMs = O.DeadlineMs;
   BOpts.MaxStoreBytes = O.MaxStoreMb * 1024 * 1024;
@@ -566,7 +736,12 @@ int cmdBatch(const Options &O) {
   BOpts.FailOnBudget = O.FailOnBudget;
   BOpts.Retry = O.Retry;
   BOpts.IncludeTiming = !O.NoTiming;
+  support::Tracer T;
+  if (!O.TraceOut.empty())
+    BOpts.Trace = &T;
   clients::BatchResult R = clients::runBatchFiles(*Files, BOpts);
+  if (BOpts.Trace && !writeTraceFile(O, T))
+    return 1;
   std::string Json = clients::batchJson(R, BOpts);
   if (!O.OutFile.empty()) {
     std::ofstream Out(O.OutFile);
