@@ -1,0 +1,452 @@
+//===- fuzz/Campaign.cpp - Parallel differential fuzzing campaign -*- C++-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "anf/Anf.h"
+#include "fuzz/Mutator.h"
+#include "fuzz/Rewrite.h"
+#include "gen/Digest.h"
+#include "gen/Generator.h"
+#include "support/Hashing.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+#include "syntax/Printer.h"
+#include "syntax/Sugar.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cpsflow {
+namespace fuzz {
+
+namespace {
+
+/// Everything one task hands back to the wave barrier.
+struct TaskOut {
+  uint64_t Task = 0;
+  bool Ran = false; ///< reached the oracles (false: generation failed)
+  uint32_t Checked = 0;
+  analysis::AnalyzerStats LegStats[NumLegs];
+  std::vector<Finding> Findings;
+};
+
+/// Digest of \p Source: structural when it parses (rename-insensitive
+/// naming comes from the printer's canonical output), textual otherwise.
+uint64_t sourceDigest(const std::string &Source) {
+  Context Ctx;
+  Result<const syntax::Term *> Raw = syntax::parseSugaredProgram(Ctx, Source);
+  if (Raw)
+    return gen::termDigest(Ctx, anf::normalizeProgram(Ctx, *Raw));
+  return gen::textDigest(Source);
+}
+
+std::string oneLine(std::string S) {
+  for (char &C : S)
+    if (C == '\n' || C == '\r')
+      C = ' ';
+  return S;
+}
+
+/// Draws this task's input program. Sources: seed mutation, finding
+/// crossover, generator stream — all decided by the task-private Rng.
+std::string
+drawProgram(Rng &Random,
+            const std::vector<std::pair<std::string, std::string>> &Seeds,
+            const std::vector<std::string> &CrossPool,
+            std::string &Provenance) {
+  uint64_t Roll = Random.below(100);
+  if (!Seeds.empty() && Roll < 45) {
+    const auto &S = Seeds[Random.below(Seeds.size())];
+    Mutator M(Random.next());
+    if (std::optional<std::string> P = M.mutate(S.second)) {
+      Provenance = "mutate:" + S.first;
+      return *P;
+    }
+  } else if (!CrossPool.empty() && Roll < 60) {
+    const std::string &A = CrossPool[Random.below(CrossPool.size())];
+    const std::string &B = CrossPool[Random.below(CrossPool.size())];
+    Mutator M(Random.next());
+    if (std::optional<std::string> P = M.crossover(A, B)) {
+      Provenance = "crossover";
+      return *P;
+    }
+  }
+  Context Ctx;
+  gen::GenOptions G;
+  G.Seed = Random.next();
+  G.NumFreeVars = 1 + static_cast<uint32_t>(Random.below(3));
+  G.ChainLength = 3 + static_cast<uint32_t>(Random.below(8));
+  G.MaxDepth = 1 + static_cast<uint32_t>(Random.below(3));
+  G.NumeralRange = 5;
+  G.WellTyped = Random.chance(1, 2);
+  G.AllowLoop = Random.chance(1, 8);
+  gen::ProgramGenerator Gen(Ctx, G);
+  Provenance = "gen";
+  return syntax::print(Ctx, Gen.generate());
+}
+
+TaskOut runTask(uint64_t Task, const CampaignOptions &Opts,
+                const std::vector<std::pair<std::string, std::string>> &Seeds,
+                const std::vector<std::string> &CrossPool) {
+  TaskOut Out;
+  Out.Task = Task;
+
+  std::string Program, Provenance;
+  try {
+    Rng Random(mix64(Opts.FuzzSeed) ^ mix64(Task + 1));
+    Program = drawProgram(Random, Seeds, CrossPool, Provenance);
+
+    OracleOptions OOpts = Opts.Oracle;
+    OOpts.Trace = nullptr; // per-goal tracing is per-run; see runCampaign
+    Result<OracleOutcome> Res = checkSource(Program, OOpts);
+    if (!Res) {
+      // Campaign inputs are printer output, so this is an infrastructure
+      // failure of the pipeline itself — surface it as a finding.
+      Finding F;
+      F.Task = Task;
+      F.Internal = true;
+      F.Message = oneLine(Res.error().Message);
+      F.Source = Provenance;
+      F.Program = F.Reproducer = Program;
+      F.Digest = sourceDigest(Program);
+      Out.Findings.push_back(std::move(F));
+      return Out;
+    }
+    Out.Ran = true;
+    Out.Checked = Res->Checked;
+    for (unsigned L = 0; L < NumLegs; ++L)
+      Out.LegStats[L] = Res->LegStats[L];
+
+    // One finding per violated oracle (first message wins), each
+    // minimized against that oracle alone.
+    uint32_t Seen = 0;
+    for (const OracleViolation &V : Res->Violations) {
+      if (Seen & maskOf(V.Id))
+        continue;
+      Seen |= maskOf(V.Id);
+      Finding F;
+      F.Task = Task;
+      F.Oracle = V.Id;
+      F.Message = oneLine(V.Message);
+      F.Source = Provenance;
+      F.Program = Program;
+      F.Reproducer = Program;
+      if (Opts.Shrink) {
+        ShrinkResult SR = shrink(Program, V.Id, OOpts, Opts.Shrink0);
+        F.Reproducer = SR.Program;
+        F.LetsBefore = SR.LetsBefore;
+        F.LetsAfter = SR.LetsAfter;
+      } else {
+        Context Ctx;
+        if (Result<const syntax::Term *> Raw =
+                syntax::parseSugaredProgram(Ctx, Program))
+          F.LetsBefore = F.LetsAfter =
+              letCount(anf::normalizeProgram(Ctx, *Raw));
+      }
+      F.Digest = sourceDigest(F.Reproducer);
+      Out.Findings.push_back(std::move(F));
+    }
+  } catch (const std::exception &E) {
+    Finding F;
+    F.Task = Task;
+    F.Internal = true;
+    F.Message = oneLine(std::string("escaped exception: ") + E.what());
+    F.Source = Provenance.empty() ? "gen" : Provenance;
+    F.Program = F.Reproducer = Program;
+    F.Digest = Program.empty() ? 0 : sourceDigest(Program);
+    Out.Findings.push_back(std::move(F));
+  }
+  return Out;
+}
+
+const char *oracleTag(const Finding &F) {
+  return F.Internal ? "internal" : tag(F.Oracle);
+}
+
+} // namespace
+
+CampaignResult runCampaign(
+    const CampaignOptions &Opts,
+    const std::vector<std::pair<std::string, std::string>> &Seeds) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start = Clock::now();
+  auto ElapsedSec = [&] {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  };
+
+  CampaignResult R;
+  for (const auto &S : Seeds)
+    R.SeedNames.push_back(S.first);
+
+  unsigned Threads = std::max(1u, Opts.Threads);
+  ThreadPool Pool(Threads);
+  // The wave size must NOT depend on the thread count: crossover pools
+  // snapshot at wave boundaries, so a thread-dependent wave would make
+  // the findings thread-dependent too.
+  uint64_t WaveSize = Opts.Wave ? Opts.Wave : 32;
+
+  uint64_t Task = 0;
+  while (R.Findings.size() < Opts.MaxFindings) {
+    uint64_t End;
+    if (Opts.Iterations) {
+      if (Task >= Opts.Iterations)
+        break;
+      End = std::min(Task + WaveSize, Opts.Iterations);
+    } else {
+      if (ElapsedSec() >= Opts.Seconds)
+        break;
+      End = Task + WaveSize;
+    }
+
+    // The crossover pool is a snapshot of the findings of *completed*
+    // waves: wave-deterministic, scheduler-independent.
+    std::vector<std::string> CrossPool;
+    CrossPool.reserve(R.Findings.size());
+    for (const Finding &F : R.Findings)
+      CrossPool.push_back(F.Program);
+
+    std::vector<TaskOut> Slots(End - Task);
+    {
+      support::TraceSpan Span(Opts.Trace,
+                              "wave " + std::to_string(Task / WaveSize),
+                              "fuzz");
+      for (uint64_t I = Task; I < End; ++I)
+        Pool.submit([&Slots, &Opts, &Seeds, &CrossPool, I, Task] {
+          Slots[I - Task] = runTask(I, Opts, Seeds, CrossPool);
+        });
+      Pool.wait();
+    }
+
+    // Fold in task order, so the findings list is scheduling-independent.
+    for (TaskOut &T : Slots) {
+      for (unsigned O = 0; O < NumOracles; ++O)
+        if (T.Checked & (1u << O))
+          ++R.Tally[O].Checked;
+      for (unsigned L = 0; L < NumLegs; ++L) {
+        R.LegTotals[L].Goals += T.LegStats[L].Goals;
+        R.LegTotals[L].CacheHits += T.LegStats[L].CacheHits;
+        R.LegTotals[L].Cuts += T.LegStats[L].Cuts;
+      }
+      for (Finding &F : T.Findings) {
+        if (!F.Internal)
+          ++R.Tally[static_cast<unsigned>(F.Oracle)].Violations;
+        if (Opts.Trace)
+          Opts.Trace->instant(std::string("finding ") + oracleTag(F),
+                              "fuzz");
+        R.Findings.push_back(std::move(F));
+      }
+    }
+    Task = End;
+  }
+
+  R.Iterations = Task;
+  R.WallMs = ElapsedSec() * 1000.0;
+  return R;
+}
+
+std::string campaignJson(const CampaignResult &R,
+                         const CampaignOptions &Opts) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schemaVersion").value(static_cast<uint64_t>(1));
+  W.key("kind").value("fuzz");
+  W.key("fuzzSeed").value(Opts.FuzzSeed);
+  W.key("domain").value(Opts.Oracle.Domain);
+  W.key("iterations").value(R.Iterations);
+  if (Opts.IncludeTiming) {
+    W.key("threads").value(static_cast<uint64_t>(std::max(1u, Opts.Threads)));
+    W.key("wallMs").value(R.WallMs);
+  }
+
+  W.key("seeds").beginArray();
+  for (const std::string &S : R.SeedNames)
+    W.value(S);
+  W.endArray();
+
+  W.key("oracles").beginArray();
+  for (unsigned O = 0; O < NumOracles; ++O) {
+    OracleId Id = static_cast<OracleId>(O);
+    bool Enabled = (Opts.Oracle.Mask & maskOf(Id)) != 0;
+    W.beginObject();
+    W.key("id").value(tag(Id));
+    W.key("name").value(describe(Id));
+    W.key("enabled").value(Enabled);
+    W.key("checked").value(R.Tally[O].Checked);
+    W.key("violations").value(R.Tally[O].Violations);
+    if (Opts.IncludeTiming && R.WallMs > 0)
+      W.key("execPerSec")
+          .value(static_cast<double>(R.Tally[O].Checked) /
+                 (R.WallMs / 1000.0));
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("findings").beginArray();
+  for (const Finding &F : R.Findings) {
+    char Hex[24];
+    std::snprintf(Hex, sizeof(Hex), "%016llx",
+                  static_cast<unsigned long long>(F.Digest));
+    W.beginObject();
+    W.key("task").value(F.Task);
+    W.key("oracle").value(oracleTag(F));
+    W.key("message").value(F.Message);
+    W.key("source").value(F.Source);
+    W.key("digest").value(Hex);
+    W.key("letsBefore").value(static_cast<uint64_t>(F.LetsBefore));
+    W.key("letsAfter").value(static_cast<uint64_t>(F.LetsAfter));
+    W.key("program").value(F.Program);
+    W.key("reproducer").value(F.Reproducer);
+    W.endObject();
+  }
+  W.endArray();
+
+  // bench_diff compatibility: a "programs" array whose "campaign" entry
+  // carries the per-leg work-counter sums, plus one ok/violated row per
+  // oracle. Two fuzz reports with the same seed and iteration count diff
+  // cleanly against each other.
+  static const char *const LegNames[NumLegs] = {"direct", "semantic",
+                                                "syntactic", "dup"};
+  W.key("programs").beginArray();
+  W.beginObject();
+  W.key("name").value("campaign");
+  W.key("ok").value(true);
+  for (unsigned L = 0; L < NumLegs; ++L) {
+    W.key(LegNames[L]).beginObject();
+    W.key("goals").value(R.LegTotals[L].Goals);
+    W.key("cacheHits").value(R.LegTotals[L].CacheHits);
+    W.key("cuts").value(R.LegTotals[L].Cuts);
+    W.endObject();
+  }
+  W.endObject();
+  for (unsigned O = 0; O < NumOracles; ++O) {
+    W.beginObject();
+    W.key("name").value(tag(static_cast<OracleId>(O)));
+    W.key("ok").value(R.Tally[O].Violations == 0);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.endObject();
+  return W.str();
+}
+
+std::string campaignSummary(const CampaignResult &R,
+                            const CampaignOptions &Opts) {
+  std::ostringstream O;
+  O << "fuzz: " << R.Iterations << " iterations, domain "
+    << Opts.Oracle.Domain << ", seed " << Opts.FuzzSeed;
+  if (Opts.IncludeTiming)
+    O << ", " << static_cast<uint64_t>(R.WallMs) << " ms";
+  O << "\n";
+  for (unsigned I = 0; I < NumOracles; ++I) {
+    OracleId Id = static_cast<OracleId>(I);
+    if (!(Opts.Oracle.Mask & maskOf(Id)))
+      continue;
+    O << "  " << tag(Id) << " " << describe(Id) << ": "
+      << R.Tally[I].Checked << " checked, " << R.Tally[I].Violations
+      << " violations\n";
+  }
+  if (R.Findings.empty()) {
+    O << "  no findings\n";
+  } else {
+    O << "  " << R.Findings.size() << " finding(s):\n";
+    for (const Finding &F : R.Findings)
+      O << "    [" << oracleTag(F) << "] task " << F.Task << " ("
+        << F.Source << ", " << F.LetsBefore << " -> " << F.LetsAfter
+        << " lets): " << F.Message << "\n";
+  }
+  return O.str();
+}
+
+std::string reproducerName(const Finding &F) {
+  char Hex[24];
+  std::snprintf(Hex, sizeof(Hex), "%016llx",
+                static_cast<unsigned long long>(F.Digest));
+  return std::string(oracleTag(F)) + "-" + Hex + ".scm";
+}
+
+std::string reproducerFile(const Finding &F, const CampaignOptions &Opts) {
+  std::ostringstream O;
+  O << "; cpsflow fuzz reproducer\n";
+  O << "; oracle: " << oracleTag(F);
+  if (!F.Internal)
+    O << " (" << describe(F.Oracle) << ")";
+  O << "\n";
+  O << "; domain: " << Opts.Oracle.Domain << "\n";
+  O << "; fuzz-seed: " << Opts.FuzzSeed << " task: " << F.Task
+    << " source: " << F.Source << "\n";
+  O << "; message: " << F.Message << "\n";
+  O << "; replay: cpsflow fuzz --replay " << reproducerName(F)
+    << " --domain " << Opts.Oracle.Domain;
+  if (!F.Internal)
+    O << " --oracles " << tag(F.Oracle);
+  O << "\n";
+  O << F.Reproducer << "\n";
+  return O.str();
+}
+
+Result<size_t> writeFindings(const std::string &Dir, const CampaignResult &R,
+                             const CampaignOptions &Opts) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec)
+    return Error("cannot create findings dir '" + Dir + "': " +
+                 Ec.message());
+
+  size_t Written = 0;
+  auto WriteFile = [&](const std::string &Name,
+                       const std::string &Text) -> bool {
+    std::ofstream Out(fs::path(Dir) / Name, std::ios::binary);
+    if (!Out)
+      return false;
+    Out << Text;
+    ++Written;
+    return true;
+  };
+
+  for (const Finding &F : R.Findings)
+    if (!WriteFile(reproducerName(F), reproducerFile(F, Opts)))
+      return Error("cannot write reproducer under '" + Dir + "'");
+
+  // findings.json: the findings array plus enough context to replay.
+  JsonWriter W;
+  W.beginObject();
+  W.key("fuzzSeed").value(Opts.FuzzSeed);
+  W.key("domain").value(Opts.Oracle.Domain);
+  W.key("findings").beginArray();
+  for (const Finding &F : R.Findings) {
+    W.beginObject();
+    W.key("file").value(reproducerName(F));
+    W.key("task").value(F.Task);
+    W.key("oracle").value(oracleTag(F));
+    W.key("message").value(F.Message);
+    W.key("source").value(F.Source);
+    W.key("letsBefore").value(static_cast<uint64_t>(F.LetsBefore));
+    W.key("letsAfter").value(static_cast<uint64_t>(F.LetsAfter));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  if (!WriteFile("findings.json", W.str()))
+    return Error("cannot write findings.json under '" + Dir + "'");
+  return Written;
+}
+
+Result<OracleOutcome> replaySource(const std::string &Source,
+                                   const OracleOptions &Opts) {
+  // Reproducer headers are `;` comments, which the lexer skips, so the
+  // file content replays as-is.
+  return checkSource(Source, Opts);
+}
+
+} // namespace fuzz
+} // namespace cpsflow

@@ -1,0 +1,142 @@
+//===- fuzz/Campaign.h - Parallel differential fuzzing campaign -*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver behind `cpsflow fuzz`: a parallel campaign that draws
+/// programs from three sources — gen::ProgramGenerator streams, mutations
+/// of the seed corpus, and crossover of prior findings — and checks the
+/// enabled oracles on each, shrinking and recording every violation.
+///
+/// Parallelism and determinism model: tasks are numbered 0..Iterations-1
+/// and dispatched in fixed-size waves through a ThreadPool, each task
+/// writing its result into a pre-sized slot (the Batch.cpp pattern). A
+/// task's behavior depends only on (FuzzSeed, task number, the seed
+/// corpus, findings recorded by *earlier waves*) — never on scheduling —
+/// so a fixed --fuzz-seed and --iterations produces a byte-identical
+/// findings set at every --threads value. Under a --seconds budget the
+/// wave loop stops at the deadline, so the iteration *count* (not any
+/// individual finding) is what varies across machines.
+///
+/// Every worker body is exception-contained: a check that throws becomes
+/// a finding with oracle tag "internal" rather than a dead campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_FUZZ_CAMPAIGN_H
+#define CPSFLOW_FUZZ_CAMPAIGN_H
+
+#include "fuzz/Oracles.h"
+#include "fuzz/Shrinker.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace fuzz {
+
+struct CampaignOptions {
+  /// Master seed; every task derives its private Rng from (seed, task).
+  uint64_t FuzzSeed = 1;
+  /// Worker threads (>= 1). Findings are identical at every value.
+  unsigned Threads = 1;
+  /// Exact task count; 0 = run waves until Seconds elapses.
+  uint64_t Iterations = 0;
+  /// Wall-clock budget, used only when Iterations == 0.
+  double Seconds = 10;
+  /// Tasks per scheduling wave; 0 = 32. Part of the deterministic
+  /// schedule (crossover pools snapshot at wave boundaries), so the
+  /// default is a constant, never a function of Threads.
+  uint64_t Wave = 0;
+  /// Stop early once this many findings accumulated.
+  uint64_t MaxFindings = 32;
+  /// Delta-debug each finding (recommended; off for raw throughput).
+  bool Shrink = true;
+  ShrinkOptions Shrink0;
+  /// Oracle set, domain, budgets, and per-run governor.
+  OracleOptions Oracle;
+  /// When false the JSON report omits wall-time and thread count, so two
+  /// runs' reports compare byte-for-byte at fixed Iterations.
+  bool IncludeTiming = true;
+  /// Shared tracer for campaign phases (wave spans, finding instants);
+  /// null = zero overhead.
+  support::Tracer *Trace = nullptr;
+};
+
+/// One recorded oracle violation, minimized and self-contained.
+struct Finding {
+  uint64_t Task = 0;          ///< task number that found it
+  OracleId Oracle = OracleId::InterpAgreement;
+  bool Internal = false;      ///< contained escape, not an oracle verdict
+  std::string Message;        ///< first violation message
+  std::string Source;         ///< input provenance: "gen", "mutate:<seed>",
+                              ///< "crossover"
+  std::string Program;        ///< the failing program as generated
+  std::string Reproducer;     ///< shrunken program (== Program when
+                              ///< shrinking is off or failed)
+  uint64_t Digest = 0;        ///< structural digest of Reproducer
+  size_t LetsBefore = 0;      ///< lets in Program
+  size_t LetsAfter = 0;       ///< lets in Reproducer
+};
+
+/// Per-oracle campaign accounting.
+struct OracleTally {
+  uint64_t Checked = 0;    ///< programs on which the oracle's comparisons ran
+  uint64_t Violations = 0;
+};
+
+struct CampaignResult {
+  uint64_t Iterations = 0; ///< tasks actually executed
+  double WallMs = 0;
+  std::vector<Finding> Findings;
+  OracleTally Tally[NumOracles];
+  /// Summed work counters of the baseline abstract runs, per leg.
+  analysis::AnalyzerStats LegTotals[NumLegs];
+  /// Seed corpus file names, campaign input provenance.
+  std::vector<std::string> SeedNames;
+};
+
+/// Runs a campaign over \p Seeds ((name, source) pairs; may be empty —
+/// generation and crossover still run).
+CampaignResult runCampaign(const CampaignOptions &Opts,
+                           const std::vector<std::pair<std::string, std::string>> &Seeds);
+
+/// Renders the campaign report. The document carries a top-level
+/// "programs" array (one pseudo-program per oracle plus a "campaign"
+/// aggregate with per-leg goals/cacheHits/cuts), so tools/bench_diff can
+/// diff two fuzz reports just like two batch reports.
+std::string campaignJson(const CampaignResult &R, const CampaignOptions &Opts);
+
+/// Renders a short human-readable campaign summary (per-oracle tallies
+/// and one line per finding) for the CLI's stderr.
+std::string campaignSummary(const CampaignResult &R,
+                            const CampaignOptions &Opts);
+
+/// A reproducer file: the shrunken program under a comment header that
+/// records oracle, domain, seed, and provenance, replayable with
+/// `cpsflow fuzz --replay FILE`.
+std::string reproducerFile(const Finding &F, const CampaignOptions &Opts);
+
+/// Deterministic reproducer file name: "<oracle>-<digest16>.scm".
+std::string reproducerName(const Finding &F);
+
+/// Writes each finding's reproducer plus a findings.json index under
+/// \p Dir (created if missing). \returns the number of files written.
+Result<size_t> writeFindings(const std::string &Dir, const CampaignResult &R,
+                             const CampaignOptions &Opts);
+
+/// Re-checks a reproducer (or any program) file's source against the
+/// enabled oracles: the replay half of the detect → shrink → replay
+/// loop.
+Result<OracleOutcome> replaySource(const std::string &Source,
+                                   const OracleOptions &Opts);
+
+} // namespace fuzz
+} // namespace cpsflow
+
+#endif // CPSFLOW_FUZZ_CAMPAIGN_H

@@ -1,0 +1,187 @@
+//===- fuzz/Mutator.cpp - Structural program mutation -----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include "anf/Anf.h"
+#include "fuzz/Rewrite.h"
+#include "syntax/Builder.h"
+#include "syntax/Printer.h"
+#include "syntax/Sugar.h"
+
+namespace cpsflow {
+namespace fuzz {
+
+using namespace syntax;
+
+namespace {
+
+/// One mutation attempt on \p T. \returns the edited term, or null when
+/// the drawn mutation has no applicable site (caller redraws).
+const Term *mutateOnce(Context &Ctx, const Term *T, Rng &Random) {
+  Builder B(Ctx);
+  switch (Random.below(6)) {
+  case 0: {
+    // Swap the operator and operand of an application.
+    std::vector<const Term *> Apps;
+    for (const Term *N : collectTerms(T))
+      if (isa<AppTerm>(N))
+        Apps.push_back(N);
+    if (Apps.empty())
+      return nullptr;
+    const auto *A = cast<AppTerm>(Apps[Random.below(Apps.size())]);
+    EditMap E;
+    E.Terms[A] = B.app(A->arg(), A->fun());
+    return rewriteTerm(Ctx, T, E);
+  }
+  case 1: {
+    // Perturb a numeral: +-1, double, or negate.
+    std::vector<const Value *> Nums;
+    for (const Value *V : collectValues(T))
+      if (isa<NumValue>(V))
+        Nums.push_back(V);
+    if (Nums.empty())
+      return nullptr;
+    const auto *N = cast<NumValue>(Nums[Random.below(Nums.size())]);
+    int64_t Old = N->value();
+    int64_t New = Old;
+    switch (Random.below(4)) {
+    case 0:
+      New = Old + 1;
+      break;
+    case 1:
+      New = Old - 1;
+      break;
+    case 2:
+      New = Old * 2;
+      break;
+    default:
+      New = -Old;
+      break;
+    }
+    if (New == Old)
+      New = Old + 1;
+    EditMap E;
+    E.Values[N] = B.num(New);
+    return rewriteTerm(Ctx, T, E);
+  }
+  case 2: {
+    // Duplicate a let binding under a fresh name (exercises store joins
+    // on repeated bindings of the same shape).
+    std::vector<const LetTerm *> Lets = collectLets(T);
+    if (Lets.empty())
+      return nullptr;
+    const LetTerm *L = Lets[Random.below(Lets.size())];
+    Symbol Fresh = Ctx.fresh(Ctx.spelling(L->var()));
+    EditMap E;
+    E.Terms[L] = B.let(L->var(), L->bound(),
+                       B.let(Fresh, L->bound(), L->body()));
+    return rewriteTerm(Ctx, T, E);
+  }
+  case 3: {
+    // Drop a let binding; later uses of its variable become free (bound
+    // to an integer by the oracle harness) — a legal program shape.
+    std::vector<const LetTerm *> Lets = collectLets(T);
+    if (Lets.empty())
+      return nullptr;
+    const LetTerm *L = Lets[Random.below(Lets.size())];
+    EditMap E;
+    E.Terms[L] = L->body();
+    return rewriteTerm(Ctx, T, E);
+  }
+  case 4: {
+    // Wrap a let's bound term in a conditional on one of its numerals
+    // (or 0), introducing a join point.
+    std::vector<const LetTerm *> Lets = collectLets(T);
+    if (Lets.empty())
+      return nullptr;
+    const LetTerm *L = Lets[Random.below(Lets.size())];
+    const Term *Bound = L->bound();
+    const Term *Other = B.numTerm(Random.range(0, 3));
+    bool ThenBranch = Random.chance(1, 2);
+    EditMap E;
+    E.Terms[Bound] = B.if0(B.numTerm(Random.chance(1, 2) ? 0 : 1),
+                           ThenBranch ? Bound : Other,
+                           ThenBranch ? Other : Bound);
+    // The bound term is nested inside the replacement, which rewriteTerm
+    // emits verbatim — exactly what we want here.
+    return rewriteTerm(Ctx, T, E);
+  }
+  default: {
+    // Eta-wrap an application's operator: f becomes (lambda (t) (f t)),
+    // stressing closure flow without changing meaning.
+    std::vector<const Term *> Apps;
+    for (const Term *N : collectTerms(T))
+      if (isa<AppTerm>(N))
+        Apps.push_back(N);
+    if (Apps.empty())
+      return nullptr;
+    const auto *A = cast<AppTerm>(Apps[Random.below(Apps.size())]);
+    Symbol Param = Ctx.fresh("eta");
+    const Term *EtaBody = B.app(A->fun(), B.varTerm(Param));
+    EditMap E;
+    E.Terms[A] = B.app(B.val(B.lam(Param, EtaBody)), A->arg());
+    return rewriteTerm(Ctx, T, E);
+  }
+  }
+}
+
+} // namespace
+
+std::optional<std::string> Mutator::mutate(const std::string &Source) {
+  Context Ctx;
+  Result<const Term *> Raw = parseSugaredProgram(Ctx, Source);
+  if (!Raw)
+    return std::nullopt;
+  // Mutate the normalized form: every mutation site is then an ANF
+  // shape, and the post-edit normalizeProgram only has to clean up the
+  // edit itself.
+  const Term *T = anf::normalizeProgram(Ctx, *Raw);
+
+  uint64_t Edits = 1 + Random.below(3);
+  for (uint64_t I = 0; I < Edits; ++I) {
+    // A drawn mutation can be inapplicable (e.g. no numerals to perturb);
+    // give each edit a few redraws before settling for fewer edits.
+    for (int Attempt = 0; Attempt < 4; ++Attempt) {
+      if (const Term *M = mutateOnce(Ctx, T, Random)) {
+        T = M;
+        break;
+      }
+    }
+  }
+  T = anf::normalizeProgram(Ctx, T);
+  return print(Ctx, T);
+}
+
+std::optional<std::string> Mutator::crossover(const std::string &A,
+                                              const std::string &B) {
+  Context Ctx;
+  Result<const Term *> RawA = parseSugaredProgram(Ctx, A);
+  Result<const Term *> RawB = parseSugaredProgram(Ctx, B);
+  if (!RawA || !RawB)
+    return std::nullopt;
+  const Term *TA = anf::normalizeProgram(Ctx, *RawA);
+  const Term *TB = anf::normalizeProgram(Ctx, *RawB);
+
+  // Graft B in place of the body under a prefix of A's let spine.
+  std::vector<const syntax::LetTerm *> Spine;
+  const Term *Walk = TA;
+  while (const auto *L = dyn_cast<LetTerm>(Walk)) {
+    Spine.push_back(L);
+    Walk = L->body();
+  }
+  if (Spine.empty())
+    return print(Ctx, TB);
+  const LetTerm *Cut = Spine[Random.below(Spine.size())];
+  EditMap E;
+  E.Terms[Cut->body()] = TB;
+  const Term *T = rewriteTerm(Ctx, TA, E);
+  T = anf::normalizeProgram(Ctx, T);
+  return print(Ctx, T);
+}
+
+} // namespace fuzz
+} // namespace cpsflow

@@ -1,0 +1,57 @@
+//===- fuzz/Mutator.h - Structural program mutation -------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural mutation and crossover of language-A programs for the fuzz
+/// campaign. Mutations edit the AST (swap application operands, perturb
+/// numerals, duplicate or drop let bindings, wrap a binding in if0,
+/// eta-wrap an operator) and then re-establish the analyzer input
+/// contract — anf::isAnf plus unique binders — by running the result
+/// through anf::normalizeProgram. The mutator works source-text to
+/// source-text: its output is printer output, so it parses back
+/// identically (the PrinterRoundTrip property) and can be fed straight to
+/// the oracles or persisted as a reproducer.
+///
+/// Deterministic: a Mutator is seeded once and every draw comes from the
+/// seeded Rng, so (seed, input) pairs reproduce the same mutant on every
+/// platform and thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_FUZZ_MUTATOR_H
+#define CPSFLOW_FUZZ_MUTATOR_H
+
+#include "support/Rng.h"
+
+#include <optional>
+#include <string>
+
+namespace cpsflow {
+namespace fuzz {
+
+class Mutator {
+public:
+  explicit Mutator(uint64_t Seed) : Random(Seed) {}
+
+  /// \returns the printed ANF form of a structural mutant of \p Source
+  /// (one to three random edits), or nullopt if \p Source does not parse
+  /// (a corrupt seed file — the campaign reports those separately).
+  std::optional<std::string> mutate(const std::string &Source);
+
+  /// Splices the let-binding spine of \p A onto the program \p B: a
+  /// cheap crossover that breeds past findings with fresh material.
+  /// \returns nullopt if either side fails to parse.
+  std::optional<std::string> crossover(const std::string &A,
+                                       const std::string &B);
+
+private:
+  Rng Random;
+};
+
+} // namespace fuzz
+} // namespace cpsflow
+
+#endif // CPSFLOW_FUZZ_MUTATOR_H

@@ -1,0 +1,624 @@
+//===- fuzz/Oracles.cpp - Differential fuzzing oracles ----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracles.h"
+
+#include "analysis/Compare.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/DupAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "anf/Anf.h"
+#include "cps/Transform.h"
+#include "interp/Delta.h"
+#include "interp/Direct.h"
+#include "interp/SemanticCps.h"
+#include "interp/SyntacticCps.h"
+#include "reference/RefDirectAnalyzer.h"
+#include "reference/RefDupAnalyzer.h"
+#include "reference/RefSemanticCpsAnalyzer.h"
+#include "reference/RefSyntacticCpsAnalyzer.h"
+#include "support/FaultInjector.h"
+#include "syntax/Analysis.h"
+#include "syntax/Printer.h"
+#include "syntax/Sugar.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cpsflow {
+namespace fuzz {
+
+using namespace analysis;
+using namespace interp;
+
+const char *tag(OracleId Id) {
+  switch (Id) {
+  case OracleId::InterpAgreement:
+    return "O1";
+  case OracleId::Soundness:
+    return "O2";
+  case OracleId::PrecisionOrder:
+    return "O3";
+  case OracleId::ReferenceMatch:
+    return "O4";
+  case OracleId::Determinism:
+    return "O5";
+  case OracleId::GovernedDegrade:
+    return "O6";
+  }
+  return "?";
+}
+
+const char *describe(OracleId Id) {
+  switch (Id) {
+  case OracleId::InterpAgreement:
+    return "interp-agreement";
+  case OracleId::Soundness:
+    return "soundness";
+  case OracleId::PrecisionOrder:
+    return "precision-order";
+  case OracleId::ReferenceMatch:
+    return "reference-match";
+  case OracleId::Determinism:
+    return "determinism";
+  case OracleId::GovernedDegrade:
+    return "governed-degradation";
+  }
+  return "?";
+}
+
+Result<uint32_t> parseOracleMask(const std::string &List) {
+  uint32_t Mask = 0;
+  std::string Item;
+  std::istringstream In(List);
+  while (std::getline(In, Item, ',')) {
+    std::string Lower;
+    for (char C : Item)
+      if (!std::isspace(static_cast<unsigned char>(C)))
+        Lower += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    if (Lower.empty())
+      continue;
+    if (Lower == "all") {
+      Mask = AllOracles;
+      continue;
+    }
+    bool Found = false;
+    for (unsigned I = 0; I < NumOracles; ++I) {
+      OracleId Id = static_cast<OracleId>(I);
+      std::string T = tag(Id);
+      std::transform(T.begin(), T.end(), T.begin(), ::tolower);
+      if (Lower == T || Lower == describe(Id)) {
+        Mask |= maskOf(Id);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return Error("unknown oracle '" + Item +
+                   "' (want O1..O6 or a name like interp-agreement)");
+  }
+  if (Mask == 0)
+    return Error("empty oracle list");
+  return Mask;
+}
+
+namespace {
+
+/// Collects one oracle's verdicts: the fault-injection hook, the skip
+/// rule, and violation accumulation.
+class OracleScope {
+public:
+  OracleScope(OracleId Id, OracleOutcome &Out) : Id(Id), Out(Out) {}
+
+  /// Fires the named fault site. \returns true when an armed fault
+  /// converted into a violation (the caller should skip the real checks:
+  /// the injected failure already is the finding).
+  bool injectionTripped() {
+    try {
+      CPSFLOW_FAULT_NAMED(fault::Site::FuzzOracle, tag(Id));
+    } catch (const std::exception &E) {
+      Out.Violations.push_back({Id, std::string("injected: ") + E.what()});
+      return true;
+    }
+    return false;
+  }
+
+  void markChecked() { Out.Checked |= maskOf(Id); }
+
+  void violation(const std::string &Message) {
+    Out.Violations.push_back({Id, Message});
+  }
+
+private:
+  OracleId Id;
+  OracleOutcome &Out;
+};
+
+/// Integer bindings for the free variables of \p T, cycling \p Ints in
+/// symbol order (the tests/TestUtil.h convention).
+std::vector<InitialBinding> intBindings(const syntax::Term *T,
+                                        const std::vector<int64_t> &Ints) {
+  std::vector<InitialBinding> Out;
+  size_t I = 0;
+  for (Symbol S : syntax::freeVars(T)) {
+    int64_t V = Ints.empty() ? 0 : Ints[I++ % Ints.size()];
+    Out.push_back(InitialBinding{S, RtValue::number(V)});
+  }
+  return Out;
+}
+
+std::vector<CpsInitialBinding> intCpsBindings(const syntax::Term *T,
+                                              const std::vector<int64_t> &Ints) {
+  std::vector<CpsInitialBinding> Out;
+  size_t I = 0;
+  for (Symbol S : syntax::freeVars(T)) {
+    int64_t V = Ints.empty() ? 0 : Ints[I++ % Ints.size()];
+    Out.push_back(CpsInitialBinding{S, CpsRtValue::number(V)});
+  }
+  return Out;
+}
+
+template <typename D> domain::AbsVal<D> alpha(const RtValue &V) {
+  using Val = domain::AbsVal<D>;
+  switch (V.Tag) {
+  case RtValue::Kind::Num:
+    return Val::number(D::constant(V.Num));
+  case RtValue::Kind::Inc:
+    return Val::closures(domain::CloSet::single(domain::CloRef::inc()));
+  case RtValue::Kind::Dec:
+    return Val::closures(domain::CloSet::single(domain::CloRef::dec()));
+  case RtValue::Kind::Closure:
+    return Val::closures(domain::CloSet::single(domain::CloRef::lam(V.Lam)));
+  }
+  return Val::bot();
+}
+
+template <typename D> domain::CpsAbsVal<D> alphaCps(const CpsRtValue &V) {
+  using Val = domain::CpsAbsVal<D>;
+  switch (V.Tag) {
+  case CpsRtValue::Kind::Num:
+    return Val::number(D::constant(V.Num));
+  case CpsRtValue::Kind::Inck:
+    return Val::closures(
+        domain::CpsCloSet::single(domain::CpsCloRef::inck()));
+  case CpsRtValue::Kind::Deck:
+    return Val::closures(
+        domain::CpsCloSet::single(domain::CpsCloRef::deck()));
+  case CpsRtValue::Kind::Closure:
+    return Val::closures(
+        domain::CpsCloSet::single(domain::CpsCloRef::lam(V.Lam)));
+  case CpsRtValue::Kind::Cont:
+    return Val::konts(domain::KontSet::single(domain::KontRef::cont(V.Cont)));
+  case CpsRtValue::Kind::Stop:
+    return Val::konts(domain::KontSet::single(domain::KontRef::stop()));
+  }
+  return Val::bot();
+}
+
+template <typename D>
+std::vector<DirectBinding<D>> absBindings(const syntax::Term *T,
+                                          const std::vector<int64_t> &Ints) {
+  std::vector<DirectBinding<D>> Out;
+  size_t I = 0;
+  for (Symbol S : syntax::freeVars(T)) {
+    int64_t V = Ints.empty() ? 0 : Ints[I++ % Ints.size()];
+    Out.push_back(
+        DirectBinding<D>{S, domain::AbsVal<D>::number(D::constant(V))});
+  }
+  return Out;
+}
+
+template <typename D>
+std::vector<CpsBinding<D>> absCpsBindings(const syntax::Term *T,
+                                          const std::vector<int64_t> &Ints) {
+  std::vector<CpsBinding<D>> Out;
+  size_t I = 0;
+  for (Symbol S : syntax::freeVars(T)) {
+    int64_t V = Ints.empty() ? 0 : Ints[I++ % Ints.size()];
+    Out.push_back(
+        CpsBinding<D>{S, domain::CpsAbsVal<D>::number(D::constant(V))});
+  }
+  return Out;
+}
+
+bool statsEq(const AnalyzerStats &A, const AnalyzerStats &B,
+             std::string *Why) {
+  auto Field = [&](const char *Name, uint64_t X, uint64_t Y) {
+    if (X == Y)
+      return true;
+    *Why = std::string(Name) + " " + std::to_string(X) + " vs " +
+           std::to_string(Y);
+    return false;
+  };
+  // The fields InternEquivalenceTests compares; Degraded and the
+  // observability counters are deliberately excluded (the reference
+  // oracles predate them).
+  return Field("goals", A.Goals, B.Goals) &&
+         Field("cacheHits", A.CacheHits, B.CacheHits) &&
+         Field("cuts", A.Cuts, B.Cuts) &&
+         Field("maxDepth", A.MaxDepth, B.MaxDepth) &&
+         Field("deadPaths", A.DeadPaths, B.DeadPaths) &&
+         Field("prunedBranches", A.PrunedBranches, B.PrunedBranches) &&
+         Field("budgetExhausted", A.BudgetExhausted, B.BudgetExhausted) &&
+         Field("loopBounded", A.LoopBounded, B.LoopBounded);
+}
+
+/// All the per-program state the oracles share: one concrete run per
+/// machine, one ungoverned abstract run per analyzer.
+template <typename D> struct Runs {
+  const syntax::Term *T = nullptr;
+  const cps::CpsProgram *P = nullptr;
+
+  DirectInterp CI;
+  RunResult CR;
+  SemanticCpsInterp SI;
+  RunResult SR;
+  SyntacticCpsInterp CCI;
+  CpsRunResult CCR;
+
+  DirectResult<D> AD;
+  SemanticResult<D> AS;
+  SyntacticResult<D> AC;
+  DirectResult<D> ADup;
+
+  Runs(const Context &, RunLimits Limits)
+      : CI(Limits), SI(Limits), CCI(Limits) {}
+};
+
+template <typename D>
+void checkO1(OracleScope S, const Context &Ctx, Runs<D> &R) {
+  if (S.injectionTripped())
+    return;
+  // Fuel exhaustion is a budget artifact, not a semantic difference: the
+  // three machines count steps differently (tests/AgreementTests.cpp).
+  if (R.CR.Status == RunStatus::OutOfFuel ||
+      R.SR.Status == RunStatus::OutOfFuel ||
+      R.CCR.Status == RunStatus::OutOfFuel)
+    return;
+  S.markChecked();
+
+  // Lemma 3.1: the direct and semantic-CPS machines agree on status,
+  // answer, and per-variable store history.
+  if (R.CR.Status != R.SR.Status) {
+    S.violation("3.1: direct/semantic status mismatch");
+    return;
+  }
+  if (R.CR.ok()) {
+    if (R.CR.Value.Tag != R.SR.Value.Tag ||
+        (R.CR.Value.isNum() && R.CR.Value.Num != R.SR.Value.Num) ||
+        (R.CR.Value.isClosure() && R.CR.Value.Lam != R.SR.Value.Lam))
+      S.violation("3.1: direct answer " + str(Ctx, R.CR.Value) +
+                  " != semantic answer " + str(Ctx, R.SR.Value));
+    for (Symbol X : syntax::boundVars(R.T)) {
+      std::vector<RtValue> HD = R.CI.store().valuesAt(X);
+      std::vector<RtValue> HS = R.SI.store().valuesAt(X);
+      bool Same = HD.size() == HS.size();
+      for (size_t I = 0; Same && I < HD.size(); ++I)
+        Same = HD[I].Tag == HS[I].Tag &&
+               (!HD[I].isNum() || HD[I].Num == HS[I].Num);
+      if (!Same) {
+        S.violation("3.1: store history of " +
+                    std::string(Ctx.spelling(X)) + " differs");
+        break;
+      }
+    }
+  }
+
+  // Lemma 3.3: the syntactic-CPS machine agrees through delta.
+  if (R.CR.Status != R.CCR.Status) {
+    S.violation("3.3: direct/syntactic status mismatch");
+    return;
+  }
+  if (R.CR.ok()) {
+    if (!deltaRelated(R.CR.Value, R.CCR.Value, *R.P))
+      S.violation("3.3: answers not delta-related: direct " +
+                  str(Ctx, R.CR.Value) + ", cps " + str(Ctx, R.CCR.Value));
+    std::string Why;
+    if (!storesDeltaRelated(Ctx, R.CI.store(), R.CCI.store(), *R.P, &Why))
+      S.violation("3.3: stores not delta-related: " + Why);
+  }
+}
+
+template <typename D>
+void checkO2(OracleScope S, const Context &Ctx, Runs<D> &R) {
+  if (S.injectionTripped())
+    return;
+  if (R.AD.Stats.BudgetExhausted || R.AS.Stats.BudgetExhausted ||
+      R.AC.Stats.BudgetExhausted || R.ADup.Stats.BudgetExhausted)
+    return;
+  S.markChecked();
+
+  if (R.CR.ok()) {
+    domain::AbsVal<D> A = alpha<D>(R.CR.Value);
+    if (!domain::AbsVal<D>::leq(A, R.AD.Answer.Value))
+      S.violation("direct value " + str(Ctx, R.CR.Value) + " not below " +
+                  R.AD.Answer.Value.str(Ctx));
+    if (!domain::AbsVal<D>::leq(A, R.AS.Answer.Value))
+      S.violation("semantic value " + str(Ctx, R.CR.Value) +
+                  " not below " + R.AS.Answer.Value.str(Ctx));
+    if (!domain::AbsVal<D>::leq(A, R.ADup.Answer.Value))
+      S.violation("dup value " + str(Ctx, R.CR.Value) + " not below " +
+                  R.ADup.Answer.Value.str(Ctx));
+    for (const auto &Cell : R.CI.store().cells()) {
+      domain::AbsVal<D> CA = alpha<D>(Cell.Value);
+      if (!domain::AbsVal<D>::leq(CA, R.AD.valueOf(Cell.Var)))
+        S.violation("direct store cell " +
+                    std::string(Ctx.spelling(Cell.Var)) + " unsound");
+      if (!domain::AbsVal<D>::leq(CA, R.AS.valueOf(Cell.Var)))
+        S.violation("semantic store cell " +
+                    std::string(Ctx.spelling(Cell.Var)) + " unsound");
+    }
+  }
+  if (R.CCR.ok()) {
+    if (!domain::CpsAbsVal<D>::leq(alphaCps<D>(R.CCR.Value),
+                                   R.AC.Answer.Value))
+      S.violation("syntactic value " + str(Ctx, R.CCR.Value) +
+                  " not below " + R.AC.Answer.Value.str(Ctx));
+    for (const auto &Cell : R.CCI.store().cells())
+      if (!domain::CpsAbsVal<D>::leq(alphaCps<D>(Cell.Value),
+                                     R.AC.valueOf(Cell.Var)))
+        S.violation("cps store cell " +
+                    std::string(Ctx.spelling(Cell.Var)) + " unsound");
+  }
+}
+
+template <typename D>
+void checkO3(OracleScope S, const Context &Ctx, Runs<D> &R) {
+  if (S.injectionTripped())
+    return;
+  if (R.AD.Stats.BudgetExhausted || R.AS.Stats.BudgetExhausted ||
+      R.AC.Stats.BudgetExhausted)
+    return;
+  S.markChecked();
+
+  std::vector<Symbol> Vars = syntax::collectVariables(R.T);
+
+  // Theorem 5.4: semantic at least as precise as direct — for cut-free
+  // runs only. A Section 4.4 cut is delivered to the continuation in the
+  // semantic analyzer (widening its downstream bindings *and* its final
+  // answer toward top) but returned as the goal answer in the direct one
+  // (whose store and answer stay exact), so when the semantic leg cuts a
+  // recursion the direct leg resolves — church-numeral towers are the
+  // canonical case — the inversion is an artifact of the terminating
+  // analyses, not a theorem violation, and neither half of the relation
+  // is guaranteed. (5.5 below is different: both CPS analyzers widen
+  // their answers at a cut, so its value half survives.)
+  if (R.AS.Stats.Cuts == 0 && R.AD.Stats.Cuts == 0) {
+    Comparison C54 = compareDirectWorld<D>(Ctx, R.AS, R.AD, Vars);
+    if (C54.Overall != PrecisionOrder::Equal &&
+        C54.Overall != PrecisionOrder::LeftMorePrecise)
+      S.violation(std::string("5.4: semantic vs direct is '") +
+                  str(C54.Overall) + "'");
+  }
+
+  // Theorem 5.5: semantic at least as precise as syntactic. The full
+  // (store-inclusive) relation only holds for cut-free terminating
+  // analyses; under cuts only the answer half is required (see
+  // tests/SoundnessTests.cpp for why).
+  Comparison C55 = compareWithSyntactic<D>(Ctx, R.AS, R.AC, *R.P, Vars);
+  if (R.AS.Stats.Cuts == 0 && R.AC.Stats.Cuts == 0) {
+    if (C55.Overall != PrecisionOrder::Equal &&
+        C55.Overall != PrecisionOrder::LeftMorePrecise)
+      S.violation(std::string("5.5: semantic vs syntactic is '") +
+                  str(C55.Overall) + "'");
+  } else if (C55.OnValue != PrecisionOrder::Equal &&
+             C55.OnValue != PrecisionOrder::LeftMorePrecise) {
+    S.violation(std::string("5.5 (value, under cuts): '") +
+                str(C55.OnValue) + "'");
+  }
+}
+
+template <typename D>
+void checkO4(OracleScope S, const Context &Ctx, Runs<D> &R,
+             const OracleOptions &Opts, const AnalyzerOptions &AOpts) {
+  if (S.injectionTripped())
+    return;
+  S.markChecked();
+
+  auto Init = absBindings<D>(R.T, Opts.Inputs);
+  auto CInit = absCpsBindings<D>(R.T, Opts.Inputs);
+  std::string Why;
+  auto Check = [&](const char *Leg, const auto &New, const auto &Ref) {
+    if (!(New.Answer == Ref.Answer))
+      S.violation(std::string(Leg) + ": answer differs from reference");
+    else if (!statsEq(New.Stats, Ref.Stats, &Why))
+      S.violation(std::string(Leg) + ": stats differ from reference (" +
+                  Why + ")");
+  };
+  Check("direct", R.AD,
+        refimpl::RefDirectAnalyzer<D>(Ctx, R.T, Init, AOpts).run());
+  Check("semantic", R.AS,
+        refimpl::RefSemanticCpsAnalyzer<D>(Ctx, R.T, Init, AOpts).run());
+  Check("syntactic", R.AC,
+        refimpl::RefSyntacticCpsAnalyzer<D>(Ctx, *R.P, CInit, AOpts).run());
+  Check("dup", R.ADup,
+        refimpl::RefDupAnalyzer<D>(Ctx, R.T, Init,
+                                   static_cast<uint32_t>(Opts.DupBudget),
+                                   AOpts)
+            .run());
+}
+
+template <typename D>
+void checkO5(OracleScope S, const std::string &Source, const Context &Ctx,
+             Runs<D> &R, const OracleOptions &Opts,
+             const AnalyzerOptions &AOpts) {
+  if (S.injectionTripped())
+    return;
+  S.markChecked();
+
+  // Replay the whole pipeline in a fresh Context: parse, normalize,
+  // transform, analyze. Everything — rendered answers and work counters —
+  // must reproduce exactly, or results depend on allocation addresses or
+  // container iteration order.
+  Context Ctx2;
+  Result<const syntax::Term *> Raw2 = syntax::parseSugaredProgram(Ctx2, Source);
+  if (!Raw2) {
+    S.violation("reparse failed: " + Raw2.error().Message);
+    return;
+  }
+  const syntax::Term *T2 = anf::normalizeProgram(Ctx2, *Raw2);
+  Result<cps::CpsProgram> P2 = cps::cpsTransform(Ctx2, T2);
+  if (!P2) {
+    S.violation("re-transform failed: " + P2.error().Message);
+    return;
+  }
+
+  std::string Why;
+  auto Check = [&](const char *Leg, const auto &First, const auto &Second,
+                   const Context &FirstCtx) {
+    if (First.Answer.Value.str(FirstCtx) != Second.Answer.Value.str(Ctx2))
+      S.violation(std::string(Leg) + ": answer not reproducible: '" +
+                  First.Answer.Value.str(FirstCtx) + "' vs '" +
+                  Second.Answer.Value.str(Ctx2) + "'");
+    else if (!statsEq(First.Stats, Second.Stats, &Why))
+      S.violation(std::string(Leg) + ": stats not reproducible (" + Why +
+                  ")");
+  };
+  auto Init2 = absBindings<D>(T2, Opts.Inputs);
+  auto CInit2 = absCpsBindings<D>(T2, Opts.Inputs);
+  Check("direct", R.AD,
+        DirectAnalyzer<D>(Ctx2, T2, Init2, AOpts).run(), Ctx);
+  Check("semantic", R.AS,
+        SemanticCpsAnalyzer<D>(Ctx2, T2, Init2, AOpts).run(), Ctx);
+  Check("syntactic", R.AC,
+        SyntacticCpsAnalyzer<D>(Ctx2, *P2, CInit2, AOpts).run(), Ctx);
+  Check("dup", R.ADup,
+        DupAnalyzer<D>(Ctx2, T2, Init2, Opts.DupBudget, AOpts).run(), Ctx);
+}
+
+template <typename D>
+void checkO6(OracleScope S, const Context &Ctx, Runs<D> &R,
+             const OracleOptions &Opts, const AnalyzerOptions &AOpts) {
+  if (S.injectionTripped())
+    return;
+  S.markChecked();
+
+  auto Init = absBindings<D>(R.T, Opts.Inputs);
+  auto CInit = absCpsBindings<D>(R.T, Opts.Inputs);
+
+  // Force a budget trip at half the ungoverned goal count, then require
+  // the degraded answer to over-approximate the ungoverned one — the
+  // tests/GovernorTests.cpp expectSoundTrip invariant, hunted at scale.
+  auto CheckVal = [&](const char *Leg, const auto &Full, const auto &Gov) {
+    using V = std::decay_t<decltype(Full.Answer.Value)>;
+    if (!V::leq(Full.Answer.Value, Gov.Answer.Value))
+      S.violation(std::string(Leg) + ": degraded answer " +
+                  Gov.Answer.Value.str(Ctx) +
+                  " more precise than ungoverned " +
+                  Full.Answer.Value.str(Ctx));
+  };
+  AnalyzerOptions Half = AOpts;
+  Half.MaxGoals = std::max<uint64_t>(1, R.AD.Stats.Goals / 2);
+  CheckVal("direct", R.AD, DirectAnalyzer<D>(Ctx, R.T, Init, Half).run());
+  Half.MaxGoals = std::max<uint64_t>(1, R.AS.Stats.Goals / 2);
+  CheckVal("semantic", R.AS,
+           SemanticCpsAnalyzer<D>(Ctx, R.T, Init, Half).run());
+  Half.MaxGoals = std::max<uint64_t>(1, R.AC.Stats.Goals / 2);
+  CheckVal("syntactic", R.AC,
+           SyntacticCpsAnalyzer<D>(Ctx, *R.P, CInit, Half).run());
+
+  // Same soundness through the governor proper: cap the goal-stack depth
+  // at half the observed maximum (DegradeReason::Depth path).
+  AnalyzerOptions Deep = AOpts;
+  Deep.Governor.MaxDepth =
+      std::max<uint32_t>(1, static_cast<uint32_t>(R.AD.Stats.MaxDepth / 2));
+  Deep.Governor.CheckPeriod = 1;
+  CheckVal("direct-depth", R.AD,
+           DirectAnalyzer<D>(Ctx, R.T, Init, Deep).run());
+}
+
+template <typename D>
+Result<OracleOutcome> checkAt(const std::string &Source,
+                              const OracleOptions &Opts) {
+  OracleOutcome Out;
+
+  Context Ctx;
+  Result<const syntax::Term *> Raw = syntax::parseSugaredProgram(Ctx, Source);
+  if (!Raw)
+    return Error("parse: " + Raw.error().Message);
+  const syntax::Term *T = anf::normalizeProgram(Ctx, *Raw);
+  Result<cps::CpsProgram> P = cps::cpsTransform(Ctx, T);
+  if (!P)
+    return Error("cps: " + P.error().Message);
+
+  RunLimits Limits;
+  Limits.MaxSteps = Opts.MaxSteps;
+  Runs<D> R(Ctx, Limits);
+  R.T = T;
+  R.P = &*P;
+
+  // Concrete runs (O1, O2).
+  R.CR = R.CI.run(T, intBindings(T, Opts.Inputs));
+  R.SR = R.SI.run(T, intBindings(T, Opts.Inputs));
+  R.CCR = R.CCI.run(*P, intCpsBindings(T, Opts.Inputs));
+
+  // Baseline abstract runs, shared by O2..O6 (ungoverned unless the
+  // caller set governor knobs).
+  AnalyzerOptions AOpts;
+  AOpts.MaxGoals = Opts.MaxGoals;
+  AOpts.LoopUnroll = Opts.LoopUnroll;
+  AOpts.Metrics = Opts.Metrics;
+  AOpts.Trace = Opts.Trace;
+  AOpts.TraceTid = Opts.TraceTid;
+  AOpts.Governor.MaxStoreBytes = Opts.MaxStoreBytes;
+  AOpts.Governor.MaxDepth = Opts.MaxDepth;
+  if (Opts.DeadlineMs > 0)
+    AOpts.Governor.deadlineIn(Opts.DeadlineMs);
+  R.AD = DirectAnalyzer<D>(Ctx, T, absBindings<D>(T, Opts.Inputs), AOpts)
+             .run();
+  R.AS = SemanticCpsAnalyzer<D>(Ctx, T, absBindings<D>(T, Opts.Inputs),
+                                AOpts)
+             .run();
+  R.AC = SyntacticCpsAnalyzer<D>(Ctx, *P, absCpsBindings<D>(T, Opts.Inputs),
+                                 AOpts)
+             .run();
+  R.ADup = DupAnalyzer<D>(Ctx, T, absBindings<D>(T, Opts.Inputs),
+                          Opts.DupBudget, AOpts)
+               .run();
+  Out.LegStats[LegDirect] = R.AD.Stats;
+  Out.LegStats[LegSemantic] = R.AS.Stats;
+  Out.LegStats[LegSyntactic] = R.AC.Stats;
+  Out.LegStats[LegDup] = R.ADup.Stats;
+
+  if (Opts.Mask & maskOf(OracleId::InterpAgreement))
+    checkO1<D>(OracleScope(OracleId::InterpAgreement, Out), Ctx, R);
+  if (Opts.Mask & maskOf(OracleId::Soundness))
+    checkO2<D>(OracleScope(OracleId::Soundness, Out), Ctx, R);
+  if (Opts.Mask & maskOf(OracleId::PrecisionOrder))
+    checkO3<D>(OracleScope(OracleId::PrecisionOrder, Out), Ctx, R);
+  if (Opts.Mask & maskOf(OracleId::ReferenceMatch))
+    checkO4<D>(OracleScope(OracleId::ReferenceMatch, Out), Ctx, R, Opts,
+               AOpts);
+  if (Opts.Mask & maskOf(OracleId::Determinism))
+    checkO5<D>(OracleScope(OracleId::Determinism, Out), Source, Ctx, R,
+               Opts, AOpts);
+  if (Opts.Mask & maskOf(OracleId::GovernedDegrade))
+    checkO6<D>(OracleScope(OracleId::GovernedDegrade, Out), Ctx, R, Opts,
+               AOpts);
+  return Out;
+}
+
+} // namespace
+
+Result<OracleOutcome> checkSource(const std::string &Source,
+                                  const OracleOptions &Opts) {
+  if (Opts.Domain == "constant")
+    return checkAt<domain::ConstantDomain>(Source, Opts);
+  if (Opts.Domain == "unit")
+    return checkAt<domain::UnitDomain>(Source, Opts);
+  if (Opts.Domain == "sign")
+    return checkAt<domain::SignDomain>(Source, Opts);
+  if (Opts.Domain == "parity")
+    return checkAt<domain::ParityDomain>(Source, Opts);
+  if (Opts.Domain == "interval")
+    return checkAt<domain::IntervalDomain>(Source, Opts);
+  return Error("unknown domain '" + Opts.Domain +
+               "' (want constant|unit|sign|parity|interval)");
+}
+
+} // namespace fuzz
+} // namespace cpsflow

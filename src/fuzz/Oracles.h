@@ -1,0 +1,142 @@
+//===- fuzz/Oracles.h - Differential fuzzing oracles ------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pluggable oracle set of `cpsflow fuzz`, each derived from a claim
+/// of the paper (or from an invariant this codebase added on top):
+///
+///   O1 interp-agreement — the direct, semantic-CPS, and syntactic-CPS
+///      interpreters agree on terminating runs (Lemmas 3.1 and 3.3).
+///   O2 soundness — every abstract analyzer over-approximates its
+///      concrete interpreter's answer and store (Section 4.3).
+///   O3 precision-order — the Section 5 orderings between the direct and
+///      CPS analyses: Theorem 5.4 (semantic at least as precise as
+///      direct, the Theorem 5.1/5.2 direction made uniform) and Theorem
+///      5.5 (semantic at least as precise as syntactic), with the cut
+///      scoping documented in tests/SoundnessTests.cpp.
+///   O4 reference-match — the hash-consed production analyzers produce
+///      bitwise-identical answers and work counters to the naive
+///      tests/reference/ oracles.
+///   O5 determinism — re-parsing and re-analyzing the same source in a
+///      fresh Context reproduces every answer and counter exactly (no
+///      pointer-order or iteration-order dependence).
+///   O6 governed-degradation — a resource-governed run never reports a
+///      *more* precise value than the ungoverned run (degradation is a
+///      sound over-approximation, as in tests/GovernorTests.cpp).
+///
+/// Checks are pure: one call parses the source, runs everything it
+/// needs, and reports violations. Under CPSFLOW_FAULT_INJECTION each
+/// oracle entry is a named fault site ("O1".."O6"), so an armed
+/// fault::Plan turns into a deterministic, replayable violation — the
+/// end-to-end test of the campaign's detect → shrink → replay path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_FUZZ_ORACLES_H
+#define CPSFLOW_FUZZ_ORACLES_H
+
+#include "analysis/Common.h"
+#include "support/Metrics.h"
+#include "support/Result.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpsflow {
+namespace fuzz {
+
+/// The oracle set. Values are bit positions in oracle masks.
+enum class OracleId : uint8_t {
+  InterpAgreement,    ///< O1
+  Soundness,          ///< O2
+  PrecisionOrder,     ///< O3
+  ReferenceMatch,     ///< O4
+  Determinism,        ///< O5
+  GovernedDegrade,    ///< O6
+};
+
+constexpr unsigned NumOracles = 6;
+constexpr uint32_t AllOracles = (1u << NumOracles) - 1;
+
+constexpr uint32_t maskOf(OracleId Id) {
+  return 1u << static_cast<unsigned>(Id);
+}
+
+/// Short tag: "O1".."O6".
+const char *tag(OracleId Id);
+
+/// Human-readable name, e.g. "interp-agreement".
+const char *describe(OracleId Id);
+
+/// Parses a comma-separated oracle list ("O1,O3" or
+/// "interp-agreement,precision-order"; case-insensitive) into a mask.
+Result<uint32_t> parseOracleMask(const std::string &List);
+
+/// One violated oracle on one program.
+struct OracleViolation {
+  OracleId Id = OracleId::InterpAgreement;
+  std::string Message;
+};
+
+/// Knobs for one oracle evaluation.
+struct OracleOptions {
+  /// Numeric domain name: constant|unit|sign|parity|interval.
+  std::string Domain = "constant";
+  /// Enabled oracles (bitmask over OracleId).
+  uint32_t Mask = AllOracles;
+  /// Per-analyzer goal budget for the abstract runs.
+  uint64_t MaxGoals = 200'000;
+  /// Concrete interpreter fuel.
+  uint64_t MaxSteps = 200'000;
+  /// Loop-unroll bound forwarded to the analyzers.
+  uint32_t LoopUnroll = 64;
+  /// Duplication budget for the dup analyzer leg.
+  uint64_t DupBudget = 2;
+  /// Concrete integers bound (cyclically) to the program's free
+  /// variables; the abstract runs bind the matching constants.
+  std::vector<int64_t> Inputs = {0, 3};
+
+  /// Per-check governor for the abstract runs (the batch driver's knobs).
+  /// A wall-clock deadline makes where degradation lands machine-
+  /// dependent, so byte-stable campaigns leave DeadlineMs at 0.
+  double DeadlineMs = 0;
+  uint64_t MaxStoreBytes = 0;
+  uint32_t MaxDepth = 0;
+
+  /// Observability, threaded into every analyzer run this check makes.
+  support::MetricsRegistry *Metrics = nullptr;
+  support::Tracer *Trace = nullptr;
+  uint32_t TraceTid = 0;
+};
+
+/// Index of an analyzer leg in OracleOutcome::LegStats.
+enum Leg : unsigned { LegDirect, LegSemantic, LegSyntactic, LegDup, NumLegs };
+
+/// The result of evaluating the enabled oracles on one program.
+struct OracleOutcome {
+  /// Violations in oracle order (empty = clean).
+  std::vector<OracleViolation> Violations;
+  /// Oracles whose comparisons actually ran (some skip themselves when a
+  /// precondition fails: fuel exhausted, budget exhausted, cuts).
+  uint32_t Checked = 0;
+  /// Stats of the ungoverned abstract runs, for report aggregation.
+  analysis::AnalyzerStats LegStats[NumLegs];
+};
+
+/// Parses \p Source (sugared program syntax), A-normalizes it, and
+/// evaluates every oracle enabled in \p Opts. An Error means the program
+/// could not reach the oracles at all (parse or CPS-transform failure) —
+/// campaign inputs are printer output, so that is an infrastructure bug,
+/// not a finding.
+Result<OracleOutcome> checkSource(const std::string &Source,
+                                  const OracleOptions &Opts);
+
+} // namespace fuzz
+} // namespace cpsflow
+
+#endif // CPSFLOW_FUZZ_ORACLES_H

@@ -1,0 +1,138 @@
+//===- fuzz/Rewrite.cpp - Structural term editing utilities -----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Rewrite.h"
+
+#include "syntax/Builder.h"
+
+namespace cpsflow {
+namespace fuzz {
+
+using namespace syntax;
+
+namespace {
+
+void walkValue(const Value *V, std::vector<const Term *> *Terms,
+               std::vector<const Value *> *Values);
+
+void walkTerm(const Term *T, std::vector<const Term *> *Terms,
+              std::vector<const Value *> *Values) {
+  if (Terms)
+    Terms->push_back(T);
+  switch (T->kind()) {
+  case TermKind::TK_Value:
+    walkValue(cast<ValueTerm>(T)->value(), Terms, Values);
+    break;
+  case TermKind::TK_App:
+    walkTerm(cast<AppTerm>(T)->fun(), Terms, Values);
+    walkTerm(cast<AppTerm>(T)->arg(), Terms, Values);
+    break;
+  case TermKind::TK_Let:
+    walkTerm(cast<LetTerm>(T)->bound(), Terms, Values);
+    walkTerm(cast<LetTerm>(T)->body(), Terms, Values);
+    break;
+  case TermKind::TK_If0:
+    walkTerm(cast<If0Term>(T)->cond(), Terms, Values);
+    walkTerm(cast<If0Term>(T)->thenBranch(), Terms, Values);
+    walkTerm(cast<If0Term>(T)->elseBranch(), Terms, Values);
+    break;
+  case TermKind::TK_Loop:
+    break;
+  }
+}
+
+void walkValue(const Value *V, std::vector<const Term *> *Terms,
+               std::vector<const Value *> *Values) {
+  if (Values)
+    Values->push_back(V);
+  if (const auto *L = dyn_cast<LamValue>(V))
+    walkTerm(L->body(), Terms, Values);
+}
+
+const Value *rebuildValue(Context &Ctx, const Value *V, const EditMap &Edits);
+
+const Term *rebuildTerm(Context &Ctx, const Term *T, const EditMap &Edits) {
+  auto It = Edits.Terms.find(T);
+  if (It != Edits.Terms.end())
+    return It->second;
+  Builder B(Ctx);
+  switch (T->kind()) {
+  case TermKind::TK_Value: {
+    const Value *V = cast<ValueTerm>(T)->value();
+    const Value *W = rebuildValue(Ctx, V, Edits);
+    return W == V ? T : B.val(W);
+  }
+  case TermKind::TK_App: {
+    const auto *A = cast<AppTerm>(T);
+    const Term *F = rebuildTerm(Ctx, A->fun(), Edits);
+    const Term *X = rebuildTerm(Ctx, A->arg(), Edits);
+    return (F == A->fun() && X == A->arg()) ? T : B.app(F, X);
+  }
+  case TermKind::TK_Let: {
+    const auto *L = cast<LetTerm>(T);
+    const Term *Bound = rebuildTerm(Ctx, L->bound(), Edits);
+    const Term *Body = rebuildTerm(Ctx, L->body(), Edits);
+    return (Bound == L->bound() && Body == L->body())
+               ? T
+               : B.let(L->var(), Bound, Body);
+  }
+  case TermKind::TK_If0: {
+    const auto *I = cast<If0Term>(T);
+    const Term *C = rebuildTerm(Ctx, I->cond(), Edits);
+    const Term *Th = rebuildTerm(Ctx, I->thenBranch(), Edits);
+    const Term *El = rebuildTerm(Ctx, I->elseBranch(), Edits);
+    return (C == I->cond() && Th == I->thenBranch() &&
+            El == I->elseBranch())
+               ? T
+               : B.if0(C, Th, El);
+  }
+  case TermKind::TK_Loop:
+    return T;
+  }
+  return T;
+}
+
+const Value *rebuildValue(Context &Ctx, const Value *V, const EditMap &Edits) {
+  auto It = Edits.Values.find(V);
+  if (It != Edits.Values.end())
+    return It->second;
+  if (const auto *L = dyn_cast<LamValue>(V)) {
+    const Term *Body = rebuildTerm(Ctx, L->body(), Edits);
+    return Body == L->body() ? V : Builder(Ctx).lam(L->param(), Body);
+  }
+  return V;
+}
+
+} // namespace
+
+std::vector<const Term *> collectTerms(const Term *T) {
+  std::vector<const Term *> Out;
+  walkTerm(T, &Out, nullptr);
+  return Out;
+}
+
+std::vector<const Value *> collectValues(const Term *T) {
+  std::vector<const Value *> Out;
+  walkTerm(T, nullptr, &Out);
+  return Out;
+}
+
+std::vector<const LetTerm *> collectLets(const Term *T) {
+  std::vector<const LetTerm *> Out;
+  for (const Term *N : collectTerms(T))
+    if (const auto *L = dyn_cast<LetTerm>(N))
+      Out.push_back(L);
+  return Out;
+}
+
+size_t letCount(const Term *T) { return collectLets(T).size(); }
+
+const Term *rewriteTerm(Context &Ctx, const Term *T, const EditMap &Edits) {
+  return rebuildTerm(Ctx, T, Edits);
+}
+
+} // namespace fuzz
+} // namespace cpsflow

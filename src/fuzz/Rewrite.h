@@ -1,0 +1,65 @@
+//===- fuzz/Rewrite.h - Structural term editing utilities -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The editing substrate shared by the fuzz Mutator and Shrinker: collect
+/// a term's nodes in deterministic pre-order, then rebuild the term with
+/// selected nodes replaced. Replacements may point back into the original
+/// tree (both live in the same Context arena), so "drop this let" is just
+/// mapping the LetTerm to its own body.
+///
+/// Edited terms are *not* guaranteed to stay in A-normal form or keep
+/// unique binders — callers re-establish both with anf::normalizeProgram
+/// before using the result, per the hygiene assumption of Section 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_FUZZ_REWRITE_H
+#define CPSFLOW_FUZZ_REWRITE_H
+
+#include "syntax/Ast.h"
+
+#include <map>
+#include <vector>
+
+namespace cpsflow {
+namespace fuzz {
+
+/// Every Term node of \p T in pre-order (parents before children, bound
+/// before body, then/else in source order).
+std::vector<const syntax::Term *> collectTerms(const syntax::Term *T);
+
+/// Every Value node of \p T in the same traversal order (lambda bodies
+/// included).
+std::vector<const syntax::Value *> collectValues(const syntax::Term *T);
+
+/// Every LetTerm of \p T in pre-order.
+std::vector<const syntax::LetTerm *> collectLets(const syntax::Term *T);
+
+/// Number of let bindings in \p T — the size measure the shrinker
+/// minimizes (and the acceptance bound for reproducers).
+size_t letCount(const syntax::Term *T);
+
+/// One batch of edits: original node -> replacement. A replaced node is
+/// emitted as its replacement verbatim (no recursion into either the
+/// original or the replacement), so edits to nested nodes should go in
+/// separate rewrite passes.
+struct EditMap {
+  std::map<const syntax::Term *, const syntax::Term *> Terms;
+  std::map<const syntax::Value *, const syntax::Value *> Values;
+
+  bool empty() const { return Terms.empty() && Values.empty(); }
+};
+
+/// Rebuilds \p T in \p Ctx applying \p Edits. Untouched subtrees are
+/// shared with the original (same arena). \p Ctx must own \p T.
+const syntax::Term *rewriteTerm(Context &Ctx, const syntax::Term *T,
+                                const EditMap &Edits);
+
+} // namespace fuzz
+} // namespace cpsflow
+
+#endif // CPSFLOW_FUZZ_REWRITE_H

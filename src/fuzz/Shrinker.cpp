@@ -1,0 +1,155 @@
+//===- fuzz/Shrinker.cpp - Counterexample minimization ----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include "anf/Anf.h"
+#include "fuzz/Rewrite.h"
+#include "syntax/Builder.h"
+#include "syntax/Parser.h"
+#include "syntax/Printer.h"
+#include "syntax/Sugar.h"
+
+#include <vector>
+
+namespace cpsflow {
+namespace fuzz {
+
+using namespace syntax;
+
+namespace {
+
+/// Re-checks only the failing oracle. A candidate that fails to parse
+/// or transform counts as not-failing (we never shrink into junk).
+bool stillFails(const std::string &Candidate, OracleId Failing,
+                const OracleOptions &Opts) {
+  OracleOptions One = Opts;
+  One.Mask = maskOf(Failing);
+  Result<OracleOutcome> Out = checkSource(Candidate, One);
+  if (!Out)
+    return false;
+  for (const OracleViolation &V : Out->Violations)
+    if (V.Id == Failing)
+      return true;
+  return false;
+}
+
+/// All single-edit shrink candidates of \p T, smaller-first-ish:
+/// structural deletions (drop let, prune if0 arm), then copy inlining,
+/// then numeral shrinks.
+std::vector<std::string> candidates(Context &Ctx, const Term *T) {
+  std::vector<std::string> Out;
+  Builder B(Ctx);
+  auto Emit = [&](const EditMap &E) {
+    const Term *Edited = rewriteTerm(Ctx, T, E);
+    Out.push_back(print(Ctx, anf::normalizeProgram(Ctx, Edited)));
+  };
+
+  // Drop each let binding.
+  for (const LetTerm *L : collectLets(T)) {
+    EditMap E;
+    E.Terms[L] = L->body();
+    Emit(E);
+  }
+
+  // Prune each bound conditional to one of its arms.
+  for (const Term *N : collectTerms(T)) {
+    if (const auto *I = dyn_cast<If0Term>(N)) {
+      EditMap E1;
+      E1.Terms[I] = I->thenBranch();
+      Emit(E1);
+      EditMap E2;
+      E2.Terms[I] = I->elseBranch();
+      Emit(E2);
+    }
+  }
+
+  // Inline trivial copies: a let binding a bare numeral or variable is
+  // substituted into its body and dropped.
+  for (const LetTerm *L : collectLets(T)) {
+    const auto *VT = dyn_cast<ValueTerm>(L->bound());
+    if (!VT)
+      continue;
+    const Value *V = VT->value();
+    if (!isa<NumValue>(V) && !isa<VarValue>(V))
+      continue;
+    EditMap E;
+    for (const Value *Use : collectValues(L->body()))
+      if (const auto *Var = dyn_cast<VarValue>(Use))
+        if (Var->name() == L->var())
+          E.Values[Use] = V;
+    E.Terms[L] = rewriteTerm(Ctx, L->body(), E);
+    EditMap Drop;
+    Drop.Terms[L] = E.Terms[L];
+    Emit(Drop);
+  }
+
+  // Shrink numerals toward zero (halve, or step to 0 when small).
+  for (const Value *V : collectValues(T)) {
+    const auto *N = dyn_cast<NumValue>(V);
+    if (!N || N->value() == 0)
+      continue;
+    int64_t Smaller = N->value() / 2;
+    EditMap E;
+    E.Values[N] = B.num(Smaller);
+    Emit(E);
+  }
+
+  return Out;
+}
+
+} // namespace
+
+ShrinkResult shrink(const std::string &Source, OracleId Failing,
+                    const OracleOptions &Opts, const ShrinkOptions &SOpts) {
+  ShrinkResult R;
+  R.Program = Source;
+
+  {
+    // Count the input's lets (and bail out on unparseable input).
+    Context Ctx;
+    Result<const Term *> Raw = parseSugaredProgram(Ctx, Source);
+    if (!Raw)
+      return R;
+    R.LetsBefore = R.LetsAfter =
+        letCount(anf::normalizeProgram(Ctx, *Raw));
+  }
+
+  // Confirm the violation before spending the budget on it.
+  ++R.Steps;
+  if (!stillFails(Source, Failing, Opts))
+    return R;
+
+  bool Progress = true;
+  while (Progress && R.Steps < SOpts.MaxSteps) {
+    Progress = false;
+    Context Ctx;
+    Result<const Term *> Raw = parseSugaredProgram(Ctx, R.Program);
+    if (!Raw)
+      break;
+    const Term *T = anf::normalizeProgram(Ctx, *Raw);
+    for (const std::string &Candidate : candidates(Ctx, T)) {
+      if (Candidate == R.Program)
+        continue;
+      if (++R.Steps >= SOpts.MaxSteps)
+        break;
+      if (stillFails(Candidate, Failing, Opts)) {
+        R.Program = Candidate;
+        Progress = true;
+        break; // restart candidate enumeration from the smaller program
+      }
+    }
+  }
+
+  Context Ctx;
+  Result<const Term *> Raw = parseSugaredProgram(Ctx, R.Program);
+  if (Raw)
+    R.LetsAfter = letCount(anf::normalizeProgram(Ctx, *Raw));
+  return R;
+}
+
+} // namespace fuzz
+} // namespace cpsflow

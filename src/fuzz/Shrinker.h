@@ -1,0 +1,55 @@
+//===- fuzz/Shrinker.h - Counterexample minimization ------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging (ddmin-style) minimization of fuzz findings: given a
+/// program that violates an oracle, greedily apply shrinking edits —
+/// drop let bindings, inline trivial copy bindings, prune conditional
+/// arms, shrink numerals toward zero — re-checking the *failing oracle
+/// only* after each candidate, and keep any candidate that still fails.
+/// Iterates to a fixpoint under a step budget. Deterministic: candidates
+/// are enumerated in pre-order, so a (program, oracle, options) triple
+/// always shrinks to the same reproducer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_FUZZ_SHRINKER_H
+#define CPSFLOW_FUZZ_SHRINKER_H
+
+#include "fuzz/Oracles.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cpsflow {
+namespace fuzz {
+
+struct ShrinkOptions {
+  /// Cap on oracle re-evaluations (each candidate costs one).
+  uint64_t MaxSteps = 300;
+};
+
+struct ShrinkResult {
+  /// The minimized program (printer output; parses back identically).
+  std::string Program;
+  /// Oracle evaluations spent.
+  uint64_t Steps = 0;
+  /// Let-binding counts before and after — the minimization measure.
+  size_t LetsBefore = 0;
+  size_t LetsAfter = 0;
+};
+
+/// Minimizes \p Source, which violates \p Failing under \p Opts. If the
+/// violation is flaky (the initial re-check passes), returns \p Source
+/// unshrunken.
+ShrinkResult shrink(const std::string &Source, OracleId Failing,
+                    const OracleOptions &Opts,
+                    const ShrinkOptions &SOpts = ShrinkOptions());
+
+} // namespace fuzz
+} // namespace cpsflow
+
+#endif // CPSFLOW_FUZZ_SHRINKER_H

@@ -30,6 +30,12 @@
 ///   * BatchWorker — hit at the top of a batch worker body with the
 ///     program name; trips when the name matches Plan.Name ("" = every
 ///     program).
+///   * FuzzOracle — hit at the top of each fuzz oracle check with the
+///     oracle tag ("O1".."O6"); trips when the tag matches Plan.Name
+///     ("" = every oracle). The fuzz checker turns the injected throw
+///     into a reported oracle violation, so tests (and the nightly
+///     canary) can prove the campaign's detect → shrink → replay path
+///     works end to end.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,6 +62,7 @@ namespace fault {
 enum class Site : uint8_t {
   AnalyzerGoal, ///< analyzer goal prologue (counted)
   BatchWorker,  ///< batch worker body entry (named)
+  FuzzOracle,   ///< fuzz oracle check entry (named by oracle, e.g. "O2")
 };
 
 /// What firing does.

@@ -12,8 +12,9 @@
 ///
 /// Scope: full JSON syntax, numbers as double (every number we emit fits
 /// exactly or is a timing), object keys kept in document order,
-/// \uXXXX escapes decoded to UTF-8. Depth-capped to keep hostile inputs
-/// from overflowing the stack.
+/// \uXXXX escapes decoded to UTF-8 (surrogate pairs combined; lone
+/// surrogates and overflowing numerals rejected). Depth-capped to keep
+/// hostile inputs from overflowing the stack.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +24,7 @@
 #include "support/Result.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -290,20 +292,24 @@ private:
         S.push_back('\t');
         break;
       case 'u': {
-        if (Pos + 4 > Text.size())
-          return err("truncated \\u escape");
         uint32_t Code = 0;
-        for (int I = 0; I < 4; ++I) {
-          char H = Text[Pos++];
-          Code <<= 4;
-          if (H >= '0' && H <= '9')
-            Code |= static_cast<uint32_t>(H - '0');
-          else if (H >= 'a' && H <= 'f')
-            Code |= static_cast<uint32_t>(H - 'a' + 10);
-          else if (H >= 'A' && H <= 'F')
-            Code |= static_cast<uint32_t>(H - 'A' + 10);
-          else
+        if (!parseHex4(Code))
+          return err("invalid \\u escape");
+        // Surrogate pair: a high surrogate must be followed by a \uXXXX
+        // low surrogate, and the pair decodes to one supplementary code
+        // point. Anything else in the surrogate range is malformed input
+        // (emitting it raw would produce invalid UTF-8/CESU-8).
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (!consume('\\') || !consume('u'))
+            return err("unpaired surrogate in \\u escape");
+          uint32_t Low = 0;
+          if (!parseHex4(Low))
             return err("invalid \\u escape");
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return err("unpaired surrogate in \\u escape");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return err("unpaired surrogate in \\u escape");
         }
         appendUtf8(S, Code);
         break;
@@ -315,14 +321,40 @@ private:
     return err("unterminated string");
   }
 
+  /// Reads exactly four hex digits into \p Code. False on truncation or
+  /// a non-hex character (Pos is left mid-escape; the caller errors out).
+  bool parseHex4(uint32_t &Code) {
+    if (Pos + 4 > Text.size())
+      return false;
+    Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char H = Text[Pos++];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= static_cast<uint32_t>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        Code |= static_cast<uint32_t>(H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        Code |= static_cast<uint32_t>(H - 'A' + 10);
+      else
+        return false;
+    }
+    return true;
+  }
+
   static void appendUtf8(std::string &S, uint32_t Code) {
     if (Code < 0x80) {
       S.push_back(static_cast<char>(Code));
     } else if (Code < 0x800) {
       S.push_back(static_cast<char>(0xC0 | (Code >> 6)));
       S.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
-    } else {
+    } else if (Code < 0x10000) {
       S.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+      S.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      S.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else {
+      S.push_back(static_cast<char>(0xF0 | (Code >> 18)));
+      S.push_back(static_cast<char>(0x80 | ((Code >> 12) & 0x3F)));
       S.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
       S.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
     }
@@ -330,6 +362,9 @@ private:
 
   Result<JsonValue> parseNumber() {
     size_t Start = Pos;
+    // JSON forbids a leading '+' (strtod below would accept it).
+    if (Pos < Text.size() && Text[Pos] == '+')
+      return err("expected a value");
     if (Pos < Text.size() && Text[Pos] == '-')
       ++Pos;
     while (Pos < Text.size() &&
@@ -344,6 +379,10 @@ private:
     double D = std::strtod(Num.c_str(), &End);
     if (End != Num.c_str() + Num.size())
       return err("malformed number '" + Num + "'");
+    // Overflowing literals (1e999) would otherwise flow downstream as
+    // infinities and poison report arithmetic.
+    if (!std::isfinite(D))
+      return err("number out of range '" + Num + "'");
     return JsonValue::number(D);
   }
 

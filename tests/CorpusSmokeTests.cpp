@@ -1,0 +1,120 @@
+//===- tests/CorpusSmokeTests.cpp - Committed corpora stay alive -*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every committed example program — the fuzz/batch seed corpus under
+/// examples/corpus and the CLI samples under examples/programs — must
+/// parse, A-normalize to a well-formed term, and drive all four
+/// analyzers to a non-degraded fixpoint. A seed that stops parsing or
+/// starts blowing its budget silently weakens the mutation corpus and
+/// the CLI smoke tests; this makes the regression loud.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Compare.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/DupAnalyzer.h"
+#include "analysis/SemanticCpsAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "anf/Anf.h"
+#include "cps/Transform.h"
+#include "syntax/Analysis.h"
+#include "syntax/Sugar.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace cpsflow;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// All files under CPSFLOW_SOURCE_DIR/<Rel> with extension \p Ext,
+/// sorted for stable test output.
+std::vector<fs::path> corpusFiles(const std::string &Rel,
+                                  const std::string &Ext) {
+  std::vector<fs::path> Out;
+  for (const fs::directory_entry &E :
+       fs::directory_iterator(fs::path(CPSFLOW_SOURCE_DIR) / Rel))
+    if (E.is_regular_file() && E.path().extension() == Ext)
+      Out.push_back(E.path());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::string slurp(const fs::path &P) {
+  std::ifstream In(P);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+void checkProgram(const fs::path &Path) {
+  SCOPED_TRACE(Path.filename().string());
+  Context Ctx;
+  Result<const syntax::Term *> Raw =
+      syntax::parseSugaredProgram(Ctx, slurp(Path));
+  ASSERT_TRUE(Raw.hasValue())
+      << (Raw.hasValue() ? "" : Raw.error().str());
+
+  const syntax::Term *T = anf::normalizeProgram(Ctx, *Raw);
+  Result<bool> Anf = anf::isAnf(T);
+  EXPECT_TRUE(Anf.hasValue()) << (Anf.hasValue() ? "" : Anf.error().str());
+  Result<bool> Unique = syntax::checkUniqueBinders(Ctx, T);
+  EXPECT_TRUE(Unique.hasValue())
+      << (Unique.hasValue() ? "" : Unique.error().str());
+
+  Result<cps::CpsProgram> P = cps::cpsTransform(Ctx, T);
+  ASSERT_TRUE(P.hasValue()) << (P.hasValue() ? "" : P.error().str());
+
+  // Free inputs bound to the numeric top, the batch driver's convention.
+  using D = domain::ConstantDomain;
+  std::vector<analysis::DirectBinding<D>> Init;
+  for (Symbol X : syntax::freeVars(T))
+    Init.push_back({X, domain::AbsVal<D>::number(D::top())});
+  std::vector<analysis::CpsBinding<D>> CInit;
+  for (const analysis::DirectBinding<D> &B : Init)
+    CInit.push_back({B.Var, analysis::deltaE<D>(B.Value, *P)});
+
+  analysis::AnalyzerOptions AOpts;
+  AOpts.MaxGoals = 5'000'000;
+
+  auto ExpectClean = [&](const char *Leg, const auto &R) {
+    EXPECT_FALSE(R.Stats.BudgetExhausted)
+        << Leg << " degraded on a committed seed";
+  };
+  ExpectClean("direct",
+              analysis::DirectAnalyzer<D>(Ctx, T, Init, AOpts).run());
+  ExpectClean("semantic",
+              analysis::SemanticCpsAnalyzer<D>(Ctx, T, Init, AOpts).run());
+  ExpectClean(
+      "syntactic",
+      analysis::SyntacticCpsAnalyzer<D>(Ctx, *P, CInit, AOpts).run());
+  ExpectClean(
+      "dup",
+      analysis::DupAnalyzer<D>(Ctx, T, Init, /*Budget=*/2, AOpts).run());
+}
+
+TEST(CorpusSmoke, FuzzSeedCorpusIsHealthy) {
+  std::vector<fs::path> Files = corpusFiles("examples/corpus", ".scm");
+  ASSERT_FALSE(Files.empty());
+  for (const fs::path &P : Files)
+    checkProgram(P);
+}
+
+TEST(CorpusSmoke, CliSamplesAreHealthy) {
+  std::vector<fs::path> Files = corpusFiles("examples/programs", ".a");
+  ASSERT_FALSE(Files.empty());
+  for (const fs::path &P : Files)
+    checkProgram(P);
+}
+
+} // namespace

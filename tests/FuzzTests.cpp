@@ -1,0 +1,211 @@
+//===- tests/FuzzTests.cpp - Differential fuzzing subsystem -----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzz subsystem under test: mutations preserve the ANF contract, a
+/// campaign over the committed seed corpus comes back clean with a valid
+/// JSON report, findings are byte-identical at every thread count, and —
+/// under CPSFLOW_FAULT_INJECTION — an injected oracle violation is
+/// detected, shrunk to at most half the failing program's let count, and
+/// reproduced on replay.
+///
+//===----------------------------------------------------------------------===//
+
+#include "anf/Anf.h"
+#include "fuzz/Campaign.h"
+#include "fuzz/Mutator.h"
+#include "fuzz/Rewrite.h"
+#include "support/FaultInjector.h"
+#include "support/JsonParse.h"
+#include "syntax/Analysis.h"
+#include "syntax/Sugar.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace cpsflow;
+using namespace cpsflow::fuzz;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::pair<std::string, std::string>> seedCorpus() {
+  std::vector<std::pair<std::string, std::string>> Out;
+  std::vector<fs::path> Files;
+  for (const fs::directory_entry &E : fs::directory_iterator(
+           fs::path(CPSFLOW_SOURCE_DIR) / "examples/corpus"))
+    if (E.path().extension() == ".scm")
+      Files.push_back(E.path());
+  std::sort(Files.begin(), Files.end());
+  for (const fs::path &P : Files) {
+    std::ifstream In(P);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Out.emplace_back(P.filename().string(), Buf.str());
+  }
+  return Out;
+}
+
+/// Small deterministic campaign options shared by the tests.
+CampaignOptions testOptions() {
+  CampaignOptions Opts;
+  Opts.FuzzSeed = 7;
+  Opts.Iterations = 10;
+  Opts.Threads = 2;
+  Opts.IncludeTiming = false;
+  return Opts;
+}
+
+TEST(OracleMask, ParsesTagsAndNamesCaseInsensitively) {
+  EXPECT_EQ(*parseOracleMask("O1"), maskOf(OracleId::InterpAgreement));
+  EXPECT_EQ(*parseOracleMask("o2,precision-order"),
+            maskOf(OracleId::Soundness) | maskOf(OracleId::PrecisionOrder));
+  EXPECT_EQ(*parseOracleMask("all"), AllOracles);
+  // Blank items are skipped; an all-blank list is still an error.
+  EXPECT_EQ(*parseOracleMask("O1,,O2"),
+            maskOf(OracleId::InterpAgreement) | maskOf(OracleId::Soundness));
+  EXPECT_FALSE(parseOracleMask("O9").hasValue());
+  EXPECT_FALSE(parseOracleMask("").hasValue());
+  EXPECT_FALSE(parseOracleMask(" , ").hasValue());
+}
+
+TEST(Mutator, MutantsKeepTheAnfContract) {
+  std::vector<std::pair<std::string, std::string>> Seeds = seedCorpus();
+  ASSERT_FALSE(Seeds.empty());
+  Mutator M(17);
+  int Produced = 0;
+  for (const auto &[Name, Source] : Seeds) {
+    for (int I = 0; I < 8; ++I) {
+      std::optional<std::string> Mutant = M.mutate(Source);
+      if (!Mutant)
+        continue;
+      ++Produced;
+      SCOPED_TRACE(Name + ": " + *Mutant);
+      Context Ctx;
+      Result<const syntax::Term *> R =
+          syntax::parseSugaredProgram(Ctx, *Mutant);
+      ASSERT_TRUE(R.hasValue())
+          << (R.hasValue() ? "" : R.error().str());
+      const syntax::Term *T = anf::normalizeProgram(Ctx, *R);
+      Result<bool> Anf = anf::isAnf(T);
+      EXPECT_TRUE(Anf.hasValue())
+          << (Anf.hasValue() ? "" : Anf.error().str());
+      Result<bool> Unique = syntax::checkUniqueBinders(Ctx, T);
+      EXPECT_TRUE(Unique.hasValue())
+          << (Unique.hasValue() ? "" : Unique.error().str());
+    }
+  }
+  EXPECT_GT(Produced, 0);
+}
+
+TEST(Oracles, SeedProgramsAreCleanUnderEveryOracle) {
+  OracleOptions Opts;
+  for (const auto &[Name, Source] : seedCorpus()) {
+    SCOPED_TRACE(Name);
+    Result<OracleOutcome> Out = checkSource(Source, Opts);
+    ASSERT_TRUE(Out.hasValue())
+        << (Out.hasValue() ? "" : Out.error().str());
+    EXPECT_TRUE(Out->Violations.empty())
+        << Out->Violations.front().Message;
+  }
+}
+
+TEST(Campaign, CleanCorpusYieldsNoFindingsAndValidJson) {
+  CampaignOptions Opts = testOptions();
+  CampaignResult R = runCampaign(Opts, seedCorpus());
+  EXPECT_EQ(R.Iterations, Opts.Iterations);
+  for (const Finding &F : R.Findings)
+    ADD_FAILURE() << tag(F.Oracle) << ": " << F.Message << "\n"
+                  << F.Program;
+
+  Result<JsonValue> Doc = parseJson(campaignJson(R, Opts));
+  ASSERT_TRUE(Doc.hasValue())
+      << (Doc.hasValue() ? "" : Doc.error().str());
+  // bench_diff's reader contract: a top-level "programs" array.
+  const JsonValue *Programs = Doc->find("programs");
+  ASSERT_NE(Programs, nullptr);
+  EXPECT_TRUE(Programs->isArray());
+  EXPECT_FALSE(Programs->items().empty());
+}
+
+TEST(Campaign, FindingsAreByteIdenticalAcrossThreadCounts) {
+  std::vector<std::pair<std::string, std::string>> Seeds = seedCorpus();
+  CampaignOptions A = testOptions();
+  A.Iterations = 24;
+  A.Threads = 1;
+  CampaignOptions B = A;
+  B.Threads = 4;
+  CampaignResult RA = runCampaign(A, Seeds);
+  CampaignResult RB = runCampaign(B, Seeds);
+  EXPECT_EQ(campaignJson(RA, A), campaignJson(RB, B));
+}
+
+#ifdef CPSFLOW_FAULT_INJECTION
+
+TEST(Campaign, InjectedViolationIsDetectedShrunkAndReplayable) {
+  fault::ScopedFault F(
+      {fault::Site::FuzzOracle, fault::Action::Throw, "O2"});
+
+  CampaignOptions Opts = testOptions();
+  Opts.Iterations = 2;
+  CampaignResult R = runCampaign(Opts, seedCorpus());
+
+  // Detect: every task trips the armed O2 site.
+  ASSERT_EQ(R.Findings.size(), 2u);
+  for (const Finding &Found : R.Findings) {
+    EXPECT_EQ(Found.Oracle, OracleId::Soundness);
+    EXPECT_FALSE(Found.Internal);
+    EXPECT_NE(Found.Message.find("injected"), std::string::npos);
+
+    // Shrink: the reproducer has at most half the failing program's lets.
+    EXPECT_LE(Found.LetsAfter * 2, Found.LetsBefore)
+        << Found.Program << "\n--- shrank to ---\n" << Found.Reproducer;
+
+    // Replay: the reproducer still violates the recorded oracle while
+    // the fault is armed, and is clean once disarmed (checked below).
+    OracleOptions Replay;
+    Replay.Mask = maskOf(Found.Oracle);
+    Result<OracleOutcome> Out = replaySource(Found.Reproducer, Replay);
+    ASSERT_TRUE(Out.hasValue());
+    EXPECT_FALSE(Out->Violations.empty());
+  }
+
+  // Persist: reproducers and the findings.json index land on disk.
+  fs::path Dir = fs::path(::testing::TempDir()) / "cpsflow-fuzz-findings";
+  fs::remove_all(Dir);
+  Result<size_t> N = writeFindings(Dir.string(), R, Opts);
+  ASSERT_TRUE(N.hasValue()) << (N.hasValue() ? "" : N.error().str());
+  EXPECT_EQ(*N, R.Findings.size() + 1); // + findings.json
+  EXPECT_TRUE(fs::exists(Dir / "findings.json"));
+  for (const Finding &Found : R.Findings)
+    EXPECT_TRUE(fs::exists(Dir / reproducerName(Found)));
+}
+
+TEST(Campaign, ReproducerIsCleanOnceDisarmed) {
+  std::string Repro;
+  {
+    fault::ScopedFault F(
+        {fault::Site::FuzzOracle, fault::Action::Throw, "O3"});
+    CampaignOptions Opts = testOptions();
+    Opts.Iterations = 1;
+    CampaignResult R = runCampaign(Opts, seedCorpus());
+    ASSERT_EQ(R.Findings.size(), 1u);
+    Repro = R.Findings.front().Reproducer;
+  }
+  // Fault disarmed: the same reproducer passes every oracle, proving the
+  // violation came from the injection, not the program.
+  Result<OracleOutcome> Out = replaySource(Repro, OracleOptions());
+  ASSERT_TRUE(Out.hasValue());
+  EXPECT_TRUE(Out->Violations.empty());
+}
+
+#endif // CPSFLOW_FAULT_INJECTION
+
+} // namespace

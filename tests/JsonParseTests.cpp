@@ -1,0 +1,116 @@
+//===- tests/JsonParseTests.cpp - JSON reader hardening ---------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adversarial-input tests for support/JsonParse.h, the reader under
+/// tools/bench_diff and the report self-checks. Exercises the failure
+/// surface a fuzzer reaches first: truncated documents, the recursion
+/// depth cap, malformed and unpaired \uXXXX escapes, overflowing
+/// numerals, and trailing garbage. Every rejection must be a structured
+/// Error, never a crash or a silently wrong value.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonParse.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace cpsflow;
+
+namespace {
+
+TEST(JsonParse, TruncatedDocumentsAreErrors) {
+  for (const char *Text :
+       {"", "{", "[", "[1,", "{\"a\"", "{\"a\":", "{\"a\":1,", "\"abc",
+        "\"abc\\", "tru", "-", "[1, 2", "{\"a\": [1, {\"b\": ", "1e",
+        "\"\\u12"}) {
+    Result<JsonValue> R = parseJson(Text);
+    EXPECT_FALSE(R.hasValue()) << "accepted truncated input: " << Text;
+  }
+}
+
+TEST(JsonParse, DepthCapRejectsDeepNesting) {
+  // Just under the cap parses; past it is a structured error instead of
+  // a stack overflow.
+  std::string Ok(200, '[');
+  Ok += "1";
+  Ok.append(200, ']');
+  EXPECT_TRUE(parseJson(Ok).hasValue());
+
+  std::string Deep(300, '[');
+  Deep += "1";
+  Deep.append(300, ']');
+  Result<JsonValue> R = parseJson(Deep);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().str().find("deep"), std::string::npos)
+      << R.error().str();
+}
+
+TEST(JsonParse, BadUnicodeEscapesAreErrors) {
+  for (const char *Text : {
+           "\"\\uZZZZ\"",       // non-hex digits
+           "\"\\u12G4\"",       // one bad digit
+           "\"\\u123\"",        // too short, closing quote eats a digit
+           "\"\\uD800\"",       // lone high surrogate
+           "\"\\uDC00\"",       // lone low surrogate
+           "\"\\uD800\\u0041\"" // high surrogate + non-surrogate
+       }) {
+    Result<JsonValue> R = parseJson(Text);
+    EXPECT_FALSE(R.hasValue()) << "accepted bad escape: " << Text;
+  }
+}
+
+TEST(JsonParse, GoodUnicodeEscapesDecodeToUtf8) {
+  Result<JsonValue> Ascii = parseJson("\"\\u0041\"");
+  ASSERT_TRUE(Ascii.hasValue());
+  EXPECT_EQ(Ascii->asString(), "A");
+
+  Result<JsonValue> TwoByte = parseJson("\"\\u00e9\"");
+  ASSERT_TRUE(TwoByte.hasValue());
+  EXPECT_EQ(TwoByte->asString(), "\xC3\xA9"); // é
+
+  Result<JsonValue> ThreeByte = parseJson("\"\\u2603\"");
+  ASSERT_TRUE(ThreeByte.hasValue());
+  EXPECT_EQ(ThreeByte->asString(), "\xE2\x98\x83"); // snowman
+
+  // Surrogate pair combines to one 4-byte code point (U+1D11E).
+  Result<JsonValue> Pair = parseJson("\"\\uD834\\uDD1E\"");
+  ASSERT_TRUE(Pair.hasValue());
+  EXPECT_EQ(Pair->asString(), "\xF0\x9D\x84\x9E");
+}
+
+TEST(JsonParse, OverflowingNumbersAreErrors) {
+  Result<JsonValue> R = parseJson("1e999");
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().str().find("range"), std::string::npos)
+      << R.error().str();
+  EXPECT_FALSE(parseJson("[-1e999]").hasValue());
+  // Subnormal underflow still yields a finite double; stays accepted.
+  EXPECT_TRUE(parseJson("1e-999").hasValue());
+}
+
+TEST(JsonParse, TrailingGarbageIsAnError) {
+  for (const char *Text : {"{} x", "1 2", "[1] ]", "null,", "\"a\" \"b\""}) {
+    Result<JsonValue> R = parseJson(Text);
+    ASSERT_FALSE(R.hasValue()) << Text;
+    EXPECT_NE(R.error().str().find("trailing"), std::string::npos)
+        << R.error().str();
+  }
+}
+
+TEST(JsonParse, MalformedNumbersAreErrors) {
+  for (const char *Text : {"-", "1.2.3", "1e+e", "--1", "+1", "01x"})
+    EXPECT_FALSE(parseJson(Text).hasValue()) << Text;
+}
+
+TEST(JsonParse, ControlCharactersInStringsAreErrors) {
+  EXPECT_FALSE(parseJson("\"a\nb\"").hasValue());
+  EXPECT_FALSE(parseJson(std::string("\"a\0b\"", 5)).hasValue());
+}
+
+} // namespace

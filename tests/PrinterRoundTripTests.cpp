@@ -1,0 +1,82 @@
+//===- tests/PrinterRoundTripTests.cpp - print/parse round trips -*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property test behind every corpus pipeline in the repo (the batch
+/// driver, the fuzz campaign, the O5 determinism oracle all ferry
+/// programs through the printer): for generator and enumerator output,
+/// parse(print(P)) is structurally identical to P, for both the compact
+/// and the indented printer. Extends the two hand-written round-trip
+/// cases in SyntaxTests.cpp to the whole generated distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/Enumerate.h"
+#include "gen/Generator.h"
+#include "syntax/Analysis.h"
+#include "syntax/Parser.h"
+#include "syntax/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpsflow;
+using namespace cpsflow::syntax;
+
+namespace {
+
+/// Asserts both printers of \p T reparse to a structurally identical
+/// term.
+void expectRoundTrip(Context &Ctx, const Term *T) {
+  std::string Flat = print(Ctx, T);
+  Result<const Term *> R1 = parseTerm(Ctx, Flat);
+  ASSERT_TRUE(R1.hasValue()) << Flat << "\n " << R1.error().str();
+  EXPECT_TRUE(structurallyEqual(T, *R1)) << Flat;
+
+  std::string Pretty = printIndented(Ctx, T);
+  Result<const Term *> R2 = parseTerm(Ctx, Pretty);
+  ASSERT_TRUE(R2.hasValue()) << Pretty << "\n " << R2.error().str();
+  EXPECT_TRUE(structurallyEqual(T, *R2)) << Pretty;
+}
+
+TEST(PrinterRoundTrip, GeneratedAnfPrograms) {
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    Context Ctx;
+    gen::GenOptions G;
+    G.Seed = Seed;
+    G.ChainLength = 4 + Seed % 8;
+    G.MaxDepth = 1 + Seed % 3;
+    G.AllowLoop = Seed % 4 == 0;
+    G.WellTyped = Seed % 2 == 0;
+    gen::ProgramGenerator Gen(Ctx, G);
+    for (int I = 0; I < 4; ++I)
+      expectRoundTrip(Ctx, Gen.generate());
+  }
+}
+
+TEST(PrinterRoundTrip, GeneratedFullLanguagePrograms) {
+  // generateFull exercises the non-ANF shapes (nested applications,
+  // let-bound lets, operand conditionals) the normalizer consumes.
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    Context Ctx;
+    gen::GenOptions G;
+    G.Seed = Seed;
+    G.MaxDepth = 1 + Seed % 4;
+    gen::ProgramGenerator Gen(Ctx, G);
+    for (int I = 0; I < 4; ++I)
+      expectRoundTrip(Ctx, Gen.generateFull());
+  }
+}
+
+TEST(PrinterRoundTrip, EnumeratedPrograms) {
+  Context Ctx;
+  gen::EnumOptions E;
+  E.Lets = 2;
+  size_t N = gen::enumeratePrograms(
+      Ctx, E, [&](const Term *T) { expectRoundTrip(Ctx, T); });
+  EXPECT_GT(N, 0u);
+}
+
+} // namespace

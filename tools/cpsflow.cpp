@@ -19,6 +19,9 @@
 ///   cpsflow fold FILE                  constant-fold and print
 ///   cpsflow inline FILE                heuristically inline and print
 ///   cpsflow batch DIR [options]        analyze a corpus of *.scm, JSON out
+///   cpsflow fuzz [DIR] [options]       differential fuzzing campaign over
+///                                      the theorem oracles; DIR seeds the
+///                                      mutator (optional)
 ///
 /// options:
 ///   --machine=direct|semantic|syntactic    (run; default direct)
@@ -53,6 +56,8 @@
 #include "clients/Inline.h"
 #include "clients/Reports.h"
 #include "cps/Transform.h"
+#include "fuzz/Campaign.h"
+#include "support/FaultInjector.h"
 #include "interp/Delta.h"
 #include "interp/Direct.h"
 #include "interp/SemanticCps.h"
@@ -70,6 +75,7 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -110,6 +116,17 @@ struct Options {
   bool Json = false;
   bool TraceRun = false;
   bool ShowDerivation = false;
+
+  // fuzz-only knobs.
+  uint64_t FuzzSeed = 1;
+  uint64_t Iterations = 0;
+  double Seconds = 10;
+  uint64_t Wave = 0;
+  uint64_t MaxFindings = 32;
+  bool NoShrink = false;
+  std::string FindingsDir;
+  std::string OracleList;
+  std::string ReplayFile;
 };
 
 [[noreturn]] void usage(const char *Message = nullptr) {
@@ -119,7 +136,7 @@ struct Options {
       stderr,
       "usage: cpsflow COMMAND FILE [options]\n"
       "commands: parse | anf | steps | cps | run | analyze | compare | "
-      "fold | inline | batch\n"
+      "fold | inline | batch | fuzz\n"
       "options:  --machine=direct|semantic|syntactic\n"
       "          --analyzer=direct|semantic|syntactic|dup\n"
       "          --domain=constant|unit|sign|parity|interval\n"
@@ -140,6 +157,18 @@ struct Options {
       "                             once at reduced cost\n"
       "          --threads N  --out FILE  --no-timing   (batch only;\n"
       "          batch takes a DIRECTORY of *.scm in place of FILE)\n"
+      "fuzz options (fuzz takes an optional seed DIRECTORY of *.scm):\n"
+      "          --seconds N        wall-clock budget (default 10)\n"
+      "          --iterations N     exact task count (overrides --seconds;\n"
+      "                             fixed seed+iterations reproduce the\n"
+      "                             same findings at any --threads)\n"
+      "          --fuzz-seed N      campaign master seed (default 1)\n"
+      "          --oracles LIST     comma list, e.g. O1,O3 or soundness\n"
+      "          --findings-dir D   write reproducers + findings.json\n"
+      "          --max-findings N   stop after N findings (default 32)\n"
+      "          --wave N           tasks per scheduling wave (default 32)\n"
+      "          --no-shrink        keep findings unminimized\n"
+      "          --replay FILE      re-check one reproducer and exit\n"
       "FILE may be '-' for stdin.\n");
   std::exit(2);
 }
@@ -171,11 +200,24 @@ double flagMs(const char *Flag, const char *Text) {
 
 Options parseArgs(int Argc, char **Argv) {
   Options O;
-  if (Argc < 3)
+  if (Argc < 2)
     usage();
   O.Command = Argv[1];
-  O.File = Argv[2];
-  for (int I = 3; I < Argc; ++I) {
+  // fuzz's corpus directory is optional; every other command requires its
+  // FILE (or DIR) positional.
+  int First = 2;
+  if (First < Argc && Argv[First][0] != '-') {
+    O.File = Argv[First];
+    ++First;
+  } else if (O.Command != "fuzz") {
+    if (First < Argc && std::strcmp(Argv[First], "-") == 0) {
+      O.File = "-";
+      ++First;
+    } else {
+      usage();
+    }
+  }
+  for (int I = First; I < Argc; ++I) {
     std::string A = Argv[I];
     auto Value = [&](const std::string &Prefix) -> std::string {
       return A.substr(Prefix.size());
@@ -236,6 +278,24 @@ Options parseArgs(int Argc, char **Argv) {
       O.Retry = true;
     } else if (A == "--out" && I + 1 < Argc) {
       O.OutFile = Argv[++I];
+    } else if (A == "--seconds" && I + 1 < Argc) {
+      O.Seconds = flagMs("--seconds", Argv[++I]);
+    } else if (A == "--iterations" && I + 1 < Argc) {
+      O.Iterations = flagUint("--iterations", Argv[++I]);
+    } else if (A == "--fuzz-seed" && I + 1 < Argc) {
+      O.FuzzSeed = flagUint("--fuzz-seed", Argv[++I]);
+    } else if (A == "--wave" && I + 1 < Argc) {
+      O.Wave = flagUint("--wave", Argv[++I]);
+    } else if (A == "--max-findings" && I + 1 < Argc) {
+      O.MaxFindings = flagUint("--max-findings", Argv[++I]);
+    } else if (A == "--findings-dir" && I + 1 < Argc) {
+      O.FindingsDir = Argv[++I];
+    } else if (A == "--oracles" && I + 1 < Argc) {
+      O.OracleList = Argv[++I];
+    } else if (A == "--no-shrink") {
+      O.NoShrink = true;
+    } else if (A == "--replay" && I + 1 < Argc) {
+      O.ReplayFile = Argv[++I];
     } else if (A == "--no-timing") {
       O.NoTiming = true;
     } else if (A == "--show-cfg") {
@@ -765,6 +825,121 @@ int cmdBatch(const Options &O) {
   return (O.FailOnBudget && Failures) ? 1 : 0;
 }
 
+/// Builds the oracle knobs shared by `fuzz` campaigns and --replay.
+Result<fuzz::OracleOptions> fuzzOracleOptions(const Options &O) {
+  fuzz::OracleOptions OOpts;
+  OOpts.Domain = O.Domain;
+  if (!O.OracleList.empty()) {
+    Result<uint32_t> Mask = fuzz::parseOracleMask(O.OracleList);
+    if (!Mask)
+      return Mask.error();
+    OOpts.Mask = *Mask;
+  }
+  if (O.MaxGoals)
+    OOpts.MaxGoals = O.MaxGoals;
+  OOpts.MaxSteps = O.Fuel;
+  OOpts.LoopUnroll = O.LoopUnroll;
+  OOpts.DupBudget = O.Budget;
+  OOpts.DeadlineMs = O.DeadlineMs;
+  OOpts.MaxStoreBytes = O.MaxStoreMb * 1024 * 1024;
+  OOpts.MaxDepth = O.MaxDepthCap;
+  return OOpts;
+}
+
+int cmdFuzz(const Options &O) {
+  Result<fuzz::OracleOptions> OOpts = fuzzOracleOptions(O);
+  if (!OOpts) {
+    std::fprintf(stderr, "error: %s\n", OOpts.error().str().c_str());
+    return 2;
+  }
+
+#ifdef CPSFLOW_FAULT_INJECTION
+  // CPSFLOW_FUZZ_INJECT=<oracle tag> forces a violation at that oracle's
+  // fault site — the end-to-end canary for detect -> shrink -> replay
+  // ("" or "all" trips every oracle).
+  if (const char *Inject = std::getenv("CPSFLOW_FUZZ_INJECT")) {
+    fault::Plan P;
+    P.Where = fault::Site::FuzzOracle;
+    P.What = fault::Action::Throw;
+    if (std::strcmp(Inject, "all") != 0)
+      P.Name = Inject;
+    fault::arm(P);
+  }
+#endif
+
+  if (!O.ReplayFile.empty()) {
+    Result<fuzz::OracleOutcome> Out =
+        fuzz::replaySource(readInput(O.ReplayFile), *OOpts);
+    if (!Out) {
+      std::fprintf(stderr, "error: %s\n", Out.error().str().c_str());
+      return 1;
+    }
+    for (const fuzz::OracleViolation &V : Out->Violations)
+      std::printf("[%s] %s\n", fuzz::tag(V.Id), V.Message.c_str());
+    if (Out->Violations.empty()) {
+      std::printf("clean: no enabled oracle is violated\n");
+      return 0;
+    }
+    return 1;
+  }
+
+  // The optional positional is a seed corpus directory for the mutator.
+  std::vector<std::pair<std::string, std::string>> Seeds;
+  if (!O.File.empty()) {
+    Result<std::vector<std::string>> Files = clients::collectCorpus(O.File);
+    if (!Files) {
+      std::fprintf(stderr, "error: %s\n", Files.error().str().c_str());
+      return 1;
+    }
+    for (const std::string &Path : *Files)
+      Seeds.emplace_back(std::filesystem::path(Path).filename().string(),
+                         readInput(Path));
+  }
+
+  fuzz::CampaignOptions COpts;
+  COpts.FuzzSeed = O.FuzzSeed;
+  COpts.Threads = O.Threads;
+  COpts.Iterations = O.Iterations;
+  COpts.Seconds = O.Seconds;
+  COpts.Wave = O.Wave;
+  COpts.MaxFindings = O.MaxFindings;
+  COpts.Shrink = !O.NoShrink;
+  COpts.Oracle = *OOpts;
+  COpts.IncludeTiming = !O.NoTiming;
+  support::Tracer T;
+  if (!O.TraceOut.empty())
+    COpts.Trace = &T;
+
+  fuzz::CampaignResult R = fuzz::runCampaign(COpts, Seeds);
+  if (COpts.Trace && !writeTraceFile(O, T))
+    return 1;
+
+  std::string Json = fuzz::campaignJson(R, COpts);
+  if (!O.OutFile.empty()) {
+    std::ofstream Out(O.OutFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", O.OutFile.c_str());
+      return 1;
+    }
+    Out << Json << '\n';
+  } else {
+    std::printf("%s\n", Json.c_str());
+  }
+
+  if (!O.FindingsDir.empty()) {
+    Result<size_t> N = fuzz::writeFindings(O.FindingsDir, R, COpts);
+    if (!N) {
+      std::fprintf(stderr, "error: %s\n", N.error().str().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu file(s) under %s\n", *N,
+                 O.FindingsDir.c_str());
+  }
+
+  std::fprintf(stderr, "%s", fuzz::campaignSummary(R, COpts).c_str());
+  return R.Findings.empty() ? 0 : 1;
+}
+
 int cmdInline(const Options &O) {
   Loaded L;
   L.load(O);
@@ -809,5 +984,7 @@ int main(int Argc, char **Argv) {
     return cmdInline(O);
   if (O.Command == "batch")
     return cmdBatch(O);
+  if (O.Command == "fuzz")
+    return cmdFuzz(O);
   usage(("unknown command '" + O.Command + "'").c_str());
 }
