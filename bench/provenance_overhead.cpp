@@ -1,0 +1,124 @@
+//===- bench/provenance_overhead.cpp - E16: recorder cost -------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E16 — the cost of the provenance recorder (domain/Provenance.h). Each
+/// analyzer runs the E10 random workloads twice: with the recorder off
+/// (AnalyzerOptions::Prov null — every hook is one predicted-false
+/// pointer test, the same budget class as Metrics/Trace) and with a
+/// recorder attached (the full `cpsflow explain` capture path: edge
+/// arena, store origins, fact table, memo side-table).
+///
+/// The acceptance criterion for this PR is on the DISABLED path: the
+/// BM_*Off lines must be indistinguishable from bench/throughput.cpp's
+/// plain BM_* lines (within run-to-run noise), because the default
+/// analyze/batch/fuzz paths all run with Prov == nullptr. The *On lines
+/// document what `explain` itself costs; they have no budget, only a
+/// trend to watch (EXPERIMENTS.md records the measured numbers).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "domain/Provenance.h"
+#include "gen/Generator.h"
+#include "syntax/Analysis.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cpsflow;
+using namespace cpsflow::bench;
+using namespace cpsflow::analysis;
+
+namespace {
+
+const syntax::Term *makeProgram(Context &Ctx, int64_t Size) {
+  gen::GenOptions Opts;
+  Opts.Seed = 1010; // same corpus as bench/throughput.cpp (E10)
+  Opts.ChainLength = static_cast<uint32_t>(Size);
+  Opts.MaxDepth = 2;
+  Opts.WellTyped = true;
+  gen::ProgramGenerator Gen(Ctx, Opts);
+  return Gen.generate();
+}
+
+template <template <typename> class Analyzer>
+void analysisLoop(benchmark::State &State, bool Recorded) {
+  Context Ctx;
+  const syntax::Term *T = makeProgram(Ctx, State.range(0));
+  std::vector<DirectBinding<CD>> Init;
+  for (Symbol S : syntax::freeVars(T))
+    Init.push_back({S, domain::AbsVal<CD>::number(CD::top())});
+  domain::Provenance Prov;
+  AnalyzerOptions AOpts;
+  if (Recorded)
+    AOpts.Prov = &Prov;
+  uint64_t Goals = 0, Edges = 0;
+  for (auto _ : State) {
+    Prov.reset();
+    auto R = Analyzer<CD>(Ctx, T, Init, AOpts).run();
+    benchmark::DoNotOptimize(R.Answer.Value);
+    Goals = R.Stats.Goals;
+    Edges = Prov.size();
+  }
+  State.counters["goals"] = static_cast<double>(Goals);
+  State.counters["edges"] = static_cast<double>(Edges);
+}
+
+void BM_DirectProvOff(benchmark::State &State) {
+  analysisLoop<DirectAnalyzer>(State, false);
+}
+void BM_DirectProvOn(benchmark::State &State) {
+  analysisLoop<DirectAnalyzer>(State, true);
+}
+void BM_SemanticProvOff(benchmark::State &State) {
+  analysisLoop<SemanticCpsAnalyzer>(State, false);
+}
+void BM_SemanticProvOn(benchmark::State &State) {
+  analysisLoop<SemanticCpsAnalyzer>(State, true);
+}
+
+void syntacticLoop(benchmark::State &State, bool Recorded) {
+  Context Ctx;
+  const syntax::Term *T = makeProgram(Ctx, State.range(0));
+  Result<cps::CpsProgram> P = cps::cpsTransform(Ctx, T);
+  std::vector<CpsBinding<CD>> Init;
+  for (Symbol S : syntax::freeVars(T))
+    Init.push_back({S, domain::CpsAbsVal<CD>::number(CD::top())});
+  domain::Provenance Prov;
+  AnalyzerOptions AOpts;
+  if (Recorded)
+    AOpts.Prov = &Prov;
+  uint64_t Goals = 0, Edges = 0;
+  for (auto _ : State) {
+    Prov.reset();
+    auto R = SyntacticCpsAnalyzer<CD>(Ctx, *P, Init, AOpts).run();
+    benchmark::DoNotOptimize(R.Answer.Value);
+    Goals = R.Stats.Goals;
+    Edges = Prov.size();
+  }
+  State.counters["goals"] = static_cast<double>(Goals);
+  State.counters["edges"] = static_cast<double>(Edges);
+}
+
+void BM_SyntacticProvOff(benchmark::State &State) {
+  syntacticLoop(State, false);
+}
+void BM_SyntacticProvOn(benchmark::State &State) {
+  syntacticLoop(State, true);
+}
+
+} // namespace
+
+BENCHMARK(BM_DirectProvOff)->RangeMultiplier(2)->Range(8, 64);
+BENCHMARK(BM_DirectProvOn)->RangeMultiplier(2)->Range(8, 64);
+// The CPS analyzers pay the duplication cost even on random programs;
+// cap their sweep so the run stays in CI-friendly time (as in E10).
+BENCHMARK(BM_SemanticProvOff)->RangeMultiplier(2)->Range(8, 32);
+BENCHMARK(BM_SemanticProvOn)->RangeMultiplier(2)->Range(8, 32);
+BENCHMARK(BM_SyntacticProvOff)->RangeMultiplier(2)->Range(8, 32);
+BENCHMARK(BM_SyntacticProvOn)->RangeMultiplier(2)->Range(8, 32);
+
+BENCHMARK_MAIN();

@@ -21,6 +21,7 @@
 
 #include "domain/AbsStore.h"
 #include "domain/AbsValue.h"
+#include "domain/Provenance.h"
 #include "domain/StoreInterner.h"
 #include "support/FaultInjector.h"
 #include "support/Governor.h"
@@ -73,6 +74,23 @@ InternedAnswerOf<V> joinAnswers(domain::StoreInterner<V> &In,
                                 const InternedAnswerOf<V> &B) {
   return InternedAnswerOf<V>{V::join(A.Value, B.Value),
                              In.join(A.Store, B.Store)};
+}
+
+/// Provenance-aware variant: additionally records the store merge in
+/// \p Prov (which must be non-null) so a later explain walk can traverse
+/// the merged store back to both parents. The store result is identical
+/// to the plain overload — only the recording differs.
+template <typename V>
+InternedAnswerOf<V> joinAnswers(domain::StoreInterner<V> &In,
+                                const InternedAnswerOf<V> &A,
+                                const InternedAnswerOf<V> &B,
+                                domain::Provenance *Prov,
+                                domain::EdgeKind Kind, uint32_t NodeId,
+                                SourceLoc Loc) {
+  InternedAnswerOf<V> Out{V::join(A.Value, B.Value),
+                          In.join(A.Store, B.Store)};
+  Prov->merge(Out.Store, A.Store, B.Store, Kind, NodeId, Loc);
+  return Out;
 }
 
 /// Knobs for an analyzer run.
@@ -139,6 +157,14 @@ struct AnalyzerOptions {
   /// Track id the analyzers stamp on sampled events (the batch driver
   /// sets it to the worker id so each worker gets its own trace track).
   uint32_t TraceTid = 0;
+
+  /// When non-null, the run records a derivation edge for every abstract
+  /// fact it establishes — the provenance graph behind `cpsflow explain`
+  /// and the compare-mode loss attribution (docs/EXPLAIN.md). Null (the
+  /// default) costs one predicted-false pointer test per recording site;
+  /// stores and all work counters are byte-identical either way
+  /// (tests/ProvenanceTests.cpp).
+  domain::Provenance *Prov = nullptr;
 };
 
 /// Counters describing one analyzer run.
@@ -163,6 +189,16 @@ struct AnalyzerStats {
   /// per-path CPS analyses drop the whole path (MOP over completing
   /// paths). See DESIGN.md section 7.
   uint64_t DeadPaths = 0;
+  /// Precision-loss joins performed: if0 evaluations that merged two
+  /// feasible branches (the Theorem 5.2a loss site) and multi-callee
+  /// application / final-answer merges (each k-way merge counts k-1).
+  /// Counted unconditionally — identical with provenance on or off.
+  uint64_t Joins = 0;
+  /// Syntactic-CPS continuation-set unions applied at a return point with
+  /// more than one collected continuation — the Theorem 5.1 "false
+  /// return" loss site (each k-way set counts k-1). Always zero for the
+  /// direct, semantic-CPS, and duplication analyzers.
+  uint64_t CallMerges = 0;
   /// if0 evaluations that pruned a branch (single-feasible-branch rule).
   /// Value-dependent branch pruning is itself a non-distributive
   /// ingredient: a merged store may reach a branch no single path
@@ -238,6 +274,8 @@ inline void finalizeRunStats(AnalyzerStats &Stats,
     M->set("goals", Stats.Goals);
     M->set("cacheHits", Stats.CacheHits);
     M->set("cuts", Stats.Cuts);
+    M->set("joins", Stats.Joins);
+    M->set("callMerges", Stats.CallMerges);
     M->set("maxDepth", Stats.MaxDepth);
     M->set("deadPaths", Stats.DeadPaths);
     M->set("prunedBranches", Stats.PrunedBranches);

@@ -123,11 +123,17 @@ public:
   /// Runs the analysis from the initial store.
   DirectResult<D> run() {
     domain::StoreId Sigma0 = Interner.bottom();
-    for (const DirectBinding<D> &B : Initial)
-      Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+    for (const DirectBinding<D> &B : Initial) {
+      domain::StoreId Next = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+      if (Opts.Prov)
+        Opts.Prov->init(Vars->of(B.Var), Next, Sigma0);
+      Sigma0 = Next;
+    }
 
     EvalOut Out = evalTerm(Program, Sigma0, 0);
     finalizeRunStats(Stats, Interner, Memo.size(), Opts);
+    if (Opts.Prov)
+      Opts.Prov->noteFinal(Out.A ? Out.A->Store : Interner.bottom());
 
     DirectResult<D> R;
     R.Answer = Out.A ? Answer{std::move(Out.A->Value),
@@ -163,6 +169,9 @@ private:
   struct EvalOut {
     std::optional<IAns> A;
     uint32_t MinDep;
+    /// Derivation of the answer *value* (NoProv when provenance is off or
+    /// the value is a leaf: literal, lambda, primitive).
+    domain::ProvId Prov = domain::NoProv;
   };
 
   struct Key {
@@ -210,10 +219,19 @@ private:
     return Val::bot();
   }
 
+  /// A Cut value node for provenance (goal repetition or budget trip at
+  /// \p T). Only called with Opts.Prov non-null.
+  domain::ProvId cutProv(const syntax::Term *T,
+                         support::DegradeReason R) const {
+    return Opts.Prov->value(domain::EdgeKind::Cut, T->id(), T->loc(),
+                            domain::NoProv, domain::NoProv, R);
+  }
+
   EvalOut evalTerm(const syntax::Term *T, domain::StoreId Sigma,
                    uint32_t Depth) {
     if (Stats.BudgetExhausted)
-      return EvalOut{cutAnswer(Sigma), 0};
+      return EvalOut{cutAnswer(Sigma), 0,
+                     Opts.Prov ? cutProv(T, Stats.Degraded) : domain::NoProv};
     ++Stats.Goals;
     CPSFLOW_FAULT_COUNTED(fault::Site::AnalyzerGoal, Stats.Goals);
     if (support::DegradeReason R =
@@ -221,7 +239,8 @@ private:
         R != support::DegradeReason::None) {
       Stats.BudgetExhausted = true;
       Stats.Degraded = R;
-      return EvalOut{cutAnswer(Sigma), 0};
+      return EvalOut{cutAnswer(Sigma), 0,
+                     Opts.Prov ? cutProv(T, R) : domain::NoProv};
     }
     Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
 
@@ -230,11 +249,15 @@ private:
                 [&] { return Opts.UseMemo && Memo.count(K) != 0; });
     if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
       ++Stats.CacheHits;
-      return EvalOut{It->second, Unconstrained};
+      return EvalOut{It->second, Unconstrained,
+                     Opts.Prov ? Opts.Prov->memoized(T, Sigma)
+                               : domain::NoProv};
     }
     if (auto It = Active.find(K); It != Active.end()) {
       ++Stats.Cuts;
-      return EvalOut{cutAnswer(Sigma), It->second};
+      return EvalOut{cutAnswer(Sigma), It->second,
+                     Opts.Prov ? cutProv(T, support::DegradeReason::None)
+                               : domain::NoProv};
     }
 
     size_t TraceLine = 0;
@@ -256,11 +279,23 @@ private:
       Line += Out.A ? Out.A->Value.str(Ctx) : std::string("dead");
     }
     if (Out.MinDep >= Depth && !Stats.BudgetExhausted) {
-      if (Opts.UseMemo)
+      if (Opts.UseMemo) {
         Memo.emplace(K, Out.A);
+        if (Opts.Prov)
+          Opts.Prov->memoize(T, Sigma, Out.Prov);
+      }
       Out.MinDep = Unconstrained;
     }
     return Out;
+  }
+
+  /// Provenance of a value form: variables derive from the store fact
+  /// they read; literals, lambdas, and primitives are leaves.
+  domain::ProvId provOfValue(const syntax::Value *V,
+                             domain::StoreId Sigma) const {
+    if (const auto *Var = syntax::dyn_cast<syntax::VarValue>(V))
+      return Opts.Prov->factOf(Vars->of(Var->name()), Sigma);
+    return domain::NoProv;
   }
 
   EvalOut evalUncached(const syntax::Term *T, domain::StoreId Sigma,
@@ -269,7 +304,9 @@ private:
 
     // (V, sigma) M_e ((phi_e(V, sigma), sigma)).
     if (const auto *VT = dyn_cast<ValueTerm>(T))
-      return EvalOut{IAns{phi(VT->value(), Sigma), Sigma}, Unconstrained};
+      return EvalOut{IAns{phi(VT->value(), Sigma), Sigma}, Unconstrained,
+                     Opts.Prov ? provOfValue(VT->value(), Sigma)
+                               : domain::NoProv};
 
     const auto *Let = cast<LetTerm>(T);
     const Term *Bound = Let->bound();
@@ -280,6 +317,10 @@ private:
       // (let (x V) M): continue with sigma[x := sigma(x) join u].
       Val U = phi(cast<ValueTerm>(Bound)->value(), Sigma);
       domain::StoreId S = Interner.joinAt(Sigma, X, U);
+      if (Opts.Prov)
+        Opts.Prov->assign(domain::EdgeKind::Flow, X, S, Sigma, Let->id(),
+                          Let->loc(),
+                          provOfValue(cast<ValueTerm>(Bound)->value(), Sigma));
       return evalTerm(Let->body(), S, Depth + 1);
     }
 
@@ -301,31 +342,62 @@ private:
 
       std::optional<IAns> Acc;
       uint32_t MinDep = Unconstrained;
+      domain::ProvId AccProv = domain::NoProv;
+      domain::ProvId ArgProv =
+          Opts.Prov ? provOfValue(cast<ValueTerm>(App->arg())->value(), Sigma)
+                    : domain::NoProv;
+      uint64_t Merged = 0;
       for (const domain::CloRef &C : Fun.Clos) {
         std::optional<IAns> Ai;
+        domain::ProvId AiProv = domain::NoProv;
         switch (C.Tag) {
         case domain::CloRef::K::Inc:
           Ai = IAns{Val::number(D::add1(Arg.Num)), Sigma};
+          AiProv = ArgProv;
           break;
         case domain::CloRef::K::Dec:
           Ai = IAns{Val::number(D::sub1(Arg.Num)), Sigma};
+          AiProv = ArgProv;
           break;
         case domain::CloRef::K::Lam: {
           domain::StoreId S =
               Interner.joinAt(Sigma, Vars->of(C.Lam->param()), Arg);
+          if (Opts.Prov)
+            Opts.Prov->assign(domain::EdgeKind::Flow,
+                              Vars->of(C.Lam->param()), S, Sigma, App->id(),
+                              App->loc(), ArgProv);
           EvalOut R = evalTerm(C.Lam->body(), S, Depth + 1);
           Ai = std::move(R.A);
+          AiProv = R.Prov;
           MinDep = std::min(MinDep, R.MinDep);
           break;
         }
         }
-        if (Ai)
-          Acc = Acc ? joinAnswers(Interner, *Acc, *Ai) : std::move(*Ai);
+        if (Ai) {
+          ++Merged;
+          if (!Acc) {
+            Acc = std::move(*Ai);
+            AccProv = AiProv;
+          } else if (Opts.Prov) {
+            Acc = joinAnswers(Interner, *Acc, *Ai, Opts.Prov,
+                              domain::EdgeKind::Join, App->id(), App->loc());
+            AccProv = Opts.Prov->value(domain::EdgeKind::Join, App->id(),
+                                       App->loc(), AccProv, AiProv);
+          } else {
+            Acc = joinAnswers(Interner, *Acc, *Ai);
+          }
+        }
       }
+      if (Merged > 1)
+        Stats.Joins += Merged - 1; // Theorem 5.2b multi-callee merge
       if (!Acc)
         return EvalOut{std::nullopt, MinDep}; // every callee path died
 
       domain::StoreId S = Interner.joinAt(Acc->Store, X, Acc->Value);
+      if (Opts.Prov)
+        Opts.Prov->assign(Merged > 1 ? domain::EdgeKind::Join
+                                     : domain::EdgeKind::Flow,
+                          X, S, Acc->Store, App->id(), App->loc(), AccProv);
       EvalOut Body = evalTerm(Let->body(), S, Depth + 1);
       Body.MinDep = std::min(Body.MinDep, MinDep);
       return Body;
@@ -355,6 +427,9 @@ private:
         if (!Bi.A)
           return EvalOut{std::nullopt, Bi.MinDep};
         domain::StoreId S = Interner.joinAt(Bi.A->Store, X, Bi.A->Value);
+        if (Opts.Prov)
+          Opts.Prov->assign(domain::EdgeKind::Flow, X, S, Bi.A->Store,
+                            If->id(), If->loc(), Bi.Prov);
         EvalOut Body = evalTerm(Let->body(), S, Depth + 1);
         Body.MinDep = std::min(Body.MinDep, Bi.MinDep);
         return Body;
@@ -364,15 +439,30 @@ private:
       EvalOut B2 = evalTerm(If->elseBranch(), Sigma, Depth + 1);
       uint32_t MinDep = std::min(B1.MinDep, B2.MinDep);
       std::optional<IAns> Joined;
-      if (B1.A && B2.A)
-        Joined = joinAnswers(Interner, *B1.A, *B2.A);
-      else if (B1.A)
+      bool BothArms = B1.A && B2.A;
+      if (BothArms) {
+        ++Stats.Joins; // Theorem 5.2a two-branch merge
+        Joined = Opts.Prov
+                     ? joinAnswers(Interner, *B1.A, *B2.A, Opts.Prov,
+                                   domain::EdgeKind::Join, If->id(),
+                                   If->loc())
+                     : joinAnswers(Interner, *B1.A, *B2.A);
+      } else if (B1.A)
         Joined = std::move(B1.A);
       else if (B2.A)
         Joined = std::move(B2.A);
       if (!Joined)
         return EvalOut{std::nullopt, MinDep}; // both branches died
       domain::StoreId S = Interner.joinAt(Joined->Store, X, Joined->Value);
+      if (Opts.Prov) {
+        // For the merging rule both branch derivations are parents; for a
+        // single surviving branch only its derivation is.
+        domain::ProvId VP1 = B1.A || BothArms ? B1.Prov : B2.Prov;
+        domain::ProvId VP2 = BothArms ? B2.Prov : domain::NoProv;
+        Opts.Prov->assign(BothArms ? domain::EdgeKind::Join
+                                   : domain::EdgeKind::Flow,
+                          X, S, Joined->Store, If->id(), If->loc(), VP1, VP2);
+      }
       EvalOut Body = evalTerm(Let->body(), S, Depth + 1);
       Body.MinDep = std::min(Body.MinDep, MinDep);
       return Body;
@@ -383,6 +473,9 @@ private:
       // the join of all naturals is the domain's summary element.
       domain::StoreId S =
           Interner.joinAt(Sigma, X, Val::number(D::naturals()));
+      if (Opts.Prov)
+        Opts.Prov->assign(domain::EdgeKind::Widen, X, S, Sigma, Let->id(),
+                          Let->loc());
       return evalTerm(Let->body(), S, Depth + 1);
     }
 

@@ -86,11 +86,17 @@ public:
 
   DirectResult<D> run() {
     domain::StoreId Sigma0 = Interner.bottom();
-    for (const DirectBinding<D> &B : Initial)
-      Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+    for (const DirectBinding<D> &B : Initial) {
+      domain::StoreId Next = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+      if (Opts.Prov)
+        Opts.Prov->init(Vars->of(B.Var), Next, Sigma0);
+      Sigma0 = Next;
+    }
 
     EvalOut Out = evalTerm(Program, Sigma0, Budget, 0);
     finalizeRunStats(Stats, Interner, Memo.size(), Opts);
+    if (Opts.Prov)
+      Opts.Prov->noteFinal(Out.A ? Out.A->Store : Interner.bottom());
 
     DirectResult<D> R;
     R.Answer = Out.A ? Answer{std::move(Out.A->Value),
@@ -203,6 +209,15 @@ private:
     return Out;
   }
 
+  /// Provenance of a value form: variables derive from the store fact
+  /// they read; literals, lambdas, and primitives are leaves.
+  domain::ProvId provOfValue(const syntax::Value *V,
+                             domain::StoreId Sigma) const {
+    if (const auto *Var = syntax::dyn_cast<syntax::VarValue>(V))
+      return Opts.Prov->factOf(Vars->of(Var->name()), Sigma);
+    return domain::NoProv;
+  }
+
   EvalOut evalUncached(const syntax::Term *T, domain::StoreId Sigma,
                        uint64_t Credit, uint32_t Depth) {
     using namespace syntax;
@@ -218,6 +233,10 @@ private:
     case TermKind::TK_Value: {
       Val U = phi(cast<ValueTerm>(Bound)->value(), Sigma);
       domain::StoreId S = Interner.joinAt(Sigma, X, U);
+      if (Opts.Prov)
+        Opts.Prov->assign(domain::EdgeKind::Flow, X, S, Sigma, Let->id(),
+                          Let->loc(),
+                          provOfValue(cast<ValueTerm>(Bound)->value(), Sigma));
       return evalTerm(Let->body(), S, Credit, Depth + 1);
     }
 
@@ -241,6 +260,10 @@ private:
       std::optional<IAns> Acc;
       uint32_t MinDep = Unconstrained;
       std::optional<IAns> BodyAcc; // used only when duplicating
+      uint64_t Merged = 0;
+      domain::ProvId ArgProv =
+          Opts.Prov ? provOfValue(cast<ValueTerm>(App->arg())->value(), Sigma)
+                    : domain::NoProv;
       for (const domain::CloRef &C : Fun.Clos) {
         std::optional<IAns> Ai;
         switch (C.Tag) {
@@ -253,6 +276,10 @@ private:
         case domain::CloRef::K::Lam: {
           domain::StoreId S =
               Interner.joinAt(Sigma, Vars->of(C.Lam->param()), Arg);
+          if (Opts.Prov)
+            Opts.Prov->assign(domain::EdgeKind::Flow,
+                              Vars->of(C.Lam->param()), S, Sigma, App->id(),
+                              App->loc(), ArgProv);
           EvalOut R = evalTerm(C.Lam->body(), S, SubCredit, Depth + 1);
           Ai = std::move(R.A);
           MinDep = std::min(MinDep, R.MinDep);
@@ -261,18 +288,35 @@ private:
         }
         if (!Ai)
           continue; // this callee path died
+        ++Merged;
         if (Duplicate) {
           // Continue the let-body separately on this path.
           domain::StoreId S = Interner.joinAt(Ai->Store, X, Ai->Value);
+          if (Opts.Prov)
+            Opts.Prov->assign(domain::EdgeKind::Flow, X, S, Ai->Store,
+                              App->id(), App->loc());
           EvalOut Body = evalTerm(Let->body(), S, SubCredit, Depth + 1);
           if (Body.A)
-            BodyAcc = BodyAcc ? joinAnswers(Interner, *BodyAcc, *Body.A)
-                              : std::move(*Body.A);
+            BodyAcc = BodyAcc
+                          ? (Opts.Prov
+                                 ? joinAnswers(Interner, *BodyAcc, *Body.A,
+                                               Opts.Prov,
+                                               domain::EdgeKind::Join,
+                                               App->id(), App->loc())
+                                 : joinAnswers(Interner, *BodyAcc, *Body.A))
+                          : std::move(*Body.A);
           MinDep = std::min(MinDep, Body.MinDep);
         } else {
-          Acc = Acc ? joinAnswers(Interner, *Acc, *Ai) : std::move(*Ai);
+          Acc = Acc ? (Opts.Prov
+                           ? joinAnswers(Interner, *Acc, *Ai, Opts.Prov,
+                                         domain::EdgeKind::Join, App->id(),
+                                         App->loc())
+                           : joinAnswers(Interner, *Acc, *Ai))
+                    : std::move(*Ai);
         }
       }
+      if (Merged > 1)
+        Stats.Joins += Merged - 1; // multi-callee merge (either flavour)
 
       if (Duplicate)
         return EvalOut{std::move(BodyAcc), MinDep};
@@ -280,6 +324,10 @@ private:
         return EvalOut{std::nullopt, MinDep};
 
       domain::StoreId S = Interner.joinAt(Acc->Store, X, Acc->Value);
+      if (Opts.Prov)
+        Opts.Prov->assign(Merged > 1 ? domain::EdgeKind::Join
+                                     : domain::EdgeKind::Flow,
+                          X, S, Acc->Store, App->id(), App->loc());
       EvalOut Body = evalTerm(Let->body(), S, Credit, Depth + 1);
       Body.MinDep = std::min(Body.MinDep, MinDep);
       return Body;
@@ -306,6 +354,9 @@ private:
         if (!Bi.A)
           return EvalOut{std::nullopt, Bi.MinDep};
         domain::StoreId S = Interner.joinAt(Bi.A->Store, X, Bi.A->Value);
+        if (Opts.Prov)
+          Opts.Prov->assign(domain::EdgeKind::Flow, X, S, Bi.A->Store,
+                            If->id(), If->loc());
         EvalOut Body = evalTerm(Let->body(), S, Credit, Depth + 1);
         Body.MinDep = std::min(Body.MinDep, Bi.MinDep);
         return Body;
@@ -313,6 +364,7 @@ private:
 
       if (Credit > 0) {
         // Duplicate: each branch continues the body separately.
+        ++Stats.Joins; // the final answers still get merged
         std::optional<IAns> Acc;
         uint32_t MinDep = Unconstrained;
         for (const Term *Branch : {If->thenBranch(), If->elseBranch()}) {
@@ -321,9 +373,16 @@ private:
           if (!Bi.A)
             continue;
           domain::StoreId S = Interner.joinAt(Bi.A->Store, X, Bi.A->Value);
+          if (Opts.Prov)
+            Opts.Prov->assign(domain::EdgeKind::Flow, X, S, Bi.A->Store,
+                              If->id(), If->loc());
           EvalOut Body = evalTerm(Let->body(), S, Credit - 1, Depth + 1);
           if (Body.A)
-            Acc = Acc ? joinAnswers(Interner, *Acc, *Body.A)
+            Acc = Acc ? (Opts.Prov
+                             ? joinAnswers(Interner, *Acc, *Body.A,
+                                           Opts.Prov, domain::EdgeKind::Join,
+                                           If->id(), If->loc())
+                             : joinAnswers(Interner, *Acc, *Body.A))
                       : std::move(*Body.A);
           MinDep = std::min(MinDep, Body.MinDep);
         }
@@ -335,15 +394,25 @@ private:
       EvalOut B2 = evalTerm(If->elseBranch(), Sigma, Credit, Depth + 1);
       uint32_t MinDep = std::min(B1.MinDep, B2.MinDep);
       std::optional<IAns> Joined;
-      if (B1.A && B2.A)
-        Joined = joinAnswers(Interner, *B1.A, *B2.A);
-      else if (B1.A)
+      bool BothArms = B1.A && B2.A;
+      if (BothArms) {
+        ++Stats.Joins; // Figure 4's two-branch merge
+        Joined = Opts.Prov
+                     ? joinAnswers(Interner, *B1.A, *B2.A, Opts.Prov,
+                                   domain::EdgeKind::Join, If->id(),
+                                   If->loc())
+                     : joinAnswers(Interner, *B1.A, *B2.A);
+      } else if (B1.A)
         Joined = std::move(B1.A);
       else if (B2.A)
         Joined = std::move(B2.A);
       if (!Joined)
         return EvalOut{std::nullopt, MinDep};
       domain::StoreId S = Interner.joinAt(Joined->Store, X, Joined->Value);
+      if (Opts.Prov)
+        Opts.Prov->assign(BothArms ? domain::EdgeKind::Join
+                                   : domain::EdgeKind::Flow,
+                          X, S, Joined->Store, If->id(), If->loc());
       EvalOut Body = evalTerm(Let->body(), S, Credit, Depth + 1);
       Body.MinDep = std::min(Body.MinDep, MinDep);
       return Body;
@@ -352,6 +421,9 @@ private:
     case TermKind::TK_Loop: {
       domain::StoreId S =
           Interner.joinAt(Sigma, X, Val::number(D::naturals()));
+      if (Opts.Prov)
+        Opts.Prov->assign(domain::EdgeKind::Widen, X, S, Sigma, Let->id(),
+                          Let->loc());
       return evalTerm(Let->body(), S, Credit, Depth + 1);
     }
 

@@ -111,11 +111,17 @@ public:
   /// Runs the analysis with the empty continuation `nil`.
   SemanticResult<D> run() {
     domain::StoreId Sigma0 = Interner.bottom();
-    for (const DirectBinding<D> &B : Initial)
-      Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+    for (const DirectBinding<D> &B : Initial) {
+      domain::StoreId Next = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+      if (Opts.Prov)
+        Opts.Prov->init(Vars->of(B.Var), Next, Sigma0);
+      Sigma0 = Next;
+    }
 
     EvalOut Out = evalC(Program, /*K=*/nullptr, Sigma0, 0);
     finalizeRunStats(Stats, Interner, Memo.size(), Opts);
+    if (Opts.Prov)
+      Opts.Prov->noteFinal(Out.A.Store);
 
     SemanticResult<D> R;
     R.Answer = Answer{std::move(Out.A.Value), Interner.store(Out.A.Store)};
@@ -213,12 +219,25 @@ private:
     return Val::bot();
   }
 
-  /// appr_e: deliver \p U to \p K. nil yields the final answer.
+  /// Provenance of a value form: variables derive from the store fact
+  /// they read; literals, lambdas, and primitives are leaves.
+  domain::ProvId provOfValue(const syntax::Value *V,
+                             domain::StoreId Sigma) const {
+    if (const auto *Var = syntax::dyn_cast<syntax::VarValue>(V))
+      return Opts.Prov->factOf(Vars->of(Var->name()), Sigma);
+    return domain::NoProv;
+  }
+
+  /// appr_e: deliver \p U to \p K. nil yields the final answer. \p UProv
+  /// is the derivation of U (meaningful only with Opts.Prov attached).
   EvalOut appre(const KontNode *K, const Val &U, domain::StoreId Sigma,
-                uint32_t Depth) {
+                uint32_t Depth, domain::ProvId UProv = domain::NoProv) {
     if (!K)
       return EvalOut{IAns{U, Sigma}, Unconstrained};
     domain::StoreId S = Interner.joinAt(Sigma, Vars->of(K->Frame->var()), U);
+    if (Opts.Prov)
+      Opts.Prov->assign(domain::EdgeKind::Flow, Vars->of(K->Frame->var()), S,
+                        Sigma, K->Frame->id(), K->Frame->loc(), UProv);
     return evalC(K->Frame->body(), K->Parent, S, Depth + 1);
   }
 
@@ -235,25 +254,41 @@ private:
       return EvalOut{bottomAnswer(), Unconstrained};
     }
 
+    if (Fun.Clos.size() > 1)
+      Stats.Joins += Fun.Clos.size() - 1; // final answers get k-way merged
+
     IAns Acc = bottomAnswer();
     uint32_t MinDep = Unconstrained;
+    domain::ProvId ArgProv =
+        Opts.Prov
+            ? provOfValue(syntax::cast<syntax::ValueTerm>(Site->arg())->value(),
+                          Sigma)
+            : domain::NoProv;
     for (const domain::CloRef &C : Fun.Clos) {
       EvalOut Ri;
       switch (C.Tag) {
       case domain::CloRef::K::Inc:
-        Ri = appre(K, Val::number(D::add1(Arg.Num)), Sigma, Depth + 1);
+        Ri = appre(K, Val::number(D::add1(Arg.Num)), Sigma, Depth + 1,
+                   ArgProv);
         break;
       case domain::CloRef::K::Dec:
-        Ri = appre(K, Val::number(D::sub1(Arg.Num)), Sigma, Depth + 1);
+        Ri = appre(K, Val::number(D::sub1(Arg.Num)), Sigma, Depth + 1,
+                   ArgProv);
         break;
       case domain::CloRef::K::Lam: {
         domain::StoreId S =
             Interner.joinAt(Sigma, Vars->of(C.Lam->param()), Arg);
+        if (Opts.Prov)
+          Opts.Prov->assign(domain::EdgeKind::Flow, Vars->of(C.Lam->param()),
+                            S, Sigma, Site->id(), Site->loc(), ArgProv);
         Ri = evalC(C.Lam->body(), K, S, Depth + 1);
         break;
       }
       }
-      Acc = joinAnswers(Interner, Acc, Ri.A);
+      Acc = Opts.Prov ? joinAnswers(Interner, Acc, Ri.A, Opts.Prov,
+                                    domain::EdgeKind::Join, Site->id(),
+                                    Site->loc())
+                      : joinAnswers(Interner, Acc, Ri.A);
       MinDep = std::min(MinDep, Ri.MinDep);
     }
     return EvalOut{std::move(Acc), MinDep};
@@ -287,7 +322,11 @@ private:
       // Section 4.4 cut: return (T, CL_T) *to the current continuation*.
       ++Stats.Cuts;
       uint32_t AncestorDepth = It->second;
-      EvalOut R = appre(K, cutValue(), Sigma, Depth + 1);
+      domain::ProvId CutProv =
+          Opts.Prov ? Opts.Prov->value(domain::EdgeKind::Cut, T->id(),
+                                       T->loc())
+                    : domain::NoProv;
+      EvalOut R = appre(K, cutValue(), Sigma, Depth + 1, CutProv);
       R.MinDep = std::min(R.MinDep, AncestorDepth);
       return R;
     }
@@ -309,7 +348,9 @@ private:
 
     // (V, kappa, sigma): deliver phi_e(V, sigma) to the continuation.
     if (const auto *VT = dyn_cast<ValueTerm>(T))
-      return appre(K, phi(VT->value(), Sigma), Sigma, Depth);
+      return appre(K, phi(VT->value(), Sigma), Sigma, Depth,
+                   Opts.Prov ? provOfValue(VT->value(), Sigma)
+                             : domain::NoProv);
 
     const auto *Let = cast<LetTerm>(T);
     const Term *Bound = Let->bound();
@@ -318,6 +359,10 @@ private:
     case TermKind::TK_Value: {
       Val U = phi(cast<ValueTerm>(Bound)->value(), Sigma);
       domain::StoreId S = Interner.joinAt(Sigma, Vars->of(Let->var()), U);
+      if (Opts.Prov)
+        Opts.Prov->assign(domain::EdgeKind::Flow, Vars->of(Let->var()), S,
+                          Sigma, Let->id(), Let->loc(),
+                          provOfValue(cast<ValueTerm>(Bound)->value(), Sigma));
       return evalC(Let->body(), K, S, Depth + 1);
     }
 
@@ -351,10 +396,15 @@ private:
 
       // Both feasible: each branch analyzes the entire continuation; the
       // *answers* are joined (contrast with Figure 4's store merge).
+      ++Stats.Joins;
       EvalOut B1 = evalC(If->thenBranch(), K2, Sigma, Depth + 1);
       EvalOut B2 = evalC(If->elseBranch(), K2, Sigma, Depth + 1);
-      return EvalOut{joinAnswers(Interner, B1.A, B2.A),
-                     std::min(B1.MinDep, B2.MinDep)};
+      IAns Joined = Opts.Prov
+                        ? joinAnswers(Interner, B1.A, B2.A, Opts.Prov,
+                                      domain::EdgeKind::Join, If->id(),
+                                      If->loc())
+                        : joinAnswers(Interner, B1.A, B2.A);
+      return EvalOut{std::move(Joined), std::min(B1.MinDep, B2.MinDep)};
     }
 
     case TermKind::TK_Loop: {
@@ -368,18 +418,28 @@ private:
       Stats.LoopBounded = true;
       IAns Acc = bottomAnswer();
       uint32_t MinDep = Unconstrained;
+      auto JoinIter = [&](const IAns &A) {
+        return Opts.Prov ? joinAnswers(Interner, Acc, A, Opts.Prov,
+                                       domain::EdgeKind::Widen, Let->id(),
+                                       Let->loc())
+                         : joinAnswers(Interner, Acc, A);
+      };
       for (uint32_t I = 0; I < Opts.LoopUnroll; ++I) {
         EvalOut Bi =
             appre(K2, Val::number(D::constant(I)), Sigma, Depth + 1);
-        Acc = joinAnswers(Interner, Acc, Bi.A);
+        Acc = JoinIter(Bi.A);
         MinDep = std::min(MinDep, Bi.MinDep);
         if (Stats.BudgetExhausted)
           break;
       }
       if (Opts.LoopSoundSummary) {
-        EvalOut Bs =
-            appre(K2, Val::number(D::naturals()), Sigma, Depth + 1);
-        Acc = joinAnswers(Interner, Acc, Bs.A);
+        domain::ProvId WidenProv =
+            Opts.Prov ? Opts.Prov->value(domain::EdgeKind::Widen, Let->id(),
+                                         Let->loc())
+                      : domain::NoProv;
+        EvalOut Bs = appre(K2, Val::number(D::naturals()), Sigma, Depth + 1,
+                           WidenProv);
+        Acc = JoinIter(Bs.A);
         MinDep = std::min(MinDep, Bs.MinDep);
       }
       return EvalOut{std::move(Acc), MinDep};

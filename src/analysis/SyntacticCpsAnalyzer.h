@@ -108,14 +108,25 @@ public:
   /// store entry k |-> (bot, {}, {stop})).
   SyntacticResult<D> run() {
     domain::StoreId Sigma0 = Interner.bottom();
-    for (const CpsBinding<D> &B : Initial)
-      Sigma0 = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
-    Sigma0 = Interner.joinAt(
-        Sigma0, Vars->of(Program.TopK),
-        Val::konts(domain::KontSet::single(domain::KontRef::stop())));
+    for (const CpsBinding<D> &B : Initial) {
+      domain::StoreId Next = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+      if (Opts.Prov)
+        Opts.Prov->init(Vars->of(B.Var), Next, Sigma0);
+      Sigma0 = Next;
+    }
+    {
+      domain::StoreId Next = Interner.joinAt(
+          Sigma0, Vars->of(Program.TopK),
+          Val::konts(domain::KontSet::single(domain::KontRef::stop())));
+      if (Opts.Prov)
+        Opts.Prov->init(Vars->of(Program.TopK), Next, Sigma0);
+      Sigma0 = Next;
+    }
 
     EvalOut Out = evalP(Program.Root, Sigma0, 0);
     finalizeRunStats(Stats, Interner, Memo.size(), Opts);
+    if (Opts.Prov)
+      Opts.Prov->noteFinal(Out.A.Store);
 
     SyntacticResult<D> R;
     R.Answer = Answer{std::move(Out.A.Value), Interner.store(Out.A.Store)};
@@ -190,29 +201,59 @@ private:
     return Val::bot();
   }
 
-  /// appr_e^s over a single abstract continuation.
+  /// Provenance of a value form: variables derive from the store fact
+  /// they read; literals, lambdas, and primitives are leaves.
+  domain::ProvId provOfValue(const cps::CpsValue *W,
+                             domain::StoreId Sigma) const {
+    if (const auto *Var = cps::dyn_cast<cps::CpsVar>(W))
+      return Opts.Prov->factOf(Vars->of(Var->name()), Sigma);
+    return domain::NoProv;
+  }
+
+  /// appr_e^s over a single abstract continuation. The parameter write is
+  /// recorded under \p Kind at \p Site: Flow for an ordinary delivery,
+  /// CallMerge when the caller is a return point applying a multi-element
+  /// continuation set (the Theorem 5.1 false-return loss).
   EvalOut applyKont(const domain::KontRef &K, const Val &U,
-                    domain::StoreId Sigma, uint32_t Depth) {
+                    domain::StoreId Sigma, uint32_t Depth,
+                    domain::ProvId UProv = domain::NoProv,
+                    domain::EdgeKind Kind = domain::EdgeKind::Flow,
+                    uint32_t SiteId = 0, SourceLoc SiteLoc = SourceLoc{}) {
     if (K.Tag == domain::KontRef::K::Stop)
       return EvalOut{IAns{U, Sigma}, Unconstrained};
     domain::StoreId S = Interner.joinAt(Sigma, Vars->of(K.Cont->param()), U);
+    if (Opts.Prov)
+      Opts.Prov->assign(Kind, Vars->of(K.Cont->param()), S, Sigma,
+                        SiteId ? SiteId : K.Cont->id(),
+                        SiteLoc.isValid() ? SiteLoc : K.Cont->loc(), UProv);
     return evalP(K.Cont->body(), S, Depth + 1);
   }
 
   /// appr_e^s over a continuation *set*: apply every continuation and
-  /// merge — the false-return join of Section 6.1.
+  /// merge — the false-return join of Section 6.1. \p Site is the return
+  /// point (for Stats.CallMerges and provenance attribution).
   EvalOut applyKontSet(const domain::KontSet &Ks, const Val &U,
-                       domain::StoreId Sigma, uint32_t Depth) {
+                       domain::StoreId Sigma, uint32_t Depth,
+                       const cps::CpsRet *Site,
+                       domain::ProvId UProv = domain::NoProv) {
     if (Ks.empty()) {
       ++Stats.DeadPaths; // join over no paths
       return EvalOut{bottomAnswer(), Unconstrained};
     }
+    bool Merging = Ks.size() > 1;
+    if (Merging)
+      Stats.CallMerges += Ks.size() - 1; // Theorem 5.1 false return
 
+    domain::EdgeKind Kind =
+        Merging ? domain::EdgeKind::CallMerge : domain::EdgeKind::Flow;
     IAns Acc = bottomAnswer();
     uint32_t MinDep = Unconstrained;
     for (const domain::KontRef &K : Ks) {
-      EvalOut Ri = applyKont(K, U, Sigma, Depth);
-      Acc = joinAnswers(Interner, Acc, Ri.A);
+      EvalOut Ri = applyKont(K, U, Sigma, Depth, UProv, Kind, Site->id(),
+                             Site->loc());
+      Acc = Opts.Prov ? joinAnswers(Interner, Acc, Ri.A, Opts.Prov, Kind,
+                                    Site->id(), Site->loc())
+                      : joinAnswers(Interner, Acc, Ri.A);
       MinDep = std::min(MinDep, Ri.MinDep);
     }
     return EvalOut{std::move(Acc), MinDep};
@@ -271,13 +312,19 @@ private:
       for (const domain::KontRef &K : KVal.Konts)
         Rec.insert(K);
 
-      return applyKontSet(KVal.Konts, U, Sigma, Depth);
+      return applyKontSet(KVal.Konts, U, Sigma, Depth, Ret,
+                          Opts.Prov ? provOfValue(Ret->arg(), Sigma)
+                                    : domain::NoProv);
     }
 
     case CpsTermKind::PK_LetVal: {
       const auto *Let = cast<CpsLetVal>(P);
       Val U = phi(Let->bound(), Sigma);
       domain::StoreId S = Interner.joinAt(Sigma, Vars->of(Let->var()), U);
+      if (Opts.Prov)
+        Opts.Prov->assign(domain::EdgeKind::Flow, Vars->of(Let->var()), S,
+                          Sigma, Let->id(), Let->loc(),
+                          provOfValue(Let->bound(), Sigma));
       return evalP(Let->body(), S, Depth + 1);
     }
 
@@ -299,6 +346,11 @@ private:
         return EvalOut{bottomAnswer(), Unconstrained};
       }
 
+      if (Fun.Clos.size() > 1)
+        Stats.Joins += Fun.Clos.size() - 1; // multi-callee answer merge
+
+      domain::ProvId ArgProv =
+          Opts.Prov ? provOfValue(Call->arg(), Sigma) : domain::NoProv;
       IAns Acc = bottomAnswer();
       uint32_t MinDep = Unconstrained;
       for (const domain::CpsCloRef &C : Fun.Clos) {
@@ -306,23 +358,38 @@ private:
         switch (C.Tag) {
         case domain::CpsCloRef::K::Inck:
           Ri = applyKont(Kont, Val::number(D::add1(Arg.Num)), Sigma,
-                         Depth + 1);
+                         Depth + 1, ArgProv, domain::EdgeKind::Flow,
+                         Call->id(), Call->loc());
           break;
         case domain::CpsCloRef::K::Deck:
           Ri = applyKont(Kont, Val::number(D::sub1(Arg.Num)), Sigma,
-                         Depth + 1);
+                         Depth + 1, ArgProv, domain::EdgeKind::Flow,
+                         Call->id(), Call->loc());
           break;
         case domain::CpsCloRef::K::Lam: {
           domain::StoreId S =
               Interner.joinAt(Sigma, Vars->of(C.Lam->param()), Arg);
-          S = Interner.joinAt(
+          if (Opts.Prov)
+            Opts.Prov->assign(domain::EdgeKind::Flow,
+                              Vars->of(C.Lam->param()), S, Sigma, Call->id(),
+                              Call->loc(), ArgProv);
+          domain::StoreId S2 = Interner.joinAt(
               S, Vars->of(C.Lam->kparam()),
               Val::konts(domain::KontSet::single(Kont)));
-          Ri = evalP(C.Lam->body(), S, Depth + 1);
+          // The continuation-set collection at k — the raw material of a
+          // later false return (the loss itself is tagged at the Ret).
+          if (Opts.Prov)
+            Opts.Prov->assign(domain::EdgeKind::Flow,
+                              Vars->of(C.Lam->kparam()), S2, S, Call->id(),
+                              Call->loc());
+          Ri = evalP(C.Lam->body(), S2, Depth + 1);
           break;
         }
         }
-        Acc = joinAnswers(Interner, Acc, Ri.A);
+        Acc = Opts.Prov ? joinAnswers(Interner, Acc, Ri.A, Opts.Prov,
+                                      domain::EdgeKind::Join, Call->id(),
+                                      Call->loc())
+                        : joinAnswers(Interner, Acc, Ri.A);
         MinDep = std::min(MinDep, Ri.MinDep);
       }
       return EvalOut{std::move(Acc), MinDep};
@@ -351,15 +418,23 @@ private:
           Sigma, Vars->of(If->kvar()),
           Val::konts(domain::KontSet::single(
               domain::KontRef::cont(If->join()))));
+      if (Opts.Prov)
+        Opts.Prov->assign(domain::EdgeKind::Flow, Vars->of(If->kvar()), S,
+                          Sigma, If->id(), If->loc());
 
       if (ThenOnly || ElseOnly)
         return evalP(ThenOnly ? If->thenBranch() : If->elseBranch(), S,
                      Depth + 1);
 
+      ++Stats.Joins;
       EvalOut B1 = evalP(If->thenBranch(), S, Depth + 1);
       EvalOut B2 = evalP(If->elseBranch(), S, Depth + 1);
-      return EvalOut{joinAnswers(Interner, B1.A, B2.A),
-                     std::min(B1.MinDep, B2.MinDep)};
+      IAns Joined = Opts.Prov
+                        ? joinAnswers(Interner, B1.A, B2.A, Opts.Prov,
+                                      domain::EdgeKind::Join, If->id(),
+                                      If->loc())
+                        : joinAnswers(Interner, B1.A, B2.A);
+      return EvalOut{std::move(Joined), std::min(B1.MinDep, B2.MinDep)};
     }
 
     case CpsTermKind::PK_Loop: {
@@ -373,18 +448,32 @@ private:
       Stats.LoopBounded = true;
       IAns Acc = bottomAnswer();
       uint32_t MinDep = Unconstrained;
+      auto JoinIter = [&](const IAns &A) {
+        return Opts.Prov ? joinAnswers(Interner, Acc, A, Opts.Prov,
+                                       domain::EdgeKind::Widen, Loop->id(),
+                                       Loop->loc())
+                         : joinAnswers(Interner, Acc, A);
+      };
       for (uint32_t I = 0; I < Opts.LoopUnroll; ++I) {
         EvalOut Bi =
-            applyKont(Kont, Val::number(D::constant(I)), Sigma, Depth + 1);
-        Acc = joinAnswers(Interner, Acc, Bi.A);
+            applyKont(Kont, Val::number(D::constant(I)), Sigma, Depth + 1,
+                      domain::NoProv, domain::EdgeKind::Widen, Loop->id(),
+                      Loop->loc());
+        Acc = JoinIter(Bi.A);
         MinDep = std::min(MinDep, Bi.MinDep);
         if (Stats.BudgetExhausted)
           break;
       }
       if (Opts.LoopSoundSummary) {
+        domain::ProvId WidenProv =
+            Opts.Prov ? Opts.Prov->value(domain::EdgeKind::Widen, Loop->id(),
+                                         Loop->loc())
+                      : domain::NoProv;
         EvalOut Bs =
-            applyKont(Kont, Val::number(D::naturals()), Sigma, Depth + 1);
-        Acc = joinAnswers(Interner, Acc, Bs.A);
+            applyKont(Kont, Val::number(D::naturals()), Sigma, Depth + 1,
+                      WidenProv, domain::EdgeKind::Widen, Loop->id(),
+                      Loop->loc());
+        Acc = JoinIter(Bs.A);
         MinDep = std::min(MinDep, Bs.MinDep);
       }
       return EvalOut{std::move(Acc), MinDep};

@@ -337,6 +337,8 @@ void writeAnalyzerRecord(JsonWriter &W, const char *Key,
   W.key("goals").value(Rec.Stats.Goals);
   W.key("cacheHits").value(Rec.Stats.CacheHits);
   W.key("cuts").value(Rec.Stats.Cuts);
+  W.key("joins").value(Rec.Stats.Joins);
+  W.key("callMerges").value(Rec.Stats.CallMerges);
   W.key("maxDepth").value(Rec.Stats.MaxDepth);
   W.key("deadPaths").value(Rec.Stats.DeadPaths);
   W.key("prunedBranches").value(Rec.Stats.PrunedBranches);
@@ -353,13 +355,15 @@ void writeAnalyzerRecord(JsonWriter &W, const char *Key,
 
 /// Per-analyzer aggregate across the corpus.
 struct LegTotals {
-  uint64_t Goals = 0, CacheHits = 0, Cuts = 0;
+  uint64_t Goals = 0, CacheHits = 0, Cuts = 0, Joins = 0, CallMerges = 0;
   double WallMs = 0;
 
   void add(const BatchAnalyzerRecord &Rec) {
     Goals += Rec.Stats.Goals;
     CacheHits += Rec.Stats.CacheHits;
     Cuts += Rec.Stats.Cuts;
+    Joins += Rec.Stats.Joins;
+    CallMerges += Rec.Stats.CallMerges;
     WallMs += Rec.WallMs;
   }
 
@@ -369,6 +373,8 @@ struct LegTotals {
     W.key("goals").value(Goals);
     W.key("cacheHits").value(CacheHits);
     W.key("cuts").value(Cuts);
+    W.key("joins").value(Joins);
+    W.key("callMerges").value(CallMerges);
     if (Opts.IncludeTiming)
       W.key("wallMs").value(WallMs);
     W.endObject();
@@ -389,17 +395,20 @@ template <typename T> T percentileOf(std::vector<T> &V, double Q) {
   return V[std::min(Rank, V.size()) - 1];
 }
 
-/// Per-leg distributions across ok programs, for the schema-3 "metrics"
-/// section: every scalar AnalyzerStats counter gets {sum, p50, p95, max}.
+/// Per-leg distributions across ok programs, for the "metrics" section
+/// (schema 3+): every scalar AnalyzerStats counter gets {sum, p50, p95,
+/// max}; schema 4 adds the joins/callMerges loss counters.
 struct LegSamples {
-  std::vector<uint64_t> Goals, CacheHits, Cuts, MaxDepth, MemoEntries,
-      Stores;
+  std::vector<uint64_t> Goals, CacheHits, Cuts, Joins, CallMerges,
+      MaxDepth, MemoEntries, Stores;
   std::vector<double> WallMs;
 
   void add(const BatchAnalyzerRecord &Rec) {
     Goals.push_back(Rec.Stats.Goals);
     CacheHits.push_back(Rec.Stats.CacheHits);
     Cuts.push_back(Rec.Stats.Cuts);
+    Joins.push_back(Rec.Stats.Joins);
+    CallMerges.push_back(Rec.Stats.CallMerges);
     MaxDepth.push_back(Rec.Stats.MaxDepth);
     MemoEntries.push_back(Rec.Stats.MemoEntries);
     Stores.push_back(Rec.Stats.InternedStores);
@@ -426,6 +435,8 @@ struct LegSamples {
     writeSummary(W, "goals", Goals);
     writeSummary(W, "cacheHits", CacheHits);
     writeSummary(W, "cuts", Cuts);
+    writeSummary(W, "joins", Joins);
+    writeSummary(W, "callMerges", CallMerges);
     writeSummary(W, "maxDepth", MaxDepth);
     writeSummary(W, "memoEntries", MemoEntries);
     writeSummary(W, "stores", Stores);
@@ -572,7 +583,7 @@ BatchResult runBatchFiles(const std::vector<std::string> &Files,
 std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
   JsonWriter W;
   W.beginObject();
-  W.key("schemaVersion").value(3);
+  W.key("schemaVersion").value(BatchSchemaVersion);
   W.key("domain").value(Opts.Domain);
   W.key("dupBudget").value(Opts.DupBudget);
   if (Opts.IncludeTiming) {

@@ -44,6 +44,13 @@
 namespace cpsflow {
 namespace clients {
 
+/// Version of the batch report document (batchJson). History:
+///   2  containment records (errorKind, retried)
+///   3  per-leg metrics distributions {sum, p50, p95, max}
+///   4  per-leg loss-event counts: joins / callMerges alongside cuts,
+///      in program records, leg totals, and metrics distributions
+inline constexpr int BatchSchemaVersion = 4;
+
 /// Knobs for one batch run.
 struct BatchOptions {
   /// Worker threads (>= 1). Results are identical at every value.

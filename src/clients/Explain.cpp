@@ -1,0 +1,150 @@
+//===- clients/Explain.cpp - Derivation-graph export ----------------------===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// DOT and JSON renderings of a recorded provenance arena (`cpsflow
+// explain --graph-out`). Nodes are derivation edges; graph arcs point from
+// each node to its parents: the value chain (V1/V2) and, for store
+// writes/merges, the event that created each parent store. Formats are
+// documented in docs/EXPLAIN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Explain.h"
+
+#include "support/Json.h"
+
+#include <sstream>
+
+namespace cpsflow {
+namespace clients {
+
+namespace {
+
+std::string dotEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+std::string slotName(const domain::VarIndex &Vars, const Context &Ctx,
+                     uint32_t Slot) {
+  return std::string(Ctx.spelling(Vars.symbolAt(Slot)));
+}
+
+std::string locLabel(const domain::ProvEdge &E) {
+  if (E.Loc.isValid())
+    return E.Loc.str();
+  return "node " + std::to_string(E.NodeId);
+}
+
+const char *kindColor(domain::EdgeKind K) {
+  switch (K) {
+  case domain::EdgeKind::Init:
+    return "gray70";
+  case domain::EdgeKind::Flow:
+    return "black";
+  case domain::EdgeKind::Join:
+    return "orange3";
+  case domain::EdgeKind::Cut:
+    return "red3";
+  case domain::EdgeKind::CallMerge:
+    return "purple3";
+  case domain::EdgeKind::Widen:
+    return "blue3";
+  }
+  return "black";
+}
+
+// Emits one graph arc per parent of \p Id, via \p Arc(child, parent).
+template <typename Fn>
+void forEachParent(const domain::Provenance &P, domain::ProvId Id,
+                   const Fn &Arc) {
+  const domain::ProvEdge &E = P.edge(Id);
+  if (E.V1 != domain::NoProv)
+    Arc(Id, E.V1);
+  if (E.V2 != domain::NoProv)
+    Arc(Id, E.V2);
+  if (E.Base != domain::NoStore)
+    if (domain::ProvId O = P.originOf(E.Base); O != domain::NoProv)
+      Arc(Id, O);
+  if (E.Base2 != domain::NoStore)
+    if (domain::ProvId O = P.originOf(E.Base2); O != domain::NoProv)
+      Arc(Id, O);
+}
+
+} // namespace
+
+std::string provenanceDot(const domain::Provenance &P,
+                          const domain::VarIndex &Vars, const Context &Ctx) {
+  std::ostringstream Out;
+  Out << "digraph provenance {\n"
+      << "  rankdir=BT;\n"
+      << "  node [shape=box, fontsize=10];\n";
+  for (domain::ProvId Id = 0; Id < P.size(); ++Id) {
+    const domain::ProvEdge &E = P.edge(Id);
+    // Escape the variable parts before joining: the "\n" separators are
+    // DOT line breaks and must survive unescaped.
+    std::string Label = str(E.Kind);
+    if (E.Slot != domain::NoSlot)
+      Label += " " + dotEscape(slotName(Vars, Ctx, E.Slot));
+    Label += "\\n" + dotEscape(locLabel(E));
+    if (E.Degrade != support::DegradeReason::None)
+      Label += std::string("\\ndegraded: ") + support::str(E.Degrade);
+    Out << "  n" << Id << " [label=\"" << Label << "\", color="
+        << kindColor(E.Kind) << "];\n";
+  }
+  for (domain::ProvId Id = 0; Id < P.size(); ++Id)
+    forEachParent(P, Id, [&](domain::ProvId Child, domain::ProvId Parent) {
+      Out << "  n" << Child << " -> n" << Parent << ";\n";
+    });
+  Out << "}\n";
+  return Out.str();
+}
+
+std::string provenanceJson(const domain::Provenance &P,
+                           const domain::VarIndex &Vars, const Context &Ctx) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schemaVersion").value(ProvenanceGraphSchemaVersion);
+  W.key("edgeCount").value(static_cast<uint64_t>(P.size()));
+  if (P.finalStore() != domain::NoStore)
+    W.key("finalStore").value(static_cast<uint64_t>(P.finalStore()));
+  W.key("edges").beginArray();
+  for (domain::ProvId Id = 0; Id < P.size(); ++Id) {
+    const domain::ProvEdge &E = P.edge(Id);
+    W.beginObject();
+    W.key("id").value(static_cast<uint64_t>(Id));
+    W.key("kind").value(str(E.Kind));
+    if (E.Slot != domain::NoSlot)
+      W.key("var").value(slotName(Vars, Ctx, E.Slot));
+    if (E.Result != domain::NoStore)
+      W.key("result").value(static_cast<uint64_t>(E.Result));
+    if (E.Base != domain::NoStore)
+      W.key("base").value(static_cast<uint64_t>(E.Base));
+    if (E.Base2 != domain::NoStore)
+      W.key("base2").value(static_cast<uint64_t>(E.Base2));
+    if (E.V1 != domain::NoProv)
+      W.key("v1").value(static_cast<uint64_t>(E.V1));
+    if (E.V2 != domain::NoProv)
+      W.key("v2").value(static_cast<uint64_t>(E.V2));
+    W.key("node").value(static_cast<uint64_t>(E.NodeId));
+    W.key("loc").value(E.Loc.isValid() ? E.Loc.str() : std::string());
+    if (E.Degrade != support::DegradeReason::None)
+      W.key("degraded").value(support::str(E.Degrade));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+} // namespace clients
+} // namespace cpsflow

@@ -1,0 +1,245 @@
+//===- clients/Explain.h - Derivation-chain queries -------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Queries over a recorded provenance graph (domain/Provenance.h): the
+/// `cpsflow explain` chain walk ("why is x ⊤?"), the compare-mode loss
+/// attribution, and the DOT/JSON graph exports (docs/EXPLAIN.md).
+///
+/// The walk answers, for a (variable, store) fact, which derivation edge
+/// *defined* the variable's value there, then expands that edge's parents:
+/// the value derivation (V1/V2), the variable's earlier value below the
+/// write (joinAt joins the new value into the old one), and — when the
+/// defining event is a whole-store merge — the fact on each parent store.
+/// Because joins are involved, finding the defining edge needs the slot
+/// *values*, so the walk is templated over the abstract value type and
+/// consults the run's StoreInterner: at a merge, the slot's value is
+/// compared against each parent's; if one parent already carries it the
+/// walk descends there, otherwise the merge itself is the join point that
+/// materialized the value (the Theorem 5.1/5.2 narratives fall out of
+/// exactly this case).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_CLIENTS_EXPLAIN_H
+#define CPSFLOW_CLIENTS_EXPLAIN_H
+
+#include "domain/AbsStore.h"
+#include "domain/Provenance.h"
+#include "domain/StoreInterner.h"
+#include "syntax/Ast.h"
+
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace clients {
+
+/// Version of the derivation-graph JSON document (provenanceJson).
+inline constexpr int ProvenanceGraphSchemaVersion = 1;
+
+/// One step of an explain walk: the edge, the variable slot it concerns
+/// (NoSlot for pure value nodes), and the chain depth (for indentation).
+struct ExplainStep {
+  domain::ProvId Edge;
+  uint32_t Slot;
+  uint32_t Depth;
+};
+
+/// Walks the derivation of (\p Slot, \p S) in \p P, calling \p Emit for
+/// each step outermost-first. \p Emit returns false to stop early. The
+/// walk is cycle-safe (visited set) and bounded by \p MaxSteps.
+template <typename V>
+void walkDerivation(const domain::Provenance &P,
+                    const domain::StoreInterner<V> &In, uint32_t Slot,
+                    domain::StoreId S,
+                    const std::function<bool(const ExplainStep &)> &Emit,
+                    size_t MaxSteps = 256) {
+  using domain::NoProv;
+  using domain::NoSlot;
+  using domain::NoStore;
+  using domain::ProvId;
+  using domain::StoreId;
+
+  // The event that defined \p Slot's value in \p At: a recorded write, or
+  // the whole-store merge that materialized it (see file comment).
+  auto FactFor = [&](uint32_t Sl, StoreId At) -> ProvId {
+    for (int Guard = 0; Guard < 4096 && At != NoStore; ++Guard) {
+      if (ProvId F = P.factOf(Sl, At); F != NoProv)
+        return F;
+      ProvId O = P.originOf(At);
+      if (O == NoProv)
+        return NoProv; // initial / bottom store: no recorded event
+      const domain::ProvEdge &E = P.edge(O);
+      if (E.Slot != NoSlot) {
+        At = E.Base; // a write to some other slot; look below it
+        continue;
+      }
+      // Store merge: descend into whichever parent already carried the
+      // value; if neither did, the merge is the defining join point.
+      const V &Cur = In.get(At, Sl);
+      if (E.Base != NoStore && Cur == In.get(E.Base, Sl)) {
+        At = E.Base;
+        continue;
+      }
+      if (E.Base2 != NoStore && Cur == In.get(E.Base2, Sl)) {
+        At = E.Base2;
+        continue;
+      }
+      return O;
+    }
+    return NoProv;
+  };
+
+  std::set<std::pair<ProvId, uint32_t>> Visited;
+  size_t Emitted = 0;
+  bool Stop = false;
+
+  std::function<void(ProvId, uint32_t, uint32_t)> Walk =
+      [&](ProvId F, uint32_t Sl, uint32_t Depth) {
+        if (Stop || F == NoProv || Emitted >= MaxSteps)
+          return;
+        if (!Visited.insert({F, Sl}).second)
+          return;
+        ++Emitted;
+        if (!Emit(ExplainStep{F, Sl, Depth})) {
+          Stop = true;
+          return;
+        }
+        const domain::ProvEdge &E = P.edge(F);
+        if (E.Slot != NoSlot) {
+          // A write: expand the written value's derivation, then the
+          // slot's earlier value that the write joined into. Value-chain
+          // parents carry their own slot (they may concern other
+          // variables), so they are walked with NoSlot context.
+          if (E.V1 != NoProv)
+            Walk(E.V1, NoSlot, Depth + 1);
+          if (E.V2 != NoProv)
+            Walk(E.V2, NoSlot, Depth + 1);
+          if (E.Base != NoStore)
+            Walk(FactFor(E.Slot, E.Base), E.Slot, Depth + 1);
+        } else if (E.Result != NoStore) {
+          // A store merge that materialized the slot's value: the fact on
+          // each parent store is a parent of this step.
+          if (Sl != NoSlot) {
+            Walk(FactFor(Sl, E.Base), Sl, Depth + 1);
+            if (E.Base2 != NoStore)
+              Walk(FactFor(Sl, E.Base2), Sl, Depth + 1);
+          }
+        } else {
+          // Pure value node (cut/widen/join of answers): V1/V2 only.
+          if (E.V1 != NoProv)
+            Walk(E.V1, NoSlot, Depth + 1);
+          if (E.V2 != NoProv)
+            Walk(E.V2, NoSlot, Depth + 1);
+        }
+      };
+
+  Walk(FactFor(Slot, S), Slot, 0);
+}
+
+/// True for the edge kinds that lose precision (the paper's loss sites);
+/// Flow/Init merely move values around.
+inline bool isLossKind(domain::EdgeKind K) {
+  switch (K) {
+  case domain::EdgeKind::Join:
+  case domain::EdgeKind::Cut:
+  case domain::EdgeKind::CallMerge:
+  case domain::EdgeKind::Widen:
+    return true;
+  case domain::EdgeKind::Init:
+  case domain::EdgeKind::Flow:
+    return false;
+  }
+  return false;
+}
+
+/// Renders one explain step as a human-readable line (the `cpsflow
+/// explain` output format; docs/EXPLAIN.md).
+template <typename V>
+std::string renderStep(const domain::Provenance &P,
+                       const domain::StoreInterner<V> &In,
+                       const domain::VarIndex &Vars, const Context &Ctx,
+                       const ExplainStep &Step) {
+  const domain::ProvEdge &E = P.edge(Step.Edge);
+  std::string Line(static_cast<size_t>(Step.Depth) * 2, ' ');
+  uint32_t Sl = E.Slot != domain::NoSlot ? E.Slot : Step.Slot;
+  if (E.Slot != domain::NoSlot) {
+    Line += std::string(Ctx.spelling(Vars.symbolAt(E.Slot)));
+    Line += " = ";
+    Line += In.get(E.Result, E.Slot).str(Ctx);
+    Line += "  via ";
+  } else if (Sl != domain::NoSlot && E.Result != domain::NoStore) {
+    Line += std::string(Ctx.spelling(Vars.symbolAt(Sl)));
+    Line += " = ";
+    Line += In.get(E.Result, Sl).str(Ctx);
+    Line += "  via store-merge ";
+  }
+  Line += str(E.Kind);
+  Line += " at ";
+  Line += E.Loc.isValid() ? E.Loc.str()
+                          : "<unknown> (node " + std::to_string(E.NodeId) +
+                                ")";
+  if (E.Degrade != support::DegradeReason::None) {
+    Line += " [degraded: ";
+    Line += support::str(E.Degrade);
+    Line += "]";
+  }
+  return Line;
+}
+
+/// The full `explain` chain for (\p Slot, \p S), rendered outermost-first
+/// with two-space indentation per chain depth.
+template <typename V>
+std::vector<std::string>
+explainSlot(const domain::Provenance &P, const domain::StoreInterner<V> &In,
+            const domain::VarIndex &Vars, const Context &Ctx, uint32_t Slot,
+            domain::StoreId S, size_t MaxLines = 64) {
+  std::vector<std::string> Lines;
+  walkDerivation<V>(
+      P, In, Slot, S,
+      [&](const ExplainStep &Step) {
+        Lines.push_back(renderStep(P, In, Vars, Ctx, Step));
+        return Lines.size() < MaxLines;
+      },
+      MaxLines);
+  return Lines;
+}
+
+/// The first precision-loss edge on the derivation chain of (\p Slot,
+/// \p S), or NoProv when the chain contains none (pure flow). This is the
+/// edge `cpsflow compare` reports when two legs disagree on a variable.
+template <typename V>
+domain::ProvId firstLossEdge(const domain::Provenance &P,
+                             const domain::StoreInterner<V> &In,
+                             uint32_t Slot, domain::StoreId S) {
+  domain::ProvId Found = domain::NoProv;
+  walkDerivation<V>(P, In, Slot, S, [&](const ExplainStep &Step) {
+    if (isLossKind(P.edge(Step.Edge).Kind)) {
+      Found = Step.Edge;
+      return false;
+    }
+    return true;
+  });
+  return Found;
+}
+
+/// DOT rendering of the full derivation graph (Explain.cpp).
+std::string provenanceDot(const domain::Provenance &P,
+                          const domain::VarIndex &Vars, const Context &Ctx);
+
+/// JSON rendering of the full derivation graph, schemaVersion 1
+/// (Explain.cpp; format in docs/EXPLAIN.md).
+std::string provenanceJson(const domain::Provenance &P,
+                           const domain::VarIndex &Vars, const Context &Ctx);
+
+} // namespace clients
+} // namespace cpsflow
+
+#endif // CPSFLOW_CLIENTS_EXPLAIN_H

@@ -1,0 +1,217 @@
+//===- domain/Provenance.h - Derivation recording ---------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Provenance arena: a compact derivation graph over interned stores.
+///
+/// Each abstract fact — the value a store binds to a variable slot — is
+/// given a derivation edge saying where it came from:
+///
+///   init       initial binding installed before analysis (run() preamble)
+///   flow       a plain binding from a program point (Figure 4-6 let/call)
+///   join       merge of two branches: an if0 with both arms feasible, a
+///              multi-callee application, or a memo-entry join (Thm 5.2)
+///   cut        Section 4.4 goal repetition — the active-path check fired
+///              and the least-precise value was substituted; carries the
+///              Governor DegradeReason when the cut was budget-induced
+///   call-merge the syntactic-CPS continuation-set union at a return
+///              point, the Theorem 5.1 loss site
+///   widen      the loop rule's naturals()/iterate summarisation
+///
+/// Because stores are hash-consed (StoreInterner), store ids are dense and
+/// a store's creation event is recorded once, first-win — matching the
+/// interner's own first-win dedup, so the recorded graph is deterministic.
+/// The recorder is attached via the nullable AnalyzerOptions::Prov pointer
+/// and every analyzer hook is guarded by a single (predicted-false)
+/// pointer test, exactly like Metrics/Trace: the disabled path performs no
+/// work and the analyzers' stores and work counters are byte-identical
+/// either way (tests/ProvenanceTests.cpp holds this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_DOMAIN_PROVENANCE_H
+#define CPSFLOW_DOMAIN_PROVENANCE_H
+
+#include "domain/StoreInterner.h"
+#include "support/Governor.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace domain {
+
+/// Derivation-edge taxonomy. See the file comment for the paper section
+/// behind each kind (docs/EXPLAIN.md has the full mapping).
+enum class EdgeKind : uint8_t { Init, Flow, Join, Cut, CallMerge, Widen };
+
+inline const char *str(EdgeKind K) {
+  switch (K) {
+  case EdgeKind::Init:
+    return "init";
+  case EdgeKind::Flow:
+    return "flow";
+  case EdgeKind::Join:
+    return "join";
+  case EdgeKind::Cut:
+    return "cut";
+  case EdgeKind::CallMerge:
+    return "call-merge";
+  case EdgeKind::Widen:
+    return "widen";
+  }
+  return "?";
+}
+
+/// Index into the provenance arena; NoProv is the absent edge (leaves:
+/// literals, lambdas, primitives, and the pre-analysis bottom store).
+using ProvId = uint32_t;
+inline constexpr ProvId NoProv = ~0u;
+
+/// Sentinels for the optional store/slot fields of an Edge.
+inline constexpr StoreId NoStore = ~0u;
+inline constexpr uint32_t NoSlot = ~0u;
+
+/// One derivation edge. Three shapes share the struct:
+///   - store writes (assign/init): Slot is the written variable, Result
+///     the store produced, Base its predecessor, V1/V2 the provenance of
+///     the value written (V2 only for joins of two sub-answers);
+///   - store merges (join/call-merge over whole stores): Slot == NoSlot,
+///     Base/Base2 are the two parents;
+///   - value nodes (cut/widen/join of answer values, no store written):
+///     Result == NoStore, V1/V2 are the value parents.
+struct ProvEdge {
+  EdgeKind Kind = EdgeKind::Flow;
+  support::DegradeReason Degrade = support::DegradeReason::None;
+  uint32_t Slot = NoSlot;
+  StoreId Result = NoStore;
+  StoreId Base = NoStore;
+  StoreId Base2 = NoStore;
+  ProvId V1 = NoProv;
+  ProvId V2 = NoProv;
+  uint32_t NodeId = 0; ///< AST node id (syntax or CPS), 0 when absent
+  SourceLoc Loc;
+};
+
+/// The recorder. One instance per analyzer run (it holds StoreIds, which
+/// are only meaningful against that run's interner); reset() between runs.
+class Provenance {
+public:
+  void reset() {
+    Edges.clear();
+    StoreOrigin.clear();
+    Facts.clear();
+    Memo.clear();
+    Final = NoStore;
+  }
+
+  size_t size() const { return Edges.size(); }
+  const ProvEdge &edge(ProvId P) const { return Edges[P]; }
+
+  /// Records a pure value node (cut, widen, join-of-answer-values); no
+  /// store is produced. Returns the new edge's id.
+  ProvId value(EdgeKind K, uint32_t NodeId, SourceLoc Loc,
+               ProvId P1 = NoProv, ProvId P2 = NoProv,
+               support::DegradeReason D = support::DegradeReason::None) {
+    ProvId Id = static_cast<ProvId>(Edges.size());
+    Edges.push_back({K, D, NoSlot, NoStore, NoStore, NoStore, P1, P2,
+                     NodeId, Loc});
+    return Id;
+  }
+
+  /// Records a store write: \p Result was produced from \p Base by
+  /// joining the value (derived by \p VProv) into \p Slot. No-op when the
+  /// write did not move the store (copy-on-write joinAt returned Base) —
+  /// the existing fact, if any, already explains the slot. Returns the
+  /// fact's edge id (new or pre-existing), or NoProv.
+  ProvId assign(EdgeKind K, uint32_t Slot, StoreId Result, StoreId Base,
+                uint32_t NodeId, SourceLoc Loc, ProvId VProv = NoProv,
+                ProvId VProv2 = NoProv,
+                support::DegradeReason D = support::DegradeReason::None) {
+    if (Result == Base)
+      return factOf(Slot, Result);
+    ProvId Id = static_cast<ProvId>(Edges.size());
+    Edges.push_back({K, D, Slot, Result, Base, NoStore, VProv, VProv2,
+                     NodeId, Loc});
+    noteOrigin(Result, Id);
+    Facts.emplace(factKey(Slot, Result), Id); // first-win
+    return Id;
+  }
+
+  /// Records a pointwise merge of two whole stores (join/call-merge over
+  /// answers). First-win on the result's origin, like the interner.
+  void merge(StoreId Result, StoreId A, StoreId B, EdgeKind K,
+             uint32_t NodeId, SourceLoc Loc) {
+    if (Result == A || Result == B)
+      return; // one side subsumed the other; its own origin stands
+    ProvId Id = static_cast<ProvId>(Edges.size());
+    Edges.push_back(
+        {K, support::DegradeReason::None, NoSlot, Result, A, B, NoProv,
+         NoProv, NodeId, Loc});
+    noteOrigin(Result, Id);
+  }
+
+  /// Records a pre-analysis initial binding (run() preamble).
+  void init(uint32_t Slot, StoreId Result, StoreId Base) {
+    assign(EdgeKind::Init, Slot, Result, Base, 0, SourceLoc{});
+  }
+
+  /// The event that created \p S, or NoProv for bottom / initial stores.
+  ProvId originOf(StoreId S) const {
+    return S < StoreOrigin.size() ? StoreOrigin[S] : NoProv;
+  }
+
+  /// The assign edge that last *moved* \p Slot when producing \p S, if
+  /// that exact write was recorded. Falls back to NoProv — callers then
+  /// walk originOf(S) backwards (see clients/Explain.h).
+  ProvId factOf(uint32_t Slot, StoreId S) const {
+    auto It = Facts.find(factKey(Slot, S));
+    return It == Facts.end() ? NoProv : It->second;
+  }
+
+  /// The analyzer's final store, noted at the end of run() so explain
+  /// clients can anchor the chain walk without re-interning the result.
+  void noteFinal(StoreId S) { Final = S; }
+  StoreId finalStore() const { return Final; }
+
+  /// Memo side-table so cache hits can return the cached goal's value
+  /// provenance without widening the analyzers' own memo tables.
+  void memoize(const void *Node, StoreId S, ProvId P) {
+    Memo.emplace(std::make_pair(Node, S), P); // first-win
+  }
+  ProvId memoized(const void *Node, StoreId S) const {
+    auto It = Memo.find(std::make_pair(Node, S));
+    return It == Memo.end() ? NoProv : It->second;
+  }
+
+private:
+  void noteOrigin(StoreId S, ProvId Id) {
+    if (S >= StoreOrigin.size())
+      StoreOrigin.resize(S + 1, NoProv);
+    if (StoreOrigin[S] == NoProv)
+      StoreOrigin[S] = Id;
+  }
+
+  static uint64_t factKey(uint32_t Slot, StoreId S) {
+    return (static_cast<uint64_t>(Slot) << 32) | S;
+  }
+
+  std::deque<ProvEdge> Edges;
+  std::vector<ProvId> StoreOrigin; ///< dense StoreId -> creating edge
+  std::unordered_map<uint64_t, ProvId> Facts;
+  std::map<std::pair<const void *, StoreId>, ProvId> Memo;
+  StoreId Final = NoStore;
+};
+
+} // namespace domain
+} // namespace cpsflow
+
+#endif // CPSFLOW_DOMAIN_PROVENANCE_H

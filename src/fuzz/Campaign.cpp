@@ -256,7 +256,7 @@ std::string campaignJson(const CampaignResult &R,
                          const CampaignOptions &Opts) {
   JsonWriter W;
   W.beginObject();
-  W.key("schemaVersion").value(static_cast<uint64_t>(1));
+  W.key("schemaVersion").value(FindingsSchemaVersion);
   W.key("kind").value("fuzz");
   W.key("fuzzSeed").value(Opts.FuzzSeed);
   W.key("domain").value(Opts.Oracle.Domain);

@@ -40,6 +40,10 @@
 namespace cpsflow {
 namespace fuzz {
 
+/// Version of the fuzz findings/report document (campaignJson and
+/// findings.json written by writeFindings).
+inline constexpr int FindingsSchemaVersion = 1;
+
 struct CampaignOptions {
   /// Master seed; every task derives its private Rng from (seed, task).
   uint64_t FuzzSeed = 1;

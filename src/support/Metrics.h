@@ -109,14 +109,17 @@ public:
     return O.str();
   }
 
-  /// {"n":..,"sum":..,"p50":..,"p95":..,"max":..} — the shape consumed by
-  /// the batch report and bench_diff.
+  /// {"n":..,"sum":..,"p50Bound":..,"p95Bound":..,"max":..}. The quantile
+  /// keys are *Bound because they are log2-bucket upper bounds, not exact
+  /// nearest-rank quantiles — the batch report's metrics section computes
+  /// exact "p50"/"p95", and sharing names would invite cross-schema
+  /// confusion in bench_diff (which reads both spellings).
   void writeJson(JsonWriter &W) const {
     W.beginObject();
     W.key("n").value(N);
     W.key("sum").value(Sum);
-    W.key("p50").value(quantileBound(0.5));
-    W.key("p95").value(quantileBound(0.95));
+    W.key("p50Bound").value(quantileBound(0.5));
+    W.key("p95Bound").value(quantileBound(0.95));
     W.key("max").value(Hi);
     W.endObject();
   }

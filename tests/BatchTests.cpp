@@ -112,7 +112,11 @@ TEST(Batch, JsonSchemaBasics) {
   Opts.Threads = 3;
   BatchResult R = runBatch({{"p", "(add1 41)"}}, Opts);
   std::string Json = batchJson(R, Opts);
-  EXPECT_NE(Json.find("\"schemaVersion\":3"), std::string::npos);
+  EXPECT_NE(Json.find("\"schemaVersion\":4"), std::string::npos);
+  // Schema 4: per-leg precision-loss counters ride along with the work
+  // counters, so bench_diff can track loss sites across revisions.
+  EXPECT_NE(Json.find("\"joins\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"callMerges\":"), std::string::npos);
   EXPECT_NE(Json.find("\"degradeReason\":\"none\""), std::string::npos);
   EXPECT_NE(Json.find("\"failureKinds\":"), std::string::npos);
   EXPECT_NE(Json.find("\"domain\":\"constant\""), std::string::npos);

@@ -5,9 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Compares two batch/bench JSON reports (any schemaVersion: the per-leg
-/// work counters it reads — goals, cacheHits, cuts — have been stable
-/// since schema 1) and flags regressions beyond a threshold. CI runs it
+/// Compares two batch/bench JSON reports (any schemaVersion 1-4: the
+/// per-leg work counters it reads — goals, cacheHits, cuts, and from
+/// schema 4 the joins/callMerges loss counters — are summed where present
+/// and shown as "new" where the older schema lacks them) and flags
+/// regressions beyond a threshold. CI runs it
 /// against the committed BENCH_throughput.json baseline, so the default
 /// comparison uses only deterministic work counters; wall-clock deltas
 /// are opt-in (--wall) because shared runners make timing noisy.
@@ -36,7 +38,11 @@ using namespace cpsflow;
 namespace {
 
 const char *const Legs[] = {"direct", "semantic", "syntactic", "dup"};
-const char *const Counters[] = {"goals", "cacheHits", "cuts"};
+// joins/callMerges only exist in schema-4 reports; numberOr(C, 0) makes
+// them read as 0 from older baselines, so a cross-schema diff shows them
+// as "new" without tripping the regression exit code.
+const char *const Counters[] = {"goals", "cacheHits", "cuts", "joins",
+                                "callMerges"};
 
 struct Report {
   /// Per-leg, per-counter sums over the shared ok programs.
@@ -153,9 +159,10 @@ int main(int argc, char **argv) {
   int Regressions = 0;
   auto row = [&](const std::string &Leg, const std::string &Counter,
                  double B, double C) {
-    // "More work" is the regression direction for every counter we read:
-    // goals/cuts are effort, and for a fixed corpus a cacheHits increase
-    // means more total probes.
+    // "More" is the regression direction for every counter we read:
+    // goals/cuts are effort, for a fixed corpus a cacheHits increase
+    // means more total probes, and a joins/callMerges jump means the
+    // analyzers are losing precision at more sites.
     std::string Delta = "n/a", Status = "ok";
     if (B > 0) {
       double Pct = (C - B) / B * 100.0;

@@ -22,6 +22,10 @@
 ///   cpsflow fuzz [DIR] [options]       differential fuzzing campaign over
 ///                                      the theorem oracles; DIR seeds the
 ///                                      mutator (optional)
+///   cpsflow explain FILE --var x       derivation chain for x's final
+///                                      abstract value (docs/EXPLAIN.md)
+///   cpsflow version                    build configuration and the JSON
+///                                      schema versions this binary emits
 ///
 /// options:
 ///   --machine=direct|semantic|syntactic    (run; default direct)
@@ -53,6 +57,7 @@
 #include "anf/Reductions.h"
 #include "clients/Batch.h"
 #include "clients/ConstFold.h"
+#include "clients/Explain.h"
 #include "clients/Inline.h"
 #include "clients/Reports.h"
 #include "cps/Transform.h"
@@ -117,6 +122,10 @@ struct Options {
   bool TraceRun = false;
   bool ShowDerivation = false;
 
+  // explain-only knobs.
+  std::string Var;      ///< variable whose derivation to explain.
+  std::string GraphOut; ///< derivation-graph destination (.dot or .json).
+
   // fuzz-only knobs.
   uint64_t FuzzSeed = 1;
   uint64_t Iterations = 0;
@@ -136,7 +145,7 @@ struct Options {
       stderr,
       "usage: cpsflow COMMAND FILE [options]\n"
       "commands: parse | anf | steps | cps | run | analyze | compare | "
-      "fold | inline | batch | fuzz\n"
+      "fold | inline | batch | fuzz | explain | version\n"
       "options:  --machine=direct|semantic|syntactic\n"
       "          --analyzer=direct|semantic|syntactic|dup\n"
       "          --domain=constant|unit|sign|parity|interval\n"
@@ -157,6 +166,12 @@ struct Options {
       "                             once at reduced cost\n"
       "          --threads N  --out FILE  --no-timing   (batch only;\n"
       "          batch takes a DIRECTORY of *.scm in place of FILE)\n"
+      "explain options:\n"
+      "          --var x            variable to explain (required)\n"
+      "          --graph-out FILE   export the full derivation graph;\n"
+      "                             FILE.dot for Graphviz, else JSON\n"
+      "          --analyzer accepts the aliases scps (semantic) and\n"
+      "          syncps (syntactic) here as well\n"
       "fuzz options (fuzz takes an optional seed DIRECTORY of *.scm):\n"
       "          --seconds N        wall-clock budget (default 10)\n"
       "          --iterations N     exact task count (overrides --seconds;\n"
@@ -203,13 +218,15 @@ Options parseArgs(int Argc, char **Argv) {
   if (Argc < 2)
     usage();
   O.Command = Argv[1];
-  // fuzz's corpus directory is optional; every other command requires its
-  // FILE (or DIR) positional.
+  if (O.Command == "--version")
+    O.Command = "version";
+  // fuzz's corpus directory is optional, and version takes no input at
+  // all; every other command requires its FILE (or DIR) positional.
   int First = 2;
   if (First < Argc && Argv[First][0] != '-') {
     O.File = Argv[First];
     ++First;
-  } else if (O.Command != "fuzz") {
+  } else if (O.Command != "fuzz" && O.Command != "version") {
     if (First < Argc && std::strcmp(Argv[First], "-") == 0) {
       O.File = "-";
       ++First;
@@ -226,8 +243,12 @@ Options parseArgs(int Argc, char **Argv) {
       O.Machine = Value("--machine=");
     else if (A.rfind("--analyzer=", 0) == 0)
       O.Analyzer = Value("--analyzer=");
+    else if (A == "--analyzer" && I + 1 < Argc)
+      O.Analyzer = Argv[++I];
     else if (A.rfind("--domain=", 0) == 0)
       O.Domain = Value("--domain=");
+    else if (A == "--domain" && I + 1 < Argc)
+      O.Domain = Argv[++I];
     else if (A == "--bind" && I + 1 < Argc) {
       std::string Spec = Argv[++I];
       size_t Eq = Spec.find('=');
@@ -308,10 +329,20 @@ Options parseArgs(int Argc, char **Argv) {
       O.TraceRun = true;
     } else if (A == "--show-derivation") {
       O.ShowDerivation = true;
+    } else if (A == "--var" && I + 1 < Argc) {
+      O.Var = Argv[++I];
+    } else if (A == "--graph-out" && I + 1 < Argc) {
+      O.GraphOut = Argv[++I];
     } else {
       usage(("unknown option '" + A + "'").c_str());
     }
   }
+  // explain documents the scps/syncps shorthands from the paper's
+  // terminology; fold them into the canonical analyzer names.
+  if (O.Analyzer == "scps")
+    O.Analyzer = "semantic";
+  else if (O.Analyzer == "syncps")
+    O.Analyzer = "syntactic";
   return O;
 }
 
@@ -534,6 +565,84 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
     AOpts.MaxGoals = O.MaxGoals;
   AOpts.Trace = L.Trace;
 
+  // `explain` runs one analyzer with the provenance recorder attached and
+  // prints the derivation chain of --var back to the program points that
+  // produced (or lost) its value. See docs/EXPLAIN.md.
+  if (O.Command == "explain") {
+    if (O.Var.empty())
+      usage("explain requires --var x");
+    domain::Provenance Prov;
+    AOpts.Prov = &Prov;
+
+    auto WriteGraph = [&](const domain::VarIndex &VI) {
+      if (O.GraphOut.empty())
+        return true;
+      bool Dot = O.GraphOut.size() >= 4 &&
+                 O.GraphOut.compare(O.GraphOut.size() - 4, 4, ".dot") == 0;
+      std::ofstream Out(O.GraphOut);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     O.GraphOut.c_str());
+        return false;
+      }
+      Out << (Dot ? clients::provenanceDot(Prov, VI, L.Ctx)
+                  : clients::provenanceJson(Prov, VI, L.Ctx))
+          << '\n';
+      return true;
+    };
+
+    auto ExplainLeg = [&](const char *Leg, const auto &A, const auto &R) {
+      const domain::VarIndex &VI = *R.Vars;
+      std::optional<uint32_t> Slot = VI.tryOf(L.Ctx.intern(O.Var));
+      if (!Slot) {
+        std::fprintf(stderr,
+                     "error: '%s' is not a variable of this program\n",
+                     O.Var.c_str());
+        return 1;
+      }
+      domain::StoreId S = Prov.finalStore();
+      const auto &In = A.interner();
+      std::string Shown = S == domain::NoStore
+                              ? std::string("bottom (dead)")
+                              : In.get(S, *Slot).str(L.Ctx);
+      std::printf("%s: %s = %s\n", Leg, O.Var.c_str(), Shown.c_str());
+      std::vector<std::string> Lines =
+          clients::explainSlot(Prov, In, VI, L.Ctx, *Slot, S);
+      if (Lines.empty())
+        std::printf("  (no recorded derivation: the variable keeps its "
+                    "initial value)\n");
+      for (const std::string &Line : Lines)
+        std::printf("  %s\n", Line.c_str());
+      if (R.Stats.BudgetExhausted)
+        std::printf("  note: this analysis degraded (%s); cut edges above "
+                    "may carry that reason\n",
+                    support::str(R.Stats.Degraded));
+      return WriteGraph(VI) ? 0 : 1;
+    };
+
+    if (O.Analyzer == "direct") {
+      analysis::DirectAnalyzer<D> A(L.Ctx, L.Anf, Init, AOpts);
+      auto R = A.run();
+      return ExplainLeg("direct", A, R);
+    }
+    if (O.Analyzer == "semantic") {
+      analysis::SemanticCpsAnalyzer<D> A(L.Ctx, L.Anf, Init, AOpts);
+      auto R = A.run();
+      return ExplainLeg("semantic", A, R);
+    }
+    if (O.Analyzer == "syntactic") {
+      analysis::SyntacticCpsAnalyzer<D> A(L.Ctx, *P, CInit, AOpts);
+      auto R = A.run();
+      return ExplainLeg("syntactic", A, R);
+    }
+    if (O.Analyzer == "dup") {
+      analysis::DupAnalyzer<D> A(L.Ctx, L.Anf, Init, O.Budget, AOpts);
+      auto R = A.run();
+      return ExplainLeg("dup", A, R);
+    }
+    usage("unknown analyzer");
+  }
+
   // --metrics: one registry per analyzer leg, rendered as a table after
   // the report. Deque keeps registry addresses stable while legs append.
   std::deque<support::MetricsRegistry> Registries;
@@ -642,32 +751,65 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
   };
 
   if (O.Command == "compare") {
+    // Each leg records provenance so disagreements can be attributed to
+    // the first precision-loss edge on the variable's derivation chain
+    // (the Theorem 5.1/5.2 narratives; docs/EXPLAIN.md). The analyzers
+    // outlive the reports because loss attribution reads their interners.
+    domain::Provenance DProv, SProv, CProv;
     auto DOpts = legOptions("direct");
+    DOpts.Prov = &DProv;
+    analysis::DirectAnalyzer<D> DA(L.Ctx, L.Anf, Init, DOpts);
     auto T0 = std::chrono::steady_clock::now();
     auto AD = [&] {
       support::TraceSpan S(L.Trace, "analyze:direct");
-      return analysis::DirectAnalyzer<D>(L.Ctx, L.Anf, Init, DOpts).run();
+      return DA.run();
     }();
     finishLeg(T0);
     auto SOpts = legOptions("semantic");
+    SOpts.Prov = &SProv;
+    analysis::SemanticCpsAnalyzer<D> SA(L.Ctx, L.Anf, Init, SOpts);
     auto T1 = std::chrono::steady_clock::now();
     auto AS = [&] {
       support::TraceSpan S(L.Trace, "analyze:semantic");
-      return analysis::SemanticCpsAnalyzer<D>(L.Ctx, L.Anf, Init, SOpts)
-          .run();
+      return SA.run();
     }();
     finishLeg(T1);
     auto COpts = legOptions("syntactic");
+    COpts.Prov = &CProv;
+    analysis::SyntacticCpsAnalyzer<D> CA(L.Ctx, *P, CInit, COpts);
     auto T2 = std::chrono::steady_clock::now();
     auto AC = [&] {
       support::TraceSpan S(L.Trace, "analyze:syntactic");
-      return analysis::SyntacticCpsAnalyzer<D>(L.Ctx, *P, CInit, COpts)
-          .run();
+      return CA.run();
     }();
     finishLeg(T2);
     Report("direct", AD);
     Report("semantic", AS);
     Report("syntactic", AC);
+
+    // The first loss edge on a leg's derivation chain for \p Var, as a
+    // printable note — empty when the chain is pure flow (that leg did
+    // not lose anything; the other one did).
+    auto LossNote = [&](const domain::Provenance &Prov, const auto &A,
+                        const auto &R, Symbol Var) -> std::string {
+      std::optional<uint32_t> Slot = R.Vars->tryOf(Var);
+      if (!Slot)
+        return {};
+      domain::ProvId Eid = clients::firstLossEdge(
+          Prov, A.interner(), *Slot, Prov.finalStore());
+      if (Eid == domain::NoProv)
+        return {};
+      const domain::ProvEdge &E = Prov.edge(Eid);
+      std::string Where = E.Loc.isValid()
+                              ? E.Loc.str()
+                              : "node " + std::to_string(E.NodeId);
+      return std::string(domain::str(E.Kind)) + " at " + Where;
+    };
+    auto PrintLoss = [&](const char *Leg, std::string Note) {
+      if (!Note.empty())
+        std::printf("      %s first loses precision via %s\n", Leg,
+                    Note.c_str());
+    };
 
     support::TraceSpan VS(L.Trace, "report");
     analysis::Comparison DvC = analysis::compareWithSyntactic<D>(
@@ -682,10 +824,21 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
     std::printf("\ndirect vs syntactic-CPS: %s\n", str(DvC.Overall));
     std::printf("semantic vs direct:      %s\n", str(SvD.Overall));
     for (const analysis::VarComparison &VC : DvC.Vars)
-      if (VC.Order != analysis::PrecisionOrder::Equal)
+      if (VC.Order != analysis::PrecisionOrder::Equal) {
         std::printf("  %s: direct %s vs cps %s (%s)\n",
                     std::string(L.Ctx.spelling(VC.Var)).c_str(),
                     VC.Left.c_str(), VC.Right.c_str(), str(VC.Order));
+        PrintLoss("direct", LossNote(DProv, DA, AD, VC.Var));
+        PrintLoss("syntactic", LossNote(CProv, CA, AC, VC.Var));
+      }
+    for (const analysis::VarComparison &VC : SvD.Vars)
+      if (VC.Order != analysis::PrecisionOrder::Equal) {
+        std::printf("  %s: semantic %s vs direct %s (%s)\n",
+                    std::string(L.Ctx.spelling(VC.Var)).c_str(),
+                    VC.Left.c_str(), VC.Right.c_str(), str(VC.Order));
+        PrintLoss("semantic", LossNote(SProv, SA, AS, VC.Var));
+        PrintLoss("direct", LossNote(DProv, DA, AD, VC.Var));
+      }
     printMetrics();
     return Finish(0);
   }
@@ -940,6 +1093,32 @@ int cmdFuzz(const Options &O) {
   return R.Findings.empty() ? 0 : 1;
 }
 
+int cmdVersion() {
+  std::printf("cpsflow — direct vs CPS data-flow analysis testbed\n");
+  std::printf("build configuration:\n");
+#ifdef NDEBUG
+  std::printf("  assertions:       off\n");
+#else
+  std::printf("  assertions:       on\n");
+#endif
+#ifdef CPSFLOW_FAULT_INJECTION
+  std::printf("  fault injection:  available\n");
+#else
+  std::printf("  fault injection:  unavailable\n");
+#endif
+#ifdef __VERSION__
+  std::printf("  compiler:         %s\n", __VERSION__);
+#endif
+  std::printf("JSON schema versions this binary emits:\n");
+  std::printf("  batch report (batch --out):       %d\n",
+              clients::BatchSchemaVersion);
+  std::printf("  fuzz findings (fuzz):             %d\n",
+              fuzz::FindingsSchemaVersion);
+  std::printf("  provenance graph (explain --graph-out): %d\n",
+              clients::ProvenanceGraphSchemaVersion);
+  return 0;
+}
+
 int cmdInline(const Options &O) {
   Loaded L;
   L.load(O);
@@ -976,8 +1155,11 @@ int main(int Argc, char **Argv) {
     return cmdCps(O);
   if (O.Command == "run")
     return cmdRun(O);
-  if (O.Command == "analyze" || O.Command == "compare")
+  if (O.Command == "analyze" || O.Command == "compare" ||
+      O.Command == "explain")
     return cmdAnalyze(O);
+  if (O.Command == "version")
+    return cmdVersion();
   if (O.Command == "fold")
     return cmdFold(O);
   if (O.Command == "inline")
