@@ -132,6 +132,21 @@ struct AnalyzerOptions {
   /// the paper's exponential examples stay exponential.
   bool UseMemo = true;
 
+  /// When true, the syntactic-CPS analyzer additionally reuses
+  /// *generalizing* summaries: each completed walk of a goal records its
+  /// entry store, the store slots it read, the goals it touched, and the
+  /// ancestor cut-offs it depended on; a later goal for the same term
+  /// whose store agrees on the read slots (and whose active-path
+  /// environment matches the recorded cut fingerprint) replays the
+  /// summary as a table lookup instead of re-walking the continuation
+  /// body — the Theorem 5.1 call-merge re-analysis becomes O(1) per
+  /// continuation. Answers are bitwise unchanged (DESIGN.md §12 gives
+  /// the exactness argument); only goal counts and wall time differ, so
+  /// the default is off and the seed-pinned statistics stay intact. The
+  /// CLI and batch drivers turn it on (opt out with --no-summaries).
+  /// Only the syntactic analyzer reads this flag.
+  bool UseSummaries = false;
+
   /// Resource-governor limits beyond MaxGoals: wall-clock deadline,
   /// interner memory ceiling, goal-stack depth cap, and a cooperative
   /// cancellation token. Any trip degrades the run exactly like the
@@ -234,6 +249,21 @@ struct AnalyzerStats {
   uint64_t InternerBytes = 0;
   /// Peak StoreInterner footprint estimate over the run.
   uint64_t InternerPeakBytes = 0;
+
+  // -- Continuation-summary counters. Only the syntactic analyzer with
+  // AnalyzerOptions::UseSummaries on fills these; everywhere else they
+  // stay zero.
+
+  /// Goals answered by replaying a recorded continuation summary.
+  uint64_t SummaryHits = 0;
+  /// Goals that probed the summary table, found no reusable entry, and
+  /// fell through to a full walk.
+  uint64_t SummaryMisses = 0;
+  /// Summaries held in the table when the run ended.
+  uint64_t SummaryEntries = 0;
+  /// Derivation depth at each summary reuse — how deep in the proof tree
+  /// the cached continuation walks are being replayed.
+  support::Histogram SummaryReuseDepth;
 
   /// True iff the run computed the paper-defined answer exactly.
   bool complete() const { return !BudgetExhausted && !LoopBounded; }

@@ -27,8 +27,20 @@
 /// Termination uses the Section 4.4 cut with the least precise value
 /// (T, CL_T, K_T).
 ///
-/// Stores are hash-consed (domain/StoreInterner.h); goal keys are
-/// (node pointer, StoreId) pairs, built and compared in O(1).
+/// `SyntacticCpsAnalyzer` is a facade over two interchangeable engines:
+///
+///  * `detail::SynIrEngine` (SyntacticIrEngine.h) — the default. The
+///    program is lowered to the flat label arena of cps/CpsIr.h, lattice
+///    sets are 128-bit packed words, and (when enabled) continuation
+///    summaries short-circuit the Theorem 5.1 re-walks. Used whenever the
+///    closure/continuation universes fit in 128 elements and the IR
+///    lowering's enumeration provably matches the universe enumeration.
+///  * `detail::SynTreeEngine` (below) — the reference pointer-tree
+///    evaluator, kept as the fallback for oversized universes and as the
+///    executable specification the IR engine is tested against.
+///
+/// Both engines key goals by (term, StoreId) with hash-consed stores
+/// (domain/StoreInterner.h) and produce byte-identical results.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +49,9 @@
 
 #include "analysis/Cfg.h"
 #include "analysis/Common.h"
+#include "analysis/SyntacticIrEngine.h"
 #include "analysis/Universe.h"
+#include "cps/CpsIr.h"
 #include "cps/Transform.h"
 #include "domain/AbsStore.h"
 #include "domain/AbsValue.h"
@@ -53,55 +67,25 @@
 
 namespace cpsflow {
 namespace analysis {
+namespace detail {
 
-/// One entry of the initial abstract store of a Figure 6 run (typically
-/// the delta_e-image of a direct binding; see Compare.h).
-template <typename D> struct CpsBinding {
-  Symbol Var;
-  domain::CpsAbsVal<D> Value;
-};
-
-/// Result of a Figure 6 run.
-template <typename D> struct SyntacticResult {
-  using Val = domain::CpsAbsVal<D>;
-
-  AnswerOf<Val> Answer;
-  AnalyzerStats Stats;
-  CpsCfg Cfg;
-  std::shared_ptr<domain::VarIndex> Vars;
-
-  Val valueOf(Symbol X) const {
-    if (auto I = Vars->tryOf(X))
-      return Answer.Store.get(*I);
-    return Val::bot();
-  }
-};
-
-/// The Figure 6 analyzer. Single-use.
-template <typename D> class SyntacticCpsAnalyzer {
+/// The reference pointer-tree engine. Single-use; the facade constructs
+/// it with the universes it already derived.
+template <typename D> class SynTreeEngine {
 public:
   using Val = domain::CpsAbsVal<D>;
   using StoreT = domain::AbsStore<Val>;
   using Answer = AnswerOf<Val>;
 
-  SyntacticCpsAnalyzer(const Context &Ctx, const cps::CpsProgram &Program,
-                       std::vector<CpsBinding<D>> Initial = {},
-                       AnalyzerOptions Opts = AnalyzerOptions())
-      : Ctx(Ctx), Program(Program), Initial(std::move(Initial)), Opts(Opts) {
-    std::vector<const cps::CpsLam *> ExtraLams;
-    std::vector<Symbol> ExtraVars;
-    for (const CpsBinding<D> &B : this->Initial) {
-      ExtraVars.push_back(B.Var);
-      for (const domain::CpsCloRef &C : B.Value.Clos)
-        if (C.Tag == domain::CpsCloRef::K::Lam)
-          ExtraLams.push_back(C.Lam);
-    }
-    Vars = std::make_shared<domain::VarIndex>(
-        cpsVariableUniverse(Program, ExtraLams, ExtraVars));
-    CloTop = cpsClosureUniverse(Program, ExtraLams);
-    KontTop = cpsKontUniverse(Program, ExtraLams);
+  SynTreeEngine(const cps::CpsProgram &Program,
+                std::vector<CpsBinding<D>> Initial, AnalyzerOptions Opts,
+                std::shared_ptr<domain::VarIndex> Vars,
+                domain::CpsCloSet CloTop, domain::KontSet KontTop)
+      : Program(Program), Initial(std::move(Initial)), Opts(Opts),
+        Vars(std::move(Vars)), CloTop(std::move(CloTop)),
+        KontTop(std::move(KontTop)) {
     Interner.attachMetrics(this->Opts.Metrics);
-    Interner.reset(Vars->size());
+    Interner.reset(this->Vars->size());
   }
 
   /// Runs the analysis with TopK bound to {stop} (Section 5.1's initial
@@ -135,9 +119,6 @@ public:
     R.Vars = Vars;
     return R;
   }
-
-  const domain::CpsCloSet &closureUniverse() const { return CloTop; }
-  const domain::KontSet &kontUniverse() const { return KontTop; }
 
   /// The run's hash-consing table (observability: distinct stores seen).
   const domain::StoreInterner<Val> &interner() const { return Interner; }
@@ -483,7 +464,6 @@ private:
     return EvalOut{bottomAnswer(), Unconstrained};
   }
 
-  const Context &Ctx;
   const cps::CpsProgram &Program;
   std::vector<CpsBinding<D>> Initial;
   AnalyzerOptions Opts;
@@ -498,6 +478,163 @@ private:
 
   std::unordered_map<Key, IAns, KeyHash> Memo;
   std::unordered_map<Key, uint32_t, KeyHash> Active;
+};
+
+} // namespace detail
+
+/// The Figure 6 analyzer facade. Single-use: construct, run() once,
+/// then (optionally) consult universes and the interner.
+template <typename D> class SyntacticCpsAnalyzer {
+public:
+  using Val = domain::CpsAbsVal<D>;
+  using StoreT = domain::AbsStore<Val>;
+  using Answer = AnswerOf<Val>;
+
+  SyntacticCpsAnalyzer(const Context &Ctx, const cps::CpsProgram &Program,
+                       std::vector<CpsBinding<D>> Initial = {},
+                       AnalyzerOptions Opts = AnalyzerOptions())
+      : Ctx(Ctx), Program(Program), Initial(std::move(Initial)), Opts(Opts) {
+    for (const CpsBinding<D> &B : this->Initial) {
+      ExtraVars.push_back(B.Var);
+      for (const domain::CpsCloRef &C : B.Value.Clos)
+        if (C.Tag == domain::CpsCloRef::K::Lam)
+          ExtraLams.push_back(C.Lam);
+    }
+    Vars = std::make_shared<domain::VarIndex>(
+        cpsVariableUniverse(Program, ExtraLams, ExtraVars));
+    CloTop = cpsClosureUniverse(Program, ExtraLams);
+    KontTop = cpsKontUniverse(Program, ExtraLams);
+  }
+
+  /// Runs the analysis with TopK bound to {stop} (Section 5.1's initial
+  /// store entry k |-> (bot, {}, {stop})).
+  SyntacticResult<D> run() {
+    if (tryBuildIrEngine())
+      return IrEng->run();
+    TreeEng = std::make_unique<detail::SynTreeEngine<D>>(
+        Program, std::move(Initial), Opts, Vars, CloTop, KontTop);
+    return TreeEng->run();
+  }
+
+  const domain::CpsCloSet &closureUniverse() const { return CloTop; }
+  const domain::KontSet &kontUniverse() const { return KontTop; }
+
+  /// The run's hash-consing table (observability: distinct stores seen;
+  /// resolves provenance StoreIds). Before run(), an empty table.
+  const domain::StoreInterner<Val> &interner() const {
+    if (IrEng)
+      return IrEng->publicInterner();
+    if (TreeEng)
+      return TreeEng->interner();
+    if (!EmptyInterner) {
+      EmptyInterner = std::make_unique<domain::StoreInterner<Val>>();
+      EmptyInterner->reset(Vars->size());
+    }
+    return *EmptyInterner;
+  }
+
+private:
+  /// Lowers the program to the flat IR and checks, element by element,
+  /// that the IR's lambda/continuation enumeration coincides with the
+  /// analyzer's universe enumeration — the invariant that makes the
+  /// packed bit index == sorted-set rank isomorphism hold. Any mismatch
+  /// (or an oversized universe) keeps the tree engine.
+  bool tryBuildIrEngine() {
+    if (CloTop.size() > 128 || KontTop.size() > 128)
+      return false;
+    auto SlotOf = [this](Symbol S) -> int64_t {
+      if (auto I = Vars->tryOf(S))
+        return static_cast<int64_t>(*I);
+      return -1;
+    };
+    std::optional<cps::CpsIr> Ir = cps::buildCpsIr(Program, ExtraLams, SlotOf);
+    if (!Ir)
+      return false;
+    if (CloTop.size() != 2 + Ir->Lams.size() ||
+        KontTop.size() != 1 + Ir->Conts.size())
+      return false;
+    {
+      uint32_t I = 0;
+      for (const domain::CpsCloRef &C : CloTop) {
+        bool Ok = I == 0   ? C.Tag == domain::CpsCloRef::K::Inck
+                  : I == 1 ? C.Tag == domain::CpsCloRef::K::Deck
+                           : C.Tag == domain::CpsCloRef::K::Lam &&
+                                 C.Lam == Ir->Lams[I - 2].Src;
+        if (!Ok)
+          return false;
+        ++I;
+      }
+    }
+    {
+      uint32_t I = 0;
+      for (const domain::KontRef &K : KontTop) {
+        bool Ok = I == 0 ? K.Tag == domain::KontRef::K::Stop
+                         : K.Tag == domain::KontRef::K::Cont &&
+                               K.Cont == Ir->Conts[I - 1].Src;
+        if (!Ok)
+          return false;
+        ++I;
+      }
+    }
+
+    std::unordered_map<const cps::CpsLam *, uint32_t> LamRank;
+    for (uint32_t I = 0; I < Ir->Lams.size(); ++I)
+      LamRank.emplace(Ir->Lams[I].Src, 2 + I);
+    std::unordered_map<const cps::ContLam *, uint32_t> ContRank;
+    for (uint32_t I = 0; I < Ir->Conts.size(); ++I)
+      ContRank.emplace(Ir->Conts[I].Src, 1 + I);
+
+    std::vector<detail::PackedCpsBinding<D>> Packed;
+    Packed.reserve(Initial.size());
+    for (const CpsBinding<D> &B : Initial) {
+      detail::PackedCpsBinding<D> P;
+      P.Slot = Vars->of(B.Var);
+      P.Value.Num = B.Value.Num;
+      for (const domain::CpsCloRef &C : B.Value.Clos) {
+        if (C.Tag == domain::CpsCloRef::K::Inck) {
+          P.Value.Clos.set(0);
+        } else if (C.Tag == domain::CpsCloRef::K::Deck) {
+          P.Value.Clos.set(1);
+        } else {
+          auto It = LamRank.find(C.Lam);
+          if (It == LamRank.end())
+            return false;
+          P.Value.Clos.set(It->second);
+        }
+      }
+      for (const domain::KontRef &K : B.Value.Konts) {
+        if (K.Tag == domain::KontRef::K::Stop) {
+          P.Value.Konts.set(0);
+        } else {
+          auto It = ContRank.find(K.Cont);
+          if (It == ContRank.end())
+            return false;
+          P.Value.Konts.set(It->second);
+        }
+      }
+      Packed.push_back(std::move(P));
+    }
+
+    IrEng = std::make_unique<detail::SynIrEngine<D>>(
+        std::move(*Ir), Vars, std::move(Packed), Vars->of(Program.TopK),
+        Opts);
+    return true;
+  }
+
+  const Context &Ctx;
+  const cps::CpsProgram &Program;
+  std::vector<CpsBinding<D>> Initial;
+  AnalyzerOptions Opts;
+
+  std::vector<const cps::CpsLam *> ExtraLams;
+  std::vector<Symbol> ExtraVars;
+  std::shared_ptr<domain::VarIndex> Vars;
+  domain::CpsCloSet CloTop;
+  domain::KontSet KontTop;
+
+  std::unique_ptr<detail::SynIrEngine<D>> IrEng;
+  std::unique_ptr<detail::SynTreeEngine<D>> TreeEng;
+  mutable std::unique_ptr<domain::StoreInterner<Val>> EmptyInterner;
 };
 
 } // namespace analysis

@@ -117,6 +117,7 @@ BatchProgramResult analyzeOne(const std::string &Name,
   analysis::AnalyzerOptions AOpts;
   AOpts.MaxGoals = Opts.MaxGoals;
   AOpts.LoopUnroll = Opts.LoopUnroll;
+  AOpts.UseSummaries = Opts.UseSummaries;
   AOpts.Governor = Limits;
   AOpts.Trace = Trace;
   AOpts.TraceTid = Tid;
@@ -315,6 +316,23 @@ BatchProgramResult containedDispatch(const std::string &Name,
   return Out;
 }
 
+/// ANF node count of \p Source for largest-first scheduling — a cheap
+/// pre-parse whose cost is dwarfed by the analyses it orders. Programs
+/// that fail to parse (or throw) size 0 and dispatch last; their failure
+/// is re-discovered and recorded by the worker proper.
+uint64_t scheduleSize(const std::string &Source) {
+  try {
+    Context Ctx;
+    Result<const syntax::Term *> Parsed =
+        syntax::parseSugaredProgram(Ctx, Source);
+    if (!Parsed)
+      return 0;
+    return syntax::countNodes(anf::normalizeProgram(Ctx, *Parsed));
+  } catch (...) {
+    return 0;
+  }
+}
+
 /// True when \p P 's first attempt died or degraded on the deadline —
 /// the retry pass reruns exactly these at reduced cost.
 bool deadlineTripped(const BatchProgramResult &P) {
@@ -348,6 +366,13 @@ void writeAnalyzerRecord(JsonWriter &W, const char *Key,
   W.key("budgetExhausted").value(Rec.Stats.BudgetExhausted);
   W.key("degradeReason").value(support::str(Rec.Stats.Degraded));
   W.key("loopBounded").value(Rec.Stats.LoopBounded);
+  // Schema 5: continuation-summary counters. Uniform across legs for a
+  // regular document; non-zero only in the syntactic leg with summaries.
+  W.key("summaryHits").value(Rec.Stats.SummaryHits);
+  W.key("summaryMisses").value(Rec.Stats.SummaryMisses);
+  W.key("summaryEntries").value(Rec.Stats.SummaryEntries);
+  W.key("summaryReuseDepth");
+  Rec.Stats.SummaryReuseDepth.writeJson(W);
   if (Opts.IncludeTiming)
     W.key("wallMs").value(Rec.WallMs);
   W.endObject();
@@ -356,6 +381,7 @@ void writeAnalyzerRecord(JsonWriter &W, const char *Key,
 /// Per-analyzer aggregate across the corpus.
 struct LegTotals {
   uint64_t Goals = 0, CacheHits = 0, Cuts = 0, Joins = 0, CallMerges = 0;
+  uint64_t SummaryHits = 0, SummaryMisses = 0, SummaryEntries = 0;
   double WallMs = 0;
 
   void add(const BatchAnalyzerRecord &Rec) {
@@ -364,6 +390,9 @@ struct LegTotals {
     Cuts += Rec.Stats.Cuts;
     Joins += Rec.Stats.Joins;
     CallMerges += Rec.Stats.CallMerges;
+    SummaryHits += Rec.Stats.SummaryHits;
+    SummaryMisses += Rec.Stats.SummaryMisses;
+    SummaryEntries += Rec.Stats.SummaryEntries;
     WallMs += Rec.WallMs;
   }
 
@@ -375,6 +404,9 @@ struct LegTotals {
     W.key("cuts").value(Cuts);
     W.key("joins").value(Joins);
     W.key("callMerges").value(CallMerges);
+    W.key("summaryHits").value(SummaryHits);
+    W.key("summaryMisses").value(SummaryMisses);
+    W.key("summaryEntries").value(SummaryEntries);
     if (Opts.IncludeTiming)
       W.key("wallMs").value(WallMs);
     W.endObject();
@@ -400,7 +432,7 @@ template <typename T> T percentileOf(std::vector<T> &V, double Q) {
 /// max}; schema 4 adds the joins/callMerges loss counters.
 struct LegSamples {
   std::vector<uint64_t> Goals, CacheHits, Cuts, Joins, CallMerges,
-      MaxDepth, MemoEntries, Stores;
+      MaxDepth, MemoEntries, Stores, SummaryHits, SummaryMisses;
   std::vector<double> WallMs;
 
   void add(const BatchAnalyzerRecord &Rec) {
@@ -412,6 +444,8 @@ struct LegSamples {
     MaxDepth.push_back(Rec.Stats.MaxDepth);
     MemoEntries.push_back(Rec.Stats.MemoEntries);
     Stores.push_back(Rec.Stats.InternedStores);
+    SummaryHits.push_back(Rec.Stats.SummaryHits);
+    SummaryMisses.push_back(Rec.Stats.SummaryMisses);
     WallMs.push_back(Rec.WallMs);
   }
 
@@ -440,6 +474,8 @@ struct LegSamples {
     writeSummary(W, "maxDepth", MaxDepth);
     writeSummary(W, "memoEntries", MemoEntries);
     writeSummary(W, "stores", Stores);
+    writeSummary(W, "summaryHits", SummaryHits);
+    writeSummary(W, "summaryMisses", SummaryMisses);
     if (Opts.IncludeTiming) {
       double Sum = 0, Max = 0;
       for (double X : WallMs) {
@@ -515,6 +551,19 @@ BatchResult runBatch(
     Dog.emplace(/*PollMs=*/5.0);
   Watchdog *DogP = Dog ? &*Dog : nullptr;
 
+  // Largest programs first: submission order is a pure scheduling hint
+  // (results land at fixed indices and the report iterates input order,
+  // so output bytes are identical), but dispatching the long-pole
+  // programs before the cheap tail keeps workers from idling behind one
+  // big program submitted last. Sizes are computed once, up front, and
+  // reused by the retry pass. Stable sort: equal sizes keep input order.
+  std::vector<uint64_t> Sizes;
+  if (Opts.Threads > 1) {
+    Sizes.resize(NamedSources.size());
+    for (size_t I = 0; I < NamedSources.size(); ++I)
+      Sizes[I] = scheduleSize(NamedSources[I].second);
+  }
+
   auto runPass = [&](const std::vector<size_t> &Indices,
                      const BatchOptions &PassOpts) {
     if (PassOpts.Threads <= 1) {
@@ -523,9 +572,14 @@ BatchResult runBatch(
                                           NamedSources[I].second, PassOpts,
                                           DogP);
     } else {
+      std::vector<size_t> Order(Indices);
+      std::stable_sort(Order.begin(), Order.end(),
+                       [&](size_t A, size_t B) {
+                         return Sizes[A] > Sizes[B];
+                       });
       // One job per program; each writes only its own pre-sized slot.
       ThreadPool Pool(PassOpts.Threads);
-      for (size_t I : Indices)
+      for (size_t I : Order)
         Pool.submit([I, &NamedSources, &PassOpts, &R, DogP] {
           R.Programs[I] = containedDispatch(NamedSources[I].first,
                                             NamedSources[I].second, PassOpts,

@@ -49,7 +49,10 @@ namespace clients {
 ///   3  per-leg metrics distributions {sum, p50, p95, max}
 ///   4  per-leg loss-event counts: joins / callMerges alongside cuts,
 ///      in program records, leg totals, and metrics distributions
-inline constexpr int BatchSchemaVersion = 4;
+///   5  syntactic-leg continuation-summary counters: summaryHits /
+///      summaryMisses / summaryEntries and a summaryReuseDepth histogram,
+///      in program records, leg totals, and metrics distributions
+inline constexpr int BatchSchemaVersion = 5;
 
 /// Knobs for one batch run.
 struct BatchOptions {
@@ -81,6 +84,10 @@ struct BatchOptions {
   /// When true, programs whose first attempt tripped the deadline are
   /// retried once at reduced cost (LoopUnroll/2, MaxGoals/2).
   bool Retry = false;
+  /// Continuation-summary reuse in the syntactic leg (--no-summaries to
+  /// turn off). Answers are identical either way; goal counts and wall
+  /// time differ, which the summary counters in the report make visible.
+  bool UseSummaries = true;
   /// When false, batchJson omits wall-time and thread-count fields so two
   /// runs' outputs can be compared byte-for-byte.
   bool IncludeTiming = true;

@@ -7,10 +7,12 @@
 #include "cps/Transform.h"
 
 #include "anf/Anf.h"
+#include "cps/CpsIr.h"
 
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 using namespace cpsflow;
 using namespace cpsflow::cps;
@@ -395,4 +397,181 @@ std::vector<Symbol> cpsflow::cps::collectCpsVariables(const CpsTerm *P,
       },
       [&](const ContLam *C) { All.insert(C->param()); });
   return std::vector<Symbol>(All.begin(), All.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Flat label-arena lowering (CpsIr.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive lowering of one body tree. Terms reached through a
+/// continuation index (call/if/loop continuations) are *not* descended
+/// into — each continuation body is its own flat body, lowered once from
+/// buildCpsIr's driver loop — so every term gets exactly one label.
+struct IrBuilder {
+  CpsIr Ir;
+  const std::function<int64_t(Symbol)> &SlotOf;
+  std::unordered_map<const CpsLam *, uint32_t> LamIdx;
+  std::unordered_map<const ContLam *, uint32_t> ContIdx;
+  std::unordered_map<const CpsValue *, uint32_t> ValIdx;
+  bool Failed = false;
+
+  explicit IrBuilder(const std::function<int64_t(Symbol)> &SlotOf)
+      : SlotOf(SlotOf) {}
+
+  uint32_t slot(Symbol S) {
+    int64_t I = SlotOf(S);
+    if (I < 0) {
+      Failed = true;
+      return 0;
+    }
+    return static_cast<uint32_t>(I);
+  }
+
+  uint32_t lowerVal(const CpsValue *W) {
+    if (auto It = ValIdx.find(W); It != ValIdx.end())
+      return It->second;
+    CpsIr::ValNode N;
+    N.Src = W;
+    switch (W->kind()) {
+    case CpsValueKind::WK_Num:
+      N.Kind = CpsIr::ValKind::Num;
+      N.Num = cast<CpsNum>(W)->value();
+      break;
+    case CpsValueKind::WK_Var:
+      N.Kind = CpsIr::ValKind::Var;
+      N.A = slot(cast<CpsVar>(W)->name());
+      break;
+    case CpsValueKind::WK_Prim:
+      N.Kind = cast<CpsPrim>(W)->op() == CpsPrimOp::Add1k
+                   ? CpsIr::ValKind::Inck
+                   : CpsIr::ValKind::Deck;
+      break;
+    case CpsValueKind::WK_Lam: {
+      auto It = LamIdx.find(cast<CpsLam>(W));
+      if (It == LamIdx.end())
+        Failed = true;
+      else {
+        N.Kind = CpsIr::ValKind::Lam;
+        N.A = It->second;
+      }
+      break;
+    }
+    }
+    uint32_t Label = static_cast<uint32_t>(Ir.Vals.size());
+    Ir.Vals.push_back(N);
+    ValIdx.emplace(W, Label);
+    return Label;
+  }
+
+  /// Kont-universe numbering: 0 is `stop`, so in-program continuations
+  /// start at 1.
+  uint32_t contIndex(const ContLam *C) {
+    auto It = ContIdx.find(C);
+    if (It == ContIdx.end()) {
+      Failed = true;
+      return 0;
+    }
+    return It->second + 1;
+  }
+
+  uint32_t lowerTerm(const CpsTerm *P) {
+    uint32_t Label = static_cast<uint32_t>(Ir.Terms.size());
+    Ir.Terms.emplace_back();
+    CpsIr::TermNode N;
+    N.Kind = P->kind();
+    N.SrcId = P->id();
+    N.Loc = P->loc();
+    N.Src = P;
+    switch (P->kind()) {
+    case CpsTermKind::PK_Ret: {
+      const auto *Ret = cast<CpsRet>(P);
+      N.A = slot(Ret->kvar());
+      N.B = lowerVal(Ret->arg());
+      break;
+    }
+    case CpsTermKind::PK_LetVal: {
+      const auto *Let = cast<CpsLetVal>(P);
+      N.A = slot(Let->var());
+      N.B = lowerVal(Let->bound());
+      N.C = lowerTerm(Let->body());
+      break;
+    }
+    case CpsTermKind::PK_Call: {
+      const auto *Call = cast<CpsCall>(P);
+      N.A = lowerVal(Call->fun());
+      N.B = lowerVal(Call->arg());
+      N.C = contIndex(Call->cont());
+      break;
+    }
+    case CpsTermKind::PK_If: {
+      const auto *If = cast<CpsIf>(P);
+      N.A = slot(If->kvar());
+      N.B = lowerVal(If->cond());
+      N.C = lowerTerm(If->thenBranch());
+      N.E = lowerTerm(If->elseBranch());
+      N.J = contIndex(If->join());
+      break;
+    }
+    case CpsTermKind::PK_Loop:
+      N.A = contIndex(cast<CpsLoop>(P)->cont());
+      break;
+    }
+    Ir.Terms[Label] = N;
+    return Label;
+  }
+};
+
+} // namespace
+
+std::optional<CpsIr>
+cpsflow::cps::buildCpsIr(const CpsProgram &Program,
+                         const std::vector<const CpsLam *> &ExtraLams,
+                         const std::function<int64_t(Symbol)> &SlotOf) {
+  // Enumerate user and continuation lambdas exactly as Universe.cpp does
+  // (program + extras + lambdas nested in extra bodies, id-sorted and
+  // deduplicated), so array positions coincide with the closure/kont
+  // universe indices the analyzer derives from the same refs.
+  std::vector<const CpsLam *> Lams = collectCpsLams(Program.Root);
+  std::vector<const ContLam *> Conts = collectContLams(Program.Root);
+  for (const CpsLam *L : ExtraLams) {
+    Lams.push_back(L);
+    for (const CpsLam *N : collectCpsLams(L->body()))
+      Lams.push_back(N);
+    for (const ContLam *C : collectContLams(L->body()))
+      Conts.push_back(C);
+  }
+  auto ById = [](const auto *A, const auto *B) { return A->id() < B->id(); };
+  std::sort(Lams.begin(), Lams.end(), ById);
+  Lams.erase(std::unique(Lams.begin(), Lams.end()), Lams.end());
+  std::sort(Conts.begin(), Conts.end(), ById);
+  Conts.erase(std::unique(Conts.begin(), Conts.end()), Conts.end());
+
+  IrBuilder B(SlotOf);
+  B.Ir.Lams.resize(Lams.size());
+  B.Ir.Conts.resize(Conts.size());
+  for (uint32_t I = 0; I < Lams.size(); ++I) {
+    B.LamIdx.emplace(Lams[I], I);
+    CpsIr::LamNode &N = B.Ir.Lams[I];
+    N.ParamSlot = B.slot(Lams[I]->param());
+    N.KParamSlot = B.slot(Lams[I]->kparam());
+    N.Src = Lams[I];
+  }
+  for (uint32_t I = 0; I < Conts.size(); ++I) {
+    B.ContIdx.emplace(Conts[I], I);
+    CpsIr::ContNode &N = B.Ir.Conts[I];
+    N.ParamSlot = B.slot(Conts[I]->param());
+    N.SrcId = Conts[I]->id();
+    N.Loc = Conts[I]->loc();
+    N.Src = Conts[I];
+  }
+  for (uint32_t I = 0; I < Conts.size(); ++I)
+    B.Ir.Conts[I].Body = B.lowerTerm(Conts[I]->body());
+  for (uint32_t I = 0; I < Lams.size(); ++I)
+    B.Ir.Lams[I].Body = B.lowerTerm(Lams[I]->body());
+  B.Ir.Root = B.lowerTerm(Program.Root);
+  if (B.Failed)
+    return std::nullopt;
+  return std::move(B.Ir);
 }

@@ -90,19 +90,19 @@ struct ConstantDomain {
   static Elem naturals() { return top(); }
 
   static Elem join(const Elem &A, const Elem &B) {
-    if (A.Kind == Elem::K::Bot)
-      return B;
-    if (B.Kind == Elem::K::Bot)
-      return A;
-    if (A == B)
-      return A;
-    return top();
+    // Flat lattice, branch-reduced for the packed-store hot path: pick
+    // the higher kind, promote to top when two distinct constants meet.
+    // The selects compile to cmovs — no unpredictable branch per slot.
+    Elem R = A.Kind >= B.Kind ? A : B;
+    bool Clash = A.Kind == Elem::K::Const && B.Kind == Elem::K::Const &&
+                 A.N != B.N;
+    R.Kind = Clash ? Elem::K::Top : R.Kind;
+    R.N = R.Kind == Elem::K::Const ? R.N : 0;
+    return R;
   }
 
   static bool leq(const Elem &A, const Elem &B) {
-    if (A.Kind == Elem::K::Bot || B.Kind == Elem::K::Top)
-      return true;
-    return A == B;
+    return A.Kind == Elem::K::Bot || B.Kind == Elem::K::Top || A == B;
   }
 
   static Elem add1(const Elem &E) {

@@ -1,0 +1,156 @@
+//===- domain/PackedSet.h - Word-packed lattice sets ------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-packed representations of the analyzer's finite powerset lattices.
+///
+/// A syntactic-CPS run draws every closure and continuation from a fixed,
+/// program-derived universe (Universe.cpp). When that universe fits in
+/// 128 elements — every corpus program and fuzz workload by a wide
+/// margin — a set is two machine words over the universe's sorted-rank
+/// enumeration, and the lattice operations are branch-free word ops:
+/// join is OR, ⊑ is `(a & ~b) == 0`, equality is word compare. Iteration
+/// yields ascending ranks, which by construction is the same order as
+/// `SortedSet` iteration over the corresponding refs, so packing is an
+/// order-preserving lattice isomorphism: an engine computing over
+/// `PackedCpsVal` performs exactly the joins the `CpsAbsVal` engine
+/// performs, and unpacking at the boundary reproduces its answers
+/// bitwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_DOMAIN_PACKEDSET_H
+#define CPSFLOW_DOMAIN_PACKEDSET_H
+
+#include "support/Hashing.h"
+
+#include <cstdint>
+
+namespace cpsflow {
+namespace domain {
+
+/// A subset of a dense universe of at most 128 elements, in two words.
+struct Bits128 {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  static Bits128 single(uint32_t I) {
+    Bits128 B;
+    B.set(I);
+    return B;
+  }
+
+  /// The first \p N universe elements — the packed "top" set.
+  static Bits128 firstN(uint32_t N) {
+    Bits128 B;
+    B.Lo = N >= 64 ? ~0ull : (N ? (~0ull >> (64 - N)) : 0);
+    B.Hi = N <= 64 ? 0 : (N >= 128 ? ~0ull : (~0ull >> (128 - N)));
+    return B;
+  }
+
+  void set(uint32_t I) { (I < 64 ? Lo : Hi) |= 1ull << (I & 63); }
+  bool test(uint32_t I) const {
+    return (((I < 64 ? Lo : Hi) >> (I & 63)) & 1) != 0;
+  }
+  bool empty() const { return (Lo | Hi) == 0; }
+  uint32_t size() const {
+    return static_cast<uint32_t>(__builtin_popcountll(Lo) +
+                                 __builtin_popcountll(Hi));
+  }
+
+  static Bits128 join(Bits128 A, Bits128 B) {
+    return Bits128{A.Lo | B.Lo, A.Hi | B.Hi};
+  }
+  static bool leq(Bits128 A, Bits128 B) {
+    return ((A.Lo & ~B.Lo) | (A.Hi & ~B.Hi)) == 0;
+  }
+
+  friend bool operator==(Bits128 A, Bits128 B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+  friend bool operator!=(Bits128 A, Bits128 B) { return !(A == B); }
+
+  /// Visits members in ascending rank — the `SortedSet` iteration order
+  /// of the corresponding refs.
+  template <typename F> void forEach(F Fn) const {
+    for (uint64_t W = Lo; W; W &= W - 1)
+      Fn(static_cast<uint32_t>(__builtin_ctzll(W)));
+    for (uint64_t W = Hi; W; W &= W - 1)
+      Fn(static_cast<uint32_t>(64 + __builtin_ctzll(W)));
+  }
+
+  uint64_t hashValue() const {
+    uint64_t H = 0x5e75; // same family as SortedSet's seed
+    hashCombine(H, Lo);
+    hashCombine(H, Hi);
+    return H;
+  }
+};
+
+/// The packed mirror of CpsAbsVal<D>: (number, closure ranks,
+/// continuation ranks). Interface-compatible with what AbsStore and
+/// StoreInterner require of a value type.
+template <typename D> struct PackedCpsVal {
+  typename D::Elem Num = D::bot();
+  Bits128 Clos;
+  Bits128 Konts;
+
+  static PackedCpsVal bot() { return PackedCpsVal(); }
+
+  static PackedCpsVal number(typename D::Elem E) {
+    PackedCpsVal V;
+    V.Num = E;
+    return V;
+  }
+
+  static PackedCpsVal closures(Bits128 S) {
+    PackedCpsVal V;
+    V.Clos = S;
+    return V;
+  }
+
+  static PackedCpsVal konts(Bits128 S) {
+    PackedCpsVal V;
+    V.Konts = S;
+    return V;
+  }
+
+  bool isBot() const {
+    return D::leq(Num, D::bot()) && Clos.empty() && Konts.empty();
+  }
+
+  static PackedCpsVal join(const PackedCpsVal &A, const PackedCpsVal &B) {
+    PackedCpsVal V;
+    V.Num = D::join(A.Num, B.Num);
+    V.Clos = Bits128::join(A.Clos, B.Clos);
+    V.Konts = Bits128::join(A.Konts, B.Konts);
+    return V;
+  }
+
+  static bool leq(const PackedCpsVal &A, const PackedCpsVal &B) {
+    return D::leq(A.Num, B.Num) && Bits128::leq(A.Clos, B.Clos) &&
+           Bits128::leq(A.Konts, B.Konts);
+  }
+
+  friend bool operator==(const PackedCpsVal &A, const PackedCpsVal &B) {
+    return A.Num == B.Num && A.Clos == B.Clos && A.Konts == B.Konts;
+  }
+  friend bool operator!=(const PackedCpsVal &A, const PackedCpsVal &B) {
+    return !(A == B);
+  }
+
+  uint64_t hashValue() const {
+    uint64_t H = D::hash(Num);
+    hashCombine(H, Clos.hashValue());
+    hashCombine(H, Konts.hashValue());
+    return H;
+  }
+};
+
+} // namespace domain
+} // namespace cpsflow
+
+#endif // CPSFLOW_DOMAIN_PACKEDSET_H

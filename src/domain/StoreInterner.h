@@ -40,6 +40,7 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -62,6 +63,7 @@ public:
   void reset(size_t NumVars) {
     Entries.clear();
     Dedup.clear();
+    JoinCache.clear();
     Vars = NumVars;
     PeakBytes = 0;
     BottomId = intern(StoreT(NumVars));
@@ -137,7 +139,10 @@ public:
   }
 
   /// Pointwise join of two interned stores. Equal ids and joins against
-  /// bottom are O(1); a genuine join costs one dense scan plus interning.
+  /// bottom are O(1); repeated pairs hit a memo (join is deterministic,
+  /// so caching changes nothing observable); ordered pairs resolve by a
+  /// comparison scan without constructing or hashing a joined store. Only
+  /// a genuinely incomparable first-time pair pays join-plus-intern.
   StoreId join(StoreId A, StoreId B) {
     if (A == B)
       return A;
@@ -145,7 +150,20 @@ public:
       return B;
     if (B == BottomId)
       return A;
-    return intern(StoreT::join(store(A), store(B)));
+    // Join is commutative: one cache entry per unordered pair.
+    uint64_t PairKey = A < B ? (static_cast<uint64_t>(A) << 32) | B
+                             : (static_cast<uint64_t>(B) << 32) | A;
+    if (auto It = JoinCache.find(PairKey); It != JoinCache.end())
+      return It->second;
+    StoreId R;
+    if (StoreT::leq(store(A), store(B)))
+      R = B;
+    else if (StoreT::leq(store(B), store(A)))
+      R = A;
+    else
+      R = intern(StoreT::join(store(A), store(B)));
+    JoinCache.emplace(PairKey, R);
+    return R;
   }
 
 private:
@@ -200,12 +218,19 @@ private:
     }
   };
 
+  struct PairHash {
+    size_t operator()(uint64_t K) const {
+      return static_cast<size_t>(mix64(K));
+    }
+  };
+
   size_t Vars = 0;
   StoreId BottomId = 0;
   size_t PeakBytes = 0;
   support::Histogram *SlotsHist = nullptr;
   std::deque<Entry> Entries;
   std::unordered_set<StoreId, IdHash, IdEq> Dedup;
+  std::unordered_map<uint64_t, StoreId, PairHash> JoinCache;
 };
 
 } // namespace domain

@@ -440,6 +440,19 @@ void checkO4(OracleScope S, const Context &Ctx, Runs<D> &R,
                                    static_cast<uint32_t>(Opts.DupBudget),
                                    AOpts)
             .run());
+
+  // Continuation summaries are an evaluation strategy, not a semantics:
+  // a summarized syntactic run must reproduce the unsummarized answer
+  // and final store bitwise (DESIGN.md section 12). Stats legitimately
+  // differ (that is the point), so only the answer is compared.
+  {
+    AnalyzerOptions SumOpts = AOpts;
+    SumOpts.UseSummaries = true;
+    auto Sum = SyntacticCpsAnalyzer<D>(Ctx, *R.P, CInit, SumOpts).run();
+    if (!(Sum.Answer == R.AC.Answer))
+      S.violation("syntactic: summarized answer differs from the "
+                  "unsummarized reference");
+  }
 }
 
 template <typename D>

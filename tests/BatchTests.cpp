@@ -80,6 +80,15 @@ TEST(Batch, ThreadCountDoesNotChangeResults) {
     std::string Parallel = batchJson(runBatchFiles(Files, Opts), Opts);
     EXPECT_EQ(Sequential, Parallel) << "threads=" << Threads;
   }
+
+  // The largest-first dispatch order is a scheduling detail only: with
+  // summaries off (the legacy engine) the report is likewise identical
+  // between sequential and work-sorted parallel runs.
+  Opts.UseSummaries = false;
+  Opts.Threads = 1;
+  std::string SeqOff = batchJson(runBatchFiles(Files, Opts), Opts);
+  Opts.Threads = 4;
+  EXPECT_EQ(SeqOff, batchJson(runBatchFiles(Files, Opts), Opts));
 }
 
 TEST(Batch, FailuresAreIsolatedPerProgram) {
@@ -112,11 +121,17 @@ TEST(Batch, JsonSchemaBasics) {
   Opts.Threads = 3;
   BatchResult R = runBatch({{"p", "(add1 41)"}}, Opts);
   std::string Json = batchJson(R, Opts);
-  EXPECT_NE(Json.find("\"schemaVersion\":4"), std::string::npos);
+  EXPECT_NE(Json.find("\"schemaVersion\":5"), std::string::npos);
   // Schema 4: per-leg precision-loss counters ride along with the work
   // counters, so bench_diff can track loss sites across revisions.
   EXPECT_NE(Json.find("\"joins\":"), std::string::npos);
   EXPECT_NE(Json.find("\"callMerges\":"), std::string::npos);
+  // Schema 5: continuation-summary counters and their reuse-depth
+  // histogram appear in every leg record (zero outside syntactic).
+  EXPECT_NE(Json.find("\"summaryHits\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"summaryMisses\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"summaryEntries\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"summaryReuseDepth\":"), std::string::npos);
   EXPECT_NE(Json.find("\"degradeReason\":\"none\""), std::string::npos);
   EXPECT_NE(Json.find("\"failureKinds\":"), std::string::npos);
   EXPECT_NE(Json.find("\"domain\":\"constant\""), std::string::npos);

@@ -85,6 +85,28 @@ template <typename D> void checkTheorem51(const char *DomainName) {
     // make every merge a copy-on-write no-op: nothing to attribute.
     EXPECT_EQ(Loss, domain::NoProv);
   }
+
+  // Asking for summaries alongside provenance must not perturb the
+  // explanation: provenance needs the full derivation, so the analyzer
+  // quietly runs unsummarized, and the first-loss attribution is
+  // identical edge for edge.
+  domain::Provenance SumProv;
+  AnalyzerOptions SumOpts;
+  SumOpts.Prov = &SumProv;
+  SumOpts.UseSummaries = true;
+  SyntacticCpsAnalyzer<D> SSA(Ctx, W.Cps, cpsBindings<D>(W), SumOpts);
+  auto SSR = SSA.run();
+  EXPECT_TRUE(SSR.Answer == SR.Answer);
+  EXPECT_EQ(SSR.Stats.SummaryHits, 0u);
+  domain::ProvId SumLoss = clients::firstLossEdge(
+      SumProv, SSA.interner(), *Slot, SumProv.finalStore());
+  if (Lost) {
+    ASSERT_NE(SumLoss, domain::NoProv);
+    EXPECT_EQ(SumProv.edge(SumLoss).Kind, domain::EdgeKind::CallMerge);
+    EXPECT_EQ(SumProv.edge(SumLoss).NodeId, Prov.edge(Loss).NodeId);
+  } else {
+    EXPECT_EQ(SumLoss, domain::NoProv);
+  }
 }
 
 /// Theorem 5.2a: the direct leg's a2 loses through the if0 both-arms

@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Compares two batch/bench JSON reports (any schemaVersion 1-4: the
-/// per-leg work counters it reads — goals, cacheHits, cuts, and from
-/// schema 4 the joins/callMerges loss counters — are summed where present
+/// Compares two batch/bench JSON reports (any schemaVersion 1-5: the
+/// per-leg work counters it reads — goals, cacheHits, cuts, the schema-4
+/// joins/callMerges loss counters, and the schema-5 summaryHits/
+/// summaryMisses continuation-summary counters — are summed where present
 /// and shown as "new" where the older schema lacks them) and flags
 /// regressions beyond a threshold. CI runs it
 /// against the committed BENCH_throughput.json baseline, so the default
@@ -38,11 +39,19 @@ using namespace cpsflow;
 namespace {
 
 const char *const Legs[] = {"direct", "semantic", "syntactic", "dup"};
-// joins/callMerges only exist in schema-4 reports; numberOr(C, 0) makes
-// them read as 0 from older baselines, so a cross-schema diff shows them
-// as "new" without tripping the regression exit code.
-const char *const Counters[] = {"goals", "cacheHits", "cuts", "joins",
-                                "callMerges"};
+// joins/callMerges only exist in schema-4 reports and the summary
+// counters in schema-5; numberOr(C, 0) makes them read as 0 from older
+// baselines, so a cross-schema diff shows them as "new" without tripping
+// the regression exit code.
+const char *const Counters[] = {"goals",      "cacheHits",  "cuts",
+                                "joins",      "callMerges", "summaryHits",
+                                "summaryMisses"};
+
+// Counters where "more" is not worse: summaryHits growing means MORE
+// reuse, so it is displayed for trend-watching but never flagged.
+bool informational(const std::string &Counter) {
+  return Counter == "summaryHits";
+}
 
 struct Report {
   /// Per-leg, per-counter sums over the shared ok programs.
@@ -159,17 +168,20 @@ int main(int argc, char **argv) {
   int Regressions = 0;
   auto row = [&](const std::string &Leg, const std::string &Counter,
                  double B, double C) {
-    // "More" is the regression direction for every counter we read:
+    // "More" is the regression direction for every flagged counter:
     // goals/cuts are effort, for a fixed corpus a cacheHits increase
     // means more total probes, and a joins/callMerges jump means the
-    // analyzers are losing precision at more sites.
+    // analyzers are losing precision at more sites. Informational
+    // counters (summaryHits) are shown but never flagged.
     std::string Delta = "n/a", Status = "ok";
     if (B > 0) {
       double Pct = (C - B) / B * 100.0;
       char Buf[32];
       std::snprintf(Buf, sizeof(Buf), "%+.1f%%", Pct);
       Delta = Buf;
-      if (Pct > ThresholdPct) {
+      if (informational(Counter)) {
+        Status = "info";
+      } else if (Pct > ThresholdPct) {
         Status = "REGRESSION";
         ++Regressions;
       } else if (Pct < -ThresholdPct) {

@@ -110,6 +110,7 @@ struct Options {
   uint32_t MaxDepthCap = 0;
   uint32_t LoopUnroll = 64;
   uint64_t MaxGoals = 0; ///< 0 = the command's default budget.
+  bool NoSummaries = false;
   bool FailOnBudget = false;
   bool Retry = false;
   std::string OutFile;
@@ -157,6 +158,9 @@ struct Options {
       "          --max-depth N      goal-stack depth cap\n"
       "          --loop-unroll N    CPS loop unroll bound (default 64)\n"
       "          --max-goals N      proof-goal budget per analyzer leg\n"
+      "          --no-summaries     disable continuation-summary reuse in\n"
+      "                             the syntactic analyzer (answers are\n"
+      "                             identical; only speed differs)\n"
       "          --trace-out FILE   write a Chrome trace_event JSON file\n"
       "                             (open in chrome://tracing or Perfetto)\n"
       "          --metrics          print per-leg counters/histograms\n"
@@ -313,6 +317,8 @@ Options parseArgs(int Argc, char **Argv) {
       O.FindingsDir = Argv[++I];
     } else if (A == "--oracles" && I + 1 < Argc) {
       O.OracleList = Argv[++I];
+    } else if (A == "--no-summaries") {
+      O.NoSummaries = true;
     } else if (A == "--no-shrink") {
       O.NoShrink = true;
     } else if (A == "--replay" && I + 1 < Argc) {
@@ -563,6 +569,7 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
     AOpts.Governor.deadlineIn(O.DeadlineMs);
   if (O.MaxGoals)
     AOpts.MaxGoals = O.MaxGoals;
+  AOpts.UseSummaries = !O.NoSummaries;
   AOpts.Trace = L.Trace;
 
   // `explain` runs one analyzer with the provenance recorder attached and
@@ -948,6 +955,7 @@ int cmdBatch(const Options &O) {
   BOpts.MaxDepth = O.MaxDepthCap;
   BOpts.FailOnBudget = O.FailOnBudget;
   BOpts.Retry = O.Retry;
+  BOpts.UseSummaries = !O.NoSummaries;
   BOpts.IncludeTiming = !O.NoTiming;
   support::Tracer T;
   if (!O.TraceOut.empty())
