@@ -254,10 +254,23 @@ BatchProgramResult containedDispatch(const std::string &Name,
                                      const std::string &Source,
                                      const BatchOptions &Opts,
                                      Watchdog *Dog) {
+  // A program whose turn comes after the interrupt fired never starts:
+  // report it as a structured failure instead of spending post-interrupt
+  // time computing an answer nobody is waiting for.
+  if (Opts.Interrupt && Opts.Interrupt->cancelled()) {
+    BatchProgramResult Out;
+    Out.Name = Name;
+    Out.Error = "interrupted before analysis";
+    Out.Kind = BatchFailKind::Internal;
+    Out.Worker = ThreadPool::currentWorker();
+    return Out;
+  }
+
   const bool DeadlineArmed = Opts.DeadlineMs > 0;
   support::GovernorLimits Limits;
   Limits.MaxStoreBytes = Opts.MaxStoreBytes;
   Limits.MaxDepth = Opts.MaxDepth;
+  Limits.Interrupt = Opts.Interrupt;
   uint64_t DogId = 0;
   if (DeadlineArmed) {
     Limits.deadlineIn(Opts.DeadlineMs);
@@ -593,7 +606,11 @@ BatchResult runBatch(
   std::iota(All.begin(), All.end(), size_t{0});
   runPass(All, Opts);
 
-  if (Opts.Retry) {
+  R.Interrupted = Opts.Interrupt && Opts.Interrupt->cancelled();
+
+  // No retry pass after an interrupt: the user asked the batch to stop,
+  // and "cancelled" trips would re-trip immediately anyway.
+  if (Opts.Retry && !R.Interrupted) {
     std::vector<size_t> Again;
     for (size_t I = 0; I < R.Programs.size(); ++I)
       if (deadlineTripped(R.Programs[I]))
@@ -610,6 +627,8 @@ BatchResult runBatch(
     }
   }
 
+  // Re-check: the token may have fired mid-retry.
+  R.Interrupted = Opts.Interrupt && Opts.Interrupt->cancelled();
   R.WallMs = elapsedMs(Start);
   return R;
 }
@@ -640,6 +659,10 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
   W.key("schemaVersion").value(BatchSchemaVersion);
   W.key("domain").value(Opts.Domain);
   W.key("dupBudget").value(Opts.DupBudget);
+  // Only interrupted runs carry the marker: un-interrupted documents stay
+  // byte-identical to every earlier schema-5 report.
+  if (R.Interrupted)
+    W.key("interrupted").value(true);
   if (Opts.IncludeTiming) {
     W.key("threads").value(static_cast<uint64_t>(Opts.Threads));
     W.key("wallMs").value(R.WallMs);

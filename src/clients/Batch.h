@@ -37,6 +37,7 @@
 #include "support/Result.h"
 #include "support/Trace.h"
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -96,6 +97,12 @@ struct BatchOptions {
   /// this shared tracer, one trace track per pool worker. Null (the
   /// default) keeps workers on the zero-overhead path.
   support::Tracer *Trace = nullptr;
+  /// Process-wide interrupt token (SIGINT/SIGTERM). When it fires,
+  /// in-flight programs degrade through the governor's cut path,
+  /// not-yet-started programs report a structured failure without
+  /// running, the retry pass is skipped, and the report is flagged
+  /// "interrupted" — a partial but valid document.
+  std::shared_ptr<support::CancelToken> Interrupt;
 };
 
 /// Failure taxonomy for programs with !Ok — what killed (or, under
@@ -138,6 +145,10 @@ struct BatchProgramResult {
 struct BatchResult {
   std::vector<BatchProgramResult> Programs;
   double WallMs = 0; ///< Whole-batch wall time.
+  /// The interrupt token fired during the run: some programs may carry
+  /// degraded answers or "interrupted before analysis" failures, and
+  /// batchJson marks the document "interrupted": true.
+  bool Interrupted = false;
 };
 
 /// Program files (*.scm) under \p Dir, sorted by name for deterministic

@@ -195,6 +195,13 @@ CampaignResult runCampaign(
 
   uint64_t Task = 0;
   while (R.Findings.size() < Opts.MaxFindings) {
+    // Interrupt: finish folding what completed, skip scheduling more.
+    // In-flight tasks inside a wave degrade through the governor's
+    // interrupt probe, so the Pool.wait() below stays short.
+    if (Opts.Oracle.Interrupt && Opts.Oracle.Interrupt->cancelled()) {
+      R.Interrupted = true;
+      break;
+    }
     uint64_t End;
     if (Opts.Iterations) {
       if (Task >= Opts.Iterations)
@@ -261,6 +268,10 @@ std::string campaignJson(const CampaignResult &R,
   W.key("fuzzSeed").value(Opts.FuzzSeed);
   W.key("domain").value(Opts.Oracle.Domain);
   W.key("iterations").value(R.Iterations);
+  // Only interrupted campaigns carry the marker, keeping un-interrupted
+  // documents byte-identical to earlier schema-1 reports.
+  if (R.Interrupted)
+    W.key("interrupted").value(true);
   if (Opts.IncludeTiming) {
     W.key("threads").value(static_cast<uint64_t>(std::max(1u, Opts.Threads)));
     W.key("wallMs").value(R.WallMs);

@@ -97,6 +97,11 @@ struct OracleTally {
 struct CampaignResult {
   uint64_t Iterations = 0; ///< tasks actually executed
   double WallMs = 0;
+  /// The interrupt token (OracleOptions::Interrupt) fired mid-campaign;
+  /// the wave loop stopped early and campaignJson marks the document
+  /// "interrupted": true. Findings recorded before the interrupt are
+  /// complete and replayable.
+  bool Interrupted = false;
   std::vector<Finding> Findings;
   OracleTally Tally[NumOracles];
   /// Summed work counters of the baseline abstract runs, per leg.

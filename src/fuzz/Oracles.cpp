@@ -579,6 +579,7 @@ Result<OracleOutcome> checkAt(const std::string &Source,
   AOpts.TraceTid = Opts.TraceTid;
   AOpts.Governor.MaxStoreBytes = Opts.MaxStoreBytes;
   AOpts.Governor.MaxDepth = Opts.MaxDepth;
+  AOpts.Governor.Interrupt = Opts.Interrupt;
   if (Opts.DeadlineMs > 0)
     AOpts.Governor.deadlineIn(Opts.DeadlineMs);
   R.AD = DirectAnalyzer<D>(Ctx, T, absBindings<D>(T, Opts.Inputs), AOpts)

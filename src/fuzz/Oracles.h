@@ -107,6 +107,10 @@ struct OracleOptions {
   double DeadlineMs = 0;
   uint64_t MaxStoreBytes = 0;
   uint32_t MaxDepth = 0;
+  /// Process-wide interrupt token (SIGINT/SIGTERM): in-flight abstract
+  /// runs degrade through the governor when it fires, so a campaign stops
+  /// within one oracle check, not one wave.
+  std::shared_ptr<support::CancelToken> Interrupt;
 
   /// Observability, threaded into every analyzer run this check makes.
   support::MetricsRegistry *Metrics = nullptr;

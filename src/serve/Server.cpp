@@ -1,0 +1,492 @@
+//===- serve/Server.cpp - Fault-tolerant analysis daemon ------------------===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "gen/Digest.h"
+#include "support/FaultInjector.h"
+#include "support/Json.h"
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <new>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace cpsflow;
+using namespace cpsflow::serve;
+
+/// One client connection. The fd is shared by the reader (recv) and any
+/// worker holding a queued job for it (send); the last owner's
+/// destructor closes it, so responses already queued when the client
+/// stops sending still go out before the close.
+struct Server::Connection {
+  explicit Connection(int Fd) : Fd(Fd) {}
+  ~Connection() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  Connection(const Connection &) = delete;
+  Connection &operator=(const Connection &) = delete;
+
+  int Fd;
+  std::mutex WriteMu; ///< responses from concurrent workers interleave
+                      ///< by whole lines, never by bytes
+  std::atomic<bool> WriteDead{false};
+};
+
+Server::Server(ServeOptions Opts)
+    : Opts(std::move(Opts)),
+      Interrupt(std::make_shared<support::CancelToken>()) {
+  if (this->Opts.Workers == 0)
+    this->Opts.Workers = 1;
+  this->Opts.Defaults.Interrupt = Interrupt;
+}
+
+Server::~Server() {
+  if (Started && !Drained) {
+    requestDrain();
+    waitDrained();
+  }
+}
+
+Result<bool> Server::start() {
+  if (!Opts.CacheDir.empty()) {
+    Cache = std::make_unique<ResultCache>(Opts.CacheDir);
+    if (!Cache->ok())
+      return Error("cannot create cache directory '" + Opts.CacheDir + "'");
+  }
+
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.empty() ||
+      Opts.SocketPath.size() >= sizeof(Addr.sun_path))
+    return Error("socket path '" + Opts.SocketPath +
+                 "' is empty or too long for AF_UNIX");
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Error(std::string("socket: ") + std::strerror(errno));
+  // A stale socket file from a previous (possibly crashed) daemon blocks
+  // bind; removing it is safe because the path is ours by contract.
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0) {
+    Error E(std::string("bind '") + Opts.SocketPath +
+            "': " + std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return E;
+  }
+  if (::listen(ListenFd, 128) < 0) {
+    Error E(std::string("listen: ") + std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return E;
+  }
+
+  Started = true;
+  for (unsigned I = 0; I < Opts.Workers; ++I)
+    WorkerThreads.emplace_back([this] { workerLoop(); });
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::requestDrain() {
+  bool Expected = false;
+  if (!Draining.compare_exchange_strong(Expected, true))
+    return;
+
+  // Wake accept() and stop admission at the socket layer. The fd itself
+  // stays open until waitDrained so its number cannot be reused mid-run.
+  if (ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR);
+
+  // Stop reading every live connection; pending responses still flow.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (const std::weak_ptr<Connection> &W : Conns)
+      if (std::shared_ptr<Connection> C = W.lock())
+        ::shutdown(C->Fd, SHUT_RD);
+  }
+
+  // After the grace period, anything still analyzing degrades through
+  // the governor's interrupt probe (the Section 4.4 cut path) rather
+  // than holding up shutdown indefinitely.
+  std::lock_guard<std::mutex> Lock(GraceMu);
+  GraceThread = std::thread([this] {
+    std::unique_lock<std::mutex> L(GraceMu);
+    bool Finished = GraceCv.wait_for(
+        L,
+        std::chrono::duration<double, std::milli>(
+            Opts.DrainGraceMs > 0 ? Opts.DrainGraceMs : 0.0),
+        [this] { return GraceDone; });
+    if (!Finished)
+      Interrupt->cancel();
+  });
+}
+
+void Server::waitDrained() {
+  if (!Started || Drained)
+    return;
+  requestDrain();
+
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+
+  // No new readers can appear once the accept thread is gone.
+  std::vector<std::thread> R;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    R.swap(Readers);
+  }
+  for (std::thread &T : R)
+    T.join();
+
+  // Readers are gone, so the queue only shrinks from here: tell the
+  // workers to exit once they have answered everything still queued.
+  {
+    std::lock_guard<std::mutex> Lock(QMu);
+    QStopping = true;
+  }
+  QCv.notify_all();
+  for (std::thread &T : WorkerThreads)
+    T.join();
+
+  {
+    std::lock_guard<std::mutex> Lock(GraceMu);
+    GraceDone = true;
+  }
+  GraceCv.notify_all();
+  if (GraceThread.joinable())
+    GraceThread.join();
+
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  ::unlink(Opts.SocketPath.c_str());
+  Drained = true;
+}
+
+size_t Server::inFlight() const {
+  std::lock_guard<std::mutex> Lock(QMu);
+  return Queue.size() + Executing;
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    // Poll with a timeout so drain is observed even if the shutdown()
+    // wakeup is missed (portability belt-and-braces).
+    pollfd P{ListenFd, POLLIN, 0};
+    int N = ::poll(&P, 1, 100);
+    if (Draining.load())
+      return;
+    if (N <= 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      return; // listen socket is gone
+    }
+    auto C = std::make_shared<Connection>(Fd);
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    if (Draining.load()) {
+      // Lost the race with requestDrain's connection sweep; this
+      // connection was never registered, so close it unserved.
+      continue;
+    }
+    Conns.push_back(C);
+    Readers.emplace_back([this, C] { readerLoop(C); });
+  }
+}
+
+void Server::readerLoop(std::shared_ptr<Connection> C) {
+  std::string Buf;
+  char Chunk[4096];
+  for (;;) {
+    pollfd P{C->Fd, POLLIN, 0};
+    int N = ::poll(&P, 1, 100);
+    if (Draining.load())
+      return;
+    if (N <= 0)
+      continue;
+    ssize_t Got = ::recv(C->Fd, Chunk, sizeof(Chunk), 0);
+    if (Got == 0)
+      return; // client closed (or SHUT_RD)
+    if (Got < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    Buf.append(Chunk, static_cast<size_t>(Got));
+
+    size_t Start = 0;
+    for (size_t Nl; (Nl = Buf.find('\n', Start)) != std::string::npos;
+         Start = Nl + 1) {
+      std::string Line = Buf.substr(Start, Nl - Start);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (!Line.empty())
+        handleLine(C, Line);
+    }
+    Buf.erase(0, Start);
+
+    if (Buf.size() > MaxRequestBytes) {
+      // Framing is lost — there is no way to know where this client's
+      // next request begins. Report once, then stop reading.
+      countError(ServeErrorKind::Protocol);
+      writeLine(*C, errorResponse(nullptr, ServeErrorKind::Protocol,
+                                  "request line exceeds " +
+                                      std::to_string(MaxRequestBytes) +
+                                      " bytes"));
+      return;
+    }
+  }
+}
+
+void Server::handleLine(const std::shared_ptr<Connection> &C,
+                        const std::string &Line) {
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    Metrics.add("serve.requests", 1);
+  }
+
+  Result<ServeRequest> Req = parseServeRequest(Line);
+  if (!Req) {
+    countError(ServeErrorKind::Protocol);
+    writeLine(*C, errorResponse(nullptr, ServeErrorKind::Protocol,
+                                Req.error().str()));
+    return;
+  }
+
+  switch (Req->Kind) {
+  case ServeRequest::Op::Health:
+    writeLine(*C, healthJson(*Req));
+    return;
+  case ServeRequest::Op::Stats:
+    writeLine(*C, statsJson(*Req));
+    return;
+  case ServeRequest::Op::Shutdown: {
+    JsonWriter W;
+    W.beginObject();
+    W.key("ok").value(true);
+    if (Req->HasId)
+      W.key("id").value(Req->Id);
+    W.key("draining").value(true);
+    W.endObject();
+    writeLine(*C, W.str());
+    requestDrain();
+    return;
+  }
+  case ServeRequest::Op::Analyze:
+    break;
+  }
+
+  // Admission control: a full queue sheds immediately instead of letting
+  // latency (and client timeouts) grow without bound.
+  bool Admitted = false;
+  {
+    std::lock_guard<std::mutex> Lock(QMu);
+    if (!QStopping && !Draining.load() && Queue.size() < Opts.QueueCap) {
+      Queue.push_back(
+          Job{C, std::move(*Req), std::chrono::steady_clock::now()});
+      Admitted = true;
+    }
+  }
+  if (Admitted) {
+    QCv.notify_one();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    Metrics.add("serve.shed", 1);
+  }
+  writeLine(*C, errorResponse(&*Req, ServeErrorKind::Shed,
+                              Draining.load()
+                                  ? "server is draining"
+                                  : "server is overloaded, try again"));
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QMu);
+      QCv.wait(Lock, [this] { return QStopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // QStopping and nothing left to answer
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      ++Executing;
+    }
+    processJob(std::move(J));
+    {
+      std::lock_guard<std::mutex> Lock(QMu);
+      --Executing;
+    }
+  }
+}
+
+void Server::processJob(Job J) {
+  const uint64_t Ordinal = NextOrdinal.fetch_add(1) + 1;
+  std::string Resp;
+  // Last line of containment: handleAnalyze contains analysis failures
+  // itself, so this catches only handler-level faults (injected or
+  // real) — the worker answers and survives regardless.
+  try {
+    CPSFLOW_FAULT_COUNTED(fault::Site::ServeHandler, Ordinal);
+    Resp = handleAnalyze(J.Req, Ordinal);
+  } catch (const std::bad_alloc &) {
+    countError(ServeErrorKind::Memory);
+    Resp = errorResponse(&J.Req, ServeErrorKind::Memory,
+                         "contained failure: out of memory");
+  } catch (const std::exception &Ex) {
+    countError(ServeErrorKind::Internal);
+    Resp = errorResponse(&J.Req, ServeErrorKind::Internal,
+                         std::string("contained failure: ") + Ex.what());
+  } catch (...) {
+    countError(ServeErrorKind::Internal);
+    Resp = errorResponse(&J.Req, ServeErrorKind::Internal,
+                         "contained failure: unknown exception");
+  }
+  writeLine(*J.Conn, Resp);
+
+  auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - J.Enqueued)
+                .count();
+  std::lock_guard<std::mutex> Lock(MetricsMu);
+  Metrics.histogram("serve.latencyUs")
+      .record(static_cast<uint64_t>(Us < 0 ? 0 : Us));
+}
+
+std::string Server::handleAnalyze(const ServeRequest &Req,
+                                  uint64_t Ordinal) {
+  AnalyzeConfig Eff = Opts.Defaults;
+  if (Req.MaxGoals)
+    Eff.MaxGoals = Req.MaxGoals;
+  if (Req.DeadlineMs >= 0)
+    Eff.DeadlineMs = Req.DeadlineMs;
+
+  CacheKey Key;
+  Key.SourceDigest = gen::textDigest(Req.Program);
+  Key.Analyzer = Req.Analyzer;
+  Key.Domain = Req.Domain;
+  Key.MaxGoals = Eff.MaxGoals;
+  Key.LoopUnroll = Req.LoopUnroll;
+  Key.DupBudget = Req.DupBudget;
+  Key.UseSummaries = Req.UseSummaries;
+
+  const bool UseCache = Cache && !Req.NoCache;
+  if (UseCache) {
+    if (std::optional<std::string> Hit = Cache->lookup(Key)) {
+      std::lock_guard<std::mutex> Lock(MetricsMu);
+      Metrics.add("serve.ok", 1);
+      Metrics.add("serve.cached", 1);
+      return analyzeResponse(Req, *Hit, /*Cached=*/true);
+    }
+  }
+
+  AnalyzeOutcome Out = runServeAnalyze(Req, Eff, Ordinal);
+  if (!Out.Ok) {
+    countError(Out.Kind);
+    return errorResponse(&Req, Out.Kind, Out.Message);
+  }
+
+  // Only complete (non-degraded) results are cached: a degraded answer
+  // depends on wall-clock and ceilings that are not part of the key.
+  if (UseCache && !Out.Degraded)
+    Cache->store(Key, Out.PayloadJson);
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    Metrics.add("serve.ok", 1);
+    if (Out.Degraded)
+      Metrics.add("serve.degraded", 1);
+  }
+  return analyzeResponse(Req, Out.PayloadJson, /*Cached=*/false);
+}
+
+std::string Server::healthJson(const ServeRequest &Req) {
+  size_t Queued, Running;
+  {
+    std::lock_guard<std::mutex> Lock(QMu);
+    Queued = Queue.size();
+    Running = Executing;
+  }
+  JsonWriter W;
+  W.beginObject();
+  W.key("ok").value(true);
+  if (Req.HasId)
+    W.key("id").value(Req.Id);
+  W.key("status").value(Draining.load() ? "draining" : "ok");
+  W.key("workers").value(static_cast<uint64_t>(Opts.Workers));
+  W.key("queued").value(static_cast<uint64_t>(Queued));
+  W.key("executing").value(static_cast<uint64_t>(Running));
+  W.key("queueCap").value(static_cast<uint64_t>(Opts.QueueCap));
+  W.key("cache").value(Cache != nullptr);
+  W.endObject();
+  return W.str();
+}
+
+std::string Server::statsJson(const ServeRequest &Req) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("ok").value(true);
+  if (Req.HasId)
+    W.key("id").value(Req.Id);
+  W.key("stats");
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    if (Cache) {
+      // Mirror the cache's own counters into the registry at read time
+      // so one document carries the whole picture.
+      ResultCache::CacheStats CS = Cache->stats();
+      Metrics.set("serve.cache.hits", CS.Hits);
+      Metrics.set("serve.cache.misses", CS.Misses);
+      Metrics.set("serve.cache.stores", CS.Stores);
+      Metrics.set("serve.cache.storeFailures", CS.StoreFailures);
+      Metrics.set("serve.cache.corrupt", CS.Corrupt);
+    }
+    Metrics.writeJson(W);
+  }
+  W.endObject();
+  return W.str();
+}
+
+void Server::writeLine(Connection &C, const std::string &Line) {
+  if (C.WriteDead.load())
+    return;
+  std::lock_guard<std::mutex> Lock(C.WriteMu);
+  std::string Framed = Line;
+  Framed.push_back('\n');
+  size_t Off = 0;
+  while (Off < Framed.size()) {
+    ssize_t N = ::send(C.Fd, Framed.data() + Off, Framed.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      // The client went away; there is nobody to tell. Drop the rest of
+      // this connection's output but keep the daemon healthy.
+      C.WriteDead.store(true);
+      return;
+    }
+    Off += static_cast<size_t>(N);
+  }
+}
+
+void Server::countError(ServeErrorKind Kind) {
+  std::lock_guard<std::mutex> Lock(MetricsMu);
+  Metrics.add(std::string("serve.error.") + str(Kind), 1);
+}

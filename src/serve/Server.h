@@ -1,0 +1,159 @@
+//===- serve/Server.h - Fault-tolerant analysis daemon ----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `cpsflow serve` daemon: line-delimited JSON over an AF_UNIX
+/// stream socket, a fixed worker pool, bounded admission, and graceful
+/// drain. Thread shape:
+///
+///   accept thread     accept()s connections, spawns one reader each
+///   reader threads    frame lines, answer health/stats inline, admit
+///                     analyze jobs to the bounded queue (or shed)
+///   worker pool       pop jobs, run one contained analysis each,
+///                     consult/fill the shared ResultCache, respond
+///   grace thread      (during drain) fires the Interrupt token after
+///                     the grace period so stuck analyses degrade
+///                     through the governor instead of blocking exit
+///
+/// Invariants the tests hold the daemon to:
+///
+///  * Every admitted request gets exactly one response — success,
+///    degraded success, or a structured error — on the connection it
+///    arrived on, even when the handler throws, allocation fails, or a
+///    fault is injected. A worker thread never dies.
+///  * Past the queue high-water mark, new analyze requests are shed with
+///    kind "shed" immediately; health/stats stay responsive because they
+///    never queue.
+///  * requestDrain() stops admission, lets in-flight work finish (or
+///    degrade after DrainGraceMs), answers everything already queued,
+///    and only then lets waitDrained() return.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SERVE_SERVER_H
+#define CPSFLOW_SERVE_SERVER_H
+
+#include "serve/Analyze.h"
+#include "serve/Protocol.h"
+#include "serve/ResultCache.h"
+#include "support/Metrics.h"
+#include "support/Result.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cpsflow {
+namespace serve {
+
+struct ServeOptions {
+  std::string SocketPath;
+  unsigned Workers = 2;
+  /// Admission high-water mark: analyze requests arriving while this
+  /// many are already queued are shed.
+  size_t QueueCap = 64;
+  /// Result-cache directory; empty disables the cache.
+  std::string CacheDir;
+  /// How long drain lets in-flight analyses run before firing the
+  /// interrupt token that degrades them.
+  double DrainGraceMs = 2000;
+  /// Default budgets for requests that do not override them.
+  AnalyzeConfig Defaults;
+};
+
+class Server {
+public:
+  explicit Server(ServeOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and starts every thread. Error on bind/listen
+  /// failure (socket path too long, directory missing, ...).
+  Result<bool> start();
+
+  /// Begins graceful shutdown: stop accepting, stop reading, shed
+  /// nothing already queued, arm the grace timer. Idempotent,
+  /// non-blocking, callable from any thread (including a worker
+  /// answering a shutdown op) — but not from a signal handler; signal
+  /// handlers set a flag the owning main loop polls.
+  void requestDrain();
+
+  /// Blocks until the daemon has fully drained, then joins every thread
+  /// and removes the socket file. Calls requestDrain() first if nobody
+  /// has. Must not be called from a server-owned thread.
+  void waitDrained();
+
+  bool draining() const { return Draining.load(); }
+  const ServeOptions &options() const { return Opts; }
+  ResultCache *cache() { return Cache.get(); }
+
+  /// Sum of queued and executing analyze jobs (health reporting).
+  size_t inFlight() const;
+
+private:
+  struct Connection;
+  struct Job {
+    std::shared_ptr<Connection> Conn;
+    ServeRequest Req;
+    std::chrono::steady_clock::time_point Enqueued;
+  };
+
+  void acceptLoop();
+  void readerLoop(std::shared_ptr<Connection> C);
+  void workerLoop();
+  void handleLine(const std::shared_ptr<Connection> &C,
+                  const std::string &Line);
+  void processJob(Job J);
+  std::string handleAnalyze(const ServeRequest &Req, uint64_t Ordinal);
+  std::string healthJson(const ServeRequest &Req);
+  std::string statsJson(const ServeRequest &Req);
+  void writeLine(Connection &C, const std::string &Line);
+  void countError(ServeErrorKind Kind);
+
+  ServeOptions Opts;
+  std::unique_ptr<ResultCache> Cache;
+  std::shared_ptr<support::CancelToken> Interrupt;
+
+  int ListenFd = -1;
+  bool Started = false;
+  bool Drained = false;
+  std::atomic<bool> Draining{false};
+  std::atomic<uint64_t> NextOrdinal{0};
+
+  std::thread AcceptThread;
+  std::vector<std::thread> WorkerThreads;
+
+  mutable std::mutex ConnMu; ///< guards Readers and Conns
+  std::vector<std::thread> Readers;
+  std::vector<std::weak_ptr<Connection>> Conns;
+
+  mutable std::mutex QMu; ///< guards Queue, Executing, QStopping
+  std::condition_variable QCv;
+  std::deque<Job> Queue;
+  size_t Executing = 0;
+  bool QStopping = false;
+
+  std::mutex GraceMu; ///< guards GraceDone + the grace thread handle
+  std::condition_variable GraceCv;
+  bool GraceDone = false;
+  std::thread GraceThread;
+
+  mutable std::mutex MetricsMu;
+  support::MetricsRegistry Metrics;
+};
+
+} // namespace serve
+} // namespace cpsflow
+
+#endif // CPSFLOW_SERVE_SERVER_H

@@ -63,6 +63,9 @@ enum class Site : uint8_t {
   AnalyzerGoal, ///< analyzer goal prologue (counted)
   BatchWorker,  ///< batch worker body entry (named)
   FuzzOracle,   ///< fuzz oracle check entry (named by oracle, e.g. "O2")
+  ServeWorker,  ///< serve worker request body entry (counted per request)
+  ServeHandler, ///< serve handler prologue (counted; Stall fodder)
+  CacheWrite,   ///< result-cache entry write (named by cache key; Tear)
 };
 
 /// What firing does.
@@ -70,14 +73,18 @@ enum class Action : uint8_t {
   Throw,    ///< throw std::logic_error("injected fault: ...")
   BadAlloc, ///< throw std::bad_alloc (simulated allocation failure)
   Stall,    ///< sleep StallMs (simulated hang; watchdog fodder)
+  Tear,     ///< cooperative: shouldTear() reports true and the site
+            ///< simulates a torn/partial write (the cache's crash model)
 };
 
 /// One armed fault.
 struct Plan {
   Site Where = Site::BatchWorker;
   Action What = Action::Throw;
-  std::string Name;      ///< BatchWorker: program name; "" matches all
-  uint64_t AtCount = 1;  ///< AnalyzerGoal: fire when ordinal == AtCount
+  std::string Name;      ///< BatchWorker/CacheWrite: name; "" matches all
+  uint64_t AtCount = 1;  ///< counted sites: fire when ordinal == AtCount
+  uint64_t Every = 0;    ///< counted sites: additionally fire when
+                         ///< ordinal % Every == 0 (0 = off; soak mode)
   uint32_t StallMs = 0;  ///< Stall duration
 };
 
@@ -117,7 +124,8 @@ inline void disarmAll() {
   detail::Armed.store(false, std::memory_order_relaxed);
 }
 
-/// Site hit keyed by name (BatchWorker).
+/// Site hit keyed by name (BatchWorker). Tear plans never fire here —
+/// they are cooperative and only answer shouldTear().
 inline void hitNamed(Site S, const std::string &Name) {
   if (!detail::Armed.load(std::memory_order_relaxed))
     return;
@@ -126,7 +134,8 @@ inline void hitNamed(Site S, const std::string &Name) {
   {
     std::lock_guard<std::mutex> Lock(detail::M);
     for (const Plan &P : detail::Plans)
-      if (P.Where == S && (P.Name.empty() || P.Name == Name)) {
+      if (P.Where == S && P.What != Action::Tear &&
+          (P.Name.empty() || P.Name == Name)) {
         Hit = P;
         Found = true;
         break;
@@ -136,7 +145,8 @@ inline void hitNamed(Site S, const std::string &Name) {
     detail::fire(Hit, Name); // outside the lock: may stall or throw
 }
 
-/// Site hit keyed by ordinal (AnalyzerGoal).
+/// Site hit keyed by ordinal (AnalyzerGoal, ServeWorker, ServeHandler).
+/// A plan fires at an exact ordinal (AtCount) or periodically (Every).
 inline void hitCounted(Site S, uint64_t Ordinal) {
   if (!detail::Armed.load(std::memory_order_relaxed))
     return;
@@ -145,7 +155,9 @@ inline void hitCounted(Site S, uint64_t Ordinal) {
   {
     std::lock_guard<std::mutex> Lock(detail::M);
     for (const Plan &P : detail::Plans)
-      if (P.Where == S && P.AtCount == Ordinal) {
+      if (P.Where == S && P.What != Action::Tear &&
+          ((P.AtCount && P.AtCount == Ordinal) ||
+           (P.Every && Ordinal % P.Every == 0))) {
         Hit = P;
         Found = true;
         break;
@@ -153,6 +165,20 @@ inline void hitCounted(Site S, uint64_t Ordinal) {
   }
   if (Found)
     detail::fire(Hit, "goal " + std::to_string(Ordinal));
+}
+
+/// Cooperative torn-write query (CacheWrite): true when a Tear plan
+/// matches \p Name. The caller simulates the crash-mid-write itself —
+/// the injector cannot usefully throw halfway through an I/O sequence.
+inline bool shouldTear(Site S, const std::string &Name) {
+  if (!detail::Armed.load(std::memory_order_relaxed))
+    return false;
+  std::lock_guard<std::mutex> Lock(detail::M);
+  for (const Plan &P : detail::Plans)
+    if (P.Where == S && P.What == Action::Tear &&
+        (P.Name.empty() || P.Name == Name))
+      return true;
+  return false;
 }
 
 /// RAII arming for tests.
@@ -166,11 +192,13 @@ public:
 
 #define CPSFLOW_FAULT_NAMED(S, N) ::cpsflow::fault::hitNamed(S, N)
 #define CPSFLOW_FAULT_COUNTED(S, C) ::cpsflow::fault::hitCounted(S, C)
+#define CPSFLOW_FAULT_TEARS(S, N) ::cpsflow::fault::shouldTear(S, N)
 
 #else // !CPSFLOW_FAULT_INJECTION
 
 #define CPSFLOW_FAULT_NAMED(S, N) ((void)0)
 #define CPSFLOW_FAULT_COUNTED(S, C) ((void)0)
+#define CPSFLOW_FAULT_TEARS(S, N) (false)
 
 #endif // CPSFLOW_FAULT_INJECTION
 

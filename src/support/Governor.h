@@ -102,6 +102,13 @@ struct GovernorLimits {
   /// Cooperative cancellation; null = not cancellable.
   std::shared_ptr<CancelToken> Cancel;
 
+  /// Secondary process-wide interrupt token (SIGINT/SIGTERM), checked
+  /// alongside Cancel in the periodic probe. Kept separate because Cancel
+  /// is per-run (the batch watchdog cancels ONE stuck program through it)
+  /// while an interrupt must stop every in-flight run at once without the
+  /// driver walking and cancelling each per-run token.
+  std::shared_ptr<CancelToken> Interrupt;
+
   /// Goals between the expensive probes (clock read, cancellation load).
   /// Must be >= 1. Small values make cancellation/deadline latency tight
   /// at some per-goal cost; tests use 1 for determinism of trip points.
@@ -145,6 +152,8 @@ public:
     if (--Countdown == 0) {
       Countdown = Limits.CheckPeriod ? Limits.CheckPeriod : 1;
       if (Limits.Cancel && Limits.Cancel->cancelled())
+        return trip(DegradeReason::Cancelled);
+      if (Limits.Interrupt && Limits.Interrupt->cancelled())
         return trip(DegradeReason::Cancelled);
       if (Limits.Deadline &&
           std::chrono::steady_clock::now() > *Limits.Deadline)

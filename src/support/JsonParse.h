@@ -118,11 +118,20 @@ private:
   std::vector<std::pair<std::string, JsonValue>> Members;
 };
 
+/// Parser knobs. The depth cap bounds the recursive descent so hostile
+/// deeply-nested input ("[[[[...") returns a parse error instead of
+/// overflowing the native stack; servers reading untrusted request
+/// bodies may want it lower still.
+struct JsonParseOptions {
+  unsigned MaxDepth = 256;
+};
+
 namespace json_detail {
 
 class Parser {
 public:
-  explicit Parser(std::string_view Text) : Text(Text) {}
+  explicit Parser(std::string_view Text, JsonParseOptions Opts)
+      : Text(Text), MaxDepth(Opts.MaxDepth) {}
 
   Result<JsonValue> parse() {
     skipWs();
@@ -136,8 +145,6 @@ public:
   }
 
 private:
-  static constexpr unsigned MaxDepth = 256;
-
   Error err(const std::string &Message) const {
     return Error("JSON parse error at offset " + std::to_string(Pos) +
                  ": " + Message);
@@ -168,7 +175,7 @@ private:
 
   Result<JsonValue> parseValue(unsigned Depth) {
     if (Depth > MaxDepth)
-      return err("nesting too deep");
+      return err("nesting too deep (cap " + std::to_string(MaxDepth) + ")");
     if (Pos >= Text.size())
       return err("unexpected end of input");
     switch (Text[Pos]) {
@@ -387,14 +394,16 @@ private:
   }
 
   std::string_view Text;
+  unsigned MaxDepth;
   size_t Pos = 0;
 };
 
 } // namespace json_detail
 
 /// Parses \p Text as one JSON document.
-inline Result<JsonValue> parseJson(std::string_view Text) {
-  return json_detail::Parser(Text).parse();
+inline Result<JsonValue> parseJson(std::string_view Text,
+                                   JsonParseOptions Opts = {}) {
+  return json_detail::Parser(Text, Opts).parse();
 }
 
 } // namespace cpsflow

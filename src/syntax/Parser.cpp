@@ -23,6 +23,21 @@ public:
   explicit TermParser(Context &Ctx) : Ctx(Ctx), Build(Ctx) {}
 
   Result<const Term *> term(const Sexpr &E) {
+    // Every recursive term step passes through here (value() only
+    // recurses via a lambda body's term()), so this one guard bounds the
+    // whole descent.
+    if (Depth >= MaxTermDepth)
+      return Error("program nesting exceeds the supported depth (" +
+                       std::to_string(MaxTermDepth) + ")",
+                   E.Loc);
+    ++Depth;
+    Result<const Term *> T = termImpl(E);
+    --Depth;
+    return T;
+  }
+
+private:
+  Result<const Term *> termImpl(const Sexpr &E) {
     // Atoms are values in term position.
     if (E.isNumber() || E.isSymbol()) {
       Result<const Value *> V = value(E);
@@ -139,6 +154,7 @@ private:
 
   Context &Ctx;
   Builder Build;
+  unsigned Depth = 0;
 };
 
 } // namespace

@@ -29,6 +29,16 @@
 namespace cpsflow {
 namespace syntax {
 
+/// Term-nesting cap for the recursive-descent term parser and the
+/// desugarer. Deliberately below the s-expression reader's 4000-element
+/// list cap (Sexpr.cpp) so the term-level guard is reachable: desugaring
+/// can spend several native frames per source level, so the term walk
+/// needs its own, tighter wall. A program this deep is adversarial input,
+/// not a real analysis subject — rejecting it with a parse error keeps
+/// every entry point (CLI, batch workers, serve handlers) off the
+/// unbounded native stack.
+inline constexpr unsigned MaxTermDepth = 2000;
+
 /// Parses \p Source as a single language-A term allocated in \p Ctx.
 Result<const Term *> parseTerm(Context &Ctx, std::string_view Source);
 

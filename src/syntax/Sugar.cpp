@@ -7,6 +7,7 @@
 #include "syntax/Sugar.h"
 
 #include "syntax/Builder.h"
+#include "syntax/Parser.h"
 #include "syntax/Sexpr.h"
 
 #include <string>
@@ -29,6 +30,19 @@ public:
   explicit Desugarer(Context &Ctx) : Ctx(Ctx), B(Ctx) {}
 
   Result<const Term *> term(const Sexpr &E) {
+    // Same wall as TermParser::term: every desugaring form recurses
+    // through here, so one guard bounds the native stack.
+    if (Depth >= MaxTermDepth)
+      return Error("program nesting exceeds the supported depth (" +
+                       std::to_string(MaxTermDepth) + ")",
+                   E.Loc);
+    ++Depth;
+    Result<const Term *> T = termImpl(E);
+    --Depth;
+    return T;
+  }
+
+  Result<const Term *> termImpl(const Sexpr &E) {
     if (E.isNumber())
       return static_cast<const Term *>(B.numTerm(E.Number, E.Loc));
     if (E.isSymbol())
@@ -305,6 +319,7 @@ private:
 
   Context &Ctx;
   Builder B;
+  unsigned Depth = 0;
 };
 
 } // namespace

@@ -1,0 +1,139 @@
+//===- tests/InterruptTests.cpp - Cooperative interrupt paths ---*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SIGINT/SIGTERM cooperative-cancellation contract behind
+/// `cpsflow batch` and `cpsflow fuzz`: an interrupt token firing makes
+/// in-flight analyses degrade through the governor (sound, Section 4.4),
+/// stops the driver at the next boundary, and still yields a complete,
+/// valid JSON report marked "interrupted": true — never a torn document.
+/// The CLI signal handlers only set this token; everything observable is
+/// library behavior, so it is tested here without real signals.
+///
+//===----------------------------------------------------------------------===//
+
+#include "clients/Batch.h"
+#include "fuzz/Campaign.h"
+#include "support/JsonParse.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+using namespace cpsflow;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::shared_ptr<support::CancelToken> firedToken() {
+  auto Tok = std::make_shared<support::CancelToken>();
+  Tok->cancel();
+  return Tok;
+}
+
+// The governor-level half of the contract (a fired token trips every
+// analyzer to a sound Cancelled degrade) is covered by
+// GovernorTests.PreCancelledTokenTripsImmediately; these tests cover the
+// driver/report half the CLI signal handlers rely on.
+
+class InterruptBatchTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = fs::temp_directory_path() /
+          ("cpsflow-interrupt-" +
+           std::to_string(
+               ::testing::UnitTest::GetInstance()->random_seed()) +
+           "-" + ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name());
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+    for (const char *Name : {"a.scm", "b.scm"}) {
+      std::ofstream Out(Dir / Name);
+      Out << "(let (x 2) (+ x 3))\n";
+      Files.push_back((Dir / Name).string());
+    }
+  }
+  void TearDown() override { fs::remove_all(Dir); }
+
+  fs::path Dir;
+  std::vector<std::string> Files;
+};
+
+TEST_F(InterruptBatchTest, PreCancelledBatchFlushesAValidInterruptedReport) {
+  clients::BatchOptions BOpts;
+  BOpts.Interrupt = firedToken();
+  BOpts.IncludeTiming = false;
+  clients::BatchResult R = clients::runBatchFiles(Files, BOpts);
+
+  EXPECT_TRUE(R.Interrupted);
+  ASSERT_EQ(R.Programs.size(), Files.size());
+  for (const clients::BatchProgramResult &P : R.Programs) {
+    EXPECT_FALSE(P.Ok);
+    EXPECT_NE(P.Error.find("interrupted"), std::string::npos) << P.Error;
+  }
+
+  // The flushed report is complete, parseable JSON carrying the marker.
+  std::string Json = clients::batchJson(R, BOpts);
+  Result<JsonValue> Doc = parseJson(Json);
+  ASSERT_TRUE(Doc.hasValue()) << Json;
+  const JsonValue *Flag = Doc->find("interrupted");
+  ASSERT_NE(Flag, nullptr);
+  EXPECT_TRUE(Flag->asBool());
+  ASSERT_NE(Doc->find("programs"), nullptr);
+  EXPECT_EQ(Doc->find("programs")->items().size(), Files.size());
+}
+
+TEST_F(InterruptBatchTest, UninterruptedReportCarriesNoMarker) {
+  clients::BatchOptions BOpts;
+  BOpts.Interrupt = std::make_shared<support::CancelToken>(); // never fires
+  BOpts.IncludeTiming = false;
+  clients::BatchResult R = clients::runBatchFiles(Files, BOpts);
+  EXPECT_FALSE(R.Interrupted);
+  std::string Json = clients::batchJson(R, BOpts);
+  Result<JsonValue> Doc = parseJson(Json);
+  ASSERT_TRUE(Doc.hasValue());
+  EXPECT_EQ(Doc->find("interrupted"), nullptr)
+      << "the marker is only emitted on interrupted runs, so untouched "
+         "reports stay byte-identical to pre-interrupt builds";
+}
+
+TEST(InterruptFuzz, PreCancelledCampaignStopsAtTheFirstWaveBoundary) {
+  fuzz::CampaignOptions COpts;
+  COpts.Iterations = 8;
+  COpts.MaxFindings = 4;
+  COpts.IncludeTiming = false;
+  COpts.Oracle.Interrupt = firedToken();
+  fuzz::CampaignResult R = fuzz::runCampaign(COpts, {});
+
+  EXPECT_TRUE(R.Interrupted);
+  EXPECT_EQ(R.Iterations, 0u) << "a pre-fired token stops before any wave";
+
+  std::string Json = fuzz::campaignJson(R, COpts);
+  Result<JsonValue> Doc = parseJson(Json);
+  ASSERT_TRUE(Doc.hasValue()) << Json;
+  const JsonValue *Flag = Doc->find("interrupted");
+  ASSERT_NE(Flag, nullptr);
+  EXPECT_TRUE(Flag->asBool());
+}
+
+TEST(InterruptFuzz, QuietTokenLeavesTheCampaignAlone) {
+  fuzz::CampaignOptions COpts;
+  COpts.Iterations = 2;
+  COpts.IncludeTiming = false;
+  COpts.Oracle.Interrupt = std::make_shared<support::CancelToken>();
+  fuzz::CampaignResult R = fuzz::runCampaign(COpts, {});
+  EXPECT_FALSE(R.Interrupted);
+  EXPECT_EQ(R.Iterations, 2u);
+  Result<JsonValue> Doc = parseJson(fuzz::campaignJson(R, COpts));
+  ASSERT_TRUE(Doc.hasValue());
+  EXPECT_EQ(Doc->find("interrupted"), nullptr);
+}
+
+} // namespace

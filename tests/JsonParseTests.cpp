@@ -51,6 +51,32 @@ TEST(JsonParse, DepthCapRejectsDeepNesting) {
       << R.error().str();
 }
 
+// The serve layer parses untrusted request bodies with a tighter cap;
+// the cap must be exact so admission behavior is predictable: below and
+// exactly at the configured depth parse, one past it is a structured
+// error naming the cap.
+TEST(JsonParse, DepthCapIsConfigurableAndExact) {
+  JsonParseOptions Opts;
+  Opts.MaxDepth = 16;
+  auto nested = [](unsigned N) {
+    std::string S(N, '[');
+    S += "1";
+    S.append(N, ']');
+    return S;
+  };
+  EXPECT_TRUE(parseJson(nested(Opts.MaxDepth - 1), Opts).hasValue());
+  EXPECT_TRUE(parseJson(nested(Opts.MaxDepth), Opts).hasValue());
+  Result<JsonValue> R = parseJson(nested(Opts.MaxDepth + 1), Opts);
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().str().find("cap 16"), std::string::npos)
+      << R.error().str();
+
+  // Objects count against the same cap as arrays.
+  Opts.MaxDepth = 2;
+  EXPECT_TRUE(parseJson("{\"a\": {\"b\": 1}}", Opts).hasValue());
+  EXPECT_FALSE(parseJson("{\"a\": {\"b\": {\"c\": 1}}}", Opts).hasValue());
+}
+
 TEST(JsonParse, BadUnicodeEscapesAreErrors) {
   for (const char *Text : {
            "\"\\uZZZZ\"",       // non-hex digits

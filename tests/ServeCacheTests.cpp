@@ -1,0 +1,251 @@
+//===- tests/ServeCacheTests.cpp - Crash-safe result cache ------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve ResultCache's crash-safety contract: a round-tripped entry
+/// is byte-identical; a truncated, bit-flipped, zero-filled, or
+/// trailing-garbage entry is detected on read, quarantined, and reported
+/// as a miss (so the caller recomputes — corruption is never served and
+/// never fatal); a torn write (injected or real) never publishes a
+/// readable entry; and the key covers exactly the inputs that change the
+/// computed answer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/ResultCache.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+using namespace cpsflow;
+using namespace cpsflow::serve;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A fresh cache directory per test, removed on teardown.
+class ServeCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = fs::temp_directory_path() /
+          ("cpsflow-cache-test-" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+           "-" + ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name());
+    fs::remove_all(Dir);
+  }
+  void TearDown() override { fs::remove_all(Dir); }
+
+  CacheKey key() {
+    CacheKey K;
+    K.SourceDigest = 0x1234abcd5678ef01ull;
+    K.Analyzer = "direct";
+    K.Domain = "constant";
+    K.MaxGoals = 5'000'000;
+    K.LoopUnroll = 64;
+    K.DupBudget = 2;
+    K.UseSummaries = true;
+    return K;
+  }
+
+  /// Reads the raw entry file for \p K.
+  static std::string slurp(const std::string &Path) {
+    std::ifstream In(Path, std::ios::binary);
+    std::string S((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+    return S;
+  }
+
+  /// Overwrites the entry file for \p K with \p Bytes.
+  static void scribble(const std::string &Path, const std::string &Bytes) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+
+  size_t quarantineCount(ResultCache &C) {
+    size_t N = 0;
+    fs::path Q = fs::path(C.dir()) / "quarantine";
+    if (fs::exists(Q))
+      for (const auto &E : fs::directory_iterator(Q)) {
+        (void)E;
+        ++N;
+      }
+    return N;
+  }
+
+  fs::path Dir;
+};
+
+TEST_F(ServeCacheTest, RoundTripIsByteIdentical) {
+  ResultCache C(Dir.string());
+  ASSERT_TRUE(C.ok());
+  CacheKey K = key();
+  EXPECT_FALSE(C.lookup(K).has_value());
+  std::string Payload = "{\"answer\":\"(5, {})\",\"stats\":{\"goals\":5}}";
+  ASSERT_TRUE(C.store(K, Payload));
+  std::optional<std::string> Got = C.lookup(K);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, Payload);
+  ResultCache::CacheStats S = C.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Stores, 1u);
+  EXPECT_EQ(S.Corrupt, 0u);
+}
+
+TEST_F(ServeCacheTest, SurvivesDaemonRestart) {
+  CacheKey K = key();
+  std::string Payload = "persistent-payload";
+  {
+    ResultCache C(Dir.string());
+    ASSERT_TRUE(C.store(K, Payload));
+  }
+  ResultCache C2(Dir.string());
+  std::optional<std::string> Got = C2.lookup(K);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, Payload);
+}
+
+TEST_F(ServeCacheTest, TruncatedEntryIsQuarantinedAndRecomputedThrough) {
+  ResultCache C(Dir.string());
+  CacheKey K = key();
+  std::string Payload(1024, 'x');
+  Payload += "tail-that-matters";
+  ASSERT_TRUE(C.store(K, Payload));
+
+  // Simulate a crash mid-write that left a short file behind.
+  std::string Raw = slurp(C.entryPath(K));
+  ASSERT_GT(Raw.size(), 64u);
+  scribble(C.entryPath(K), Raw.substr(0, Raw.size() / 2));
+
+  EXPECT_FALSE(C.lookup(K).has_value()) << "truncated entry must miss";
+  EXPECT_EQ(C.stats().Corrupt, 1u);
+  EXPECT_EQ(quarantineCount(C), 1u);
+  EXPECT_FALSE(fs::exists(C.entryPath(K))) << "bad entry must be moved out";
+
+  // The recompute path: store again, and the payload round-trips
+  // byte-identically (corruption cost a recompute, nothing else).
+  ASSERT_TRUE(C.store(K, Payload));
+  std::optional<std::string> Got = C.lookup(K);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, Payload);
+}
+
+TEST_F(ServeCacheTest, BitFlippedPayloadIsDetected) {
+  ResultCache C(Dir.string());
+  CacheKey K = key();
+  std::string Payload = "the checksummed payload body 0123456789";
+  ASSERT_TRUE(C.store(K, Payload));
+
+  std::string Raw = slurp(C.entryPath(K));
+  Raw[Raw.size() - 4] ^= 0x20; // flip one bit near the end of the payload
+  scribble(C.entryPath(K), Raw);
+
+  EXPECT_FALSE(C.lookup(K).has_value()) << "bit flip must fail the checksum";
+  EXPECT_EQ(C.stats().Corrupt, 1u);
+  EXPECT_EQ(quarantineCount(C), 1u);
+}
+
+TEST_F(ServeCacheTest, ZeroFilledEntryIsDetected) {
+  ResultCache C(Dir.string());
+  CacheKey K = key();
+  ASSERT_TRUE(C.store(K, "real payload"));
+  std::string Raw = slurp(C.entryPath(K));
+  scribble(C.entryPath(K), std::string(Raw.size(), '\0'));
+  EXPECT_FALSE(C.lookup(K).has_value());
+  EXPECT_EQ(C.stats().Corrupt, 1u);
+}
+
+TEST_F(ServeCacheTest, TrailingGarbageIsDetected) {
+  ResultCache C(Dir.string());
+  CacheKey K = key();
+  ASSERT_TRUE(C.store(K, "clean"));
+  std::string Raw = slurp(C.entryPath(K));
+  scribble(C.entryPath(K), Raw + "overlong-extra-bytes");
+  EXPECT_FALSE(C.lookup(K).has_value())
+      << "a frame longer than its declared size is corrupt, not a hit";
+  EXPECT_EQ(C.stats().Corrupt, 1u);
+}
+
+TEST_F(ServeCacheTest, KeyCoversEveryAnswerChangingInput) {
+  CacheKey Base = key();
+  uint64_t H = cacheKeyHash(Base);
+  CacheKey K = Base;
+  K.SourceDigest ^= 1;
+  EXPECT_NE(cacheKeyHash(K), H);
+  K = Base;
+  K.Analyzer = "semantic";
+  EXPECT_NE(cacheKeyHash(K), H);
+  K = Base;
+  K.Domain = "interval";
+  EXPECT_NE(cacheKeyHash(K), H);
+  K = Base;
+  K.MaxGoals += 1;
+  EXPECT_NE(cacheKeyHash(K), H);
+  K = Base;
+  K.LoopUnroll += 1;
+  EXPECT_NE(cacheKeyHash(K), H);
+  K = Base;
+  K.DupBudget += 1;
+  EXPECT_NE(cacheKeyHash(K), H);
+  K = Base;
+  K.UseSummaries = !K.UseSummaries;
+  EXPECT_NE(cacheKeyHash(K), H);
+}
+
+TEST_F(ServeCacheTest, DistinctKeysDoNotCollideInStorage) {
+  ResultCache C(Dir.string());
+  CacheKey A = key();
+  CacheKey B = key();
+  B.Analyzer = "syntactic";
+  ASSERT_TRUE(C.store(A, "answer-A"));
+  ASSERT_TRUE(C.store(B, "answer-B"));
+  EXPECT_EQ(*C.lookup(A), "answer-A");
+  EXPECT_EQ(*C.lookup(B), "answer-B");
+}
+
+TEST_F(ServeCacheTest, UnusableRootDegradesToNoop) {
+  // A path that cannot be a directory: the cache must degrade to a
+  // cache-off daemon, not a failed one.
+  ResultCache C("/dev/null/not-a-directory");
+  EXPECT_FALSE(C.ok());
+  CacheKey K = key();
+  EXPECT_FALSE(C.lookup(K).has_value());
+  EXPECT_FALSE(C.store(K, "payload"));
+}
+
+#ifdef CPSFLOW_FAULT_INJECTION
+TEST_F(ServeCacheTest, InjectedTornWriteIsNeverServed) {
+  ResultCache C(Dir.string());
+  CacheKey K = key();
+  std::string Payload(512, 'p');
+  {
+    fault::ScopedFault F({fault::Site::CacheWrite, fault::Action::Tear,
+                          /*Name=*/"", /*AtCount=*/1, /*Every=*/0,
+                          /*StallMs=*/0});
+    EXPECT_FALSE(C.store(K, Payload)) << "a torn store must report failure";
+  }
+  EXPECT_EQ(C.stats().StoreFailures, 1u);
+  // The torn frame is on disk (rename happened — the modeled crash is
+  // after publish); reading it must quarantine, not serve.
+  EXPECT_FALSE(C.lookup(K).has_value());
+  EXPECT_EQ(C.stats().Corrupt, 1u);
+  EXPECT_EQ(quarantineCount(C), 1u);
+
+  // Recovery: the next (untorn) store round-trips byte-identically.
+  ASSERT_TRUE(C.store(K, Payload));
+  std::optional<std::string> Got = C.lookup(K);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, Payload);
+}
+#endif // CPSFLOW_FAULT_INJECTION
+
+} // namespace

@@ -130,4 +130,33 @@ TEST(Sugar, Errors) {
   EXPECT_FALSE(parseSugaredProgram(Ctx, "1 (define x 2) x").hasValue());
 }
 
+// The desugarer walks the same recursive descent as the core parser and
+// carries the same MaxTermDepth wall; hostile nesting through the
+// surface-language entry point (the one the CLI and the serve daemon
+// actually use) must be a parse error, not a stack overflow.
+TEST(Sugar, DeeplyNestedProgramsAreParseErrors) {
+  auto nested = [](size_t Levels) {
+    std::string P;
+    for (size_t I = 0; I < Levels; ++I)
+      P += "(f ";
+    P += "x";
+    P.append(Levels, ')');
+    return P;
+  };
+  {
+    Context Ctx;
+    Result<const Term *> R = parseSugaredProgram(Ctx, nested(100000));
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_NE(R.error().str().find("depth"), std::string::npos)
+        << R.error().str();
+  }
+  {
+    Context Ctx;
+    Result<const Term *> R = parseSugaredProgram(Ctx, nested(3000));
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_NE(R.error().str().find("supported depth"), std::string::npos)
+        << R.error().str();
+  }
+}
+
 } // namespace

@@ -136,6 +136,45 @@ TEST(Parser, RejectsMalformedForms) {
   EXPECT_FALSE(parseTerm(Ctx, "(loop 1)").hasValue());
 }
 
+// Builds `(f (f (f ... x)))` nested \p Levels deep — structurally valid
+// at every level, so the only thing that can reject it is a depth guard.
+static std::string deeplyNested(size_t Levels) {
+  std::string P;
+  P.reserve(Levels * 4 + 1);
+  for (size_t I = 0; I < Levels; ++I)
+    P += "(f ";
+  P += "x";
+  P.append(Levels, ')');
+  return P;
+}
+
+// Adversarial nesting must come back as a structured parse error, never
+// a native stack overflow. Two regimes: past the s-expression reader's
+// 4000-element cap (the 100k case), and between the term parser's
+// MaxTermDepth and the reader cap, where the new term-level guard is the
+// one that fires.
+TEST(Parser, DeeplyNestedProgramsAreParseErrors) {
+  {
+    Context Ctx;
+    Result<const Term *> R = parseTerm(Ctx, deeplyNested(100000));
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_NE(R.error().str().find("depth"), std::string::npos)
+        << R.error().str();
+  }
+  {
+    Context Ctx;
+    Result<const Term *> R = parseTerm(Ctx, deeplyNested(MaxTermDepth + 500));
+    ASSERT_FALSE(R.hasValue());
+    EXPECT_NE(R.error().str().find("supported depth"), std::string::npos)
+        << R.error().str();
+  }
+  // Just under the term cap parses (the guard is not over-eager).
+  {
+    Context Ctx;
+    EXPECT_TRUE(parseTerm(Ctx, deeplyNested(MaxTermDepth - 10)).hasValue());
+  }
+}
+
 TEST(Printer, RoundTripIsStructurallyEqual) {
   Context Ctx;
   const char *Text =

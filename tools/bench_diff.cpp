@@ -13,7 +13,9 @@
 /// regressions beyond a threshold. CI runs it
 /// against the committed BENCH_throughput.json baseline, so the default
 /// comparison uses only deterministic work counters; wall-clock deltas
-/// are opt-in (--wall) because shared runners make timing noisy.
+/// are opt-in (--wall) because shared runners make timing noisy. For
+/// loadgen reports (tools/loadgen), --p95 opts into comparing the
+/// serve-path p95 latency ("loadgen".latencyUs.p95) the same way.
 ///
 /// Per leg (direct/semantic/syntactic/dup), counters are summed over the
 /// programs that appear ok in BOTH reports, so adding a corpus program
@@ -59,6 +61,7 @@ struct Report {
   /// Names of programs that analyzed ok.
   std::set<std::string> OkNames;
   double WallMs = 0;
+  double P95Us = 0; ///< loadgen reports only (0 elsewhere)
 };
 
 [[noreturn]] void fail(const std::string &Message) {
@@ -85,6 +88,9 @@ JsonValue loadReport(const std::string &Path) {
 Report summarize(const JsonValue &Doc, const std::set<std::string> *Shared) {
   Report R;
   R.WallMs = Doc.numberOr("wallMs", 0);
+  if (const JsonValue *LG = Doc.find("loadgen"))
+    if (const JsonValue *L = LG->find("latencyUs"))
+      R.P95Us = L->numberOr("p95", 0);
   for (const JsonValue &P : Doc.find("programs")->items()) {
     const JsonValue *Ok = P.find("ok");
     const JsonValue *Name = P.find("name");
@@ -119,6 +125,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> Files;
   double ThresholdPct = 10.0;
   bool CompareWall = false;
+  bool CompareP95 = false;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--threshold") {
@@ -130,9 +137,11 @@ int main(int argc, char **argv) {
       ThresholdPct = *V;
     } else if (A == "--wall") {
       CompareWall = true;
+    } else if (A == "--p95") {
+      CompareP95 = true;
     } else if (A == "--help" || A == "-h") {
       std::printf("usage: bench_diff BASELINE.json CURRENT.json "
-                  "[--threshold PCT] [--wall]\n");
+                  "[--threshold PCT] [--wall] [--p95]\n");
       return 0;
     } else if (!A.empty() && A[0] == '-') {
       fail("unknown flag '" + A + "'");
@@ -199,6 +208,8 @@ int main(int argc, char **argv) {
       row(Leg, C, Base.Sums[Leg][C], Cur.Sums[Leg][C]);
   if (CompareWall)
     row("total", "wallMs", Base.WallMs, Cur.WallMs);
+  if (CompareP95)
+    row("serve", "p95Us", Base.P95Us, Cur.P95Us);
 
   if (Regressions) {
     std::printf("%d regression(s) beyond %.1f%%\n", Regressions,

@@ -24,6 +24,12 @@
 ///                                      mutator (optional)
 ///   cpsflow explain FILE --var x       derivation chain for x's final
 ///                                      abstract value (docs/EXPLAIN.md)
+///   cpsflow serve --socket PATH        long-running analysis daemon:
+///                                      line-delimited JSON over an
+///                                      AF_UNIX socket, worker pool,
+///                                      crash-safe result cache
+///                                      (docs/SERVE.md; tools/loadgen is
+///                                      the matching load driver)
 ///   cpsflow version                    build configuration and the JSON
 ///                                      schema versions this binary emits
 ///
@@ -62,6 +68,7 @@
 #include "clients/Reports.h"
 #include "cps/Transform.h"
 #include "fuzz/Campaign.h"
+#include "serve/Server.h"
 #include "support/FaultInjector.h"
 #include "interp/Delta.h"
 #include "interp/Direct.h"
@@ -77,7 +84,9 @@
 #include "syntax/Sugar.h"
 #include "syntax/Printer.h"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <deque>
 #include <filesystem>
@@ -86,8 +95,10 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace cpsflow;
@@ -127,6 +138,13 @@ struct Options {
   std::string Var;      ///< variable whose derivation to explain.
   std::string GraphOut; ///< derivation-graph destination (.dot or .json).
 
+  // serve-only knobs.
+  std::string ServeSocket;    ///< AF_UNIX listen path (required).
+  unsigned ServeWorkers = 2;  ///< analysis worker pool size.
+  uint64_t QueueCap = 64;     ///< admission high-water mark.
+  std::string CacheDir;       ///< result-cache directory; empty = off.
+  double DrainGraceMs = 2000; ///< drain grace before degrading work.
+
   // fuzz-only knobs.
   uint64_t FuzzSeed = 1;
   uint64_t Iterations = 0;
@@ -146,7 +164,7 @@ struct Options {
       stderr,
       "usage: cpsflow COMMAND FILE [options]\n"
       "commands: parse | anf | steps | cps | run | analyze | compare | "
-      "fold | inline | batch | fuzz | explain | version\n"
+      "fold | inline | batch | fuzz | explain | serve | version\n"
       "options:  --machine=direct|semantic|syntactic\n"
       "          --analyzer=direct|semantic|syntactic|dup\n"
       "          --domain=constant|unit|sign|parity|interval\n"
@@ -188,6 +206,17 @@ struct Options {
       "          --wave N           tasks per scheduling wave (default 32)\n"
       "          --no-shrink        keep findings unminimized\n"
       "          --replay FILE      re-check one reproducer and exit\n"
+      "serve options (serve takes no FILE; see docs/SERVE.md):\n"
+      "          --socket PATH      AF_UNIX listen path (required)\n"
+      "          --serve-workers N  analysis worker pool size (default 2)\n"
+      "          --queue-cap N      admission high-water mark: analyze\n"
+      "                             requests past it are shed (default 64)\n"
+      "          --cache-dir DIR    persistent crash-safe result cache\n"
+      "                             (omitted = caching off)\n"
+      "          --drain-grace-ms N grace before in-flight analyses are\n"
+      "                             degraded on drain (default 2000)\n"
+      "          the governor flags above (--deadline-ms, --max-goals,\n"
+      "          --max-store-mb, --max-depth) set per-request defaults\n"
       "FILE may be '-' for stdin.\n");
   std::exit(2);
 }
@@ -224,13 +253,15 @@ Options parseArgs(int Argc, char **Argv) {
   O.Command = Argv[1];
   if (O.Command == "--version")
     O.Command = "version";
-  // fuzz's corpus directory is optional, and version takes no input at
-  // all; every other command requires its FILE (or DIR) positional.
+  // fuzz's corpus directory is optional, and version and serve take no
+  // input at all; every other command requires its FILE (or DIR)
+  // positional.
   int First = 2;
   if (First < Argc && Argv[First][0] != '-') {
     O.File = Argv[First];
     ++First;
-  } else if (O.Command != "fuzz" && O.Command != "version") {
+  } else if (O.Command != "fuzz" && O.Command != "version" &&
+             O.Command != "serve") {
     if (First < Argc && std::strcmp(Argv[First], "-") == 0) {
       O.File = "-";
       ++First;
@@ -323,6 +354,20 @@ Options parseArgs(int Argc, char **Argv) {
       O.NoShrink = true;
     } else if (A == "--replay" && I + 1 < Argc) {
       O.ReplayFile = Argv[++I];
+    } else if (A == "--socket" && I + 1 < Argc) {
+      O.ServeSocket = Argv[++I];
+    } else if (A == "--serve-workers" && I + 1 < Argc) {
+      O.ServeWorkers = static_cast<unsigned>(
+          flagUint("--serve-workers", Argv[++I], /*Max=*/4096));
+      if (O.ServeWorkers == 0)
+        usage("--serve-workers: need at least 1");
+    } else if (A == "--queue-cap" && I + 1 < Argc) {
+      O.QueueCap = flagUint("--queue-cap", Argv[++I],
+                            /*Max=*/uint64_t{1} << 20);
+    } else if (A == "--cache-dir" && I + 1 < Argc) {
+      O.CacheDir = Argv[++I];
+    } else if (A == "--drain-grace-ms" && I + 1 < Argc) {
+      O.DrainGraceMs = flagMs("--drain-grace-ms", Argv[++I]);
     } else if (A == "--no-timing") {
       O.NoTiming = true;
     } else if (A == "--show-cfg") {
@@ -384,8 +429,10 @@ struct Loaded {
       return syntax::parseSugaredProgram(Ctx, readInput(O.File));
     }();
     if (!R) {
+      // Exit 2, like flag/usage errors: the input never reached an
+      // analyzer, so this is an input error, not an analysis failure.
       std::fprintf(stderr, "parse error: %s\n", R.error().str().c_str());
-      std::exit(1);
+      std::exit(2);
     }
     Raw = *R;
     support::TraceSpan S(Trace, "anf");
@@ -932,6 +979,43 @@ int cmdAnalyze(const Options &O) {
   return RC;
 }
 
+// Process-wide signal state for the long-running commands (batch, fuzz,
+// serve). The handler touches only async-signal-safe state: a lock-free
+// atomic flag plus the lock-free CancelToken registered before the
+// handler was installed. Analyses see the token through the governor's
+// periodic probe and degrade via the Section 4.4 cut path, so the report
+// that follows an interrupt is valid JSON over sound partial results.
+std::atomic<int> GSignal{0};
+support::CancelToken *GInterrupt = nullptr;
+
+/// Installs SIGINT/SIGTERM handlers. The returned token is anchored in a
+/// function-local static, so the handler's raw pointer outlives every
+/// command that runs after installation.
+std::shared_ptr<support::CancelToken> installInterruptHandlers() {
+  static std::shared_ptr<support::CancelToken> Tok =
+      std::make_shared<support::CancelToken>();
+  GInterrupt = Tok.get();
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = [](int Sig) {
+    GSignal.store(Sig);
+    if (GInterrupt)
+      GInterrupt->cancel();
+  };
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+  return Tok;
+}
+
+/// 130 for SIGINT, 143 for SIGTERM — the conventional 128+signal codes,
+/// emitted after the partial report has been flushed.
+int interruptExitCode() {
+  int Sig = GSignal.load();
+  return 128 + (Sig ? Sig : SIGINT);
+}
+
 int cmdBatch(const Options &O) {
   // O.File is a corpus directory here, not a single program.
   Result<std::vector<std::string>> Files = clients::collectCorpus(O.File);
@@ -957,6 +1041,7 @@ int cmdBatch(const Options &O) {
   BOpts.Retry = O.Retry;
   BOpts.UseSummaries = !O.NoSummaries;
   BOpts.IncludeTiming = !O.NoTiming;
+  BOpts.Interrupt = installInterruptHandlers();
   support::Tracer T;
   if (!O.TraceOut.empty())
     BOpts.Trace = &T;
@@ -981,6 +1066,13 @@ int cmdBatch(const Options &O) {
       std::fprintf(stderr, "warning: %s: [%s] %s\n", P.Name.c_str(),
                    clients::str(P.Kind), P.Error.c_str());
     }
+  // The report above is complete and valid even after an interrupt
+  // (degraded/skipped programs are ordinary records); the exit code is
+  // what tells callers the run was cut short.
+  if (R.Interrupted) {
+    std::fprintf(stderr, "interrupted: partial report flushed\n");
+    return interruptExitCode();
+  }
   // Failures are contained per-program records by design; only strict
   // mode turns them into a failing exit.
   return (O.FailOnBudget && Failures) ? 1 : 0;
@@ -1066,6 +1158,7 @@ int cmdFuzz(const Options &O) {
   COpts.MaxFindings = O.MaxFindings;
   COpts.Shrink = !O.NoShrink;
   COpts.Oracle = *OOpts;
+  COpts.Oracle.Interrupt = installInterruptHandlers();
   COpts.IncludeTiming = !O.NoTiming;
   support::Tracer T;
   if (!O.TraceOut.empty())
@@ -1098,7 +1191,104 @@ int cmdFuzz(const Options &O) {
   }
 
   std::fprintf(stderr, "%s", fuzz::campaignSummary(R, COpts).c_str());
+  if (R.Interrupted) {
+    std::fprintf(stderr, "interrupted: partial report flushed\n");
+    return interruptExitCode();
+  }
   return R.Findings.empty() ? 0 : 1;
+}
+
+int cmdServe(const Options &O) {
+  if (O.ServeSocket.empty())
+    usage("serve requires --socket PATH");
+
+#ifdef CPSFLOW_FAULT_INJECTION
+  // CPSFLOW_SERVE_INJECT=SPEC[,SPEC...] arms serve-layer faults for soak
+  // runs, the serving analogue of CPSFLOW_FUZZ_INJECT. Each SPEC is
+  // worker | handler | memory | stall (optionally :N = every Nth
+  // request; default every 3rd) or tear (every cache entry write is
+  // torn). The soak test's claim is that none of these ever kills the
+  // process or wedges a worker — only per-request structured errors.
+  if (const char *Inject = std::getenv("CPSFLOW_SERVE_INJECT")) {
+    std::stringstream Specs(Inject);
+    std::string Spec;
+    while (std::getline(Specs, Spec, ',')) {
+      if (Spec.empty())
+        continue;
+      uint64_t Every = 3;
+      size_t Colon = Spec.find(':');
+      if (Colon != std::string::npos) {
+        Every = flagUint("CPSFLOW_SERVE_INJECT", Spec.c_str() + Colon + 1,
+                         /*Max=*/uint64_t{1} << 32);
+        Spec.resize(Colon);
+      }
+      fault::Plan P;
+      P.AtCount = 0;
+      P.Every = Every;
+      if (Spec == "worker") {
+        P.Where = fault::Site::ServeWorker;
+        P.What = fault::Action::Throw;
+      } else if (Spec == "handler") {
+        P.Where = fault::Site::ServeHandler;
+        P.What = fault::Action::Throw;
+      } else if (Spec == "memory") {
+        P.Where = fault::Site::ServeWorker;
+        P.What = fault::Action::BadAlloc;
+      } else if (Spec == "stall") {
+        P.Where = fault::Site::ServeHandler;
+        P.What = fault::Action::Stall;
+        P.StallMs = 200;
+      } else if (Spec == "tear") {
+        P.Where = fault::Site::CacheWrite;
+        P.What = fault::Action::Tear;
+      } else {
+        std::fprintf(stderr,
+                     "error: CPSFLOW_SERVE_INJECT: unknown spec '%s'\n",
+                     Spec.c_str());
+        return 2;
+      }
+      fault::arm(P);
+    }
+  }
+#endif
+
+  serve::ServeOptions SOpts;
+  SOpts.SocketPath = O.ServeSocket;
+  SOpts.Workers = O.ServeWorkers;
+  SOpts.QueueCap = static_cast<size_t>(O.QueueCap);
+  SOpts.CacheDir = O.CacheDir;
+  SOpts.DrainGraceMs = O.DrainGraceMs;
+  if (O.MaxGoals)
+    SOpts.Defaults.MaxGoals = O.MaxGoals;
+  if (O.DeadlineMs > 0)
+    SOpts.Defaults.DeadlineMs = O.DeadlineMs;
+  if (O.MaxStoreMb)
+    SOpts.Defaults.MaxStoreBytes = O.MaxStoreMb * 1024 * 1024;
+  if (O.MaxDepthCap)
+    SOpts.Defaults.MaxDepth = O.MaxDepthCap;
+
+  serve::Server S(SOpts);
+  Result<bool> Started = S.start();
+  if (!Started) {
+    std::fprintf(stderr, "error: %s\n", Started.error().str().c_str());
+    return 1;
+  }
+  // Handlers only set the flag this loop polls: requestDrain() takes
+  // locks, so it must not run inside the handler itself.
+  installInterruptHandlers();
+  std::fprintf(stderr,
+               "cpsflow serve: listening on %s (%u workers, queue cap "
+               "%zu, cache %s)\n",
+               O.ServeSocket.c_str(), SOpts.Workers, SOpts.QueueCap,
+               O.CacheDir.empty() ? "off" : O.CacheDir.c_str());
+  while (GSignal.load() == 0 && !S.draining())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::fprintf(stderr, "cpsflow serve: draining\n");
+  S.requestDrain();
+  S.waitDrained();
+  std::fprintf(stderr, "cpsflow serve: drained, exiting\n");
+  // A signal-initiated exit reports 128+sig; a shutdown op is a clean 0.
+  return GSignal.load() ? interruptExitCode() : 0;
 }
 
 int cmdVersion() {
@@ -1176,5 +1366,7 @@ int main(int Argc, char **Argv) {
     return cmdBatch(O);
   if (O.Command == "fuzz")
     return cmdFuzz(O);
+  if (O.Command == "serve")
+    return cmdServe(O);
   usage(("unknown command '" + O.Command + "'").c_str());
 }

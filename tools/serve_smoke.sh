@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Round-trip smoke for `cpsflow serve` (docs/SERVE.md), run by ctest as
+# cli_serve_roundtrip: boot the daemon on a fresh socket with a fresh
+# cache, replay the corpus through loadgen twice (cold then warm, the
+# first pass under --verify so every daemon answer is checked against an
+# in-process reference analysis), then SIGTERM the daemon and require a
+# graceful drain exit (143 = 128+SIGTERM from the cooperative handler,
+# not a default-disposition kill).
+#
+# usage: serve_smoke.sh CPSFLOW LOADGEN CORPUS_DIR WORK_DIR
+set -u
+
+CPSFLOW=$1
+LOADGEN=$2
+CORPUS=$3
+WORK=$4
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+SOCK="$WORK/serve.sock"
+
+"$CPSFLOW" serve --socket "$SOCK" --serve-workers 2 \
+  --cache-dir "$WORK/cache" &
+PID=$!
+trap 'kill -KILL "$PID" 2>/dev/null' EXIT
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+if ! [ -S "$SOCK" ]; then
+  echo "serve_smoke: socket never appeared at $SOCK" >&2
+  exit 1
+fi
+
+if ! "$LOADGEN" "$SOCK" "$CORPUS" --clients 4 --verify \
+    --out "$WORK/loadgen_cold.json"; then
+  echo "serve_smoke: cold loadgen pass failed" >&2
+  exit 1
+fi
+
+# Warm pass: the same requests again, now against a populated cache.
+if ! "$LOADGEN" "$SOCK" "$CORPUS" --clients 2 \
+    --out "$WORK/loadgen_warm.json"; then
+  echo "serve_smoke: warm loadgen pass failed" >&2
+  exit 1
+fi
+
+kill -TERM "$PID"
+wait "$PID"
+RC=$?
+trap - EXIT
+if [ "$RC" -ne 143 ]; then
+  echo "serve_smoke: expected graceful drain exit 143, got $RC" >&2
+  exit 1
+fi
+exit 0
