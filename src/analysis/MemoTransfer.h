@@ -1,0 +1,175 @@
+//===- analysis/MemoTransfer.h - Cross-run memo export/import ---*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portable form of the direct analyzer's memo table, the transfer unit
+/// behind `cpsflow serve` incremental re-analysis (DESIGN.md §14).
+///
+/// A memo entry of one run is keyed by (term node, store id) — both
+/// meaningless outside that run. The portable form re-keys everything by
+/// content: terms by their gen::SubtreeDigests structural digest, store
+/// slots by the hash of the variable's spelling (A-normalization derives
+/// fresh names deterministically from the traversal, so an edit that
+/// preserves program shape reproduces the same spellings), and abstract
+/// closures by the value digest of their lambda. An importing run rebinds
+/// the digests to its own nodes and replays an entry only when the
+/// fingerprint recorded here matches its current goal exactly:
+///
+///  * the goal term's subtree digest equals XferEntry::TermDigest;
+///  * every slot the subderivation touched (read through phi or targeted
+///    by a store join — Delta is always a subset) holds, in the goal's
+///    entry store, exactly the value recorded in Required;
+///  * no active ancestor goal with the same entry store is one of the
+///    SameStoreTerms (such a goal would be cut by the Section 4.4 rule in
+///    a live evaluation, so replaying would change the answer);
+///  * the closure universes of the two runs agree (UniverseLamDigests) —
+///    cut answers embed CL_T, so a universe change invalidates them; and
+///  * analyzer, domain, and governor budgets match (the serve MemoStore
+///    keys tables by them; degraded runs are never exported at all).
+///
+/// Under those conditions the replayed answer — value, store delta, and
+/// deadness — is byte-identical to what a live evaluation of the goal
+/// would produce (the DESIGN.md §14 exactness argument: agreeing reads
+/// force the same control flow and the same join increments; agreeing
+/// touched slots force the same store-equality pattern, hence the same
+/// memo/cut structure). Entries that fail any check simply fall through
+/// to live analysis, like the §12 summary-fingerprint validation.
+///
+/// The table lives in memory only (the serve MemoStore holds it hot
+/// across requests); it is never serialized, so domain elements are kept
+/// as their native D::Elem values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_MEMOTRANSFER_H
+#define CPSFLOW_ANALYSIS_MEMOTRANSFER_H
+
+#include "domain/AbsValue.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+
+namespace gen {
+class SubtreeDigests;
+}
+
+namespace analysis {
+
+/// Spelling hash used to name store slots portably. A private convention
+/// of the transfer format (export and import just have to agree); kept
+/// distinct from gen::textDigest so the two keyspaces cannot be confused.
+inline uint64_t xferSpellingHash(std::string_view S) {
+  uint64_t H = 0x7c9a2f4b11d3e681ull;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  return mix64(H);
+}
+
+/// Portable abstract value: the numeric element verbatim (in-memory
+/// transfer, same domain guaranteed by the table key), closures by lambda
+/// value digest.
+template <typename D> struct XferVal {
+  struct Clo {
+    uint8_t Tag = 0; ///< domain::CloRef::K
+    uint64_t LamDigest = 0;
+
+    friend bool operator==(const Clo &A, const Clo &B) {
+      return A.Tag == B.Tag && A.LamDigest == B.LamDigest;
+    }
+    friend bool operator<(const Clo &A, const Clo &B) {
+      return A.Tag != B.Tag ? A.Tag < B.Tag : A.LamDigest < B.LamDigest;
+    }
+  };
+
+  typename D::Elem Num = D::bot();
+  std::vector<Clo> Clos; ///< sorted by (Tag, LamDigest)
+
+  uint64_t hashValue() const {
+    uint64_t H = D::hash(Num);
+    for (const Clo &C : Clos)
+      hashCombine(H, mix64((uint64_t(C.Tag) << 56) ^ C.LamDigest));
+    return H;
+  }
+};
+
+/// One memoized subderivation in portable form. See the file comment for
+/// the replay-validity conditions it encodes.
+template <typename D> struct XferEntry {
+  uint64_t TermDigest = 0;
+  bool Dead = false;    ///< answer was the join over zero paths
+  bool UsedCut = false; ///< a Section 4.4 cut fired inside (answer embeds CL_T)
+
+  /// (spelling hash, value at the entry store) for every slot the
+  /// subderivation read or join-targeted, sorted by hash. The replay
+  /// precondition: the importing goal's store holds exactly these values.
+  std::vector<std::pair<uint64_t, XferVal<D>>> Required;
+
+  /// Term digests of every inner goal evaluated at the entry store
+  /// itself, sorted. Used for the active-ancestor conflict check.
+  std::vector<uint64_t> SameStoreTerms;
+
+  /// The answer (meaningless when Dead).
+  XferVal<D> AnswerValue;
+
+  /// Slots where the answer store differs from the entry store, with the
+  /// answer-store value, sorted by hash. Replay = joinAt over these.
+  std::vector<std::pair<uint64_t, XferVal<D>>> Delta;
+
+  /// Content fingerprint for deduplication across merges into the serve
+  /// MemoStore. Covers every replay-relevant field.
+  uint64_t fingerprint() const {
+    uint64_t H = TermDigest;
+    hashCombine(H, uint64_t(Dead) | (uint64_t(UsedCut) << 1));
+    for (const auto &[S, V] : Required) {
+      hashCombine(H, S);
+      hashCombine(H, V.hashValue());
+    }
+    for (uint64_t T : SameStoreTerms)
+      hashCombine(H, T);
+    hashCombine(H, AnswerValue.hashValue());
+    for (const auto &[S, V] : Delta) {
+      hashCombine(H, S);
+      hashCombine(H, V.hashValue());
+    }
+    return mix64(H);
+  }
+};
+
+/// A transferable memo table: the closure-universe fingerprint plus the
+/// exported entries. Immutable once published to the serve MemoStore.
+template <typename D> struct MemoTable {
+  /// Sorted value digests of every lambda in CL_T. Import requires exact
+  /// agreement with the importing run's universe.
+  std::vector<uint64_t> UniverseLamDigests;
+  std::vector<XferEntry<D>> Entries;
+};
+
+/// The nullable AnalyzerOptions hook (type-erased: AnalyzerOptions cannot
+/// name the domain). Only the direct analyzer reads it; Import/Export
+/// must point at MemoTable<D> for the run's own domain D — the serve
+/// MemoStore guarantees this by keying tables on the domain name.
+struct MemoXfer {
+  /// Subtree digests of the run's normalized program (required; a null
+  /// or collided table disables transfer for the run).
+  const gen::SubtreeDigests *Digests = nullptr;
+  /// Table to replay from, or null for an export-only (cold) run.
+  const void *Import = nullptr;
+  /// Table to fill with this run's exportable entries, or null.
+  void *Export = nullptr;
+};
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_MEMOTRANSFER_H

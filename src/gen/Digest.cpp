@@ -7,9 +7,29 @@
 #include "gen/Digest.h"
 
 #include "support/Hashing.h"
+#include "syntax/Analysis.h"
 
 namespace cpsflow {
 namespace gen {
+
+struct detail::SubtreeSink {
+  static void noteTerm(SubtreeDigests &S, const syntax::Term *T, uint64_t D) {
+    S.Terms.emplace(T, D);
+  }
+  static void noteValue(SubtreeDigests &S, const syntax::Value *V,
+                        uint64_t D) {
+    S.Values.emplace(V, D);
+    if (V->kind() == syntax::ValueKind::VK_Lam) {
+      const auto *L = syntax::cast<syntax::LamValue>(V);
+      auto [It, Inserted] = S.Lams.emplace(D, L);
+      // Re-seeing the same digest is fine when it names one shared node
+      // or a structurally identical twin; anything else is a collision.
+      if (!Inserted && It->second != L &&
+          !syntax::structurallyEqual(It->second, L))
+        S.Collided = true;
+    }
+  }
+};
 
 namespace {
 
@@ -38,47 +58,53 @@ enum : uint64_t {
   SaltLoop = 0xB5,
 };
 
-uint64_t digestValue(const Context &Ctx, const syntax::Value *V);
+uint64_t digestValue(const Context &Ctx, const syntax::Value *V,
+                     SubtreeDigests *Sink);
 
-uint64_t digestTerm(const Context &Ctx, const syntax::Term *T) {
+uint64_t digestTerm(const Context &Ctx, const syntax::Term *T,
+                    SubtreeDigests *Sink) {
   using namespace syntax;
   uint64_t H = 0;
   switch (T->kind()) {
   case TermKind::TK_Value:
     H = SaltValueTerm;
-    hashCombine(H, digestValue(Ctx, cast<ValueTerm>(T)->value()));
+    hashCombine(H, digestValue(Ctx, cast<ValueTerm>(T)->value(), Sink));
     break;
   case TermKind::TK_App: {
     const auto *A = cast<AppTerm>(T);
     H = SaltApp;
-    hashCombine(H, digestTerm(Ctx, A->fun()));
-    hashCombine(H, digestTerm(Ctx, A->arg()));
+    hashCombine(H, digestTerm(Ctx, A->fun(), Sink));
+    hashCombine(H, digestTerm(Ctx, A->arg(), Sink));
     break;
   }
   case TermKind::TK_Let: {
     const auto *L = cast<LetTerm>(T);
     H = SaltLet;
     hashCombine(H, stringHash(Ctx.spelling(L->var())));
-    hashCombine(H, digestTerm(Ctx, L->bound()));
-    hashCombine(H, digestTerm(Ctx, L->body()));
+    hashCombine(H, digestTerm(Ctx, L->bound(), Sink));
+    hashCombine(H, digestTerm(Ctx, L->body(), Sink));
     break;
   }
   case TermKind::TK_If0: {
     const auto *I = cast<If0Term>(T);
     H = SaltIf0;
-    hashCombine(H, digestTerm(Ctx, I->cond()));
-    hashCombine(H, digestTerm(Ctx, I->thenBranch()));
-    hashCombine(H, digestTerm(Ctx, I->elseBranch()));
+    hashCombine(H, digestTerm(Ctx, I->cond(), Sink));
+    hashCombine(H, digestTerm(Ctx, I->thenBranch(), Sink));
+    hashCombine(H, digestTerm(Ctx, I->elseBranch(), Sink));
     break;
   }
   case TermKind::TK_Loop:
     H = SaltLoop;
     break;
   }
-  return mix64(H);
+  uint64_t D = mix64(H);
+  if (Sink)
+    detail::SubtreeSink::noteTerm(*Sink, T, D);
+  return D;
 }
 
-uint64_t digestValue(const Context &Ctx, const syntax::Value *V) {
+uint64_t digestValue(const Context &Ctx, const syntax::Value *V,
+                     SubtreeDigests *Sink) {
   using namespace syntax;
   uint64_t H = 0;
   switch (V->kind()) {
@@ -97,24 +123,44 @@ uint64_t digestValue(const Context &Ctx, const syntax::Value *V) {
     const auto *L = cast<LamValue>(V);
     H = SaltLam;
     hashCombine(H, stringHash(Ctx.spelling(L->param())));
-    hashCombine(H, digestTerm(Ctx, L->body()));
+    hashCombine(H, digestTerm(Ctx, L->body(), Sink));
     break;
   }
   }
-  return mix64(H);
+  uint64_t D = mix64(H);
+  if (Sink)
+    detail::SubtreeSink::noteValue(*Sink, V, D);
+  return D;
 }
 
 } // namespace
 
 uint64_t termDigest(const Context &Ctx, const syntax::Term *T) {
-  return digestTerm(Ctx, T);
+  return digestTerm(Ctx, T, nullptr);
 }
 
 uint64_t valueDigest(const Context &Ctx, const syntax::Value *V) {
-  return digestValue(Ctx, V);
+  return digestValue(Ctx, V, nullptr);
 }
 
 uint64_t textDigest(std::string_view Text) { return stringHash(Text); }
+
+uint64_t textDigest2(std::string_view Text) {
+  // Same FNV-1a skeleton as textDigest but a different offset basis and
+  // multiplier, folded with the length: a pair of texts colliding on both
+  // digests and their lengths is no longer a realistic accident.
+  uint64_t H = 0x6c62272e07bb0142ull ^ (Text.size() * 0x9e3779b97f4a7c15ull);
+  for (char C : Text) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x00000100000001b3ull ^ 0x200;
+  }
+  return mix64(H ^ (H >> 32));
+}
+
+void computeSubtreeDigests(const Context &Ctx, const syntax::Term *Root,
+                           SubtreeDigests &Out) {
+  digestTerm(Ctx, Root, &Out);
+}
 
 } // namespace gen
 } // namespace cpsflow

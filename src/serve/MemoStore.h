@@ -1,0 +1,162 @@
+//===- serve/MemoStore.h - Hot cross-request memo tables --------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve daemon's in-memory home for analysis::MemoTable snapshots —
+/// the state that makes re-analysis after an edit incremental. Tables are
+/// keyed by everything that shapes an answer *except* the program source:
+/// analyzer, domain, and every governor budget. Two requests with the
+/// same key but different sources still share a table, because the table
+/// itself is content-addressed (term digests, spelling hashes) and
+/// self-validating: entries that do not match the new program simply
+/// never replay, and a closure-universe change drops the whole table at
+/// import time.
+///
+/// Publication is copy-on-write: merge() builds a fresh table and swaps
+/// the shared_ptr, so workers that already took a snapshot() keep reading
+/// their (immutable) table with no locking beyond the pointer swap. A
+/// merge whose universe agrees with the resident table appends only
+/// entries with unseen fingerprints, up to MaxEntries; a universe change
+/// (an edit that touched a lambda) replaces the table outright — the old
+/// entries could never replay again anyway.
+///
+/// Degraded runs never reach this store: the analyzer refuses to export
+/// under a tripped budget, and Analyze.cpp only merges complete runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SERVE_MEMOSTORE_H
+#define CPSFLOW_SERVE_MEMOSTORE_H
+
+#include "analysis/MemoTransfer.h"
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cpsflow {
+namespace serve {
+
+/// Everything that must agree for a memo entry recorded by one request to
+/// be sound for another: the CacheKey minus the source digest.
+struct MemoStoreKey {
+  std::string Analyzer;
+  std::string Domain;
+  uint64_t MaxGoals = 0;
+  uint32_t LoopUnroll = 0;
+  uint64_t DupBudget = 0;
+  bool UseSummaries = true;
+
+  friend bool operator==(const MemoStoreKey &A, const MemoStoreKey &B) {
+    return A.Analyzer == B.Analyzer && A.Domain == B.Domain &&
+           A.MaxGoals == B.MaxGoals && A.LoopUnroll == B.LoopUnroll &&
+           A.DupBudget == B.DupBudget && A.UseSummaries == B.UseSummaries;
+  }
+};
+
+struct MemoStoreKeyHash {
+  size_t operator()(const MemoStoreKey &K) const {
+    uint64_t H = 0x6d656d6f73746f72ull; // "memostor"
+    hashCombine(H, std::hash<std::string>()(K.Analyzer));
+    hashCombine(H, std::hash<std::string>()(K.Domain));
+    hashCombine(H, K.MaxGoals);
+    hashCombine(H, uint64_t(K.LoopUnroll));
+    hashCombine(H, K.DupBudget);
+    hashCombine(H, uint64_t(K.UseSummaries));
+    return mix64(H);
+  }
+};
+
+class MemoStore {
+public:
+  /// Entry cap per table: past this, merges stop appending (the resident
+  /// entries keep replaying; new ones are dropped until a universe change
+  /// resets the table). Bounds daemon memory under adversarial churn.
+  static constexpr size_t MaxEntries = 1u << 16;
+
+  /// The resident table for \p K, or null. The snapshot is immutable and
+  /// safe to read for as long as the pointer is held, concurrent merges
+  /// included. \p D must be the domain \p K.Domain names.
+  template <typename D>
+  std::shared_ptr<const analysis::MemoTable<D>>
+  snapshot(const MemoStoreKey &K) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Tables.find(K);
+    if (It == Tables.end())
+      return nullptr;
+    return std::static_pointer_cast<const analysis::MemoTable<D>>(
+        It->second.Table);
+  }
+
+  /// Publishes a completed run's export. Same universe: append entries
+  /// with new fingerprints (copy-on-write). Different universe (or first
+  /// table for the key): \p Exported becomes the resident table.
+  template <typename D>
+  void merge(const MemoStoreKey &K, analysis::MemoTable<D> &&Exported) {
+    if (Exported.Entries.empty())
+      return;
+    std::lock_guard<std::mutex> Lock(Mu);
+    Slot &S = Tables[K];
+    auto Cur = std::static_pointer_cast<const analysis::MemoTable<D>>(S.Table);
+    if (!Cur || Cur->UniverseLamDigests != Exported.UniverseLamDigests) {
+      if (Exported.Entries.size() > MaxEntries)
+        Exported.Entries.resize(MaxEntries);
+      S.Entries = Exported.Entries.size();
+      S.Table = std::make_shared<analysis::MemoTable<D>>(std::move(Exported));
+      return;
+    }
+    std::unordered_set<uint64_t> Seen;
+    Seen.reserve(Cur->Entries.size());
+    for (const analysis::XferEntry<D> &E : Cur->Entries)
+      Seen.insert(E.fingerprint());
+    auto Next = std::make_shared<analysis::MemoTable<D>>(*Cur);
+    for (analysis::XferEntry<D> &E : Exported.Entries) {
+      if (Next->Entries.size() >= MaxEntries)
+        break;
+      if (Seen.insert(E.fingerprint()).second)
+        Next->Entries.push_back(std::move(E));
+    }
+    if (Next->Entries.size() == Cur->Entries.size())
+      return; // nothing new; keep the resident table
+    S.Entries = Next->Entries.size();
+    S.Table = std::move(Next);
+  }
+
+  /// Observability for the `stats` op: live table count and total
+  /// resident entries.
+  struct StoreStats {
+    uint64_t Tables = 0;
+    uint64_t Entries = 0;
+  };
+  StoreStats stats() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    StoreStats Out;
+    Out.Tables = Tables.size();
+    for (const auto &[K, S] : Tables)
+      Out.Entries += S.Entries;
+    return Out;
+  }
+
+private:
+  struct Slot {
+    /// Type-erased MemoTable<D>; D is named by the key's Domain, so the
+    /// typed accessors' casts are safe by construction.
+    std::shared_ptr<const void> Table;
+    size_t Entries = 0;
+  };
+
+  mutable std::mutex Mu;
+  std::unordered_map<MemoStoreKey, Slot, MemoStoreKeyHash> Tables;
+};
+
+} // namespace serve
+} // namespace cpsflow
+
+#endif // CPSFLOW_SERVE_MEMOSTORE_H

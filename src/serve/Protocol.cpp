@@ -139,6 +139,10 @@ Result<ServeRequest> cpsflow::serve::parseServeRequest(const std::string &Line) 
       if (!Val.isBool())
         return Error("field 'noCache' must be a boolean");
       Req.NoCache = Val.asBool();
+    } else if (Key == "incremental") {
+      if (!Val.isBool())
+        return Error("field 'incremental' must be a boolean");
+      Req.Incremental = Val.asBool();
     } else {
       return Error("unknown field '" + Key + "'");
     }

@@ -10,11 +10,14 @@
 #include "support/FaultInjector.h"
 #include "support/Hashing.h"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include <signal.h>
 #include <unistd.h>
 
 using namespace cpsflow;
@@ -25,7 +28,15 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char *Magic = "cpsflow-cache";
-constexpr int FormatVersion = 1;
+// v2 added the source length and second source digest to the header (the
+// filename-hash collision guard). A v1 entry after an upgrade is simply
+// removed and re-filled — a format change is not corruption.
+constexpr int FormatVersion = 2;
+
+/// How old a leaked `.tmp.*` file must be before the open-time sweep
+/// removes it even though its pid appears alive (pid reuse): no real
+/// in-flight write spans minutes.
+constexpr auto TmpGrace = std::chrono::minutes(15);
 
 /// FNV-1a over the payload. Not cryptographic — the threat model is
 /// torn writes and bit rot, not an adversary forging entries (anyone who
@@ -46,10 +57,12 @@ std::string hex16(uint64_t V) {
   return Buf;
 }
 
-std::string frameHeader(size_t PayloadBytes, uint64_t Checksum) {
+std::string frameHeader(size_t PayloadBytes, uint64_t Checksum,
+                        const CacheKey &K) {
   std::ostringstream H;
   H << Magic << ' ' << FormatVersion << ' ' << PayloadBytes << ' '
-    << hex16(Checksum) << '\n';
+    << hex16(Checksum) << ' ' << K.SourceLen << ' ' << hex16(K.SourceDigest2)
+    << '\n';
   return H.str();
 }
 
@@ -76,6 +89,43 @@ ResultCache::ResultCache(std::string Dir) : Root(std::move(Dir)) {
   if (Ec)
     return;
   Usable = true;
+  sweepStaleTmp();
+}
+
+void ResultCache::sweepStaleTmp() {
+  std::error_code Ec;
+  const auto Now = fs::file_time_type::clock::now();
+  for (const fs::directory_entry &E :
+       fs::directory_iterator(fs::path(Root) / "entries", Ec)) {
+    const std::string Name = E.path().filename().string();
+    if (Name.rfind(".tmp.", 0) != 0)
+      continue;
+    // Parse the writer pid out of ".tmp.<pid>.<seq>". Unparsable names
+    // fall through to the age test alone.
+    long Pid = -1;
+    size_t PidEnd = Name.find('.', 5);
+    if (PidEnd != std::string::npos && PidEnd > 5) {
+      Pid = 0;
+      for (size_t I = 5; I < PidEnd && Pid >= 0; ++I)
+        Pid = (Name[I] >= '0' && Name[I] <= '9') ? Pid * 10 + (Name[I] - '0')
+                                                 : -1;
+    }
+    bool Stale =
+        Pid > 0 && ::kill(static_cast<pid_t>(Pid), 0) != 0 && errno == ESRCH;
+    if (!Stale) {
+      // The pid is alive (possibly reused) or unknown; only age condemns.
+      std::error_code TimeEc;
+      fs::file_time_type Mtime = fs::last_write_time(E.path(), TimeEc);
+      Stale = !TimeEc && Now - Mtime > TmpGrace;
+    }
+    if (!Stale)
+      continue;
+    std::error_code RmEc;
+    if (fs::remove(E.path(), RmEc) && !RmEc) {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Stats.SweptTmp;
+    }
+  }
 }
 
 std::string ResultCache::entryPath(const CacheKey &K) const {
@@ -106,9 +156,13 @@ std::optional<std::string> ResultCache::lookup(const CacheKey &K) {
   Buf << In.rdbuf();
   std::string Raw = Buf.str();
 
-  // Validate the frame. Every branch below is the same outcome — the
-  // entry is not trustworthy — so compute one verdict, then act once.
+  // Validate the frame. Every corrupt-shaped branch below is the same
+  // outcome — the entry is not trustworthy — so compute one verdict, then
+  // act once. Identity and format mismatches are separated out: those
+  // frames are intact, just not answers to *this* question.
   std::optional<std::string> Payload;
+  bool StaleFormat = false;
+  bool Collision = false;
   size_t HeaderEnd = Raw.find('\n');
   if (HeaderEnd != std::string::npos) {
     std::istringstream Header(Raw.substr(0, HeaderEnd));
@@ -116,15 +170,26 @@ std::optional<std::string> ResultCache::lookup(const CacheKey &K) {
     int Version = 0;
     uint64_t DeclaredBytes = 0;
     std::string DeclaredSum;
-    if (Header >> Word >> Version >> DeclaredBytes >> DeclaredSum &&
-        Word == Magic && Version == FormatVersion &&
-        Header.rdbuf()->in_avail() == 0) {
+    uint64_t DeclaredSrcLen = 0;
+    std::string DeclaredDigest2;
+    if (Header >> Word >> Version && Word == Magic &&
+        Version != FormatVersion) {
+      StaleFormat = true; // pre-upgrade entry; remove and recompute
+    } else if (Header >> DeclaredBytes >> DeclaredSum >> DeclaredSrcLen >>
+                   DeclaredDigest2 &&
+               Word == Magic && Version == FormatVersion &&
+               Header.rdbuf()->in_avail() == 0) {
       std::string Body = Raw.substr(HeaderEnd + 1);
       // Truncated AND over-long frames are both corrupt: a frame with
       // trailing bytes was not written by one atomic publish.
       if (Body.size() == DeclaredBytes &&
-          hex16(checksumOf(Body)) == DeclaredSum)
-        Payload = std::move(Body);
+          hex16(checksumOf(Body)) == DeclaredSum) {
+        if (DeclaredSrcLen == K.SourceLen &&
+            DeclaredDigest2 == hex16(K.SourceDigest2))
+          Payload = std::move(Body);
+        else
+          Collision = true; // valid frame, different program: alias caught
+      }
     }
   }
 
@@ -132,6 +197,24 @@ std::optional<std::string> ResultCache::lookup(const CacheKey &K) {
     std::lock_guard<std::mutex> Lock(M);
     ++Stats.Hits;
     return Payload;
+  }
+
+  if (StaleFormat || Collision) {
+    // Not corruption: the frame is internally consistent. A stale-format
+    // entry is dead weight — remove it. A collision entry is some other
+    // key's live answer sharing our filename — leave it; our store() will
+    // overwrite, and the alias pair thrashes instead of lying.
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Stats.Misses;
+      if (Collision)
+        ++Stats.Collisions;
+    }
+    if (StaleFormat) {
+      std::error_code Ec;
+      fs::remove(Path, Ec);
+    }
+    return std::nullopt;
   }
 
   // Corrupt: quarantine for post-mortem and fall through to a miss, so
@@ -166,7 +249,7 @@ bool ResultCache::store(const CacheKey &K, const std::string &Payload) {
               .string();
   }
 
-  std::string Frame = frameHeader(Payload.size(), checksumOf(Payload));
+  std::string Frame = frameHeader(Payload.size(), checksumOf(Payload), K);
   bool Torn = CPSFLOW_FAULT_TEARS(fault::Site::CacheWrite, Name);
   if (Torn)
     // Simulated crash mid-write: the header promises the full payload but

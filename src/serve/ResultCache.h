@@ -17,10 +17,21 @@
 /// non-tripped governed run computes byte-for-byte what an ungoverned run
 /// computes, so the same entry is valid under any ceiling.
 ///
+/// The entry *filename* is a 64-bit hash of that key, which is too narrow
+/// to be an identity: two different sources colliding on textDigest would
+/// silently alias the same file and one would be served the other's
+/// answer. So the frame also records the source length and a second,
+/// independently-seeded 64-bit source digest (gen::textDigest2), and
+/// lookup() verifies both against the requesting key. A mismatch is a
+/// *collision miss* — the entry is a perfectly valid frame for some other
+/// program, so it is left in place (not quarantined) and the recompute's
+/// store() overwrites it; the aliased pair then thrashes instead of
+/// lying, which is the correct trade for a cache.
+///
 /// Crash safety. An entry is a checksummed frame
 ///
 /// \code
-///   cpsflow-cache 1 <payload-bytes> <fnv64-hex>\n<payload>
+///   cpsflow-cache 2 <payload-bytes> <fnv64-hex> <source-len> <digest2-hex>\n<payload>
 /// \endcode
 ///
 /// written to a unique temp file and published with an atomic rename —
@@ -34,6 +45,14 @@
 /// Fault injection: store() consults the CacheWrite tear site and, when
 /// armed, publishes a deliberately torn frame (full header, truncated
 /// payload), exercising exactly the recovery path above.
+///
+/// Leaked temp files. A writer that crashes between creating its unique
+/// `entries/.tmp.<pid>.<seq>` file and the publishing rename leaks that
+/// file forever (nothing ever renames or reopens it). Opening the cache
+/// sweeps these: a `.tmp.*` whose pid no longer exists, or whose file is
+/// older than a generous grace window (covering pid reuse), is removed.
+/// A live concurrent writer's fresh temp file matches neither test and
+/// survives.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,8 +70,15 @@ namespace serve {
 /// Everything that determines a cached answer.
 struct CacheKey {
   uint64_t SourceDigest = 0; ///< gen::textDigest of the program source
-  std::string Analyzer;      ///< direct|semantic|syntactic|dup
-  std::string Domain;        ///< constant|unit|sign|parity|interval
+  /// Independent second digest (gen::textDigest2) plus the raw source
+  /// length: stored in the entry header and re-verified on lookup, so a
+  /// SourceDigest collision between two different programs is detected
+  /// as a miss instead of served as the wrong answer. Not part of the
+  /// filename hash — that is what makes the verification independent.
+  uint64_t SourceDigest2 = 0;
+  uint64_t SourceLen = 0;
+  std::string Analyzer; ///< direct|semantic|syntactic|dup
+  std::string Domain;   ///< constant|unit|sign|parity|interval
   uint64_t MaxGoals = 0;
   uint32_t LoopUnroll = 0;
   uint64_t DupBudget = 0;
@@ -70,6 +96,9 @@ public:
     uint64_t Stores = 0;
     uint64_t StoreFailures = 0; ///< I/O failures and injected tears
     uint64_t Corrupt = 0;       ///< entries detected bad and quarantined
+    uint64_t Collisions = 0;    ///< filename-hash aliases caught by the
+                                ///< source length/digest2 identity check
+    uint64_t SweptTmp = 0;      ///< leaked .tmp.* files removed at open
   };
 
   /// Opens (creating if needed) the cache rooted at \p Dir. On any setup
@@ -96,6 +125,7 @@ public:
 
 private:
   std::string quarantinePath(const std::string &Name);
+  void sweepStaleTmp();
 
   std::string Root;
   bool Usable = false;

@@ -49,6 +49,7 @@ Server::Server(ServeOptions Opts)
   if (this->Opts.Workers == 0)
     this->Opts.Workers = 1;
   this->Opts.Defaults.Interrupt = Interrupt;
+  this->Opts.Defaults.Memo = this->Opts.Incremental ? &Memo : nullptr;
 }
 
 Server::~Server() {
@@ -381,6 +382,8 @@ std::string Server::handleAnalyze(const ServeRequest &Req,
 
   CacheKey Key;
   Key.SourceDigest = gen::textDigest(Req.Program);
+  Key.SourceDigest2 = gen::textDigest2(Req.Program);
+  Key.SourceLen = Req.Program.size();
   Key.Analyzer = Req.Analyzer;
   Key.Domain = Req.Domain;
   Key.MaxGoals = Eff.MaxGoals;
@@ -406,13 +409,22 @@ std::string Server::handleAnalyze(const ServeRequest &Req,
 
   // Only complete (non-degraded) results are cached: a degraded answer
   // depends on wall-clock and ceilings that are not part of the key.
-  if (UseCache && !Out.Degraded)
+  // Warm (replay-assisted) payloads stay out too: their answer is
+  // byte-identical to cold, but their stats block reflects the warm walk,
+  // and the cache is byte-canonical per key.
+  if (UseCache && !Out.Degraded && !Out.Incremental)
     Cache->store(Key, Out.PayloadJson);
   {
     std::lock_guard<std::mutex> Lock(MetricsMu);
     Metrics.add("serve.ok", 1);
     if (Out.Degraded)
       Metrics.add("serve.degraded", 1);
+    if (Out.Incremental)
+      Metrics.add("serve.memo.warmRuns", 1);
+    if (Out.ReplayHits)
+      Metrics.add("serve.memo.replayHits", Out.ReplayHits);
+    if (Out.ReplayMisses)
+      Metrics.add("serve.memo.replayMisses", Out.ReplayMisses);
   }
   return analyzeResponse(Req, Out.PayloadJson, /*Cached=*/false);
 }
@@ -457,6 +469,13 @@ std::string Server::statsJson(const ServeRequest &Req) {
       Metrics.set("serve.cache.stores", CS.Stores);
       Metrics.set("serve.cache.storeFailures", CS.StoreFailures);
       Metrics.set("serve.cache.corrupt", CS.Corrupt);
+      Metrics.set("serve.cache.collisions", CS.Collisions);
+      Metrics.set("serve.cache.sweptTmp", CS.SweptTmp);
+    }
+    if (Opts.Incremental) {
+      MemoStore::StoreStats MS = Memo.stats();
+      Metrics.set("serve.memo.tables", MS.Tables);
+      Metrics.set("serve.memo.entries", MS.Entries);
     }
     Metrics.writeJson(W);
   }

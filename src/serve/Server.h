@@ -37,6 +37,7 @@
 #define CPSFLOW_SERVE_SERVER_H
 
 #include "serve/Analyze.h"
+#include "serve/MemoStore.h"
 #include "serve/Protocol.h"
 #include "serve/ResultCache.h"
 #include "support/Metrics.h"
@@ -66,6 +67,10 @@ struct ServeOptions {
   /// How long drain lets in-flight analyses run before firing the
   /// interrupt token that degrades them.
   double DrainGraceMs = 2000;
+  /// Keep memo tables hot across requests so re-analysis after an edit
+  /// replays unchanged subtrees (docs/SERVE.md). Off: every request runs
+  /// cold, as if the daemon had just started.
+  bool Incremental = true;
   /// Default budgets for requests that do not override them.
   AnalyzeConfig Defaults;
 };
@@ -123,6 +128,7 @@ private:
 
   ServeOptions Opts;
   std::unique_ptr<ResultCache> Cache;
+  MemoStore Memo;
   std::shared_ptr<support::CancelToken> Interrupt;
 
   int ListenFd = -1;

@@ -1,0 +1,175 @@
+//===- tests/MemoTransferTests.cpp - Cross-run memo transfer ----*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analysis-level checks of AnalyzerOptions::Xfer (MemoTransfer.h): a run
+/// that imports a previous run's exported memo table must produce answers
+/// byte-identical to a cold run — on the identical program and after a
+/// leaf edit — while tracking alone must not perturb anything, and stale
+/// entries (changed free-variable bindings) must be rejected, not
+/// replayed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/MemoTransfer.h"
+#include "gen/Digest.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace cpsflow;
+using namespace cpsflow::analysis;
+using cpsflow::test::mustParse;
+using CD = domain::ConstantDomain;
+
+namespace {
+
+/// One analyzer run with the transfer hook engaged: its own Context (to
+/// prove the table is content-addressed, never pointer-addressed), its
+/// digest table, its export table, and the result.
+template <typename D> struct XferRun {
+  std::unique_ptr<Context> Ctx = std::make_unique<Context>();
+  gen::SubtreeDigests Digests;
+  MemoTable<D> Export;
+  MemoXfer Xfer;
+  DirectResult<D> R;
+};
+
+/// Runs \p Text with every free variable bound to the number \p Free,
+/// importing \p Import (null = cold). \p Engage=false runs entirely
+/// without the hook, as the perturbation baseline.
+template <typename D>
+XferRun<D> runWith(const std::string &Text, const MemoTable<D> *Import,
+               typename D::Elem Free = D::top(), bool Engage = true) {
+  XferRun<D> Out;
+  Context &Ctx = *Out.Ctx;
+  const syntax::Term *T = mustParse(Ctx, Text);
+  gen::computeSubtreeDigests(Ctx, T, Out.Digests);
+  std::vector<DirectBinding<D>> Init;
+  for (Symbol S : syntax::freeVars(T))
+    Init.push_back({S, domain::AbsVal<D>::number(Free)});
+  AnalyzerOptions Opts;
+  Out.Xfer = MemoXfer{&Out.Digests, Import, &Out.Export};
+  if (Engage)
+    Opts.Xfer = &Out.Xfer;
+  Out.R = DirectAnalyzer<D>(Ctx, T, std::move(Init), Opts).run();
+  return Out;
+}
+
+/// Renders answer value plus the whole final store, keyed by spelling —
+/// the byte-identity yardstick (two fresh Contexts parsing the same text
+/// assign the same node ids, so closure renderings agree too).
+template <typename D>
+std::string render(const Context &Ctx, const DirectResult<D> &R) {
+  std::string Out = R.Answer.Value.str(Ctx);
+  for (uint32_t I = 0; I < R.Vars->size(); ++I) {
+    Out += "\n";
+    Out += std::string(Ctx.spelling(R.Vars->symbolAt(I)));
+    Out += " = ";
+    Out += R.Answer.Store.get(I).str(Ctx);
+  }
+  return Out;
+}
+
+// Three calls of one lambda; the trailing literal is the edit target.
+std::string callsProgram(const std::string &Leaf) {
+  return "(let (f (lambda (x) (let (a (add1 x)) a))) "
+         "(let (u (f z)) (let (v (f u)) (let (w (f " +
+         Leaf + ")) w))))";
+}
+
+// Self-application: exercises the Section 4.4 cut and UsedCut tracking.
+const char *RecProgram = "(let (f (lambda (g) (let (r (g g)) r))) "
+                         "(let (a (f f)) a))";
+
+TEST(MemoTransfer, ColdRunExportsEntries) {
+  XferRun<CD> Cold = runWith<CD>(callsProgram("3"), nullptr);
+  EXPECT_FALSE(Cold.Export.Entries.empty());
+  EXPECT_FALSE(Cold.Export.UniverseLamDigests.empty());
+  EXPECT_EQ(Cold.R.Stats.ReplayHits, 0u);
+  EXPECT_EQ(Cold.R.Stats.ReplayMisses, 0u);
+}
+
+TEST(MemoTransfer, TrackingDoesNotPerturbAnswersOrStats) {
+  for (const std::string &Text :
+       {callsProgram("3"), std::string(RecProgram)}) {
+    XferRun<CD> Plain = runWith<CD>(Text, nullptr, CD::top(), false);
+    XferRun<CD> Tracked = runWith<CD>(Text, nullptr);
+    EXPECT_EQ(render(*Plain.Ctx, Plain.R), render(*Tracked.Ctx, Tracked.R));
+    EXPECT_EQ(Plain.R.Stats.Goals, Tracked.R.Stats.Goals);
+    EXPECT_EQ(Plain.R.Stats.CacheHits, Tracked.R.Stats.CacheHits);
+    EXPECT_EQ(Plain.R.Stats.Cuts, Tracked.R.Stats.Cuts);
+    EXPECT_EQ(Plain.R.Stats.Joins, Tracked.R.Stats.Joins);
+    EXPECT_EQ(Plain.R.Stats.DeadPaths, Tracked.R.Stats.DeadPaths);
+    EXPECT_EQ(Plain.R.Stats.MaxDepth, Tracked.R.Stats.MaxDepth);
+  }
+}
+
+TEST(MemoTransfer, SameProgramReplayIsByteIdenticalAndCheaper) {
+  std::string Text = callsProgram("3");
+  XferRun<CD> Cold = runWith<CD>(Text, nullptr);
+  XferRun<CD> Warm = runWith<CD>(Text, &Cold.Export);
+  EXPECT_EQ(render(*Cold.Ctx, Cold.R), render(*Warm.Ctx, Warm.R));
+  EXPECT_GT(Warm.R.Stats.ReplayHits, 0u);
+  EXPECT_LT(Warm.R.Stats.Goals, Cold.R.Stats.Goals);
+}
+
+TEST(MemoTransfer, RecursiveProgramReplayIsByteIdentical) {
+  XferRun<CD> Cold = runWith<CD>(std::string(RecProgram), nullptr);
+  EXPECT_GT(Cold.R.Stats.Cuts, 0u);
+  XferRun<CD> Warm = runWith<CD>(std::string(RecProgram), &Cold.Export);
+  EXPECT_EQ(render(*Cold.Ctx, Cold.R), render(*Warm.Ctx, Warm.R));
+  EXPECT_GT(Warm.R.Stats.ReplayHits, 0u);
+  EXPECT_LT(Warm.R.Stats.Goals, Cold.R.Stats.Goals);
+}
+
+TEST(MemoTransfer, EditedLeafReplaysSharedSubtreesExactly) {
+  XferRun<CD> Cold = runWith<CD>(callsProgram("3"), nullptr);
+  // One-leaf edit: the spine digests change, the lambda body's do not.
+  XferRun<CD> Warm = runWith<CD>(callsProgram("4"), &Cold.Export);
+  XferRun<CD> Ref = runWith<CD>(callsProgram("4"), nullptr, CD::top(), false);
+  EXPECT_EQ(render(*Ref.Ctx, Ref.R), render(*Warm.Ctx, Warm.R));
+  EXPECT_GT(Warm.R.Stats.ReplayHits, 0u);
+  EXPECT_LE(Warm.R.Stats.Goals, Ref.R.Stats.Goals);
+}
+
+TEST(MemoTransfer, ChangedFreeBindingRejectsStaleEntries) {
+  std::string Text = "(let (f (lambda (x) (let (a (add1 x)) a))) "
+                     "(let (u (f z)) u))";
+  XferRun<CD> Cold = runWith<CD>(Text, nullptr, CD::constant(5));
+  XferRun<CD> Warm = runWith<CD>(Text, &Cold.Export, CD::constant(7));
+  XferRun<CD> Ref = runWith<CD>(Text, nullptr, CD::constant(7), false);
+  // Every entry's Required embeds the z=5 world: all candidates miss.
+  EXPECT_EQ(Warm.R.Stats.ReplayHits, 0u);
+  EXPECT_GT(Warm.R.Stats.ReplayMisses, 0u);
+  EXPECT_EQ(render(*Ref.Ctx, Ref.R), render(*Warm.Ctx, Warm.R));
+}
+
+template <typename D> void roundTripDomain() {
+  std::string Text = callsProgram("3");
+  XferRun<D> Cold = runWith<D>(Text, nullptr);
+  XferRun<D> Warm = runWith<D>(Text, &Cold.Export);
+  EXPECT_EQ(render(*Cold.Ctx, Cold.R), render(*Warm.Ctx, Warm.R));
+  EXPECT_GT(Warm.R.Stats.ReplayHits, 0u);
+
+  XferRun<D> Edit = runWith<D>(callsProgram("4"), &Cold.Export);
+  XferRun<D> Ref = runWith<D>(callsProgram("4"), nullptr, D::top(), false);
+  EXPECT_EQ(render(*Ref.Ctx, Ref.R), render(*Edit.Ctx, Edit.R));
+}
+
+TEST(MemoTransfer, RoundTripsEveryDomain) {
+  roundTripDomain<domain::ConstantDomain>();
+  roundTripDomain<domain::UnitDomain>();
+  roundTripDomain<domain::SignDomain>();
+  roundTripDomain<domain::ParityDomain>();
+  roundTripDomain<domain::IntervalDomain>();
+}
+
+} // namespace

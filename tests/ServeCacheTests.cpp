@@ -20,8 +20,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 using namespace cpsflow;
@@ -247,5 +252,121 @@ TEST_F(ServeCacheTest, InjectedTornWriteIsNeverServed) {
   EXPECT_EQ(*Got, Payload);
 }
 #endif // CPSFLOW_FAULT_INJECTION
+
+TEST_F(ServeCacheTest, ForcedDigestCollisionMissesInsteadOfAliasing) {
+  // Two different programs whose primary source digests collide: both
+  // keys address the same entry file. Before the identity check in the
+  // frame header, B's lookup would be served A's answer.
+  ResultCache C(Dir.string());
+  CacheKey A = key();
+  A.SourceDigest2 = 0xaaaaaaaaaaaaaaaaull;
+  A.SourceLen = 41;
+  CacheKey B = A; // same SourceDigest => same filename hash
+  B.SourceDigest2 = 0xbbbbbbbbbbbbbbbbull;
+  B.SourceLen = 77;
+  ASSERT_EQ(C.entryPath(A), C.entryPath(B))
+      << "the forced collision must actually alias the entry file";
+
+  ASSERT_TRUE(C.store(A, "answer-for-A"));
+  EXPECT_FALSE(C.lookup(B).has_value())
+      << "a colliding key must miss, never be served the other's answer";
+  EXPECT_EQ(C.stats().Collisions, 1u);
+  EXPECT_EQ(C.stats().Corrupt, 0u) << "a collision is not corruption";
+  EXPECT_TRUE(fs::exists(C.entryPath(A)))
+      << "the other program's live entry must not be quarantined";
+  EXPECT_EQ(*C.lookup(A), "answer-for-A");
+
+  // B recomputes and stores: last writer wins the shared filename, and
+  // now A is the one that misses. Thrashing, never lying.
+  ASSERT_TRUE(C.store(B, "answer-for-B"));
+  EXPECT_EQ(*C.lookup(B), "answer-for-B");
+  EXPECT_FALSE(C.lookup(A).has_value());
+  EXPECT_EQ(C.stats().Collisions, 2u);
+}
+
+TEST_F(ServeCacheTest, SourceLengthAloneDistinguishesColliders) {
+  ResultCache C(Dir.string());
+  CacheKey A = key();
+  A.SourceDigest2 = 0x1111111111111111ull;
+  A.SourceLen = 10;
+  CacheKey B = A;
+  B.SourceLen = 11; // digest2 equal too — length is the only difference
+  ASSERT_TRUE(C.store(A, "short-source-answer"));
+  EXPECT_FALSE(C.lookup(B).has_value());
+  EXPECT_EQ(C.stats().Collisions, 1u);
+}
+
+TEST_F(ServeCacheTest, StaleFormatEntryIsRemovedNotQuarantined) {
+  ResultCache C(Dir.string());
+  CacheKey K = key();
+  ASSERT_TRUE(C.store(K, "payload-v2"));
+
+  // Rewrite the entry as a well-formed frame of the previous format:
+  // magic, version 1, byte count, checksum, no source identity.
+  std::string Raw = slurp(C.entryPath(K));
+  size_t HeaderEnd = Raw.find('\n');
+  ASSERT_NE(HeaderEnd, std::string::npos);
+  std::istringstream Header(Raw.substr(0, HeaderEnd));
+  std::string Word, Sum, SrcLen, D2;
+  int Version = 0;
+  uint64_t Bytes = 0;
+  ASSERT_TRUE(
+      static_cast<bool>(Header >> Word >> Version >> Bytes >> Sum >> SrcLen >>
+                        D2));
+  std::ostringstream V1;
+  V1 << Word << " 1 " << Bytes << ' ' << Sum << '\n'
+     << Raw.substr(HeaderEnd + 1);
+  scribble(C.entryPath(K), V1.str());
+
+  EXPECT_FALSE(C.lookup(K).has_value()) << "pre-upgrade entries are misses";
+  EXPECT_EQ(C.stats().Corrupt, 0u) << "a format change is not corruption";
+  EXPECT_EQ(quarantineCount(C), 0u);
+  EXPECT_FALSE(fs::exists(C.entryPath(K)))
+      << "the dead-format entry is removed so it is only ever read once";
+}
+
+TEST_F(ServeCacheTest, StaleTmpFilesAreSweptOnOpen) {
+  CacheKey K = key();
+  {
+    ResultCache C(Dir.string());
+    ASSERT_TRUE(C.store(K, "survivor-entry"));
+  }
+  fs::path Entries = Dir / "entries";
+
+  // A tmp leaked by a writer that is certainly dead: fork a child that
+  // exits immediately and use its (reaped, unreused) pid.
+  pid_t DeadPid = ::fork();
+  if (DeadPid == 0)
+    ::_exit(0);
+  ASSERT_GT(DeadPid, 0);
+  ASSERT_EQ(::waitpid(DeadPid, nullptr, 0), DeadPid);
+  fs::path DeadTmp =
+      Entries / (".tmp." + std::to_string(DeadPid) + ".1");
+  scribble(DeadTmp.string(), "half-written");
+
+  // A tmp whose pid is alive (ours — modeling pid reuse) but whose file
+  // predates any plausible in-flight write.
+  fs::path OldTmp =
+      Entries / (".tmp." + std::to_string(::getpid()) + ".777");
+  scribble(OldTmp.string(), "ancient");
+  fs::last_write_time(OldTmp,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(1));
+
+  // A concurrent writer's fresh tmp: our live pid, current mtime.
+  fs::path FreshTmp =
+      Entries / (".tmp." + std::to_string(::getpid()) + ".778");
+  scribble(FreshTmp.string(), "in-flight");
+
+  ResultCache C2(Dir.string());
+  ASSERT_TRUE(C2.ok());
+  EXPECT_FALSE(fs::exists(DeadTmp)) << "dead-pid tmp must be swept";
+  EXPECT_FALSE(fs::exists(OldTmp)) << "over-age tmp must be swept";
+  EXPECT_TRUE(fs::exists(FreshTmp))
+      << "a live writer's fresh tmp must survive the sweep";
+  EXPECT_EQ(C2.stats().SweptTmp, 2u);
+  EXPECT_EQ(*C2.lookup(K), "survivor-entry")
+      << "the sweep must not touch published entries";
+}
 
 } // namespace

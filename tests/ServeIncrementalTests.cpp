@@ -1,0 +1,316 @@
+//===- tests/ServeIncrementalTests.cpp - Warm-vs-cold identity --*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental re-analysis contract of `cpsflow serve`: a warm
+/// (memo-assisted) analysis answers byte-for-byte what a cold one
+/// answers, for every analyzer, across an edit script, at every worker
+/// pool size — the memo store may only ever change goal counts. Each
+/// edited request is asked twice on the same daemon, once incremental
+/// (the default) and once with "incremental":false, and the answer and
+/// degrade reason must match exactly. The direct analyzer must also
+/// demonstrate actual reuse (replayHits > 0) once the store is seeded,
+/// including from a different connection than the one that seeded it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "support/JsonParse.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cpsflow;
+using namespace cpsflow::serve;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A blocking line-protocol client with a receive timeout (see
+/// ServeTests.cpp, whose client this mirrors).
+class TestClient {
+public:
+  bool connectTo(const std::string &Path) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    timeval Tv{10, 0};
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Path.size() >= sizeof(Addr.sun_path))
+      return false;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)) == 0;
+  }
+
+  ~TestClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  std::string roundTrip(const std::string &Line) {
+    std::string Out = Line;
+    Out.push_back('\n');
+    size_t Sent = 0;
+    while (Sent < Out.size()) {
+      ssize_t N =
+          ::send(Fd, Out.data() + Sent, Out.size() - Sent, MSG_NOSIGNAL);
+      if (N <= 0)
+        return {};
+      Sent += static_cast<size_t>(N);
+    }
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Line2 = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return Line2;
+      }
+      char Chunk[4096];
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0)
+        return {};
+      Buf.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+
+private:
+  int Fd = -1;
+  std::string Buf;
+};
+
+/// An in-memory corpus with one numeric leaf hole in the main
+/// expression, so the edit script re-analyzes programs whose define-d
+/// closures (the memo universe) never change.
+struct EditProgram {
+  const char *Name;
+  const char *Prefix; ///< source up to the edited numeral
+  const char *Suffix; ///< source after it
+  uint64_t Leaf;      ///< the numeral's starting value
+
+  std::string at(uint64_t Edit) const {
+    return std::string(Prefix) + std::to_string(Leaf + Edit) + Suffix;
+  }
+};
+
+const EditProgram Corpus[] = {
+    {"arith",
+     "(define (plus a b) (if0 a b (add1 (plus (sub1 a) b))))\n"
+     "(define (times a b) (if0 a 0 (plus b (times (sub1 a) b))))\n"
+     "(plus (times ",
+     " 4) 1)", 3},
+    {"calls",
+     "(define (twice f x) (f (f x)))\n"
+     "(define (inc x) (add1 x))\n"
+     "(twice inc ", ")", 5},
+    {"branchy",
+     "(define (pick p a b) (if0 p a b))\n"
+     "(let (x ", ") (pick x (add1 x) (sub1 x)))", 0},
+};
+
+const char *const Analyzers[] = {"direct", "semantic", "syntactic", "dup"};
+
+struct Leg {
+  bool Ok = false;
+  std::string Answer;
+  std::string DegradeReason;
+  double ReplayHits = 0;
+};
+
+Leg legOf(const std::string &Line) {
+  Leg L;
+  Result<JsonValue> Doc = parseJson(Line);
+  if (!Doc || !Doc->isObject())
+    return L;
+  const JsonValue *Ok = Doc->find("ok");
+  const JsonValue *R = Doc->find("result");
+  const JsonValue *Stats = R ? R->find("stats") : nullptr;
+  if (!Ok || !Ok->asBool() || !Stats)
+    return L;
+  L.Ok = true;
+  L.Answer = R->find("answer") ? R->find("answer")->asString() : "";
+  L.DegradeReason = Stats->find("degradeReason")
+                        ? Stats->find("degradeReason")->asString()
+                        : "";
+  L.ReplayHits = Stats->numberOr("replayHits", 0);
+  return L;
+}
+
+std::string escaped(const std::string &S) {
+  std::string P;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      P.push_back('\\');
+    if (C == '\n') {
+      P += "\\n";
+      continue;
+    }
+    P.push_back(C);
+  }
+  return P;
+}
+
+std::string analyzeReq(const std::string &Program, const std::string &Analyzer,
+                       bool Incremental) {
+  std::string R = "{\"op\":\"analyze\",\"program\":\"" + escaped(Program) +
+                  "\",\"analyzer\":\"" + Analyzer +
+                  "\",\"domain\":\"constant\",\"noCache\":true";
+  if (!Incremental)
+    R += ",\"incremental\":false";
+  R += "}";
+  return R;
+}
+
+class ServeIncrementalTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const char *Name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    Base = fs::temp_directory_path() /
+           ("cpsflow-incr-" + std::to_string(::getpid()) + "-" + Name);
+    fs::remove_all(Base);
+    fs::create_directories(Base);
+    Opts.SocketPath = (Base / "s.sock").string();
+  }
+  void TearDown() override {
+    Server.reset();
+    fs::remove_all(Base);
+  }
+
+  void start(unsigned Workers) {
+    Opts.Workers = Workers;
+    Server = std::make_unique<serve::Server>(Opts);
+    Result<bool> R = Server->start();
+    ASSERT_TRUE(R.hasValue()) << (R.hasValue() ? "" : R.error().str());
+  }
+
+  fs::path Base;
+  ServeOptions Opts;
+  std::unique_ptr<serve::Server> Server;
+};
+
+TEST_F(ServeIncrementalTest, WarmAnswersMatchColdAcrossCorpusAndAnalyzers) {
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    Server.reset();
+    fs::remove(Opts.SocketPath);
+    start(Workers);
+    ASSERT_TRUE(Server);
+    TestClient C;
+    ASSERT_TRUE(C.connectTo(Opts.SocketPath));
+    for (const EditProgram &P : Corpus) {
+      for (const char *Analyzer : Analyzers) {
+        double TotalHits = 0;
+        for (uint64_t Edit = 0; Edit < 4; ++Edit) {
+          std::string Src = P.at(Edit);
+          Leg Warm = legOf(C.roundTrip(analyzeReq(Src, Analyzer, true)));
+          Leg Cold = legOf(C.roundTrip(analyzeReq(Src, Analyzer, false)));
+          ASSERT_TRUE(Warm.Ok && Cold.Ok)
+              << P.Name << "/" << Analyzer << " edit " << Edit
+              << " workers " << Workers;
+          EXPECT_EQ(Warm.Answer, Cold.Answer)
+              << P.Name << "/" << Analyzer << " edit " << Edit
+              << " workers " << Workers;
+          EXPECT_EQ(Warm.DegradeReason, Cold.DegradeReason)
+              << P.Name << "/" << Analyzer << " edit " << Edit;
+          EXPECT_EQ(Cold.ReplayHits, 0) << "cold runs must never replay";
+          TotalHits += Warm.ReplayHits;
+        }
+        if (std::string(Analyzer) == "direct")
+          EXPECT_GT(TotalHits, 0)
+              << P.Name << " workers " << Workers
+              << ": the edit script must actually reuse memo entries";
+        else
+          EXPECT_EQ(TotalHits, 0)
+              << Analyzer << " has no memo transfer; warm == cold";
+      }
+    }
+  }
+}
+
+TEST_F(ServeIncrementalTest, MemoStoreIsSharedAcrossConnections) {
+  start(2);
+  {
+    TestClient Seeder;
+    ASSERT_TRUE(Seeder.connectTo(Opts.SocketPath));
+    Leg First =
+        legOf(Seeder.roundTrip(analyzeReq(Corpus[0].at(0), "direct", true)));
+    ASSERT_TRUE(First.Ok);
+  }
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(Opts.SocketPath));
+  Leg Warm = legOf(C.roundTrip(analyzeReq(Corpus[0].at(1), "direct", true)));
+  Leg Cold = legOf(C.roundTrip(analyzeReq(Corpus[0].at(1), "direct", false)));
+  ASSERT_TRUE(Warm.Ok && Cold.Ok);
+  EXPECT_EQ(Warm.Answer, Cold.Answer);
+  EXPECT_GT(Warm.ReplayHits, 0)
+      << "the memo store must be daemon-global, not per-connection";
+}
+
+TEST_F(ServeIncrementalTest, NoIncrementalOptionRunsEveryRequestCold) {
+  Opts.Incremental = false;
+  start(2);
+  TestClient C;
+  ASSERT_TRUE(C.connectTo(Opts.SocketPath));
+  for (uint64_t Edit = 0; Edit < 3; ++Edit) {
+    Leg L = legOf(
+        C.roundTrip(analyzeReq(Corpus[0].at(Edit), "direct", true)));
+    ASSERT_TRUE(L.Ok);
+    EXPECT_EQ(L.ReplayHits, 0)
+        << "--no-incremental must disable replay even for willing requests";
+  }
+}
+
+TEST_F(ServeIncrementalTest, ConcurrentWarmAndColdClientsAgree) {
+  start(4);
+  // Every thread walks the same edit script, warm, while one walks it
+  // cold; all answers per edit must agree regardless of interleaving.
+  constexpr int Edits = 6;
+  std::vector<std::string> ColdAnswers(Edits);
+  {
+    TestClient C;
+    ASSERT_TRUE(C.connectTo(Opts.SocketPath));
+    for (int E = 0; E < Edits; ++E) {
+      Leg L = legOf(
+          C.roundTrip(analyzeReq(Corpus[0].at(E), "direct", false)));
+      ASSERT_TRUE(L.Ok);
+      ColdAnswers[E] = L.Answer;
+    }
+  }
+  std::vector<std::thread> Threads;
+  std::vector<int> Mismatches(4, 0);
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      TestClient C;
+      if (!C.connectTo(Opts.SocketPath)) {
+        Mismatches[T] = -1;
+        return;
+      }
+      for (int E = 0; E < Edits; ++E) {
+        Leg L = legOf(
+            C.roundTrip(analyzeReq(Corpus[0].at(E), "direct", true)));
+        if (!L.Ok || L.Answer != ColdAnswers[E])
+          ++Mismatches[T];
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int T = 0; T < 4; ++T)
+    EXPECT_EQ(Mismatches[T], 0) << "client " << T;
+}
+
+} // namespace

@@ -144,6 +144,7 @@ struct Options {
   uint64_t QueueCap = 64;     ///< admission high-water mark.
   std::string CacheDir;       ///< result-cache directory; empty = off.
   double DrainGraceMs = 2000; ///< drain grace before degrading work.
+  bool NoIncremental = false; ///< disable cross-request memo reuse.
 
   // fuzz-only knobs.
   uint64_t FuzzSeed = 1;
@@ -215,6 +216,8 @@ struct Options {
       "                             (omitted = caching off)\n"
       "          --drain-grace-ms N grace before in-flight analyses are\n"
       "                             degraded on drain (default 2000)\n"
+      "          --no-incremental   disable cross-request memo reuse\n"
+      "                             (every analysis runs cold)\n"
       "          the governor flags above (--deadline-ms, --max-goals,\n"
       "          --max-store-mb, --max-depth) set per-request defaults\n"
       "FILE may be '-' for stdin.\n");
@@ -368,6 +371,8 @@ Options parseArgs(int Argc, char **Argv) {
       O.CacheDir = Argv[++I];
     } else if (A == "--drain-grace-ms" && I + 1 < Argc) {
       O.DrainGraceMs = flagMs("--drain-grace-ms", Argv[++I]);
+    } else if (A == "--no-incremental") {
+      O.NoIncremental = true;
     } else if (A == "--no-timing") {
       O.NoTiming = true;
     } else if (A == "--show-cfg") {
@@ -1258,6 +1263,7 @@ int cmdServe(const Options &O) {
   SOpts.QueueCap = static_cast<size_t>(O.QueueCap);
   SOpts.CacheDir = O.CacheDir;
   SOpts.DrainGraceMs = O.DrainGraceMs;
+  SOpts.Incremental = !O.NoIncremental;
   if (O.MaxGoals)
     SOpts.Defaults.MaxGoals = O.MaxGoals;
   if (O.DeadlineMs > 0)
