@@ -8,7 +8,7 @@
 /// E14 — wall-clock scaling of the batch corpus driver over worker
 /// threads. The corpus is a fixed set of generated programs (rendered to
 /// source text so the bench exercises the driver's whole per-program
-/// pipeline: parse, ANF, CPS, all four analyzers). The argument is the
+/// pipeline: parse, ANF, CPS, all five analyzers). The argument is the
 /// thread count; analyses are per-program independent, so the results are
 /// identical at every value — only the wall time should move.
 ///

@@ -295,7 +295,7 @@ struct AnalyzerStats {
   bool complete() const { return !BudgetExhausted && !LoopBounded; }
 };
 
-/// Per-goal observability hook shared by the four analyzers; called once
+/// Per-goal observability hook shared by the five analyzers; called once
 /// per proof goal, after the governor check. With both sinks disabled
 /// (the default) the cost is two predicted-false pointer tests — the same
 /// budget class as the governor's cheap path. \p IsMemoHit is a lazy
@@ -314,7 +314,7 @@ inline void observeGoal(const AnalyzerOptions &Opts,
                          {"memoHit", IsMemoHit() ? 1u : 0u}});
 }
 
-/// End-of-run bookkeeping shared by the four analyzers: copies the
+/// End-of-run bookkeeping shared by the five analyzers: copies the
 /// interner/memo occupancy into \p Stats and, when a metrics registry is
 /// attached, publishes the run's counters under their canonical names.
 template <typename V>

@@ -1,0 +1,531 @@
+//===- analysis/PushdownAnalyzer.h - CFA2-style fifth analyzer --*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A summarization-based pushdown analyzer over the ANF front-end: the
+/// modern resolution (CFA2, Vardoulakis & Shivers; "Pushdown Control-Flow
+/// Analysis for Free", Gilray et al.) of the return-point confusion that
+/// Theorem 5.1 blames on syntactic CPS.
+///
+/// The analyzer keeps calls and returns matched *by construction*: a goal
+/// is a (term, store) pair — no continuation component — and its answer is
+/// the *set* of per-path results the term can produce, each a (value,
+/// store) pair. The caller resumes its own continuation once per returned
+/// pair, so distinct procedure returns are never confused (CallMerges is
+/// identically zero) and distinct execution paths are never joined before
+/// the continuation, unlike Figure 4's direct analyzer which joins all
+/// callee answers (Theorem 5.2b) and both conditional arms (Theorem 5.2a)
+/// at the merge point. The only join the analyzer ever performs is the
+/// final one over the whole-program answer set.
+///
+/// Because goals carry no continuation, summaries are context-independent
+/// and memoize on (term, store) alone — the "pushdown for free" trick:
+/// the implicit call stack of the recursive walk plays the role of the
+/// pushdown stack, and the memo table is the summary table.
+///
+/// Precision contract (the O7 oracle and tests/PushdownTests.cpp):
+///  * never less precise than the syntactic-CPS analyzer — per-path
+///    stores plus exact return matching dominate merged continuation
+///    sets pointwise;
+///  * exactly the semantic-CPS precision class: answers match direct
+///    whenever direct performed no merge (Joins == 0, no dead paths),
+///    which covers the Theorem 5.1 witness;
+///  * sound against the concrete interpreter.
+///
+/// Termination and budgets follow Section 4.4 exactly as in Figure 4: an
+/// active (term, store) repetition — or a Governor trip — cuts the goal
+/// to the least precise single pair ((T, CL_T), sigma), tagged with the
+/// usual DegradeReason taxonomy. The loop rule is direct's exact
+/// Section 6.2 summary (the join of all naturals), so LoopBounded stays
+/// false. Stores are hash-consed in the shared per-run StoreInterner, and
+/// provenance/metrics/trace hooks are threaded exactly like the other
+/// other four analyzers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_ANALYSIS_PUSHDOWNANALYZER_H
+#define CPSFLOW_ANALYSIS_PUSHDOWNANALYZER_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Common.h"
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/Universe.h"
+#include "anf/Anf.h"
+#include "domain/AbsStore.h"
+#include "domain/AbsValue.h"
+#include "domain/StoreInterner.h"
+#include "syntax/Analysis.h"
+#include "syntax/Ast.h"
+#include "syntax/Printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cpsflow {
+namespace analysis {
+
+/// The canonical spelling of \p Name ("direct", "semantic", "syntactic",
+/// "dup", "pushdown"), resolving the CLI/serve alias table (scps, syncps,
+/// pd, cfa2), or nullopt for an unknown analyzer (PushdownAnalyzer.cpp).
+std::optional<std::string> canonicalAnalyzerName(std::string_view Name);
+
+/// "direct|semantic|syntactic|dup|pushdown" — the valid-choices list for
+/// rejection messages and usage text.
+const char *knownAnalyzerNames();
+
+/// The alias table rendered for usage text: "scps=semantic,
+/// syncps=syntactic, pd=cfa2=pushdown".
+const char *knownAnalyzerAliases();
+
+/// The result shape is the direct analyzer's: a direct-world answer,
+/// stats, the extracted control-flow graph, and per-variable final store
+/// lookup — so Compare.h, the oracle battery, and every client treat the
+/// pushdown leg as a drop-in direct-world result.
+template <typename D> using PushdownResult = DirectResult<D>;
+
+/// The pushdown analyzer, parameterized by the numeric domain \p D.
+/// Single-use: construct and call run() once.
+template <typename D> class PushdownAnalyzer {
+public:
+  using Val = domain::AbsVal<D>;
+  using StoreT = domain::AbsStore<Val>;
+  using Answer = AnswerOf<Val>;
+
+  /// \pre \p Program is in A-normal form with unique binders; the lambdas
+  /// referenced by \p Initial use binders disjoint from \p Program's.
+  PushdownAnalyzer(const Context &Ctx, const syntax::Term *Program,
+                   std::vector<DirectBinding<D>> Initial = {},
+                   AnalyzerOptions Opts = AnalyzerOptions())
+      : Ctx(Ctx), Program(Program), Initial(std::move(Initial)), Opts(Opts) {
+    assert(anf::isAnfQuick(Program) && "pushdown requires A-normal form");
+
+    std::vector<const syntax::LamValue *> ExtraLams;
+    std::vector<Symbol> ExtraVars;
+    for (const DirectBinding<D> &B : this->Initial) {
+      ExtraVars.push_back(B.Var);
+      for (const domain::CloRef &C : B.Value.Clos)
+        if (C.Tag == domain::CloRef::K::Lam)
+          ExtraLams.push_back(C.Lam);
+    }
+    Vars = std::make_shared<domain::VarIndex>(
+        directVariableUniverse(Program, ExtraLams, ExtraVars));
+    CloTop = directClosureUniverse(Program, ExtraLams);
+    Interner.attachMetrics(this->Opts.Metrics);
+    Interner.reset(Vars->size());
+  }
+
+  /// Runs the analysis from the initial store.
+  PushdownResult<D> run() {
+    domain::StoreId Sigma0 = Interner.bottom();
+    for (const DirectBinding<D> &B : Initial) {
+      domain::StoreId Next = Interner.joinAt(Sigma0, Vars->of(B.Var), B.Value);
+      if (Opts.Prov)
+        Opts.Prov->init(Vars->of(B.Var), Next, Sigma0);
+      Sigma0 = Next;
+    }
+
+    EvalOut Out = evalTerm(Program, Sigma0, 0);
+
+    // The one and only join: fold the whole-program answer set. Every
+    // merge the direct analyzer performs mid-derivation is deferred to
+    // here, which is exactly why the per-variable facts upstream stay
+    // per-path precise.
+    std::optional<IAns> Acc;
+    domain::ProvId AccProv = domain::NoProv;
+    for (const PdAns &P : Out.Pairs) {
+      IAns Ai{P.V, P.S};
+      if (!Acc) {
+        Acc = std::move(Ai);
+        AccProv = P.Prov;
+      } else {
+        ++Stats.Joins;
+        if (Opts.Prov) {
+          Acc = joinAnswers(Interner, *Acc, Ai, Opts.Prov,
+                            domain::EdgeKind::Join, Program->id(),
+                            Program->loc());
+          AccProv = Opts.Prov->value(domain::EdgeKind::Join, Program->id(),
+                                     Program->loc(), AccProv, P.Prov);
+        } else {
+          Acc = joinAnswers(Interner, *Acc, Ai);
+        }
+      }
+    }
+
+    finalizeRunStats(Stats, Interner, Memo.size(), Opts);
+    if (Opts.Prov)
+      Opts.Prov->noteFinal(Acc ? Acc->Store : Interner.bottom());
+
+    PushdownResult<D> R;
+    R.Answer = Acc ? Answer{std::move(Acc->Value), Interner.store(Acc->Store)}
+                   : Answer{Val::bot(), StoreT(Vars->size())};
+    R.Stats = Stats;
+    R.Cfg = std::move(Cfg);
+    R.Vars = Vars;
+    return R;
+  }
+
+  /// The universe of abstract closures CL_T, used for the Section 4.4
+  /// cut-off value.
+  const domain::CloSet &closureUniverse() const { return CloTop; }
+
+  /// The run's hash-consing table (observability: distinct stores seen).
+  const domain::StoreInterner<Val> &interner() const { return Interner; }
+
+private:
+  static constexpr uint32_t Unconstrained =
+      std::numeric_limits<uint32_t>::max();
+
+  using IAns = InternedAnswerOf<Val>;
+
+  /// One per-path result of a goal: the value the term evaluated to, the
+  /// store it finished in, and the derivation of the value.
+  struct PdAns {
+    Val V;
+    domain::StoreId S;
+    domain::ProvId Prov = domain::NoProv;
+  };
+
+  /// A goal's answer: the set of per-path results (deduped on (value,
+  /// store), first-win on provenance, insertion-ordered so runs are
+  /// deterministic), plus the shallowest active ancestor the
+  /// subderivation was cut against (Unconstrained if none — then the
+  /// summary is context-independent and cacheable). An empty set means
+  /// the goal is dead: no execution path completes it.
+  struct EvalOut {
+    std::vector<PdAns> Pairs;
+    uint32_t MinDep = Unconstrained;
+  };
+
+  struct Key {
+    const void *Node;
+    domain::StoreId Store;
+
+    friend bool operator==(const Key &A, const Key &B) {
+      return A.Node == B.Node && A.Store == B.Store;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      uint64_t H = hashPointer(K.Node);
+      hashCombine(H, K.Store);
+      return H;
+    }
+  };
+
+  /// Appends \p P unless an identical (value, store) pair is present.
+  static void appendPair(std::vector<PdAns> &Out, PdAns P) {
+    for (const PdAns &Q : Out)
+      if (Q.S == P.S && Q.V == P.V)
+        return;
+    Out.push_back(std::move(P));
+  }
+
+  /// The Section 4.4 cut-off: a single least-precise path.
+  EvalOut cutPairs(domain::StoreId Sigma, domain::ProvId Prov,
+                   uint32_t MinDep) const {
+    Val V;
+    V.Num = D::top();
+    V.Clos = CloTop;
+    EvalOut Out;
+    Out.Pairs.push_back(PdAns{std::move(V), Sigma, Prov});
+    Out.MinDep = MinDep;
+    return Out;
+  }
+
+  // phi_e of Figure 4 — value forms are shared with the direct world.
+  Val phi(const syntax::Value *V, domain::StoreId Sigma) const {
+    using namespace syntax;
+    switch (V->kind()) {
+    case ValueKind::VK_Num:
+      return Val::number(D::constant(cast<NumValue>(V)->value()));
+    case ValueKind::VK_Var:
+      return Interner.get(Sigma, Vars->of(cast<VarValue>(V)->name()));
+    case ValueKind::VK_Prim:
+      return Val::closures(domain::CloSet::single(
+          cast<PrimValue>(V)->op() == PrimOp::Add1 ? domain::CloRef::inc()
+                                                   : domain::CloRef::dec()));
+    case ValueKind::VK_Lam:
+      return Val::closures(
+          domain::CloSet::single(domain::CloRef::lam(cast<LamValue>(V))));
+    }
+    assert(false && "unknown value kind");
+    return Val::bot();
+  }
+
+  /// A Cut value node for provenance. Only called with Opts.Prov non-null.
+  domain::ProvId cutProv(const syntax::Term *T,
+                         support::DegradeReason R) const {
+    return Opts.Prov->value(domain::EdgeKind::Cut, T->id(), T->loc(),
+                            domain::NoProv, domain::NoProv, R);
+  }
+
+  /// Provenance of a value form: variables derive from the store fact
+  /// they read; literals, lambdas, and primitives are leaves.
+  domain::ProvId provOfValue(const syntax::Value *V,
+                             domain::StoreId Sigma) const {
+    if (const auto *Var = syntax::dyn_cast<syntax::VarValue>(V))
+      return Opts.Prov->factOf(Vars->of(Var->name()), Sigma);
+    return domain::NoProv;
+  }
+
+  EvalOut evalTerm(const syntax::Term *T, domain::StoreId Sigma,
+                   uint32_t Depth) {
+    if (Stats.BudgetExhausted)
+      return cutPairs(Sigma,
+                      Opts.Prov ? cutProv(T, Stats.Degraded) : domain::NoProv,
+                      0);
+    ++Stats.Goals;
+    CPSFLOW_FAULT_COUNTED(fault::Site::AnalyzerGoal, Stats.Goals);
+    if (support::DegradeReason R =
+            Gov.check(Stats.Goals, Depth, Interner.approxBytes());
+        R != support::DegradeReason::None) {
+      Stats.BudgetExhausted = true;
+      Stats.Degraded = R;
+      return cutPairs(Sigma, Opts.Prov ? cutProv(T, R) : domain::NoProv, 0);
+    }
+    Stats.MaxDepth = std::max<uint64_t>(Stats.MaxDepth, Depth);
+
+    Key K{T, Sigma};
+    observeGoal(Opts, Stats, Depth, Sigma,
+                [&] { return Opts.UseMemo && Memo.count(K) != 0; });
+    if (auto It = Memo.find(K); Opts.UseMemo && It != Memo.end()) {
+      ++Stats.CacheHits;
+      return EvalOut{It->second, Unconstrained};
+    }
+    if (auto It = Active.find(K); It != Active.end()) {
+      ++Stats.Cuts;
+      return cutPairs(Sigma,
+                      Opts.Prov ? cutProv(T, support::DegradeReason::None)
+                                : domain::NoProv,
+                      It->second);
+    }
+
+    size_t TraceLine = 0;
+    if (Opts.DerivationSink &&
+        Opts.DerivationSink->size() < Opts.DerivationMaxLines) {
+      TraceLine = Opts.DerivationSink->size();
+      Opts.DerivationSink->push_back(
+          std::string(std::min<uint32_t>(Depth, 40), ' ') + "(" +
+          syntax::print(Ctx, T) + ", sigma) |- ...");
+    }
+
+    Active.emplace(K, Depth);
+    EvalOut Out = evalUncached(T, Sigma, Depth);
+    Active.erase(K);
+
+    if (Opts.DerivationSink && TraceLine < Opts.DerivationSink->size()) {
+      std::string &Line = (*Opts.DerivationSink)[TraceLine];
+      Line.resize(Line.size() - 3); // drop "..."
+      if (Out.Pairs.empty())
+        Line += "dead";
+      else
+        Line += std::to_string(Out.Pairs.size()) + " path(s), first " +
+                Out.Pairs.front().V.str(Ctx);
+    }
+    if (Out.MinDep >= Depth && !Stats.BudgetExhausted) {
+      if (Opts.UseMemo)
+        Memo.emplace(K, Out.Pairs);
+      Out.MinDep = Unconstrained;
+    }
+    return Out;
+  }
+
+  /// Binds every pair of \p Vals into slot \p X and resumes \p Body once
+  /// per path, accumulating the resulting pair sets. This is the
+  /// call-return matching point: each callee/branch path reaches the
+  /// continuation with its own store and its own result, never a merge.
+  EvalOut resumePerPath(const std::vector<PdAns> &Vals, uint32_t X,
+                        const syntax::Term *Body, uint32_t Depth,
+                        uint32_t NodeId, SourceLoc Loc) {
+    EvalOut Out;
+    for (const PdAns &P : Vals) {
+      domain::StoreId S = Interner.joinAt(P.S, X, P.V);
+      if (Opts.Prov)
+        Opts.Prov->assign(domain::EdgeKind::Flow, X, S, P.S, NodeId, Loc,
+                          P.Prov);
+      EvalOut B = evalTerm(Body, S, Depth + 1);
+      Out.MinDep = std::min(Out.MinDep, B.MinDep);
+      for (PdAns &Q : B.Pairs)
+        appendPair(Out.Pairs, std::move(Q));
+    }
+    return Out;
+  }
+
+  EvalOut evalUncached(const syntax::Term *T, domain::StoreId Sigma,
+                       uint32_t Depth) {
+    using namespace syntax;
+
+    // (V, sigma) |- {(phi_e(V, sigma), sigma)}: a value is one path.
+    if (const auto *VT = dyn_cast<ValueTerm>(T)) {
+      EvalOut Out;
+      Out.Pairs.push_back(
+          PdAns{phi(VT->value(), Sigma), Sigma,
+                Opts.Prov ? provOfValue(VT->value(), Sigma) : domain::NoProv});
+      return Out;
+    }
+
+    const auto *Let = cast<LetTerm>(T);
+    const Term *Bound = Let->bound();
+    uint32_t X = Vars->of(Let->var());
+
+    switch (Bound->kind()) {
+    case TermKind::TK_Value: {
+      // (let (x V) M): continue with sigma[x := sigma(x) join u].
+      Val U = phi(cast<ValueTerm>(Bound)->value(), Sigma);
+      domain::StoreId S = Interner.joinAt(Sigma, X, U);
+      if (Opts.Prov)
+        Opts.Prov->assign(domain::EdgeKind::Flow, X, S, Sigma, Let->id(),
+                          Let->loc(),
+                          provOfValue(cast<ValueTerm>(Bound)->value(), Sigma));
+      return evalTerm(Let->body(), S, Depth + 1);
+    }
+
+    case TermKind::TK_App: {
+      // (let (x (V1 V2)) M): every abstract closure is applied, but the
+      // answers are *not* joined — the body is resumed once per returned
+      // (value, store) path, so the return of one call never merges into
+      // another (the pushdown win over both Figure 4 and Figure 6).
+      const auto *App = cast<AppTerm>(Bound);
+      Val Fun = phi(cast<ValueTerm>(App->fun())->value(), Sigma);
+      Val Arg = phi(cast<ValueTerm>(App->arg())->value(), Sigma);
+
+      domain::CloSet &Rec = Cfg.Callees[App];
+      for (const domain::CloRef &C : Fun.Clos)
+        Rec.insert(C);
+
+      if (Fun.Clos.empty()) {
+        ++Stats.DeadPaths; // the set over no paths
+        return EvalOut{};
+      }
+
+      domain::ProvId ArgProv =
+          Opts.Prov ? provOfValue(cast<ValueTerm>(App->arg())->value(), Sigma)
+                    : domain::NoProv;
+      std::vector<PdAns> Returned;
+      uint32_t MinDep = Unconstrained;
+      for (const domain::CloRef &C : Fun.Clos) {
+        switch (C.Tag) {
+        case domain::CloRef::K::Inc:
+          appendPair(Returned,
+                     PdAns{Val::number(D::add1(Arg.Num)), Sigma, ArgProv});
+          break;
+        case domain::CloRef::K::Dec:
+          appendPair(Returned,
+                     PdAns{Val::number(D::sub1(Arg.Num)), Sigma, ArgProv});
+          break;
+        case domain::CloRef::K::Lam: {
+          domain::StoreId S =
+              Interner.joinAt(Sigma, Vars->of(C.Lam->param()), Arg);
+          if (Opts.Prov)
+            Opts.Prov->assign(domain::EdgeKind::Flow,
+                              Vars->of(C.Lam->param()), S, Sigma, App->id(),
+                              App->loc(), ArgProv);
+          EvalOut R = evalTerm(C.Lam->body(), S, Depth + 1);
+          MinDep = std::min(MinDep, R.MinDep);
+          for (PdAns &P : R.Pairs)
+            appendPair(Returned, std::move(P));
+          break;
+        }
+        }
+      }
+      if (Returned.empty())
+        return EvalOut{{}, MinDep}; // every callee path died
+
+      EvalOut Body = resumePerPath(Returned, X, Let->body(), Depth,
+                                   App->id(), App->loc());
+      Body.MinDep = std::min(Body.MinDep, MinDep);
+      return Body;
+    }
+
+    case TermKind::TK_If0: {
+      // (let (x (if0 V0 M1 M2)) M): with an unknown test both arms are
+      // analyzed, but never joined — each arm's paths resume the body
+      // separately (contrast Figure 4's merging two-branch rule).
+      const auto *If = cast<If0Term>(Bound);
+      Val U0 = phi(cast<ValueTerm>(If->cond())->value(), Sigma);
+      domain::ZeroTest Zt = D::isZero(U0.Num);
+
+      bool ThenOnly = Zt == domain::ZeroTest::Zero && U0.Clos.empty();
+      bool ElseOnly = Zt == domain::ZeroTest::NonZero ||
+                      Zt == domain::ZeroTest::Bottom;
+
+      BranchInfo &BI = Cfg.Branches[If];
+      BI.ThenFeasible |= !ElseOnly;
+      BI.ElseFeasible |= !ThenOnly;
+      if (ThenOnly || ElseOnly)
+        ++Stats.PrunedBranches;
+
+      std::vector<PdAns> ArmPairs;
+      uint32_t MinDep = Unconstrained;
+      if (!ElseOnly) {
+        EvalOut B1 = evalTerm(If->thenBranch(), Sigma, Depth + 1);
+        MinDep = std::min(MinDep, B1.MinDep);
+        for (PdAns &P : B1.Pairs)
+          appendPair(ArmPairs, std::move(P));
+      }
+      if (!ThenOnly) {
+        EvalOut B2 = evalTerm(If->elseBranch(), Sigma, Depth + 1);
+        MinDep = std::min(MinDep, B2.MinDep);
+        for (PdAns &P : B2.Pairs)
+          appendPair(ArmPairs, std::move(P));
+      }
+      if (ArmPairs.empty())
+        return EvalOut{{}, MinDep}; // every feasible arm died
+
+      EvalOut Body =
+          resumePerPath(ArmPairs, X, Let->body(), Depth, If->id(), If->loc());
+      Body.MinDep = std::min(Body.MinDep, MinDep);
+      return Body;
+    }
+
+    case TermKind::TK_Loop: {
+      // (loop, sigma) |- {(join_i (i, {}), sigma)}: Section 6.2's exact
+      // computable summary, identical to the direct rule — no bounded
+      // unrolling, so LoopBounded stays false.
+      domain::StoreId S =
+          Interner.joinAt(Sigma, X, Val::number(D::naturals()));
+      if (Opts.Prov)
+        Opts.Prov->assign(domain::EdgeKind::Widen, X, S, Sigma, Let->id(),
+                          Let->loc());
+      return evalTerm(Let->body(), S, Depth + 1);
+    }
+
+    case TermKind::TK_Let:
+      assert(false && "not ANF: let-bound let");
+      return EvalOut{};
+    }
+    assert(false && "unknown term kind");
+    return EvalOut{};
+  }
+
+  const Context &Ctx;
+  const syntax::Term *Program;
+  std::vector<DirectBinding<D>> Initial;
+  AnalyzerOptions Opts;
+
+  std::shared_ptr<domain::VarIndex> Vars;
+  domain::CloSet CloTop;
+  domain::StoreInterner<Val> Interner;
+  AnalyzerStats Stats;
+  support::Governor Gov{Opts.Governor, Opts.MaxGoals};
+  DirectCfg Cfg;
+
+  std::unordered_map<Key, std::vector<PdAns>, KeyHash> Memo;
+  std::unordered_map<Key, uint32_t, KeyHash> Active;
+};
+
+} // namespace analysis
+} // namespace cpsflow
+
+#endif // CPSFLOW_ANALYSIS_PUSHDOWNANALYZER_H

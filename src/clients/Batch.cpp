@@ -8,6 +8,7 @@
 
 #include "analysis/DirectAnalyzer.h"
 #include "analysis/DupAnalyzer.h"
+#include "analysis/PushdownAnalyzer.h"
 #include "analysis/SemanticCpsAnalyzer.h"
 #include "analysis/SyntacticCpsAnalyzer.h"
 #include "analysis/Compare.h"
@@ -134,6 +135,9 @@ BatchProgramResult analyzeOne(const std::string &Name,
   Out.Dup = runLeg(Ctx, analysis::DupAnalyzer<D>(Ctx, Anf, Init,
                                                  Opts.DupBudget, AOpts),
                    Trace, Tid, "dup");
+  Out.Pushdown = runLeg(
+      Ctx, analysis::PushdownAnalyzer<D>(Ctx, Anf, Init, AOpts), Trace,
+      Tid, "pushdown");
   Out.Ok = true;
   return Out;
 }
@@ -239,13 +243,14 @@ BatchFailKind failKindFor(support::DegradeReason R, bool DeadlineArmed) {
   }
 }
 
-/// The four legs of \p P in fixed report order.
+/// The five legs of \p P in fixed report order.
 std::vector<std::pair<const char *, const BatchAnalyzerRecord *>>
 legsOf(const BatchProgramResult &P) {
   return {{"direct", &P.Direct},
           {"semantic", &P.Semantic},
           {"syntactic", &P.Syntactic},
-          {"dup", &P.Dup}};
+          {"dup", &P.Dup},
+          {"pushdown", &P.Pushdown}};
 }
 
 /// One fully-contained worker body: governs, runs, and converts any
@@ -660,7 +665,7 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
   W.key("domain").value(Opts.Domain);
   W.key("dupBudget").value(Opts.DupBudget);
   // Only interrupted runs carry the marker: un-interrupted documents stay
-  // byte-identical to every earlier schema-5 report.
+  // byte-identical to every earlier schema-6 report.
   if (R.Interrupted)
     W.key("interrupted").value(true);
   if (Opts.IncludeTiming) {
@@ -668,8 +673,8 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
     W.key("wallMs").value(R.WallMs);
   }
 
-  LegTotals Direct, Semantic, Syntactic, Dup;
-  LegSamples DirectS, SemanticS, SyntacticS, DupS;
+  LegTotals Direct, Semantic, Syntactic, Dup, Pushdown;
+  LegSamples DirectS, SemanticS, SyntacticS, DupS, PushdownS;
   uint64_t Failures = 0;
   uint64_t Kinds[6] = {0, 0, 0, 0, 0, 0};
 
@@ -695,15 +700,18 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
     writeAnalyzerRecord(W, "semantic", P.Semantic, Opts);
     writeAnalyzerRecord(W, "syntactic", P.Syntactic, Opts);
     writeAnalyzerRecord(W, "dup", P.Dup, Opts);
+    writeAnalyzerRecord(W, "pushdown", P.Pushdown, Opts);
     W.endObject();
     Direct.add(P.Direct);
     Semantic.add(P.Semantic);
     Syntactic.add(P.Syntactic);
     Dup.add(P.Dup);
+    Pushdown.add(P.Pushdown);
     DirectS.add(P.Direct);
     SemanticS.add(P.Semantic);
     SyntacticS.add(P.Syntactic);
     DupS.add(P.Dup);
+    PushdownS.add(P.Pushdown);
   }
   W.endArray();
 
@@ -720,6 +728,7 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
   Semantic.write(W, "semantic", Opts);
   Syntactic.write(W, "syntactic", Opts);
   Dup.write(W, "dup", Opts);
+  Pushdown.write(W, "pushdown", Opts);
   W.endObject();
 
   // Schema 3: per-leg distributions across ok programs. Computed from
@@ -732,6 +741,7 @@ std::string batchJson(const BatchResult &R, const BatchOptions &Opts) {
   SemanticS.write(W, "semantic", Opts);
   SyntacticS.write(W, "syntactic", Opts);
   DupS.write(W, "dup", Opts);
+  PushdownS.write(W, "pushdown", Opts);
   if (Opts.IncludeTiming) {
     std::vector<uint64_t> Programs(std::max(1u, Opts.Threads), 0);
     std::vector<double> ThreadMs(Programs.size(), 0);

@@ -6,8 +6,8 @@
 ///
 /// \file
 /// The batch corpus driver behind `cpsflow batch <dir>`: analyze a corpus
-/// of programs with all four analyzers (direct, semantic-CPS,
-/// syntactic-CPS, bounded-dup), optionally in parallel, and render an
+/// of programs with all five analyzers (direct, semantic-CPS,
+/// syntactic-CPS, bounded-dup, pushdown), optionally in parallel, and render an
 /// aggregate JSON report suitable for BENCH_*.json trajectory tracking.
 ///
 /// Parallelism model: analyses are per-program independent. Each worker
@@ -53,7 +53,10 @@ namespace clients {
 ///   5  syntactic-leg continuation-summary counters: summaryHits /
 ///      summaryMisses / summaryEntries and a summaryReuseDepth histogram,
 ///      in program records, leg totals, and metrics distributions
-inline constexpr int BatchSchemaVersion = 5;
+///   6  fifth analyzer leg: a "pushdown" record (summarization-based
+///      call-return matching) in program records, leg totals, and
+///      metrics distributions
+inline constexpr int BatchSchemaVersion = 6;
 
 /// Knobs for one batch run.
 struct BatchOptions {
@@ -70,7 +73,7 @@ struct BatchOptions {
   /// halves it.
   uint32_t LoopUnroll = 64;
   /// Soft per-program wall-clock deadline in milliseconds; 0 = none. Each
-  /// program gets one absolute deadline shared by all four analyzer legs,
+  /// program gets one absolute deadline shared by all five analyzer legs,
   /// enforced cooperatively by the governor and backstopped by a watchdog
   /// thread that fires the program's cancellation token.
   double DeadlineMs = 0;
@@ -126,7 +129,7 @@ struct BatchAnalyzerRecord {
   double WallMs = 0;
 };
 
-/// All four analyzer legs of one program.
+/// All five analyzer legs of one program.
 struct BatchProgramResult {
   std::string Name; ///< File base name (or caller-supplied label).
   bool Ok = false;
@@ -138,7 +141,7 @@ struct BatchProgramResult {
                        ///< metadata only — assignment is scheduler-
                        ///< dependent, so batchJson gates it, like wallMs,
                        ///< behind IncludeTiming).
-  BatchAnalyzerRecord Direct, Semantic, Syntactic, Dup;
+  BatchAnalyzerRecord Direct, Semantic, Syntactic, Dup, Pushdown;
 };
 
 /// A whole corpus run, program results in input order.

@@ -324,7 +324,8 @@ std::string campaignJson(const CampaignResult &R,
   // oracle. Two fuzz reports with the same seed and iteration count diff
   // cleanly against each other.
   static const char *const LegNames[NumLegs] = {"direct", "semantic",
-                                                "syntactic", "dup"};
+                                                "syntactic", "dup",
+                                                "pushdown"};
   W.key("programs").beginArray();
   W.beginObject();
   W.key("name").value("campaign");

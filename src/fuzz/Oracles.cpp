@@ -9,6 +9,7 @@
 #include "analysis/Compare.h"
 #include "analysis/DirectAnalyzer.h"
 #include "analysis/DupAnalyzer.h"
+#include "analysis/PushdownAnalyzer.h"
 #include "analysis/SemanticCpsAnalyzer.h"
 #include "analysis/SyntacticCpsAnalyzer.h"
 #include "anf/Anf.h"
@@ -49,6 +50,8 @@ const char *tag(OracleId Id) {
     return "O5";
   case OracleId::GovernedDegrade:
     return "O6";
+  case OracleId::PushdownOrder:
+    return "O7";
   }
   return "?";
 }
@@ -67,6 +70,8 @@ const char *describe(OracleId Id) {
     return "determinism";
   case OracleId::GovernedDegrade:
     return "governed-degradation";
+  case OracleId::PushdownOrder:
+    return "pushdown-order";
   }
   return "?";
 }
@@ -99,7 +104,7 @@ Result<uint32_t> parseOracleMask(const std::string &List) {
     }
     if (!Found)
       return Error("unknown oracle '" + Item +
-                   "' (want O1..O6 or a name like interp-agreement)");
+                   "' (want O1..O7 or a name like interp-agreement)");
   }
   if (Mask == 0)
     return Error("empty oracle list");
@@ -264,6 +269,7 @@ template <typename D> struct Runs {
   SemanticResult<D> AS;
   SyntacticResult<D> AC;
   DirectResult<D> ADup;
+  PushdownResult<D> APd;
 
   Runs(const Context &, RunLimits Limits)
       : CI(Limits), SI(Limits), CCI(Limits) {}
@@ -328,7 +334,8 @@ void checkO2(OracleScope S, const Context &Ctx, Runs<D> &R) {
   if (S.injectionTripped())
     return;
   if (R.AD.Stats.BudgetExhausted || R.AS.Stats.BudgetExhausted ||
-      R.AC.Stats.BudgetExhausted || R.ADup.Stats.BudgetExhausted)
+      R.AC.Stats.BudgetExhausted || R.ADup.Stats.BudgetExhausted ||
+      R.APd.Stats.BudgetExhausted)
     return;
   S.markChecked();
 
@@ -343,6 +350,9 @@ void checkO2(OracleScope S, const Context &Ctx, Runs<D> &R) {
     if (!domain::AbsVal<D>::leq(A, R.ADup.Answer.Value))
       S.violation("dup value " + str(Ctx, R.CR.Value) + " not below " +
                   R.ADup.Answer.Value.str(Ctx));
+    if (!domain::AbsVal<D>::leq(A, R.APd.Answer.Value))
+      S.violation("pushdown value " + str(Ctx, R.CR.Value) +
+                  " not below " + R.APd.Answer.Value.str(Ctx));
     for (const auto &Cell : R.CI.store().cells()) {
       domain::AbsVal<D> CA = alpha<D>(Cell.Value);
       if (!domain::AbsVal<D>::leq(CA, R.AD.valueOf(Cell.Var)))
@@ -350,6 +360,9 @@ void checkO2(OracleScope S, const Context &Ctx, Runs<D> &R) {
                     std::string(Ctx.spelling(Cell.Var)) + " unsound");
       if (!domain::AbsVal<D>::leq(CA, R.AS.valueOf(Cell.Var)))
         S.violation("semantic store cell " +
+                    std::string(Ctx.spelling(Cell.Var)) + " unsound");
+      if (!domain::AbsVal<D>::leq(CA, R.APd.valueOf(Cell.Var)))
+        S.violation("pushdown store cell " +
                     std::string(Ctx.spelling(Cell.Var)) + " unsound");
     }
   }
@@ -409,6 +422,66 @@ void checkO3(OracleScope S, const Context &Ctx, Runs<D> &R) {
              C55.OnValue != PrecisionOrder::LeftMorePrecise) {
     S.violation(std::string("5.5 (value, under cuts): '") +
                 str(C55.OnValue) + "'");
+  }
+}
+
+/// O7: the pushdown analyzer's contract (ISSUE 9 / DESIGN.md section 15).
+///
+/// Clause A (dominance): pushdown is never less precise than syntactic
+/// CPS. Summarization re-walks the continuation once per distinct callee
+/// answer instead of merging continuations at the call site, so every
+/// path class the syntactic analysis conflates stays separate. The cut
+/// scoping is Theorem 5.5's: both analyzers widen their answers toward
+/// top at a cut, so the value half of the relation survives cuts, while
+/// the store half is only required when both legs are cut-free.
+///
+/// Clause B (direct equivalence): on merge-free runs — both legs
+/// cut-free, the direct leg performed no joins, and neither leg lost a
+/// path — both analyses walk the identical single path class, so answer
+/// and store must match exactly. (Full equivalence on all cut-free runs
+/// is too strong: direct is MFP, pushdown is MOP, and a joined-then-
+/// refuted branch or a dead path legitimately separates them — that is
+/// Theorem 5.2's duplication direction.)
+template <typename D>
+void checkO7(OracleScope S, const Context &Ctx, Runs<D> &R) {
+  if (S.injectionTripped())
+    return;
+  if (R.APd.Stats.BudgetExhausted || R.AC.Stats.BudgetExhausted ||
+      R.AD.Stats.BudgetExhausted)
+    return;
+  S.markChecked();
+
+  std::vector<Symbol> Vars = syntax::collectVariables(R.T);
+
+  Comparison PvC = compareWithSyntactic<D>(Ctx, R.APd, R.AC, *R.P, Vars);
+  if (R.APd.Stats.Cuts == 0 && R.AC.Stats.Cuts == 0) {
+    if (PvC.Overall != PrecisionOrder::Equal &&
+        PvC.Overall != PrecisionOrder::LeftMorePrecise)
+      S.violation(std::string("dominance: pushdown vs syntactic is '") +
+                  str(PvC.Overall) + "'");
+  } else if (PvC.OnValue != PrecisionOrder::Equal &&
+             PvC.OnValue != PrecisionOrder::LeftMorePrecise) {
+    S.violation(std::string("dominance (value, under cuts): '") +
+                str(PvC.OnValue) + "'");
+  }
+
+  if (R.APd.Stats.Cuts == 0 && R.AD.Stats.Cuts == 0) {
+    Comparison PvD = compareDirectWorld<D>(Ctx, R.APd, R.AD, Vars);
+    bool MergeFree = R.AD.Stats.Joins == 0 && R.AD.Stats.DeadPaths == 0 &&
+                     R.APd.Stats.DeadPaths == 0;
+    if (MergeFree) {
+      if (PvD.Overall != PrecisionOrder::Equal)
+        S.violation(std::string("pushdown vs direct on a merge-free run "
+                                "is '") +
+                    str(PvD.Overall) + "'");
+    } else if (PvD.Overall != PrecisionOrder::Equal &&
+               PvD.Overall != PrecisionOrder::LeftMorePrecise) {
+      // Cut-free, pushdown must still be at least as precise as direct
+      // (the MOP-vs-MFP half of Theorem 5.4, with call-return matching
+      // standing in for semantic's per-path continuations).
+      S.violation(std::string("pushdown vs direct (cut-free) is '") +
+                  str(PvD.Overall) + "'");
+    }
   }
 }
 
@@ -501,6 +574,8 @@ void checkO5(OracleScope S, const std::string &Source, const Context &Ctx,
         SyntacticCpsAnalyzer<D>(Ctx2, *P2, CInit2, AOpts).run(), Ctx);
   Check("dup", R.ADup,
         DupAnalyzer<D>(Ctx2, T2, Init2, Opts.DupBudget, AOpts).run(), Ctx);
+  Check("pushdown", R.APd,
+        PushdownAnalyzer<D>(Ctx2, T2, Init2, AOpts).run(), Ctx);
 }
 
 template <typename D>
@@ -533,6 +608,9 @@ void checkO6(OracleScope S, const Context &Ctx, Runs<D> &R,
   Half.MaxGoals = std::max<uint64_t>(1, R.AC.Stats.Goals / 2);
   CheckVal("syntactic", R.AC,
            SyntacticCpsAnalyzer<D>(Ctx, *R.P, CInit, Half).run());
+  Half.MaxGoals = std::max<uint64_t>(1, R.APd.Stats.Goals / 2);
+  CheckVal("pushdown", R.APd,
+           PushdownAnalyzer<D>(Ctx, R.T, Init, Half).run());
 
   // Same soundness through the governor proper: cap the goal-stack depth
   // at half the observed maximum (DegradeReason::Depth path).
@@ -569,7 +647,7 @@ Result<OracleOutcome> checkAt(const std::string &Source,
   R.SR = R.SI.run(T, intBindings(T, Opts.Inputs));
   R.CCR = R.CCI.run(*P, intCpsBindings(T, Opts.Inputs));
 
-  // Baseline abstract runs, shared by O2..O6 (ungoverned unless the
+  // Baseline abstract runs, shared by O2..O7 (ungoverned unless the
   // caller set governor knobs).
   AnalyzerOptions AOpts;
   AOpts.MaxGoals = Opts.MaxGoals;
@@ -593,10 +671,14 @@ Result<OracleOutcome> checkAt(const std::string &Source,
   R.ADup = DupAnalyzer<D>(Ctx, T, absBindings<D>(T, Opts.Inputs),
                           Opts.DupBudget, AOpts)
                .run();
+  R.APd = PushdownAnalyzer<D>(Ctx, T, absBindings<D>(T, Opts.Inputs),
+                              AOpts)
+              .run();
   Out.LegStats[LegDirect] = R.AD.Stats;
   Out.LegStats[LegSemantic] = R.AS.Stats;
   Out.LegStats[LegSyntactic] = R.AC.Stats;
   Out.LegStats[LegDup] = R.ADup.Stats;
+  Out.LegStats[LegPushdown] = R.APd.Stats;
 
   if (Opts.Mask & maskOf(OracleId::InterpAgreement))
     checkO1<D>(OracleScope(OracleId::InterpAgreement, Out), Ctx, R);
@@ -613,6 +695,8 @@ Result<OracleOutcome> checkAt(const std::string &Source,
   if (Opts.Mask & maskOf(OracleId::GovernedDegrade))
     checkO6<D>(OracleScope(OracleId::GovernedDegrade, Out), Ctx, R, Opts,
                AOpts);
+  if (Opts.Mask & maskOf(OracleId::PushdownOrder))
+    checkO7<D>(OracleScope(OracleId::PushdownOrder, Out), Ctx, R);
   return Out;
 }
 

@@ -26,10 +26,16 @@
 ///   O6 governed-degradation — a resource-governed run never reports a
 ///      *more* precise value than the ungoverned run (degradation is a
 ///      sound over-approximation, as in tests/GovernorTests.cpp).
+///   O7 pushdown-order — the pushdown analyzer dominates syntactic CPS
+///      (never less precise, with the Theorem 5.5 cut scoping), and on
+///      merge-free runs — both legs cut-free, no direct joins, no dead
+///      paths — it reproduces the direct answer exactly. This is the
+///      CFA2 claim made executable: call-return matching recovers
+///      everything syntactic merging loses.
 ///
 /// Checks are pure: one call parses the source, runs everything it
 /// needs, and reports violations. Under CPSFLOW_FAULT_INJECTION each
-/// oracle entry is a named fault site ("O1".."O6"), so an armed
+/// oracle entry is a named fault site ("O1".."O7"), so an armed
 /// fault::Plan turns into a deterministic, replayable violation — the
 /// end-to-end test of the campaign's detect → shrink → replay path.
 ///
@@ -58,16 +64,17 @@ enum class OracleId : uint8_t {
   ReferenceMatch,     ///< O4
   Determinism,        ///< O5
   GovernedDegrade,    ///< O6
+  PushdownOrder,      ///< O7
 };
 
-constexpr unsigned NumOracles = 6;
+constexpr unsigned NumOracles = 7;
 constexpr uint32_t AllOracles = (1u << NumOracles) - 1;
 
 constexpr uint32_t maskOf(OracleId Id) {
   return 1u << static_cast<unsigned>(Id);
 }
 
-/// Short tag: "O1".."O6".
+/// Short tag: "O1".."O7".
 const char *tag(OracleId Id);
 
 /// Human-readable name, e.g. "interp-agreement".
@@ -119,7 +126,14 @@ struct OracleOptions {
 };
 
 /// Index of an analyzer leg in OracleOutcome::LegStats.
-enum Leg : unsigned { LegDirect, LegSemantic, LegSyntactic, LegDup, NumLegs };
+enum Leg : unsigned {
+  LegDirect,
+  LegSemantic,
+  LegSyntactic,
+  LegDup,
+  LegPushdown,
+  NumLegs
+};
 
 /// The result of evaluating the enabled oracles on one program.
 struct OracleOutcome {

@@ -9,6 +9,7 @@
 #include "analysis/Compare.h"
 #include "analysis/DirectAnalyzer.h"
 #include "analysis/DupAnalyzer.h"
+#include "analysis/PushdownAnalyzer.h"
 #include "analysis/SemanticCpsAnalyzer.h"
 #include "analysis/SyntacticCpsAnalyzer.h"
 #include "anf/Anf.h"
@@ -166,6 +167,13 @@ AnalyzeOutcome analyzeLeg(const ServeRequest &Req, const AnalyzeConfig &Cfg) {
   if (Req.Analyzer == "dup") {
     auto R = analysis::DupAnalyzer<D>(Ctx, Anf, Init, Req.DupBudget, AOpts)
                  .run();
+    return renderResult(Ctx, Req, Nodes, R.Answer.Value.str(Ctx), R.Stats);
+  }
+  if (Req.Analyzer == "pushdown") {
+    // Always a cold run: the subtree-replay transfer (Xfer) keys direct
+    // memo entries, and the pushdown memo is per-run. MemoStore bucketing
+    // still works — the key carries the canonical analyzer name.
+    auto R = analysis::PushdownAnalyzer<D>(Ctx, Anf, Init, AOpts).run();
     return renderResult(Ctx, Req, Nodes, R.Answer.Value.str(Ctx), R.Stats);
   }
   return fail(ServeErrorKind::Internal,

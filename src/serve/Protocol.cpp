@@ -6,6 +6,7 @@
 
 #include "serve/Protocol.h"
 
+#include "analysis/PushdownAnalyzer.h"
 #include "support/Json.h"
 #include "support/JsonParse.h"
 
@@ -35,10 +36,6 @@ const char *cpsflow::serve::str(ServeErrorKind K) {
 }
 
 namespace {
-
-bool knownAnalyzer(const std::string &A) {
-  return A == "direct" || A == "semantic" || A == "syntactic" || A == "dup";
-}
 
 bool knownDomain(const std::string &D) {
   return D == "constant" || D == "unit" || D == "sign" || D == "parity" ||
@@ -100,10 +97,18 @@ Result<ServeRequest> cpsflow::serve::parseServeRequest(const std::string &Line) 
         return Error("field 'program' must be a string");
       Req.Program = Val.asString();
     } else if (Key == "analyzer") {
-      if (!Val.isString() || !knownAnalyzer(Val.asString()))
-        return Error("field 'analyzer' must be one of "
-                     "direct|semantic|syntactic|dup");
-      Req.Analyzer = Val.asString();
+      // Canonicalize through the shared analyzer-name registry so aliases
+      // (pd, scps, ...) resolve here exactly as in the CLI — and so the
+      // MemoStore, keyed on the canonical spelling, never splits one
+      // analyzer's results across an alias and its canonical name.
+      std::optional<std::string> Canon;
+      if (Val.isString())
+        Canon = analysis::canonicalAnalyzerName(Val.asString());
+      if (!Canon)
+        return Error(std::string("field 'analyzer' must be one of ") +
+                     analysis::knownAnalyzerNames() + " (aliases: " +
+                     analysis::knownAnalyzerAliases() + ")");
+      Req.Analyzer = *Canon;
     } else if (Key == "domain") {
       if (!Val.isString() || !knownDomain(Val.asString()))
         return Error("field 'domain' must be one of "

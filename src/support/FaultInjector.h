@@ -31,7 +31,7 @@
 ///     program name; trips when the name matches Plan.Name ("" = every
 ///     program).
 ///   * FuzzOracle — hit at the top of each fuzz oracle check with the
-///     oracle tag ("O1".."O6"); trips when the tag matches Plan.Name
+///     oracle tag ("O1".."O7"); trips when the tag matches Plan.Name
 ///     ("" = every oracle). The fuzz checker turns the injected throw
 ///     into a reported oracle violation, so tests (and the nightly
 ///     canary) can prove the campaign's detect → shrink → replay path

@@ -121,7 +121,7 @@ TEST(Batch, JsonSchemaBasics) {
   Opts.Threads = 3;
   BatchResult R = runBatch({{"p", "(add1 41)"}}, Opts);
   std::string Json = batchJson(R, Opts);
-  EXPECT_NE(Json.find("\"schemaVersion\":5"), std::string::npos);
+  EXPECT_NE(Json.find("\"schemaVersion\":6"), std::string::npos);
   // Schema 4: per-leg precision-loss counters ride along with the work
   // counters, so bench_diff can track loss sites across revisions.
   EXPECT_NE(Json.find("\"joins\":"), std::string::npos);
@@ -139,6 +139,8 @@ TEST(Batch, JsonSchemaBasics) {
   EXPECT_NE(Json.find("\"wallMs\":"), std::string::npos);
   EXPECT_NE(Json.find("\"direct\":"), std::string::npos);
   EXPECT_NE(Json.find("\"dup\":"), std::string::npos);
+  // Schema 6: the pushdown leg rides along in every program record.
+  EXPECT_NE(Json.find("\"pushdown\":"), std::string::npos);
   EXPECT_NE(Json.find("\"answer\":\"(42"), std::string::npos) << Json;
 
   Opts.IncludeTiming = false;
@@ -156,7 +158,8 @@ TEST(Batch, MetricsSectionAggregatesPerLegDistributions) {
   ASSERT_TRUE(Doc.hasValue()) << Doc.error().Message;
   const JsonValue *Metrics = Doc->find("metrics");
   ASSERT_NE(Metrics, nullptr) << Json;
-  for (const char *Leg : {"direct", "semantic", "syntactic", "dup"}) {
+  for (const char *Leg :
+       {"direct", "semantic", "syntactic", "dup", "pushdown"}) {
     const JsonValue *L = Metrics->find(Leg);
     ASSERT_NE(L, nullptr) << Leg;
     const JsonValue *Goals = L->find("goals");

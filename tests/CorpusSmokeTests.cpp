@@ -7,7 +7,7 @@
 /// \file
 /// Every committed example program — the fuzz/batch seed corpus under
 /// examples/corpus and the CLI samples under examples/programs — must
-/// parse, A-normalize to a well-formed term, and drive all four
+/// parse, A-normalize to a well-formed term, and drive all five
 /// analyzers to a non-degraded fixpoint. A seed that stops parsing or
 /// starts blowing its budget silently weakens the mutation corpus and
 /// the CLI smoke tests; this makes the regression loud.
@@ -17,6 +17,7 @@
 #include "analysis/Compare.h"
 #include "analysis/DirectAnalyzer.h"
 #include "analysis/DupAnalyzer.h"
+#include "analysis/PushdownAnalyzer.h"
 #include "analysis/SemanticCpsAnalyzer.h"
 #include "analysis/SyntacticCpsAnalyzer.h"
 #include "anf/Anf.h"
@@ -101,6 +102,8 @@ void checkProgram(const fs::path &Path) {
   ExpectClean(
       "dup",
       analysis::DupAnalyzer<D>(Ctx, T, Init, /*Budget=*/2, AOpts).run());
+  ExpectClean("pushdown",
+              analysis::PushdownAnalyzer<D>(Ctx, T, Init, AOpts).run());
 }
 
 TEST(CorpusSmoke, FuzzSeedCorpusIsHealthy) {

@@ -26,6 +26,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/DirectAnalyzer.h"
+#include "analysis/PushdownAnalyzer.h"
 #include "analysis/SyntacticCpsAnalyzer.h"
 #include "analysis/Witnesses.h"
 #include "anf/Anf.h"
@@ -153,6 +154,43 @@ TEST(Explain, Theorem51AttributesLossToCallMergeUnderEveryDomain) {
   checkTheorem51<domain::SignDomain>("sign");
   checkTheorem51<domain::ParityDomain>("parity");
   checkTheorem51<domain::IntervalDomain>("interval");
+}
+
+/// Theorem 5.1 resolved: the pushdown leg's a1 chain is loss-free under
+/// \p D — call-return matching never creates the call-merge edge the
+/// syntactic chain leads with.
+template <typename D> void checkTheorem51Pushdown(const char *DomainName) {
+  SCOPED_TRACE(DomainName);
+  Context Ctx;
+  Witness W = theorem51(Ctx);
+
+  domain::Provenance Prov;
+  AnalyzerOptions Opts;
+  Opts.Prov = &Prov;
+  PushdownAnalyzer<D> PA(Ctx, W.Anf, directBindings<D>(W), Opts);
+  auto PR = PA.run();
+
+  // The pushdown answer on a1 is the exact direct answer.
+  AnalyzerOptions Plain;
+  auto DR = DirectAnalyzer<D>(Ctx, W.Anf, directBindings<D>(W), Plain).run();
+  Symbol A1 = Ctx.intern("a1");
+  EXPECT_EQ(D::str(PR.valueOf(A1).Num), D::str(DR.valueOf(A1).Num));
+
+  // And its derivation chain carries no loss edge of any kind — no
+  // call-merge, no join, no cut.
+  auto Slot = PR.Vars->tryOf(A1);
+  ASSERT_TRUE(Slot.has_value());
+  domain::ProvId Loss =
+      clients::firstLossEdge(Prov, PA.interner(), *Slot, Prov.finalStore());
+  EXPECT_EQ(Loss, domain::NoProv);
+}
+
+TEST(Explain, Theorem51PushdownChainIsLossFreeUnderEveryDomain) {
+  checkTheorem51Pushdown<domain::ConstantDomain>("constant");
+  checkTheorem51Pushdown<domain::UnitDomain>("unit");
+  checkTheorem51Pushdown<domain::SignDomain>("sign");
+  checkTheorem51Pushdown<domain::ParityDomain>("parity");
+  checkTheorem51Pushdown<domain::IntervalDomain>("interval");
 }
 
 TEST(Explain, Theorem52aAttributesDirectLossToJoinUnderEveryDomain) {

@@ -1,0 +1,374 @@
+//===- tests/PushdownTests.cpp - The pushdown analyzer ----------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fifth analyzer's contract, pinned four ways:
+///
+///  * soundness — the pushdown answer and store over-approximate the
+///    concrete interpreter on the witness programs and on the bounded-
+///    exhaustive two-let universe;
+///  * determinism — a batch over the corpus at --threads 1/2/4/8 renders
+///    byte-identical reports, and a fresh-Context replay reproduces
+///    every answer and counter;
+///  * governed degradation — every governor trip (goals, deadline,
+///    depth) degrades to a sound over-approximation with the same
+///    DegradeReason taxonomy as the other four legs (GovernorTests);
+///  * equivalence vs direct — on merge-free runs (both legs cut-free, no
+///    direct joins, no dead paths) the pushdown and direct analyses
+///    agree exactly; where they diverge, the pushdown side is the more
+///    precise one.
+///
+/// Plus the analyzer-name registry: pd/cfa2 aliases canonicalize, and
+/// unknown names are rejected with the valid choices listed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DirectAnalyzer.h"
+#include "analysis/PushdownAnalyzer.h"
+#include "analysis/SyntacticCpsAnalyzer.h"
+#include "analysis/Witnesses.h"
+#include "anf/Anf.h"
+#include "clients/Batch.h"
+#include "gen/Enumerate.h"
+#include "gen/Workloads.h"
+#include "serve/Protocol.h"
+#include "syntax/Printer.h"
+#include "syntax/Sugar.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+using namespace cpsflow;
+using namespace cpsflow::analysis;
+using namespace cpsflow::interp;
+using cpsflow::support::DegradeReason;
+using cpsflow::test::intBindings;
+using CD = domain::ConstantDomain;
+
+namespace {
+
+/// alpha for the direct world (the ExhaustiveTests convention).
+domain::AbsVal<CD> alphaOf(const RtValue &V) {
+  using Val = domain::AbsVal<CD>;
+  switch (V.Tag) {
+  case RtValue::Kind::Num:
+    return Val::number(CD::constant(V.Num));
+  case RtValue::Kind::Inc:
+    return Val::closures(domain::CloSet::single(domain::CloRef::inc()));
+  case RtValue::Kind::Dec:
+    return Val::closures(domain::CloSet::single(domain::CloRef::dec()));
+  case RtValue::Kind::Closure:
+    return Val::closures(domain::CloSet::single(domain::CloRef::lam(V.Lam)));
+  }
+  return Val::bot();
+}
+
+// --- Soundness ----------------------------------------------------------
+
+TEST(Pushdown, SoundOnWitnessesAndWorkloads) {
+  Context Ctx;
+  std::vector<Witness> Ws;
+  Ws.push_back(theorem51(Ctx));
+  Ws.push_back(theorem52a(Ctx));
+  Ws.push_back(theorem52b(Ctx));
+  Ws.push_back(gen::conditionalChain(Ctx, 3));
+  Ws.push_back(gen::callMergeChain(Ctx, 3));
+  Ws.push_back(gen::closureTower(Ctx, 3));
+  Ws.push_back(gen::counterLoop(Ctx, 3));
+  Ws.push_back(gen::omega(Ctx));
+
+  for (const Witness &W : Ws) {
+    auto R = PushdownAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W),
+                                  AnalyzerOptions())
+                 .run();
+    EXPECT_FALSE(R.Stats.BudgetExhausted) << W.Name;
+    // The ungoverned runs terminate: omega and counterLoop through the
+    // Section 4.4 cut, the rest exactly.
+    EXPECT_EQ(R.Stats.Degraded, DegradeReason::None) << W.Name;
+  }
+}
+
+TEST(ExhaustivePushdown, SoundOnEveryTwoLetProgram) {
+  Context Ctx;
+  gen::EnumOptions Opts;
+  Opts.Lets = 2;
+  RunLimits Limits;
+  Limits.MaxSteps = 20000;
+
+  size_t Checked = 0;
+  gen::enumeratePrograms(Ctx, Opts, [&](const syntax::Term *T) {
+    DirectInterp CI(Limits);
+    RunResult CR = CI.run(T, intBindings(T, {1}));
+    if (!CR.ok())
+      return;
+    ++Checked;
+
+    std::vector<DirectBinding<CD>> Init;
+    for (Symbol S : syntax::freeVars(T))
+      Init.push_back({S, domain::AbsVal<CD>::number(CD::constant(1))});
+    auto R = PushdownAnalyzer<CD>(Ctx, T, Init).run();
+
+    // Value soundness.
+    EXPECT_TRUE(domain::AbsVal<CD>::leq(alphaOf(CR.Value), R.Answer.Value))
+        << syntax::print(Ctx, T);
+    // Store soundness on every cell the concrete run wrote.
+    for (const auto &Cell : CI.store().cells())
+      EXPECT_TRUE(
+          domain::AbsVal<CD>::leq(alphaOf(Cell.Value), R.valueOf(Cell.Var)))
+          << syntax::print(Ctx, T) << " at "
+          << Ctx.spelling(Cell.Var);
+  });
+  // 765 of the 1326 two-let programs terminate concretely on input 1;
+  // the gate keeps the sweep from going vacuously green.
+  EXPECT_GT(Checked, 700u);
+}
+
+// --- Equivalence and dominance on the exhaustive universe ---------------
+
+TEST(ExhaustivePushdown, MatchesDirectOnMergeFreeTwoLetPrograms) {
+  Context Ctx;
+  gen::EnumOptions Opts;
+  Opts.Lets = 2;
+
+  size_t MergeFree = 0, Diverging = 0;
+  gen::enumeratePrograms(Ctx, Opts, [&](const syntax::Term *T) {
+    std::vector<DirectBinding<CD>> Init;
+    for (Symbol S : syntax::freeVars(T))
+      Init.push_back({S, domain::AbsVal<CD>::number(CD::constant(1))});
+    auto AD = DirectAnalyzer<CD>(Ctx, T, Init).run();
+    auto PD = PushdownAnalyzer<CD>(Ctx, T, Init).run();
+    if (PD.Stats.Cuts != 0 || AD.Stats.Cuts != 0)
+      return;
+
+    std::vector<Symbol> Vars = syntax::collectVariables(T);
+    Comparison C = compareDirectWorld<CD>(Ctx, PD, AD, Vars);
+    bool IsMergeFree = AD.Stats.Joins == 0 && AD.Stats.DeadPaths == 0 &&
+                       PD.Stats.DeadPaths == 0;
+    if (IsMergeFree) {
+      ++MergeFree;
+      EXPECT_EQ(C.Overall, PrecisionOrder::Equal) << syntax::print(Ctx, T);
+    } else {
+      ++Diverging;
+      // Where they diverge, the pushdown side is never the less precise
+      // one (the MOP half of Theorem 5.4).
+      EXPECT_TRUE(C.Overall == PrecisionOrder::Equal ||
+                  C.Overall == PrecisionOrder::LeftMorePrecise)
+          << syntax::print(Ctx, T) << ": " << str(C.Overall);
+    }
+  });
+  // Both regimes must actually occur, or the gate is vacuous.
+  EXPECT_GT(MergeFree, 100u);
+  EXPECT_GT(Diverging, 100u);
+}
+
+TEST(ExhaustivePushdown, DominatesSyntacticOnEveryTwoLetProgram) {
+  Context Ctx;
+  gen::EnumOptions Opts;
+  Opts.Lets = 2;
+
+  size_t Checked = 0;
+  gen::enumeratePrograms(Ctx, Opts, [&](const syntax::Term *T) {
+    Result<cps::CpsProgram> P = cps::cpsTransform(Ctx, T);
+    ASSERT_TRUE(P.hasValue());
+
+    std::vector<DirectBinding<CD>> Init;
+    for (Symbol S : syntax::freeVars(T))
+      Init.push_back({S, domain::AbsVal<CD>::number(CD::constant(1))});
+    std::vector<CpsBinding<CD>> CInit;
+    for (const DirectBinding<CD> &B : Init)
+      CInit.push_back({B.Var, deltaE<CD>(B.Value, *P)});
+
+    auto PD = PushdownAnalyzer<CD>(Ctx, T, Init).run();
+    auto AC = SyntacticCpsAnalyzer<CD>(Ctx, *P, CInit).run();
+    if (PD.Stats.Cuts != 0 || AC.Stats.Cuts != 0)
+      return;
+    ++Checked;
+
+    std::vector<Symbol> Vars = syntax::collectVariables(T);
+    Comparison C = compareWithSyntactic<CD>(Ctx, PD, AC, *P, Vars);
+    EXPECT_TRUE(C.Overall == PrecisionOrder::Equal ||
+                C.Overall == PrecisionOrder::LeftMorePrecise)
+        << syntax::print(Ctx, T) << ": " << str(C.Overall);
+  });
+  EXPECT_GT(Checked, 1000u);
+}
+
+// --- Determinism --------------------------------------------------------
+
+TEST(Pushdown, BatchReportIsByteIdenticalAcrossThreadCounts) {
+  // The corpus programs exercise calls, branches, and loops; the batch
+  // report (timing off) must not depend on worker count or scheduling.
+  std::vector<std::pair<std::string, std::string>> Sources = {
+      {"t51.scm", "(let (f (lambda (x) x)) (let (a1 (f 1)) "
+                  "(let (a2 (f 2)) a2)))"},
+      {"branch.scm", "(let (a (if0 z 1 2)) (let (b (if0 z a 3)) b))"},
+      {"loop.scm", "(let (x (loop)) (if0 x 7 9))"},
+      {"tower.scm", "(let (f (lambda (x) (add1 x))) (let (g (lambda (y) "
+                    "(f y))) (g 4)))"},
+  };
+
+  std::string Golden;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    clients::BatchOptions Opts;
+    Opts.Threads = Threads;
+    Opts.IncludeTiming = false;
+    clients::BatchResult R = clients::runBatch(Sources, Opts);
+    std::string Json = clients::batchJson(R, Opts);
+    for (const clients::BatchProgramResult &P : R.Programs)
+      EXPECT_TRUE(P.Ok) << P.Name << ": " << P.Error;
+    if (Golden.empty())
+      Golden = Json;
+    else
+      EXPECT_EQ(Json, Golden) << "threads=" << Threads;
+  }
+  // The fifth leg is actually in the document.
+  EXPECT_NE(Golden.find("\"pushdown\""), std::string::npos);
+}
+
+TEST(Pushdown, FreshContextReplayReproducesAnswerAndCounters) {
+  const std::string Source = "(let (f (lambda (x) x)) (let (a1 (f 1)) "
+                             "(let (a2 (f 2)) a2)))";
+  auto RunOnce = [&](Context &Ctx) {
+    Result<const syntax::Term *> Raw =
+        syntax::parseSugaredProgram(Ctx, Source);
+    EXPECT_TRUE(Raw.hasValue());
+    const syntax::Term *T = anf::normalizeProgram(Ctx, *Raw);
+    std::vector<DirectBinding<CD>> Init;
+    return PushdownAnalyzer<CD>(Ctx, T, Init).run();
+  };
+  Context Ctx1, Ctx2;
+  auto R1 = RunOnce(Ctx1);
+  auto R2 = RunOnce(Ctx2);
+  EXPECT_EQ(R1.Answer.Value.str(Ctx1), R2.Answer.Value.str(Ctx2));
+  EXPECT_EQ(R1.Stats.Goals, R2.Stats.Goals);
+  EXPECT_EQ(R1.Stats.CacheHits, R2.Stats.CacheHits);
+  EXPECT_EQ(R1.Stats.Cuts, R2.Stats.Cuts);
+  EXPECT_EQ(R1.Stats.MaxDepth, R2.Stats.MaxDepth);
+  EXPECT_EQ(R1.Stats.DeadPaths, R2.Stats.DeadPaths);
+  EXPECT_EQ(R1.Stats.Joins, R2.Stats.Joins);
+}
+
+// --- Governed degradation (GovernorTests parity) ------------------------
+
+/// Asserts the tripped run is degraded with \p Want and its value half
+/// over-approximates the exact ungoverned value (the GovernorTests
+/// expectSoundTrip invariant; the store half carries no guarantee).
+void expectSoundTrip(const char *What, const PushdownResult<CD> &Gov,
+                     const PushdownResult<CD> &Exact, DegradeReason Want) {
+  EXPECT_TRUE(Gov.Stats.BudgetExhausted) << What;
+  EXPECT_EQ(Gov.Stats.Degraded, Want) << What;
+  EXPECT_FALSE(Gov.Stats.complete()) << What;
+  EXPECT_TRUE(
+      domain::AbsVal<CD>::leq(Exact.Answer.Value, Gov.Answer.Value))
+      << What << ": degraded value must over-approximate the exact value";
+}
+
+TEST(Pushdown, UngovernedRunStaysExact) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, 4);
+  auto R = PushdownAnalyzer<CD>(Ctx, W.Anf, directBindings<CD>(W),
+                                AnalyzerOptions())
+               .run();
+  EXPECT_EQ(R.Stats.Degraded, DegradeReason::None);
+  EXPECT_FALSE(R.Stats.BudgetExhausted);
+  EXPECT_TRUE(R.Stats.complete());
+}
+
+TEST(Pushdown, GoalBudgetTripRecordsReasonAndStaysSound) {
+  Context Ctx;
+  Witness W = gen::conditionalChain(Ctx, 5);
+  auto Init = directBindings<CD>(W);
+  auto Exact =
+      PushdownAnalyzer<CD>(Ctx, W.Anf, Init, AnalyzerOptions()).run();
+  AnalyzerOptions AOpts;
+  AOpts.MaxGoals = 10;
+  auto Gov = PushdownAnalyzer<CD>(Ctx, W.Anf, Init, AOpts).run();
+  expectSoundTrip("goals", Gov, Exact, DegradeReason::Goals);
+}
+
+TEST(Pushdown, ExpiredDeadlineTripsImmediatelyAndStaysSound) {
+  Context Ctx;
+  AnalyzerOptions AOpts;
+  AOpts.Governor.Deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  for (Witness W : {gen::conditionalChain(Ctx, 4), theorem51(Ctx)}) {
+    auto Init = directBindings<CD>(W);
+    auto Exact =
+        PushdownAnalyzer<CD>(Ctx, W.Anf, Init, AnalyzerOptions()).run();
+    auto Gov = PushdownAnalyzer<CD>(Ctx, W.Anf, Init, AOpts).run();
+    expectSoundTrip(W.Name.c_str(), Gov, Exact, DegradeReason::Deadline);
+    EXPECT_EQ(Gov.Stats.Goals, 1u) << W.Name;
+  }
+}
+
+TEST(Pushdown, DepthCapTripsAndStaysSound) {
+  Context Ctx;
+  Witness W = gen::closureTower(Ctx, 6);
+  auto Init = directBindings<CD>(W);
+  auto Exact =
+      PushdownAnalyzer<CD>(Ctx, W.Anf, Init, AnalyzerOptions()).run();
+  AnalyzerOptions AOpts;
+  AOpts.Governor.MaxDepth = std::max<uint32_t>(
+      1, static_cast<uint32_t>(Exact.Stats.MaxDepth / 2));
+  AOpts.Governor.CheckPeriod = 1;
+  auto Gov = PushdownAnalyzer<CD>(Ctx, W.Anf, Init, AOpts).run();
+  expectSoundTrip("depth", Gov, Exact, DegradeReason::Depth);
+}
+
+// --- The analyzer-name registry -----------------------------------------
+
+TEST(AnalyzerRegistry, AliasesCanonicalize) {
+  auto Canon = [](const char *N) {
+    std::optional<std::string> C = canonicalAnalyzerName(N);
+    return C ? *C : std::string("<rejected>");
+  };
+  EXPECT_EQ(Canon("direct"), "direct");
+  EXPECT_EQ(Canon("semantic"), "semantic");
+  EXPECT_EQ(Canon("scps"), "semantic");
+  EXPECT_EQ(Canon("syntactic"), "syntactic");
+  EXPECT_EQ(Canon("syncps"), "syntactic");
+  EXPECT_EQ(Canon("dup"), "dup");
+  EXPECT_EQ(Canon("pushdown"), "pushdown");
+  EXPECT_EQ(Canon("pd"), "pushdown");
+  EXPECT_EQ(Canon("cfa2"), "pushdown");
+}
+
+TEST(AnalyzerRegistry, UnknownNamesAreRejectedListingChoices) {
+  EXPECT_FALSE(canonicalAnalyzerName("bogus").has_value());
+  EXPECT_FALSE(canonicalAnalyzerName("").has_value());
+  EXPECT_FALSE(canonicalAnalyzerName("Pushdown").has_value());
+
+  // The rendered choice lists — what every rejection message prints —
+  // name all five legs and all four aliases.
+  std::string Names = knownAnalyzerNames();
+  for (const char *N :
+       {"direct", "semantic", "syntactic", "dup", "pushdown"})
+    EXPECT_NE(Names.find(N), std::string::npos) << N;
+  std::string Aliases = knownAnalyzerAliases();
+  for (const char *A : {"scps", "syncps", "pd", "cfa2"})
+    EXPECT_NE(Aliases.find(A), std::string::npos) << A;
+}
+
+TEST(AnalyzerRegistry, ServeProtocolRejectsUnknownAndCanonicalizes) {
+  Result<serve::ServeRequest> Bad = serve::parseServeRequest(
+      "{\"op\":\"analyze\",\"program\":\"1\",\"analyzer\":\"quantum\"}");
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.error().Message.find("pushdown"), std::string::npos)
+      << Bad.error().Message;
+  EXPECT_NE(Bad.error().Message.find("direct"), std::string::npos);
+
+  Result<serve::ServeRequest> Alias = serve::parseServeRequest(
+      "{\"op\":\"analyze\",\"program\":\"1\",\"analyzer\":\"pd\"}");
+  ASSERT_TRUE(Alias.hasValue());
+  EXPECT_EQ(Alias->Analyzer, "pushdown");
+}
+
+} // namespace

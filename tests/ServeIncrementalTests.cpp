@@ -123,7 +123,8 @@ const EditProgram Corpus[] = {
      "(let (x ", ") (pick x (add1 x) (sub1 x)))", 0},
 };
 
-const char *const Analyzers[] = {"direct", "semantic", "syntactic", "dup"};
+const char *const Analyzers[] = {"direct", "semantic", "syntactic", "dup",
+                                 "pushdown"};
 
 struct Leg {
   bool Ok = false;

@@ -169,7 +169,8 @@ TEST_F(ServeTest, AnalyzeAnswersAcrossAnalyzersAndDomains) {
   start();
   TestClient C;
   ASSERT_TRUE(C.connectTo(Opts.SocketPath));
-  for (const char *Analyzer : {"direct", "semantic", "syntactic", "dup"})
+  for (const char *Analyzer :
+       {"direct", "semantic", "syntactic", "dup", "pushdown", "pd"})
     for (const char *Domain : {"constant", "interval"}) {
       std::string Line = C.roundTrip(analyzeReq(
           Program, std::string(",\"analyzer\":\"") + Analyzer +

@@ -14,6 +14,7 @@
 
 #include "analysis/Compare.h"
 #include "analysis/DirectAnalyzer.h"
+#include "analysis/PushdownAnalyzer.h"
 #include "analysis/SemanticCpsAnalyzer.h"
 #include "analysis/SyntacticCpsAnalyzer.h"
 #include "analysis/Witnesses.h"
@@ -30,11 +31,12 @@ namespace {
 
 using CD = ConstantDomain;
 
-/// Runs all three analyzers on a witness under domain D.
+/// Runs all four comparison analyzers on a witness under domain D.
 template <typename D> struct AllResults {
   DirectResult<D> Direct;
   SemanticResult<D> Semantic;
   SyntacticResult<D> Syntactic;
+  PushdownResult<D> Pushdown;
 };
 
 template <typename D>
@@ -46,6 +48,8 @@ AllResults<D> runAll(const Context &Ctx, const Witness &W,
       SemanticCpsAnalyzer<D>(Ctx, W.Anf, directBindings<D>(W), Opts).run();
   R.Syntactic =
       SyntacticCpsAnalyzer<D>(Ctx, W.Cps, cpsBindings<D>(W), Opts).run();
+  R.Pushdown =
+      PushdownAnalyzer<D>(Ctx, W.Anf, directBindings<D>(W), Opts).run();
   return R;
 }
 
@@ -190,6 +194,86 @@ TEST(Theorems, AnalysesTerminateAndComplete) {
     EXPECT_TRUE(R.Direct.Stats.complete()) << W.Name;
     EXPECT_TRUE(R.Semantic.Stats.complete()) << W.Name;
     EXPECT_TRUE(R.Syntactic.Stats.complete()) << W.Name;
+    EXPECT_TRUE(R.Pushdown.Stats.complete()) << W.Name;
+  }
+}
+
+// --- The modern resolution: pushdown call-return matching ---------------
+//
+// CFA2-style summarization dismantles both halves of the Section 5
+// incomparability: it matches returns to calls (so Theorem 5.1's loss
+// never happens) while keeping per-path precision through calls and
+// branches (so Theorem 5.2's losses never happen either).
+
+TEST(Pushdown, MatchesDirectOnTheorem51Witness) {
+  Context Ctx;
+  Witness W = theorem51(Ctx);
+  auto R = runAll<CD>(Ctx, W);
+
+  Symbol A1 = Ctx.intern("a1");
+  Symbol A2 = Ctx.intern("a2");
+
+  // Return-point matching keeps a1 = 1 — the exact direct answer, with
+  // zero call merges (the counter Theorem 5.1 blames for syntactic's
+  // loss stays untouched).
+  EXPECT_EQ(CD::str(R.Pushdown.valueOf(A1).Num), "1");
+  EXPECT_EQ(CD::str(R.Pushdown.valueOf(A2).Num), "T");
+  EXPECT_EQ(R.Pushdown.Stats.CallMerges, 0u);
+
+  Comparison C = compareDirectWorld<CD>(Ctx, R.Pushdown, R.Direct,
+                                        W.InterestingVars);
+  EXPECT_EQ(C.Overall, PrecisionOrder::Equal);
+}
+
+TEST(Pushdown, StrictlyMorePreciseThanSyntacticOnTheorem51) {
+  Context Ctx;
+  Witness W = theorem51(Ctx);
+  auto R = runAll<CD>(Ctx, W);
+
+  Comparison C = compareWithSyntactic<CD>(Ctx, R.Pushdown, R.Syntactic,
+                                          W.Cps, W.InterestingVars);
+  EXPECT_EQ(C.Overall, PrecisionOrder::LeftMorePrecise);
+}
+
+TEST(Pushdown, KeepsTheorem52PerPathConstants) {
+  // The direct analysis loses a2 on both 5.2 witnesses; the pushdown
+  // analysis keeps the constant exactly like the CPS analyses do.
+  Context Ctx;
+  {
+    Witness W = theorem52a(Ctx);
+    auto R = runAll<CD>(Ctx, W);
+    EXPECT_EQ(CD::str(R.Pushdown.valueOf(Ctx.intern("a2")).Num), "3");
+  }
+  {
+    Witness W = theorem52b(Ctx);
+    auto R = runAll<CD>(Ctx, W);
+    EXPECT_EQ(CD::str(R.Pushdown.valueOf(Ctx.intern("a2")).Num), "5");
+  }
+}
+
+TEST(Pushdown, AtLeastAsPreciseAsSyntacticOnAllWitnesses) {
+  Context Ctx;
+  for (Witness (*Make)(Context &) : {theorem51, theorem52a, theorem52b}) {
+    Witness W = Make(Ctx);
+    auto R = runAll<CD>(Ctx, W);
+    Comparison C = compareWithSyntactic<CD>(Ctx, R.Pushdown, R.Syntactic,
+                                            W.Cps, W.InterestingVars);
+    EXPECT_TRUE(C.Overall == PrecisionOrder::Equal ||
+                C.Overall == PrecisionOrder::LeftMorePrecise)
+        << W.Name << ": " << str(C.Overall);
+  }
+}
+
+TEST(Pushdown, AtLeastAsPreciseAsDirectOnAllWitnesses) {
+  Context Ctx;
+  for (Witness (*Make)(Context &) : {theorem51, theorem52a, theorem52b}) {
+    Witness W = Make(Ctx);
+    auto R = runAll<CD>(Ctx, W);
+    Comparison C = compareDirectWorld<CD>(Ctx, R.Pushdown, R.Direct,
+                                          W.InterestingVars);
+    EXPECT_TRUE(C.Overall == PrecisionOrder::Equal ||
+                C.Overall == PrecisionOrder::LeftMorePrecise)
+        << W.Name << ": " << str(C.Overall);
   }
 }
 

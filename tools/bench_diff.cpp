@@ -5,11 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Compares two batch/bench JSON reports (any schemaVersion 1-5: the
+/// Compares two batch/bench JSON reports (any schemaVersion 1-6: the
 /// per-leg work counters it reads — goals, cacheHits, cuts, the schema-4
 /// joins/callMerges loss counters, and the schema-5 summaryHits/
 /// summaryMisses continuation-summary counters — are summed where present
-/// and shown as "new" where the older schema lacks them) and flags
+/// and shown as "new" where the older schema lacks them; the schema-6
+/// pushdown leg likewise reads as "new" against older baselines) and flags
 /// regressions beyond a threshold. CI runs it
 /// against the committed BENCH_throughput.json baseline, so the default
 /// comparison uses only deterministic work counters; wall-clock deltas
@@ -17,7 +18,8 @@
 /// loadgen reports (tools/loadgen), --p95 opts into comparing the
 /// serve-path p95 latency ("loadgen".latencyUs.p95) the same way.
 ///
-/// Per leg (direct/semantic/syntactic/dup), counters are summed over the
+/// Per leg (direct/semantic/syntactic/dup/pushdown), counters are summed
+/// over the
 /// programs that appear ok in BOTH reports, so adding a corpus program
 /// does not read as a regression. Exit codes: 0 clean, 1 regression
 /// found, 2 usage/IO/parse error.
@@ -40,7 +42,8 @@ using namespace cpsflow;
 
 namespace {
 
-const char *const Legs[] = {"direct", "semantic", "syntactic", "dup"};
+const char *const Legs[] = {"direct", "semantic", "syntactic", "dup",
+                            "pushdown"};
 // joins/callMerges only exist in schema-4 reports and the summary
 // counters in schema-5; numberOr(C, 0) makes them read as 0 from older
 // baselines, so a cross-schema diff shows them as "new" without tripping

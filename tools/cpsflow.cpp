@@ -35,7 +35,9 @@
 ///
 /// options:
 ///   --machine=direct|semantic|syntactic    (run; default direct)
-///   --analyzer=direct|semantic|syntactic|dup   (analyze; default direct)
+///   --analyzer=direct|semantic|syntactic|dup|pushdown
+///                         (analyze; default direct; aliases scps=semantic,
+///                         syncps=syntactic, pd=cfa2=pushdown)
 ///   --domain=constant|unit|sign|parity|interval (default constant)
 ///   --bind x=N            bind free variable x to integer N (repeatable;
 ///                         for analyze: to the abstract constant N)
@@ -57,6 +59,7 @@
 #include "analysis/Compare.h"
 #include "analysis/DirectAnalyzer.h"
 #include "analysis/DupAnalyzer.h"
+#include "analysis/PushdownAnalyzer.h"
 #include "analysis/SemanticCpsAnalyzer.h"
 #include "analysis/SyntacticCpsAnalyzer.h"
 #include "anf/Anf.h"
@@ -167,7 +170,9 @@ struct Options {
       "commands: parse | anf | steps | cps | run | analyze | compare | "
       "fold | inline | batch | fuzz | explain | serve | version\n"
       "options:  --machine=direct|semantic|syntactic\n"
-      "          --analyzer=direct|semantic|syntactic|dup\n"
+      "          --analyzer=direct|semantic|syntactic|dup|pushdown\n"
+      "                             (aliases: scps=semantic,\n"
+      "                             syncps=syntactic, pd=cfa2=pushdown)\n"
       "          --domain=constant|unit|sign|parity|interval\n"
       "          --bind x=N   --top x   --budget N   --fuel N\n"
       "          --show-cfg   --show-store   --show-derivation\n"
@@ -193,8 +198,8 @@ struct Options {
       "          --var x            variable to explain (required)\n"
       "          --graph-out FILE   export the full derivation graph;\n"
       "                             FILE.dot for Graphviz, else JSON\n"
-      "          --analyzer accepts the aliases scps (semantic) and\n"
-      "          syncps (syntactic) here as well\n"
+      "          --analyzer accepts the aliases scps (semantic),\n"
+      "          syncps (syntactic), and pd/cfa2 (pushdown) here as well\n"
       "fuzz options (fuzz takes an optional seed DIRECTORY of *.scm):\n"
       "          --seconds N        wall-clock budget (default 10)\n"
       "          --iterations N     exact task count (overrides --seconds;\n"
@@ -393,12 +398,18 @@ Options parseArgs(int Argc, char **Argv) {
       usage(("unknown option '" + A + "'").c_str());
     }
   }
-  // explain documents the scps/syncps shorthands from the paper's
-  // terminology; fold them into the canonical analyzer names.
-  if (O.Analyzer == "scps")
-    O.Analyzer = "semantic";
-  else if (O.Analyzer == "syncps")
-    O.Analyzer = "syntactic";
+  // Fold the documented shorthands (scps, syncps, pd, cfa2) into the
+  // canonical analyzer names via the shared registry, and reject unknown
+  // names up front with the valid-choices list.
+  if (std::optional<std::string> Canon =
+          analysis::canonicalAnalyzerName(O.Analyzer)) {
+    O.Analyzer = *Canon;
+  } else {
+    usage(("unknown analyzer '" + O.Analyzer +
+           "' (valid: " + analysis::knownAnalyzerNames() +
+           "; aliases: " + analysis::knownAnalyzerAliases() + ")")
+              .c_str());
+  }
   return O;
 }
 
@@ -699,6 +710,11 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
       auto R = A.run();
       return ExplainLeg("dup", A, R);
     }
+    if (O.Analyzer == "pushdown") {
+      analysis::PushdownAnalyzer<D> A(L.Ctx, L.Anf, Init, AOpts);
+      auto R = A.run();
+      return ExplainLeg("pushdown", A, R);
+    }
     usage("unknown analyzer");
   }
 
@@ -752,13 +768,19 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
     W.key("results").beginArray();
     JsonOpen = true;
   };
-  auto JsonEnd = [&](const char *VerdictDvC, const char *VerdictSvD) {
+  auto JsonEnd = [&](const char *VerdictDvC, const char *VerdictSvD,
+                     const char *VerdictPvD = nullptr,
+                     const char *VerdictPvC = nullptr) {
     if (!O.Json)
       return 0;
     W.endArray();
     if (VerdictDvC) {
       W.key("direct_vs_syntactic").value(VerdictDvC);
       W.key("semantic_vs_direct").value(VerdictSvD);
+    }
+    if (VerdictPvD) {
+      W.key("pushdown_vs_direct").value(VerdictPvD);
+      W.key("pushdown_vs_syntactic").value(VerdictPvC);
     }
     W.endObject();
     std::printf("%s\n", W.str().c_str());
@@ -842,9 +864,28 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
       return CA.run();
     }();
     finishLeg(T2);
+    // `compare --analyzer pushdown` adds the fifth leg and its verdicts
+    // against direct (equal on merge-free programs like the Theorem 5.1
+    // witness) and against syntactic (never RightMorePrecise).
+    domain::Provenance PProv;
+    std::optional<analysis::PushdownAnalyzer<D>> PA;
+    std::optional<analysis::PushdownResult<D>> APd;
+    if (O.Analyzer == "pushdown") {
+      auto POpts = legOptions("pushdown");
+      POpts.Prov = &PProv;
+      PA.emplace(L.Ctx, L.Anf, Init, POpts);
+      auto T3 = std::chrono::steady_clock::now();
+      APd = [&] {
+        support::TraceSpan S(L.Trace, "analyze:pushdown");
+        return PA->run();
+      }();
+      finishLeg(T3);
+    }
     Report("direct", AD);
     Report("semantic", AS);
     Report("syntactic", AC);
+    if (APd)
+      Report("pushdown", *APd);
 
     // The first loss edge on a leg's derivation chain for \p Var, as a
     // printable note — empty when the chain is pure flow (that leg did
@@ -875,13 +916,24 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
         L.Ctx, AD, AC, *P, Vars);
     analysis::Comparison SvD =
         analysis::compareDirectWorld<D>(L.Ctx, AS, AD, Vars);
+    std::optional<analysis::Comparison> PvD, PvC;
+    if (APd) {
+      PvD = analysis::compareDirectWorld<D>(L.Ctx, *APd, AD, Vars);
+      PvC = analysis::compareWithSyntactic<D>(L.Ctx, *APd, AC, *P, Vars);
+    }
     if (O.Json) {
-      int RC = Finish(JsonEnd(str(DvC.Overall), str(SvD.Overall)));
+      int RC = Finish(JsonEnd(str(DvC.Overall), str(SvD.Overall),
+                              PvD ? str(PvD->Overall) : nullptr,
+                              PvC ? str(PvC->Overall) : nullptr));
       printMetrics();
       return RC;
     }
     std::printf("\ndirect vs syntactic-CPS: %s\n", str(DvC.Overall));
     std::printf("semantic vs direct:      %s\n", str(SvD.Overall));
+    if (PvD) {
+      std::printf("pushdown vs direct:      %s\n", str(PvD->Overall));
+      std::printf("pushdown vs syntactic:   %s\n", str(PvC->Overall));
+    }
     for (const analysis::VarComparison &VC : DvC.Vars)
       if (VC.Order != analysis::PrecisionOrder::Equal) {
         std::printf("  %s: direct %s vs cps %s (%s)\n",
@@ -898,6 +950,15 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
         PrintLoss("semantic", LossNote(SProv, SA, AS, VC.Var));
         PrintLoss("direct", LossNote(DProv, DA, AD, VC.Var));
       }
+    if (PvD)
+      for (const analysis::VarComparison &VC : PvD->Vars)
+        if (VC.Order != analysis::PrecisionOrder::Equal) {
+          std::printf("  %s: pushdown %s vs direct %s (%s)\n",
+                      std::string(L.Ctx.spelling(VC.Var)).c_str(),
+                      VC.Left.c_str(), VC.Right.c_str(), str(VC.Order));
+          PrintLoss("pushdown", LossNote(PProv, *PA, *APd, VC.Var));
+          PrintLoss("direct", LossNote(DProv, DA, AD, VC.Var));
+        }
     printMetrics();
     return Finish(0);
   }
@@ -949,6 +1010,23 @@ template <typename D> int analyzeAt(const Options &O, Loaded &L) {
     }();
     finishLeg(T0);
     Report("dup", R);
+  } else if (O.Analyzer == "pushdown") {
+    std::vector<std::string> Derivation;
+    auto LOpts = legOptions("pushdown");
+    if (O.ShowDerivation)
+      LOpts.DerivationSink = &Derivation;
+    auto T0 = std::chrono::steady_clock::now();
+    auto R = [&] {
+      support::TraceSpan S(L.Trace, "analyze:pushdown");
+      return analysis::PushdownAnalyzer<D>(L.Ctx, L.Anf, Init, LOpts).run();
+    }();
+    finishLeg(T0);
+    if (O.ShowDerivation && !O.Json) {
+      std::printf("derivation (pushdown summaries, goal |- paths):\n");
+      for (const std::string &Line : Derivation)
+        std::printf("  %s\n", Line.c_str());
+    }
+    Report("pushdown", R);
   } else {
     usage("unknown analyzer");
   }

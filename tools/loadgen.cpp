@@ -83,7 +83,8 @@ struct Options {
     std::fprintf(stderr, "loadgen: %s\n", Message);
   std::fprintf(stderr,
                "usage: loadgen SOCKET DIR [--clients N] [--iterations K]\n"
-               "               [--analyzer direct|semantic|syntactic|dup]\n"
+               "               [--analyzer direct|semantic|syntactic|dup|"
+               "pushdown]\n"
                "               [--domain constant|unit|sign|parity|interval]\n"
                "               [--verify] [--out FILE]\n"
                "               [--edit-replay] [--max-goal-ratio F]\n"
