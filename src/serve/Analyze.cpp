@@ -83,23 +83,50 @@ AnalyzeOutcome renderResult(const Context &Ctx, const ServeRequest &Req,
   Out.ReplayHits = Stats.ReplayHits;
   Out.ReplayMisses = Stats.ReplayMisses;
   Out.Incremental = Stats.ReplayHits != 0 || Stats.ReplayMisses != 0;
+  Out.Goals = Stats.Goals;
+  Out.DegradeReason = support::str(Stats.Degraded);
   return Out;
+}
+
+/// Microseconds elapsed since \p T0.
+double usSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
 }
 
 template <typename D>
 AnalyzeOutcome analyzeLeg(const ServeRequest &Req, const AnalyzeConfig &Cfg) {
   Context Ctx;
+  double ParseUs = 0, CpsUs = 0;
+
+  auto TParse = std::chrono::steady_clock::now();
+  support::TraceSpan ParseSpan(Cfg.Trace, "parse", "phase", Cfg.TraceTid);
   Result<const syntax::Term *> Parsed =
       syntax::parseSugaredProgram(Ctx, Req.Program);
-  if (!Parsed)
-    return fail(ServeErrorKind::Parse,
-                "parse error: " + Parsed.error().str());
+  if (!Parsed) {
+    AnalyzeOutcome Out = fail(ServeErrorKind::Parse,
+                              "parse error: " + Parsed.error().str());
+    Out.ParseUs = usSince(TParse);
+    return Out;
+  }
   const syntax::Term *Anf = anf::normalizeProgram(Ctx, *Parsed);
   uint64_t Nodes = syntax::countNodes(Anf);
+  ParseSpan.close();
+  ParseUs = usSince(TParse);
 
+  auto TCps = std::chrono::steady_clock::now();
+  support::TraceSpan CpsSpan(Cfg.Trace, "cps", "phase", Cfg.TraceTid);
   Result<cps::CpsProgram> Cps = cps::cpsTransform(Ctx, Anf);
-  if (!Cps)
-    return fail(ServeErrorKind::Cps, "cps error: " + Cps.error().str());
+  if (!Cps) {
+    AnalyzeOutcome Out =
+        fail(ServeErrorKind::Cps, "cps error: " + Cps.error().str());
+    Out.ParseUs = ParseUs;
+    Out.CpsUs = usSince(TCps);
+    return Out;
+  }
+  CpsSpan.close();
+  CpsUs = usSince(TCps);
 
   // Free inputs bind to numeric top, like the batch driver: every request
   // for the same source sees the same closed problem.
@@ -114,6 +141,8 @@ AnalyzeOutcome analyzeLeg(const ServeRequest &Req, const AnalyzeConfig &Cfg) {
   AOpts.MaxGoals = Cfg.MaxGoals;
   AOpts.LoopUnroll = Req.LoopUnroll;
   AOpts.UseSummaries = Req.UseSummaries;
+  AOpts.Trace = Cfg.Trace;
+  AOpts.TraceTid = Cfg.TraceTid;
   support::GovernorLimits Limits;
   Limits.MaxStoreBytes = Cfg.MaxStoreBytes;
   Limits.MaxDepth = Cfg.MaxDepth;
@@ -121,6 +150,10 @@ AnalyzeOutcome analyzeLeg(const ServeRequest &Req, const AnalyzeConfig &Cfg) {
   Limits.deadlineIn(Cfg.DeadlineMs);
   AOpts.Governor = Limits;
 
+  auto TAnalyze = std::chrono::steady_clock::now();
+  support::TraceSpan AnalyzeSpan(Cfg.Trace, "analyze:" + Req.Analyzer,
+                                 "phase", Cfg.TraceTid);
+  AnalyzeOutcome Out = [&]() -> AnalyzeOutcome {
   if (Req.Analyzer == "direct") {
     if (Cfg.Memo && Req.Incremental) {
       MemoStoreKey MKey;
@@ -178,6 +211,12 @@ AnalyzeOutcome analyzeLeg(const ServeRequest &Req, const AnalyzeConfig &Cfg) {
   }
   return fail(ServeErrorKind::Internal,
               "unknown analyzer '" + Req.Analyzer + "'");
+  }();
+  AnalyzeSpan.close();
+  Out.AnalyzeUs = usSince(TAnalyze);
+  Out.ParseUs = ParseUs;
+  Out.CpsUs = CpsUs;
+  return Out;
 }
 
 AnalyzeOutcome dispatchDomain(const ServeRequest &Req,

@@ -27,6 +27,7 @@
 
 #include "serve/Protocol.h"
 #include "support/Governor.h"
+#include "support/Trace.h"
 
 #include <memory>
 #include <string>
@@ -50,6 +51,13 @@ struct AnalyzeConfig {
   /// Hot cross-request memo store, or null to run every request cold.
   /// Consulted only when the request also asks for incremental mode.
   MemoStore *Memo = nullptr;
+  /// When non-null, the run wraps its phases in TraceSpans and samples
+  /// per-goal instants here (slow-request capture: the worker owns one
+  /// tracer, clears it per request, and spills the events only when the
+  /// request turns out slow). Never affects the deterministic payload.
+  support::Tracer *Trace = nullptr;
+  /// Track id for Trace events (the worker index).
+  uint32_t TraceTid = 0;
 };
 
 struct AnalyzeOutcome {
@@ -68,6 +76,16 @@ struct AnalyzeOutcome {
   bool Incremental = false;
   uint64_t ReplayHits = 0;
   uint64_t ReplayMisses = 0;
+
+  // -- observability (request-log material; never part of PayloadJson,
+  // so the payload stays deterministic and cacheable)
+  uint64_t Goals = 0;
+  /// The governor wall that degraded the run ("none" when clean) — the
+  /// same spelling the payload's stats block carries.
+  std::string DegradeReason = "none";
+  double ParseUs = 0;   ///< parse + ANF normalization
+  double CpsUs = 0;     ///< CPS transform
+  double AnalyzeUs = 0; ///< the analyzer run itself
 };
 
 /// Runs Req.Program through Req.Analyzer at Req.Domain under \p Cfg.

@@ -1,0 +1,193 @@
+//===- serve/FlightRecorder.cpp - Last-N request ring ---------------------===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/FlightRecorder.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace cpsflow;
+using namespace cpsflow::serve;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *Magic = "cpsflow-flight";
+
+/// Same FNV-1a the ResultCache frames use; same threat model (torn
+/// writes, not adversaries).
+uint64_t checksumOf(const std::string &Payload) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : Payload) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+std::string frame(const std::string &Payload) {
+  std::ostringstream O;
+  O << Magic << ' ' << FlightRecorderSchemaVersion << ' ' << Payload.size()
+    << ' ' << hex16(checksumOf(Payload)) << '\n'
+    << Payload;
+  return O.str();
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(size_t Capacity)
+    : Cap(Capacity ? Capacity : 1) {}
+
+void FlightRecorder::admit(const RequestRecord &R) {
+  std::string Line = renderRequestRecord(R);
+  std::lock_guard<std::mutex> Lock(Mu);
+  InFlight[R.ReqId] = std::move(Line);
+  ++Admitted;
+}
+
+void FlightRecorder::complete(const RequestRecord &R) {
+  std::string Line = renderRequestRecord(R);
+  std::lock_guard<std::mutex> Lock(Mu);
+  InFlight.erase(R.ReqId);
+  Recent.push_back(std::move(Line));
+  while (Recent.size() > Cap)
+    Recent.pop_front();
+}
+
+size_t FlightRecorder::inFlightCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return InFlight.size();
+}
+
+size_t FlightRecorder::recentCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Recent.size();
+}
+
+uint64_t FlightRecorder::admitted() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Admitted;
+}
+
+std::string FlightRecorder::renderJsonLocked() const {
+  std::ostringstream O;
+  O << "{\"schemaVersion\":" << FlightRecorderSchemaVersion;
+  O << ",\"capacity\":" << Cap;
+  O << ",\"admitted\":" << Admitted;
+  O << ",\"inFlight\":[";
+  bool First = true;
+  for (const auto &[Id, Line] : InFlight) {
+    if (!First)
+      O << ',';
+    First = false;
+    O << Line;
+  }
+  O << "],\"recent\":[";
+  First = true;
+  for (const std::string &Line : Recent) {
+    if (!First)
+      O << ',';
+    First = false;
+    O << Line;
+  }
+  O << "]}";
+  return O.str();
+}
+
+std::string FlightRecorder::renderJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return renderJsonLocked();
+}
+
+bool FlightRecorder::dumpTo(const std::string &Path) const {
+  std::string Framed = frame(renderJson());
+
+  // ResultCache publish discipline: unique temp file in the destination
+  // directory (rename is only atomic within a filesystem), then rename.
+  fs::path Target(Path);
+  fs::path Dir = Target.parent_path();
+  if (Dir.empty())
+    Dir = ".";
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec); // best effort; open() reports failure
+  fs::path Tmp = Dir / (".tmp.flight." + std::to_string(::getpid()));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    Out.write(Framed.data(), static_cast<std::streamsize>(Framed.size()));
+    Out.flush();
+    if (!Out) {
+      fs::remove(Tmp, Ec);
+      return false;
+    }
+  }
+  fs::rename(Tmp, Target, Ec);
+  if (Ec) {
+    fs::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}
+
+void FlightRecorder::fatalDump(const char *Path) const {
+  // A fatal signal may have interrupted a thread holding Mu; waiting
+  // would deadlock the handler. try_lock and proceed either way — a
+  // half-updated record at worst tears the payload, and the checksum
+  // frame lets the reader see that it did.
+  bool Locked = Mu.try_lock();
+  std::string Framed = frame(renderJsonLocked());
+  if (Locked)
+    Mu.unlock();
+
+  char Tmp[512];
+  std::snprintf(Tmp, sizeof(Tmp), "%s.crash-tmp", Path);
+  int Fd = ::open(Tmp, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (Fd < 0)
+    return;
+  size_t Off = 0;
+  while (Off < Framed.size()) {
+    ssize_t N = ::write(Fd, Framed.data() + Off, Framed.size() - Off);
+    if (N <= 0)
+      break;
+    Off += static_cast<size_t>(N);
+  }
+  ::close(Fd);
+  if (Off == Framed.size())
+    ::rename(Tmp, Path);
+}
+
+bool FlightRecorder::checkFrame(const std::string &Raw,
+                                std::string *PayloadOut) {
+  size_t HeaderEnd = Raw.find('\n');
+  if (HeaderEnd == std::string::npos)
+    return false;
+  std::istringstream Header(Raw.substr(0, HeaderEnd));
+  std::string Word;
+  int Version = 0;
+  uint64_t DeclaredBytes = 0;
+  std::string DeclaredSum;
+  if (!(Header >> Word >> Version >> DeclaredBytes >> DeclaredSum) ||
+      Word != Magic || Version != FlightRecorderSchemaVersion)
+    return false;
+  std::string Body = Raw.substr(HeaderEnd + 1);
+  if (Body.size() != DeclaredBytes || hex16(checksumOf(Body)) != DeclaredSum)
+    return false;
+  if (PayloadOut)
+    *PayloadOut = std::move(Body);
+  return true;
+}

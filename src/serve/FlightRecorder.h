@@ -1,0 +1,100 @@
+//===- serve/FlightRecorder.h - Last-N request ring -------------*- C++ -*-===//
+//
+// Part of cpsflow. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size in-memory ring of the last N request records plus the
+/// set of requests currently in flight, for post-mortems: when the
+/// daemon is told to die mid-load (or dies on its own under fault
+/// injection), the dump names exactly which requests were executing and
+/// what the daemon had just finished doing.
+///
+/// The dump is published crash-safely with the ResultCache discipline —
+/// rendered into a unique temp file in the destination directory, then
+/// fs::rename'd over the target, behind a one-line checksum frame:
+///
+///   cpsflow-flight <schema> <payload-bytes> <fnv64-hex>\n{...payload...}
+///
+/// so a reader can tell a torn dump from a complete one. Dump triggers:
+/// drain start (SIGTERM/SIGINT/shutdown op — this is the moment the
+/// in-flight set is interesting), the `dump` protocol op, and — best
+/// effort — a fatal signal (the CLI installs a handler that calls
+/// fatalDump(), which takes no locks it cannot skip and writes with raw
+/// write(2)/rename(2)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPSFLOW_SERVE_FLIGHTRECORDER_H
+#define CPSFLOW_SERVE_FLIGHTRECORDER_H
+
+#include "serve/RequestLog.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace cpsflow {
+namespace serve {
+
+/// Version of the flight-recorder dump document ("schemaVersion" field;
+/// the frame header carries it too). `cpsflow version` reports it.
+inline constexpr int FlightRecorderSchemaVersion = 1;
+
+class FlightRecorder {
+public:
+  /// \p Capacity is the ring size (records kept after completion).
+  explicit FlightRecorder(size_t Capacity);
+
+  /// Registers an admitted request as in flight. Records are rendered
+  /// eagerly so a fatal-signal dump never has to allocate.
+  void admit(const RequestRecord &R);
+
+  /// Seals \p R: leaves the in-flight set, enters the ring (evicting the
+  /// oldest past capacity).
+  void complete(const RequestRecord &R);
+
+  size_t capacity() const { return Cap; }
+  size_t inFlightCount() const;
+  size_t recentCount() const;
+  uint64_t admitted() const;
+
+  /// The dump document (unframed): {"schemaVersion":...,"capacity":...,
+  /// "inFlight":[...],"recent":[...]} with records oldest-first.
+  std::string renderJson() const;
+
+  /// Atomically publishes the framed dump at \p Path (temp file beside
+  /// it + rename). Returns false on any filesystem failure.
+  bool dumpTo(const std::string &Path) const;
+
+  /// Best-effort dump for fatal-signal handlers: skips the lock if it
+  /// cannot be taken (the crashing thread may hold it), writes the
+  /// pre-rendered record lines with raw write(2) into Path.crash-tmp and
+  /// rename(2)s it over \p Path. Only async-signal-safe calls once the
+  /// lock attempt is done; a record mutated mid-crash can tear, which the
+  /// frame checksum reveals to the reader.
+  void fatalDump(const char *Path) const;
+
+  /// Validates a framed dump read back from disk: frame intact, checksum
+  /// matches. On success \p PayloadOut (if non-null) receives the inner
+  /// JSON document. Shared with tests and tooling.
+  static bool checkFrame(const std::string &Raw,
+                         std::string *PayloadOut = nullptr);
+
+private:
+  std::string renderJsonLocked() const;
+
+  size_t Cap;
+  mutable std::mutex Mu;
+  std::map<uint64_t, std::string> InFlight; ///< ReqId -> rendered record
+  std::deque<std::string> Recent;           ///< rendered records, oldest first
+  uint64_t Admitted = 0;
+};
+
+} // namespace serve
+} // namespace cpsflow
+
+#endif // CPSFLOW_SERVE_FLIGHTRECORDER_H

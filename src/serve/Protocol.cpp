@@ -70,6 +70,7 @@ Result<ServeRequest> cpsflow::serve::parseServeRequest(const std::string &Line) 
 
   ServeRequest Req;
   bool SawOp = false;
+  bool SawFormat = false;
   for (const auto &[Key, Val] : Doc->members()) {
     if (Key == "op") {
       if (!Val.isString())
@@ -83,6 +84,10 @@ Result<ServeRequest> cpsflow::serve::parseServeRequest(const std::string &Line) 
         Req.Kind = ServeRequest::Op::Stats;
       else if (Op == "shutdown")
         Req.Kind = ServeRequest::Op::Shutdown;
+      else if (Op == "metrics")
+        Req.Kind = ServeRequest::Op::Metrics;
+      else if (Op == "dump")
+        Req.Kind = ServeRequest::Op::Dump;
       else
         return Error("unknown op '" + Op + "'");
       SawOp = true;
@@ -148,6 +153,12 @@ Result<ServeRequest> cpsflow::serve::parseServeRequest(const std::string &Line) 
       if (!Val.isBool())
         return Error("field 'incremental' must be a boolean");
       Req.Incremental = Val.asBool();
+    } else if (Key == "format") {
+      if (!Val.isString() ||
+          (Val.asString() != "json" && Val.asString() != "prometheus"))
+        return Error("field 'format' must be \"json\" or \"prometheus\"");
+      Req.Format = Val.asString();
+      SawFormat = true;
     } else {
       return Error("unknown field '" + Key + "'");
     }
@@ -157,6 +168,8 @@ Result<ServeRequest> cpsflow::serve::parseServeRequest(const std::string &Line) 
     return Error("request needs an 'op' field");
   if (Req.Kind == ServeRequest::Op::Analyze && Req.Program.empty())
     return Error("analyze needs a non-empty 'program' field");
+  if (SawFormat && Req.Kind != ServeRequest::Op::Metrics)
+    return Error("field 'format' only applies to op 'metrics'");
   return Req;
 }
 

@@ -15,6 +15,7 @@
 ///   {"op":"analyze","program":"(add1 2)","analyzer":"direct",
 ///    "domain":"constant","id":7}
 ///   {"op":"health"}   {"op":"stats"}   {"op":"shutdown"}
+///   {"op":"metrics","format":"prometheus"}   {"op":"dump"}
 /// \endcode
 ///
 /// Every response carries "ok". Failures carry the structured taxonomy
@@ -66,7 +67,7 @@ inline constexpr size_t MaxRequestBytes = 1u << 20;
 
 /// A parsed request.
 struct ServeRequest {
-  enum class Op : uint8_t { Analyze, Health, Stats, Shutdown };
+  enum class Op : uint8_t { Analyze, Health, Stats, Shutdown, Metrics, Dump };
 
   Op Kind = Op::Analyze;
 
@@ -74,6 +75,11 @@ struct ServeRequest {
   /// (correlation id for pipelined requests).
   uint64_t Id = 0;
   bool HasId = false;
+
+  /// metrics-op exposition format: "json" (default) or "prometheus".
+  /// Rejected on any other op — the strict-parse ethos: a field that
+  /// cannot mean anything is a protocol error, not dead weight.
+  std::string Format = "json";
 
   // -- analyze fields. Defaults are the server's; a request may tighten
   // or loosen its own budgets within the server's ceilings.

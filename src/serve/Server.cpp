@@ -14,7 +14,9 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <new>
+#include <sstream>
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -23,6 +25,18 @@
 
 using namespace cpsflow;
 using namespace cpsflow::serve;
+
+namespace {
+
+/// Microseconds elapsed since \p T0, clamped non-negative.
+double usSince(std::chrono::steady_clock::time_point T0) {
+  double Us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  return Us < 0 ? 0 : Us;
+}
+
+} // namespace
 
 /// One client connection. The fd is shared by the reader (recv) and any
 /// worker holding a queued job for it (send); the last owner's
@@ -66,6 +80,41 @@ Result<bool> Server::start() {
       return Error("cannot create cache directory '" + Opts.CacheDir + "'");
   }
 
+  if (!Opts.LogPath.empty()) {
+    Log = std::make_unique<RequestLog>(Opts.LogPath, Opts.LogRotateBytes);
+    if (!Log->ok())
+      return Error("cannot open request log '" + Opts.LogPath + "'");
+  }
+  if (Opts.FlightRecords > 0) {
+    Flight = std::make_unique<FlightRecorder>(Opts.FlightRecords);
+    if (Opts.FlightDumpPath.empty())
+      Opts.FlightDumpPath = Opts.SocketPath + ".flight.json";
+  }
+  if (Opts.TraceSlowMs > 0 && Opts.TraceDir.empty())
+    Opts.TraceDir = Opts.SocketPath + ".traces";
+
+  // Pre-declare the full counter vocabulary so the very first scrape
+  // already carries every series at zero — dashboards and the
+  // counter-consistency invariant never have to special-case "absent".
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    for (const char *Name :
+         {"serve.requests", "serve.analyze.admitted",
+          "serve.analyze.responded", "serve.analyze.failed", "serve.shed",
+          "serve.ok", "serve.cached", "serve.degraded",
+          "serve.memo.warmRuns", "serve.memo.replayHits",
+          "serve.memo.replayMisses", "serve.trace.captured",
+          "serve.trace.dropped"})
+      Metrics.add(Name, 0);
+    for (ServeErrorKind K :
+         {ServeErrorKind::Parse, ServeErrorKind::Cps,
+          ServeErrorKind::Deadline, ServeErrorKind::Memory,
+          ServeErrorKind::Internal, ServeErrorKind::Shed,
+          ServeErrorKind::Protocol})
+      Metrics.add(std::string("serve.error.") + str(K), 0);
+    Metrics.histogram("serve.latencyUs");
+  }
+
   sockaddr_un Addr{};
   Addr.sun_family = AF_UNIX;
   if (Opts.SocketPath.empty() ||
@@ -97,8 +146,11 @@ Result<bool> Server::start() {
   }
 
   Started = true;
+  if (Opts.TraceSlowMs > 0)
+    for (unsigned I = 0; I < Opts.Workers; ++I)
+      WorkerTracers.emplace_back();
   for (unsigned I = 0; I < Opts.Workers; ++I)
-    WorkerThreads.emplace_back([this] { workerLoop(); });
+    WorkerThreads.emplace_back([this, I] { workerLoop(I); });
   AcceptThread = std::thread([this] { acceptLoop(); });
   return true;
 }
@@ -107,6 +159,13 @@ void Server::requestDrain() {
   bool Expected = false;
   if (!Draining.compare_exchange_strong(Expected, true))
     return;
+
+  // First thing at drain start, before any in-flight work finishes:
+  // publish the flight-recorder frame. A post-mortem of a SIGTERM'd
+  // daemon then names exactly the requests that were in flight when the
+  // signal landed, not the empty ring a post-drain dump would show.
+  if (Flight && !Opts.FlightDumpPath.empty())
+    Flight->dumpTo(Opts.FlightDumpPath);
 
   // Wake accept() and stop admission at the socket layer. The fd itself
   // stays open until waitDrained so its number cannot be reused mid-run.
@@ -291,9 +350,37 @@ void Server::handleLine(const std::shared_ptr<Connection> &C,
     requestDrain();
     return;
   }
+  case ServeRequest::Op::Metrics:
+    writeLine(*C, metricsResponse(*Req));
+    return;
+  case ServeRequest::Op::Dump:
+    writeLine(*C, dumpResponse(*Req));
+    return;
   case ServeRequest::Op::Analyze:
     break;
   }
+
+  // Every well-formed analyze line is "admitted" for accounting the
+  // moment it parses — sheds included — so the exposition invariant
+  // admitted == responded + shed + failed closes over every fate a
+  // request can meet. The record minted here rides the job to its
+  // terminal bookkeeping (finishRecord).
+  RequestRecord Rec;
+  Rec.ReqId = NextOrdinal.fetch_add(1) + 1;
+  Rec.ClientId = Req->Id;
+  Rec.HasClientId = Req->HasId;
+  Rec.Analyzer = Req->Analyzer;
+  Rec.Domain = Req->Domain;
+  Rec.SourceLen = Req->Program.size();
+  Rec.SourceDigest = gen::textDigest(Req->Program);
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    Metrics.add("serve.analyze.admitted", 1);
+  }
+  // Recorder admission strictly precedes the queue push: once a worker
+  // can see the job, its complete() must find the in-flight entry.
+  if (Flight)
+    Flight->admit(Rec);
 
   // Admission control: a full queue sheds immediately instead of letting
   // latency (and client timeouts) grow without bound.
@@ -301,8 +388,8 @@ void Server::handleLine(const std::shared_ptr<Connection> &C,
   {
     std::lock_guard<std::mutex> Lock(QMu);
     if (!QStopping && !Draining.load() && Queue.size() < Opts.QueueCap) {
-      Queue.push_back(
-          Job{C, std::move(*Req), std::chrono::steady_clock::now()});
+      Queue.push_back(Job{C, std::move(*Req),
+                          std::chrono::steady_clock::now(), Rec});
       Admitted = true;
     }
   }
@@ -310,17 +397,16 @@ void Server::handleLine(const std::shared_ptr<Connection> &C,
     QCv.notify_one();
     return;
   }
-  {
-    std::lock_guard<std::mutex> Lock(MetricsMu);
-    Metrics.add("serve.shed", 1);
-  }
+  Rec.Outcome = "shed";
+  Rec.ErrorKind = "shed";
+  finishRecord(Rec);
   writeLine(*C, errorResponse(&*Req, ServeErrorKind::Shed,
                               Draining.load()
                                   ? "server is draining"
                                   : "server is overloaded, try again"));
 }
 
-void Server::workerLoop() {
+void Server::workerLoop(unsigned WorkerId) {
   for (;;) {
     Job J;
     {
@@ -332,7 +418,7 @@ void Server::workerLoop() {
       Queue.pop_front();
       ++Executing;
     }
-    processJob(std::move(J));
+    processJob(std::move(J), WorkerId);
     {
       std::lock_guard<std::mutex> Lock(QMu);
       --Executing;
@@ -340,40 +426,44 @@ void Server::workerLoop() {
   }
 }
 
-void Server::processJob(Job J) {
-  const uint64_t Ordinal = NextOrdinal.fetch_add(1) + 1;
+void Server::processJob(Job J, unsigned WorkerId) {
+  const uint64_t Ordinal = J.Rec.ReqId;
+  J.Rec.Worker = WorkerId;
+  J.Rec.QueueUs = usSince(J.Enqueued);
   std::string Resp;
   // Last line of containment: handleAnalyze contains analysis failures
   // itself, so this catches only handler-level faults (injected or
   // real) — the worker answers and survives regardless.
   try {
     CPSFLOW_FAULT_COUNTED(fault::Site::ServeHandler, Ordinal);
-    Resp = handleAnalyze(J.Req, Ordinal);
+    Resp = handleAnalyze(J.Req, J.Rec, WorkerId);
   } catch (const std::bad_alloc &) {
     countError(ServeErrorKind::Memory);
+    J.Rec.Outcome = "failed";
+    J.Rec.ErrorKind = str(ServeErrorKind::Memory);
     Resp = errorResponse(&J.Req, ServeErrorKind::Memory,
                          "contained failure: out of memory");
   } catch (const std::exception &Ex) {
     countError(ServeErrorKind::Internal);
+    J.Rec.Outcome = "failed";
+    J.Rec.ErrorKind = str(ServeErrorKind::Internal);
     Resp = errorResponse(&J.Req, ServeErrorKind::Internal,
                          std::string("contained failure: ") + Ex.what());
   } catch (...) {
     countError(ServeErrorKind::Internal);
+    J.Rec.Outcome = "failed";
+    J.Rec.ErrorKind = str(ServeErrorKind::Internal);
     Resp = errorResponse(&J.Req, ServeErrorKind::Internal,
                          "contained failure: unknown exception");
   }
+  J.Rec.TotalUs = usSince(J.Enqueued);
+  finishRecord(J.Rec);
   writeLine(*J.Conn, Resp);
-
-  auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - J.Enqueued)
-                .count();
-  std::lock_guard<std::mutex> Lock(MetricsMu);
-  Metrics.histogram("serve.latencyUs")
-      .record(static_cast<uint64_t>(Us < 0 ? 0 : Us));
 }
 
 std::string Server::handleAnalyze(const ServeRequest &Req,
-                                  uint64_t Ordinal) {
+                                  RequestRecord &Rec, unsigned WorkerId) {
+  const uint64_t Ordinal = Rec.ReqId;
   AnalyzeConfig Eff = Opts.Defaults;
   if (Req.MaxGoals)
     Eff.MaxGoals = Req.MaxGoals;
@@ -392,8 +482,11 @@ std::string Server::handleAnalyze(const ServeRequest &Req,
   Key.UseSummaries = Req.UseSummaries;
 
   const bool UseCache = Cache && !Req.NoCache;
+  Rec.CacheOutcome = Cache ? (Req.NoCache ? "bypass" : "miss") : "off";
   if (UseCache) {
     if (std::optional<std::string> Hit = Cache->lookup(Key)) {
+      Rec.Outcome = "ok";
+      Rec.CacheOutcome = "hit";
       std::lock_guard<std::mutex> Lock(MetricsMu);
       Metrics.add("serve.ok", 1);
       Metrics.add("serve.cached", 1);
@@ -401,19 +494,74 @@ std::string Server::handleAnalyze(const ServeRequest &Req,
     }
   }
 
+  // Slow-request capture: the worker's own tracer records this run's
+  // phase spans and sampled goal instants; the events are spilled only
+  // if the request turns out slow, and never touch the payload.
+  support::Tracer *Tr = nullptr;
+  if (Opts.TraceSlowMs > 0 && WorkerId < WorkerTracers.size()) {
+    Tr = &WorkerTracers[WorkerId];
+    Tr->clear();
+    Eff.Trace = Tr;
+    Eff.TraceTid = WorkerId;
+  }
+
+  auto TRun = std::chrono::steady_clock::now();
   AnalyzeOutcome Out = runServeAnalyze(Req, Eff, Ordinal);
+  double RunMs = usSince(TRun) / 1000.0;
+
+  Rec.Goals = Out.Goals;
+  Rec.ReplayHits = Out.ReplayHits;
+  Rec.ReplayMisses = Out.ReplayMisses;
+  Rec.ParseUs = Out.ParseUs;
+  Rec.CpsUs = Out.CpsUs;
+  Rec.AnalyzeUs = Out.AnalyzeUs;
+
+  if (Tr && RunMs > Opts.TraceSlowMs) {
+    // Retroactive capture: the trace already exists in the worker's
+    // tracer; a slow verdict just decides whether it is spilled. The
+    // file budget (TraceSlowMax) bounds the disk this path can consume.
+    uint64_t Seq = TraceFilesWritten.fetch_add(1);
+    if (Seq < Opts.TraceSlowMax) {
+      std::error_code Ec;
+      std::filesystem::create_directories(Opts.TraceDir, Ec);
+      std::string Path = Opts.TraceDir + "/req-" +
+                         std::to_string(Rec.ReqId) + ".trace.json";
+      std::ofstream TraceOut(Path, std::ios::binary | std::ios::trunc);
+      std::string Doc = Tr->json();
+      TraceOut.write(Doc.data(), static_cast<std::streamsize>(Doc.size()));
+      TraceOut.flush();
+      if (TraceOut) {
+        Rec.SlowTracePath = Path;
+        std::lock_guard<std::mutex> Lock(MetricsMu);
+        Metrics.add("serve.trace.captured", 1);
+      } else {
+        std::lock_guard<std::mutex> Lock(MetricsMu);
+        Metrics.add("serve.trace.dropped", 1);
+      }
+    } else {
+      std::lock_guard<std::mutex> Lock(MetricsMu);
+      Metrics.add("serve.trace.dropped", 1);
+    }
+  }
+
   if (!Out.Ok) {
+    Rec.Outcome = "failed";
+    Rec.ErrorKind = str(Out.Kind);
     countError(Out.Kind);
     return errorResponse(&Req, Out.Kind, Out.Message);
   }
+  Rec.Outcome = Out.Degraded ? "degraded" : "ok";
+  Rec.DegradeReason = Out.DegradeReason;
 
   // Only complete (non-degraded) results are cached: a degraded answer
   // depends on wall-clock and ceilings that are not part of the key.
   // Warm (replay-assisted) payloads stay out too: their answer is
   // byte-identical to cold, but their stats block reflects the warm walk,
   // and the cache is byte-canonical per key.
-  if (UseCache && !Out.Degraded && !Out.Incremental)
+  if (UseCache && !Out.Degraded && !Out.Incremental) {
     Cache->store(Key, Out.PayloadJson);
+    Rec.CacheOutcome = "store";
+  }
   {
     std::lock_guard<std::mutex> Lock(MetricsMu);
     Metrics.add("serve.ok", 1);
@@ -452,6 +600,12 @@ std::string Server::healthJson(const ServeRequest &Req) {
 }
 
 std::string Server::statsJson(const ServeRequest &Req) {
+  size_t Queued, Running;
+  {
+    std::lock_guard<std::mutex> Lock(QMu);
+    Queued = Queue.size();
+    Running = Executing;
+  }
   JsonWriter W;
   W.beginObject();
   W.key("ok").value(true);
@@ -460,27 +614,129 @@ std::string Server::statsJson(const ServeRequest &Req) {
   W.key("stats");
   {
     std::lock_guard<std::mutex> Lock(MetricsMu);
-    if (Cache) {
-      // Mirror the cache's own counters into the registry at read time
-      // so one document carries the whole picture.
-      ResultCache::CacheStats CS = Cache->stats();
-      Metrics.set("serve.cache.hits", CS.Hits);
-      Metrics.set("serve.cache.misses", CS.Misses);
-      Metrics.set("serve.cache.stores", CS.Stores);
-      Metrics.set("serve.cache.storeFailures", CS.StoreFailures);
-      Metrics.set("serve.cache.corrupt", CS.Corrupt);
-      Metrics.set("serve.cache.collisions", CS.Collisions);
-      Metrics.set("serve.cache.sweptTmp", CS.SweptTmp);
-    }
-    if (Opts.Incremental) {
-      MemoStore::StoreStats MS = Memo.stats();
-      Metrics.set("serve.memo.tables", MS.Tables);
-      Metrics.set("serve.memo.entries", MS.Entries);
-    }
+    refreshDerivedLocked(Queued, Running);
     Metrics.writeJson(W);
   }
   W.endObject();
   return W.str();
+}
+
+void Server::refreshDerivedLocked(size_t Queued, size_t Running) {
+  // Mirror every derived counter and gauge into the registry at read
+  // time, unconditionally: a scrape of a daemon with the cache off (or
+  // before the first request) carries the same key set at zero, so the
+  // stats and metrics documents have one uniform vocabulary.
+  ResultCache::CacheStats CS = Cache ? Cache->stats()
+                                     : ResultCache::CacheStats{};
+  Metrics.set("serve.cache.hits", CS.Hits);
+  Metrics.set("serve.cache.misses", CS.Misses);
+  Metrics.set("serve.cache.stores", CS.Stores);
+  Metrics.set("serve.cache.storeFailures", CS.StoreFailures);
+  Metrics.set("serve.cache.corrupt", CS.Corrupt);
+  Metrics.set("serve.cache.collisions", CS.Collisions);
+  Metrics.set("serve.cache.sweptTmp", CS.SweptTmp);
+
+  MemoStore::StoreStats MS =
+      Opts.Incremental ? Memo.stats() : MemoStore::StoreStats{};
+  Metrics.setGauge("serve.memo.tables", MS.Tables);
+  Metrics.setGauge("serve.memo.entries", MS.Entries);
+
+  Metrics.setGauge("serve.queue.depth", Queued);
+  Metrics.setGauge("serve.queue.executing", Running);
+  Metrics.setGauge("serve.queue.cap", Opts.QueueCap);
+  Metrics.setGauge("serve.workers", Opts.Workers);
+
+  Metrics.setGauge("serve.flight.inFlight",
+                   Flight ? Flight->inFlightCount() : 0);
+  Metrics.setGauge("serve.flight.recent",
+                   Flight ? Flight->recentCount() : 0);
+  Metrics.setGauge("serve.flight.capacity", Flight ? Flight->capacity() : 0);
+
+  Metrics.set("serve.log.written", Log ? Log->written() : 0);
+  Metrics.set("serve.log.failures", Log ? Log->failures() : 0);
+  Metrics.set("serve.log.rotations", Log ? Log->rotations() : 0);
+}
+
+std::string Server::metricsResponse(const ServeRequest &Req) {
+  size_t Queued, Running;
+  {
+    std::lock_guard<std::mutex> Lock(QMu);
+    Queued = Queue.size();
+    Running = Executing;
+  }
+  if (Req.Format == "prometheus") {
+    std::ostringstream Body;
+    {
+      std::lock_guard<std::mutex> Lock(MetricsMu);
+      refreshDerivedLocked(Queued, Running);
+      Metrics.writePrometheus(Body);
+    }
+    JsonWriter W;
+    W.beginObject();
+    W.key("ok").value(true);
+    if (Req.HasId)
+      W.key("id").value(Req.Id);
+    W.key("contentType").value("text/plain; version=0.0.4");
+    W.key("body").value(Body.str());
+    W.endObject();
+    return W.str();
+  }
+  JsonWriter W;
+  W.beginObject();
+  W.key("ok").value(true);
+  if (Req.HasId)
+    W.key("id").value(Req.Id);
+  W.key("metrics");
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    refreshDerivedLocked(Queued, Running);
+    Metrics.writeJson(W);
+  }
+  W.endObject();
+  return W.str();
+}
+
+std::string Server::dumpResponse(const ServeRequest &Req) {
+  std::string Out = "{\"ok\":true";
+  if (Req.HasId)
+    Out += ",\"id\":" + std::to_string(Req.Id);
+  if (!Flight) {
+    Out += ",\"enabled\":false}";
+    return Out;
+  }
+  Out += ",\"enabled\":true";
+  if (!Opts.FlightDumpPath.empty()) {
+    bool Wrote = Flight->dumpTo(Opts.FlightDumpPath);
+    Out += ",\"path\":\"" + jsonEscape(Opts.FlightDumpPath) + "\"";
+    Out += ",\"written\":";
+    Out += Wrote ? "true" : "false";
+  }
+  Out += ",\"flight\":" + Flight->renderJson() + "}";
+  return Out;
+}
+
+void Server::finishRecord(RequestRecord &Rec) {
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    if (Rec.Outcome == "shed") {
+      Metrics.add("serve.shed", 1);
+    } else {
+      if (Rec.Outcome == "failed")
+        Metrics.add("serve.analyze.failed", 1);
+      else
+        Metrics.add("serve.analyze.responded", 1);
+      uint64_t Us = static_cast<uint64_t>(Rec.TotalUs);
+      Metrics.histogram("serve.latencyUs").record(Us);
+      Metrics
+          .windowed("serve.latency.window.us{analyzer=\"" + Rec.Analyzer +
+                    "\"}")
+          .record(Us);
+    }
+  }
+  if (Log)
+    Log->append(Rec);
+  if (Flight)
+    Flight->complete(Rec);
 }
 
 void Server::writeLine(Connection &C, const std::string &Line) {

@@ -37,11 +37,14 @@
 #define CPSFLOW_SERVE_SERVER_H
 
 #include "serve/Analyze.h"
+#include "serve/FlightRecorder.h"
 #include "serve/MemoStore.h"
 #include "serve/Protocol.h"
+#include "serve/RequestLog.h"
 #include "serve/ResultCache.h"
 #include "support/Metrics.h"
 #include "support/Result.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <chrono>
@@ -73,6 +76,30 @@ struct ServeOptions {
   bool Incremental = true;
   /// Default budgets for requests that do not override them.
   AnalyzeConfig Defaults;
+
+  // -- observability (docs/OBSERVABILITY.md)
+
+  /// Structured request log path; empty disables logging. One JSON line
+  /// per finished analyze request (including sheds).
+  std::string LogPath;
+  /// Rotate the request log (FILE -> FILE.1) past this size; 0 never
+  /// rotates.
+  uint64_t LogRotateBytes = 64ull << 20;
+  /// Flight-recorder ring capacity (last-N finished requests plus every
+  /// request in flight); 0 disables the recorder.
+  size_t FlightRecords = 256;
+  /// Where drain and the `dump` op publish the flight-recorder frame.
+  /// Empty + recorder on: derived as SocketPath + ".flight.json".
+  std::string FlightDumpPath;
+  /// Requests whose analysis wall time exceeds this get a Chrome trace
+  /// spilled to TraceDir; 0 disables slow-request capture.
+  double TraceSlowMs = 0;
+  /// Spill directory for slow-request traces. Empty + capture on:
+  /// derived as SocketPath + ".traces".
+  std::string TraceDir;
+  /// Cap on spilled trace files per daemon lifetime (bounds the disk the
+  /// capture path can consume); excess slow requests count as dropped.
+  uint64_t TraceSlowMax = 32;
 };
 
 class Server {
@@ -102,6 +129,7 @@ public:
   bool draining() const { return Draining.load(); }
   const ServeOptions &options() const { return Opts; }
   ResultCache *cache() { return Cache.get(); }
+  FlightRecorder *flight() { return Flight.get(); }
 
   /// Sum of queued and executing analyze jobs (health reporting).
   size_t inFlight() const;
@@ -112,23 +140,42 @@ private:
     std::shared_ptr<Connection> Conn;
     ServeRequest Req;
     std::chrono::steady_clock::time_point Enqueued;
+    RequestRecord Rec;
   };
 
   void acceptLoop();
   void readerLoop(std::shared_ptr<Connection> C);
-  void workerLoop();
+  void workerLoop(unsigned WorkerId);
   void handleLine(const std::shared_ptr<Connection> &C,
                   const std::string &Line);
-  void processJob(Job J);
-  std::string handleAnalyze(const ServeRequest &Req, uint64_t Ordinal);
+  void processJob(Job J, unsigned WorkerId);
+  std::string handleAnalyze(const ServeRequest &Req, RequestRecord &Rec,
+                            unsigned WorkerId);
   std::string healthJson(const ServeRequest &Req);
   std::string statsJson(const ServeRequest &Req);
+  std::string metricsResponse(const ServeRequest &Req);
+  std::string dumpResponse(const ServeRequest &Req);
+  /// Terminal bookkeeping for one analyze request: terminal counter,
+  /// latency histograms, log record, flight-recorder completion — all
+  /// before the response line goes out, so an observer that has received
+  /// every response sees admitted == responded + shed + failed.
+  void finishRecord(RequestRecord &Rec);
+  /// Mirrors derived state (cache/memo/queue/log/flight) into the
+  /// registry. Caller holds MetricsMu; queue stats are passed in because
+  /// they live under QMu and the two locks never nest.
+  void refreshDerivedLocked(size_t Queued, size_t Running);
   void writeLine(Connection &C, const std::string &Line);
   void countError(ServeErrorKind Kind);
 
   ServeOptions Opts;
   std::unique_ptr<ResultCache> Cache;
   MemoStore Memo;
+  std::unique_ptr<RequestLog> Log;
+  std::unique_ptr<FlightRecorder> Flight;
+  /// One tracer per worker (slow-request capture); deque because Tracer
+  /// owns a mutex and cannot move. Sized once in start().
+  std::deque<support::Tracer> WorkerTracers;
+  std::atomic<uint64_t> TraceFilesWritten{0};
   std::shared_ptr<support::CancelToken> Interrupt;
 
   int ListenFd = -1;

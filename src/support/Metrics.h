@@ -81,6 +81,18 @@ public:
   uint64_t max() const { return Hi; }
   uint64_t bucket(unsigned I) const { return Buckets[I]; }
 
+  /// The inclusive upper edge of bucket \p I (0 for bucket 0, 2^I - 1
+  /// otherwise). Public so exposition formats that need the bucket
+  /// boundaries — the Prometheus renderer's `le` labels — do not
+  /// duplicate the bucketing scheme.
+  static uint64_t bucketUpperEdge(unsigned I) {
+    if (I == 0)
+      return 0;
+    if (I >= 64)
+      return UINT64_MAX;
+    return (uint64_t{1} << I) - 1;
+  }
+
   /// An upper bound for the \p Q quantile (0 < Q <= 1): the inclusive
   /// upper edge of the bucket holding the ceil(Q*N)-th smallest sample.
   /// Deterministic by construction; max() tightens the last bucket.
@@ -134,13 +146,7 @@ private:
     return B;
   }
 
-  static uint64_t upperEdge(unsigned I) {
-    if (I == 0)
-      return 0;
-    if (I >= 64)
-      return UINT64_MAX;
-    return (uint64_t{1} << I) - 1;
-  }
+  static uint64_t upperEdge(unsigned I) { return bucketUpperEdge(I); }
 
   uint64_t Buckets[NumBuckets] = {};
   uint64_t N = 0;
@@ -149,10 +155,77 @@ private:
   uint64_t Hi = 0;
 };
 
+/// A histogram over a sliding sample window: the serving layer wants
+/// "latency over the last while", not "latency since boot" (a daemon up
+/// for a week would bury a regression under a week of healthy samples).
+///
+/// Two-generation scheme: samples land in the current generation; when
+/// it reaches WindowSamples the previous generation is discarded and the
+/// current one takes its place. snapshot() merges both generations, so
+/// it always covers between WindowSamples and 2*WindowSamples of the
+/// most recent samples (never fewer than the last WindowSamples, and
+/// nothing older than the last 2*WindowSamples). Deterministic: rotation
+/// is by sample count, not wall clock.
+class WindowedHistogram {
+public:
+  explicit WindowedHistogram(uint64_t WindowSamples = 1024)
+      : WindowSamples(WindowSamples ? WindowSamples : 1) {}
+
+  void record(uint64_t V) {
+    Cur.record(V);
+    ++Total;
+    if (Cur.count() >= WindowSamples) {
+      Prev = Cur;
+      Cur = Histogram();
+    }
+  }
+
+  /// The merged previous + current generations: the most recent
+  /// WindowSamples..2*WindowSamples samples.
+  Histogram snapshot() const {
+    Histogram H = Prev;
+    H.merge(Cur);
+    return H;
+  }
+
+  uint64_t windowSamples() const { return WindowSamples; }
+  /// Samples ever recorded (not just the ones still in the window).
+  uint64_t totalRecorded() const { return Total; }
+
+  /// Generation-wise merge (best effort — two windows observed on
+  /// different schedules have no exact common window).
+  void merge(const WindowedHistogram &O) {
+    Prev.merge(O.Prev);
+    Cur.merge(O.Cur);
+    Total += O.Total;
+  }
+
+private:
+  uint64_t WindowSamples;
+  uint64_t Total = 0;
+  Histogram Prev;
+  Histogram Cur;
+};
+
 /// Named counters and histograms for one analyzer run (or one aggregated
 /// corpus). Names are interned on first use; iteration is insertion
 /// order, so rendering is deterministic. Not thread-safe — one registry
 /// per single-threaded run, merged afterwards.
+///
+/// Beyond the original counters and histograms the registry carries two
+/// serving-layer kinds:
+///
+///  * Gauges — point-in-time values (queue depth, memo-table size) set
+///    with setGauge(). Rendered as plain numbers in JSON (same shape as
+///    counters) but as `gauge` in the Prometheus exposition, and merged
+///    by max, not sum.
+///  * Windowed histograms — see WindowedHistogram. Rendered as their
+///    snapshot() summary in JSON.
+///
+/// A metric name may carry a Prometheus-style label suffix,
+/// `base{key="value"}`: JSON uses the full spelling as the object key,
+/// while writePrometheus() splits it so all series of `base` group under
+/// one `# TYPE` family with per-series labels.
 class MetricsRegistry {
 public:
   /// Adds \p Delta to counter \p Name (creating it at zero).
@@ -181,6 +254,33 @@ public:
     return It != Index.end() && It->second.Kind == EntryKind::Counter;
   }
 
+  /// Sets gauge \p Name to the point-in-time value \p V (creating it at
+  /// zero). A name is one kind forever: a gauge name can never collide
+  /// with a counter or histogram.
+  void setGauge(std::string_view Name, uint64_t V) {
+    auto [It, Inserted] = Index.try_emplace(std::string(Name));
+    if (Inserted) {
+      Counters.push_back(0);
+      It->second = {EntryKind::Gauge, Counters.size() - 1};
+      Order.push_back(&It->first);
+    }
+    assert(It->second.Kind == EntryKind::Gauge &&
+           "metric name already used as another kind");
+    Counters[It->second.Pos] = V;
+  }
+
+  uint64_t gauge(std::string_view Name) const {
+    auto It = Index.find(std::string(Name));
+    if (It == Index.end() || It->second.Kind != EntryKind::Gauge)
+      return 0;
+    return Counters[It->second.Pos];
+  }
+
+  bool hasGauge(std::string_view Name) const {
+    auto It = Index.find(std::string(Name));
+    return It != Index.end() && It->second.Kind == EntryKind::Gauge;
+  }
+
   /// The histogram \p Name (creating it empty). The reference is stable
   /// for the registry's lifetime. A name is a counter or a histogram,
   /// never both.
@@ -203,35 +303,81 @@ public:
     return &Histograms[It->second.Pos];
   }
 
-  /// Merges \p O into this registry: counters add, histograms merge.
+  /// The windowed histogram \p Name (creating it with \p WindowSamples).
+  /// The first creation fixes the window size; the reference is stable
+  /// for the registry's lifetime.
+  WindowedHistogram &windowed(std::string_view Name,
+                              uint64_t WindowSamples = 1024) {
+    auto [It, Inserted] = Index.try_emplace(std::string(Name));
+    if (Inserted) {
+      Windows.emplace_back(WindowSamples);
+      It->second = {EntryKind::Windowed, Windows.size() - 1};
+      Order.push_back(&It->first);
+    }
+    assert(It->second.Kind == EntryKind::Windowed &&
+           "metric name already used as another kind");
+    return Windows[It->second.Pos];
+  }
+
+  const WindowedHistogram *findWindowed(std::string_view Name) const {
+    auto It = Index.find(std::string(Name));
+    if (It == Index.end() || It->second.Kind != EntryKind::Windowed)
+      return nullptr;
+    return &Windows[It->second.Pos];
+  }
+
+  /// Merges \p O into this registry: counters add, gauges take the max
+  /// (point-in-time values do not sum), histograms and windows merge.
   /// Names absent here are created at their position in \p O 's order.
   void merge(const MetricsRegistry &O) {
     for (const std::string *Name : O.Order) {
       const Entry &E = O.Index.find(*Name)->second;
-      if (E.Kind == EntryKind::Counter)
+      switch (E.Kind) {
+      case EntryKind::Counter:
         add(*Name, O.Counters[E.Pos]);
-      else
+        break;
+      case EntryKind::Gauge:
+        setGauge(*Name, std::max(gauge(*Name), O.Counters[E.Pos]));
+        break;
+      case EntryKind::Histogram:
         histogram(*Name).merge(O.Histograms[E.Pos]);
+        break;
+      case EntryKind::Windowed:
+        windowed(*Name, O.Windows[E.Pos].windowSamples())
+            .merge(O.Windows[E.Pos]);
+        break;
+      }
     }
   }
 
   /// Visits every metric in insertion order. \p CounterFn receives
-  /// (name, value); \p HistFn receives (name, histogram).
+  /// (name, value) — for counters and gauges alike; \p HistFn receives
+  /// (name, histogram) — a windowed histogram visits as its snapshot.
   template <typename CounterFn, typename HistFn>
   void forEach(CounterFn &&OnCounter, HistFn &&OnHist) const {
     for (const std::string *Name : Order) {
       const Entry &E = Index.find(*Name)->second;
-      if (E.Kind == EntryKind::Counter)
+      switch (E.Kind) {
+      case EntryKind::Counter:
+      case EntryKind::Gauge:
         OnCounter(*Name, Counters[E.Pos]);
-      else
+        break;
+      case EntryKind::Histogram:
         OnHist(*Name, Histograms[E.Pos]);
+        break;
+      case EntryKind::Windowed: {
+        Histogram S = Windows[E.Pos].snapshot();
+        OnHist(*Name, S);
+        break;
+      }
+      }
     }
   }
 
   size_t size() const { return Order.size(); }
 
-  /// Renders the registry as one JSON object: counters as numbers,
-  /// histograms as their summary objects.
+  /// Renders the registry as one JSON object: counters and gauges as
+  /// numbers, histograms (windowed or not) as their summary objects.
   void writeJson(JsonWriter &W) const {
     W.beginObject();
     forEach([&](const std::string &N, uint64_t V) { W.key(N).value(V); },
@@ -242,8 +388,128 @@ public:
     W.endObject();
   }
 
+  /// A registry name's Prometheus identity: the sanitized base metric
+  /// name (dots become underscores, anything outside [a-zA-Z0-9_:] too)
+  /// and the label pairs from a `{...}` suffix, braces stripped.
+  struct PromSeries {
+    std::string Metric; ///< e.g. "cpsflow_serve_latency_us"
+    std::string Labels; ///< e.g. "analyzer=\"direct\"" or empty
+  };
+
+  static PromSeries prometheusSeries(std::string_view Name,
+                                     std::string_view Prefix) {
+    PromSeries S;
+    size_t Brace = Name.find('{');
+    std::string_view Base = Name.substr(0, Brace);
+    if (Brace != std::string_view::npos) {
+      std::string_view Rest = Name.substr(Brace + 1);
+      if (!Rest.empty() && Rest.back() == '}')
+        Rest.remove_suffix(1);
+      S.Labels = std::string(Rest);
+    }
+    S.Metric.reserve(Prefix.size() + Base.size());
+    S.Metric = std::string(Prefix);
+    for (char C : Base) {
+      bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                (C >= '0' && C <= '9') || C == '_' || C == ':';
+      S.Metric.push_back(Ok ? C : '_');
+    }
+    if (!S.Metric.empty() && S.Metric[0] >= '0' && S.Metric[0] <= '9')
+      S.Metric.insert(S.Metric.begin(), '_');
+    return S;
+  }
+
+  /// Renders the registry in the Prometheus text exposition format
+  /// (text/plain; version=0.0.4). Counters render as `counter`, gauges
+  /// as `gauge`, histograms — windowed ones via their snapshot — as
+  /// cumulative-bucket `histogram` families with log2 `le` edges.
+  /// Series sharing a base metric (label variants) group under one
+  /// `# TYPE` line, first-seen order; within a family, series keep
+  /// insertion order. Deterministic for deterministic contents.
+  void writePrometheus(std::ostream &Os,
+                       std::string_view Prefix = "cpsflow_") const {
+    struct Series {
+      PromSeries Id;
+      const Entry *E;
+    };
+    // Group label variants by base metric, preserving first-seen order.
+    std::vector<std::pair<std::string, std::vector<Series>>> Families;
+    for (const std::string *Name : Order) {
+      const Entry &E = Index.find(*Name)->second;
+      PromSeries Id = prometheusSeries(*Name, Prefix);
+      auto Fam = std::find_if(Families.begin(), Families.end(),
+                              [&](const auto &F) {
+                                return F.first == Id.Metric;
+                              });
+      if (Fam == Families.end()) {
+        Families.push_back({Id.Metric, {}});
+        Fam = Families.end() - 1;
+      }
+      Fam->second.push_back(Series{std::move(Id), &E});
+    }
+
+    auto LabelSet = [](const std::string &Labels,
+                       const std::string &Extra) -> std::string {
+      if (Labels.empty() && Extra.empty())
+        return "";
+      if (Labels.empty())
+        return "{" + Extra + "}";
+      if (Extra.empty())
+        return "{" + Labels + "}";
+      return "{" + Labels + "," + Extra + "}";
+    };
+
+    for (const auto &[Metric, SeriesList] : Families) {
+      EntryKind Kind = SeriesList.front().E->Kind;
+      const char *Type = Kind == EntryKind::Counter  ? "counter"
+                         : Kind == EntryKind::Gauge ? "gauge"
+                                                    : "histogram";
+      Os << "# TYPE " << Metric << ' ' << Type << '\n';
+      for (const Series &S : SeriesList) {
+        const Entry &E = *S.E;
+        switch (E.Kind) {
+        case EntryKind::Counter:
+        case EntryKind::Gauge:
+          Os << Metric << LabelSet(S.Id.Labels, "") << ' '
+             << Counters[E.Pos] << '\n';
+          break;
+        case EntryKind::Histogram:
+        case EntryKind::Windowed: {
+          Histogram H = E.Kind == EntryKind::Histogram
+                            ? Histograms[E.Pos]
+                            : Windows[E.Pos].snapshot();
+          // Cumulative buckets up to the highest occupied edge, then
+          // +Inf — bounded output even though the scheme has 65 buckets.
+          unsigned HighBucket = 0;
+          for (unsigned I = 0; I < Histogram::NumBuckets; ++I)
+            if (H.bucket(I))
+              HighBucket = I;
+          uint64_t Cum = 0;
+          for (unsigned I = 0; I <= HighBucket && H.count(); ++I) {
+            Cum += H.bucket(I);
+            Os << Metric << "_bucket"
+               << LabelSet(S.Id.Labels,
+                           "le=\"" +
+                               std::to_string(
+                                   Histogram::bucketUpperEdge(I)) +
+                               "\"")
+               << ' ' << Cum << '\n';
+          }
+          Os << Metric << "_bucket" << LabelSet(S.Id.Labels, "le=\"+Inf\"")
+             << ' ' << H.count() << '\n';
+          Os << Metric << "_sum" << LabelSet(S.Id.Labels, "") << ' '
+             << H.sum() << '\n';
+          Os << Metric << "_count" << LabelSet(S.Id.Labels, "") << ' '
+             << H.count() << '\n';
+          break;
+        }
+        }
+      }
+    }
+  }
+
 private:
-  enum class EntryKind : uint8_t { Counter, Histogram };
+  enum class EntryKind : uint8_t { Counter, Gauge, Histogram, Windowed };
   struct Entry {
     EntryKind Kind;
     size_t Pos;
@@ -262,8 +528,9 @@ private:
   }
 
   std::unordered_map<std::string, Entry> Index;
-  std::deque<uint64_t> Counters;     // stable references
-  std::deque<Histogram> Histograms;  // stable references
+  std::deque<uint64_t> Counters;           // counters AND gauges; stable
+  std::deque<Histogram> Histograms;        // stable references
+  std::deque<WindowedHistogram> Windows;   // stable references
   std::vector<const std::string *> Order;
 };
 

@@ -86,6 +86,16 @@ public:
     return Events.size();
   }
 
+  /// Drops every recorded event and restarts the clock. The serve
+  /// workers keep one tracer each and clear it between requests, so a
+  /// slow-request capture costs one tracer per worker, not one per
+  /// request, and each captured trace's timestamps start at the request.
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    Events.clear();
+    Epoch = std::chrono::steady_clock::now();
+  }
+
   /// The Chrome trace document:
   /// {"displayTimeUnit":"ms","traceEvents":[...]}. Loadable as-is in
   /// chrome://tracing or https://ui.perfetto.dev.

@@ -148,6 +148,13 @@ struct Options {
   std::string CacheDir;       ///< result-cache directory; empty = off.
   double DrainGraceMs = 2000; ///< drain grace before degrading work.
   bool NoIncremental = false; ///< disable cross-request memo reuse.
+  std::string LogOut;         ///< request-log file; empty = off.
+  uint64_t LogRotateMb = 64;  ///< request-log rotation cap (0 = never).
+  uint64_t FlightRecords = 256; ///< flight-recorder ring; 0 = off.
+  std::string FlightDump;     ///< dump path override.
+  double TraceSlowMs = 0;     ///< slow-request trace threshold; 0 = off.
+  std::string TraceDir;       ///< slow-trace spill directory override.
+  uint64_t TraceSlowMax = 32; ///< spilled-trace file budget.
 
   // fuzz-only knobs.
   uint64_t FuzzSeed = 1;
@@ -223,6 +230,21 @@ struct Options {
       "                             degraded on drain (default 2000)\n"
       "          --no-incremental   disable cross-request memo reuse\n"
       "                             (every analysis runs cold)\n"
+      "          --log-out FILE     structured request log: one JSON line\n"
+      "                             per finished analyze request\n"
+      "          --log-rotate-mb N  rotate the request log past N MiB\n"
+      "                             (default 64; 0 = never)\n"
+      "          --flight-records N flight-recorder ring size (default\n"
+      "                             256; 0 = off); dumped on drain and on\n"
+      "                             the dump op\n"
+      "          --flight-dump FILE flight dump path (default\n"
+      "                             SOCKET.flight.json)\n"
+      "          --trace-slow-ms N  spill a Chrome trace for requests\n"
+      "                             whose analysis exceeds N ms (0 = off)\n"
+      "          --trace-dir DIR    slow-trace spill directory (default\n"
+      "                             SOCKET.traces)\n"
+      "          --trace-slow-max N cap on spilled trace files\n"
+      "                             (default 32)\n"
       "          the governor flags above (--deadline-ms, --max-goals,\n"
       "          --max-store-mb, --max-depth) set per-request defaults\n"
       "FILE may be '-' for stdin.\n");
@@ -378,6 +400,23 @@ Options parseArgs(int Argc, char **Argv) {
       O.DrainGraceMs = flagMs("--drain-grace-ms", Argv[++I]);
     } else if (A == "--no-incremental") {
       O.NoIncremental = true;
+    } else if (A == "--log-out" && I + 1 < Argc) {
+      O.LogOut = Argv[++I];
+    } else if (A == "--log-rotate-mb" && I + 1 < Argc) {
+      O.LogRotateMb = flagUint("--log-rotate-mb", Argv[++I],
+                               /*Max=*/uint64_t{1} << 20);
+    } else if (A == "--flight-records" && I + 1 < Argc) {
+      O.FlightRecords = flagUint("--flight-records", Argv[++I],
+                                 /*Max=*/uint64_t{1} << 20);
+    } else if (A == "--flight-dump" && I + 1 < Argc) {
+      O.FlightDump = Argv[++I];
+    } else if (A == "--trace-slow-ms" && I + 1 < Argc) {
+      O.TraceSlowMs = flagMs("--trace-slow-ms", Argv[++I]);
+    } else if (A == "--trace-dir" && I + 1 < Argc) {
+      O.TraceDir = Argv[++I];
+    } else if (A == "--trace-slow-max" && I + 1 < Argc) {
+      O.TraceSlowMax = flagUint("--trace-slow-max", Argv[++I],
+                                /*Max=*/uint64_t{1} << 20);
     } else if (A == "--no-timing") {
       O.NoTiming = true;
     } else if (A == "--show-cfg") {
@@ -1099,6 +1138,35 @@ int interruptExitCode() {
   return 128 + (Sig ? Sig : SIGINT);
 }
 
+serve::FlightRecorder *GFlight = nullptr;
+char GFlightCrashPath[512] = {};
+
+/// Installs best-effort fatal-signal handlers (SIGSEGV/SIGBUS/SIGABRT)
+/// that spill the flight recorder before the process dies, so even a
+/// crash leaves a post-mortem naming the requests in flight. fatalDump
+/// is written for this context: try_lock, pre-rendered records, raw
+/// write+rename, checksummed frame so a torn dump is detectable.
+/// SA_RESETHAND restores the default action, and the handler re-raises,
+/// so the process still dies with the original signal disposition.
+void installFatalDumpHandlers(serve::FlightRecorder *Flight,
+                              const std::string &CrashPath) {
+  GFlight = Flight;
+  std::snprintf(GFlightCrashPath, sizeof(GFlightCrashPath), "%s",
+                CrashPath.c_str());
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = [](int Sig) {
+    if (GFlight)
+      GFlight->fatalDump(GFlightCrashPath);
+    ::raise(Sig);
+  };
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_RESETHAND;
+  sigaction(SIGSEGV, &SA, nullptr);
+  sigaction(SIGBUS, &SA, nullptr);
+  sigaction(SIGABRT, &SA, nullptr);
+}
+
 int cmdBatch(const Options &O) {
   // O.File is a corpus directory here, not a single program.
   Result<std::vector<std::string>> Files = clients::collectCorpus(O.File);
@@ -1342,6 +1410,13 @@ int cmdServe(const Options &O) {
   SOpts.CacheDir = O.CacheDir;
   SOpts.DrainGraceMs = O.DrainGraceMs;
   SOpts.Incremental = !O.NoIncremental;
+  SOpts.LogPath = O.LogOut;
+  SOpts.LogRotateBytes = O.LogRotateMb * 1024 * 1024;
+  SOpts.FlightRecords = static_cast<size_t>(O.FlightRecords);
+  SOpts.FlightDumpPath = O.FlightDump;
+  SOpts.TraceSlowMs = O.TraceSlowMs;
+  SOpts.TraceDir = O.TraceDir;
+  SOpts.TraceSlowMax = O.TraceSlowMax;
   if (O.MaxGoals)
     SOpts.Defaults.MaxGoals = O.MaxGoals;
   if (O.DeadlineMs > 0)
@@ -1360,6 +1435,9 @@ int cmdServe(const Options &O) {
   // Handlers only set the flag this loop polls: requestDrain() takes
   // locks, so it must not run inside the handler itself.
   installInterruptHandlers();
+  if (S.flight())
+    installFatalDumpHandlers(S.flight(),
+                             S.options().FlightDumpPath + ".crash");
   std::fprintf(stderr,
                "cpsflow serve: listening on %s (%u workers, queue cap "
                "%zu, cache %s)\n",
@@ -1398,6 +1476,10 @@ int cmdVersion() {
               fuzz::FindingsSchemaVersion);
   std::printf("  provenance graph (explain --graph-out): %d\n",
               clients::ProvenanceGraphSchemaVersion);
+  std::printf("  serve request log (serve --log-out):    %d\n",
+              serve::RequestLogSchemaVersion);
+  std::printf("  serve flight recorder (dump frames):    %d\n",
+              serve::FlightRecorderSchemaVersion);
   return 0;
 }
 

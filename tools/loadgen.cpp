@@ -76,6 +76,13 @@ struct Options {
   /// Fail if warm goals exceed this fraction of cold goals across the
   /// edit-replay run (<= 0 disables the gate).
   double MaxGoalRatio = 0;
+  /// Scrape mode: fetch the metrics op in both formats, validate the
+  /// Prometheus exposition, and check the counter-consistency invariant.
+  bool Scrape = false;
+  /// Scrape: require admitted == responded + shed + failed exactly
+  /// (valid only once every issued request has been answered); default
+  /// checks the always-true mid-run direction, admitted >= sum.
+  bool StrictInvariant = false;
 };
 
 [[noreturn]] void usage(const char *Message = nullptr) {
@@ -88,10 +95,15 @@ struct Options {
                "               [--domain constant|unit|sign|parity|interval]\n"
                "               [--verify] [--out FILE]\n"
                "               [--edit-replay] [--max-goal-ratio F]\n"
+               "       loadgen SOCKET --scrape [--strict-invariant] "
+               "[--out FILE]\n"
                "--edit-replay mutates one numeric leaf of the first corpus\n"
                "program per iteration and measures warm (incremental) vs\n"
                "cold re-analysis; --max-goal-ratio F fails the run when\n"
-               "warm goals exceed F * cold goals\n");
+               "warm goals exceed F * cold goals\n"
+               "--scrape fetches the metrics op (Prometheus + JSON),\n"
+               "validates the exposition, and fails unless admitted >=\n"
+               "responded + shed + failed (== with --strict-invariant)\n");
   std::exit(2);
 }
 
@@ -121,6 +133,10 @@ Options parseArgs(int Argc, char **Argv) {
       O.Verify = true;
     } else if (A == "--edit-replay") {
       O.EditReplay = true;
+    } else if (A == "--scrape") {
+      O.Scrape = true;
+    } else if (A == "--strict-invariant") {
+      O.StrictInvariant = true;
     } else if (A == "--max-goal-ratio" && I + 1 < Argc) {
       char *End = nullptr;
       O.MaxGoalRatio = std::strtod(Argv[++I], &End);
@@ -135,6 +151,12 @@ Options parseArgs(int Argc, char **Argv) {
     } else {
       Positional.push_back(A);
     }
+  }
+  if (O.Scrape) {
+    if (Positional.size() != 1)
+      usage("--scrape takes just the SOCKET positional");
+    O.Socket = Positional[0];
+    return O;
   }
   if (Positional.size() != 2)
     usage("expected SOCKET and DIR positionals");
@@ -677,10 +699,129 @@ int runEditReplay(const Options &O, const std::vector<Program> &Corpus) {
   return 0;
 }
 
+// ===-- Scrape mode (--scrape) --========================================//
+
+/// Validates one Prometheus exposition line: `# ...` comments pass; data
+/// lines must be `name[{labels}] value` with a well-formed metric name
+/// and a numeric value.
+bool validExpositionLine(const std::string &Line) {
+  if (Line.empty() || Line[0] == '#')
+    return true;
+  size_t I = 0;
+  auto NameChar = [](char C, bool First) {
+    bool Alpha = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                 C == '_' || C == ':';
+    return Alpha || (!First && C >= '0' && C <= '9');
+  };
+  if (I >= Line.size() || !NameChar(Line[I], true))
+    return false;
+  while (I < Line.size() && NameChar(Line[I], false))
+    ++I;
+  if (I < Line.size() && Line[I] == '{') {
+    size_t Close = Line.find('}', I);
+    if (Close == std::string::npos)
+      return false;
+    I = Close + 1;
+  }
+  if (I >= Line.size() || Line[I] != ' ')
+    return false;
+  const char *Num = Line.c_str() + I + 1;
+  if (std::strcmp(Num, "+Inf") == 0 || std::strcmp(Num, "NaN") == 0)
+    return true;
+  char *End = nullptr;
+  std::strtod(Num, &End);
+  return End && *End == '\0' && End != Num;
+}
+
+/// --scrape: one connection, two metrics requests (Prometheus text and
+/// the JSON registry), exposition syntax validation, and the
+/// counter-consistency check: every well-formed analyze request is
+/// admitted exactly once and meets exactly one of the three terminal
+/// fates, so admitted >= responded + shed + failed always, with equality
+/// once every issued request has been answered.
+int runScrape(const Options &O) {
+  Client C;
+  if (!C.connectTo(O.Socket)) {
+    std::fprintf(stderr, "loadgen: cannot connect to '%s'\n",
+                 O.Socket.c_str());
+    return 1;
+  }
+
+  std::string PromLine =
+      C.roundTrip("{\"op\":\"metrics\",\"format\":\"prometheus\"}");
+  Result<JsonValue> Prom = parseJson(PromLine);
+  if (PromLine.empty() || !Prom || !Prom->isObject()) {
+    std::fprintf(stderr, "loadgen: scrape: bad metrics response\n");
+    return 1;
+  }
+  const JsonValue *Ok = Prom->find("ok");
+  const JsonValue *Body = Prom->find("body");
+  if (!Ok || !Ok->asBool() || !Body || !Body->isString()) {
+    std::fprintf(stderr,
+                 "loadgen: scrape: metrics op refused or carried no body\n");
+    return 1;
+  }
+
+  const std::string &Text = Body->asString();
+  uint64_t DataLines = 0, BadLines = 0;
+  {
+    std::istringstream In(Text);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      if (!validExpositionLine(Line)) {
+        ++BadLines;
+        std::fprintf(stderr, "loadgen: scrape: malformed line: %s\n",
+                     Line.c_str());
+      } else if (!Line.empty() && Line[0] != '#') {
+        ++DataLines;
+      }
+    }
+  }
+
+  std::string JsonLine = C.roundTrip("{\"op\":\"metrics\"}");
+  Result<JsonValue> Doc = parseJson(JsonLine);
+  const JsonValue *M =
+      Doc && Doc->isObject() ? Doc->find("metrics") : nullptr;
+  if (!M || !M->isObject()) {
+    std::fprintf(stderr, "loadgen: scrape: bad JSON metrics response\n");
+    return 1;
+  }
+  double Admitted = M->numberOr("serve.analyze.admitted", -1);
+  double Responded = M->numberOr("serve.analyze.responded", -1);
+  double Shed = M->numberOr("serve.shed", -1);
+  double Failed = M->numberOr("serve.analyze.failed", -1);
+  bool Missing = Admitted < 0 || Responded < 0 || Shed < 0 || Failed < 0;
+  double Settled = Responded + Shed + Failed;
+  bool Violated = Missing || Admitted < Settled ||
+                  (O.StrictInvariant && Admitted != Settled);
+
+  if (!O.OutFile.empty()) {
+    std::ofstream F(O.OutFile);
+    if (!F) {
+      std::fprintf(stderr, "loadgen: cannot write '%s'\n",
+                   O.OutFile.c_str());
+      return 1;
+    }
+    F << Text;
+  } else {
+    std::fputs(Text.c_str(), stdout);
+  }
+  std::fprintf(stderr,
+               "loadgen: scrape: %llu series lines (%llu malformed), "
+               "admitted %.0f %s responded %.0f + shed %.0f + failed "
+               "%.0f%s\n",
+               (unsigned long long)DataLines, (unsigned long long)BadLines,
+               Admitted, Violated ? "VIOLATES" : "vs", Responded, Shed,
+               Failed, Missing ? " (missing counters)" : "");
+  return (BadLines || Violated || DataLines == 0) ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   Options O = parseArgs(Argc, Argv);
+  if (O.Scrape)
+    return runScrape(O);
   std::vector<Program> Corpus = loadCorpus(O.Dir);
   if (Corpus.empty())
     usage(("no *.scm programs under '" + O.Dir + "'").c_str());
